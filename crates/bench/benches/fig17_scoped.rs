@@ -1,0 +1,33 @@
+//! Figure 17a: runtime to empirically verify the scoped C++ → PTX mapping
+//! per RC11 axiom, with the full scope hierarchy, as a function of the
+//! event bound.
+//!
+//! The paper reports (Intel Xeon, Alloy + MiniSat-class solver):
+//! Coherence 41 s at bound 4 and 6.4 h at bound 5; Atomicity 4–5 s;
+//! SC 10 s / 15 min. The absolute numbers differ on our stack, but the
+//! orderings (Coherence ≈ SC ≫ Atomicity) and the superexponential growth
+//! per bound reproduce. Criterion sweeps bounds 2–3; run
+//! `cargo run --release -p ptxmm-bench --bin fig17_table -- 4 5` for the
+//! long-bound rows reported in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptxmm_bench::fig17_row;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_scoped");
+    group.sample_size(10);
+    for bound in [2usize, 3] {
+        for axiom in ["Coherence", "Atomicity", "SC"] {
+            group.bench_with_input(BenchmarkId::new(axiom, bound), &bound, |b, &bound| {
+                b.iter(|| {
+                    let (unsat, _) = fig17_row(bound, mapping::ScopeMode::Scoped, axiom);
+                    assert!(unsat, "{axiom} bound {bound}: counterexample found");
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! One-off driver that prints Figure 17-style rows (also used to collect
+//! data for EXPERIMENTS.md).
+fn main() {
+    let bounds: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let bounds = if bounds.is_empty() { vec![2, 3, 4] } else { bounds };
+    for mode in [mapping::ScopeMode::Scoped, mapping::ScopeMode::Descoped] {
+        for &bound in &bounds {
+            let start = std::time::Instant::now();
+            let rows = mapping::verify_all(
+                bound,
+                mode,
+                mapping::RecipeVariant::Correct,
+                modelfinder::Options::check(),
+            )
+            .unwrap();
+            for r in &rows {
+                println!(
+                    "{:?} bound={} {:<10} unsat={:?} vars={} clauses={} conflicts={} t={:?}",
+                    mode,
+                    bound,
+                    r.axiom,
+                    matches!(r.verdict, modelfinder::Verdict::Unsat),
+                    r.report.sat_vars,
+                    r.report.sat_clauses,
+                    r.report.solver_stats.conflicts,
+                    r.total_time
+                );
+            }
+            println!("  total bound={bound}: {:?}", start.elapsed());
+        }
+    }
+}

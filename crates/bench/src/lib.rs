@@ -1,0 +1,79 @@
+//! Shared helpers for the benchmark harness that regenerates the paper's
+//! tables and figures (see `benches/` and the `fig17_table` binary).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use satsolver::{Lit, Solver, Var};
+
+/// Builds a pigeonhole CNF: `pigeons` into `holes` (UNSAT when
+/// `pigeons > holes`).
+pub fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+    let mut s = Solver::new();
+    let var: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    for p in 0..pigeons {
+        let clause: Vec<Lit> = (0..holes).map(|h| var[p][h].positive()).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                s.add_clause(&[var[p1][h].negative(), var[p2][h].negative()]);
+            }
+        }
+    }
+    s
+}
+
+/// Builds a random 3-SAT instance with the given clause/variable ratio.
+pub fn random_3sat(num_vars: usize, ratio: f64, seed: u64) -> Solver {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+    let num_clauses = (num_vars as f64 * ratio) as usize;
+    for _ in 0..num_clauses {
+        let mut clause = Vec::with_capacity(3);
+        while clause.len() < 3 {
+            let v = vars[rng.gen_range(0..num_vars)];
+            let lit = Lit::new(v, rng.gen_bool(0.5));
+            if !clause.contains(&lit) && !clause.contains(&!lit) {
+                clause.push(lit);
+            }
+        }
+        s.add_clause(&clause);
+    }
+    s
+}
+
+/// Runs one Figure 17 verification row and returns (verdict-is-unsat,
+/// wall time).
+pub fn fig17_row(
+    bound: usize,
+    mode: mapping::ScopeMode,
+    axiom: &'static str,
+) -> (bool, std::time::Duration) {
+    let model = mapping::build(bound, mode, mapping::RecipeVariant::Correct);
+    let row = mapping::verify_axiom(&model, axiom, mode, modelfinder::Options::check())
+        .expect("well-typed encoding");
+    (row.verdict.is_unsat(), row.total_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satsolver::SolveResult;
+
+    #[test]
+    fn pigeonhole_helper() {
+        assert_eq!(pigeonhole(5, 4).solve(), SolveResult::Unsat);
+        assert_eq!(pigeonhole(4, 4).solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn random_3sat_is_deterministic() {
+        let mut a = random_3sat(30, 3.0, 42);
+        let mut b = random_3sat(30, 3.0, 42);
+        assert_eq!(a.solve(), b.solve());
+    }
+}

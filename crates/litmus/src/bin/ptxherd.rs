@@ -1,0 +1,128 @@
+//! `ptxherd` — a herd7-style litmus-test runner for the PTX and scoped
+//! C++ memory models.
+//!
+//! ```text
+//! ptxherd test1.litmus [test2.litmus …]
+//! ptxherd --suite            # run the built-in library
+//! ```
+//!
+//! Files starting with `PTX <name>` run under the PTX model; files
+//! starting with `C11 <name>` run under scoped RC11. Output mimics herd:
+//! the observed outcome states, whether the tagged condition was
+//! observable, and the verdict against the file's expectation.
+
+use std::process::ExitCode;
+
+use litmus::{library, parse_c11_litmus, parse_ptx_litmus, run_ptx, run_rc11, Expectation};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: ptxherd <file.litmus>…  |  ptxherd --suite");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    if args[0] == "--suite" {
+        for test in library::extended_suite() {
+            failures += usize::from(!report_ptx(&test));
+        }
+        for test in library::c11_suite() {
+            failures += usize::from(!report_c11(&test));
+        }
+    } else {
+        for path in &args {
+            let Ok(source) = std::fs::read_to_string(path) else {
+                eprintln!("{path}: cannot read file");
+                failures += 1;
+                continue;
+            };
+            // Dialect sniffing: the first non-empty, non-comment line.
+            let header = source
+                .lines()
+                .map(|l| l.split("//").next().unwrap_or("").trim())
+                .find(|l| !l.is_empty())
+                .unwrap_or("");
+            let trimmed = header;
+            let ok = if trimmed.starts_with("PTX ") {
+                match parse_ptx_litmus(&source) {
+                    Ok(test) => report_ptx(&test),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        false
+                    }
+                }
+            } else if trimmed.starts_with("C11 ") {
+                match parse_c11_litmus(&source) {
+                    Ok(test) => report_c11(&test),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        false
+                    }
+                }
+            } else {
+                eprintln!("{path}: expected a `PTX <name>` or `C11 <name>` header");
+                false
+            };
+            failures += usize::from(!ok);
+        }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} test(s) failed");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn report_ptx(test: &litmus::PtxLitmus) -> bool {
+    let enumeration = ptx::enumerate_executions(&test.program);
+    println!("Test {} (PTX)", test.name);
+    print!("{}", test.program);
+    let mut states: Vec<String> = enumeration
+        .executions
+        .iter()
+        .map(|e| litmus::format_registers(&e.final_registers))
+        .collect();
+    states.sort();
+    states.dedup();
+    println!("States {}", states.len());
+    for s in &states {
+        println!("  {}", if s.is_empty() { "<no registers>" } else { s });
+    }
+    let result = run_ptx(test);
+    print_verdict(&test.name, test.expectation, &test.cond.to_string(), result.observable, result.passed);
+    result.passed
+}
+
+fn report_c11(test: &litmus::C11Litmus) -> bool {
+    let enumeration = rc11::enumerate_executions(&test.program);
+    println!("Test {} (scoped C++)", test.name);
+    let mut states: Vec<String> = enumeration
+        .executions
+        .iter()
+        .map(|e| litmus::format_registers(&e.final_registers))
+        .collect();
+    states.sort();
+    states.dedup();
+    println!("States {}", states.len());
+    for s in &states {
+        println!("  {}", if s.is_empty() { "<no registers>" } else { s });
+    }
+    let result = run_rc11(test);
+    print_verdict(&test.name, test.expectation, &test.cond.to_string(), result.observable, result.passed);
+    result.passed
+}
+
+fn print_verdict(name: &str, expectation: Expectation, cond: &str, observable: bool, passed: bool) {
+    println!(
+        "Condition {} ({:?})",
+        cond,
+        expectation
+    );
+    println!(
+        "Observation {} {}",
+        name,
+        if observable { "Sometimes" } else { "Never" }
+    );
+    println!("{}\n", if passed { "Ok" } else { "FAILED" });
+}

@@ -1,0 +1,145 @@
+//! Final-state conditions for litmus tests.
+
+use std::collections::BTreeMap;
+
+use memmodel::{Location, Register, ThreadId, Value};
+
+/// A predicate over the final state of an execution: register values and
+/// settled memory values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// Always true.
+    True,
+    /// `thread:reg = value`.
+    RegEq(ThreadId, Register, Value),
+    /// `[loc] = value` (final memory).
+    MemEq(Location, Value),
+    /// Conjunction.
+    And(Vec<Cond>),
+    /// Disjunction.
+    Or(Vec<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// `a ∧ b`.
+    pub fn and(self, other: Cond) -> Cond {
+        Cond::And(vec![self, other])
+    }
+
+    /// `a ∨ b`.
+    pub fn or(self, other: Cond) -> Cond {
+        Cond::Or(vec![self, other])
+    }
+
+    /// `¬a`.
+    pub fn not(self) -> Cond {
+        Cond::Not(Box::new(self))
+    }
+
+    /// Convenience: `thread:reg = value`.
+    pub fn reg(thread: u32, reg: u32, value: u64) -> Cond {
+        Cond::RegEq(ThreadId(thread), Register(reg), Value(value))
+    }
+
+    /// Convenience: `[loc] = value`.
+    pub fn mem(loc: u32, value: u64) -> Cond {
+        Cond::MemEq(Location(loc), Value(value))
+    }
+
+    /// Evaluates against fixed register values and one choice of final
+    /// memory values.
+    pub fn eval(
+        &self,
+        regs: &BTreeMap<(ThreadId, Register), Value>,
+        memory: &BTreeMap<Location, Value>,
+    ) -> bool {
+        match self {
+            Cond::True => true,
+            Cond::RegEq(t, r, v) => regs.get(&(*t, *r)) == Some(v),
+            Cond::MemEq(l, v) => memory.get(l) == Some(v),
+            Cond::And(cs) => cs.iter().all(|c| c.eval(regs, memory)),
+            Cond::Or(cs) => cs.iter().any(|c| c.eval(regs, memory)),
+            Cond::Not(c) => !c.eval(regs, memory),
+        }
+    }
+
+    /// Whether the condition is satisfiable for some choice of final
+    /// memory values (each location independently picks one of its
+    /// co-maximal values — PTX's partial coherence order can leave several).
+    pub fn satisfiable(
+        &self,
+        regs: &BTreeMap<(ThreadId, Register), Value>,
+        memory_choices: &[(Location, Vec<Value>)],
+    ) -> bool {
+        // Odometer over the per-location choices.
+        let sizes: Vec<usize> = memory_choices.iter().map(|(_, vs)| vs.len().max(1)).collect();
+        for combo in memmodel::Odometer::new(sizes) {
+            let memory: BTreeMap<Location, Value> = memory_choices
+                .iter()
+                .zip(&combo)
+                .filter_map(|((l, vs), &k)| vs.get(k).map(|v| (*l, *v)))
+                .collect();
+            if self.eval(regs, &memory) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl std::fmt::Display for Cond {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cond::True => write!(f, "true"),
+            Cond::RegEq(t, r, v) => write!(f, "{}:{}={}", t.0, r, v),
+            Cond::MemEq(l, v) => write!(f, "{l}={v}"),
+            Cond::And(cs) => join(f, cs, r" /\ "),
+            Cond::Or(cs) => join(f, cs, r" \/ "),
+            Cond::Not(c) => write!(f, "~({c})"),
+        }
+    }
+}
+
+fn join(f: &mut std::fmt::Formatter<'_>, cs: &[Cond], sep: &str) -> std::fmt::Result {
+    write!(f, "(")?;
+    for (i, c) in cs.iter().enumerate() {
+        if i > 0 {
+            write!(f, "{sep}")?;
+        }
+        write!(f, "{c}")?;
+    }
+    write!(f, ")")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basics() {
+        let mut regs = BTreeMap::new();
+        regs.insert((ThreadId(1), Register(0)), Value(1));
+        let mut memory = BTreeMap::new();
+        memory.insert(Location(0), Value(2));
+        let c = Cond::reg(1, 0, 1).and(Cond::mem(0, 2));
+        assert!(c.eval(&regs, &memory));
+        assert!(!Cond::reg(1, 0, 9).eval(&regs, &memory));
+        assert!(Cond::reg(1, 0, 9).not().eval(&regs, &memory));
+        assert!(Cond::reg(1, 0, 9).or(Cond::True).eval(&regs, &memory));
+    }
+
+    #[test]
+    fn satisfiable_explores_memory_choices() {
+        let regs = BTreeMap::new();
+        // Racy final state: location 0 may settle to 1 or 2.
+        let choices = vec![(Location(0), vec![Value(1), Value(2)])];
+        assert!(Cond::mem(0, 1).satisfiable(&regs, &choices));
+        assert!(Cond::mem(0, 2).satisfiable(&regs, &choices));
+        assert!(!Cond::mem(0, 3).satisfiable(&regs, &choices));
+        // But a single choice cannot be two values at once.
+        let both = Cond::mem(0, 1).and(Cond::mem(0, 2));
+        assert!(!both.satisfiable(&regs, &choices));
+    }
+}

@@ -1,0 +1,294 @@
+//! Systematic litmus-test generation, in the spirit of the `diy` tool and
+//! of "Automated Synthesis of Comprehensive Memory Model Litmus Test
+//! Suites" (Lustig et al., ASPLOS 2017), which the paper builds on.
+//!
+//! Each generator instantiates a classic communication *shape* across the
+//! synchronization-strength and scope axes, together with the layout that
+//! places the threads. The expectations are not hardcoded: generated
+//! suites are consumed by property-style tests (monotonicity, engine
+//! agreement, SC-subset) that hold for *every* instantiation.
+
+use memmodel::{Location, Register, Scope, SystemLayout};
+use ptx::inst::build::*;
+use ptx::{Instruction, Program};
+
+use crate::cond::Cond;
+use crate::test::{Expectation, PtxLitmus};
+
+/// The synchronization strength of a generated test's flag accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Strength {
+    /// `st.weak` / `ld.weak`.
+    Weak,
+    /// `st.relaxed` / `ld.relaxed`.
+    Relaxed,
+    /// `st.release` / `ld.acquire`.
+    RelAcq,
+    /// A `fence.sc` before/after relaxed accesses.
+    FenceSc,
+}
+
+/// All strengths, weakest first.
+pub const STRENGTHS: [Strength; 4] = [
+    Strength::Weak,
+    Strength::Relaxed,
+    Strength::RelAcq,
+    Strength::FenceSc,
+];
+
+/// Thread placements used by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// All threads in one CTA.
+    SingleCta,
+    /// One CTA per thread, one GPU.
+    CtaPerThread,
+    /// One GPU per thread.
+    GpuPerThread,
+}
+
+/// All layouts, most local first.
+pub const LAYOUTS: [Layout; 3] = [Layout::SingleCta, Layout::CtaPerThread, Layout::GpuPerThread];
+
+impl Layout {
+    fn build(self, n: usize) -> SystemLayout {
+        match self {
+            Layout::SingleCta => SystemLayout::single_cta(n),
+            Layout::CtaPerThread => SystemLayout::cta_per_thread(n),
+            Layout::GpuPerThread => SystemLayout::gpu_per_thread(n),
+        }
+    }
+}
+
+const X: Location = Location(0);
+const Y: Location = Location(1);
+const R0: Register = Register(0);
+const R1: Register = Register(1);
+
+fn publish(strength: Strength, scope: Scope, loc: Location) -> Vec<Instruction> {
+    match strength {
+        Strength::Weak => vec![st_weak(loc, 1)],
+        Strength::Relaxed => vec![st_relaxed(scope, loc, 1)],
+        Strength::RelAcq => vec![st_release(scope, loc, 1)],
+        Strength::FenceSc => vec![fence_sc(scope), st_relaxed(scope, loc, 1)],
+    }
+}
+
+fn consume(strength: Strength, scope: Scope, dst: Register, loc: Location) -> Vec<Instruction> {
+    match strength {
+        Strength::Weak => vec![ld_weak(dst, loc)],
+        Strength::Relaxed => vec![ld_relaxed(scope, dst, loc)],
+        Strength::RelAcq => vec![ld_acquire(scope, dst, loc)],
+        Strength::FenceSc => vec![ld_relaxed(scope, dst, loc), fence_sc(scope)],
+    }
+}
+
+/// The message-passing (MP) shape: data store, flag publish ∥ flag
+/// consume, data load. The tagged outcome is the stale read.
+pub fn mp_shape(strength: Strength, scope: Scope, layout: Layout) -> PtxLitmus {
+    let mut t0 = vec![st_weak(X, 1)];
+    t0.extend(publish(strength, scope, Y));
+    let mut t1 = consume(strength, scope, R0, Y);
+    t1.push(ld_weak(R1, X));
+    PtxLitmus {
+        name: format!("gen-MP-{strength:?}-{scope}-{layout:?}"),
+        description: "generated MP shape".into(),
+        program: Program::new(vec![t0, t1], layout.build(2)),
+        cond: Cond::reg(1, 0, 1).and(Cond::reg(1, 1, 0)),
+        expectation: Expectation::Allowed, // placeholder; suites are property-checked
+    }
+}
+
+/// The store-buffering (SB) shape: both threads store one location and
+/// load the other. The tagged outcome is both loads reading zero.
+pub fn sb_shape(strength: Strength, scope: Scope, layout: Layout) -> PtxLitmus {
+    let barrierize = |loc_w: Location, loc_r: Location, dst: Register| -> Vec<Instruction> {
+        match strength {
+            Strength::Weak => vec![st_weak(loc_w, 1), ld_weak(dst, loc_r)],
+            Strength::Relaxed => vec![
+                st_relaxed(scope, loc_w, 1),
+                ld_relaxed(scope, dst, loc_r),
+            ],
+            Strength::RelAcq => vec![
+                st_release(scope, loc_w, 1),
+                ld_acquire(scope, dst, loc_r),
+            ],
+            Strength::FenceSc => vec![
+                st_weak(loc_w, 1),
+                fence_sc(scope),
+                ld_weak(dst, loc_r),
+            ],
+        }
+    };
+    PtxLitmus {
+        name: format!("gen-SB-{strength:?}-{scope}-{layout:?}"),
+        description: "generated SB shape".into(),
+        program: Program::new(
+            vec![barrierize(X, Y, R0), barrierize(Y, X, R1)],
+            layout.build(2),
+        ),
+        cond: Cond::reg(0, 0, 0).and(Cond::reg(1, 1, 0)),
+        expectation: Expectation::Allowed,
+    }
+}
+
+/// The load-buffering (LB) shape: each thread loads one location then
+/// stores the other. The tagged outcome is both loads reading 1.
+pub fn lb_shape(strength: Strength, scope: Scope, layout: Layout) -> PtxLitmus {
+    let arm = |loc_r: Location, loc_w: Location, dst: Register| -> Vec<Instruction> {
+        match strength {
+            Strength::Weak => vec![ld_weak(dst, loc_r), st_weak(loc_w, 1)],
+            Strength::Relaxed => vec![
+                ld_relaxed(scope, dst, loc_r),
+                st_relaxed(scope, loc_w, 1),
+            ],
+            Strength::RelAcq => vec![
+                ld_acquire(scope, dst, loc_r),
+                st_release(scope, loc_w, 1),
+            ],
+            Strength::FenceSc => vec![
+                ld_relaxed(scope, dst, loc_r),
+                fence_sc(scope),
+                st_relaxed(scope, loc_w, 1),
+            ],
+        }
+    };
+    PtxLitmus {
+        name: format!("gen-LB-{strength:?}-{scope}-{layout:?}"),
+        description: "generated LB shape".into(),
+        program: Program::new(vec![arm(X, Y, R0), arm(Y, X, R1)], layout.build(2)),
+        cond: Cond::reg(0, 0, 1).and(Cond::reg(1, 1, 1)),
+        expectation: Expectation::Allowed,
+    }
+}
+
+/// Generates the full shape × strength × scope × layout sweep.
+pub fn full_sweep() -> Vec<PtxLitmus> {
+    let mut out = Vec::new();
+    for shape in [mp_shape, sb_shape, lb_shape] {
+        for strength in STRENGTHS {
+            for scope in [Scope::Cta, Scope::Gpu, Scope::Sys] {
+                for layout in LAYOUTS {
+                    out.push(shape(strength, scope, layout));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether `scope` is wide enough to span the threads of `layout` — when
+/// it is not, a strong pair is morally weak and synchronization is
+/// ineffective.
+pub fn scope_spans(scope: Scope, layout: Layout) -> bool {
+    match (scope, layout) {
+        (_, Layout::SingleCta) => true,
+        (Scope::Cta, _) => false,
+        (Scope::Gpu, Layout::CtaPerThread) => true,
+        (Scope::Gpu, Layout::GpuPerThread) => false,
+        (Scope::Sys, _) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test::run_ptx;
+
+    #[test]
+    fn sweep_size() {
+        assert_eq!(full_sweep().len(), 3 * 4 * 3 * 3);
+    }
+
+    /// Monotonicity across the strength ladder: if an outcome is
+    /// forbidden at some strength, it stays forbidden at every stronger
+    /// strength (same scope and layout). Weak < Relaxed < RelAcq and
+    /// Weak < Relaxed < FenceSc along the generator's ladders.
+    #[test]
+    fn strength_ladder_is_monotone() {
+        for shape in [mp_shape, sb_shape, lb_shape] {
+            for scope in [Scope::Cta, Scope::Gpu, Scope::Sys] {
+                for layout in LAYOUTS {
+                    let mut last_observable = true;
+                    let mut prev: Option<(Strength, bool)> = None;
+                    for strength in STRENGTHS {
+                        let t = shape(strength, scope, layout);
+                        let observable = run_ptx(&t).observable;
+                        if let Some((ps, pobs)) = prev {
+                            // FenceSc is not comparable to RelAcq; compare
+                            // only along Weak→Relaxed→RelAcq and
+                            // Relaxed→FenceSc.
+                            let comparable = !(ps == Strength::RelAcq
+                                && strength == Strength::FenceSc);
+                            if comparable && !pobs {
+                                assert!(
+                                    !observable,
+                                    "{}: weakening at {strength:?} after forbidden at {ps:?}",
+                                    t.name
+                                );
+                            }
+                        }
+                        prev = Some((strength, observable));
+                        last_observable = observable;
+                    }
+                    let _ = last_observable;
+                }
+            }
+        }
+    }
+
+    /// Scope adequacy: with rel/acq strength, the MP stale read is
+    /// forbidden exactly when the scope spans the layout.
+    #[test]
+    fn mp_scope_adequacy() {
+        for scope in [Scope::Cta, Scope::Gpu, Scope::Sys] {
+            for layout in LAYOUTS {
+                let t = mp_shape(Strength::RelAcq, scope, layout);
+                let observable = run_ptx(&t).observable;
+                assert_eq!(
+                    observable,
+                    !scope_spans(scope, layout),
+                    "{}: observable={observable}, spans={}",
+                    t.name,
+                    scope_spans(scope, layout)
+                );
+            }
+        }
+    }
+
+    /// SB needs fence.sc: rel/acq alone never forbids the weak SB
+    /// outcome, while a spanning fence.sc always does.
+    #[test]
+    fn sb_needs_fence_sc() {
+        for scope in [Scope::Cta, Scope::Gpu, Scope::Sys] {
+            for layout in LAYOUTS {
+                let relacq = run_ptx(&sb_shape(Strength::RelAcq, scope, layout));
+                assert!(relacq.observable, "rel/acq cannot forbid SB");
+                let fenced = run_ptx(&sb_shape(Strength::FenceSc, scope, layout));
+                assert_eq!(
+                    !fenced.observable,
+                    scope_spans(scope, layout),
+                    "fence.sc forbids SB iff morally strong"
+                );
+            }
+        }
+    }
+
+    /// LB (without deps) is allowed for weak and relaxed accesses —
+    /// PTX permits load→store reordering — but acquire/release pairs
+    /// synchronize (sw + Causality breaks the cycle), as does a spanning
+    /// fence.sc.
+    #[test]
+    fn lb_without_deps_is_weak() {
+        for layout in LAYOUTS {
+            for strength in [Strength::Weak, Strength::Relaxed] {
+                let t = lb_shape(strength, Scope::Sys, layout);
+                assert!(run_ptx(&t).observable, "{} should allow LB", t.name);
+            }
+            for strength in [Strength::RelAcq, Strength::FenceSc] {
+                let t = lb_shape(strength, Scope::Sys, layout);
+                assert!(!run_ptx(&t).observable, "{} should forbid LB", t.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Litmus test infrastructure for the PTX memory model analysis stack.
+//!
+//! Provides, in the spirit of the `diy`/`litmus`/`herd` tool suite the
+//! paper builds on:
+//!
+//! * [`Cond`]: final-state outcome conditions over registers and settled
+//!   memory (handling PTX's *partial* coherence order, under which racy
+//!   locations may have several admissible final values);
+//! * [`PtxLitmus`] / [`C11Litmus`]: named tests with expectations;
+//! * [`run_ptx`] / [`run_rc11`] / [`run_under_tso`]: model-generic
+//!   runners over the exhaustive-enumeration engines;
+//! * [`parse::parse_ptx_litmus`]: a `diy`-style text format;
+//! * [`library`]: every litmus test figure from the paper plus the
+//!   classic GPU suite (MP, SB, LB, CoRR/CoRW/CoWR/CoWW, IRIW, ISA2, WRC,
+//!   2+2W) across scopes and layouts.
+//!
+//! # Examples
+//!
+//! ```
+//! use litmus::{library, run_ptx};
+//!
+//! let test = library::mp(); // paper Figure 5
+//! let result = run_ptx(&test);
+//! assert!(!result.observable, "the stale MP outcome must be forbidden");
+//! assert!(result.passed);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cond;
+pub mod generate;
+pub mod library;
+pub mod parse;
+pub mod parse_c11;
+pub mod scref;
+pub mod test;
+
+pub use cond::Cond;
+pub use scref::{sc_outcomes, ScOutcome};
+pub use parse::{parse_cond, parse_instruction, parse_ptx_litmus, ParseLitmusError};
+pub use parse_c11::{parse_c11_instruction, parse_c11_litmus};
+pub use test::{
+    format_registers, ptx_to_tso, run_ptx, run_rc11, run_suite, run_under_tso, C11Litmus,
+    Expectation, LitmusResult, PtxLitmus, SuiteRow,
+};

@@ -1,0 +1,765 @@
+//! The litmus test library: every test from the paper plus the standard
+//! GPU memory-model suite.
+//!
+//! Each constructor documents its paper provenance. `paper_suite` returns
+//! the figures in order; `extended_suite` adds the classic shapes (LB,
+//! IRIW, ISA2, WRC, 2+2W) at various scopes.
+
+use memmodel::{BarrierId, Location, Register, Scope, SystemLayout};
+use ptx::inst::build::*;
+use ptx::{AtomSem, Program};
+
+use crate::cond::Cond;
+use crate::test::{C11Litmus, Expectation, PtxLitmus};
+
+const X: Location = Location(0);
+const Y: Location = Location(1);
+const Z: Location = Location(2);
+const R0: Register = Register(0);
+const R1: Register = Register(1);
+const R2: Register = Register(2);
+const R3: Register = Register(3);
+
+fn test(
+    name: &str,
+    description: &str,
+    program: Program,
+    cond: Cond,
+    expectation: Expectation,
+) -> PtxLitmus {
+    PtxLitmus {
+        name: name.to_string(),
+        description: description.to_string(),
+        program,
+        cond,
+        expectation,
+    }
+}
+
+/// Figure 5: message passing with gpu-scoped release/acquire across CTAs.
+/// The stale outcome is forbidden.
+pub fn mp() -> PtxLitmus {
+    test(
+        "MP",
+        "Figure 5: release/acquire message passing (forbidden)",
+        Program::new(
+            vec![
+                vec![st_weak(X, 1), st_release(Scope::Gpu, Y, 1)],
+                vec![ld_acquire(Scope::Gpu, R0, Y), ld_weak(R1, X)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::reg(1, 0, 1).and(Cond::reg(1, 1, 0)),
+        Expectation::Forbidden,
+    )
+}
+
+/// MP with relaxed flag accesses: no synchronization, stale read allowed.
+pub fn mp_relaxed() -> PtxLitmus {
+    test(
+        "MP+relaxed",
+        "MP with relaxed flag: stale read allowed",
+        Program::new(
+            vec![
+                vec![st_weak(X, 1), st_relaxed(Scope::Gpu, Y, 1)],
+                vec![ld_relaxed(Scope::Gpu, R0, Y), ld_weak(R1, X)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::reg(1, 0, 1).and(Cond::reg(1, 1, 0)),
+        Expectation::Allowed,
+    )
+}
+
+/// MP with cta-scoped synchronization across different CTAs: the scope is
+/// too narrow, the pair is morally weak, and the stale read is allowed.
+pub fn mp_cta_scope_across_ctas() -> PtxLitmus {
+    test(
+        "MP+cta-cross",
+        "MP with cta scope spanning CTAs: too narrow, allowed",
+        Program::new(
+            vec![
+                vec![st_weak(X, 1), st_release(Scope::Cta, Y, 1)],
+                vec![ld_acquire(Scope::Cta, R0, Y), ld_weak(R1, X)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::reg(1, 0, 1).and(Cond::reg(1, 1, 0)),
+        Expectation::Allowed,
+    )
+}
+
+/// The same cta-scoped MP within a single CTA is properly synchronized.
+pub fn mp_cta_scope_within_cta() -> PtxLitmus {
+    test(
+        "MP+cta-within",
+        "MP with cta scope inside one CTA: forbidden",
+        Program::new(
+            vec![
+                vec![st_weak(X, 1), st_release(Scope::Cta, Y, 1)],
+                vec![ld_acquire(Scope::Cta, R0, Y), ld_weak(R1, X)],
+            ],
+            SystemLayout::single_cta(2),
+        ),
+        Cond::reg(1, 0, 1).and(Cond::reg(1, 1, 0)),
+        Expectation::Forbidden,
+    )
+}
+
+/// MP across GPUs requires sys scope; gpu scope is morally weak there.
+pub fn mp_gpu_scope_across_gpus() -> PtxLitmus {
+    test(
+        "MP+gpu-cross",
+        "MP with gpu scope spanning GPUs: too narrow, allowed",
+        Program::new(
+            vec![
+                vec![st_weak(X, 1), st_release(Scope::Gpu, Y, 1)],
+                vec![ld_acquire(Scope::Gpu, R0, Y), ld_weak(R1, X)],
+            ],
+            SystemLayout::gpu_per_thread(2),
+        ),
+        Cond::reg(1, 0, 1).and(Cond::reg(1, 1, 0)),
+        Expectation::Allowed,
+    )
+}
+
+/// …and sys scope restores it.
+pub fn mp_sys_scope_across_gpus() -> PtxLitmus {
+    test(
+        "MP+sys-cross",
+        "MP with sys scope spanning GPUs: forbidden",
+        Program::new(
+            vec![
+                vec![st_weak(X, 1), st_release(Scope::Sys, Y, 1)],
+                vec![ld_acquire(Scope::Sys, R0, Y), ld_weak(R1, X)],
+            ],
+            SystemLayout::gpu_per_thread(2),
+        ),
+        Cond::reg(1, 0, 1).and(Cond::reg(1, 1, 0)),
+        Expectation::Forbidden,
+    )
+}
+
+/// MP through acq_rel fences and a relaxed flag (decoupled release
+/// pattern, §8.7).
+pub fn mp_fences() -> PtxLitmus {
+    test(
+        "MP+fences",
+        "MP via fence.acq_rel with relaxed flag accesses: forbidden",
+        Program::new(
+            vec![
+                vec![
+                    st_weak(X, 1),
+                    fence_acq_rel(Scope::Gpu),
+                    st_relaxed(Scope::Gpu, Y, 1),
+                ],
+                vec![
+                    ld_relaxed(Scope::Gpu, R0, Y),
+                    fence_acq_rel(Scope::Gpu),
+                    ld_weak(R1, X),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::reg(1, 0, 1).and(Cond::reg(1, 1, 0)),
+        Expectation::Forbidden,
+    )
+}
+
+/// Store buffering with relaxed accesses: the weak outcome is allowed.
+pub fn sb() -> PtxLitmus {
+    test(
+        "SB",
+        "store buffering, relaxed: both-zero allowed",
+        Program::new(
+            vec![
+                vec![st_relaxed(Scope::Gpu, X, 1), ld_relaxed(Scope::Gpu, R0, Y)],
+                vec![st_relaxed(Scope::Gpu, Y, 1), ld_relaxed(Scope::Gpu, R1, X)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::reg(0, 0, 0).and(Cond::reg(1, 1, 0)),
+        Expectation::Allowed,
+    )
+}
+
+/// Figure 6: SB with morally strong `fence.sc` — both-zero forbidden.
+pub fn sb_fence_sc() -> PtxLitmus {
+    test(
+        "SB+fence.sc",
+        "Figure 6: SB with fence.sc.gpu (forbidden)",
+        Program::new(
+            vec![
+                vec![st_weak(X, 1), fence_sc(Scope::Gpu), ld_weak(R0, Y)],
+                vec![st_weak(Y, 1), fence_sc(Scope::Gpu), ld_weak(R1, X)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::reg(0, 0, 0).and(Cond::reg(1, 1, 0)),
+        Expectation::Forbidden,
+    )
+}
+
+/// SB with cta-scoped fences across CTAs: morally weak fences need not be
+/// sc-related; the weak outcome survives (the pre-Volta membar hazard the
+/// paper discusses in §3.4.3).
+pub fn sb_fence_weak_scope() -> PtxLitmus {
+    test(
+        "SB+fence.cta-cross",
+        "SB with morally weak fence.sc.cta across CTAs: allowed",
+        Program::new(
+            vec![
+                vec![st_weak(X, 1), fence_sc(Scope::Cta), ld_weak(R0, Y)],
+                vec![st_weak(Y, 1), fence_sc(Scope::Cta), ld_weak(R1, X)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::reg(0, 0, 0).and(Cond::reg(1, 1, 0)),
+        Expectation::Allowed,
+    )
+}
+
+/// Load buffering with relaxed accesses and no dependencies: allowed
+/// (PTX permits load→store reordering; this is why RC11's No-Thin-Air
+/// was dropped from the scoped source model).
+pub fn lb() -> PtxLitmus {
+    test(
+        "LB",
+        "load buffering, relaxed, no deps: allowed",
+        Program::new(
+            vec![
+                vec![ld_relaxed(Scope::Gpu, R0, Y), st_relaxed(Scope::Gpu, X, 1)],
+                vec![ld_relaxed(Scope::Gpu, R1, X), st_relaxed(Scope::Gpu, Y, 1)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::reg(0, 0, 1).and(Cond::reg(1, 1, 1)),
+        Expectation::Allowed,
+    )
+}
+
+/// Figure 8: LB with data dependencies both ways — out-of-thin-air values
+/// are forbidden by the No-Thin-Air axiom.
+pub fn lb_thin_air() -> PtxLitmus {
+    test(
+        "LB+deps",
+        "Figure 8: no out-of-thin-air 42 through dependency cycles",
+        Program::new(
+            vec![
+                vec![ld_weak(R0, Y), st_weak_reg(X, R0)],
+                vec![ld_weak(R1, X), st_weak_reg(Y, R1)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::reg(0, 0, 42).and(Cond::reg(1, 1, 42)),
+        Expectation::Forbidden,
+    )
+}
+
+/// Figure 9a: coherence, read-read.
+pub fn corr() -> PtxLitmus {
+    test(
+        "CoRR",
+        "Figure 9a: same-thread reads may not see a write unorder",
+        Program::new(
+            vec![
+                vec![st_relaxed(Scope::Gpu, X, 1)],
+                vec![ld_relaxed(Scope::Gpu, R0, X), ld_weak(R1, X)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::reg(1, 0, 1).and(Cond::reg(1, 1, 0)),
+        Expectation::Forbidden,
+    )
+}
+
+/// Figure 9b: coherence, read-write.
+pub fn corw() -> PtxLitmus {
+    test(
+        "CoRW",
+        "Figure 9b: a read may not see a write that its own later write precedes",
+        Program::new(
+            vec![
+                vec![st_relaxed(Scope::Gpu, X, 1)],
+                vec![ld_relaxed(Scope::Gpu, R0, X), st_weak(X, 2)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::reg(1, 0, 1).and(Cond::mem(0, 1)),
+        Expectation::Forbidden,
+    )
+}
+
+/// Figure 9c: coherence, write-read.
+pub fn cowr() -> PtxLitmus {
+    test(
+        "CoWR",
+        "Figure 9c: a read may not see a write overwritten by its own thread",
+        Program::new(
+            vec![
+                vec![st_relaxed(Scope::Gpu, X, 1)],
+                vec![st_relaxed(Scope::Gpu, X, 2), ld_weak(R0, X)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::mem(0, 2).and(Cond::reg(1, 0, 1)),
+        Expectation::Forbidden,
+    )
+}
+
+/// Figure 9d: coherence, write-write.
+pub fn coww() -> PtxLitmus {
+    test(
+        "CoWW",
+        "Figure 9d: same-thread writes settle in program order",
+        Program::new(
+            vec![vec![st_weak(X, 1), st_weak(X, 2)]],
+            SystemLayout::single_cta(1),
+        ),
+        Cond::mem(0, 1),
+        Expectation::Forbidden,
+    )
+}
+
+/// IRIW with acquire loads and release stores but no fences: PTX is not
+/// multi-copy atomic, so disagreeing on the write order is allowed.
+pub fn iriw_acquire() -> PtxLitmus {
+    test(
+        "IRIW+acq",
+        "IRIW with acq/rel only: allowed (PTX is not multi-copy atomic)",
+        Program::new(
+            vec![
+                vec![st_release(Scope::Sys, X, 1)],
+                vec![st_release(Scope::Sys, Y, 1)],
+                vec![ld_acquire(Scope::Sys, R0, X), ld_acquire(Scope::Sys, R1, Y)],
+                vec![ld_acquire(Scope::Sys, R2, Y), ld_acquire(Scope::Sys, R3, X)],
+            ],
+            SystemLayout::cta_per_thread(4),
+        ),
+        Cond::reg(2, 0, 1)
+            .and(Cond::reg(2, 1, 0))
+            .and(Cond::reg(3, 2, 1))
+            .and(Cond::reg(3, 3, 0)),
+        Expectation::Allowed,
+    )
+}
+
+/// IRIW with `fence.sc.sys` between strong reader loads: forbidden.
+pub fn iriw_fence_sc() -> PtxLitmus {
+    test(
+        "IRIW+fence.sc",
+        "IRIW with sc fences between relaxed reads: forbidden",
+        Program::new(
+            vec![
+                vec![st_relaxed(Scope::Sys, X, 1)],
+                vec![st_relaxed(Scope::Sys, Y, 1)],
+                vec![
+                    ld_relaxed(Scope::Sys, R0, X),
+                    fence_sc(Scope::Sys),
+                    ld_relaxed(Scope::Sys, R1, Y),
+                ],
+                vec![
+                    ld_relaxed(Scope::Sys, R2, Y),
+                    fence_sc(Scope::Sys),
+                    ld_relaxed(Scope::Sys, R3, X),
+                ],
+            ],
+            SystemLayout::cta_per_thread(4),
+        ),
+        Cond::reg(2, 0, 1)
+            .and(Cond::reg(2, 1, 0))
+            .and(Cond::reg(3, 2, 1))
+            .and(Cond::reg(3, 3, 0)),
+        Expectation::Forbidden,
+    )
+}
+
+/// ISA2: transitive (cumulative) synchronization through an intermediate
+/// thread (§8.8.5's recursion is exactly what makes this work).
+pub fn isa2() -> PtxLitmus {
+    test(
+        "ISA2",
+        "cumulativity: release/acquire chains compose transitively",
+        Program::new(
+            vec![
+                vec![st_weak(X, 1), st_release(Scope::Sys, Y, 1)],
+                vec![ld_acquire(Scope::Sys, R0, Y), st_release(Scope::Sys, Z, 1)],
+                vec![ld_acquire(Scope::Sys, R1, Z), ld_weak(R2, X)],
+            ],
+            SystemLayout::cta_per_thread(3),
+        ),
+        Cond::reg(1, 0, 1)
+            .and(Cond::reg(2, 1, 1))
+            .and(Cond::reg(2, 2, 0)),
+        Expectation::Forbidden,
+    )
+}
+
+/// Release-sequence through an RMW (§8.8.2's `obs;rmw;obs` recursion):
+/// the acquire reads the exchanged value, yet still synchronizes with the
+/// original release.
+pub fn release_sequence_rmw() -> PtxLitmus {
+    test(
+        "REL-SEQ+rmw",
+        "observation extends through atomics: forbidden",
+        Program::new(
+            vec![
+                vec![st_weak(X, 1), st_release(Scope::Gpu, Y, 1)],
+                vec![atom_exch(AtomSem::Relaxed, Scope::Gpu, R0, Y, 2)],
+                vec![ld_acquire(Scope::Gpu, R1, Y), ld_weak(R2, X)],
+            ],
+            SystemLayout::cta_per_thread(3),
+        ),
+        // The acquire reads the RMW's value (2), which read the release's
+        // value (1): synchronization must still hold.
+        Cond::reg(1, 0, 1)
+            .and(Cond::reg(2, 1, 2))
+            .and(Cond::reg(2, 2, 0)),
+        Expectation::Forbidden,
+    )
+}
+
+/// MP over a CTA execution barrier (§8.8.4): forbidden within a CTA.
+pub fn mp_barrier() -> PtxLitmus {
+    test(
+        "MP+bar",
+        "bar.sync gives cta-scope synchronization: forbidden",
+        Program::new(
+            vec![
+                vec![st_weak(X, 1), bar_sync(BarrierId(0))],
+                vec![bar_sync(BarrierId(0)), ld_weak(R0, X)],
+            ],
+            SystemLayout::single_cta(2),
+        ),
+        Cond::reg(1, 0, 0),
+        Expectation::Forbidden,
+    )
+}
+
+/// 2+2W with release stores: without any reads there is no observation,
+/// hence no synchronizes-with and no causality constraint between the
+/// locations — the crossed final state is allowed (release alone is not a
+/// fence).
+pub fn two_plus_two_w() -> PtxLitmus {
+    test(
+        "2+2W",
+        "two writers, release stores: crossed final state allowed",
+        Program::new(
+            vec![
+                vec![st_release(Scope::Gpu, X, 1), st_release(Scope::Gpu, Y, 2)],
+                vec![st_release(Scope::Gpu, Y, 1), st_release(Scope::Gpu, X, 2)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::mem(0, 1).and(Cond::mem(1, 1)),
+        Expectation::Allowed,
+    )
+}
+
+/// 2+2W with morally strong `fence.sc` between the stores: the Fence-SC
+/// order makes one thread's pair causally precede the other's, and the
+/// Coherence axiom then forces the coherence orders — crossed is
+/// forbidden.
+pub fn two_plus_two_w_fence_sc() -> PtxLitmus {
+    test(
+        "2+2W+fence.sc",
+        "two writers with sc fences: crossed final state forbidden",
+        Program::new(
+            vec![
+                vec![
+                    st_relaxed(Scope::Gpu, X, 1),
+                    fence_sc(Scope::Gpu),
+                    st_relaxed(Scope::Gpu, Y, 2),
+                ],
+                vec![
+                    st_relaxed(Scope::Gpu, Y, 1),
+                    fence_sc(Scope::Gpu),
+                    st_relaxed(Scope::Gpu, X, 2),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::mem(0, 1).and(Cond::mem(1, 1)),
+        Expectation::Forbidden,
+    )
+}
+
+/// WRC (write-to-read causality): the observation by an intermediate
+/// thread propagates with release/acquire.
+pub fn wrc() -> PtxLitmus {
+    test(
+        "WRC",
+        "write-read causality with rel/acq: forbidden",
+        Program::new(
+            vec![
+                vec![st_relaxed(Scope::Sys, X, 1)],
+                vec![ld_relaxed(Scope::Sys, R0, X), st_release(Scope::Sys, Y, 1)],
+                vec![ld_acquire(Scope::Sys, R1, Y), ld_relaxed(Scope::Sys, R2, X)],
+            ],
+            SystemLayout::cta_per_thread(3),
+        ),
+        Cond::reg(1, 0, 1)
+            .and(Cond::reg(2, 1, 1))
+            .and(Cond::reg(2, 2, 0)),
+        Expectation::Forbidden,
+    )
+}
+
+/// Compare-and-swap only publishes on success: a failed CAS does not
+/// overwrite, and a successful one participates in synchronization like
+/// any strong RMW.
+pub fn cas_semantics() -> PtxLitmus {
+    use ptx::inst::{Instruction, RmwOp};
+    use ptx::Operand;
+    test(
+        "CAS",
+        "failed compare-and-swap leaves memory intact",
+        Program::new(
+            vec![
+                vec![
+                    // CAS expecting 5 (will fail against init 0).
+                    Instruction::Atom {
+                        sem: AtomSem::Relaxed,
+                        scope: Scope::Gpu,
+                        dst: R0,
+                        loc: X,
+                        op: RmwOp::Cas {
+                            cmp: memmodel::Value(5),
+                        },
+                        src: Operand::Imm(memmodel::Value(9)),
+                    },
+                ],
+                vec![ld_relaxed(Scope::Gpu, R1, X)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        // The failed CAS must never make 9 visible.
+        Cond::reg(1, 1, 9),
+        Expectation::Forbidden,
+    )
+}
+
+/// A successful CAS chain: CAS(0→1) then CAS(1→2) on different threads
+/// must be able to both succeed, and 2 is then the unique final value.
+pub fn cas_chain() -> PtxLitmus {
+    use ptx::inst::{Instruction, RmwOp};
+    use ptx::Operand;
+    let cas = |cmp: u64, v: u64, dst: Register| Instruction::Atom {
+        sem: AtomSem::Relaxed,
+        scope: Scope::Gpu,
+        dst,
+        loc: X,
+        op: RmwOp::Cas {
+            cmp: memmodel::Value(cmp),
+        },
+        src: Operand::Imm(memmodel::Value(v)),
+    };
+    test(
+        "CAS-chain",
+        "both CASes may succeed in order",
+        Program::new(
+            vec![vec![cas(0, 1, R0)], vec![cas(1, 2, R1)]],
+            SystemLayout::cta_per_thread(2),
+        ),
+        // r0 = 0 (first CAS saw init) and r1 = 1 (second saw the first)
+        // and memory settles at 2.
+        Cond::reg(0, 0, 0).and(Cond::reg(1, 1, 1)).and(Cond::mem(0, 2)),
+        Expectation::Allowed,
+    )
+}
+
+/// `red` (a reduction: an atom with no destination) still counts as a
+/// strong RMW for atomicity: two concurrent red.adds never lose updates.
+pub fn red_no_lost_updates() -> PtxLitmus {
+    test(
+        "RED",
+        "reductions never lose updates",
+        Program::new(
+            vec![
+                vec![red_add(AtomSem::Relaxed, Scope::Gpu, X, 1)],
+                vec![red_add(AtomSem::Relaxed, Scope::Gpu, X, 1)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        Cond::mem(0, 1),
+        Expectation::Forbidden,
+    )
+}
+
+/// The tests that appear as figures in the paper, in order.
+pub fn paper_suite() -> Vec<PtxLitmus> {
+    vec![
+        mp(),             // Figure 5
+        sb_fence_sc(),    // Figure 6
+        lb_thin_air(),    // Figure 8
+        corr(),           // Figure 9a
+        corw(),           // Figure 9b
+        cowr(),           // Figure 9c
+        coww(),           // Figure 9d
+    ]
+}
+
+/// The full suite: paper figures plus scope variants and classic shapes.
+pub fn extended_suite() -> Vec<PtxLitmus> {
+    let mut v = paper_suite();
+    v.extend([
+        mp_relaxed(),
+        mp_cta_scope_across_ctas(),
+        mp_cta_scope_within_cta(),
+        mp_gpu_scope_across_gpus(),
+        mp_sys_scope_across_gpus(),
+        mp_fences(),
+        mp_barrier(),
+        sb(),
+        sb_fence_weak_scope(),
+        lb(),
+        iriw_acquire(),
+        iriw_fence_sc(),
+        isa2(),
+        release_sequence_rmw(),
+        two_plus_two_w(),
+        two_plus_two_w_fence_sc(),
+        wrc(),
+        cas_semantics(),
+        cas_chain(),
+        red_no_lost_updates(),
+    ]);
+    v
+}
+
+/// Scoped C++ litmus tests used for the mapping's differential checks.
+pub fn c11_suite() -> Vec<C11Litmus> {
+    use rc11::model::build::*;
+    use rc11::model::CProgram;
+    use rc11::MemOrder;
+
+    let mp = C11Litmus {
+        name: "C-MP".into(),
+        description: "release/acquire message passing".into(),
+        program: CProgram::new(
+            vec![
+                vec![store_na(X, 1), store(MemOrder::Rel, Scope::Sys, Y, 1)],
+                vec![
+                    load(MemOrder::Acq, Scope::Sys, R0, Y),
+                    load_na(R1, X),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        cond: Cond::reg(1, 0, 1).and(Cond::reg(1, 1, 0)),
+        expectation: Expectation::Forbidden,
+    };
+    let sb_sc = C11Litmus {
+        name: "C-SB+sc".into(),
+        description: "store buffering with seq_cst accesses".into(),
+        program: CProgram::new(
+            vec![
+                vec![
+                    store(MemOrder::Sc, Scope::Sys, X, 1),
+                    load(MemOrder::Sc, Scope::Sys, R0, Y),
+                ],
+                vec![
+                    store(MemOrder::Sc, Scope::Sys, Y, 1),
+                    load(MemOrder::Sc, Scope::Sys, R1, X),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        cond: Cond::reg(0, 0, 0).and(Cond::reg(1, 1, 0)),
+        expectation: Expectation::Forbidden,
+    };
+    let sb_rlx = C11Litmus {
+        name: "C-SB+rlx".into(),
+        description: "store buffering with relaxed accesses".into(),
+        program: CProgram::new(
+            vec![
+                vec![
+                    store(MemOrder::Rlx, Scope::Sys, X, 1),
+                    load(MemOrder::Rlx, Scope::Sys, R0, Y),
+                ],
+                vec![
+                    store(MemOrder::Rlx, Scope::Sys, Y, 1),
+                    load(MemOrder::Rlx, Scope::Sys, R1, X),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        cond: Cond::reg(0, 0, 0).and(Cond::reg(1, 1, 0)),
+        expectation: Expectation::Allowed,
+    };
+    let mp_scoped = C11Litmus {
+        name: "C-MP+cta-cross".into(),
+        description: "cta-scoped rel/acq across CTAs: race, stale allowed".into(),
+        program: CProgram::new(
+            vec![
+                vec![
+                    store(MemOrder::Rlx, Scope::Sys, X, 1),
+                    store(MemOrder::Rel, Scope::Cta, Y, 1),
+                ],
+                vec![
+                    load(MemOrder::Acq, Scope::Cta, R0, Y),
+                    load(MemOrder::Rlx, Scope::Sys, R1, X),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        cond: Cond::reg(1, 0, 1).and(Cond::reg(1, 1, 0)),
+        expectation: Expectation::Allowed,
+    };
+    let fa = C11Litmus {
+        name: "C-FetchAdd".into(),
+        description: "concurrent fetch_adds never lose updates".into(),
+        program: CProgram::new(
+            vec![
+                vec![fetch_add(MemOrder::Rlx, Scope::Sys, R0, X, 1)],
+                vec![fetch_add(MemOrder::Rlx, Scope::Sys, R1, X, 1)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ),
+        cond: Cond::mem(0, 1),
+        expectation: Expectation::Forbidden,
+    };
+    vec![mp, sb_sc, sb_rlx, mp_scoped, fa]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test::{run_ptx, run_rc11};
+
+    #[test]
+    fn paper_suite_matches_expectations() {
+        for t in paper_suite() {
+            let r = run_ptx(&t);
+            assert!(
+                r.passed,
+                "{}: expected {:?}, observable={} ({})",
+                t.name, t.expectation, r.observable, t.description
+            );
+        }
+    }
+
+    #[test]
+    fn extended_suite_matches_expectations() {
+        for t in extended_suite() {
+            let r = run_ptx(&t);
+            assert!(
+                r.passed,
+                "{}: expected {:?}, observable={} ({})",
+                t.name, t.expectation, r.observable, t.description
+            );
+        }
+    }
+
+    #[test]
+    fn c11_suite_matches_expectations() {
+        for t in c11_suite() {
+            let r = run_rc11(&t);
+            assert!(
+                r.passed,
+                "{}: expected {:?}, observable={}",
+                t.name, t.expectation, r.observable
+            );
+        }
+    }
+}

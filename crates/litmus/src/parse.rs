@@ -1,0 +1,635 @@
+//! A text format for PTX litmus tests, in the spirit of the `diy`/`litmus`
+//! tool suite.
+//!
+//! ```text
+//! PTX SB+fences
+//! layout cta_per_thread
+//! P0              | P1              ;
+//! st.weak [x], 1  | st.weak [y], 1  ;
+//! fence.sc.gpu    | fence.sc.gpu    ;
+//! ld.weak r0, [y] | ld.weak r1, [x] ;
+//! forbidden: 0:r0=0 /\ 1:r1=0
+//! ```
+//!
+//! Locations are named `x y z w u v` (mapping to `Location(0..6)`),
+//! registers are `rN`, threads are the columns. The layout line selects a
+//! preset (`single_cta`, `cta_per_thread`, `gpu_per_thread`) or a custom
+//! placement `layout custom 0:0,0 1:0,1` (`thread:gpu,cta`).
+
+use memmodel::{BarrierId, Location, Placement, Register, Scope, SystemLayout, Value};
+use ptx::{AtomSem, FenceSem, Instruction, LoadSem, Operand, Program, RmwOp, StoreSem};
+
+use crate::cond::Cond;
+use crate::test::{Expectation, PtxLitmus};
+
+/// A parse failure, with the offending line (1-based, 0 = preamble).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLitmusError {
+    /// Line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseLitmusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLitmusError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseLitmusError> {
+    Err(ParseLitmusError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses a PTX litmus test from its text form.
+///
+/// # Errors
+///
+/// Returns a [`ParseLitmusError`] describing the first malformed line.
+pub fn parse_ptx_litmus(input: &str) -> Result<PtxLitmus, ParseLitmusError> {
+    let mut name = None;
+    let mut layout_spec: Option<LayoutSpec> = None;
+    let mut columns: Option<usize> = None;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut cond: Option<(Expectation, Cond)> = None;
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if name.is_none() {
+            let Some(rest) = line.strip_prefix("PTX ") else {
+                return err(lineno, "expected header `PTX <name>`");
+            };
+            name = Some(rest.trim().to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("layout ") {
+            layout_spec = Some(parse_layout(lineno, rest.trim())?);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("forbidden:") {
+            cond = Some((Expectation::Forbidden, parse_cond(lineno, rest.trim())?));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("allowed:") {
+            cond = Some((Expectation::Allowed, parse_cond(lineno, rest.trim())?));
+            continue;
+        }
+        // Header or instruction row.
+        let line = line.strip_suffix(';').unwrap_or(line).trim();
+        let cells: Vec<String> = line.split('|').map(|c| c.trim().to_string()).collect();
+        if columns.is_none() {
+            // Expect the `P0 | P1 | …` header.
+            for (i, c) in cells.iter().enumerate() {
+                if *c != format!("P{i}") {
+                    return err(lineno, format!("expected thread header `P{i}`, got `{c}`"));
+                }
+            }
+            columns = Some(cells.len());
+            continue;
+        }
+        if cells.len() != columns.expect("set above") {
+            return err(
+                lineno,
+                format!(
+                    "row has {} columns, expected {}",
+                    cells.len(),
+                    columns.expect("set above")
+                ),
+            );
+        }
+        rows.push(cells);
+    }
+
+    let name = name.ok_or(ParseLitmusError {
+        line: 0,
+        message: "missing `PTX <name>` header".into(),
+    })?;
+    let columns = columns.ok_or(ParseLitmusError {
+        line: 0,
+        message: "missing thread header row".into(),
+    })?;
+    let (expectation, cond) = cond.ok_or(ParseLitmusError {
+        line: 0,
+        message: "missing `forbidden:`/`allowed:` condition".into(),
+    })?;
+
+    let mut threads: Vec<Vec<Instruction>> = vec![Vec::new(); columns];
+    for cells in &rows {
+        for (t, cell) in cells.iter().enumerate() {
+            if cell.is_empty() {
+                continue;
+            }
+            threads[t].push(parse_instruction(cell).map_err(|m| ParseLitmusError {
+                line: 0,
+                message: format!("in `{cell}`: {m}"),
+            })?);
+        }
+    }
+
+    let layout = match layout_spec.unwrap_or(LayoutSpec::CtaPerThread) {
+        LayoutSpec::SingleCta => SystemLayout::single_cta(columns),
+        LayoutSpec::CtaPerThread => SystemLayout::cta_per_thread(columns),
+        LayoutSpec::GpuPerThread => SystemLayout::gpu_per_thread(columns),
+        LayoutSpec::Custom(placements) => {
+            if placements.len() != columns {
+                return err(0, "custom layout thread count mismatch");
+            }
+            SystemLayout::new(placements)
+        }
+    };
+
+    Ok(PtxLitmus {
+        name,
+        description: String::new(),
+        program: Program::new(threads, layout),
+        cond,
+        expectation,
+    })
+}
+
+#[derive(Debug)]
+enum LayoutSpec {
+    SingleCta,
+    CtaPerThread,
+    GpuPerThread,
+    Custom(Vec<Placement>),
+}
+
+fn parse_layout(line: usize, spec: &str) -> Result<LayoutSpec, ParseLitmusError> {
+    match spec {
+        "single_cta" => Ok(LayoutSpec::SingleCta),
+        "cta_per_thread" => Ok(LayoutSpec::CtaPerThread),
+        "gpu_per_thread" => Ok(LayoutSpec::GpuPerThread),
+        custom => {
+            let Some(rest) = custom.strip_prefix("custom ") else {
+                return err(line, format!("unknown layout `{custom}`"));
+            };
+            // `0:0,0 1:0,1` — thread:gpu,cta; threads must be in order.
+            let mut placements = Vec::new();
+            for (i, part) in rest.split_whitespace().enumerate() {
+                let Some((t, gc)) = part.split_once(':') else {
+                    return err(line, format!("bad placement `{part}`"));
+                };
+                if t.parse::<usize>() != Ok(i) {
+                    return err(line, format!("placements must be in thread order at `{part}`"));
+                }
+                let Some((g, c)) = gc.split_once(',') else {
+                    return err(line, format!("bad placement `{part}`"));
+                };
+                let (Ok(gpu), Ok(cta)) = (g.parse(), c.parse()) else {
+                    return err(line, format!("bad placement numbers in `{part}`"));
+                };
+                placements.push(Placement { gpu, cta });
+            }
+            Ok(LayoutSpec::Custom(placements))
+        }
+    }
+}
+
+/// Maps a location name to its id (inverse of `memmodel::Location`'s
+/// display names).
+fn parse_location(tok: &str) -> Result<Location, String> {
+    const NAMES: &[&str] = &["x", "y", "z", "w", "u", "v"];
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("expected `[loc]`, got `{tok}`"))?;
+    match NAMES.iter().position(|&n| n == inner) {
+        Some(i) => Ok(Location(i as u32)),
+        None => inner
+            .strip_prefix("loc")
+            .and_then(|d| d.parse().ok())
+            .map(Location)
+            .ok_or_else(|| format!("unknown location `{inner}`")),
+    }
+}
+
+fn parse_register(tok: &str) -> Result<Register, String> {
+    tok.strip_prefix('r')
+        .and_then(|d| d.parse().ok())
+        .map(Register)
+        .ok_or_else(|| format!("expected register `rN`, got `{tok}`"))
+}
+
+fn parse_operand(tok: &str) -> Result<Operand, String> {
+    if tok.starts_with('r') {
+        parse_register(tok).map(Operand::Reg)
+    } else {
+        tok.parse::<u64>()
+            .map(|v| Operand::Imm(Value(v)))
+            .map_err(|_| format!("expected immediate or register, got `{tok}`"))
+    }
+}
+
+fn parse_scope(tok: &str) -> Result<Scope, String> {
+    match tok {
+        "cta" => Ok(Scope::Cta),
+        "gpu" => Ok(Scope::Gpu),
+        "sys" => Ok(Scope::Sys),
+        other => Err(format!("unknown scope `{other}`")),
+    }
+}
+
+/// Parses one PTX instruction cell.
+pub fn parse_instruction(cell: &str) -> Result<Instruction, String> {
+    let cell = cell.trim();
+    let (mnemonic, rest) = match cell.find(char::is_whitespace) {
+        Some(i) => (&cell[..i], cell[i..].trim()),
+        None => (cell, ""),
+    };
+    let args: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let dots: Vec<&str> = mnemonic.split('.').collect();
+    match dots.as_slice() {
+        ["ld", "weak"] => Ok(Instruction::Ld {
+            sem: LoadSem::Weak,
+            scope: Scope::Sys,
+            dst: parse_register(arg(&args, 0)?)?,
+            loc: parse_location(arg(&args, 1)?)?,
+        }),
+        ["ld", sem, scope] => {
+            let sem = match *sem {
+                "relaxed" => LoadSem::Relaxed,
+                "acquire" => LoadSem::Acquire,
+                "volatile" => LoadSem::Relaxed, // ld.volatile ≡ ld.relaxed.sys
+                other => return Err(format!("unknown load qualifier `{other}`")),
+            };
+            Ok(Instruction::Ld {
+                sem,
+                scope: parse_scope(scope)?,
+                dst: parse_register(arg(&args, 0)?)?,
+                loc: parse_location(arg(&args, 1)?)?,
+            })
+        }
+        ["st", "weak"] => Ok(Instruction::St {
+            sem: StoreSem::Weak,
+            scope: Scope::Sys,
+            loc: parse_location(arg(&args, 0)?)?,
+            src: parse_operand(arg(&args, 1)?)?,
+        }),
+        ["st", sem, scope] => {
+            let sem = match *sem {
+                "relaxed" => StoreSem::Relaxed,
+                "release" => StoreSem::Release,
+                "volatile" => StoreSem::Relaxed,
+                other => return Err(format!("unknown store qualifier `{other}`")),
+            };
+            Ok(Instruction::St {
+                sem,
+                scope: parse_scope(scope)?,
+                loc: parse_location(arg(&args, 0)?)?,
+                src: parse_operand(arg(&args, 1)?)?,
+            })
+        }
+        ["fence", sem, scope] => {
+            let sem = match *sem {
+                "sc" => FenceSem::Sc,
+                "acq_rel" => FenceSem::AcqRel,
+                "acquire" => FenceSem::Acquire,
+                "release" => FenceSem::Release,
+                other => return Err(format!("unknown fence qualifier `{other}`")),
+            };
+            Ok(Instruction::Fence {
+                sem,
+                scope: parse_scope(scope)?,
+            })
+        }
+        ["membar", scope] => Ok(Instruction::Fence {
+            sem: FenceSem::Sc,
+            scope: parse_scope(scope)?,
+        }),
+        ["atom", sem, scope, op] => {
+            let sem = parse_atom_sem(sem)?;
+            let op = parse_rmw_op(op, &args)?;
+            Ok(Instruction::Atom {
+                sem,
+                scope: parse_scope(scope)?,
+                dst: parse_register(arg(&args, 0)?)?,
+                loc: parse_location(arg(&args, 1)?)?,
+                op,
+                src: parse_operand(arg(&args, 2)?)?,
+            })
+        }
+        ["red", sem, scope, op] => {
+            let sem = parse_atom_sem(sem)?;
+            let op = parse_rmw_op(op, &args)?;
+            Ok(Instruction::Red {
+                sem,
+                scope: parse_scope(scope)?,
+                loc: parse_location(arg(&args, 0)?)?,
+                op,
+                src: parse_operand(arg(&args, 1)?)?,
+            })
+        }
+        ["bar", kind] => {
+            let kind = match *kind {
+                "sync" => ptx::BarKind::Sync,
+                "arrive" => ptx::BarKind::Arrive,
+                "red" => ptx::BarKind::Red,
+                other => return Err(format!("unknown barrier kind `{other}`")),
+            };
+            let id: u32 = arg(&args, 0)?
+                .parse()
+                .map_err(|_| "bad barrier id".to_string())?;
+            Ok(Instruction::Bar {
+                kind,
+                bar: BarrierId(id),
+            })
+        }
+        _ => Err(format!("unknown instruction `{mnemonic}`")),
+    }
+}
+
+fn parse_atom_sem(sem: &str) -> Result<AtomSem, String> {
+    match sem {
+        "relaxed" => Ok(AtomSem::Relaxed),
+        "acquire" => Ok(AtomSem::Acquire),
+        "release" => Ok(AtomSem::Release),
+        "acq_rel" => Ok(AtomSem::AcqRel),
+        other => Err(format!("unknown atom qualifier `{other}`")),
+    }
+}
+
+fn parse_rmw_op(op: &str, _args: &[&str]) -> Result<RmwOp, String> {
+    if op == "exch" {
+        return Ok(RmwOp::Exch);
+    }
+    if op == "add" {
+        return Ok(RmwOp::Add);
+    }
+    if let Some(cmp) = op.strip_prefix("cas(").and_then(|s| s.strip_suffix(')')) {
+        let cmp: u64 = cmp.parse().map_err(|_| "bad cas comparand".to_string())?;
+        return Ok(RmwOp::Cas { cmp: Value(cmp) });
+    }
+    Err(format!("unknown rmw op `{op}`"))
+}
+
+fn arg<'a>(args: &[&'a str], i: usize) -> Result<&'a str, String> {
+    args.get(i)
+        .copied()
+        .ok_or_else(|| format!("missing operand {i}"))
+}
+
+/// Parses a condition: `~`-negation, parentheses, `/\`, `\/`, and atoms
+/// `T:rN=V` (register) or `loc=V` (final memory). `/\` binds tighter.
+pub fn parse_cond(line: usize, text: &str) -> Result<Cond, ParseLitmusError> {
+    let tokens = tokenize_cond(text).map_err(|m| ParseLitmusError { line, message: m })?;
+    let mut p = CondParser { tokens, pos: 0 };
+    let cond = p.parse_or().map_err(|m| ParseLitmusError { line, message: m })?;
+    if p.pos != p.tokens.len() {
+        return err(line, format!("trailing tokens in condition: {:?}", &p.tokens[p.pos..]));
+    }
+    Ok(cond)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CTok {
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+    Atom(String),
+}
+
+fn tokenize_cond(text: &str) -> Result<Vec<CTok>, String> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(CTok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(CTok::RParen);
+            }
+            '~' => {
+                chars.next();
+                out.push(CTok::Not);
+            }
+            '/' => {
+                chars.next();
+                if chars.next() != Some('\\') {
+                    return Err("expected `/\\`".into());
+                }
+                out.push(CTok::And);
+            }
+            '\\' => {
+                chars.next();
+                if chars.next() != Some('/') {
+                    return Err("expected `\\/`".into());
+                }
+                out.push(CTok::Or);
+            }
+            _ => {
+                let mut atom = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == ':' || c == '=' || c == '_' {
+                        atom.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if atom.is_empty() {
+                    return Err(format!("unexpected character `{c}`"));
+                }
+                out.push(CTok::Atom(atom));
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct CondParser {
+    tokens: Vec<CTok>,
+    pos: usize,
+}
+
+impl CondParser {
+    fn parse_or(&mut self) -> Result<Cond, String> {
+        let mut terms = vec![self.parse_and()?];
+        while self.tokens.get(self.pos) == Some(&CTok::Or) {
+            self.pos += 1;
+            terms.push(self.parse_and()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Cond::Or(terms)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Cond, String> {
+        let mut terms = vec![self.parse_unary()?];
+        while self.tokens.get(self.pos) == Some(&CTok::And) {
+            self.pos += 1;
+            terms.push(self.parse_unary()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Cond::And(terms)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Cond, String> {
+        match self.tokens.get(self.pos) {
+            Some(CTok::Not) => {
+                self.pos += 1;
+                Ok(self.parse_unary()?.not())
+            }
+            Some(CTok::LParen) => {
+                self.pos += 1;
+                let inner = self.parse_or()?;
+                if self.tokens.get(self.pos) != Some(&CTok::RParen) {
+                    return Err("missing `)`".into());
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(CTok::Atom(a)) => {
+                let a = a.clone();
+                self.pos += 1;
+                parse_cond_atom(&a)
+            }
+            other => Err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+fn parse_cond_atom(atom: &str) -> Result<Cond, String> {
+    let Some((lhs, rhs)) = atom.split_once('=') else {
+        return Err(format!("expected `lhs=value` in `{atom}`"));
+    };
+    let value: u64 = rhs
+        .parse()
+        .map_err(|_| format!("bad value `{rhs}` in condition"))?;
+    if let Some((t, r)) = lhs.split_once(':') {
+        let thread: u32 = t.parse().map_err(|_| format!("bad thread `{t}`"))?;
+        let reg = parse_register(r)?;
+        Ok(Cond::RegEq(
+            memmodel::ThreadId(thread),
+            reg,
+            Value(value),
+        ))
+    } else {
+        let loc = parse_location(&format!("[{lhs}]"))?;
+        Ok(Cond::MemEq(loc, Value(value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test::run_ptx;
+
+    const MP: &str = r"
+PTX MP
+layout cta_per_thread
+P0                   | P1                    ;
+st.weak [x], 1       | ld.acquire.gpu r0, [y] ;
+st.release.gpu [y], 1 | ld.weak r1, [x]       ;
+forbidden: 1:r0=1 /\ 1:r1=0
+";
+
+    #[test]
+    fn parses_and_runs_mp() {
+        let t = parse_ptx_litmus(MP).unwrap();
+        assert_eq!(t.name, "MP");
+        assert_eq!(t.program.threads[0].len(), 2);
+        assert_eq!(t.expectation, Expectation::Forbidden);
+        let r = run_ptx(&t);
+        assert!(!r.observable);
+        assert!(r.passed);
+    }
+
+    #[test]
+    fn parses_all_instruction_forms() {
+        for (text, _desc) in [
+            ("ld.weak r0, [x]", "weak load"),
+            ("ld.relaxed.cta r1, [y]", "relaxed load"),
+            ("ld.acquire.sys r2, [z]", "acquire load"),
+            ("ld.volatile.sys r2, [z]", "volatile load"),
+            ("st.weak [x], 5", "weak store"),
+            ("st.weak [x], r3", "weak store of register"),
+            ("st.relaxed.gpu [y], 1", "relaxed store"),
+            ("st.release.cta [z], 2", "release store"),
+            ("fence.sc.gpu", "sc fence"),
+            ("fence.acq_rel.sys", "acq_rel fence"),
+            ("fence.acquire.cta", "acquire fence"),
+            ("fence.release.cta", "release fence"),
+            ("membar.gpu", "legacy membar"),
+            ("atom.relaxed.gpu.exch r0, [x], 1", "exchange"),
+            ("atom.acq_rel.sys.add r1, [y], 2", "fetch-add"),
+            ("atom.acquire.gpu.cas(0) r2, [z], 1", "cas"),
+            ("red.relaxed.gpu.add [x], 1", "reduction"),
+            ("bar.sync 0", "barrier sync"),
+            ("bar.arrive 1", "barrier arrive"),
+        ] {
+            parse_instruction(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_instructions() {
+        assert!(parse_instruction("ld.weird r0, [x]").is_err());
+        assert!(parse_instruction("st.weak r0, [x]").is_err()); // swapped operands
+        assert!(parse_instruction("fence.sc").is_err()); // missing scope
+        assert!(parse_instruction("ld.weak r0").is_err()); // missing loc
+    }
+
+    #[test]
+    fn condition_grammar() {
+        let c = parse_cond(1, r"0:r0=1 /\ ~(x=2 \/ 1:r1=0)").unwrap();
+        let shown = format!("{c}");
+        assert!(shown.contains("0:r0=1"));
+        assert!(shown.contains('~'));
+        assert!(parse_cond(1, "0:r0=").is_err());
+        assert!(parse_cond(1, "(0:r0=1").is_err());
+        assert!(parse_cond(1, r"0:r0=1 /\").is_err());
+    }
+
+    #[test]
+    fn layout_custom() {
+        let text = r"
+PTX custom-layout
+layout custom 0:0,0 1:0,1 2:1,2
+P0 | P1 | P2 ;
+st.weak [x], 1 | st.weak [x], 2 | ld.weak r0, [x] ;
+allowed: 2:r0=2
+";
+        let t = parse_ptx_litmus(text).unwrap();
+        assert!(!t.program.layout.same_gpu(memmodel::ThreadId(0), memmodel::ThreadId(2)));
+        assert!(run_ptx(&t).passed);
+    }
+
+    #[test]
+    fn error_reporting_includes_line() {
+        let bad = "PTX t\nP0 ;\nxyzzy [x], 1 ;\nforbidden: 0:r0=1\n";
+        let e = parse_ptx_litmus(bad).unwrap_err();
+        assert!(e.message.contains("xyzzy"));
+    }
+
+    #[test]
+    fn header_must_come_first() {
+        assert!(parse_ptx_litmus("layout single_cta\nPTX t\n").is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! An operational sequential-consistency reference interpreter.
+//!
+//! Executes a PTX program under interleaving semantics: one global memory,
+//! instructions atomic, every interleaving explored. Fences are no-ops
+//! under SC; `bar` arrivals and waits are modeled exactly. The result is
+//! the set of SC-reachable final states.
+//!
+//! This is the oracle for two classic sanity properties, both checked in
+//! the test suites:
+//!
+//! * **SC ⊆ PTX**: every SC outcome is allowed by the (weaker) PTX
+//!   axiomatic model — if the axiomatic model ever forbade an SC
+//!   interleaving, it would be broken;
+//! * **DRF-SC (empirical)**: for well-synchronized programs, the PTX
+//!   outcome set collapses to exactly the SC set.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use memmodel::{BarrierId, Location, Register, ThreadId, Value};
+use ptx::{Instruction, Operand, Program};
+
+/// A final state of an SC execution.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ScOutcome {
+    /// Final register values.
+    pub registers: BTreeMap<(ThreadId, Register), Value>,
+    /// Final memory values.
+    pub memory: BTreeMap<Location, Value>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    pc: Vec<usize>,
+    regs: Vec<BTreeMap<Register, Value>>,
+    memory: BTreeMap<Location, Value>,
+    /// Arrivals per (barrier, cta).
+    arrivals: BTreeMap<(BarrierId, u32), u32>,
+    /// Threads blocked waiting on a barrier.
+    waiting: Vec<Option<BarrierId>>,
+}
+
+/// Enumerates every SC-reachable final state of `program`.
+///
+/// # Panics
+///
+/// Panics if the program deadlocks under SC (mismatched barriers), which
+/// indicates a malformed litmus test.
+pub fn sc_outcomes(program: &Program) -> BTreeSet<ScOutcome> {
+    // How many threads of each CTA participate in each barrier.
+    let mut expected: BTreeMap<(BarrierId, u32), u32> = BTreeMap::new();
+    for (tid, instrs) in program.threads.iter().enumerate() {
+        let cta = program.layout.placement(ThreadId(tid as u32)).cta;
+        for i in instrs {
+            if let Instruction::Bar { bar, .. } = i {
+                // One arrival per occurrence. (Litmus tests use each
+                // barrier once per thread; multi-phase reuse would need
+                // per-phase counters.)
+                *expected.entry((*bar, cta)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let initial = State {
+        pc: vec![0; program.num_threads()],
+        regs: vec![BTreeMap::new(); program.num_threads()],
+        memory: program
+            .locations()
+            .into_iter()
+            .map(|l| (l, Value(0)))
+            .collect(),
+        arrivals: BTreeMap::new(),
+        waiting: vec![None; program.num_threads()],
+    };
+
+    let mut outcomes = BTreeSet::new();
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack = vec![initial];
+    while let Some(state) = stack.pop() {
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        let mut progressed = false;
+        for t in 0..program.num_threads() {
+            if let Some(next) = step(program, &state, t, &expected) {
+                progressed = true;
+                stack.push(next);
+            }
+        }
+        if !progressed {
+            let done = (0..program.num_threads())
+                .all(|t| state.pc[t] == program.threads[t].len() && state.waiting[t].is_none());
+            assert!(done, "SC interpreter deadlock: barriers mismatched");
+            outcomes.insert(ScOutcome {
+                registers: state
+                    .regs
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(t, m)| {
+                        m.iter()
+                            .map(move |(&r, &v)| ((ThreadId(t as u32), r), v))
+                    })
+                    .collect(),
+                memory: state.memory.clone(),
+            });
+        }
+    }
+    outcomes
+}
+
+fn step(
+    program: &Program,
+    state: &State,
+    t: usize,
+    expected: &BTreeMap<(BarrierId, u32), u32>,
+) -> Option<State> {
+    let cta = program.layout.placement(ThreadId(t as u32)).cta;
+    // A waiting thread can only resume once its barrier is complete.
+    if let Some(bar) = state.waiting[t] {
+        let done = state.arrivals.get(&(bar, cta)).copied().unwrap_or(0)
+            >= expected.get(&(bar, cta)).copied().unwrap_or(0);
+        if !done {
+            return None;
+        }
+        let mut next = state.clone();
+        next.waiting[t] = None;
+        return Some(next);
+    }
+    let instr = program.threads[t].get(state.pc[t])?;
+    let mut next = state.clone();
+    next.pc[t] += 1;
+    let operand_value = |s: &State, src: Operand| match src {
+        Operand::Imm(v) => v,
+        Operand::Reg(r) => s.regs[t].get(&r).copied().unwrap_or(Value(0)),
+    };
+    match *instr {
+        Instruction::Ld { dst, loc, .. } => {
+            let v = state.memory.get(&loc).copied().unwrap_or(Value(0));
+            next.regs[t].insert(dst, v);
+        }
+        Instruction::St { loc, src, .. } => {
+            let v = operand_value(state, src);
+            next.memory.insert(loc, v);
+        }
+        Instruction::Atom {
+            dst, loc, op, src, ..
+        } => {
+            let old = state.memory.get(&loc).copied().unwrap_or(Value(0));
+            let v = operand_value(state, src);
+            next.regs[t].insert(dst, old);
+            next.memory.insert(loc, op.apply(old, v));
+        }
+        Instruction::Red { loc, op, src, .. } => {
+            let old = state.memory.get(&loc).copied().unwrap_or(Value(0));
+            let v = operand_value(state, src);
+            next.memory.insert(loc, op.apply(old, v));
+        }
+        Instruction::Fence { .. } => {}
+        Instruction::Bar { kind, bar } => {
+            *next.arrivals.entry((bar, cta)).or_insert(0) += 1;
+            if kind.waits() {
+                next.waiting[t] = Some(bar);
+            }
+        }
+    }
+    Some(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memmodel::{Scope, SystemLayout};
+    use ptx::inst::build::*;
+
+    const X: Location = Location(0);
+    const Y: Location = Location(1);
+
+    #[test]
+    fn single_thread_is_deterministic() {
+        let p = Program::new(
+            vec![vec![st_weak(X, 1), ld_weak(Register(0), X), st_weak(X, 2)]],
+            SystemLayout::single_cta(1),
+        );
+        let outs = sc_outcomes(&p);
+        assert_eq!(outs.len(), 1);
+        let o = outs.iter().next().unwrap();
+        assert_eq!(o.registers[&(ThreadId(0), Register(0))], Value(1));
+        assert_eq!(o.memory[&X], Value(2));
+    }
+
+    #[test]
+    fn mp_under_sc_has_three_outcomes() {
+        let p = Program::new(
+            vec![
+                vec![st_weak(X, 1), st_weak(Y, 1)],
+                vec![ld_weak(Register(0), Y), ld_weak(Register(1), X)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let reg_pairs: BTreeSet<(u64, u64)> = sc_outcomes(&p)
+            .into_iter()
+            .map(|o| {
+                (
+                    o.registers[&(ThreadId(1), Register(0))].0,
+                    o.registers[&(ThreadId(1), Register(1))].0,
+                )
+            })
+            .collect();
+        // SC forbids (1, 0).
+        assert_eq!(
+            reg_pairs,
+            BTreeSet::from([(0, 0), (0, 1), (1, 1)])
+        );
+    }
+
+    #[test]
+    fn sb_under_sc_forbids_both_zero() {
+        let p = Program::new(
+            vec![
+                vec![st_weak(X, 1), ld_weak(Register(0), Y)],
+                vec![st_weak(Y, 1), ld_weak(Register(1), X)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let both_zero = sc_outcomes(&p).into_iter().any(|o| {
+            o.registers[&(ThreadId(0), Register(0))] == Value(0)
+                && o.registers[&(ThreadId(1), Register(1))] == Value(0)
+        });
+        assert!(!both_zero);
+    }
+
+    #[test]
+    fn atomics_are_atomic_under_sc() {
+        let p = Program::new(
+            vec![
+                vec![atom_add(ptx::AtomSem::Relaxed, Scope::Sys, Register(0), X, 1)],
+                vec![atom_add(ptx::AtomSem::Relaxed, Scope::Sys, Register(0), X, 1)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        for o in sc_outcomes(&p) {
+            assert_eq!(o.memory[&X], Value(2));
+        }
+    }
+
+    #[test]
+    fn barrier_orders_accesses() {
+        let p = Program::new(
+            vec![
+                vec![st_weak(X, 1), bar_sync(BarrierId(0))],
+                vec![bar_sync(BarrierId(0)), ld_weak(Register(0), X)],
+            ],
+            SystemLayout::single_cta(2),
+        );
+        for o in sc_outcomes(&p) {
+            assert_eq!(o.registers[&(ThreadId(1), Register(0))], Value(1));
+        }
+    }
+
+    #[test]
+    fn arrive_does_not_block() {
+        let p = Program::new(
+            vec![
+                vec![bar_arrive(BarrierId(0)), st_weak(X, 1)],
+                vec![bar_sync(BarrierId(0)), ld_weak(Register(0), X)],
+            ],
+            SystemLayout::single_cta(2),
+        );
+        // The arriving thread may store before or after the sync releases,
+        // so both read values are possible.
+        let values: BTreeSet<u64> = sc_outcomes(&p)
+            .into_iter()
+            .map(|o| o.registers[&(ThreadId(1), Register(0))].0)
+            .collect();
+        assert_eq!(values, BTreeSet::from([0, 1]));
+    }
+}

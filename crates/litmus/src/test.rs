@@ -1,0 +1,192 @@
+//! Litmus tests and the model-generic runner.
+
+use std::collections::BTreeMap;
+
+use memmodel::{Location, Value};
+use serde::Serialize;
+
+use crate::cond::Cond;
+
+/// What the paper (or the test author) claims about the tagged outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Expectation {
+    /// The outcome must not be observable in any consistent execution.
+    Forbidden,
+    /// The outcome must be observable in some consistent execution.
+    Allowed,
+}
+
+/// A PTX litmus test: a program, a tagged outcome, and the expectation.
+#[derive(Debug, Clone)]
+pub struct PtxLitmus {
+    /// Test name (e.g. `"MP"`).
+    pub name: String,
+    /// One-line description / paper provenance.
+    pub description: String,
+    /// The program.
+    pub program: ptx::Program,
+    /// The outcome condition under test.
+    pub cond: Cond,
+    /// Whether the outcome should be observable.
+    pub expectation: Expectation,
+}
+
+/// A scoped C++ litmus test.
+#[derive(Debug, Clone)]
+pub struct C11Litmus {
+    /// Test name.
+    pub name: String,
+    /// One-line description / paper provenance.
+    pub description: String,
+    /// The program.
+    pub program: rc11::CProgram,
+    /// The outcome condition under test.
+    pub cond: Cond,
+    /// Whether the outcome should be observable.
+    pub expectation: Expectation,
+}
+
+/// The result of running one litmus test against one model.
+#[derive(Debug, Clone, Serialize)]
+pub struct LitmusResult {
+    /// Test name.
+    pub name: String,
+    /// Whether the tagged outcome was observable.
+    pub observable: bool,
+    /// Whether observability matched the expectation.
+    pub passed: bool,
+    /// Number of consistent executions found.
+    pub consistent_executions: usize,
+    /// Number of candidate witnesses examined.
+    pub candidates: u64,
+}
+
+/// Runs a PTX litmus test with the enumeration engine.
+pub fn run_ptx(test: &PtxLitmus) -> LitmusResult {
+    let e = ptx::enumerate_executions(&test.program);
+    let observable = e.executions.iter().any(|x| {
+        test.cond
+            .satisfiable(&x.final_registers, &x.final_memory)
+    });
+    LitmusResult {
+        name: test.name.clone(),
+        observable,
+        passed: observable == (test.expectation == Expectation::Allowed),
+        consistent_executions: e.executions.len(),
+        candidates: e.stats.candidates,
+    }
+}
+
+/// Runs a scoped C++ litmus test with the RC11 enumeration engine.
+pub fn run_rc11(test: &C11Litmus) -> LitmusResult {
+    let e = rc11::enumerate_executions(&test.program);
+    let observable = e.executions.iter().any(|x| {
+        let memory: Vec<(Location, Vec<Value>)> = x
+            .final_memory
+            .iter()
+            .map(|&(l, v)| (l, vec![v]))
+            .collect();
+        test.cond.satisfiable(&x.final_registers, &memory)
+    });
+    LitmusResult {
+        name: test.name.clone(),
+        observable,
+        passed: observable == (test.expectation == Expectation::Allowed),
+        consistent_executions: e.executions.len(),
+        candidates: e.candidates,
+    }
+}
+
+/// Converts a PTX program to the TSO baseline, where possible: memory
+/// orders are dropped (TSO is stronger than all of them), `fence.sc`
+/// becomes `mfence`, atomics become locked exchanges/adds. Returns `None`
+/// for programs using barriers or register-operand stores, which have no
+/// TSO counterpart here.
+pub fn ptx_to_tso(program: &ptx::Program) -> Option<tso::TsoProgram> {
+    let mut threads = Vec::new();
+    for instrs in &program.threads {
+        let mut out = Vec::new();
+        for i in instrs {
+            let mapped = match *i {
+                ptx::Instruction::Ld { dst, loc, .. } => tso::TsoInstruction::Load { dst, loc },
+                ptx::Instruction::St { loc, src, .. } => match src {
+                    ptx::Operand::Imm(value) => tso::TsoInstruction::Store { loc, value },
+                    ptx::Operand::Reg(_) => return None,
+                },
+                ptx::Instruction::Atom {
+                    dst, loc, src, op, ..
+                } => match (op, src) {
+                    (ptx::RmwOp::Exch, ptx::Operand::Imm(value)) => {
+                        tso::TsoInstruction::Exchange { dst, loc, value }
+                    }
+                    _ => return None,
+                },
+                ptx::Instruction::Fence { .. } => tso::TsoInstruction::Mfence,
+                ptx::Instruction::Red { .. } | ptx::Instruction::Bar { .. } => return None,
+            };
+            out.push(mapped);
+        }
+        threads.push(out);
+    }
+    Some(tso::TsoProgram::new(threads))
+}
+
+/// Runs a PTX litmus test's program under the TSO baseline (if
+/// convertible), for model-comparison purposes.
+pub fn run_under_tso(test: &PtxLitmus) -> Option<LitmusResult> {
+    let program = ptx_to_tso(&test.program)?;
+    let e = tso::enumerate_executions(&program);
+    let observable = e.executions.iter().any(|x| {
+        let memory: Vec<(Location, Vec<Value>)> = x
+            .final_memory
+            .iter()
+            .map(|&(l, v)| (l, vec![v]))
+            .collect();
+        test.cond.satisfiable(&x.final_registers, &memory)
+    });
+    Some(LitmusResult {
+        name: test.name.clone(),
+        observable,
+        passed: observable == (test.expectation == Expectation::Allowed),
+        consistent_executions: e.executions.len(),
+        candidates: e.candidates,
+    })
+}
+
+/// A summary row for reporting across a suite.
+#[derive(Debug, Clone, Serialize)]
+pub struct SuiteRow {
+    /// Test name.
+    pub name: String,
+    /// Expectation.
+    pub expectation: Expectation,
+    /// Observability under PTX.
+    pub ptx_observable: bool,
+    /// Whether PTX matched the expectation.
+    pub ptx_passed: bool,
+}
+
+/// Runs every test in a suite and summarizes.
+pub fn run_suite(tests: &[PtxLitmus]) -> Vec<SuiteRow> {
+    tests
+        .iter()
+        .map(|t| {
+            let r = run_ptx(t);
+            SuiteRow {
+                name: t.name.clone(),
+                expectation: t.expectation,
+                ptx_observable: r.observable,
+                ptx_passed: r.passed,
+            }
+        })
+        .collect()
+}
+
+/// Pretty-prints an outcome map for display.
+pub fn format_registers(regs: &BTreeMap<(memmodel::ThreadId, memmodel::Register), Value>) -> String {
+    let parts: Vec<String> = regs
+        .iter()
+        .map(|((t, r), v)| format!("{}:{}={}", t.0, r, v))
+        .collect();
+    parts.join(", ")
+}

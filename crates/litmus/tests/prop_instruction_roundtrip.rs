@@ -1,0 +1,125 @@
+//! Property test: `Display` of a PTX instruction re-parses to the same
+//! instruction — the printer and the litmus-text parser agree exactly.
+
+use litmus::parse_instruction;
+use memmodel::{BarrierId, Location, Register, Scope, Value};
+use proptest::prelude::*;
+use ptx::{AtomSem, BarKind, FenceSem, Instruction, LoadSem, Operand, RmwOp, StoreSem};
+
+fn arb_scope() -> impl Strategy<Value = Scope> {
+    prop_oneof![Just(Scope::Cta), Just(Scope::Gpu), Just(Scope::Sys)]
+}
+
+fn arb_loc() -> impl Strategy<Value = Location> {
+    (0u32..6).prop_map(Location)
+}
+
+fn arb_reg() -> impl Strategy<Value = Register> {
+    (0u32..8).prop_map(Register)
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u64..100).prop_map(|v| Operand::Imm(Value(v))),
+        arb_reg().prop_map(Operand::Reg),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(LoadSem::Weak),
+                Just(LoadSem::Relaxed),
+                Just(LoadSem::Acquire)
+            ],
+            arb_scope(),
+            arb_reg(),
+            arb_loc()
+        )
+            .prop_map(|(sem, mut scope, dst, loc)| {
+                if sem == LoadSem::Weak {
+                    scope = Scope::Sys; // weak prints without a scope
+                }
+                Instruction::Ld {
+                    sem,
+                    scope,
+                    dst,
+                    loc,
+                }
+            }),
+        (
+            prop_oneof![
+                Just(StoreSem::Weak),
+                Just(StoreSem::Relaxed),
+                Just(StoreSem::Release)
+            ],
+            arb_scope(),
+            arb_loc(),
+            arb_operand()
+        )
+            .prop_map(|(sem, mut scope, loc, src)| {
+                if sem == StoreSem::Weak {
+                    scope = Scope::Sys;
+                }
+                Instruction::St {
+                    sem,
+                    scope,
+                    loc,
+                    src,
+                }
+            }),
+        (
+            prop_oneof![
+                Just(AtomSem::Relaxed),
+                Just(AtomSem::Acquire),
+                Just(AtomSem::Release),
+                Just(AtomSem::AcqRel)
+            ],
+            arb_scope(),
+            arb_reg(),
+            arb_loc(),
+            prop_oneof![
+                Just(RmwOp::Exch),
+                Just(RmwOp::Add),
+                (0u64..10).prop_map(|c| RmwOp::Cas { cmp: Value(c) })
+            ],
+            arb_operand()
+        )
+            .prop_map(|(sem, scope, dst, loc, op, src)| Instruction::Atom {
+                sem,
+                scope,
+                dst,
+                loc,
+                op,
+                src,
+            }),
+        (
+            prop_oneof![
+                Just(FenceSem::Acquire),
+                Just(FenceSem::Release),
+                Just(FenceSem::AcqRel),
+                Just(FenceSem::Sc)
+            ],
+            arb_scope()
+        )
+            .prop_map(|(sem, scope)| Instruction::Fence { sem, scope }),
+        (
+            prop_oneof![Just(BarKind::Sync), Just(BarKind::Arrive), Just(BarKind::Red)],
+            (0u32..4).prop_map(BarrierId)
+        )
+            .prop_map(|(kind, bar)| Instruction::Bar { kind, bar }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn display_then_parse_is_identity(instr in arb_instruction()) {
+        let printed = instr.to_string();
+        let reparsed = parse_instruction(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` failed to parse: {e}"));
+        prop_assert_eq!(instr, reparsed, "through `{}`", printed);
+    }
+}

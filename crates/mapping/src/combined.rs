@@ -1,0 +1,538 @@
+//! The combined bounded model: scoped C++ events, PTX events, and the
+//! `map` relation between them (paper §5.2, Figure 15), used to
+//! empirically verify mapping soundness per axiom (Figure 17).
+//!
+//! For a bound of `N` source events the universe contains `N` C++ event
+//! atoms, `2N` PTX event atoms (each source event compiles to at most two
+//! instructions), four threads in a fixed scope tree (two sharing a CTA,
+//! a third on the same GPU, a fourth on another GPU), and two locations.
+//! The hypotheses assert: both event structures well-formed, the `map`
+//! relation shaped by the Figure 11 recipe, the PTX execution consistent
+//! (all six axioms), and the interpreted C++ execution race-free. Each
+//! check then asks the model finder for an instance violating one RC11
+//! axiom; UNSAT means no counterexample exists within the bound.
+
+use ptx::alloy::PtxVocab;
+use rc11::alloy::CVocab;
+use relational::{Bounds, Expr, Formula, Schema, TupleSet, VarGen};
+
+use crate::recipe::RecipeVariant;
+
+/// Whether the model carries the full scope hierarchy or is "de-scoped"
+/// (everything at `.sys`), the comparison axis of Figure 17b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeMode {
+    /// Full scopes: `.cta` / `.gpu` / `.sys` free per event.
+    Scoped,
+    /// All events forced to `.sys`.
+    Descoped,
+}
+
+/// A built combined model ready for per-axiom checking.
+#[derive(Debug, Clone)]
+pub struct CombinedModel {
+    /// The relation vocabulary (C++ side, PTX side, `map`).
+    pub schema: Schema,
+    /// Universe bounds.
+    pub bounds: Bounds,
+    /// All hypotheses: well-formedness + mapping + PTX axioms + DRF.
+    pub hypotheses: Formula,
+    /// The RC11 axioms to check, by name.
+    pub goals: Vec<(&'static str, Formula)>,
+    /// The event bound the model was built with.
+    pub bound: usize,
+}
+
+/// Builds the combined model at the given source-event bound.
+pub fn build(bound: usize, mode: ScopeMode, variant: RecipeVariant) -> CombinedModel {
+    assert!(bound >= 1, "bound must be positive");
+    let n = bound;
+    let c_lo = 0u32;
+    let p_lo = n as u32;
+    let t_lo = (3 * n) as u32;
+    let l_lo = t_lo + 4;
+    let universe = (l_lo + 2) as usize;
+
+    let c_block = TupleSet::from_atoms(c_lo..p_lo);
+    let p_block = TupleSet::from_atoms(p_lo..t_lo);
+    let threads = TupleSet::from_atoms(t_lo..l_lo);
+    let locs = TupleSet::from_atoms(l_lo..l_lo + 2);
+
+    // Fixed scope tree: t0,t1 share CTA0 on GPU0; t2 in CTA1 on GPU0;
+    // t3 in CTA2 on GPU1.
+    let (t0, t1, t2, t3) = (t_lo, t_lo + 1, t_lo + 2, t_lo + 3);
+    let same_cta = TupleSet::from_pairs([
+        (t0, t0),
+        (t1, t1),
+        (t2, t2),
+        (t3, t3),
+        (t0, t1),
+        (t1, t0),
+    ]);
+    let same_gpu = same_cta.union(&TupleSet::from_pairs([
+        (t0, t2),
+        (t2, t0),
+        (t1, t2),
+        (t2, t1),
+    ]));
+
+    let mut schema = Schema::new();
+    let cv = CVocab::declare(&mut schema, "c_");
+    let pv = PtxVocab::declare(&mut schema, "p_");
+    let map = Expr::Rel(schema.relation("map", 2));
+
+    let mut bounds = Bounds::new(&schema, universe);
+    bound_cvocab(&mut bounds, &cv, &c_block, &threads, &locs, &same_cta, &same_gpu, mode);
+    bound_pvocab(&mut bounds, &pv, &p_block, &threads, &locs, &same_cta, &same_gpu, mode);
+    if let Expr::Rel(r) = &map {
+        bounds.bound_upper(*r, c_block.product(&p_block));
+    }
+
+    let mut fresh = VarGen::new();
+    let mut hyp = vec![cv.well_formed(&mut fresh), pv.well_formed(&mut fresh)];
+    hyp.push(map_constraints(&cv, &pv, &map, variant, &mut fresh));
+    hyp.push(pv.axioms());
+    hyp.push(cv.race_free());
+    let hypotheses = Formula::and_all(hyp);
+
+    let goals = cv.axioms_named();
+
+    CombinedModel {
+        schema,
+        bounds,
+        hypotheses,
+        goals,
+        bound,
+    }
+}
+
+fn rel_id(e: &Expr) -> relational::RelId {
+    match e {
+        Expr::Rel(r) => *r,
+        _ => unreachable!("vocabulary expressions are relation references"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bound_cvocab(
+    bounds: &mut Bounds,
+    v: &CVocab,
+    block: &TupleSet,
+    threads: &TupleSet,
+    locs: &TupleSet,
+    same_cta: &TupleSet,
+    same_gpu: &TupleSet,
+    mode: ScopeMode,
+) {
+    for e in [&v.ev, &v.read, &v.write, &v.fence, &v.atomic, &v.acq, &v.rel, &v.sc] {
+        bounds.bound_upper(rel_id(e), block.clone());
+    }
+    match mode {
+        ScopeMode::Scoped => {
+            for e in [&v.scope_cta, &v.scope_gpu, &v.scope_sys] {
+                bounds.bound_upper(rel_id(e), block.clone());
+            }
+        }
+        ScopeMode::Descoped => {
+            bounds.bound_exact(rel_id(&v.scope_cta), TupleSet::empty(1));
+            bounds.bound_exact(rel_id(&v.scope_gpu), TupleSet::empty(1));
+            bounds.bound_upper(rel_id(&v.scope_sys), block.clone());
+        }
+    }
+    bounds.bound_upper(rel_id(&v.loc), block.product(locs));
+    bounds.bound_upper(rel_id(&v.thread), block.product(threads));
+    for e in [&v.sb, &v.rf, &v.mo, &v.rmw] {
+        bounds.bound_upper(rel_id(e), block.product(block));
+    }
+    bounds.bound_exact(rel_id(&v.same_cta), same_cta.clone());
+    bounds.bound_exact(rel_id(&v.same_gpu), same_gpu.clone());
+    bounds.bound_exact(rel_id(&v.threads), threads.clone());
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bound_pvocab(
+    bounds: &mut Bounds,
+    v: &PtxVocab,
+    block: &TupleSet,
+    threads: &TupleSet,
+    locs: &TupleSet,
+    same_cta: &TupleSet,
+    same_gpu: &TupleSet,
+    mode: ScopeMode,
+) {
+    for e in [
+        &v.ev,
+        &v.read,
+        &v.write,
+        &v.fence,
+        &v.strong,
+        &v.acq,
+        &v.rel,
+        &v.sc_fence,
+    ] {
+        bounds.bound_upper(rel_id(e), block.clone());
+    }
+    match mode {
+        ScopeMode::Scoped => {
+            for e in [&v.scope_cta, &v.scope_gpu, &v.scope_sys] {
+                bounds.bound_upper(rel_id(e), block.clone());
+            }
+        }
+        ScopeMode::Descoped => {
+            bounds.bound_exact(rel_id(&v.scope_cta), TupleSet::empty(1));
+            bounds.bound_exact(rel_id(&v.scope_gpu), TupleSet::empty(1));
+            bounds.bound_upper(rel_id(&v.scope_sys), block.clone());
+        }
+    }
+    bounds.bound_upper(rel_id(&v.loc), block.product(locs));
+    bounds.bound_upper(rel_id(&v.thread), block.product(threads));
+    for e in [&v.po, &v.rf, &v.co, &v.sc, &v.rmw] {
+        bounds.bound_upper(rel_id(e), block.product(block));
+    }
+    bounds.bound_exact(rel_id(&v.same_cta), same_cta.clone());
+    bounds.bound_exact(rel_id(&v.same_gpu), same_gpu.clone());
+    bounds.bound_exact(rel_id(&v.threads), threads.clone());
+}
+
+/// The mapping constraints: shapes every live PTX event as the image of a
+/// C++ event under the Figure 11 recipe, and lifts `rf`/`mo` across.
+fn map_constraints(
+    cv: &CVocab,
+    pv: &PtxVocab,
+    map: &Expr,
+    variant: RecipeVariant,
+    fresh: &mut VarGen,
+) -> Formula {
+    let mut fs = Vec::new();
+    let c_mem = cv.memory();
+    let p_mem = pv.memory();
+    let map_mem = map.intersect(&Expr::Univ.product(&p_mem));
+    let map_fence = map.intersect(&Expr::Univ.product(&pv.fence));
+
+    // Domain and range: map is total on live C events, its range is
+    // exactly the live PTX events, and each PTX event has exactly one
+    // preimage.
+    fs.push(map.join(&Expr::Univ).equal(&cv.ev));
+    fs.push(Expr::Univ.join(map).equal(&pv.ev));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        pv.ev.clone(),
+        map.join(&Expr::Var(v)).one(),
+    ));
+
+    // Kind correspondence: reads map to exactly one PTX read (plus
+    // possibly a fence), writes to one write, fences to one fence.
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.read.clone(),
+        Expr::Var(v).join(map).intersect(&pv.read).one(),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.read.clone(),
+        Expr::Var(v).join(map).in_(&pv.read.union(&pv.fence)),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.write.clone(),
+        Expr::Var(v).join(map).intersect(&pv.write).one(),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.write.clone(),
+        Expr::Var(v).join(map).in_(&pv.write.union(&pv.fence)),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.fence.clone(),
+        Expr::Var(v).join(map).one(),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.fence.clone(),
+        Expr::Var(v).join(map).in_(&pv.fence),
+    ));
+
+    // Leading fences: exactly the SC memory events that are not the write
+    // half of an RMW get one `fence.sc` image; everything else gets none.
+    let rmw_write_halves = Expr::Univ.join(&cv.rmw);
+    let needs_fence = cv
+        .sc
+        .intersect(&c_mem)
+        .difference(&rmw_write_halves);
+    let no_fence_mem = c_mem.difference(&needs_fence);
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        needs_fence.clone(),
+        Expr::Var(v)
+            .join(map)
+            .intersect(&pv.fence)
+            .one(),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        needs_fence.clone(),
+        Expr::Var(v)
+            .join(map)
+            .intersect(&pv.fence)
+            .in_(&pv.sc_fence),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        no_fence_mem,
+        Expr::Var(v).join(map).intersect(&pv.fence).no(),
+    ));
+
+    // Attribute transfer: every image event runs on the same thread as
+    // its source.
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.ev.clone(),
+        Expr::Var(v)
+            .join(map)
+            .join(&pv.thread)
+            .in_(&Expr::Var(v).join(&cv.thread)),
+    ));
+    // Memory images read/write the same location.
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        c_mem.clone(),
+        Expr::Var(v)
+            .join(&map_mem)
+            .join(&pv.loc)
+            .equal(&Expr::Var(v).join(&cv.loc)),
+    ));
+
+    // Scope transfer: atomic events keep their scope class; non-atomic
+    // images are `.sys` (and weak, so the class is semantically inert).
+    let scope_pairs = [
+        (&cv.scope_cta, &pv.scope_cta),
+        (&cv.scope_gpu, &pv.scope_gpu),
+        (&cv.scope_sys, &pv.scope_sys),
+    ];
+    for (cs, ps) in scope_pairs {
+        let v = fresh.var();
+        fs.push(Formula::for_all(
+            v,
+            cs.intersect(&cv.atomic),
+            Expr::Var(v).join(map).in_(ps),
+        ));
+    }
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.ev.difference(&cv.atomic),
+        Expr::Var(v).join(map).in_(&pv.scope_sys),
+    ));
+
+    // Strength per Figure 11.
+    // Non-atomic memory events compile to weak operations.
+    let na_mem = c_mem.difference(&cv.atomic);
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        na_mem,
+        Expr::Var(v)
+            .join(&map_mem)
+            .intersect(&pv.strong)
+            .no(),
+    ));
+    // Atomic memory events compile to strong operations.
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.atomic.intersect(&c_mem),
+        Expr::Var(v).join(&map_mem).in_(&pv.strong),
+    ));
+    // Acquire iff the source read is ⊒ ACQ.
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.read.intersect(&cv.acq),
+        Expr::Var(v).join(&map_mem).in_(&pv.acq),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.read.difference(&cv.acq),
+        Expr::Var(v).join(&map_mem).intersect(&pv.acq).no(),
+    ));
+    // Release iff the source write is ⊒ REL — except, in the buggy
+    // variant, SC RMW write halves lose their release annotation.
+    let rel_writes = match variant {
+        RecipeVariant::Correct => cv.write.intersect(&cv.rel),
+        RecipeVariant::ElideReleaseOnScRmw => cv
+            .write
+            .intersect(&cv.rel)
+            .difference(&cv.sc.intersect(&Expr::Univ.join(&cv.rmw))),
+    };
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        rel_writes.clone(),
+        Expr::Var(v).join(&map_mem).in_(&pv.rel),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.write.difference(&rel_writes),
+        Expr::Var(v).join(&map_mem).intersect(&pv.rel).no(),
+    ));
+    // C++ fences keep their sides; only SC fences become `fence.sc`.
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.fence.intersect(&cv.acq),
+        Expr::Var(v).join(map).in_(&pv.acq),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.fence.difference(&cv.acq),
+        Expr::Var(v).join(map).intersect(&pv.acq).no(),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.fence.intersect(&cv.rel),
+        Expr::Var(v).join(map).in_(&pv.rel),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.fence.difference(&cv.rel),
+        Expr::Var(v).join(map).intersect(&pv.rel).no(),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.fence.intersect(&cv.sc),
+        Expr::Var(v).join(map).in_(&pv.sc_fence),
+    ));
+    let v = fresh.var();
+    fs.push(Formula::for_all(
+        v,
+        cv.fence.difference(&cv.sc),
+        Expr::Var(v).join(map).intersect(&pv.sc_fence).no(),
+    ));
+    // Leading fences of SC accesses are sc fences — already forced above;
+    // also forbid stray sc_fence images of non-sc accesses: covered by the
+    // "no fence image" constraint for non-SC memory events.
+
+    // RMW pairing is preserved exactly.
+    let lifted_rmw = map_mem
+        .transpose()
+        .join(&cv.rmw)
+        .join(&map_mem);
+    fs.push(lifted_rmw.equal(&pv.rmw));
+
+    // Program order lift: sequencing of source events forces program
+    // order between all their images; a leading fence precedes its own
+    // memory operation.
+    fs.push(map.transpose().join(&cv.sb).join(map).in_(&pv.po));
+    fs.push(map_fence.transpose().join(&map_mem).in_(&pv.po));
+
+    // Execution lift (the paper's §5.2 interpretation): the C++ execution
+    // reads and orders exactly as the PTX one does.
+    fs.push(
+        map_mem
+            .join(&pv.rf)
+            .join(&map_mem.transpose())
+            .equal(&cv.rf),
+    );
+    fs.push(
+        map_mem
+            .join(&pv.co)
+            .join(&map_mem.transpose())
+            .in_(&cv.mo),
+    );
+
+    Formula::and_all(fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modelfinder::{ModelFinder, Options, Problem};
+
+    /// The hypotheses must be satisfiable (the combined model is not
+    /// vacuous): there exists a mapped, PTX-consistent, race-free
+    /// execution at bound 2.
+    #[test]
+    fn hypotheses_nonvacuous_at_bound_2() {
+        let model = build(2, ScopeMode::Scoped, RecipeVariant::Correct);
+        let problem = Problem {
+            schema: model.schema.clone(),
+            bounds: model.bounds.clone(),
+            formula: model.hypotheses.clone(),
+        };
+        let (verdict, _) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
+        assert!(verdict.instance().is_some(), "hypotheses unsatisfiable");
+    }
+
+    /// Without assuming the PTX axioms, an RC11 Coherence violation IS
+    /// reachable — the check is not trivially UNSAT.
+    #[test]
+    fn coherence_check_is_not_vacuous() {
+        let model = build(2, ScopeMode::Scoped, RecipeVariant::Correct);
+        // Rebuild hypotheses without PTX axioms: well-formedness + map +
+        // race-free only. We reconstruct by building a fresh model and
+        // stripping: simplest is to rebuild from parts.
+        let mut schema = Schema::new();
+        let cv = CVocab::declare(&mut schema, "c_");
+        let pv = PtxVocab::declare(&mut schema, "p_");
+        let map = Expr::Rel(schema.relation("map", 2));
+        let mut fresh = VarGen::new();
+        let hyp = Formula::and_all([
+            cv.well_formed(&mut fresh),
+            pv.well_formed(&mut fresh),
+            super::map_constraints(&cv, &pv, &map, RecipeVariant::Correct, &mut fresh),
+            cv.race_free(),
+        ]);
+        let coherence = cv.axioms_named()[0].1.clone();
+        let problem = Problem {
+            schema,
+            bounds: model.bounds.clone(),
+            formula: hyp.and(&coherence.not()),
+        };
+        let (verdict, _) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
+        assert!(
+            verdict.instance().is_some(),
+            "without PTX axioms a Coherence violation must be reachable"
+        );
+    }
+
+    /// The headline result at bound 2: no RC11 axiom can be violated by a
+    /// mapped, PTX-consistent, race-free execution.
+    #[test]
+    fn all_axioms_hold_at_bound_2() {
+        for mode in [ScopeMode::Scoped, ScopeMode::Descoped] {
+            let model = build(2, mode, RecipeVariant::Correct);
+            for (name, goal) in &model.goals {
+                let problem = Problem {
+                    schema: model.schema.clone(),
+                    bounds: model.bounds.clone(),
+                    formula: model.hypotheses.and(&goal.not()),
+                };
+                let (verdict, _) =
+                    ModelFinder::new(Options::check()).solve(&problem).unwrap();
+                assert!(
+                    verdict.is_unsat(),
+                    "{name} violated at bound 2 ({mode:?})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The scoped C++ → PTX compilation mapping and its verification.
+//!
+//! Implements the paper's §4 and §5.2–§6.1:
+//!
+//! * [`recipe`]: the Figure 11 instruction mapping (with the Figure 12
+//!   unsound variant available for study);
+//! * [`combined`]: the combined bounded relational model — C++ events,
+//!   PTX events, and the `map` relation — whose per-axiom counterexample
+//!   searches regenerate Figure 17;
+//! * [`verify`]: program-level differential soundness checks (herd-style)
+//!   and the Figure 17 sweep driver.
+//!
+//! # Examples
+//!
+//! ```
+//! use mapping::{check_program_soundness, RecipeVariant};
+//! use memmodel::{Location, Register, Scope, SystemLayout};
+//! use rc11::model::{build::*, CProgram, MemOrder};
+//!
+//! let mp = CProgram::new(
+//!     vec![
+//!         vec![
+//!             store(MemOrder::Rlx, Scope::Sys, Location(0), 1),
+//!             store(MemOrder::Rel, Scope::Sys, Location(1), 1),
+//!         ],
+//!         vec![
+//!             load(MemOrder::Acq, Scope::Sys, Register(0), Location(1)),
+//!             load(MemOrder::Rlx, Scope::Sys, Register(1), Location(0)),
+//!         ],
+//!     ],
+//!     SystemLayout::cta_per_thread(2),
+//! );
+//! let report = check_program_soundness(&mp, RecipeVariant::Correct);
+//! assert!(report.sound);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod combined;
+pub mod recipe;
+pub mod verify;
+
+pub use combined::{build, CombinedModel, ScopeMode};
+pub use recipe::{compile_instruction, compile_program, RecipeVariant};
+pub use verify::{
+    check_program_soundness, verify_all, verify_axiom, AxiomCheckRow, SoundnessReport,
+};

@@ -1,0 +1,302 @@
+//! The compilation mapping from scoped C++ onto PTX (paper Figure 11).
+//!
+//! Sequentially consistent accesses use the standard *leading-fence*
+//! mapping (`fence.sc.<sco>` before an acquire load / release store /
+//! acq_rel RMW), since PTX 6.0 has no native SC memory operations. The
+//! [`RecipeVariant::ElideReleaseOnScRmw`] variant reproduces the unsound
+//! simplification analyzed in the paper's Figure 12, where the `.release`
+//! half of `RMW_SC` is dropped on the grounds that the leading `fence.sc`
+//! "should" cover it — it does not.
+
+use memmodel::Scope;
+use ptx::{AtomSem, FenceSem, Instruction, LoadSem, StoreSem};
+use rc11::{CInstruction, CProgram, MemOrder};
+
+/// Which mapping to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecipeVariant {
+    /// The paper's (proven sound) Figure 11 mapping.
+    #[default]
+    Correct,
+    /// The Figure 12 pitfall: `RMW_SC` compiled to
+    /// `fence.sc; atom.acquire` instead of `fence.sc; atom.acq_rel`,
+    /// leaving a gap in the release sequence.
+    ElideReleaseOnScRmw,
+}
+
+/// Converts the RC11 RMW operation to the PTX one.
+fn map_rmw_op(op: rc11::RmwOp) -> ptx::RmwOp {
+    match op {
+        rc11::RmwOp::Exchange => ptx::RmwOp::Exch,
+        rc11::RmwOp::FetchAdd => ptx::RmwOp::Add,
+        rc11::RmwOp::CompareExchange { cmp } => ptx::RmwOp::Cas { cmp },
+    }
+}
+
+fn map_operand(src: rc11::Operand) -> ptx::Operand {
+    match src {
+        rc11::Operand::Imm(v) => ptx::Operand::Imm(v),
+        rc11::Operand::Reg(r) => ptx::Operand::Reg(r),
+    }
+}
+
+/// Compiles one scoped C++ instruction to PTX instruction(s) per
+/// Figure 11.
+pub fn compile_instruction(
+    instr: &CInstruction,
+    variant: RecipeVariant,
+) -> Vec<Instruction> {
+    match *instr {
+        CInstruction::Load {
+            mo,
+            scope,
+            dst,
+            loc,
+        } => match mo {
+            MemOrder::NA => vec![Instruction::Ld {
+                sem: LoadSem::Weak,
+                scope: Scope::Sys,
+                dst,
+                loc,
+            }],
+            MemOrder::Rlx => vec![Instruction::Ld {
+                sem: LoadSem::Relaxed,
+                scope,
+                dst,
+                loc,
+            }],
+            MemOrder::Acq => vec![Instruction::Ld {
+                sem: LoadSem::Acquire,
+                scope,
+                dst,
+                loc,
+            }],
+            MemOrder::Sc => vec![
+                Instruction::Fence {
+                    sem: FenceSem::Sc,
+                    scope,
+                },
+                Instruction::Ld {
+                    sem: LoadSem::Acquire,
+                    scope,
+                    dst,
+                    loc,
+                },
+            ],
+            MemOrder::Rel | MemOrder::AcqRel => {
+                unreachable!("illegal load order (checked by CProgram)")
+            }
+        },
+        CInstruction::Store {
+            mo,
+            scope,
+            loc,
+            src,
+        } => match mo {
+            MemOrder::NA => vec![Instruction::St {
+                sem: StoreSem::Weak,
+                scope: Scope::Sys,
+                loc,
+                src: map_operand(src),
+            }],
+            MemOrder::Rlx => vec![Instruction::St {
+                sem: StoreSem::Relaxed,
+                scope,
+                loc,
+                src: map_operand(src),
+            }],
+            MemOrder::Rel => vec![Instruction::St {
+                sem: StoreSem::Release,
+                scope,
+                loc,
+                src: map_operand(src),
+            }],
+            MemOrder::Sc => vec![
+                Instruction::Fence {
+                    sem: FenceSem::Sc,
+                    scope,
+                },
+                Instruction::St {
+                    sem: StoreSem::Release,
+                    scope,
+                    loc,
+                    src: map_operand(src),
+                },
+            ],
+            MemOrder::Acq | MemOrder::AcqRel => {
+                unreachable!("illegal store order (checked by CProgram)")
+            }
+        },
+        CInstruction::Rmw {
+            mo,
+            scope,
+            dst,
+            loc,
+            op,
+            src,
+        } => {
+            let atom = |sem: AtomSem| Instruction::Atom {
+                sem,
+                scope,
+                dst,
+                loc,
+                op: map_rmw_op(op),
+                src: map_operand(src),
+            };
+            match mo {
+                MemOrder::Rlx => vec![atom(AtomSem::Relaxed)],
+                MemOrder::Acq => vec![atom(AtomSem::Acquire)],
+                MemOrder::Rel => vec![atom(AtomSem::Release)],
+                MemOrder::AcqRel => vec![atom(AtomSem::AcqRel)],
+                MemOrder::Sc => {
+                    let fence = Instruction::Fence {
+                        sem: FenceSem::Sc,
+                        scope,
+                    };
+                    let body = match variant {
+                        RecipeVariant::Correct => atom(AtomSem::AcqRel),
+                        // Figure 12: dropping the release annotation.
+                        RecipeVariant::ElideReleaseOnScRmw => atom(AtomSem::Acquire),
+                    };
+                    vec![fence, body]
+                }
+                MemOrder::NA => unreachable!("illegal RMW order (checked by CProgram)"),
+            }
+        }
+        CInstruction::Fence { mo, scope } => {
+            let sem = match mo {
+                MemOrder::Acq => FenceSem::Acquire,
+                MemOrder::Rel => FenceSem::Release,
+                MemOrder::AcqRel => FenceSem::AcqRel,
+                MemOrder::Sc => FenceSem::Sc,
+                MemOrder::NA | MemOrder::Rlx => {
+                    unreachable!("illegal fence order (checked by CProgram)")
+                }
+            };
+            vec![Instruction::Fence { sem, scope }]
+        }
+    }
+}
+
+/// Compiles a whole scoped C++ program to PTX per Figure 11.
+pub fn compile_program(program: &CProgram, variant: RecipeVariant) -> ptx::Program {
+    let threads = program
+        .threads
+        .iter()
+        .map(|instrs| {
+            instrs
+                .iter()
+                .flat_map(|i| compile_instruction(i, variant))
+                .collect()
+        })
+        .collect();
+    ptx::Program::new(threads, program.layout.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memmodel::{Location, Register, SystemLayout};
+    use rc11::model::build::*;
+
+    #[test]
+    fn figure11_shapes() {
+        let one = |i: CInstruction| compile_instruction(&i, RecipeVariant::Correct);
+
+        assert!(matches!(
+            one(load_na(Register(0), Location(0)))[..],
+            [Instruction::Ld {
+                sem: LoadSem::Weak,
+                ..
+            }]
+        ));
+        assert!(matches!(
+            one(load(MemOrder::Acq, Scope::Gpu, Register(0), Location(0)))[..],
+            [Instruction::Ld {
+                sem: LoadSem::Acquire,
+                scope: Scope::Gpu,
+                ..
+            }]
+        ));
+        assert!(matches!(
+            one(load(MemOrder::Sc, Scope::Gpu, Register(0), Location(0)))[..],
+            [
+                Instruction::Fence {
+                    sem: FenceSem::Sc,
+                    scope: Scope::Gpu
+                },
+                Instruction::Ld {
+                    sem: LoadSem::Acquire,
+                    ..
+                }
+            ]
+        ));
+        assert!(matches!(
+            one(store(MemOrder::Sc, Scope::Sys, Location(0), 1))[..],
+            [
+                Instruction::Fence {
+                    sem: FenceSem::Sc,
+                    ..
+                },
+                Instruction::St {
+                    sem: StoreSem::Release,
+                    ..
+                }
+            ]
+        ));
+        assert!(matches!(
+            one(fence(MemOrder::AcqRel, Scope::Cta))[..],
+            [Instruction::Fence {
+                sem: FenceSem::AcqRel,
+                scope: Scope::Cta
+            }]
+        ));
+        assert!(matches!(
+            one(exchange(MemOrder::Sc, Scope::Gpu, Register(0), Location(0), 1))[..],
+            [
+                Instruction::Fence {
+                    sem: FenceSem::Sc,
+                    ..
+                },
+                Instruction::Atom {
+                    sem: AtomSem::AcqRel,
+                    ..
+                }
+            ]
+        ));
+    }
+
+    #[test]
+    fn buggy_variant_drops_release() {
+        let i = exchange(MemOrder::Sc, Scope::Gpu, Register(0), Location(0), 1);
+        let compiled = compile_instruction(&i, RecipeVariant::ElideReleaseOnScRmw);
+        assert!(matches!(
+            compiled[..],
+            [
+                Instruction::Fence { .. },
+                Instruction::Atom {
+                    sem: AtomSem::Acquire,
+                    ..
+                }
+            ]
+        ));
+    }
+
+    #[test]
+    fn program_compilation_preserves_layout_and_order() {
+        let p = rc11::CProgram::new(
+            vec![
+                vec![
+                    store_na(Location(0), 1),
+                    store(MemOrder::Sc, Scope::Sys, Location(1), 1),
+                ],
+                vec![load(MemOrder::Sc, Scope::Sys, Register(0), Location(1))],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let compiled = compile_program(&p, RecipeVariant::Correct);
+        assert_eq!(compiled.threads[0].len(), 3); // st + fence + st
+        assert_eq!(compiled.threads[1].len(), 2); // fence + ld
+        assert_eq!(compiled.layout, p.layout);
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared scaffolding for axiomatic memory models.
+//!
+//! Every model in this workspace (PTX, scoped RC11, TSO) builds on the same
+//! primitives:
+//!
+//! * identifier newtypes ([`ThreadId`], [`Location`], [`Value`], …);
+//! * the GPU execution hierarchy and PTX scope-inclusion test
+//!   ([`SystemLayout`], [`Scope`]);
+//! * dense bit-matrix relations with fixpoint computation ([`RelMat`]) for
+//!   the enumeration-based axiom checkers;
+//! * exhaustive enumeration of runtime-determined witnesses
+//!   ([`enumerate::enumerate_partial_orders`] for PTX's partial coherence
+//!   and Fence-SC orders, [`enumerate::enumerate_total_orders`] for
+//!   RC11/TSO coherence, [`enumerate::Odometer`] for reads-from choices).
+//!
+//! # Examples
+//!
+//! ```
+//! use memmodel::{RelMat, Scope, SystemLayout, ThreadId};
+//!
+//! // Two threads in different CTAs on the same GPU.
+//! let layout = SystemLayout::cta_per_thread(2);
+//! assert!(!layout.scope_includes(Scope::Cta, ThreadId(0), ThreadId(1)));
+//! assert!(layout.scope_includes(Scope::Gpu, ThreadId(0), ThreadId(1)));
+//!
+//! // Derived relations are bit-matrix fixpoints.
+//! let po = RelMat::from_pairs(3, [(0, 1), (1, 2)]);
+//! assert!(po.transitive_closure().get(0, 2));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod enumerate;
+pub mod ids;
+pub mod relmat;
+pub mod scope;
+
+pub use enumerate::{enumerate_partial_orders, enumerate_total_orders, Odometer};
+pub use ids::{BarrierId, EventId, Location, Register, ThreadId, Value};
+pub use relmat::RelMat;
+pub use scope::{Placement, Scope, SystemLayout};

@@ -1,0 +1,309 @@
+//! Dense bit-matrix binary relations over event indices.
+//!
+//! The enumeration-based axiom checkers compute derived relations (`obs`,
+//! `sw`, `cause`, `hb`, …) as fixpoints over these matrices; all operations
+//! are word-parallel.
+
+use std::fmt;
+
+/// A binary relation over `{0, …, n-1}` stored as a bit matrix.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RelMat {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl RelMat {
+    /// The empty relation over `n` elements.
+    pub fn new(n: usize) -> RelMat {
+        let words_per_row = n.div_ceil(64).max(1);
+        RelMat {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
+    }
+
+    /// The identity relation over `n` elements.
+    pub fn identity(n: usize) -> RelMat {
+        let mut m = RelMat::new(n);
+        for i in 0..n {
+            m.set(i, i);
+        }
+        m
+    }
+
+    /// Builds a relation from pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(n: usize, pairs: I) -> RelMat {
+        let mut m = RelMat::new(n);
+        for (i, j) in pairs {
+            m.set(i, j);
+        }
+        m
+    }
+
+    /// The number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the relation has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Adds the pair `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize) {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.words_per_row + j / 64] |= 1u64 << (j % 64);
+    }
+
+    /// Removes the pair `(i, j)`.
+    #[inline]
+    pub fn clear(&mut self, i: usize, j: usize) {
+        self.bits[i * self.words_per_row + j / 64] &= !(1u64 << (j % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.words_per_row + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// Number of pairs in the relation.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates all pairs in row-major order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| (0..self.n).filter_map(move |j| self.get(i, j).then_some((i, j))))
+    }
+
+    /// Union, in place.
+    pub fn union_with(&mut self, other: &RelMat) {
+        debug_assert_eq!(self.n, other.n);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Union.
+    #[must_use]
+    pub fn union(&self, other: &RelMat) -> RelMat {
+        let mut m = self.clone();
+        m.union_with(other);
+        m
+    }
+
+    /// Intersection.
+    #[must_use]
+    pub fn intersect(&self, other: &RelMat) -> RelMat {
+        debug_assert_eq!(self.n, other.n);
+        let mut m = self.clone();
+        for (a, b) in m.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+        m
+    }
+
+    /// Difference.
+    #[must_use]
+    pub fn difference(&self, other: &RelMat) -> RelMat {
+        debug_assert_eq!(self.n, other.n);
+        let mut m = self.clone();
+        for (a, b) in m.bits.iter_mut().zip(&other.bits) {
+            *a &= !b;
+        }
+        m
+    }
+
+    /// Relational composition `self ; other` (boolean matrix product).
+    #[must_use]
+    pub fn compose(&self, other: &RelMat) -> RelMat {
+        debug_assert_eq!(self.n, other.n);
+        let mut out = RelMat::new(self.n);
+        for i in 0..self.n {
+            let out_row = i * self.words_per_row;
+            for k in 0..self.n {
+                if self.get(i, k) {
+                    let other_row = k * self.words_per_row;
+                    for w in 0..self.words_per_row {
+                        out.bits[out_row + w] |= other.bits[other_row + w];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> RelMat {
+        let mut out = RelMat::new(self.n);
+        for (i, j) in self.pairs() {
+            out.set(j, i);
+        }
+        out
+    }
+
+    /// Irreflexive transitive closure (bit-parallel Warshall).
+    #[must_use]
+    pub fn transitive_closure(&self) -> RelMat {
+        let mut m = self.clone();
+        for k in 0..self.n {
+            let k_row: Vec<u64> =
+                m.bits[k * self.words_per_row..(k + 1) * self.words_per_row].to_vec();
+            for i in 0..self.n {
+                if m.get(i, k) {
+                    let row = i * self.words_per_row;
+                    for (w, &kw) in k_row.iter().enumerate() {
+                        m.bits[row + w] |= kw;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Reflexive transitive closure.
+    #[must_use]
+    pub fn reflexive_transitive_closure(&self) -> RelMat {
+        self.transitive_closure().union(&RelMat::identity(self.n))
+    }
+
+    /// Whether no element relates to itself.
+    pub fn is_irreflexive(&self) -> bool {
+        (0..self.n).all(|i| !self.get(i, i))
+    }
+
+    /// Whether the relation has no cycles (its closure is irreflexive).
+    pub fn is_acyclic(&self) -> bool {
+        self.transitive_closure().is_irreflexive()
+    }
+
+    /// Whether the relation is transitive.
+    pub fn is_transitive(&self) -> bool {
+        self.compose(self).difference(self).is_empty()
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &RelMat) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    /// Keeps only pairs `(i, j)` with `pred(i, j)`.
+    #[must_use]
+    pub fn filter<F: Fn(usize, usize) -> bool>(&self, pred: F) -> RelMat {
+        RelMat::from_pairs(self.n, self.pairs().filter(|&(i, j)| pred(i, j)))
+    }
+
+    /// The relation restricted to pairs whose endpoints are both in `set`.
+    #[must_use]
+    pub fn restrict_to(&self, set: &[bool]) -> RelMat {
+        self.filter(|i, j| set[i] && set[j])
+    }
+
+    /// The least fixpoint of `f` starting from `self`: repeatedly applies
+    /// `f` and unions until stable. `f` must be monotone for this to be a
+    /// true least fixpoint.
+    pub fn fixpoint<F: Fn(&RelMat) -> RelMat>(&self, f: F) -> RelMat {
+        let mut cur = self.clone();
+        loop {
+            let next = cur.union(&f(&cur));
+            if next == cur {
+                return cur;
+            }
+            cur = next;
+        }
+    }
+}
+
+impl fmt::Debug for RelMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RelMat{{n={}, pairs=[", self.n)?;
+        for (k, (i, j)) in self.pairs().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({i},{j})")?;
+        }
+        write!(f, "]}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut m = RelMat::new(70); // cross the word boundary
+        m.set(0, 65);
+        m.set(69, 0);
+        assert!(m.get(0, 65));
+        assert!(m.get(69, 0));
+        assert!(!m.get(65, 0));
+        m.clear(0, 65);
+        assert!(!m.get(0, 65));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn compose_matches_manual() {
+        let a = RelMat::from_pairs(4, [(0, 1), (1, 2)]);
+        let b = RelMat::from_pairs(4, [(1, 3), (2, 0)]);
+        let c = a.compose(&b);
+        assert_eq!(c, RelMat::from_pairs(4, [(0, 3), (1, 0)]));
+    }
+
+    #[test]
+    fn closure_of_chain_and_cycle() {
+        let chain = RelMat::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let c = chain.transitive_closure();
+        assert!(c.get(0, 3));
+        assert!(c.is_irreflexive());
+        assert!(chain.is_acyclic());
+
+        let cycle = RelMat::from_pairs(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(!cycle.is_acyclic());
+        assert!(cycle.transitive_closure().get(0, 0));
+    }
+
+    #[test]
+    fn transpose_and_subset() {
+        let a = RelMat::from_pairs(3, [(0, 1), (1, 2)]);
+        assert_eq!(a.transpose(), RelMat::from_pairs(3, [(1, 0), (2, 1)]));
+        assert!(a.is_subset(&a.transitive_closure()));
+        assert!(!a.transitive_closure().is_subset(&a));
+    }
+
+    #[test]
+    fn fixpoint_computes_obs_style_recursion() {
+        // obs = base ∪ obs;step;obs — as used by the PTX model.
+        let base = RelMat::from_pairs(5, [(0, 1), (2, 3)]);
+        let step = RelMat::from_pairs(5, [(1, 2)]);
+        let obs = base.fixpoint(|cur| cur.compose(&step).compose(cur));
+        assert!(obs.get(0, 3)); // 0→1 ;(1→2); 2→3
+        assert!(obs.get(0, 1));
+        assert!(!obs.get(1, 2));
+    }
+
+    #[test]
+    fn transitivity_check() {
+        assert!(RelMat::from_pairs(3, [(0, 1), (1, 2), (0, 2)]).is_transitive());
+        assert!(!RelMat::from_pairs(3, [(0, 1), (1, 2)]).is_transitive());
+    }
+
+    #[test]
+    fn filter_and_restrict() {
+        let a = RelMat::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let evens = a.filter(|i, j| i % 2 == 0 && j % 2 == 1);
+        assert_eq!(evens, RelMat::from_pairs(4, [(0, 1), (2, 3)]));
+        let set = [true, true, false, false];
+        assert_eq!(a.restrict_to(&set), RelMat::from_pairs(4, [(0, 1)]));
+    }
+}

@@ -1,0 +1,195 @@
+//! The GPU execution hierarchy: threads within CTAs within GPUs within a
+//! system, and the PTX scope-inclusion test built on it.
+//!
+//! Mirrors Table 18 of the PTX documentation (Table 1 in the paper): a
+//! `.cta`-scoped operation includes the threads of the executing thread's
+//! CTA, `.gpu` the threads of its device, and `.sys` every thread,
+//! including host threads.
+
+use crate::ids::ThreadId;
+
+/// A scope qualifier on a strong PTX operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scope {
+    /// `.cta`: threads in the same cooperative thread array.
+    Cta,
+    /// `.gpu`: threads on the same compute device.
+    Gpu,
+    /// `.sys`: all threads in the program, on all devices and the host.
+    Sys,
+}
+
+impl std::fmt::Display for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scope::Cta => write!(f, "cta"),
+            Scope::Gpu => write!(f, "gpu"),
+            Scope::Sys => write!(f, "sys"),
+        }
+    }
+}
+
+/// Where a thread executes: which CTA on which GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    /// The device index.
+    pub gpu: u32,
+    /// The CTA index, unique across the whole system.
+    pub cta: u32,
+}
+
+/// The placement of every thread in the system: the concrete scope tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemLayout {
+    placements: Vec<Placement>,
+}
+
+impl SystemLayout {
+    /// Builds a layout from explicit placements (indexed by thread id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two threads share a CTA index but disagree on the GPU —
+    /// CTA indices are global, so a CTA lives on exactly one device.
+    pub fn new(placements: Vec<Placement>) -> SystemLayout {
+        for (i, a) in placements.iter().enumerate() {
+            for b in placements.iter().skip(i + 1) {
+                if a.cta == b.cta {
+                    assert_eq!(a.gpu, b.gpu, "CTA {} spans two GPUs", a.cta);
+                }
+            }
+        }
+        SystemLayout { placements }
+    }
+
+    /// All `n` threads in one CTA on one GPU.
+    pub fn single_cta(n: usize) -> SystemLayout {
+        SystemLayout::new(vec![Placement { gpu: 0, cta: 0 }; n])
+    }
+
+    /// Each of the `n` threads in its own CTA, all on one GPU.
+    pub fn cta_per_thread(n: usize) -> SystemLayout {
+        SystemLayout::new(
+            (0..n as u32)
+                .map(|i| Placement { gpu: 0, cta: i })
+                .collect(),
+        )
+    }
+
+    /// Each thread in its own CTA on its own GPU.
+    pub fn gpu_per_thread(n: usize) -> SystemLayout {
+        SystemLayout::new(
+            (0..n as u32)
+                .map(|i| Placement { gpu: i, cta: i })
+                .collect(),
+        )
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// The placement of a thread.
+    pub fn placement(&self, t: ThreadId) -> Placement {
+        self.placements[t.0 as usize]
+    }
+
+    /// Whether two threads share a CTA.
+    pub fn same_cta(&self, a: ThreadId, b: ThreadId) -> bool {
+        self.placements[a.0 as usize].cta == self.placements[b.0 as usize].cta
+    }
+
+    /// Whether two threads share a GPU.
+    pub fn same_gpu(&self, a: ThreadId, b: ThreadId) -> bool {
+        self.placements[a.0 as usize].gpu == self.placements[b.0 as usize].gpu
+    }
+
+    /// Whether an operation executed by `executor` with scope `scope`
+    /// includes thread `other` (PTX §8.6: the scope instance is centred on
+    /// the executing thread).
+    pub fn scope_includes(&self, scope: Scope, executor: ThreadId, other: ThreadId) -> bool {
+        match scope {
+            Scope::Cta => self.same_cta(executor, other),
+            Scope::Gpu => self.same_gpu(executor, other),
+            Scope::Sys => true,
+        }
+    }
+
+    /// Whether two scoped operations are *mutually inclusive*: each
+    /// operation's scope includes the other's executing thread. This is the
+    /// scope half of PTX moral strength and the `incl` relation of the
+    /// scoped RC11 model.
+    pub fn mutually_inclusive(
+        &self,
+        scope_a: Scope,
+        thread_a: ThreadId,
+        scope_b: Scope,
+        thread_b: ThreadId,
+    ) -> bool {
+        self.scope_includes(scope_a, thread_a, thread_b)
+            && self.scope_includes(scope_b, thread_b, thread_a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn single_cta_includes_everything() {
+        let l = SystemLayout::single_cta(3);
+        for s in [Scope::Cta, Scope::Gpu, Scope::Sys] {
+            assert!(l.scope_includes(s, t(0), t(2)));
+        }
+    }
+
+    #[test]
+    fn cta_per_thread_excludes_cta_scope() {
+        let l = SystemLayout::cta_per_thread(2);
+        assert!(!l.scope_includes(Scope::Cta, t(0), t(1)));
+        assert!(l.scope_includes(Scope::Gpu, t(0), t(1)));
+        assert!(l.scope_includes(Scope::Sys, t(0), t(1)));
+    }
+
+    #[test]
+    fn gpu_per_thread_needs_sys() {
+        let l = SystemLayout::gpu_per_thread(2);
+        assert!(!l.scope_includes(Scope::Cta, t(0), t(1)));
+        assert!(!l.scope_includes(Scope::Gpu, t(0), t(1)));
+        assert!(l.scope_includes(Scope::Sys, t(0), t(1)));
+    }
+
+    #[test]
+    fn mutual_inclusion_is_asymmetric_in_general() {
+        // Thread 0 and 1 in different CTAs on one GPU. A gpu-scoped op by
+        // thread 0 includes thread 1, but a cta-scoped op by thread 1 does
+        // not include thread 0 — so the pair is not mutually inclusive.
+        let l = SystemLayout::cta_per_thread(2);
+        assert!(l.scope_includes(Scope::Gpu, t(0), t(1)));
+        assert!(!l.scope_includes(Scope::Cta, t(1), t(0)));
+        assert!(!l.mutually_inclusive(Scope::Gpu, t(0), Scope::Cta, t(1)));
+        assert!(l.mutually_inclusive(Scope::Gpu, t(0), Scope::Gpu, t(1)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cta_spanning_gpus_rejected() {
+        SystemLayout::new(vec![
+            Placement { gpu: 0, cta: 0 },
+            Placement { gpu: 1, cta: 0 },
+        ]);
+    }
+
+    #[test]
+    fn scope_includes_own_thread_always() {
+        let l = SystemLayout::gpu_per_thread(3);
+        for s in [Scope::Cta, Scope::Gpu, Scope::Sys] {
+            assert!(l.scope_includes(s, t(1), t(1)));
+        }
+    }
+}

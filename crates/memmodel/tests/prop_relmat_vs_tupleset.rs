@@ -1,0 +1,127 @@
+//! Differential property tests: the dense bit-matrix relations used by
+//! the enumeration engines (`memmodel::RelMat`) against the sparse tuple
+//! sets used by the relational/SAT engine (`relational::TupleSet`). The
+//! two representations back the two independent evaluation engines, so
+//! their algebra must agree exactly.
+
+use memmodel::RelMat;
+use proptest::prelude::*;
+use relational::TupleSet;
+
+const N: usize = 6;
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..N, 0..N), 0..15)
+}
+
+fn to_relmat(pairs: &[(usize, usize)]) -> RelMat {
+    RelMat::from_pairs(N, pairs.iter().copied())
+}
+
+fn to_tupleset(pairs: &[(usize, usize)]) -> TupleSet {
+    TupleSet::from_pairs(pairs.iter().map(|&(a, b)| (a as u32, b as u32)))
+}
+
+fn back(m: &RelMat) -> TupleSet {
+    let mut ts = TupleSet::empty(2);
+    for (a, b) in m.pairs() {
+        ts.insert(relational::Tuple::new(vec![a as u32, b as u32]));
+    }
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn union_agrees(a in arb_pairs(), b in arb_pairs()) {
+        prop_assert_eq!(
+            back(&to_relmat(&a).union(&to_relmat(&b))),
+            to_tupleset(&a).union(&to_tupleset(&b))
+        );
+    }
+
+    #[test]
+    fn intersect_agrees(a in arb_pairs(), b in arb_pairs()) {
+        prop_assert_eq!(
+            back(&to_relmat(&a).intersect(&to_relmat(&b))),
+            to_tupleset(&a).intersect(&to_tupleset(&b))
+        );
+    }
+
+    #[test]
+    fn difference_agrees(a in arb_pairs(), b in arb_pairs()) {
+        prop_assert_eq!(
+            back(&to_relmat(&a).difference(&to_relmat(&b))),
+            to_tupleset(&a).difference(&to_tupleset(&b))
+        );
+    }
+
+    #[test]
+    fn compose_agrees_with_join(a in arb_pairs(), b in arb_pairs()) {
+        prop_assert_eq!(
+            back(&to_relmat(&a).compose(&to_relmat(&b))),
+            to_tupleset(&a).join(&to_tupleset(&b))
+        );
+    }
+
+    #[test]
+    fn transpose_agrees(a in arb_pairs()) {
+        prop_assert_eq!(
+            back(&to_relmat(&a).transpose()),
+            to_tupleset(&a).transpose()
+        );
+    }
+
+    #[test]
+    fn closure_agrees(a in arb_pairs()) {
+        prop_assert_eq!(
+            back(&to_relmat(&a).transitive_closure()),
+            to_tupleset(&a).closure()
+        );
+    }
+
+    #[test]
+    fn reflexive_closure_agrees(a in arb_pairs()) {
+        prop_assert_eq!(
+            back(&to_relmat(&a).reflexive_transitive_closure()),
+            to_tupleset(&a).reflexive_closure(N)
+        );
+    }
+
+    #[test]
+    fn predicates_agree(a in arb_pairs()) {
+        let m = to_relmat(&a);
+        let ts = to_tupleset(&a);
+        // Irreflexivity.
+        let ts_irr = TupleSet::iden(N).intersect(&ts).is_empty();
+        prop_assert_eq!(m.is_irreflexive(), ts_irr);
+        // Acyclicity.
+        let ts_acyclic = TupleSet::iden(N).intersect(&ts.closure()).is_empty();
+        prop_assert_eq!(m.is_acyclic(), ts_acyclic);
+        // Transitivity.
+        let ts_trans = ts.join(&ts).is_subset(&ts);
+        prop_assert_eq!(m.is_transitive(), ts_trans);
+        // Cardinality.
+        prop_assert_eq!(m.count(), ts.len());
+    }
+
+    /// The fixpoint used for PTX `obs` agrees with a direct TupleSet
+    /// computation.
+    #[test]
+    fn obs_fixpoint_agrees(base in arb_pairs(), step in arb_pairs()) {
+        let m = to_relmat(&base)
+            .fixpoint(|cur| cur.compose(&to_relmat(&step)).compose(cur));
+        // TupleSet version: iterate until stable.
+        let step_ts = to_tupleset(&step);
+        let mut cur = to_tupleset(&base);
+        loop {
+            let next = cur.union(&cur.join(&step_ts).join(&cur));
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        prop_assert_eq!(back(&m), cur);
+    }
+}

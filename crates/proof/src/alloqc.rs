@@ -1,0 +1,187 @@
+//! The forward `alloqc` direction: compiling (a fragment of) the bounded
+//! relational language into kernel terms and propositions.
+//!
+//! The paper's `alloqc` translates Alloy models into Coq so that the one
+//! model source feeds both the empirical and the proof pipelines. Here
+//! the quantifier-free, binary fragment of `relational::Formula` — which
+//! covers all the memory-model axiom *shapes* — lifts into [`Prop`]s over
+//! named relation atoms, so an axiom written once for the model finder
+//! can be re-stated verbatim as a proof-theory axiom. (The inverse
+//! direction lives in [`crate::compile`].)
+
+use relational::ast::{Expr, Formula};
+use relational::Schema;
+
+use crate::term::{Prop, Term};
+
+/// A construct outside the liftable fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedConstruct(pub String);
+
+impl std::fmt::Display for UnsupportedConstruct {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "construct outside the liftable fragment: {}", self.0)
+    }
+}
+
+impl std::error::Error for UnsupportedConstruct {}
+
+fn unsupported<T>(what: impl Into<String>) -> Result<T, UnsupportedConstruct> {
+    Err(UnsupportedConstruct(what.into()))
+}
+
+/// Lifts a binary relational expression into a kernel term. Relation
+/// references become atoms named after the schema.
+///
+/// # Errors
+///
+/// Fails on non-binary constructs (products, unary relations, quantifier
+/// variables) and constants other than the empty set.
+pub fn lift_expr(expr: &Expr, schema: &Schema) -> Result<Term, UnsupportedConstruct> {
+    Ok(match expr {
+        Expr::Rel(r) => {
+            if schema.arity(*r) != 2 {
+                return unsupported(format!(
+                    "relation `{}` has arity {}",
+                    schema.name(*r),
+                    schema.arity(*r)
+                ));
+            }
+            Term::atom(schema.name(*r))
+        }
+        Expr::Iden => Term::Iden,
+        Expr::None(2) => Term::Empty,
+        Expr::None(a) => return unsupported(format!("none/{a}")),
+        Expr::Univ => return unsupported("univ (unary)"),
+        Expr::Var(_) => return unsupported("quantifier variable"),
+        Expr::Const(ts) if ts.is_empty() && ts.arity() == 2 => Term::Empty,
+        Expr::Const(_) => return unsupported("non-empty constant"),
+        Expr::Union(a, b) => lift_expr(a, schema)?.union(&lift_expr(b, schema)?),
+        Expr::Intersect(a, b) => lift_expr(a, schema)?.inter(&lift_expr(b, schema)?),
+        Expr::Difference(a, b) => lift_expr(a, schema)?.diff(&lift_expr(b, schema)?),
+        Expr::Join(a, b) => lift_expr(a, schema)?.comp(&lift_expr(b, schema)?),
+        Expr::Product(_, _) => return unsupported("product"),
+        Expr::Transpose(a) => lift_expr(a, schema)?.transpose(),
+        Expr::Closure(a) => lift_expr(a, schema)?.closure(),
+        Expr::ReflexiveClosure(a) => lift_expr(a, schema)?.reflexive_closure(),
+    })
+}
+
+/// Lifts a formula into a proposition. Recognizes the memory-model axiom
+/// shapes: subset, equality, emptiness (`no`), and the `irreflexive` /
+/// `acyclic` patterns from [`relational::patterns`] (which desugar to
+/// `no (iden ∩ r)` and `no (iden ∩ ^r)`).
+///
+/// # Errors
+///
+/// Fails outside the quantifier-free binary fragment.
+pub fn lift_formula(formula: &Formula, schema: &Schema) -> Result<Prop, UnsupportedConstruct> {
+    match formula {
+        Formula::Subset(a, b) => Ok(Prop::Incl(lift_expr(a, schema)?, lift_expr(b, schema)?)),
+        Formula::Equal(a, b) => Ok(Prop::Eq(lift_expr(a, schema)?, lift_expr(b, schema)?)),
+        Formula::No(a) => {
+            // Recognize the irreflexive/acyclic desugarings.
+            if let Expr::Intersect(l, r) = &**a {
+                if matches!(&**l, Expr::Iden) {
+                    if let Expr::Closure(inner) = &**r {
+                        return Ok(Prop::Acyclic(lift_expr(inner, schema)?));
+                    }
+                    return Ok(Prop::Irreflexive(lift_expr(r, schema)?));
+                }
+            }
+            Ok(Prop::IsEmpty(lift_expr(a, schema)?))
+        }
+        other => unsupported(format!("{other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::patterns;
+    use relational::schema::rel;
+
+    fn schema() -> (Schema, relational::RelId, relational::RelId) {
+        let mut s = Schema::new();
+        let rf = s.relation("rf", 2);
+        let cause = s.relation("cause", 2);
+        (s, rf, cause)
+    }
+
+    #[test]
+    fn lifts_the_causality_axiom_shape() {
+        let (schema, rf, cause) = schema();
+        // irreflexive(rf ; cause) — the paper's Causality axiom shape.
+        let f = patterns::irreflexive(&rel(rf).join(&rel(cause)));
+        let p = lift_formula(&f, &schema).unwrap();
+        assert_eq!(
+            p,
+            Prop::Irreflexive(Term::atom("rf").comp(&Term::atom("cause")))
+        );
+    }
+
+    #[test]
+    fn lifts_acyclicity() {
+        let (schema, rf, cause) = schema();
+        let f = patterns::acyclic(&rel(rf).union(&rel(cause)));
+        let p = lift_formula(&f, &schema).unwrap();
+        assert_eq!(
+            p,
+            Prop::Acyclic(Term::atom("rf").union(&Term::atom("cause")))
+        );
+    }
+
+    #[test]
+    fn lifts_subset_and_no() {
+        let (schema, rf, cause) = schema();
+        let f = rel(rf).closure().in_(&rel(cause).reflexive_closure());
+        let p = lift_formula(&f, &schema).unwrap();
+        assert_eq!(
+            p,
+            Prop::Incl(
+                Term::atom("rf").closure(),
+                Term::atom("cause").reflexive_closure()
+            )
+        );
+        let g = rel(rf).intersect(&rel(cause)).no();
+        assert_eq!(
+            lift_formula(&g, &schema).unwrap(),
+            Prop::IsEmpty(Term::atom("rf").inter(&Term::atom("cause")))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_fragment_constructs() {
+        let (schema, rf, _) = schema();
+        assert!(lift_formula(&rel(rf).some(), &schema).is_err());
+        let mut s2 = Schema::new();
+        let unary = s2.relation("s", 1);
+        assert!(lift_expr(&rel(unary), &s2).is_err());
+    }
+
+    /// Round trip: lifting then compiling back (crate::compile) gives a
+    /// formula equivalent to the original under the ground evaluator.
+    #[test]
+    fn lift_then_compile_roundtrip() {
+        use crate::compile::{compile_prop, Env};
+        use relational::{eval_formula, Instance, TupleSet};
+
+        let (schema, rf, cause) = schema();
+        let original = patterns::irreflexive(&rel(rf).join(&rel(cause)));
+        let lifted = lift_formula(&original, &schema).unwrap();
+        let mut env = Env::new();
+        env.insert("rf".into(), rf);
+        env.insert("cause".into(), cause);
+        let recompiled = compile_prop(&lifted, &env).unwrap();
+
+        // Compare on a few concrete instances.
+        for pairs in [vec![(0u32, 1u32)], vec![(0, 1), (1, 0)], vec![]] {
+            let mut inst = Instance::empty(&schema, 3);
+            inst.set(rf, TupleSet::from_pairs(pairs.iter().copied()));
+            inst.set(cause, TupleSet::from_pairs([(1, 0)]));
+            let a = eval_formula(&schema, &inst, &original).unwrap();
+            let b = eval_formula(&schema, &inst, &recompiled).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! `alloqc` in reverse: compiling kernel terms into the bounded
+//! relational language.
+//!
+//! The paper's `alloqc` compiles Alloy models into Coq so that the same
+//! definitions drive both empirical testing and proof. We close the same
+//! loop in the other direction: kernel [`Term`]s/[`Prop`]s compile into
+//! `relational` expressions/formulas, so every *axiom* of a proof theory
+//! can be checked empirically (on concrete executions or with the bounded
+//! model finder), and every *inference rule* of the kernel is
+//! property-tested for semantic soundness.
+
+use std::collections::BTreeMap;
+
+use relational::{Expr, Formula, RelId};
+
+use crate::term::{Prop, Term};
+
+/// The environment mapping atom names to declared relations.
+pub type Env = BTreeMap<String, RelId>;
+
+/// An unbound atom name encountered during compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnboundAtom(pub String);
+
+impl std::fmt::Display for UnboundAtom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unbound relation atom `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnboundAtom {}
+
+/// Compiles a kernel term to a bounded relational expression.
+///
+/// # Errors
+///
+/// Fails on atom names missing from `env`.
+pub fn compile_term(term: &Term, env: &Env) -> Result<Expr, UnboundAtom> {
+    Ok(match term {
+        Term::Atom(n) => Expr::Rel(*env.get(n).ok_or_else(|| UnboundAtom(n.clone()))?),
+        Term::Empty => Expr::None(2),
+        Term::Iden => Expr::Iden,
+        Term::Univ => Expr::Univ.product(&Expr::Univ),
+        Term::Union(a, b) => compile_term(a, env)?.union(&compile_term(b, env)?),
+        Term::Inter(a, b) => compile_term(a, env)?.intersect(&compile_term(b, env)?),
+        Term::Diff(a, b) => compile_term(a, env)?.difference(&compile_term(b, env)?),
+        Term::Comp(a, b) => compile_term(a, env)?.join(&compile_term(b, env)?),
+        Term::Transpose(a) => compile_term(a, env)?.transpose(),
+        Term::Closure(a) => compile_term(a, env)?.closure(),
+    })
+}
+
+/// Compiles a kernel proposition to a bounded relational formula.
+///
+/// # Errors
+///
+/// Fails on atom names missing from `env`.
+pub fn compile_prop(prop: &Prop, env: &Env) -> Result<Formula, UnboundAtom> {
+    Ok(match prop {
+        Prop::Incl(a, b) => compile_term(a, env)?.in_(&compile_term(b, env)?),
+        Prop::Eq(a, b) => compile_term(a, env)?.equal(&compile_term(b, env)?),
+        Prop::Irreflexive(a) => relational::patterns::irreflexive(&compile_term(a, env)?),
+        Prop::Acyclic(a) => relational::patterns::acyclic(&compile_term(a, env)?),
+        Prop::IsEmpty(a) => compile_term(a, env)?.no(),
+    })
+}
+
+/// Evaluates a proposition on a concrete instance — the bridge used to
+/// validate proof-theory axioms against enumerated executions.
+///
+/// # Errors
+///
+/// Fails on unbound atoms or relational type errors.
+pub fn eval_prop(
+    prop: &Prop,
+    env: &Env,
+    schema: &relational::Schema,
+    instance: &relational::Instance,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let f = compile_prop(prop, env)?;
+    Ok(relational::eval_formula(schema, instance, &f)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{Instance, Schema, TupleSet};
+
+    fn setup() -> (Schema, Env, Instance) {
+        let mut schema = Schema::new();
+        let mut env = Env::new();
+        env.insert("r".into(), schema.relation("r", 2));
+        env.insert("s".into(), schema.relation("s", 2));
+        let mut inst = Instance::empty(&schema, 4);
+        inst.set(env["r"], TupleSet::from_pairs([(0, 1), (1, 2)]));
+        inst.set(env["s"], TupleSet::from_pairs([(0, 1), (1, 2), (0, 2)]));
+        (schema, env, inst)
+    }
+
+    #[test]
+    fn compile_and_eval() {
+        let (schema, env, inst) = setup();
+        let r = Term::atom("r");
+        let s = Term::atom("s");
+        assert!(eval_prop(&Prop::Incl(r.clone(), s.clone()), &env, &schema, &inst).unwrap());
+        assert!(!eval_prop(&Prop::Incl(s.clone(), r.clone()), &env, &schema, &inst).unwrap());
+        assert!(eval_prop(
+            &Prop::Eq(r.closure(), s.clone()),
+            &env,
+            &schema,
+            &inst
+        )
+        .unwrap());
+        assert!(eval_prop(&Prop::Acyclic(r.clone()), &env, &schema, &inst).unwrap());
+        assert!(eval_prop(&Prop::Irreflexive(r.comp(&s)), &env, &schema, &inst).unwrap());
+        assert!(eval_prop(&Prop::IsEmpty(r.diff(&s)), &env, &schema, &inst).unwrap());
+    }
+
+    #[test]
+    fn unbound_atom_errors() {
+        let (_, env, _) = setup();
+        assert!(compile_term(&Term::atom("missing"), &env).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Derived inference rules ("tactics") built on the kernel primitives.
+//!
+//! Nothing here extends the trusted base: every function merely composes
+//! kernel rules, so a bug in this module can cause proof *failures* but
+//! never unsound theorems.
+
+use crate::kernel::{
+    acyclic_closure_irreflexive, closure_contains, empty_sub, incl_trans, inter_lb_left,
+    irreflexive_sub, irreflexive_to_empty, union_lub, ProofError, Theorem, Theory,
+};
+use crate::term::{Prop, Term};
+
+/// From `acyclic(r)`: `⊢ irreflexive(r)` (via `r ⊆ r⁺`).
+pub fn irreflexive_of_acyclic(theory: &Theory, acyclic: &Theorem) -> Result<Theorem, ProofError> {
+    let r = match acyclic.prop() {
+        Prop::Acyclic(r) => r.clone(),
+        other => return Err(ProofError(format!("expected acyclic, got {other}"))),
+    };
+    let irr_closure = acyclic_closure_irreflexive(acyclic)?;
+    let contains = closure_contains(theory, r);
+    irreflexive_sub(&contains, &irr_closure)
+}
+
+/// Chains a sequence of inclusions `a ⊆ b ⊆ … ⊆ z` into `⊢ a ⊆ z`.
+pub fn incl_chain(thms: &[&Theorem]) -> Result<Theorem, ProofError> {
+    let (first, rest) = thms
+        .split_first()
+        .ok_or_else(|| ProofError("incl_chain needs at least one theorem".into()))?;
+    let mut acc = (*first).clone();
+    for t in rest {
+        acc = incl_trans(&acc, t)?;
+    }
+    Ok(acc)
+}
+
+/// Folds `union_lub` over many inclusions into a common superset:
+/// from `a₁ ⊆ c, …, aₙ ⊆ c`: `⊢ a₁ ∪ … ∪ aₙ ⊆ c` (left-nested unions).
+pub fn union_lub_all(thms: &[&Theorem]) -> Result<Theorem, ProofError> {
+    let (first, rest) = thms
+        .split_first()
+        .ok_or_else(|| ProofError("union_lub_all needs at least one theorem".into()))?;
+    let mut acc = (*first).clone();
+    for t in rest {
+        acc = union_lub(&acc, t)?;
+    }
+    Ok(acc)
+}
+
+/// From `irreflexive(r)`: `⊢ empty(iden ∩ (r' ∩ r))`-style corollaries are
+/// often needed through an inclusion first; this tactic goes straight
+/// from `s ⊆ r` and `irreflexive(r)` to `⊢ empty(iden ∩ s)`.
+pub fn empty_diagonal_of_sub(
+    sub: &Theorem,
+    irreflexive: &Theorem,
+) -> Result<Theorem, ProofError> {
+    let irr_s = irreflexive_sub(sub, irreflexive)?;
+    irreflexive_to_empty(&irr_s)
+}
+
+/// From `empty(b)` and `a ⊆ b ∩ c` (given as `a ⊆ b` via weakening):
+/// directly `a ∩ c ⊆ b` then emptiness. Convenience for the common
+/// "intersect then kill" step.
+pub fn empty_of_inter_left(
+    theory: &Theory,
+    a: Term,
+    b: Term,
+    empty_a: &Theorem,
+) -> Result<Theorem, ProofError> {
+    let lb = inter_lb_left(theory, a, b);
+    empty_sub(&lb, empty_a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Prop;
+
+    fn theory() -> (Theory, Term, Term, Term) {
+        let a = Term::atom("a");
+        let b = Term::atom("b");
+        let c = Term::atom("c");
+        let mut th = Theory::new("derived-tests");
+        th.add_axiom("ab", Prop::Incl(a.clone(), b.clone()));
+        th.add_axiom("bc", Prop::Incl(b.clone(), c.clone()));
+        th.add_axiom("acy_c", Prop::Acyclic(c.clone()));
+        th.add_axiom("empty_a", Prop::IsEmpty(a.clone()));
+        (th, a, b, c)
+    }
+
+    #[test]
+    fn chain_and_lub() {
+        let (th, a, _, c) = theory();
+        let ab = th.axiom("ab").unwrap();
+        let bc = th.axiom("bc").unwrap();
+        let ac = incl_chain(&[&ab, &bc]).unwrap();
+        assert_eq!(*ac.prop(), Prop::Incl(a.clone(), c.clone()));
+
+        // a ⊆ c and b ⊆ c give a ∪ b ⊆ c.
+        let bc2 = th.axiom("bc").unwrap();
+        let lub = union_lub_all(&[&ac, &bc2]).unwrap();
+        assert_eq!(
+            *lub.prop(),
+            Prop::Incl(a.union(&Term::atom("b")), c.clone())
+        );
+    }
+
+    #[test]
+    fn acyclic_to_irreflexive_to_empty_diag() {
+        let (th, a, _, c) = theory();
+        let acy = th.axiom("acy_c").unwrap();
+        let irr = irreflexive_of_acyclic(&th, &acy).unwrap();
+        assert_eq!(*irr.prop(), Prop::Irreflexive(c.clone()));
+
+        let ab = th.axiom("ab").unwrap();
+        let bc = th.axiom("bc").unwrap();
+        let ac = incl_chain(&[&ab, &bc]).unwrap();
+        let empty_diag = empty_diagonal_of_sub(&ac, &irr).unwrap();
+        assert_eq!(
+            *empty_diag.prop(),
+            Prop::IsEmpty(Term::Iden.inter(&a))
+        );
+    }
+
+    #[test]
+    fn inter_then_kill() {
+        let (th, a, b, _) = theory();
+        let empty_a = th.axiom("empty_a").unwrap();
+        let t = empty_of_inter_left(&th, a.clone(), b.clone(), &empty_a).unwrap();
+        assert_eq!(*t.prop(), Prop::IsEmpty(a.inter(&b)));
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(incl_chain(&[]).is_err());
+        assert!(union_lub_all(&[]).is_err());
+    }
+}

@@ -1,0 +1,540 @@
+//! The LCF-style proof kernel.
+//!
+//! A [`Theorem`] can only be produced by the inference-rule constructors
+//! in this module (its fields are private and there is no other public
+//! constructor), so any value of type `Theorem` is evidence of a valid
+//! derivation from its theory's axioms — the same discipline Coq's kernel
+//! enforces in the paper's proof development. Soundness of each rule with
+//! respect to the relational semantics is property-tested in
+//! `crate::compile`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::term::{Prop, Term};
+
+static NEXT_THEORY_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A named collection of axioms. Theorems are tied to the theory they
+/// were derived in and cannot be mixed across theories.
+#[derive(Debug)]
+pub struct Theory {
+    id: u64,
+    name: String,
+    axioms: BTreeMap<String, Prop>,
+}
+
+impl Theory {
+    /// Creates an empty theory.
+    pub fn new(name: &str) -> Theory {
+        Theory {
+            id: NEXT_THEORY_ID.fetch_add(1, Ordering::Relaxed),
+            name: name.to_string(),
+            axioms: BTreeMap::new(),
+        }
+    }
+
+    /// The theory's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an axiom. Axioms are trusted; everything else is derived.
+    pub fn add_axiom(&mut self, name: &str, prop: Prop) {
+        self.axioms.insert(name.to_string(), prop);
+    }
+
+    /// The axioms, for external (e.g. empirical) validation.
+    pub fn axioms(&self) -> impl Iterator<Item = (&str, &Prop)> {
+        self.axioms.iter().map(|(n, p)| (n.as_str(), p))
+    }
+
+    /// Produces the theorem for a named axiom.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no axiom has that name.
+    pub fn axiom(&self, name: &str) -> Result<Theorem, ProofError> {
+        let prop = self
+            .axioms
+            .get(name)
+            .ok_or_else(|| ProofError(format!("unknown axiom `{name}`")))?;
+        Ok(Theorem {
+            theory: self.id,
+            prop: prop.clone(),
+        })
+    }
+}
+
+/// A proved proposition. Constructible only through the kernel rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Theorem {
+    theory: u64,
+    prop: Prop,
+}
+
+impl Theorem {
+    /// The proposition this theorem establishes.
+    pub fn prop(&self) -> &Prop {
+        &self.prop
+    }
+}
+
+impl std::fmt::Display for Theorem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⊢ {}", self.prop)
+    }
+}
+
+/// A failed rule application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofError(pub String);
+
+impl std::fmt::Display for ProofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "proof error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ProofError> {
+    Err(ProofError(msg.into()))
+}
+
+fn same_theory(a: &Theorem, b: &Theorem) -> Result<u64, ProofError> {
+    if a.theory != b.theory {
+        return err("theorems from different theories cannot be combined");
+    }
+    Ok(a.theory)
+}
+
+fn mk(theory: u64, prop: Prop) -> Theorem {
+    Theorem { theory, prop }
+}
+
+// ---------------------------------------------------------------------
+// Inclusion rules
+// ---------------------------------------------------------------------
+
+/// `⊢ a ⊆ a`.
+pub fn incl_refl(theory: &Theory, a: Term) -> Theorem {
+    mk(theory.id, Prop::Incl(a.clone(), a))
+}
+
+/// From `a ⊆ b` and `b ⊆ c`: `⊢ a ⊆ c`.
+pub fn incl_trans(ab: &Theorem, bc: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(ab, bc)?;
+    match (&ab.prop, &bc.prop) {
+        (Prop::Incl(a, b1), Prop::Incl(b2, c)) if b1 == b2 => {
+            Ok(mk(t, Prop::Incl(a.clone(), c.clone())))
+        }
+        _ => err(format!("incl_trans mismatch: {} vs {}", ab.prop, bc.prop)),
+    }
+}
+
+/// `⊢ a ⊆ a ∪ b`.
+pub fn union_ub_left(theory: &Theory, a: Term, b: Term) -> Theorem {
+    mk(theory.id, Prop::Incl(a.clone(), a.union(&b)))
+}
+
+/// `⊢ b ⊆ a ∪ b`.
+pub fn union_ub_right(theory: &Theory, a: Term, b: Term) -> Theorem {
+    mk(theory.id, Prop::Incl(b.clone(), a.union(&b)))
+}
+
+/// From `a ⊆ c` and `b ⊆ c`: `⊢ a ∪ b ⊆ c`.
+pub fn union_lub(ac: &Theorem, bc: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(ac, bc)?;
+    match (&ac.prop, &bc.prop) {
+        (Prop::Incl(a, c1), Prop::Incl(b, c2)) if c1 == c2 => {
+            Ok(mk(t, Prop::Incl(a.union(b), c1.clone())))
+        }
+        _ => err(format!("union_lub mismatch: {} vs {}", ac.prop, bc.prop)),
+    }
+}
+
+/// From `a ⊆ a'` and `b ⊆ b'`: `⊢ a ∪ b ⊆ a' ∪ b'`.
+pub fn union_mono(aa: &Theorem, bb: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(aa, bb)?;
+    match (&aa.prop, &bb.prop) {
+        (Prop::Incl(a, a2), Prop::Incl(b, b2)) => {
+            Ok(mk(t, Prop::Incl(a.union(b), a2.union(b2))))
+        }
+        _ => err("union_mono expects two inclusions"),
+    }
+}
+
+/// `⊢ a ∩ b ⊆ a`.
+pub fn inter_lb_left(theory: &Theory, a: Term, b: Term) -> Theorem {
+    mk(theory.id, Prop::Incl(a.inter(&b), a))
+}
+
+/// `⊢ a ∩ b ⊆ b`.
+pub fn inter_lb_right(theory: &Theory, a: Term, b: Term) -> Theorem {
+    mk(theory.id, Prop::Incl(a.inter(&b), b))
+}
+
+/// From `c ⊆ a` and `c ⊆ b`: `⊢ c ⊆ a ∩ b`.
+pub fn inter_glb(ca: &Theorem, cb: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(ca, cb)?;
+    match (&ca.prop, &cb.prop) {
+        (Prop::Incl(c1, a), Prop::Incl(c2, b)) if c1 == c2 => {
+            Ok(mk(t, Prop::Incl(c1.clone(), a.inter(b))))
+        }
+        _ => err("inter_glb mismatch"),
+    }
+}
+
+/// From `a ⊆ a'` and `b ⊆ b'`: `⊢ a ∩ b ⊆ a' ∩ b'`.
+pub fn inter_mono(aa: &Theorem, bb: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(aa, bb)?;
+    match (&aa.prop, &bb.prop) {
+        (Prop::Incl(a, a2), Prop::Incl(b, b2)) => {
+            Ok(mk(t, Prop::Incl(a.inter(b), a2.inter(b2))))
+        }
+        _ => err("inter_mono expects two inclusions"),
+    }
+}
+
+/// From `a ⊆ a'` and `b ⊆ b'`: `⊢ a ; b ⊆ a' ; b'`.
+pub fn comp_mono(aa: &Theorem, bb: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(aa, bb)?;
+    match (&aa.prop, &bb.prop) {
+        (Prop::Incl(a, a2), Prop::Incl(b, b2)) => {
+            Ok(mk(t, Prop::Incl(a.comp(b), a2.comp(b2))))
+        }
+        _ => err("comp_mono expects two inclusions"),
+    }
+}
+
+/// From `a ⊆ b`: `⊢ a⁺ ⊆ b⁺`.
+pub fn closure_mono(ab: &Theorem) -> Result<Theorem, ProofError> {
+    match &ab.prop {
+        Prop::Incl(a, b) => Ok(mk(ab.theory, Prop::Incl(a.closure(), b.closure()))),
+        _ => err("closure_mono expects an inclusion"),
+    }
+}
+
+/// `⊢ a ⊆ a⁺`.
+pub fn closure_contains(theory: &Theory, a: Term) -> Theorem {
+    mk(theory.id, Prop::Incl(a.clone(), a.closure()))
+}
+
+/// `⊢ a⁺ ; a⁺ ⊆ a⁺`.
+pub fn closure_trans(theory: &Theory, a: Term) -> Theorem {
+    let c = a.closure();
+    mk(theory.id, Prop::Incl(c.comp(&c), c))
+}
+
+/// Closure induction: from `a ⊆ x` and `x ; x ⊆ x`: `⊢ a⁺ ⊆ x`.
+pub fn closure_least(ax: &Theorem, xx: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(ax, xx)?;
+    match (&ax.prop, &xx.prop) {
+        (Prop::Incl(a, x1), Prop::Incl(xx_comp, x2)) if x1 == x2 => {
+            if *xx_comp != x1.comp(x1) {
+                return err("closure_least: second premise must be x;x ⊆ x");
+            }
+            Ok(mk(t, Prop::Incl(a.closure(), x1.clone())))
+        }
+        _ => err("closure_least mismatch"),
+    }
+}
+
+/// `⊢ (a⁺)⁺ ⊆ a⁺` and containment gives idempotence; provided directly.
+pub fn closure_idem(theory: &Theory, a: Term) -> Theorem {
+    let c = a.closure();
+    mk(theory.id, Prop::Eq(c.closure(), c))
+}
+
+// ---------------------------------------------------------------------
+// Equality rules
+// ---------------------------------------------------------------------
+
+/// From `a = b`: `⊢ a ⊆ b`.
+pub fn eq_incl_fwd(ab: &Theorem) -> Result<Theorem, ProofError> {
+    match &ab.prop {
+        Prop::Eq(a, b) => Ok(mk(ab.theory, Prop::Incl(a.clone(), b.clone()))),
+        _ => err("eq_incl_fwd expects an equality"),
+    }
+}
+
+/// From `a = b`: `⊢ b ⊆ a`.
+pub fn eq_incl_back(ab: &Theorem) -> Result<Theorem, ProofError> {
+    match &ab.prop {
+        Prop::Eq(a, b) => Ok(mk(ab.theory, Prop::Incl(b.clone(), a.clone()))),
+        _ => err("eq_incl_back expects an equality"),
+    }
+}
+
+/// From `a ⊆ b` and `b ⊆ a`: `⊢ a = b`.
+pub fn incl_antisym(ab: &Theorem, ba: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(ab, ba)?;
+    match (&ab.prop, &ba.prop) {
+        (Prop::Incl(a1, b1), Prop::Incl(b2, a2)) if a1 == a2 && b1 == b2 => {
+            Ok(mk(t, Prop::Eq(a1.clone(), b1.clone())))
+        }
+        _ => err("incl_antisym mismatch"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Irreflexivity / acyclicity / emptiness rules
+// ---------------------------------------------------------------------
+
+/// From `a ⊆ b` and `irreflexive(b)`: `⊢ irreflexive(a)`.
+pub fn irreflexive_sub(ab: &Theorem, irr_b: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(ab, irr_b)?;
+    match (&ab.prop, &irr_b.prop) {
+        (Prop::Incl(a, b1), Prop::Irreflexive(b2)) if b1 == b2 => {
+            Ok(mk(t, Prop::Irreflexive(a.clone())))
+        }
+        _ => err(format!(
+            "irreflexive_sub mismatch: {} vs {}",
+            ab.prop, irr_b.prop
+        )),
+    }
+}
+
+/// From `a ⊆ b` and `acyclic(b)`: `⊢ acyclic(a)`.
+pub fn acyclic_sub(ab: &Theorem, acy_b: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(ab, acy_b)?;
+    match (&ab.prop, &acy_b.prop) {
+        (Prop::Incl(a, b1), Prop::Acyclic(b2)) if b1 == b2 => {
+            Ok(mk(t, Prop::Acyclic(a.clone())))
+        }
+        _ => err("acyclic_sub mismatch"),
+    }
+}
+
+/// From `acyclic(a)`: `⊢ irreflexive(a⁺)`.
+pub fn acyclic_closure_irreflexive(acy: &Theorem) -> Result<Theorem, ProofError> {
+    match &acy.prop {
+        Prop::Acyclic(a) => Ok(mk(acy.theory, Prop::Irreflexive(a.closure()))),
+        _ => err("expects acyclic"),
+    }
+}
+
+/// From `irreflexive(a⁺)`: `⊢ acyclic(a)`.
+pub fn irreflexive_closure_acyclic(irr: &Theorem) -> Result<Theorem, ProofError> {
+    match &irr.prop {
+        Prop::Irreflexive(Term::Closure(a)) => {
+            Ok(mk(irr.theory, Prop::Acyclic((**a).clone())))
+        }
+        _ => err("expects irreflexive of a closure"),
+    }
+}
+
+/// From `irreflexive(a ; b)`: `⊢ irreflexive(b ; a)` (cycle rotation).
+pub fn irreflexive_rotate(irr: &Theorem) -> Result<Theorem, ProofError> {
+    match &irr.prop {
+        Prop::Irreflexive(Term::Comp(a, b)) => Ok(mk(
+            irr.theory,
+            Prop::Irreflexive(b.comp(a)),
+        )),
+        _ => err("irreflexive_rotate expects irreflexive(a ; b)"),
+    }
+}
+
+/// From `irreflexive(a)` and `irreflexive(b)`: `⊢ irreflexive(a ∪ b)`.
+pub fn irreflexive_union(ia: &Theorem, ib: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(ia, ib)?;
+    match (&ia.prop, &ib.prop) {
+        (Prop::Irreflexive(a), Prop::Irreflexive(b)) => {
+            Ok(mk(t, Prop::Irreflexive(a.union(b))))
+        }
+        _ => err("irreflexive_union expects two irreflexivity facts"),
+    }
+}
+
+/// From `irreflexive(a)`: `⊢ empty(iden ∩ a)`.
+pub fn irreflexive_to_empty(irr: &Theorem) -> Result<Theorem, ProofError> {
+    match &irr.prop {
+        Prop::Irreflexive(a) => Ok(mk(
+            irr.theory,
+            Prop::IsEmpty(Term::Iden.inter(a)),
+        )),
+        _ => err("expects irreflexive"),
+    }
+}
+
+/// From `empty(iden ∩ a)`: `⊢ irreflexive(a)`.
+pub fn empty_to_irreflexive(e: &Theorem) -> Result<Theorem, ProofError> {
+    match &e.prop {
+        Prop::IsEmpty(Term::Inter(i, a)) if **i == Term::Iden => {
+            Ok(mk(e.theory, Prop::Irreflexive((**a).clone())))
+        }
+        _ => err("expects empty(iden ∩ a)"),
+    }
+}
+
+/// From `a ⊆ b` and `empty(b)`: `⊢ empty(a)`.
+pub fn empty_sub(ab: &Theorem, eb: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(ab, eb)?;
+    match (&ab.prop, &eb.prop) {
+        (Prop::Incl(a, b1), Prop::IsEmpty(b2)) if b1 == b2 => {
+            Ok(mk(t, Prop::IsEmpty(a.clone())))
+        }
+        _ => err(format!("empty_sub mismatch: {} vs {}", ab.prop, eb.prop)),
+    }
+}
+
+/// From `empty(a)`: `⊢ empty(a ; b)`.
+pub fn empty_comp_left(ea: &Theorem, b: Term) -> Result<Theorem, ProofError> {
+    match &ea.prop {
+        Prop::IsEmpty(a) => Ok(mk(ea.theory, Prop::IsEmpty(a.comp(&b)))),
+        _ => err("expects empty"),
+    }
+}
+
+/// From `empty(b)`: `⊢ empty(a ; b)`.
+pub fn empty_comp_right(eb: &Theorem, a: Term) -> Result<Theorem, ProofError> {
+    match &eb.prop {
+        Prop::IsEmpty(b) => Ok(mk(eb.theory, Prop::IsEmpty(a.comp(b)))),
+        _ => err("expects empty"),
+    }
+}
+
+/// From `empty(a)` and `empty(b)`: `⊢ empty(a ∪ b)`.
+pub fn empty_union(ea: &Theorem, eb: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(ea, eb)?;
+    match (&ea.prop, &eb.prop) {
+        (Prop::IsEmpty(a), Prop::IsEmpty(b)) => Ok(mk(t, Prop::IsEmpty(a.union(b)))),
+        _ => err("expects two emptiness facts"),
+    }
+}
+
+/// From `empty(a)`: `⊢ irreflexive(a)` (the empty relation is
+/// irreflexive).
+pub fn empty_irreflexive(ea: &Theorem) -> Result<Theorem, ProofError> {
+    match &ea.prop {
+        Prop::IsEmpty(a) => Ok(mk(ea.theory, Prop::Irreflexive(a.clone()))),
+        _ => err("expects empty"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distribution / algebra equalities (schematic, sound for all relations)
+// ---------------------------------------------------------------------
+
+/// `⊢ a ; (b ∪ c) = (a ; b) ∪ (a ; c)`.
+pub fn comp_union_dist_left(theory: &Theory, a: Term, b: Term, c: Term) -> Theorem {
+    mk(
+        theory.id,
+        Prop::Eq(a.comp(&b.union(&c)), a.comp(&b).union(&a.comp(&c))),
+    )
+}
+
+/// `⊢ (a ∪ b) ; c = (a ; c) ∪ (b ; c)`.
+pub fn comp_union_dist_right(theory: &Theory, a: Term, b: Term, c: Term) -> Theorem {
+    mk(
+        theory.id,
+        Prop::Eq(a.union(&b).comp(&c), a.comp(&c).union(&b.comp(&c))),
+    )
+}
+
+/// `⊢ (a ; b) ; c = a ; (b ; c)`.
+pub fn comp_assoc(theory: &Theory, a: Term, b: Term, c: Term) -> Theorem {
+    mk(
+        theory.id,
+        Prop::Eq(a.comp(&b).comp(&c), a.comp(&b.comp(&c))),
+    )
+}
+
+/// `⊢ iden ; a = a`.
+pub fn comp_iden_left(theory: &Theory, a: Term) -> Theorem {
+    mk(theory.id, Prop::Eq(Term::Iden.comp(&a), a))
+}
+
+/// `⊢ a ; iden = a`.
+pub fn comp_iden_right(theory: &Theory, a: Term) -> Theorem {
+    mk(theory.id, Prop::Eq(a.comp(&Term::Iden), a))
+}
+
+/// Congruence: from `a = b`, rewrite `a` to `b` inside an inclusion's
+/// left-hand side: from `a = b` and `a ⊆ c`: `⊢ b ⊆ c`.
+pub fn rewrite_incl_left(eq: &Theorem, incl: &Theorem) -> Result<Theorem, ProofError> {
+    let t = same_theory(eq, incl)?;
+    match (&eq.prop, &incl.prop) {
+        (Prop::Eq(a, b), Prop::Incl(a2, c)) if a == a2 => {
+            Ok(mk(t, Prop::Incl(b.clone(), c.clone())))
+        }
+        _ => err("rewrite_incl_left mismatch"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theory_with(axioms: &[(&str, Prop)]) -> Theory {
+        let mut t = Theory::new("test");
+        for (n, p) in axioms {
+            t.add_axiom(n, p.clone());
+        }
+        t
+    }
+
+    #[test]
+    fn axioms_and_transitivity() {
+        let a = Term::atom("a");
+        let b = Term::atom("b");
+        let c = Term::atom("c");
+        let th = theory_with(&[
+            ("ab", Prop::Incl(a.clone(), b.clone())),
+            ("bc", Prop::Incl(b.clone(), c.clone())),
+        ]);
+        let t1 = th.axiom("ab").unwrap();
+        let t2 = th.axiom("bc").unwrap();
+        let t3 = incl_trans(&t1, &t2).unwrap();
+        assert_eq!(*t3.prop(), Prop::Incl(a, c));
+        assert!(th.axiom("missing").is_err());
+    }
+
+    #[test]
+    fn mismatched_rules_fail() {
+        let a = Term::atom("a");
+        let b = Term::atom("b");
+        let th = theory_with(&[
+            ("ab", Prop::Incl(a.clone(), b.clone())),
+            ("irr_a", Prop::Irreflexive(a.clone())),
+        ]);
+        let ab = th.axiom("ab").unwrap();
+        let irr_a = th.axiom("irr_a").unwrap();
+        // a ⊆ b with irreflexive(a) does not give irreflexive of anything
+        // via irreflexive_sub (needs irreflexive of the superset).
+        assert!(irreflexive_sub(&ab, &irr_a).is_err());
+    }
+
+    #[test]
+    fn theories_do_not_mix() {
+        let a = Term::atom("a");
+        let b = Term::atom("b");
+        let th1 = theory_with(&[("ab", Prop::Incl(a.clone(), b.clone()))]);
+        let th2 = theory_with(&[("bc", Prop::Incl(b.clone(), a.clone()))]);
+        let t1 = th1.axiom("ab").unwrap();
+        let t2 = th2.axiom("bc").unwrap();
+        assert!(incl_trans(&t1, &t2).is_err());
+    }
+
+    #[test]
+    fn acyclicity_pipeline() {
+        let r = Term::atom("r");
+        let th = theory_with(&[("acy", Prop::Acyclic(r.clone()))]);
+        let acy = th.axiom("acy").unwrap();
+        let irr_plus = acyclic_closure_irreflexive(&acy).unwrap();
+        let contains = closure_contains(&th, r.clone());
+        let irr = irreflexive_sub(&contains, &irr_plus).unwrap();
+        assert_eq!(*irr.prop(), Prop::Irreflexive(r));
+    }
+
+    #[test]
+    fn rotation() {
+        let a = Term::atom("a");
+        let b = Term::atom("b");
+        let th = theory_with(&[("irr", Prop::Irreflexive(a.comp(&b)))]);
+        let irr = th.axiom("irr").unwrap();
+        let rot = irreflexive_rotate(&irr).unwrap();
+        assert_eq!(*rot.prop(), Prop::Irreflexive(b.comp(&a)));
+    }
+}

@@ -1,0 +1,44 @@
+//! An LCF-style proof kernel for relational algebra, with machine-checked
+//! proofs of the paper's mapping-soundness theorems.
+//!
+//! The reproduced paper pairs bounded empirical testing (Alloy/Kodkod)
+//! with unbounded machine-checked proof (Coq, via the `alloqc` compiler).
+//! This crate is the proof half of that workflow:
+//!
+//! * [`term`]: relational-algebra terms and propositions over an
+//!   *unbounded* universe;
+//! * [`kernel`]: the trusted core — a [`kernel::Theorem`] can only be
+//!   built by the inference-rule constructors, so possessing one is
+//!   possessing a checked derivation;
+//! * [`compile`]: the `alloqc` bridge — kernel terms compile into the
+//!   bounded relational language so theory *axioms* can be validated
+//!   empirically and kernel *rules* can be property-tested for semantic
+//!   soundness;
+//! * [`theorems`]: the mapping-soundness theory and complete proof
+//!   scripts for the paper's Theorems 1–3 (RC11 Coherence, Atomicity, and
+//!   SC are satisfied by the Figure 11 compilation of race-free
+//!   programs).
+//!
+//! # Examples
+//!
+//! ```
+//! use proofkernel::theorems::{mapping_theory, theorem_1_coherence};
+//!
+//! let (theory, atoms) = mapping_theory();
+//! let theorem = theorem_1_coherence(&theory, &atoms)?;
+//! println!("{theorem}"); // ⊢ irreflexive((hb ∪ (hb ; eco)))
+//! # Ok::<(), proofkernel::kernel::ProofError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alloqc;
+pub mod compile;
+pub mod derived;
+pub mod kernel;
+pub mod term;
+pub mod theorems;
+
+pub use compile::{compile_prop, compile_term, eval_prop, Env};
+pub use kernel::{ProofError, Theorem, Theory};
+pub use term::{Prop, Term};

@@ -1,0 +1,138 @@
+//! Terms of the relational algebra over an unbounded universe.
+//!
+//! Unlike the bounded `relational` crate, these terms denote binary
+//! relations over an *arbitrary* set of events — the kernel's theorems
+//! therefore hold for programs of any size, which is exactly the leap the
+//! paper makes from Alloy (bounded) to Coq (unbounded).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A binary-relation term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A named relation variable (e.g. `"po"`, `"hb"`).
+    Atom(String),
+    /// The empty relation.
+    Empty,
+    /// The identity relation.
+    Iden,
+    /// The full relation.
+    Univ,
+    /// Union.
+    Union(Arc<Term>, Arc<Term>),
+    /// Intersection.
+    Inter(Arc<Term>, Arc<Term>),
+    /// Difference.
+    Diff(Arc<Term>, Arc<Term>),
+    /// Relational composition (`;`).
+    Comp(Arc<Term>, Arc<Term>),
+    /// Transpose (`~`).
+    Transpose(Arc<Term>),
+    /// Irreflexive transitive closure (`⁺`).
+    Closure(Arc<Term>),
+}
+
+impl Term {
+    /// A named relation variable.
+    pub fn atom(name: &str) -> Term {
+        Term::Atom(name.to_string())
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &Term) -> Term {
+        Term::Union(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `self ∩ other`.
+    pub fn inter(&self, other: &Term) -> Term {
+        Term::Inter(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `self − other`.
+    pub fn diff(&self, other: &Term) -> Term {
+        Term::Diff(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `self ; other`.
+    pub fn comp(&self, other: &Term) -> Term {
+        Term::Comp(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `~self`.
+    pub fn transpose(&self) -> Term {
+        Term::Transpose(Arc::new(self.clone()))
+    }
+
+    /// `self⁺`.
+    pub fn closure(&self) -> Term {
+        Term::Closure(Arc::new(self.clone()))
+    }
+
+    /// `self?` = `self ∪ iden`.
+    pub fn optional(&self) -> Term {
+        self.union(&Term::Iden)
+    }
+
+    /// `self*` = `self⁺ ∪ iden`.
+    pub fn reflexive_closure(&self) -> Term {
+        self.closure().union(&Term::Iden)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Atom(n) => write!(f, "{n}"),
+            Term::Empty => write!(f, "∅"),
+            Term::Iden => write!(f, "iden"),
+            Term::Univ => write!(f, "univ"),
+            Term::Union(a, b) => write!(f, "({a} ∪ {b})"),
+            Term::Inter(a, b) => write!(f, "({a} ∩ {b})"),
+            Term::Diff(a, b) => write!(f, "({a} − {b})"),
+            Term::Comp(a, b) => write!(f, "({a} ; {b})"),
+            Term::Transpose(a) => write!(f, "~{a}"),
+            Term::Closure(a) => write!(f, "{a}⁺"),
+        }
+    }
+}
+
+/// A proposition about relations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Prop {
+    /// `a ⊆ b`.
+    Incl(Term, Term),
+    /// `a = b`.
+    Eq(Term, Term),
+    /// `a` has no reflexive pair.
+    Irreflexive(Term),
+    /// `a⁺` has no reflexive pair.
+    Acyclic(Term),
+    /// `a` has no pairs.
+    IsEmpty(Term),
+}
+
+impl fmt::Display for Prop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prop::Incl(a, b) => write!(f, "{a} ⊆ {b}"),
+            Prop::Eq(a, b) => write!(f, "{a} = {b}"),
+            Prop::Irreflexive(a) => write!(f, "irreflexive({a})"),
+            Prop::Acyclic(a) => write!(f, "acyclic({a})"),
+            Prop::IsEmpty(a) => write!(f, "empty({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round() {
+        let t = Term::atom("rf").union(&Term::atom("co")).closure();
+        assert_eq!(format!("{t}"), "(rf ∪ co)⁺");
+        let p = Prop::Irreflexive(Term::atom("hb").comp(&Term::atom("eco").optional()));
+        assert!(format!("{p}").contains("irreflexive"));
+    }
+}

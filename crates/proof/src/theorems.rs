@@ -1,0 +1,286 @@
+//! Machine-checked proofs of the paper's mapping-soundness theorems
+//! (§6.2, Theorems 1–3).
+//!
+//! The theory's axioms come in two groups, mirroring the structure of the
+//! paper's Coq development:
+//!
+//! * **Lowering facts** (`lower_*`, `hb_trans`): how RC11 derived
+//!   relations of the interpreted execution relate to PTX relations of
+//!   the compiled execution under the Figure 11 mapping. These are the
+//!   bridge lemmas the paper establishes from the mapping definition;
+//!   here they are axioms of the theory, and the repository validates
+//!   them *empirically* on every enumerated execution of the compiled
+//!   litmus suite (see `tests/proof_axioms_validated.rs`) — the same
+//!   two-pronged Alloy + Coq discipline the paper advocates.
+//! * **PTX facts** (`ptx_*`): consequences of the PTX axioms for
+//!   consistent executions.
+//!
+//! Given those, the kernel derivations below are complete, checked proofs
+//! of the three RC11 axioms — valid for programs of any size, because the
+//! kernel's algebra is interpreted over arbitrary (unbounded) relations.
+
+use crate::derived::irreflexive_of_acyclic;
+use crate::kernel::{
+    acyclic_sub, comp_mono, empty_comp_left, empty_sub, empty_union, incl_refl, inter_mono,
+    irreflexive_rotate, irreflexive_sub, irreflexive_to_empty, irreflexive_union, ProofError,
+    Theorem, Theory,
+};
+use crate::term::{Prop, Term};
+
+/// The relation atoms of the mapping-soundness theory.
+#[derive(Debug, Clone)]
+pub struct Atoms {
+    /// RC11 happens-before (interpreted execution).
+    pub hb: Term,
+    /// RC11 extended communication order.
+    pub eco: Term,
+    /// RC11 reads-before.
+    pub rb: Term,
+    /// RC11 modification order.
+    pub mo: Term,
+    /// RC11 RMW pairs.
+    pub rmw_c: Term,
+    /// RC11 scope inclusion.
+    pub incl: Term,
+    /// RC11 partial-SC order.
+    pub psc: Term,
+    /// PTX program order.
+    pub po: Term,
+    /// PTX causality order.
+    pub cause: Term,
+    /// PTX reads-from.
+    pub rf: Term,
+    /// PTX coherence order.
+    pub co: Term,
+    /// PTX from-reads.
+    pub fr: Term,
+    /// PTX morally strong from-reads (`ms ∩ fr`).
+    pub ms_fr: Term,
+    /// PTX morally strong coherence (`ms ∩ co`).
+    pub ms_co: Term,
+    /// PTX RMW pairs.
+    pub rmw_p: Term,
+    /// PTX Fence-SC order.
+    pub sc: Term,
+}
+
+impl Atoms {
+    /// The standard atom set.
+    pub fn new() -> Atoms {
+        Atoms {
+            hb: Term::atom("hb"),
+            eco: Term::atom("eco"),
+            rb: Term::atom("rb"),
+            mo: Term::atom("mo"),
+            rmw_c: Term::atom("rmw_c"),
+            incl: Term::atom("incl"),
+            psc: Term::atom("psc"),
+            po: Term::atom("po"),
+            cause: Term::atom("cause"),
+            rf: Term::atom("rf"),
+            co: Term::atom("co"),
+            fr: Term::atom("fr"),
+            ms_fr: Term::atom("ms_fr"),
+            ms_co: Term::atom("ms_co"),
+            rmw_p: Term::atom("rmw_p"),
+            sc: Term::atom("sc"),
+        }
+    }
+
+    /// `po ∪ cause` — the lowering target of `hb`.
+    pub fn po_cause(&self) -> Term {
+        self.po.union(&self.cause)
+    }
+
+    /// `(rf ∪ co ∪ fr)⁺` — the lowering target of `eco`.
+    pub fn comm_closure(&self) -> Term {
+        self.rf.union(&self.co).union(&self.fr).closure()
+    }
+
+    /// The PTX-shaped atomicity violation: `(ms_fr ; ms_co) ∩ rmw_p`.
+    pub fn ptx_atomicity_violation(&self) -> Term {
+        self.ms_fr.comp(&self.ms_co).inter(&self.rmw_p)
+    }
+
+    /// The hb-loop escape case of the Theorem 2 case split:
+    /// `(iden ∩ (hb ; hb)) ; rmw_c`.
+    pub fn hb_loop_case(&self) -> Term {
+        Term::Iden
+            .inter(&self.hb.comp(&self.hb))
+            .comp(&self.rmw_c)
+    }
+}
+
+impl Default for Atoms {
+    fn default() -> Atoms {
+        Atoms::new()
+    }
+}
+
+/// Builds the mapping-soundness theory: lowering facts plus PTX facts.
+pub fn mapping_theory() -> (Theory, Atoms) {
+    let a = Atoms::new();
+    let mut th = Theory::new("ptx-mapping-soundness");
+
+    // Lowering facts (validated empirically on compiled executions).
+    th.add_axiom("lower_hb", Prop::Incl(a.hb.clone(), a.po_cause()));
+    th.add_axiom("lower_eco", Prop::Incl(a.eco.clone(), a.comm_closure()));
+    th.add_axiom("hb_trans", Prop::Incl(a.hb.comp(&a.hb), a.hb.clone()));
+    th.add_axiom(
+        "lower_atomicity",
+        Prop::Incl(
+            a.rmw_c.inter(&a.rb.comp(&a.mo)),
+            a.ptx_atomicity_violation().union(&a.hb_loop_case()),
+        ),
+    );
+    th.add_axiom(
+        "lower_psc",
+        Prop::Incl(a.incl.inter(&a.psc), a.sc.clone()),
+    );
+
+    // PTX facts: consequences of the six axioms for consistent
+    // executions.
+    th.add_axiom("ptx_order", Prop::Acyclic(a.po_cause()));
+    th.add_axiom(
+        "ptx_comm_cause",
+        Prop::Irreflexive(a.comm_closure().comp(&a.po_cause())),
+    );
+    th.add_axiom(
+        "ptx_atomicity",
+        Prop::IsEmpty(a.ptx_atomicity_violation()),
+    );
+    th.add_axiom("ptx_sc_order", Prop::Acyclic(a.sc.clone()));
+
+    (th, a)
+}
+
+/// `irreflexive(po ∪ cause)`, shared by Theorems 1 and 2.
+fn irreflexive_po_cause(th: &Theory, _a: &Atoms) -> Result<Theorem, ProofError> {
+    let acy = th.axiom("ptx_order")?;
+    irreflexive_of_acyclic(th, &acy)
+}
+
+/// **Theorem 1** (paper §6.2): the interpreted execution satisfies RC11
+/// Coherence — `irreflexive(hb ∪ (hb ; eco))`, i.e. `irreflexive(hb ;
+/// eco?)`.
+///
+/// # Errors
+///
+/// Never fails for the standard theory; errors indicate a broken proof
+/// script.
+pub fn theorem_1_coherence(th: &Theory, a: &Atoms) -> Result<Theorem, ProofError> {
+    // hb alone cannot be cyclic: it lowers into po ∪ cause, which is
+    // acyclic in consistent PTX executions.
+    let lower_hb = th.axiom("lower_hb")?;
+    let irr_pc = irreflexive_po_cause(th, a)?;
+    let irr_hb = irreflexive_sub(&lower_hb, &irr_pc)?;
+
+    // hb ; eco lowers into (po ∪ cause) ; (rf ∪ co ∪ fr)⁺, whose
+    // irreflexivity is the rotation of the PTX communication-then-cause
+    // fact (violating SC-per-Location and/or Causality otherwise).
+    let lower_eco = th.axiom("lower_eco")?;
+    let hb_eco_lowered = comp_mono(&lower_hb, &lower_eco)?;
+    let comm_cause = th.axiom("ptx_comm_cause")?;
+    let cause_comm = irreflexive_rotate(&comm_cause)?;
+    let irr_hb_eco = irreflexive_sub(&hb_eco_lowered, &cause_comm)?;
+
+    // Combine the two cases of eco?.
+    irreflexive_union(&irr_hb, &irr_hb_eco)
+}
+
+/// **Theorem 2** (paper §6.2): the interpreted execution satisfies RC11
+/// Atomicity — `empty(rmw_c ∩ (rb ; mo))`.
+///
+/// The case split of the paper's prose (`m` scope-inclusive with the RMW,
+/// or not) is the `lower_atomicity` bridge: an RC11 atomicity violation is
+/// either a PTX-shaped atomicity violation (empty by the PTX Atomicity
+/// axiom) or exhibits an `hb` self-loop (empty because `hb` is
+/// irreflexive, by the Theorem 1 machinery).
+///
+/// # Errors
+///
+/// Never fails for the standard theory.
+pub fn theorem_2_atomicity(th: &Theory, a: &Atoms) -> Result<Theorem, ProofError> {
+    // Case 1 is empty: the PTX Atomicity axiom.
+    let ptx_at = th.axiom("ptx_atomicity")?;
+
+    // Case 2 is empty: hb is irreflexive, so iden ∩ (hb ; hb) ⊆ iden ∩ hb
+    // is empty, and composing with rmw_c keeps it empty.
+    let lower_hb = th.axiom("lower_hb")?;
+    let irr_pc = irreflexive_po_cause(th, a)?;
+    let irr_hb = irreflexive_sub(&lower_hb, &irr_pc)?;
+    let hb_trans = th.axiom("hb_trans")?;
+    let iden_refl = incl_refl(th, Term::Iden);
+    let loop_in_iden_hb = inter_mono(&iden_refl, &hb_trans)?;
+    let empty_iden_hb = irreflexive_to_empty(&irr_hb)?;
+    let empty_loop = empty_sub(&loop_in_iden_hb, &empty_iden_hb)?;
+    let empty_case2 = empty_comp_left(&empty_loop, a.rmw_c.clone())?;
+
+    // The case split covers the violation set.
+    let lower_at = th.axiom("lower_atomicity")?;
+    let empty_cases = empty_union(&ptx_at, &empty_case2)?;
+    empty_sub(&lower_at, &empty_cases)
+}
+
+/// **Theorem 3** (paper §6.2): the interpreted execution satisfies RC11
+/// SC — `acyclic(incl ∩ psc)`.
+///
+/// After the standard leading-fence preconversion, every `incl ∩ psc`
+/// edge lowers to a Fence-SC edge between the corresponding `fence.sc`
+/// instructions; a psc cycle would therefore force a cycle in `sc`, which
+/// is an acyclic partial order.
+///
+/// # Errors
+///
+/// Never fails for the standard theory.
+pub fn theorem_3_sc(th: &Theory, _a: &Atoms) -> Result<Theorem, ProofError> {
+    let lower = th.axiom("lower_psc")?;
+    let sc_order = th.axiom("ptx_sc_order")?;
+    acyclic_sub(&lower, &sc_order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_1_checks() {
+        let (th, a) = mapping_theory();
+        let t = theorem_1_coherence(&th, &a).expect("proof script must check");
+        assert_eq!(
+            *t.prop(),
+            Prop::Irreflexive(a.hb.union(&a.hb.comp(&a.eco)))
+        );
+    }
+
+    #[test]
+    fn theorem_2_checks() {
+        let (th, a) = mapping_theory();
+        let t = theorem_2_atomicity(&th, &a).expect("proof script must check");
+        assert_eq!(
+            *t.prop(),
+            Prop::IsEmpty(a.rmw_c.inter(&a.rb.comp(&a.mo)))
+        );
+    }
+
+    #[test]
+    fn theorem_3_checks() {
+        let (th, a) = mapping_theory();
+        let t = theorem_3_sc(&th, &a).expect("proof script must check");
+        assert_eq!(*t.prop(), Prop::Acyclic(a.incl.inter(&a.psc)));
+    }
+
+    /// Tampering with the proof script breaks it: applying the wrong rule
+    /// or combining the wrong theorems is rejected by the kernel.
+    #[test]
+    fn broken_scripts_fail() {
+        let (th, a) = mapping_theory();
+        // Using lower_psc where an irreflexivity fact is needed.
+        let lower = th.axiom("lower_psc").unwrap();
+        let order = th.axiom("ptx_order").unwrap();
+        // acyclic_sub needs the inclusion's RHS to match the acyclic
+        // relation — sc vs (po ∪ cause) mismatch.
+        assert!(crate::kernel::acyclic_sub(&lower, &order).is_err());
+        let _ = a;
+    }
+}

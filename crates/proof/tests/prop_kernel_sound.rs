@@ -1,0 +1,154 @@
+//! Semantic soundness of the proof kernel: any theorem derivable from
+//! axioms that hold in a concrete instance must itself hold in that
+//! instance. We exercise this by generating random ground relations,
+//! taking all true propositions over them as axioms, deriving theorems
+//! with every kernel rule, and evaluating the conclusions.
+
+use proofkernel::kernel::*;
+use proofkernel::{compile_prop, Env, Prop, Term};
+use proptest::prelude::*;
+use relational::{eval_formula, Instance, Schema, TupleSet};
+
+const UNIVERSE: usize = 4;
+
+fn setup(
+    r_pairs: &[(u32, u32)],
+    s_pairs: &[(u32, u32)],
+) -> (Schema, Env, Instance) {
+    let mut schema = Schema::new();
+    let mut env = Env::new();
+    env.insert("r".into(), schema.relation("r", 2));
+    env.insert("s".into(), schema.relation("s", 2));
+    let mut inst = Instance::empty(&schema, UNIVERSE);
+    inst.set(env["r"], TupleSet::from_pairs(r_pairs.iter().copied()));
+    inst.set(env["s"], TupleSet::from_pairs(s_pairs.iter().copied()));
+    (schema, env, inst)
+}
+
+fn holds(p: &Prop, schema: &Schema, env: &Env, inst: &Instance) -> bool {
+    let f = compile_prop(p, env).expect("atoms bound");
+    eval_formula(schema, inst, &f).expect("well-typed")
+}
+
+/// Adds every candidate proposition about r, s that is true in the
+/// instance as an axiom, so rules can draw on a rich premise pool.
+fn theory_of_instance(schema: &Schema, env: &Env, inst: &Instance) -> (Theory, Vec<Prop>) {
+    let r = Term::atom("r");
+    let s = Term::atom("s");
+    let candidates = vec![
+        Prop::Incl(r.clone(), s.clone()),
+        Prop::Incl(s.clone(), r.clone()),
+        Prop::Incl(r.comp(&s), s.comp(&r)),
+        Prop::Incl(s.comp(&s), s.clone()),
+        Prop::Irreflexive(r.clone()),
+        Prop::Irreflexive(s.clone()),
+        Prop::Irreflexive(r.comp(&s)),
+        Prop::Acyclic(r.clone()),
+        Prop::Acyclic(s.clone()),
+        Prop::Acyclic(r.union(&s)),
+        Prop::IsEmpty(r.inter(&s)),
+        Prop::IsEmpty(r.diff(&s)),
+        Prop::Eq(r.closure(), s.clone()),
+    ];
+    let mut th = Theory::new("instance");
+    let mut included = Vec::new();
+    for (i, c) in candidates.into_iter().enumerate() {
+        if holds(&c, schema, env, inst) {
+            th.add_axiom(&format!("ax{i}"), c.clone());
+            included.push(c);
+        }
+    }
+    (th, included)
+}
+
+fn arb_rel() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..UNIVERSE as u32, 0..UNIVERSE as u32), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Derive with every applicable rule from true axioms; conclusions
+    /// must be true.
+    #[test]
+    fn derived_theorems_hold(r_pairs in arb_rel(), s_pairs in arb_rel()) {
+        let (schema, env, inst) = setup(&r_pairs, &s_pairs);
+        let (th, axioms) = theory_of_instance(&schema, &env, &inst);
+        let r = Term::atom("r");
+        let s = Term::atom("s");
+
+        let mut derived: Vec<Theorem> = Vec::new();
+        // Schematic rules always apply.
+        derived.push(incl_refl(&th, r.clone()));
+        derived.push(union_ub_left(&th, r.clone(), s.clone()));
+        derived.push(union_ub_right(&th, r.clone(), s.clone()));
+        derived.push(inter_lb_left(&th, r.clone(), s.clone()));
+        derived.push(inter_lb_right(&th, r.clone(), s.clone()));
+        derived.push(closure_contains(&th, r.clone()));
+        derived.push(closure_trans(&th, r.union(&s)));
+        derived.push(closure_idem(&th, s.clone()));
+        derived.push(comp_assoc(&th, r.clone(), s.clone(), r.clone()));
+        derived.push(comp_union_dist_left(&th, r.clone(), s.clone(), r.clone()));
+        derived.push(comp_union_dist_right(&th, r.clone(), s.clone(), s.clone()));
+        derived.push(comp_iden_left(&th, r.clone()));
+        derived.push(comp_iden_right(&th, s.clone()));
+
+        // Premise-driven rules: try every pair of axioms. (Axiom names
+        // carry their original candidate indices, which may be sparse.)
+        let named: Vec<Theorem> = (0..13)
+            .filter_map(|i| th.axiom(&format!("ax{i}")).ok())
+            .collect();
+        prop_assert_eq!(named.len(), axioms.len());
+
+        for a in &named {
+            for b in &named {
+                for result in [
+                    incl_trans(a, b),
+                    union_lub(a, b),
+                    union_mono(a, b),
+                    inter_glb(a, b),
+                    inter_mono(a, b),
+                    comp_mono(a, b),
+                    irreflexive_sub(a, b),
+                    acyclic_sub(a, b),
+                    irreflexive_union(a, b),
+                    empty_sub(a, b),
+                    empty_union(a, b),
+                    closure_least(a, b),
+                    incl_antisym(a, b),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    derived.push(result);
+                }
+            }
+            for result in [
+                closure_mono(a),
+                acyclic_closure_irreflexive(a),
+                irreflexive_closure_acyclic(a),
+                irreflexive_rotate(a),
+                irreflexive_to_empty(a),
+                empty_to_irreflexive(a),
+                empty_irreflexive(a),
+                eq_incl_fwd(a),
+                eq_incl_back(a),
+                empty_comp_left(a, s.clone()),
+                empty_comp_right(a, r.clone()),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                derived.push(result);
+            }
+        }
+
+        for thm in &derived {
+            prop_assert!(
+                holds(thm.prop(), &schema, &env, &inst),
+                "unsound derivation: {} (r={r_pairs:?}, s={s_pairs:?})",
+                thm.prop()
+            );
+        }
+    }
+}

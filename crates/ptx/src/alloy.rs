@@ -1,0 +1,553 @@
+//! The PTX memory model as bounded relational constraints.
+//!
+//! This is the paper's §5.2: the same axioms as [`crate::axioms`], but
+//! expressed in the Alloy-style relational language of `ptxmm-relational`
+//! so the Kodkod-style model finder can search over *all programs and
+//! executions up to a bound* — the engine behind the mapping-correctness
+//! experiments (paper Figure 17).
+//!
+//! The vocabulary is deliberately free-standing: the caller declares the
+//! relations (over whatever universe layout it uses) and this module
+//! derives moral strength, observation order, causality, and the six
+//! axioms from them. The `ptxmm-mapping` crate instantiates two copies of
+//! event structure (scoped C++ and PTX) in one universe and reuses these
+//! definitions for the PTX side.
+
+use relational::{Expr, Formula, Schema, VarGen};
+
+/// The declared relations of a PTX event universe.
+///
+/// `ev` is the set of *live* PTX events (callers may bound more atoms than
+/// a given instance uses). All other sets are constrained within `ev` by
+/// [`PtxVocab::well_formed`]. `same_cta` / `same_gpu` are reflexive,
+/// symmetric constants describing the fixed thread layout.
+#[derive(Debug, Clone)]
+pub struct PtxVocab {
+    /// Live events.
+    pub ev: Expr,
+    /// Read events.
+    pub read: Expr,
+    /// Write events.
+    pub write: Expr,
+    /// Fence events.
+    pub fence: Expr,
+    /// Strong operations (any fence; relaxed/acquire/release memory ops).
+    pub strong: Expr,
+    /// Acquire semantics (acquire reads, acquire-side fences).
+    pub acq: Expr,
+    /// Release semantics (release writes, release-side fences).
+    pub rel: Expr,
+    /// `fence.sc` events.
+    pub sc_fence: Expr,
+    /// Events qualified `.cta`.
+    pub scope_cta: Expr,
+    /// Events qualified `.gpu`.
+    pub scope_gpu: Expr,
+    /// Events qualified `.sys`.
+    pub scope_sys: Expr,
+    /// Event → location (memory events only).
+    pub loc: Expr,
+    /// Event → thread.
+    pub thread: Expr,
+    /// Program order (strict total order per thread).
+    pub po: Expr,
+    /// Reads-from (write → read).
+    pub rf: Expr,
+    /// Coherence order (strict partial order on overlapping writes).
+    pub co: Expr,
+    /// Fence-SC order.
+    pub sc: Expr,
+    /// RMW pairing (read half → write half).
+    pub rmw: Expr,
+    /// Thread × Thread: same CTA (reflexive symmetric constant).
+    pub same_cta: Expr,
+    /// Thread × Thread: same GPU (reflexive symmetric constant).
+    pub same_gpu: Expr,
+    /// The set of all threads.
+    pub threads: Expr,
+}
+
+impl PtxVocab {
+    /// Declares a fresh PTX vocabulary in `schema` with the given name
+    /// prefix. Layout constants (`same_cta`, `same_gpu`, `threads`) are
+    /// declared as relations the caller must bound exactly.
+    pub fn declare(schema: &mut Schema, prefix: &str) -> PtxVocab {
+        let mut r =
+            |name: &str, arity| Expr::Rel(schema.relation(&format!("{prefix}{name}"), arity));
+        PtxVocab {
+            ev: r("ev", 1),
+            read: r("read", 1),
+            write: r("write", 1),
+            fence: r("fence", 1),
+            strong: r("strong", 1),
+            acq: r("acq", 1),
+            rel: r("rel", 1),
+            sc_fence: r("sc_fence", 1),
+            scope_cta: r("scope_cta", 1),
+            scope_gpu: r("scope_gpu", 1),
+            scope_sys: r("scope_sys", 1),
+            loc: r("loc", 2),
+            thread: r("thread", 2),
+            po: r("po", 2),
+            rf: r("rf", 2),
+            co: r("co", 2),
+            sc: r("sc", 2),
+            rmw: r("rmw", 2),
+            same_cta: r("same_cta", 2),
+            same_gpu: r("same_gpu", 2),
+            threads: r("threads", 1),
+        }
+    }
+
+    /// Memory events: reads and writes.
+    pub fn memory(&self) -> Expr {
+        self.read.union(&self.write)
+    }
+
+    /// Same-location pairs of memory events ("overlap", §3.2). Includes
+    /// the diagonal: an operation overlaps itself, which matters for the
+    /// Coherence axiom when `cause` has a reflexive write pair.
+    pub fn overlap(&self) -> Expr {
+        self.loc.join(&self.loc.transpose())
+    }
+
+    /// Scope inclusion: `(a, b)` when `a`'s scope includes `b`'s thread.
+    pub fn inclusion(&self) -> Expr {
+        let via = |scope: &Expr, same: &Expr| -> Expr {
+            bracket(scope).join(&self.thread.join(same).join(&self.thread.transpose()))
+        };
+        let all_threads = self.threads.product(&self.threads);
+        via(&self.scope_cta, &self.same_cta)
+            .union(&via(&self.scope_gpu, &self.same_gpu))
+            .union(&via(&self.scope_sys, &all_threads))
+    }
+
+    /// Morally strong pairs (§8.6): program-order related, or both strong
+    /// with mutually inclusive scopes, overlapping if both are memory
+    /// operations. Moral strength relates *distinct* operations, so the
+    /// diagonal is removed.
+    pub fn morally_strong(&self) -> Expr {
+        let incl = self.inclusion();
+        let mutual = incl.intersect(&incl.transpose());
+        let strong_pair = bracket(&self.strong)
+            .join(&mutual)
+            .join(&bracket(&self.strong));
+        let mem = self.memory();
+        let both_memory = mem.product(&mem);
+        let non_overlapping_memory = both_memory.difference(&self.overlap());
+        let strong_ok = strong_pair.difference(&non_overlapping_memory);
+        self.po
+            .union(&self.po.transpose())
+            .union(&strong_ok)
+            .difference(&Expr::Iden)
+    }
+
+    /// From-reads: `rf⁻¹ ; co`.
+    pub fn fr(&self) -> Expr {
+        self.rf.transpose().join(&self.co)
+    }
+
+    /// Program order restricted to overlapping memory events.
+    pub fn po_loc(&self) -> Expr {
+        self.po.intersect(&self.overlap())
+    }
+
+    /// Observation order (§8.8.2): `(ms ∩ rf) ; ((rmw ; (ms ∩ rf))*)` —
+    /// the closed form of the recursive `obs = (ms∩rf) ∪ obs;rmw;obs`.
+    pub fn obs(&self) -> Expr {
+        let base = self.morally_strong().intersect(&self.rf);
+        base.join(&self.rmw.join(&base).reflexive_closure())
+    }
+
+    /// Release patterns (§8.7): `([W∧rel] ; po_loc? ; [W]) ∪ ([F∧rel] ; po ; [W])`.
+    pub fn pattern_rel(&self) -> Expr {
+        let w_rel = bracket(&self.write.intersect(&self.rel));
+        let f_rel = bracket(&self.fence.intersect(&self.rel));
+        let w = bracket(&self.write);
+        w_rel
+            .join(&self.po_loc().optional())
+            .join(&w)
+            .union(&f_rel.join(&self.po).join(&w))
+    }
+
+    /// Acquire patterns (§8.7): `([R] ; po_loc? ; [R∧acq]) ∪ ([R] ; po ; [F∧acq])`.
+    pub fn pattern_acq(&self) -> Expr {
+        let r = bracket(&self.read);
+        let r_acq = bracket(&self.read.intersect(&self.acq));
+        let f_acq = bracket(&self.fence.intersect(&self.acq));
+        r.join(&self.po_loc().optional())
+            .join(&r_acq)
+            .union(&r.join(&self.po).join(&f_acq))
+    }
+
+    /// Synchronizes-with (§8.7, without barriers — the bounded model has
+    /// no `bar`): `(ms ∩ (pattern_rel ; obs ; pattern_acq)) ∪ sc`.
+    pub fn sw(&self) -> Expr {
+        let chain = self
+            .pattern_rel()
+            .join(&self.obs())
+            .join(&self.pattern_acq());
+        self.morally_strong().intersect(&chain).union(&self.sc)
+    }
+
+    /// Base causality (§8.8.5): `(po? ; sw ; po?)⁺`.
+    pub fn cause_base(&self) -> Expr {
+        self.po
+            .optional()
+            .join(&self.sw())
+            .join(&self.po.optional())
+            .closure()
+    }
+
+    /// Causality (§8.8.5): `cause_base ∪ (obs ; (cause_base ∪ po_loc))`.
+    pub fn cause(&self) -> Expr {
+        let cb = self.cause_base();
+        cb.union(&self.obs().join(&cb.union(&self.po_loc())))
+    }
+
+    /// Structural well-formedness of the vocabulary: kind/flag/scope
+    /// partitions, functional `loc`/`thread`, `po` a union of per-thread
+    /// total orders, `rf` functional reads-from, `co` a legal coherence
+    /// witness, `sc` a legal Fence-SC witness, `rmw` same-location strong
+    /// pairs.
+    pub fn well_formed(&self, fresh: &mut VarGen) -> Formula {
+        let ev = &self.ev;
+        let mem = self.memory();
+        let mut fs = Vec::new();
+
+        // Kinds partition the live events.
+        fs.push(partition(ev, &[&self.read, &self.write, &self.fence]));
+        // Scopes partition the live events.
+        fs.push(partition(
+            ev,
+            &[&self.scope_cta, &self.scope_gpu, &self.scope_sys],
+        ));
+        // Flags: acq on reads/fences, rel on writes/fences, sc_fence on
+        // fences; flags imply strength.
+        fs.push(self.acq.in_(&self.read.union(&self.fence)));
+        fs.push(self.rel.in_(&self.write.union(&self.fence)));
+        fs.push(self.sc_fence.in_(&self.fence));
+        fs.push(self.acq.in_(&self.strong));
+        fs.push(self.rel.in_(&self.strong));
+        fs.push(self.fence.in_(&self.strong));
+        fs.push(self.strong.in_(ev));
+        // sc fences have both acquire and release semantics.
+        fs.push(self.sc_fence.in_(&self.acq));
+        fs.push(self.sc_fence.in_(&self.rel));
+
+        // loc: a function on memory events, nothing else.
+        let v = fresh.var();
+        fs.push(Formula::for_all(
+            v,
+            mem.clone(),
+            Expr::Var(v).join(&self.loc).one(),
+        ));
+        fs.push(self.loc.join(&Expr::Univ).in_(&mem));
+        // thread: a function on live events.
+        let v = fresh.var();
+        fs.push(Formula::for_all(
+            v,
+            ev.clone(),
+            Expr::Var(v).join(&self.thread).one(),
+        ));
+        fs.push(self.thread.join(&Expr::Univ).in_(ev));
+        fs.push(Expr::Univ.join(&self.thread).in_(&self.threads));
+
+        // po: strict partial order, total over same-thread pairs, only
+        // same-thread pairs.
+        let same_thread = self
+            .thread
+            .join(&self.thread.transpose())
+            .difference(&Expr::Iden);
+        fs.push(relational::patterns::strict_partial_order(&self.po));
+        fs.push(self.po.in_(&same_thread));
+        fs.push(same_thread.in_(&self.po.union(&self.po.transpose())));
+
+        // rf: write→read, same location, each read from at most one write.
+        fs.push(self.rf.in_(&self.write.product(&self.read)));
+        fs.push(self.rf.in_(&self.overlap()));
+        let v = fresh.var();
+        fs.push(Formula::for_all(
+            v,
+            self.read.clone(),
+            self.rf.join(&Expr::Var(v)).lone(),
+        ));
+
+        // co: strict partial order on overlapping writes; morally strong
+        // overlapping writes must be related.
+        fs.push(relational::patterns::strict_partial_order(&self.co));
+        fs.push(
+            self.co
+                .in_(&self.write.product(&self.write).intersect(&self.overlap())),
+        );
+        let ms_ww = self
+            .morally_strong()
+            .intersect(&self.write.product(&self.write))
+            .intersect(&self.overlap());
+        fs.push(ms_ww.in_(&self.co.union(&self.co.transpose())));
+
+        // sc: strict partial order on fence.sc events relating every
+        // morally strong pair.
+        fs.push(relational::patterns::strict_partial_order(&self.sc));
+        fs.push(self.sc.in_(&self.sc_fence.product(&self.sc_fence)));
+        let ms_ff = self
+            .morally_strong()
+            .intersect(&self.sc_fence.product(&self.sc_fence))
+            .difference(&Expr::Iden);
+        fs.push(ms_ff.in_(&self.sc.union(&self.sc.transpose())));
+
+        // rmw: read→write, same thread (po), same location, strong, at
+        // most one partner each way.
+        fs.push(self.rmw.in_(&self.read.product(&self.write)));
+        fs.push(self.rmw.in_(&self.overlap()));
+        fs.push(self.rmw.in_(&self.po));
+        let v = fresh.var();
+        fs.push(Formula::for_all(
+            v,
+            self.read.clone(),
+            Expr::Var(v).join(&self.rmw).lone(),
+        ));
+        let v = fresh.var();
+        fs.push(Formula::for_all(
+            v,
+            self.write.clone(),
+            self.rmw.join(&Expr::Var(v)).lone(),
+        ));
+        fs.push(self.rmw.join(&Expr::Univ).in_(&self.strong));
+        fs.push(Expr::Univ.join(&self.rmw).in_(&self.strong));
+
+        // Everything lives within ev.
+        for unary in [&self.read, &self.write, &self.fence] {
+            fs.push(unary.in_(ev));
+        }
+        for binary in [&self.po, &self.rf, &self.co, &self.sc, &self.rmw] {
+            fs.push(binary.in_(&ev.product(ev)));
+        }
+
+        Formula::and_all(fs)
+    }
+
+    /// The six PTX axioms (Figure 7) as one conjunction.
+    ///
+    /// `dep` for No-Thin-Air is approximated by `rmw` (the only intrinsic
+    /// dependency the program-free bounded model has).
+    pub fn axioms(&self) -> Formula {
+        Formula::and_all(self.axioms_named().into_iter().map(|(_, f)| f))
+    }
+
+    /// The axioms with their names, for per-axiom reporting.
+    pub fn axioms_named(&self) -> Vec<(&'static str, Formula)> {
+        use relational::patterns::{acyclic, irreflexive};
+        let cause = self.cause();
+        let fr = self.fr();
+        let ms = self.morally_strong();
+        let w = bracket(&self.write);
+        vec![
+            (
+                "Coherence",
+                w.join(&cause)
+                    .join(&w)
+                    .intersect(&self.overlap())
+                    .in_(&self.co),
+            ),
+            ("FenceSC", irreflexive(&self.sc.join(&cause))),
+            (
+                "Atomicity",
+                ms.intersect(&fr)
+                    .join(&ms.intersect(&self.co))
+                    .intersect(&self.rmw)
+                    .no(),
+            ),
+            ("No-Thin-Air", acyclic(&self.rf.union(&self.rmw))),
+            (
+                "SC-per-Location",
+                acyclic(
+                    &ms.intersect(&self.rf.union(&self.co).union(&fr))
+                        .union(&self.po_loc()),
+                ),
+            ),
+            ("Causality", irreflexive(&self.rf.union(&fr).join(&cause))),
+        ]
+    }
+}
+
+/// The `[s]` bracket: `(s × s) ∩ iden`.
+pub fn bracket(s: &Expr) -> Expr {
+    relational::patterns::bracket(s)
+}
+
+/// A partition constraint: the `parts` are disjoint and cover `whole`.
+pub fn partition(whole: &Expr, parts: &[&Expr]) -> Formula {
+    let mut fs = Vec::new();
+    let mut union: Option<Expr> = None;
+    for (i, p) in parts.iter().enumerate() {
+        fs.push(p.in_(whole));
+        for q in &parts[i + 1..] {
+            fs.push(p.intersect(q).no());
+        }
+        union = Some(match union {
+            None => (*p).clone(),
+            Some(u) => u.union(p),
+        });
+    }
+    if let Some(u) = union {
+        fs.push(whole.in_(&u));
+    }
+    Formula::and_all(fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{eval_formula, Instance, TupleSet};
+
+    /// Builds a concrete instance of the MP execution of Figure 5 (with an
+    /// explicit init write) and checks that the relational encoding gives
+    /// the same verdicts as the bit-matrix engine: Causality violated, the
+    /// other axioms satisfied.
+    #[test]
+    fn relational_encoding_matches_figure5() {
+        let mut schema = Schema::new();
+        let v = PtxVocab::declare(&mut schema, "p_");
+
+        // events: 0=Wx 1=Wrel_y 2=Racq_y 3=Rx 8=init_x; threads 4,5; locs 6,7
+        let n = 9;
+        let mut inst = Instance::empty(&schema, n);
+        let set = |inst: &mut Instance, e: &Expr, ts: TupleSet| {
+            if let Expr::Rel(r) = e {
+                inst.set(*r, ts);
+            }
+        };
+        set(&mut inst, &v.ev, TupleSet::from_atoms([0, 1, 2, 3, 8]));
+        set(&mut inst, &v.write, TupleSet::from_atoms([0, 1, 8]));
+        set(&mut inst, &v.read, TupleSet::from_atoms([2, 3]));
+        set(&mut inst, &v.fence, TupleSet::empty(1));
+        set(&mut inst, &v.strong, TupleSet::from_atoms([1, 2]));
+        set(&mut inst, &v.acq, TupleSet::from_atoms([2]));
+        set(&mut inst, &v.rel, TupleSet::from_atoms([1]));
+        set(&mut inst, &v.sc_fence, TupleSet::empty(1));
+        set(&mut inst, &v.scope_cta, TupleSet::empty(1));
+        set(&mut inst, &v.scope_gpu, TupleSet::from_atoms([1, 2]));
+        set(&mut inst, &v.scope_sys, TupleSet::from_atoms([0, 3, 8]));
+        set(
+            &mut inst,
+            &v.loc,
+            TupleSet::from_pairs([(0, 6), (3, 6), (8, 6), (1, 7), (2, 7)]),
+        );
+        set(
+            &mut inst,
+            &v.thread,
+            TupleSet::from_pairs([(0, 4), (1, 4), (2, 5), (3, 5), (8, 4)]),
+        );
+        set(&mut inst, &v.po, TupleSet::from_pairs([(0, 1), (2, 3)]));
+        set(&mut inst, &v.rf, TupleSet::from_pairs([(1, 2), (8, 3)]));
+        set(&mut inst, &v.co, TupleSet::from_pairs([(8, 0)]));
+        set(&mut inst, &v.sc, TupleSet::empty(2));
+        set(&mut inst, &v.rmw, TupleSet::empty(2));
+        set(&mut inst, &v.same_cta, TupleSet::from_pairs([(4, 4), (5, 5)]));
+        set(
+            &mut inst,
+            &v.same_gpu,
+            TupleSet::from_pairs([(4, 4), (5, 5), (4, 5), (5, 4)]),
+        );
+        set(&mut inst, &v.threads, TupleSet::from_atoms([4, 5]));
+
+        // Moral strength holds for the rel/acq pair.
+        let ms = relational::eval_expr(&schema, &inst, &v.morally_strong()).unwrap();
+        assert!(ms.contains_pair(1, 2), "rel/acq morally strong: {ms}");
+        assert!(ms.contains_pair(0, 1), "po-related pair");
+        assert!(!ms.contains_pair(0, 3), "weak cross-thread pair");
+
+        // The sw chain and cause reach the data read.
+        let cause = relational::eval_expr(&schema, &inst, &v.cause()).unwrap();
+        assert!(cause.contains_pair(0, 3), "cause(Wx, Rx): {cause}");
+
+        for (name, f) in &v.axioms_named() {
+            let holds = eval_formula(&schema, &inst, f).unwrap();
+            if *name == "Causality" {
+                assert!(!holds, "Causality must be violated");
+            } else {
+                assert!(holds, "{name} should hold");
+            }
+        }
+    }
+
+    /// The model finder can synthesize a consistent PTX execution with a
+    /// synchronizing rf from scratch.
+    #[test]
+    fn finder_synthesizes_consistent_execution() {
+        use modelfinder::{ModelFinder, Options, Problem};
+        use relational::Bounds;
+
+        let mut schema = Schema::new();
+        let v = PtxVocab::declare(&mut schema, "p_");
+        let mut fresh = VarGen::new();
+
+        // Universe: 3 events (0..3), 2 threads (3, 4), 1 loc (5).
+        let n = 6;
+        let mut bounds = Bounds::new(&schema, n);
+        let events = TupleSet::from_atoms([0, 1, 2]);
+        let threads = TupleSet::from_atoms([3, 4]);
+        let pairs_ev = |b: &mut Bounds, e: &Expr| {
+            if let Expr::Rel(r) = e {
+                b.bound_upper(*r, relational::full_set(2, n));
+            }
+        };
+        for e in [&v.read, &v.write, &v.fence, &v.strong, &v.acq, &v.rel, &v.sc_fence] {
+            if let Expr::Rel(r) = e {
+                bounds.bound_upper(*r, events.clone());
+            }
+        }
+        for e in [&v.scope_cta, &v.scope_gpu, &v.scope_sys] {
+            if let Expr::Rel(r) = e {
+                bounds.bound_upper(*r, events.clone());
+            }
+        }
+        if let Expr::Rel(r) = &v.ev {
+            bounds.bound_exact(*r, events.clone());
+        }
+        if let Expr::Rel(r) = &v.threads {
+            bounds.bound_exact(*r, threads.clone());
+        }
+        if let Expr::Rel(r) = &v.same_cta {
+            bounds.bound_exact(*r, TupleSet::from_pairs([(3, 3), (4, 4)]));
+        }
+        if let Expr::Rel(r) = &v.same_gpu {
+            bounds.bound_exact(
+                *r,
+                TupleSet::from_pairs([(3, 3), (4, 4), (3, 4), (4, 3)]),
+            );
+        }
+        if let Expr::Rel(r) = &v.loc {
+            bounds.bound_upper(*r, TupleSet::from_pairs([(0, 5), (1, 5), (2, 5)]));
+        }
+        if let Expr::Rel(r) = &v.thread {
+            bounds.bound_upper(
+                *r,
+                TupleSet::from_pairs([(0, 3), (0, 4), (1, 3), (1, 4), (2, 3), (2, 4)]),
+            );
+        }
+        for e in [&v.po, &v.rf, &v.co, &v.sc, &v.rmw] {
+            pairs_ev(&mut bounds, e);
+        }
+
+        let wf = v.well_formed(&mut fresh);
+        let axioms = v.axioms();
+        // Ask for an execution with a cross-thread rf: rf non-empty and
+        // disjoint from same-thread pairs.
+        let same_thread = v.thread.join(&v.thread.transpose());
+        let formula = Formula::and_all([
+            wf,
+            axioms,
+            v.rf.some(),
+            v.rf.intersect(&same_thread).no(),
+        ]);
+        let problem = Problem {
+            schema,
+            bounds,
+            formula,
+        };
+        let (verdict, _) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        assert!(verdict.instance().is_some(), "expected a consistent execution");
+    }
+}

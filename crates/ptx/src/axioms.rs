@@ -1,0 +1,337 @@
+//! The six top-level PTX memory model axioms (paper Figure 7, §8.9).
+
+use memmodel::SystemLayout;
+
+use crate::event::Expansion;
+use crate::exec::{Candidate, Relations};
+
+/// One of the six axioms of the PTX memory consistency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axiom {
+    /// `[W]; cause; [W] ⊆ co` for overlapping writes (§8.9.1).
+    Coherence,
+    /// `irreflexive(sc ; cause)` (§8.9.2).
+    FenceSc,
+    /// `empty(((ms ∩ fr) ; (ms ∩ co)) ∩ rmw)` (§8.9.3).
+    Atomicity,
+    /// `acyclic(rf ∪ dep)` (§8.9.4).
+    NoThinAir,
+    /// `acyclic((ms ∩ (rf ∪ co ∪ fr)) ∪ po_loc)` (§8.9.5).
+    ScPerLocation,
+    /// `irreflexive((rf ∪ fr) ; cause)` (§8.9.6).
+    Causality,
+}
+
+impl std::fmt::Display for Axiom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Axiom::Coherence => "Coherence",
+            Axiom::FenceSc => "FenceSC",
+            Axiom::Atomicity => "Atomicity",
+            Axiom::NoThinAir => "No-Thin-Air",
+            Axiom::ScPerLocation => "SC-per-Location",
+            Axiom::Causality => "Causality",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// All six axioms, in paper order.
+pub const ALL_AXIOMS: [Axiom; 6] = [
+    Axiom::Coherence,
+    Axiom::FenceSc,
+    Axiom::Atomicity,
+    Axiom::NoThinAir,
+    Axiom::ScPerLocation,
+    Axiom::Causality,
+];
+
+/// The outcome of checking a candidate against the axioms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxiomCheck {
+    /// Axioms the candidate violates (empty = consistent execution).
+    pub violations: Vec<Axiom>,
+}
+
+impl AxiomCheck {
+    /// Whether the candidate is a legal execution.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks one axiom of a candidate execution given its derived relations.
+pub fn check_axiom(
+    axiom: Axiom,
+    expansion: &Expansion,
+    candidate: &Candidate,
+    relations: &Relations,
+) -> bool {
+    let events = &expansion.events;
+    match axiom {
+        Axiom::Coherence => {
+            // [W]; cause; [W] over overlapping writes must be within co.
+            relations.cause.pairs().all(|(a, b)| {
+                let (ea, eb) = (&events[a], &events[b]);
+                let both_writes = ea.kind == crate::event::EventKind::Write
+                    && eb.kind == crate::event::EventKind::Write;
+                !(both_writes && ea.overlaps(eb)) || candidate.co.get(a, b)
+            })
+        }
+        Axiom::FenceSc => candidate.sc.compose(&relations.cause).is_irreflexive(),
+        Axiom::Atomicity => {
+            let ms_fr = relations.morally_strong.intersect(&relations.fr);
+            let ms_co = relations.morally_strong.intersect(&candidate.co);
+            ms_fr
+                .compose(&ms_co)
+                .intersect(&expansion.rmw)
+                .is_empty()
+        }
+        Axiom::NoThinAir => relations.rf.union(&expansion.dep).is_acyclic(),
+        Axiom::ScPerLocation => {
+            let comm = relations
+                .rf
+                .union(&candidate.co)
+                .union(&relations.fr);
+            relations
+                .morally_strong
+                .intersect(&comm)
+                .union(&relations.po_loc)
+                .is_acyclic()
+        }
+        Axiom::Causality => relations
+            .rf
+            .union(&relations.fr)
+            .compose(&relations.cause)
+            .is_irreflexive(),
+    }
+}
+
+/// Checks all six axioms of a candidate execution.
+pub fn check_all(
+    expansion: &Expansion,
+    layout: &SystemLayout,
+    candidate: &Candidate,
+) -> AxiomCheck {
+    let relations = Relations::compute(expansion, layout, candidate);
+    let violations = ALL_AXIOMS
+        .iter()
+        .copied()
+        .filter(|&a| !check_axiom(a, expansion, candidate, &relations))
+        .collect();
+    AxiomCheck { violations }
+}
+
+/// Well-formedness of a coherence witness (definition §8.8.6, not an
+/// axiom): a strict partial order on overlapping writes that relates every
+/// morally strong overlapping write pair and orders init writes first.
+/// The enumerator produces only well-formed witnesses; this is used to
+/// validate hand-built candidates.
+pub fn co_well_formed(
+    expansion: &Expansion,
+    layout: &SystemLayout,
+    candidate: &Candidate,
+) -> bool {
+    let co = &candidate.co;
+    if !co.is_irreflexive() || !co.is_transitive() {
+        return false;
+    }
+    let events = &expansion.events;
+    // Only overlapping writes are related.
+    for (a, b) in co.pairs() {
+        let (ea, eb) = (&events[a], &events[b]);
+        if ea.kind != crate::event::EventKind::Write
+            || eb.kind != crate::event::EventKind::Write
+            || !ea.overlaps(eb)
+        {
+            return false;
+        }
+    }
+    // Init writes precede every other write to the location.
+    for (a, b) in crate::exec::init_co_edges(expansion) {
+        if !co.get(a, b) {
+            return false;
+        }
+    }
+    // Morally strong overlapping writes are related (either direction).
+    let relations = Relations::compute(expansion, layout, candidate);
+    for (_, writes) in &expansion.writes_by_loc {
+        for (i, &a) in writes.iter().enumerate() {
+            for &b in &writes[i + 1..] {
+                if relations.morally_strong.get(a, b) && !co.get(a, b) && !co.get(b, a) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Well-formedness of a Fence-SC witness (§8.8.3): an acyclic partial
+/// order over `fence.sc` events relating every morally strong pair.
+pub fn sc_well_formed(
+    expansion: &Expansion,
+    layout: &SystemLayout,
+    candidate: &Candidate,
+) -> bool {
+    let sc = &candidate.sc;
+    if !sc.is_irreflexive() || !sc.is_transitive() {
+        return false;
+    }
+    for (a, b) in sc.pairs() {
+        if !expansion.events[a].sc_fence || !expansion.events[b].sc_fence {
+            return false;
+        }
+    }
+    let relations = Relations::compute(expansion, layout, candidate);
+    for (i, &a) in expansion.sc_fences.iter().enumerate() {
+        for &b in &expansion.sc_fences[i + 1..] {
+            if relations.morally_strong.get(a, b) && !sc.get(a, b) && !sc.get(b, a) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::expand;
+    use crate::exec::init_co_edges;
+    use crate::inst::build::*;
+    use crate::inst::Program;
+    use memmodel::{Location, Register, Scope, SystemLayout};
+
+    /// The MP forbidden outcome: acquire sees the release but the data
+    /// load sees init. Violates Causality (Figure 5).
+    #[test]
+    fn mp_forbidden_outcome_violates_causality() {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_weak(Location(0), 1),
+                    st_release(Scope::Gpu, Location(1), 1),
+                ],
+                vec![
+                    ld_acquire(Scope::Gpu, Register(0), Location(1)),
+                    ld_weak(Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let layout = p.layout.clone();
+        let x = expand(&p);
+        let co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        let candidate = Candidate {
+            rf_source: vec![3, 0],
+            co,
+            sc: memmodel::RelMat::new(x.len()),
+        };
+        let check = check_all(&x, &layout, &candidate);
+        assert!(check.violations.contains(&Axiom::Causality));
+    }
+
+    /// The same MP candidate where the data load reads the store is
+    /// consistent.
+    #[test]
+    fn mp_allowed_outcome_is_consistent() {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_weak(Location(0), 1),
+                    st_release(Scope::Gpu, Location(1), 1),
+                ],
+                vec![
+                    ld_acquire(Scope::Gpu, Register(0), Location(1)),
+                    ld_weak(Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let layout = p.layout.clone();
+        let x = expand(&p);
+        let co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        let candidate = Candidate {
+            rf_source: vec![3, 2], // both loads see the stores
+            co,
+            sc: memmodel::RelMat::new(x.len()),
+        };
+        let check = check_all(&x, &layout, &candidate);
+        assert!(check.is_consistent(), "violations: {:?}", check.violations);
+    }
+
+    /// CoWW (Figure 9d): two same-thread weak stores must be co-ordered in
+    /// program order; the reverse order violates SC-per-Location.
+    #[test]
+    fn coww_reverse_co_violates_sc_per_location() {
+        let p = Program::new(
+            vec![vec![st_weak(Location(0), 1), st_weak(Location(0), 2)]],
+            SystemLayout::single_cta(1),
+        );
+        let layout = p.layout.clone();
+        let x = expand(&p);
+        let mut co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        co.set(2, 1); // W2 before W1: contradicts po
+        let candidate = Candidate {
+            rf_source: vec![],
+            co,
+            sc: memmodel::RelMat::new(x.len()),
+        };
+        let check = check_all(&x, &layout, &candidate);
+        assert!(check.violations.contains(&Axiom::ScPerLocation));
+    }
+
+    #[test]
+    fn co_well_formedness_catches_unrelated_strong_writes() {
+        let p = Program::new(
+            vec![
+                vec![st_relaxed(Scope::Gpu, Location(0), 1)],
+                vec![st_relaxed(Scope::Gpu, Location(0), 2)],
+            ],
+            SystemLayout::single_cta(2),
+        );
+        let layout = p.layout.clone();
+        let x = expand(&p);
+        // co with only init edges: the two strong writes are unrelated —
+        // ill-formed because they are morally strong.
+        let co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        let candidate = Candidate {
+            rf_source: vec![],
+            co: co.clone(),
+            sc: memmodel::RelMat::new(x.len()),
+        };
+        assert!(!co_well_formed(&x, &layout, &candidate));
+        // Orienting them fixes it.
+        let mut co2 = co;
+        co2.set(1, 2);
+        let candidate2 = Candidate {
+            rf_source: vec![],
+            co: co2,
+            sc: memmodel::RelMat::new(x.len()),
+        };
+        assert!(co_well_formed(&x, &layout, &candidate2));
+    }
+
+    /// Racy weak writes may legitimately remain co-unrelated.
+    #[test]
+    fn racy_weak_writes_may_be_unordered() {
+        let p = Program::new(
+            vec![
+                vec![st_weak(Location(0), 1)],
+                vec![st_weak(Location(0), 2)],
+            ],
+            SystemLayout::single_cta(2),
+        );
+        let layout = p.layout.clone();
+        let x = expand(&p);
+        let co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        let candidate = Candidate {
+            rf_source: vec![],
+            co,
+            sc: memmodel::RelMat::new(x.len()),
+        };
+        assert!(co_well_formed(&x, &layout, &candidate));
+        assert!(check_all(&x, &layout, &candidate).is_consistent());
+    }
+}

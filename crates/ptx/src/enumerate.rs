@@ -1,0 +1,515 @@
+//! Exhaustive enumeration of the consistent executions of a PTX program.
+//!
+//! A candidate execution is a choice of reads-from sources, a coherence
+//! witness per location (a strict *partial* order — PTX's distinguishing
+//! feature, §8.8.6), and a Fence-SC witness. Candidates that satisfy all
+//! six axioms are the legal executions; their register and final-memory
+//! outcomes are collected for litmus-test checking.
+
+use std::collections::BTreeMap;
+
+use memmodel::{
+    enumerate_partial_orders, Location, Odometer, Register, RelMat, ThreadId, Value,
+};
+
+use crate::axioms::{check_all, AxiomCheck};
+use crate::event::{expand, Expansion};
+use crate::exec::{
+    evaluate_values, final_values, morally_strong, Candidate, ValueMap,
+};
+use crate::inst::Program;
+
+/// One consistent (axiom-satisfying) execution with its observable state.
+#[derive(Debug, Clone)]
+pub struct ConsistentExecution {
+    /// The witness relations.
+    pub candidate: Candidate,
+    /// Per-event values.
+    pub values: ValueMap,
+    /// Final value of every register that was written.
+    pub final_registers: BTreeMap<(ThreadId, Register), Value>,
+    /// Per location, the values of co-maximal writes (several in racy
+    /// executions, where the final value is undefined).
+    pub final_memory: Vec<(Location, Vec<Value>)>,
+}
+
+/// Statistics from an enumeration run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnumerationStats {
+    /// Total candidate witnesses examined.
+    pub candidates: u64,
+    /// Candidates with cyclic value dependencies (No-Thin-Air rejections
+    /// detected during value evaluation).
+    pub value_cycles: u64,
+    /// Candidates rejected by the axioms.
+    pub inconsistent: u64,
+    /// Consistent executions found.
+    pub consistent: u64,
+}
+
+/// The result of enumerating a program's executions.
+#[derive(Debug, Clone)]
+pub struct Enumeration {
+    /// The expanded program (event table and static relations).
+    pub expansion: Expansion,
+    /// Every consistent execution.
+    pub executions: Vec<ConsistentExecution>,
+    /// Search statistics.
+    pub stats: EnumerationStats,
+}
+
+/// Enumerates every candidate witness of `program`, invoking `visit` with
+/// each candidate, its axiom check, and its values (when value evaluation
+/// succeeds; `None` indicates a thin-air value cycle). This is the
+/// engine under [`enumerate_executions`], exposed for differential
+/// testing against the relational encoding.
+pub fn visit_candidates<F>(program: &Program, mut visit: F) -> (Expansion, EnumerationStats)
+where
+    F: FnMut(&Candidate, &AxiomCheck, Option<&ValueMap>),
+{
+    let expansion = expand(program);
+    let layout = &program.layout;
+    let n = expansion.len();
+    let ms = morally_strong(&expansion, layout);
+    let mut stats = EnumerationStats::default();
+
+    // Reads-from candidates: every write to the same location.
+    let rf_candidates: Vec<Vec<usize>> = expansion
+        .reads
+        .iter()
+        .map(|&r| {
+            let loc = expansion.events[r].loc.expect("reads have locations");
+            expansion
+                .writes_by_loc
+                .iter()
+                .find(|(l, _)| *l == loc)
+                .map(|(_, ws)| ws.clone())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Coherence witnesses per location.
+    let co_per_loc: Vec<Vec<RelMat>> = expansion
+        .writes_by_loc
+        .iter()
+        .map(|(_, writes)| {
+            let init = writes[0];
+            let fixed: Vec<(usize, usize)> =
+                writes[1..].iter().map(|&w| (init, w)).collect();
+            let mut must = Vec::new();
+            let mut may = Vec::new();
+            for (i, &a) in writes[1..].iter().enumerate() {
+                for &b in &writes[1 + i + 1..] {
+                    if ms.get(a, b) {
+                        must.push((a, b));
+                    } else {
+                        may.push((a, b));
+                    }
+                }
+            }
+            enumerate_partial_orders(n, &fixed, &must, &may)
+        })
+        .collect();
+
+    // Fence-SC witnesses.
+    let sc_witnesses: Vec<RelMat> = {
+        let fences = &expansion.sc_fences;
+        let mut must = Vec::new();
+        let mut may = Vec::new();
+        for (i, &a) in fences.iter().enumerate() {
+            for &b in &fences[i + 1..] {
+                if ms.get(a, b) {
+                    must.push((a, b));
+                } else {
+                    may.push((a, b));
+                }
+            }
+        }
+        enumerate_partial_orders(n, &[], &must, &may)
+    };
+
+    for rf_idx in Odometer::new(rf_candidates.iter().map(Vec::len).collect()) {
+        let rf_source: Vec<usize> = rf_idx
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| rf_candidates[i][k])
+            .collect();
+        // Values depend only on rf, so evaluate before expanding co/sc.
+        let probe = Candidate {
+            rf_source: rf_source.clone(),
+            co: RelMat::new(n),
+            sc: RelMat::new(n),
+        };
+        let values = evaluate_values(&expansion, &probe);
+        if values.is_none() {
+            stats.value_cycles += 1;
+        }
+
+        for co_idx in Odometer::new(co_per_loc.iter().map(Vec::len).collect()) {
+            let mut co = RelMat::new(n);
+            for (loc_i, &k) in co_idx.iter().enumerate() {
+                co.union_with(&co_per_loc[loc_i][k]);
+            }
+            for sc in &sc_witnesses {
+                stats.candidates += 1;
+                let candidate = Candidate {
+                    rf_source: rf_source.clone(),
+                    co: co.clone(),
+                    sc: sc.clone(),
+                };
+                let check: AxiomCheck = check_all(&expansion, layout, &candidate);
+                if check.is_consistent() && values.is_some() {
+                    stats.consistent += 1;
+                } else {
+                    stats.inconsistent += 1;
+                }
+                visit(&candidate, &check, values.as_ref());
+            }
+        }
+    }
+
+    (expansion, stats)
+}
+
+/// Enumerates all consistent executions of `program` under the PTX memory
+/// model.
+pub fn enumerate_executions(program: &Program) -> Enumeration {
+    let mut executions = Vec::new();
+    let (expansion, stats) = {
+        // Collect finished executions while visiting; `finish` needs the
+        // expansion, so buffer raw parts first.
+        let mut buffered: Vec<(Candidate, ValueMap)> = Vec::new();
+        let (expansion, stats) = visit_candidates(program, |candidate, check, values| {
+            if let (true, Some(values)) = (check.is_consistent(), values) {
+                buffered.push((candidate.clone(), values.clone()));
+            }
+        });
+        for (candidate, values) in buffered {
+            executions.push(finish(&expansion, candidate, &values));
+        }
+        (expansion, stats)
+    };
+
+    Enumeration {
+        expansion,
+        executions,
+        stats,
+    }
+}
+
+fn finish(
+    expansion: &Expansion,
+    candidate: Candidate,
+    values: &ValueMap,
+) -> ConsistentExecution {
+    let final_registers: BTreeMap<(ThreadId, Register), Value> = expansion
+        .final_setters
+        .iter()
+        .filter_map(|&((t, r), e)| values.values[e].map(|v| ((t, r), v)))
+        .collect();
+    let final_memory: Vec<(Location, Vec<Value>)> = expansion
+        .writes_by_loc
+        .iter()
+        .map(|&(loc, _)| (loc, final_values(expansion, &candidate, values, loc)))
+        .collect();
+    ConsistentExecution {
+        candidate,
+        values: values.clone(),
+        final_registers,
+        final_memory,
+    }
+}
+
+impl Enumeration {
+    /// Whether some consistent execution satisfies `pred` over its final
+    /// registers and memory.
+    pub fn any_execution<F: Fn(&ConsistentExecution) -> bool>(&self, pred: F) -> bool {
+        self.executions.iter().any(pred)
+    }
+
+    /// The distinct final register valuations, sorted.
+    pub fn register_outcomes(&self) -> Vec<BTreeMap<(ThreadId, Register), Value>> {
+        let mut outs: Vec<_> = self
+            .executions
+            .iter()
+            .map(|e| e.final_registers.clone())
+            .collect();
+        outs.sort();
+        outs.dedup();
+        outs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::build::*;
+    use crate::inst::{AtomSem, Program};
+    use memmodel::{Scope, SystemLayout};
+
+    fn reg(t: u32, r: u32) -> (ThreadId, Register) {
+        (ThreadId(t), Register(r))
+    }
+
+    fn has_outcome(e: &Enumeration, want: &[((ThreadId, Register), u64)]) -> bool {
+        e.any_execution(|x| {
+            want.iter()
+                .all(|(k, v)| x.final_registers.get(k) == Some(&Value(*v)))
+        })
+    }
+
+    /// Figure 5: MP with release/acquire at gpu scope — the stale outcome
+    /// r0==1, r1==0 is forbidden; the other three are allowed.
+    #[test]
+    fn mp_acquire_release_forbids_stale_read() {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_weak(memmodel::Location(0), 1),
+                    st_release(Scope::Gpu, memmodel::Location(1), 1),
+                ],
+                vec![
+                    ld_acquire(Scope::Gpu, Register(0), memmodel::Location(1)),
+                    ld_weak(Register(1), memmodel::Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(!has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 0)]), "forbidden");
+        assert!(has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 1)]));
+        assert!(has_outcome(&e, &[(reg(1, 0), 0), (reg(1, 1), 0)]));
+        assert!(has_outcome(&e, &[(reg(1, 0), 0), (reg(1, 1), 1)]));
+    }
+
+    /// MP with relaxed (not acquire/release) synchronization allows the
+    /// stale read.
+    #[test]
+    fn mp_relaxed_allows_stale_read() {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_weak(memmodel::Location(0), 1),
+                    st_relaxed(Scope::Gpu, memmodel::Location(1), 1),
+                ],
+                vec![
+                    ld_relaxed(Scope::Gpu, Register(0), memmodel::Location(1)),
+                    ld_weak(Register(1), memmodel::Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 0)]));
+    }
+
+    /// MP with CTA-scoped release/acquire across different CTAs: the scope
+    /// is too narrow, so the stale read is allowed again.
+    #[test]
+    fn mp_cta_scope_across_ctas_is_too_weak() {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_weak(memmodel::Location(0), 1),
+                    st_release(Scope::Cta, memmodel::Location(1), 1),
+                ],
+                vec![
+                    ld_acquire(Scope::Cta, Register(0), memmodel::Location(1)),
+                    ld_weak(Register(1), memmodel::Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 0)]));
+    }
+
+    /// …but within the same CTA, cta scope suffices.
+    #[test]
+    fn mp_cta_scope_within_cta_is_sound() {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_weak(memmodel::Location(0), 1),
+                    st_release(Scope::Cta, memmodel::Location(1), 1),
+                ],
+                vec![
+                    ld_acquire(Scope::Cta, Register(0), memmodel::Location(1)),
+                    ld_weak(Register(1), memmodel::Location(0)),
+                ],
+            ],
+            SystemLayout::single_cta(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(!has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 0)]));
+    }
+
+    /// Figure 6: SB with morally strong fence.sc forbids the 0/0 outcome.
+    #[test]
+    fn sb_with_fence_sc_forbids_both_zero() {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_weak(memmodel::Location(0), 1),
+                    fence_sc(Scope::Gpu),
+                    ld_weak(Register(0), memmodel::Location(1)),
+                ],
+                vec![
+                    st_weak(memmodel::Location(1), 1),
+                    fence_sc(Scope::Gpu),
+                    ld_weak(Register(1), memmodel::Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(!has_outcome(&e, &[(reg(0, 0), 0), (reg(1, 1), 0)]), "forbidden");
+        assert!(has_outcome(&e, &[(reg(0, 0), 1), (reg(1, 1), 0)]));
+    }
+
+    /// SB without fences allows 0/0 (store buffering).
+    #[test]
+    fn sb_without_fences_allows_both_zero() {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_relaxed(Scope::Gpu, memmodel::Location(0), 1),
+                    ld_relaxed(Scope::Gpu, Register(0), memmodel::Location(1)),
+                ],
+                vec![
+                    st_relaxed(Scope::Gpu, memmodel::Location(1), 1),
+                    ld_relaxed(Scope::Gpu, Register(1), memmodel::Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(has_outcome(&e, &[(reg(0, 0), 0), (reg(1, 1), 0)]));
+    }
+
+    /// SB with fence.sc at mismatched narrow scopes (morally weak fences)
+    /// does not forbid the weak outcome — the fences need not be related
+    /// by sc.
+    #[test]
+    fn sb_with_morally_weak_fences_stays_weak() {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_weak(memmodel::Location(0), 1),
+                    fence_sc(Scope::Cta),
+                    ld_weak(Register(0), memmodel::Location(1)),
+                ],
+                vec![
+                    st_weak(memmodel::Location(1), 1),
+                    fence_sc(Scope::Cta),
+                    ld_weak(Register(1), memmodel::Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(has_outcome(&e, &[(reg(0, 0), 0), (reg(1, 1), 0)]));
+    }
+
+    /// Figure 8: load-buffering with data dependencies — no execution may
+    /// conjure 42 out of thin air; with weak loads the only values are 0.
+    #[test]
+    fn lb_thin_air_values_never_appear() {
+        let p = Program::new(
+            vec![
+                vec![
+                    ld_weak(Register(0), memmodel::Location(1)),
+                    st_weak_reg(memmodel::Location(0), Register(0)),
+                ],
+                vec![
+                    ld_weak(Register(1), memmodel::Location(0)),
+                    st_weak_reg(memmodel::Location(1), Register(1)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(!e.executions.is_empty());
+        for x in &e.executions {
+            for (_, v) in &x.final_registers {
+                assert_eq!(*v, Value(0), "only zero can circulate");
+            }
+        }
+        assert!(e.stats.value_cycles > 0, "the thin-air rf choice was seen and rejected");
+    }
+
+    /// Atomic fetch-add pairs never lose updates: two releaxed atom.add(1)
+    /// on different threads always sum to 2.
+    #[test]
+    fn atomics_do_not_lose_updates() {
+        let p = Program::new(
+            vec![
+                vec![atom_add(AtomSem::Relaxed, Scope::Gpu, Register(0), memmodel::Location(0), 1)],
+                vec![atom_add(AtomSem::Relaxed, Scope::Gpu, Register(0), memmodel::Location(0), 1)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(!e.executions.is_empty());
+        for x in &e.executions {
+            let finals = &x.final_memory[0].1;
+            assert_eq!(finals, &vec![Value(2)], "lost update: {finals:?}");
+        }
+        // One atom reads 0, the other reads 1.
+        let mut sums: Vec<u64> = e
+            .executions
+            .iter()
+            .map(|x| {
+                x.final_registers[&reg(0, 0)].0 + x.final_registers[&reg(1, 0)].0
+            })
+            .collect();
+        sums.sort();
+        sums.dedup();
+        assert_eq!(sums, vec![1]);
+    }
+
+    /// CoRR (Figure 9a): reads of the same location in one thread may not
+    /// observe writes out of order.
+    #[test]
+    fn corr_forbidden() {
+        let p = Program::new(
+            vec![
+                vec![st_relaxed(Scope::Gpu, memmodel::Location(0), 1)],
+                vec![
+                    ld_relaxed(Scope::Gpu, Register(0), memmodel::Location(0)),
+                    ld_weak(Register(1), memmodel::Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(!has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 0)]));
+        assert!(has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 1)]));
+        assert!(has_outcome(&e, &[(reg(1, 0), 0), (reg(1, 1), 1)]));
+    }
+
+    /// Barrier synchronization (§8.8.4) behaves like cta-scoped
+    /// release/acquire: MP over a bar.sync is forbidden from reading stale
+    /// data within a CTA.
+    #[test]
+    fn barrier_provides_synchronization() {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_weak(memmodel::Location(0), 1),
+                    bar_sync(memmodel::BarrierId(0)),
+                ],
+                vec![
+                    bar_sync(memmodel::BarrierId(0)),
+                    ld_weak(Register(0), memmodel::Location(0)),
+                ],
+            ],
+            SystemLayout::single_cta(2),
+        );
+        let e = enumerate_executions(&p);
+        // After both threads sync on the barrier, the load must see 1.
+        // (Straight-line executions assume both threads pass the barrier.)
+        assert!(!has_outcome(&e, &[(reg(1, 0), 0)]), "stale read through barrier");
+        assert!(has_outcome(&e, &[(reg(1, 0), 1)]));
+    }
+}

@@ -1,0 +1,537 @@
+//! Expansion of PTX programs into memory events.
+//!
+//! Each `ld`/`st`/`fence`/`bar` becomes one event; each `atom`/`red` is
+//! split into a read event and a write event linked by the `rmw` relation,
+//! following the modeling approach of RC11 that the paper adopts (§3.5.3).
+//! One initialization write per location (holding zero) is added, belonging
+//! to no thread and coherence-ordered before every other write to that
+//! location.
+
+use memmodel::{BarrierId, Location, Register, RelMat, Scope, ThreadId, Value};
+
+use crate::inst::{BarKind, Instruction, LoadSem, Operand, Program, RmwOp, StoreSem};
+
+/// The kind of an expanded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A memory read (including the read half of an RMW).
+    Read,
+    /// A memory write (including the write half of an RMW and init writes).
+    Write,
+    /// A memory fence.
+    Fence,
+    /// A CTA execution barrier operation.
+    Barrier,
+}
+
+/// One event of an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Dense event index.
+    pub id: usize,
+    /// Executing thread; `None` for init writes.
+    pub thread: Option<ThreadId>,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Accessed location, for memory events.
+    pub loc: Option<Location>,
+    /// Scope qualifier (meaningful only for strong operations).
+    pub scope: Scope,
+    /// Whether the operation is *strong* (paper §8.4): any fence, or a
+    /// memory operation qualified `.relaxed`/`.acquire`/`.release`/
+    /// `.acq_rel`. Weak loads/stores and init writes are not strong.
+    pub strong: bool,
+    /// Acquire semantics (`ld.acquire`, acquire side of an RMW or fence).
+    pub acquire: bool,
+    /// Release semantics (`st.release`, release side of an RMW or fence).
+    pub release: bool,
+    /// Whether this is a `fence.sc`.
+    pub sc_fence: bool,
+    /// Barrier resource and kind, for barrier events.
+    pub barrier: Option<(BarrierId, BarKind)>,
+    /// The other half of an RMW (read ↔ write).
+    pub rmw_partner: Option<usize>,
+    /// Destination register, for reads that write one.
+    pub dst: Option<Register>,
+    /// Data operand, for writes.
+    pub src: Option<Operand>,
+    /// RMW operation, for RMW halves.
+    pub rmw_op: Option<RmwOp>,
+    /// Provenance: (thread index, instruction index).
+    pub instr: Option<(usize, usize)>,
+    /// Whether this is an initialization write.
+    pub is_init: bool,
+}
+
+impl Event {
+    fn blank(id: usize) -> Event {
+        Event {
+            id,
+            thread: None,
+            kind: EventKind::Fence,
+            loc: None,
+            scope: Scope::Sys,
+            strong: false,
+            acquire: false,
+            release: false,
+            sc_fence: false,
+            barrier: None,
+            rmw_partner: None,
+            dst: None,
+            src: None,
+            rmw_op: None,
+            instr: None,
+            is_init: false,
+        }
+    }
+
+    /// Whether this is a memory operation (read or write).
+    pub fn is_memory(&self) -> bool {
+        matches!(self.kind, EventKind::Read | EventKind::Write)
+    }
+
+    /// Whether this event overlaps another (same location; the paper's
+    /// mixed-size generality is out of scope, §3.2).
+    pub fn overlaps(&self, other: &Event) -> bool {
+        match (self.loc, other.loc) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A program expanded into events, with the static relations that do not
+/// depend on the execution witness.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    /// All events; init writes come first, then thread events in order.
+    pub events: Vec<Event>,
+    /// Program order (transitive, intra-thread; init writes unordered).
+    pub po: RelMat,
+    /// Syntactic dependencies (data via registers, and the read half of an
+    /// RMW to its value-dependent write half) — the `dep` of the
+    /// No-Thin-Air axiom.
+    pub dep: RelMat,
+    /// `rmw` edges (read half → write half).
+    pub rmw: RelMat,
+    /// Barrier synchronization (`syncbarrier`): an arriving barrier
+    /// operation to each *waiting* barrier operation on the same barrier in
+    /// the same CTA, across threads (§8.8.4).
+    pub syncbarrier: RelMat,
+    /// For each event with a register data operand, the event that set the
+    /// register (the po-latest earlier writer of that register in the same
+    /// thread), used for value evaluation.
+    pub operand_setter: Vec<Option<usize>>,
+    /// The last setter event of each `(thread, register)` pair, defining
+    /// final register values.
+    pub final_setters: Vec<((ThreadId, Register), usize)>,
+    /// Indices of read events.
+    pub reads: Vec<usize>,
+    /// Indices of write events, by location, init write first.
+    pub writes_by_loc: Vec<(Location, Vec<usize>)>,
+    /// Indices of `fence.sc` events.
+    pub sc_fences: Vec<usize>,
+}
+
+impl Expansion {
+    /// The init write for `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is not used by the program.
+    pub fn init_write(&self, loc: Location) -> usize {
+        self.writes_by_loc
+            .iter()
+            .find(|(l, _)| *l == loc)
+            .map(|(_, ws)| ws[0])
+            .expect("location not in program")
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the expansion has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Expands a program into events (see module docs).
+pub fn expand(program: &Program) -> Expansion {
+    let locations = program.locations();
+    let mut events: Vec<Event> = Vec::new();
+
+    // Init writes first.
+    for &loc in &locations {
+        let mut e = Event::blank(events.len());
+        e.kind = EventKind::Write;
+        e.loc = Some(loc);
+        e.is_init = true;
+        e.src = Some(Operand::Imm(Value(0)));
+        events.push(e);
+    }
+
+    // Thread events.
+    let mut thread_events: Vec<Vec<usize>> = vec![Vec::new(); program.num_threads()];
+    for (tid, instrs) in program.threads.iter().enumerate() {
+        for (iid, instr) in instrs.iter().enumerate() {
+            let new_ids = expand_instruction(&mut events, tid, iid, instr);
+            thread_events[tid].extend(new_ids);
+        }
+    }
+
+    let n = events.len();
+
+    // Program order: transitive over each thread's event list.
+    let mut po = RelMat::new(n);
+    for evs in &thread_events {
+        for i in 0..evs.len() {
+            for j in (i + 1)..evs.len() {
+                po.set(evs[i], evs[j]);
+            }
+        }
+    }
+
+    // Dependencies: track the last setter of each register per thread.
+    let mut dep = RelMat::new(n);
+    let mut operand_setter: Vec<Option<usize>> = vec![None; n];
+    let mut final_setters: Vec<((ThreadId, Register), usize)> = Vec::new();
+    for (tid, evs) in thread_events.iter().enumerate() {
+        let mut last_setter: std::collections::HashMap<Register, usize> =
+            std::collections::HashMap::new();
+        for &e in evs {
+            // Uses: a write event consuming a register operand.
+            if events[e].kind == EventKind::Write {
+                if let Some(Operand::Reg(r)) = events[e].src {
+                    if let Some(&setter) = last_setter.get(&r) {
+                        dep.set(setter, e);
+                        operand_setter[e] = Some(setter);
+                    }
+                }
+                // RMW write halves whose stored value depends on the old
+                // value (add, cas) depend on their read half.
+                if let (Some(op), Some(partner)) = (events[e].rmw_op, events[e].rmw_partner) {
+                    if matches!(op, RmwOp::Add | RmwOp::Cas { .. }) {
+                        dep.set(partner, e);
+                    }
+                }
+            }
+            // Defs.
+            if let Some(r) = events[e].dst {
+                last_setter.insert(r, e);
+            }
+        }
+        for (r, e) in last_setter {
+            final_setters.push(((ThreadId(tid as u32), r), e));
+        }
+    }
+    final_setters.sort();
+
+    // rmw edges.
+    let mut rmw = RelMat::new(n);
+    for e in &events {
+        if e.kind == EventKind::Read {
+            if let Some(w) = e.rmw_partner {
+                rmw.set(e.id, w);
+            }
+        }
+    }
+
+    // Barrier synchronization: arrive-type op → waiting op, same barrier,
+    // same CTA, different threads.
+    let mut syncbarrier = RelMat::new(n);
+    for a in &events {
+        let Some((bar_a, _kind_a)) = a.barrier else {
+            continue;
+        };
+        for b in &events {
+            let Some((bar_b, kind_b)) = b.barrier else {
+                continue;
+            };
+            if a.id == b.id || bar_a != bar_b || !kind_b.waits() {
+                continue;
+            }
+            let (Some(ta), Some(tb)) = (a.thread, b.thread) else {
+                continue;
+            };
+            if ta != tb && program.layout.same_cta(ta, tb) {
+                syncbarrier.set(a.id, b.id);
+            }
+        }
+    }
+
+    let reads: Vec<usize> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Read)
+        .map(|e| e.id)
+        .collect();
+    let writes_by_loc: Vec<(Location, Vec<usize>)> = locations
+        .iter()
+        .map(|&loc| {
+            let ws: Vec<usize> = events
+                .iter()
+                .filter(|e| e.kind == EventKind::Write && e.loc == Some(loc))
+                .map(|e| e.id)
+                .collect();
+            (loc, ws)
+        })
+        .collect();
+    let sc_fences: Vec<usize> = events.iter().filter(|e| e.sc_fence).map(|e| e.id).collect();
+
+    Expansion {
+        events,
+        po,
+        dep,
+        rmw,
+        syncbarrier,
+        operand_setter,
+        final_setters,
+        reads,
+        writes_by_loc,
+        sc_fences,
+    }
+}
+
+fn expand_instruction(
+    events: &mut Vec<Event>,
+    tid: usize,
+    iid: usize,
+    instr: &Instruction,
+) -> Vec<usize> {
+    let thread = Some(ThreadId(tid as u32));
+    let provenance = Some((tid, iid));
+    match *instr {
+        Instruction::Ld {
+            sem,
+            scope,
+            dst,
+            loc,
+        } => {
+            let mut e = Event::blank(events.len());
+            e.thread = thread;
+            e.kind = EventKind::Read;
+            e.loc = Some(loc);
+            e.scope = scope;
+            e.strong = sem != LoadSem::Weak;
+            e.acquire = sem == LoadSem::Acquire;
+            e.dst = Some(dst);
+            e.instr = provenance;
+            events.push(e);
+            vec![events.len() - 1]
+        }
+        Instruction::St {
+            sem,
+            scope,
+            loc,
+            src,
+        } => {
+            let mut e = Event::blank(events.len());
+            e.thread = thread;
+            e.kind = EventKind::Write;
+            e.loc = Some(loc);
+            e.scope = scope;
+            e.strong = sem != StoreSem::Weak;
+            e.release = sem == StoreSem::Release;
+            e.src = Some(src);
+            e.instr = provenance;
+            events.push(e);
+            vec![events.len() - 1]
+        }
+        Instruction::Atom {
+            sem,
+            scope,
+            dst,
+            loc,
+            op,
+            src,
+        } => expand_rmw(events, thread, provenance, sem, scope, Some(dst), loc, op, src),
+        Instruction::Red {
+            sem,
+            scope,
+            loc,
+            op,
+            src,
+        } => expand_rmw(events, thread, provenance, sem, scope, None, loc, op, src),
+        Instruction::Fence { sem, scope } => {
+            let mut e = Event::blank(events.len());
+            e.thread = thread;
+            e.kind = EventKind::Fence;
+            e.scope = scope;
+            e.strong = true;
+            e.acquire = sem.is_acquire();
+            e.release = sem.is_release();
+            e.sc_fence = sem == crate::inst::FenceSem::Sc;
+            e.instr = provenance;
+            events.push(e);
+            vec![events.len() - 1]
+        }
+        Instruction::Bar { kind, bar } => {
+            let mut e = Event::blank(events.len());
+            e.thread = thread;
+            e.kind = EventKind::Barrier;
+            e.barrier = Some((bar, kind));
+            e.instr = provenance;
+            events.push(e);
+            vec![events.len() - 1]
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expand_rmw(
+    events: &mut Vec<Event>,
+    thread: Option<ThreadId>,
+    provenance: Option<(usize, usize)>,
+    sem: crate::inst::AtomSem,
+    scope: Scope,
+    dst: Option<Register>,
+    loc: Location,
+    op: RmwOp,
+    src: Operand,
+) -> Vec<usize> {
+    use crate::inst::AtomSem;
+    let read_id = events.len();
+    let write_id = read_id + 1;
+
+    let mut r = Event::blank(read_id);
+    r.thread = thread;
+    r.kind = EventKind::Read;
+    r.loc = Some(loc);
+    r.scope = scope;
+    r.strong = true;
+    r.acquire = matches!(sem, AtomSem::Acquire | AtomSem::AcqRel);
+    r.rmw_partner = Some(write_id);
+    r.dst = dst;
+    r.rmw_op = Some(op);
+    r.instr = provenance;
+    events.push(r);
+
+    let mut w = Event::blank(write_id);
+    w.thread = thread;
+    w.kind = EventKind::Write;
+    w.loc = Some(loc);
+    w.scope = scope;
+    w.strong = true;
+    w.release = matches!(sem, AtomSem::Release | AtomSem::AcqRel);
+    w.rmw_partner = Some(read_id);
+    w.src = Some(src);
+    w.rmw_op = Some(op);
+    w.instr = provenance;
+    events.push(w);
+
+    vec![read_id, write_id]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::build::*;
+    use crate::inst::AtomSem;
+    use memmodel::SystemLayout;
+
+    fn mp_program() -> Program {
+        Program::new(
+            vec![
+                vec![st_weak(Location(0), 1), st_release(Scope::Gpu, Location(1), 1)],
+                vec![
+                    ld_acquire(Scope::Gpu, Register(0), Location(1)),
+                    ld_weak(Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        )
+    }
+
+    #[test]
+    fn mp_expansion_shape() {
+        let x = expand(&mp_program());
+        // 2 init writes + 4 instruction events.
+        assert_eq!(x.len(), 6);
+        assert_eq!(x.reads.len(), 2);
+        assert_eq!(x.writes_by_loc.len(), 2);
+        // po within threads only, transitive.
+        assert!(x.po.get(2, 3)); // st.weak → st.release
+        assert!(x.po.get(4, 5));
+        assert!(!x.po.get(3, 4));
+        assert!(!x.po.get(0, 2)); // init writes not po-ordered
+    }
+
+    #[test]
+    fn init_writes_are_weak_and_zero() {
+        let x = expand(&mp_program());
+        let init = &x.events[x.init_write(Location(0))];
+        assert!(init.is_init);
+        assert!(!init.strong);
+        assert_eq!(init.src, Some(Operand::Imm(Value(0))));
+        assert_eq!(init.thread, None);
+    }
+
+    #[test]
+    fn atom_splits_into_rmw_pair() {
+        let p = Program::new(
+            vec![vec![atom_add(AtomSem::AcqRel, Scope::Gpu, Register(0), Location(0), 1)]],
+            SystemLayout::single_cta(1),
+        );
+        let x = expand(&p);
+        assert_eq!(x.len(), 3); // init + R + W
+        let r = &x.events[1];
+        let w = &x.events[2];
+        assert_eq!(r.kind, EventKind::Read);
+        assert_eq!(w.kind, EventKind::Write);
+        assert_eq!(r.rmw_partner, Some(2));
+        assert_eq!(w.rmw_partner, Some(1));
+        assert!(r.acquire && w.release);
+        assert!(x.rmw.get(1, 2));
+        // add's stored value depends on its read.
+        assert!(x.dep.get(1, 2));
+        assert!(x.po.get(1, 2));
+    }
+
+    #[test]
+    fn register_data_dependency() {
+        // LB shape: r0 = load y; store x = r0.
+        let p = Program::new(
+            vec![vec![
+                ld_weak(Register(0), Location(1)),
+                st_weak_reg(Location(0), Register(0)),
+            ]],
+            SystemLayout::single_cta(1),
+        );
+        let x = expand(&p);
+        let load = x.reads[0];
+        let store = x.writes_by_loc[0].1[1];
+        assert!(x.dep.get(load, store));
+    }
+
+    #[test]
+    fn barrier_sync_edges() {
+        let p = Program::new(
+            vec![
+                vec![bar_sync(BarrierId(0))],
+                vec![bar_sync(BarrierId(0))],
+                vec![bar_arrive(BarrierId(0))],
+            ],
+            SystemLayout::single_cta(3),
+        );
+        let x = expand(&p);
+        let (b0, b1, b2) = (0, 1, 2);
+        assert!(x.syncbarrier.get(b0, b1));
+        assert!(x.syncbarrier.get(b1, b0));
+        // arrive synchronizes-with syncs, but nothing synchronizes-with an
+        // arrive (it does not wait).
+        assert!(x.syncbarrier.get(b2, b0));
+        assert!(!x.syncbarrier.get(b0, b2));
+    }
+
+    #[test]
+    fn barrier_requires_same_cta() {
+        let p = Program::new(
+            vec![vec![bar_sync(BarrierId(0))], vec![bar_sync(BarrierId(0))]],
+            SystemLayout::cta_per_thread(2),
+        );
+        let x = expand(&p);
+        assert!(x.syncbarrier.is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! Candidate executions and the PTX derived relations (paper Figure 4).
+//!
+//! A [`Candidate`] pairs a program expansion with the runtime-determined
+//! witnesses: the reads-from choice, the (partial!) coherence order, and
+//! the Fence-SC order. [`Relations::compute`] derives moral strength,
+//! observation order, synchronizes-with, and causality order exactly as
+//! the paper defines them.
+
+use memmodel::{Location, RelMat, SystemLayout, Value};
+
+use crate::event::{EventKind, Expansion};
+use crate::inst::Operand;
+
+/// A candidate execution witness over an [`Expansion`].
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// For each read (indexed as in `expansion.reads`), the event id of the
+    /// write it reads from.
+    pub rf_source: Vec<usize>,
+    /// Coherence order: a strict partial order per location (unioned),
+    /// with init writes ordered before all other writes to their location.
+    pub co: RelMat,
+    /// Fence-SC order: a strict partial order over `fence.sc` events that
+    /// relates every morally strong pair.
+    pub sc: RelMat,
+}
+
+impl Candidate {
+    /// The reads-from relation as a matrix (write → read).
+    pub fn rf_matrix(&self, expansion: &Expansion) -> RelMat {
+        let mut rf = RelMat::new(expansion.len());
+        for (i, &r) in expansion.reads.iter().enumerate() {
+            rf.set(self.rf_source[i], r);
+        }
+        rf
+    }
+}
+
+/// The values carried by each event of a candidate execution, plus final
+/// state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueMap {
+    /// Value read or written by each event (None for fences/barriers).
+    pub values: Vec<Option<Value>>,
+}
+
+/// Evaluates event values under a reads-from choice.
+///
+/// Returns `None` when evaluation gets stuck, which happens exactly when
+/// `rf ∪ dep` is cyclic — i.e. the candidate violates No-Thin-Air and has
+/// no well-defined values.
+pub fn evaluate_values(expansion: &Expansion, candidate: &Candidate) -> Option<ValueMap> {
+    let n = expansion.len();
+    let mut values: Vec<Option<Value>> = vec![None; n];
+    // rf source per read event id.
+    let mut rf_of: Vec<Option<usize>> = vec![None; n];
+    for (i, &r) in expansion.reads.iter().enumerate() {
+        rf_of[r] = Some(candidate.rf_source[i]);
+    }
+
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for e in 0..n {
+            if values[e].is_some() {
+                continue;
+            }
+            let ev = &expansion.events[e];
+            let new = match ev.kind {
+                EventKind::Fence | EventKind::Barrier => continue,
+                EventKind::Read => {
+                    let w = rf_of[e].expect("read has rf source");
+                    values[w]
+                }
+                EventKind::Write => {
+                    let operand = match ev.src {
+                        Some(Operand::Imm(v)) => Some(v),
+                        Some(Operand::Reg(_)) => match expansion.operand_setter[e] {
+                            Some(setter) => values[setter],
+                            // A register read before any setter: zero.
+                            None => Some(Value(0)),
+                        },
+                        None => Some(Value(0)),
+                    };
+                    match (ev.rmw_op, ev.rmw_partner) {
+                        (Some(op), Some(read_half)) => {
+                            // Exch does not need the old value; Add/Cas do.
+                            match (op, operand) {
+                                (crate::inst::RmwOp::Exch, Some(v)) => Some(v),
+                                (_, Some(v)) => values[read_half].map(|old| op.apply(old, v)),
+                                (_, None) => None,
+                            }
+                        }
+                        _ => operand,
+                    }
+                }
+            };
+            if new.is_some() {
+                values[e] = new;
+                progress = true;
+            }
+        }
+    }
+
+    // Every memory event must have a value; otherwise rf ∪ dep was cyclic.
+    let complete = expansion
+        .events
+        .iter()
+        .all(|ev| !ev.is_memory() || values[ev.id].is_some());
+    complete.then_some(ValueMap { values })
+}
+
+/// The derived relations of the PTX memory model (Figure 4), computed for
+/// one candidate execution.
+#[derive(Debug, Clone)]
+pub struct Relations {
+    /// Moral strength (paper §8.6): program-order-related pairs, or pairs
+    /// of strong operations with mutually inclusive scopes that overlap if
+    /// both are memory operations. Symmetric, irreflexive.
+    pub morally_strong: RelMat,
+    /// Reads-from (write → read).
+    pub rf: RelMat,
+    /// From-reads: `rf⁻¹ ; co`.
+    pub fr: RelMat,
+    /// Program order restricted to overlapping memory events.
+    pub po_loc: RelMat,
+    /// Observation order (§8.8.2): `(ms ∩ rf) ∪ (obs ; rmw ; obs)`.
+    pub obs: RelMat,
+    /// Release patterns: release op → the strong write communicating it.
+    pub pattern_rel: RelMat,
+    /// Acquire patterns: the strong read → the acquire op consuming it.
+    pub pattern_acq: RelMat,
+    /// Synchronizes-with (§8.7): morally strong release→acquire chains,
+    /// barrier synchronization, and Fence-SC order.
+    pub sw: RelMat,
+    /// Base causality order (§8.8.5): `(po? ; sw ; po?)⁺`.
+    pub cause_base: RelMat,
+    /// Causality order: `cause_base ∪ (obs ; (cause_base ∪ po_loc))`.
+    pub cause: RelMat,
+}
+
+impl Relations {
+    /// Computes all derived relations for `candidate`.
+    pub fn compute(
+        expansion: &Expansion,
+        layout: &SystemLayout,
+        candidate: &Candidate,
+    ) -> Relations {
+        let n = expansion.len();
+        let events = &expansion.events;
+
+        let morally_strong = morally_strong(expansion, layout);
+
+        let rf = candidate.rf_matrix(expansion);
+        let fr = rf.transpose().compose(&candidate.co);
+
+        // po_loc: program order between overlapping memory events.
+        let po_loc = expansion
+            .po
+            .filter(|i, j| events[i].is_memory() && events[j].is_memory() && events[i].overlaps(&events[j]));
+
+        // obs = (ms ∩ rf) ∪ (obs ; rmw ; obs), least fixpoint.
+        let obs_base = morally_strong.intersect(&rf);
+        let obs = obs_base.fixpoint(|cur| cur.compose(&expansion.rmw).compose(cur));
+
+        // pattern_rel = ([W≥REL] ; po_loc? ; [W]) ∪ ([F≥REL] ; po ; [W]).
+        let diag_w = diag(n, |i| events[i].kind == EventKind::Write);
+        let diag_w_rel =
+            diag(n, |i| events[i].kind == EventKind::Write && events[i].release);
+        let diag_f_rel =
+            diag(n, |i| events[i].kind == EventKind::Fence && events[i].release);
+        let po_loc_opt = po_loc.union(&RelMat::identity(n));
+        let pattern_rel = diag_w_rel
+            .compose(&po_loc_opt)
+            .compose(&diag_w)
+            .union(&diag_f_rel.compose(&expansion.po).compose(&diag_w));
+
+        // pattern_acq = ([R] ; po_loc? ; [R≥ACQ]) ∪ ([R] ; po ; [F≥ACQ]).
+        let diag_r = diag(n, |i| events[i].kind == EventKind::Read);
+        let diag_r_acq =
+            diag(n, |i| events[i].kind == EventKind::Read && events[i].acquire);
+        let diag_f_acq =
+            diag(n, |i| events[i].kind == EventKind::Fence && events[i].acquire);
+        let pattern_acq = diag_r
+            .compose(&po_loc_opt)
+            .compose(&diag_r_acq)
+            .union(&diag_r.compose(&expansion.po).compose(&diag_f_acq));
+
+        // sw = (ms ∩ (pattern_rel ; obs ; pattern_acq)) ∪ syncbarrier ∪ sc.
+        let chain = pattern_rel.compose(&obs).compose(&pattern_acq);
+        let sw = morally_strong
+            .intersect(&chain)
+            .union(&expansion.syncbarrier)
+            .union(&candidate.sc);
+
+        // cause_base = (po? ; sw ; po?)⁺.
+        let po_opt = expansion.po.union(&RelMat::identity(n));
+        let cause_base = po_opt
+            .compose(&sw)
+            .compose(&po_opt)
+            .transitive_closure();
+
+        // cause = cause_base ∪ (obs ; (cause_base ∪ po_loc)).
+        let cause = cause_base.union(&obs.compose(&cause_base.union(&po_loc)));
+
+        Relations {
+            morally_strong,
+            rf,
+            fr,
+            po_loc,
+            obs,
+            pattern_rel,
+            pattern_acq,
+            sw,
+            cause_base,
+            cause,
+        }
+    }
+}
+
+/// Moral strength (paper §8.6), which depends only on the program, not on
+/// the execution witness: two distinct operations are morally strong if
+/// they are related in program order, or if each is strong, each specifies
+/// a scope including the other's thread, and (when both are memory
+/// operations) they overlap.
+pub fn morally_strong(expansion: &Expansion, layout: &SystemLayout) -> RelMat {
+    let n = expansion.len();
+    let mut ms = RelMat::new(n);
+    for a in &expansion.events {
+        for b in &expansion.events {
+            if a.id == b.id {
+                continue;
+            }
+            let po_related = expansion.po.get(a.id, b.id) || expansion.po.get(b.id, a.id);
+            let strong_pair = a.strong
+                && b.strong
+                && match (a.thread, b.thread) {
+                    (Some(ta), Some(tb)) => layout.mutually_inclusive(a.scope, ta, b.scope, tb),
+                    _ => false,
+                }
+                && (!(a.is_memory() && b.is_memory()) || a.overlaps(b));
+            if po_related || strong_pair {
+                ms.set(a.id, b.id);
+            }
+        }
+    }
+    ms
+}
+
+/// The diagonal relation over elements satisfying `pred` (the `[s]`
+/// bracket of the paper).
+pub fn diag<F: Fn(usize) -> bool>(n: usize, pred: F) -> RelMat {
+    RelMat::from_pairs(n, (0..n).filter(|&i| pred(i)).map(|i| (i, i)))
+}
+
+/// The fixed part of the coherence order: every init write precedes every
+/// other write to its location.
+pub fn init_co_edges(expansion: &Expansion) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for (_, writes) in &expansion.writes_by_loc {
+        let init = writes[0];
+        debug_assert!(expansion.events[init].is_init);
+        for &w in &writes[1..] {
+            edges.push((init, w));
+        }
+    }
+    edges
+}
+
+/// The final value(s) a location may settle to: the values of co-maximal
+/// writes. In race-free executions there is exactly one; racy executions
+/// may admit several (the model leaves the final value undefined).
+pub fn final_values(
+    expansion: &Expansion,
+    candidate: &Candidate,
+    values: &ValueMap,
+    loc: Location,
+) -> Vec<Value> {
+    let writes = expansion
+        .writes_by_loc
+        .iter()
+        .find(|(l, _)| *l == loc)
+        .map(|(_, ws)| ws.as_slice())
+        .unwrap_or(&[]);
+    let mut out: Vec<Value> = writes
+        .iter()
+        .filter(|&&w| writes.iter().all(|&w2| !candidate.co.get(w, w2)))
+        .filter_map(|&w| values.values[w])
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::expand;
+    use crate::inst::build::*;
+    use crate::inst::Program;
+    use memmodel::{Register, Scope, SystemLayout};
+
+    /// MP: T0: st.weak x,1; st.release.gpu y,1. T1: ld.acquire.gpu y; ld.weak x.
+    fn mp() -> (Expansion, SystemLayout) {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_weak(Location(0), 1),
+                    st_release(Scope::Gpu, Location(1), 1),
+                ],
+                vec![
+                    ld_acquire(Scope::Gpu, Register(0), Location(1)),
+                    ld_weak(Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let layout = p.layout.clone();
+        (expand(&p), layout)
+    }
+
+    /// The MP candidate where the acquire observes the release (r0 = 1)
+    /// but the data load misses (r1 = 0).
+    fn mp_forbidden_candidate(x: &Expansion) -> Candidate {
+        // events: 0=init_x, 1=init_y, 2=Wx, 3=Wrel_y, 4=Racq_y, 5=Rx
+        let co = RelMat::from_pairs(x.len(), init_co_edges(x).into_iter());
+        Candidate {
+            rf_source: vec![3, 0], // Racq_y reads Wrel_y; Rx reads init_x
+            co,
+            sc: RelMat::new(x.len()),
+        }
+    }
+
+    #[test]
+    fn mp_moral_strength() {
+        let (x, layout) = mp();
+        let c = mp_forbidden_candidate(&x);
+        let rel = Relations::compute(&x, &layout, &c);
+        // The release store and acquire load are both strong at gpu scope
+        // on the same GPU and overlap: morally strong.
+        assert!(rel.morally_strong.get(3, 4));
+        // po-related events are morally strong even when weak.
+        assert!(rel.morally_strong.get(2, 3));
+        // Weak Rx vs strong Wx in another thread: not morally strong.
+        assert!(!rel.morally_strong.get(2, 5));
+    }
+
+    #[test]
+    fn mp_synchronization_chain() {
+        let (x, layout) = mp();
+        let c = mp_forbidden_candidate(&x);
+        let rel = Relations::compute(&x, &layout, &c);
+        assert!(rel.obs.get(3, 4), "release observed by acquire");
+        assert!(rel.pattern_rel.get(3, 3), "release is its own pattern");
+        assert!(rel.pattern_acq.get(4, 4));
+        assert!(rel.sw.get(3, 4), "synchronizes-with");
+        assert!(rel.cause_base.get(2, 5), "Wx causes Rx through sw");
+        assert!(rel.cause.get(2, 5));
+    }
+
+    #[test]
+    fn values_propagate_through_rf() {
+        let (x, _) = mp();
+        let c = mp_forbidden_candidate(&x);
+        let vm = evaluate_values(&x, &c).unwrap();
+        assert_eq!(vm.values[4], Some(Value(1))); // read of release store
+        assert_eq!(vm.values[5], Some(Value(0))); // read of init
+    }
+
+    #[test]
+    fn thin_air_cycle_fails_evaluation() {
+        // LB with data dependencies both ways: r0=x; y=r0 || r1=y; x=r1.
+        let p = Program::new(
+            vec![
+                vec![
+                    ld_weak(Register(0), Location(0)),
+                    st_weak_reg(Location(1), Register(0)),
+                ],
+                vec![
+                    ld_weak(Register(1), Location(1)),
+                    st_weak_reg(Location(0), Register(1)),
+                ],
+            ],
+            SystemLayout::single_cta(2),
+        );
+        let x = expand(&p);
+        // events: 0=init_x,1=init_y,2=Rx,3=Wy,4=Ry,5=Wx
+        let co = RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        let cyclic = Candidate {
+            rf_source: vec![5, 3], // Rx reads Wx, Ry reads Wy: value cycle
+            co,
+            sc: RelMat::new(x.len()),
+        };
+        assert!(evaluate_values(&x, &cyclic).is_none());
+    }
+
+    #[test]
+    fn final_values_respect_co() {
+        let p = Program::new(
+            vec![vec![st_weak(Location(0), 1), st_weak(Location(0), 2)]],
+            SystemLayout::single_cta(1),
+        );
+        let x = expand(&p);
+        // events: 0=init, 1=W1, 2=W2. co: init→both, W1→W2.
+        let mut co = RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        co.set(1, 2);
+        let c = Candidate {
+            rf_source: vec![],
+            co,
+            sc: RelMat::new(x.len()),
+        };
+        let vm = evaluate_values(&x, &c).unwrap();
+        assert_eq!(final_values(&x, &c, &vm, Location(0)), vec![Value(2)]);
+    }
+}

@@ -1,0 +1,646 @@
+//! The PTX memory instruction set (paper Figure 3).
+//!
+//! We model exactly the highlighted portions of the `ld`, `st`, `atom`,
+//! `red`, `fence`, and `bar` instructions: ordering semantics and scope.
+//! The `.type`, `.vec`, `.ss`, and `.cop` qualifiers do not affect the
+//! memory model (paper §3.6) and are omitted; `.volatile` is equivalent to
+//! `.relaxed.sys` and can be expressed directly.
+
+use memmodel::{BarrierId, Location, Register, Scope, SystemLayout, Value};
+
+/// Ordering semantics of a `ld` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadSem {
+    /// `ld.weak`: no ordering, not a strong operation.
+    Weak,
+    /// `ld.relaxed.scope`: strong but unordered.
+    Relaxed,
+    /// `ld.acquire.scope`.
+    Acquire,
+}
+
+/// Ordering semantics of a `st` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreSem {
+    /// `st.weak`: no ordering, not a strong operation.
+    Weak,
+    /// `st.relaxed.scope`: strong but unordered.
+    Relaxed,
+    /// `st.release.scope`.
+    Release,
+}
+
+/// Ordering semantics of an `atom`/`red` instruction (always strong).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomSem {
+    /// `atom.relaxed.scope`.
+    Relaxed,
+    /// `atom.acquire.scope`.
+    Acquire,
+    /// `atom.release.scope`.
+    Release,
+    /// `atom.acq_rel.scope`.
+    AcqRel,
+}
+
+/// Ordering semantics of a `fence` instruction.
+///
+/// PTX 6.0 exposes `.sc` and `.acq_rel`; the acquire-only and release-only
+/// forms appear in the paper's compilation mapping (Figure 11) and are
+/// modeled as one-sided restrictions of `.acq_rel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FenceSem {
+    /// `fence.acquire.scope` (one-sided).
+    Acquire,
+    /// `fence.release.scope` (one-sided).
+    Release,
+    /// `fence.acq_rel.scope`.
+    AcqRel,
+    /// `fence.sc.scope` (`membar` is a synonym).
+    Sc,
+}
+
+impl FenceSem {
+    /// Whether the fence has acquire semantics (participates in acquire
+    /// patterns).
+    pub fn is_acquire(self) -> bool {
+        matches!(self, FenceSem::Acquire | FenceSem::AcqRel | FenceSem::Sc)
+    }
+
+    /// Whether the fence has release semantics (participates in release
+    /// patterns).
+    pub fn is_release(self) -> bool {
+        matches!(self, FenceSem::Release | FenceSem::AcqRel | FenceSem::Sc)
+    }
+}
+
+/// The kind of a `bar` (CTA execution barrier) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BarKind {
+    /// `bar.sync`: arrive and wait.
+    Sync,
+    /// `bar.arrive`: arrive without waiting.
+    Arrive,
+    /// `bar.red`: arrive, reduce, and wait.
+    Red,
+}
+
+impl BarKind {
+    /// Whether this barrier operation *waits* (and therefore receives
+    /// synchronization): `bar.sync` and `bar.red` do, `bar.arrive` does not
+    /// (paper §8.8.4).
+    pub fn waits(self) -> bool {
+        matches!(self, BarKind::Sync | BarKind::Red)
+    }
+}
+
+/// A read-modify-write operation performed by `atom`/`red`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// `atom.exch`: store the operand, return the old value.
+    Exch,
+    /// `atom.add`: add the operand, return the old value.
+    Add,
+    /// `atom.cas`: compare with `cmp`; if equal store the operand.
+    Cas {
+        /// The comparison value.
+        cmp: Value,
+    },
+}
+
+impl RmwOp {
+    /// The value stored by the RMW given the old value and the operand.
+    pub fn apply(self, old: Value, operand: Value) -> Value {
+        match self {
+            RmwOp::Exch => operand,
+            RmwOp::Add => Value(old.0.wrapping_add(operand.0)),
+            RmwOp::Cas { cmp } => {
+                if old == cmp {
+                    operand
+                } else {
+                    old
+                }
+            }
+        }
+    }
+}
+
+/// A store/atom data operand: an immediate or a register read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// An immediate value.
+    Imm(Value),
+    /// The current value of a register (set by an earlier load in the same
+    /// thread), creating a data dependency.
+    Reg(Register),
+}
+
+/// One PTX instruction, as modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// `ld{.sem}{.scope} dst, [loc]`.
+    Ld {
+        /// Ordering semantics.
+        sem: LoadSem,
+        /// Scope (ignored for `.weak`).
+        scope: Scope,
+        /// Destination register.
+        dst: Register,
+        /// Address read.
+        loc: Location,
+    },
+    /// `st{.sem}{.scope} [loc], src`.
+    St {
+        /// Ordering semantics.
+        sem: StoreSem,
+        /// Scope (ignored for `.weak`).
+        scope: Scope,
+        /// Address written.
+        loc: Location,
+        /// Data operand.
+        src: Operand,
+    },
+    /// `atom{.sem}.scope.op dst, [loc], src` — an atomic read-modify-write
+    /// returning the old value.
+    Atom {
+        /// Ordering semantics.
+        sem: AtomSem,
+        /// Scope.
+        scope: Scope,
+        /// Destination register receiving the old value.
+        dst: Register,
+        /// Address updated.
+        loc: Location,
+        /// The read-modify-write operation.
+        op: RmwOp,
+        /// Data operand.
+        src: Operand,
+    },
+    /// `red{.sem}.scope.op [loc], src` — a reduction: an `atom` that does
+    /// not return a value.
+    Red {
+        /// Ordering semantics.
+        sem: AtomSem,
+        /// Scope.
+        scope: Scope,
+        /// Address updated.
+        loc: Location,
+        /// The read-modify-write operation.
+        op: RmwOp,
+        /// Data operand.
+        src: Operand,
+    },
+    /// `fence{.sem}.scope`.
+    Fence {
+        /// Ordering semantics.
+        sem: FenceSem,
+        /// Scope.
+        scope: Scope,
+    },
+    /// `bar{.kind} barrier` — CTA execution barrier.
+    Bar {
+        /// The barrier operation kind.
+        kind: BarKind,
+        /// The barrier resource.
+        bar: BarrierId,
+    },
+}
+
+/// A straight-line multi-threaded PTX program: one instruction list per
+/// thread plus the system layout placing threads into CTAs and GPUs.
+///
+/// Litmus tests consider only the fully unrolled straight-line execution
+/// (paper §2.2), so there is no control flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Instructions per thread (index = thread id).
+    pub threads: Vec<Vec<Instruction>>,
+    /// Thread placement.
+    pub layout: SystemLayout,
+}
+
+impl Program {
+    /// Creates a program, checking that the layout covers every thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout` has a different thread count than `threads`.
+    pub fn new(threads: Vec<Vec<Instruction>>, layout: SystemLayout) -> Program {
+        assert_eq!(
+            threads.len(),
+            layout.num_threads(),
+            "layout thread count mismatch"
+        );
+        Program { threads, layout }
+    }
+
+    /// The set of locations used anywhere in the program, sorted.
+    pub fn locations(&self) -> Vec<Location> {
+        let mut locs: Vec<Location> = self
+            .threads
+            .iter()
+            .flatten()
+            .filter_map(|i| match *i {
+                Instruction::Ld { loc, .. }
+                | Instruction::St { loc, .. }
+                | Instruction::Atom { loc, .. }
+                | Instruction::Red { loc, .. } => Some(loc),
+                _ => None,
+            })
+            .collect();
+        locs.sort();
+        locs.dedup();
+        locs
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Imm(v) => write!(f, "{v}"),
+            Operand::Reg(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl std::fmt::Display for RmwOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RmwOp::Exch => write!(f, "exch"),
+            RmwOp::Add => write!(f, "add"),
+            RmwOp::Cas { cmp } => write!(f, "cas({cmp})"),
+        }
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Instruction::Ld {
+                sem,
+                scope,
+                dst,
+                loc,
+            } => match sem {
+                LoadSem::Weak => write!(f, "ld.weak {dst}, [{loc}]"),
+                LoadSem::Relaxed => write!(f, "ld.relaxed.{scope} {dst}, [{loc}]"),
+                LoadSem::Acquire => write!(f, "ld.acquire.{scope} {dst}, [{loc}]"),
+            },
+            Instruction::St {
+                sem,
+                scope,
+                loc,
+                src,
+            } => match sem {
+                StoreSem::Weak => write!(f, "st.weak [{loc}], {src}"),
+                StoreSem::Relaxed => write!(f, "st.relaxed.{scope} [{loc}], {src}"),
+                StoreSem::Release => write!(f, "st.release.{scope} [{loc}], {src}"),
+            },
+            Instruction::Atom {
+                sem,
+                scope,
+                dst,
+                loc,
+                op,
+                src,
+            } => {
+                let sem = atom_sem_str(sem);
+                write!(f, "atom.{sem}.{scope}.{op} {dst}, [{loc}], {src}")
+            }
+            Instruction::Red {
+                sem,
+                scope,
+                loc,
+                op,
+                src,
+            } => {
+                let sem = atom_sem_str(sem);
+                write!(f, "red.{sem}.{scope}.{op} [{loc}], {src}")
+            }
+            Instruction::Fence { sem, scope } => {
+                let sem = match sem {
+                    FenceSem::Acquire => "acquire",
+                    FenceSem::Release => "release",
+                    FenceSem::AcqRel => "acq_rel",
+                    FenceSem::Sc => "sc",
+                };
+                write!(f, "fence.{sem}.{scope}")
+            }
+            Instruction::Bar { kind, bar } => {
+                let kind = match kind {
+                    BarKind::Sync => "sync",
+                    BarKind::Arrive => "arrive",
+                    BarKind::Red => "red",
+                };
+                write!(f, "bar.{kind} {}", bar.0)
+            }
+        }
+    }
+}
+
+fn atom_sem_str(sem: AtomSem) -> &'static str {
+    match sem {
+        AtomSem::Relaxed => "relaxed",
+        AtomSem::Acquire => "acquire",
+        AtomSem::Release => "release",
+        AtomSem::AcqRel => "acq_rel",
+    }
+}
+
+impl std::fmt::Display for Program {
+    /// Renders the program as aligned per-thread columns (the litmus text
+    /// body format).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols: Vec<Vec<String>> = self
+            .threads
+            .iter()
+            .map(|t| t.iter().map(|i| i.to_string()).collect())
+            .collect();
+        let widths: Vec<usize> = cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                c.iter()
+                    .map(String::len)
+                    .chain(std::iter::once(format!("P{i}").len()))
+                    .max()
+                    .unwrap_or(2)
+            })
+            .collect();
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{:<w$}", format!("P{i}"), w = w)?;
+        }
+        writeln!(f, " ;")?;
+        let rows = cols.iter().map(Vec::len).max().unwrap_or(0);
+        for r in 0..rows {
+            for (i, c) in cols.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(
+                    f,
+                    "{:<w$}",
+                    c.get(r).map(String::as_str).unwrap_or(""),
+                    w = widths[i]
+                )?;
+            }
+            writeln!(f, " ;")?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience constructors for building litmus tests tersely.
+pub mod build {
+    use super::*;
+
+    /// `ld.weak dst, [loc]`.
+    pub fn ld_weak(dst: Register, loc: Location) -> Instruction {
+        Instruction::Ld {
+            sem: LoadSem::Weak,
+            scope: Scope::Sys,
+            dst,
+            loc,
+        }
+    }
+
+    /// `ld.relaxed.scope dst, [loc]`.
+    pub fn ld_relaxed(scope: Scope, dst: Register, loc: Location) -> Instruction {
+        Instruction::Ld {
+            sem: LoadSem::Relaxed,
+            scope,
+            dst,
+            loc,
+        }
+    }
+
+    /// `ld.acquire.scope dst, [loc]`.
+    pub fn ld_acquire(scope: Scope, dst: Register, loc: Location) -> Instruction {
+        Instruction::Ld {
+            sem: LoadSem::Acquire,
+            scope,
+            dst,
+            loc,
+        }
+    }
+
+    /// `st.weak [loc], imm`.
+    pub fn st_weak(loc: Location, v: u64) -> Instruction {
+        Instruction::St {
+            sem: StoreSem::Weak,
+            scope: Scope::Sys,
+            loc,
+            src: Operand::Imm(Value(v)),
+        }
+    }
+
+    /// `st.weak [loc], reg`.
+    pub fn st_weak_reg(loc: Location, r: Register) -> Instruction {
+        Instruction::St {
+            sem: StoreSem::Weak,
+            scope: Scope::Sys,
+            loc,
+            src: Operand::Reg(r),
+        }
+    }
+
+    /// `st.relaxed.scope [loc], imm`.
+    pub fn st_relaxed(scope: Scope, loc: Location, v: u64) -> Instruction {
+        Instruction::St {
+            sem: StoreSem::Relaxed,
+            scope,
+            loc,
+            src: Operand::Imm(Value(v)),
+        }
+    }
+
+    /// `st.release.scope [loc], imm`.
+    pub fn st_release(scope: Scope, loc: Location, v: u64) -> Instruction {
+        Instruction::St {
+            sem: StoreSem::Release,
+            scope,
+            loc,
+            src: Operand::Imm(Value(v)),
+        }
+    }
+
+    /// `fence.sc.scope`.
+    pub fn fence_sc(scope: Scope) -> Instruction {
+        Instruction::Fence {
+            sem: FenceSem::Sc,
+            scope,
+        }
+    }
+
+    /// `fence.acq_rel.scope`.
+    pub fn fence_acq_rel(scope: Scope) -> Instruction {
+        Instruction::Fence {
+            sem: FenceSem::AcqRel,
+            scope,
+        }
+    }
+
+    /// `fence.acquire.scope`.
+    pub fn fence_acquire(scope: Scope) -> Instruction {
+        Instruction::Fence {
+            sem: FenceSem::Acquire,
+            scope,
+        }
+    }
+
+    /// `fence.release.scope`.
+    pub fn fence_release(scope: Scope) -> Instruction {
+        Instruction::Fence {
+            sem: FenceSem::Release,
+            scope,
+        }
+    }
+
+    /// `atom.sem.scope.exch dst, [loc], imm`.
+    pub fn atom_exch(sem: AtomSem, scope: Scope, dst: Register, loc: Location, v: u64) -> Instruction {
+        Instruction::Atom {
+            sem,
+            scope,
+            dst,
+            loc,
+            op: RmwOp::Exch,
+            src: Operand::Imm(Value(v)),
+        }
+    }
+
+    /// `atom.sem.scope.add dst, [loc], imm`.
+    pub fn atom_add(sem: AtomSem, scope: Scope, dst: Register, loc: Location, v: u64) -> Instruction {
+        Instruction::Atom {
+            sem,
+            scope,
+            dst,
+            loc,
+            op: RmwOp::Add,
+            src: Operand::Imm(Value(v)),
+        }
+    }
+
+    /// `red.sem.scope.add [loc], imm`.
+    pub fn red_add(sem: AtomSem, scope: Scope, loc: Location, v: u64) -> Instruction {
+        Instruction::Red {
+            sem,
+            scope,
+            loc,
+            op: RmwOp::Add,
+            src: Operand::Imm(Value(v)),
+        }
+    }
+
+    /// `bar.sync bar`.
+    pub fn bar_sync(bar: BarrierId) -> Instruction {
+        Instruction::Bar {
+            kind: BarKind::Sync,
+            bar,
+        }
+    }
+
+    /// `bar.arrive bar`.
+    pub fn bar_arrive(bar: BarrierId) -> Instruction {
+        Instruction::Bar {
+            kind: BarKind::Arrive,
+            bar,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmw_ops_apply() {
+        assert_eq!(RmwOp::Exch.apply(Value(1), Value(9)), Value(9));
+        assert_eq!(RmwOp::Add.apply(Value(1), Value(9)), Value(10));
+        let cas = RmwOp::Cas { cmp: Value(1) };
+        assert_eq!(cas.apply(Value(1), Value(9)), Value(9));
+        assert_eq!(cas.apply(Value(2), Value(9)), Value(2));
+    }
+
+    #[test]
+    fn fence_sides() {
+        assert!(FenceSem::Sc.is_acquire() && FenceSem::Sc.is_release());
+        assert!(FenceSem::AcqRel.is_acquire() && FenceSem::AcqRel.is_release());
+        assert!(FenceSem::Acquire.is_acquire() && !FenceSem::Acquire.is_release());
+        assert!(!FenceSem::Release.is_acquire() && FenceSem::Release.is_release());
+    }
+
+    #[test]
+    fn program_locations() {
+        use build::*;
+        use memmodel::SystemLayout;
+        let p = Program::new(
+            vec![
+                vec![st_weak(Location(1), 1), st_weak(Location(0), 1)],
+                vec![ld_weak(Register(0), Location(1))],
+            ],
+            SystemLayout::single_cta(2),
+        );
+        assert_eq!(p.locations(), vec![Location(0), Location(1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn layout_mismatch_panics() {
+        Program::new(vec![vec![]], SystemLayout::single_cta(2));
+    }
+
+    #[test]
+    fn display_roundtrips_through_the_parser_format() {
+        use build::*;
+        use memmodel::{BarrierId, Scope};
+        // Every displayed instruction uses the litmus text syntax.
+        for (i, expect) in [
+            (ld_weak(Register(0), Location(0)), "ld.weak r0, [x]"),
+            (
+                ld_acquire(Scope::Gpu, Register(1), Location(1)),
+                "ld.acquire.gpu r1, [y]",
+            ),
+            (st_weak(Location(0), 5), "st.weak [x], 5"),
+            (
+                st_release(Scope::Sys, Location(1), 1),
+                "st.release.sys [y], 1",
+            ),
+            (fence_sc(Scope::Cta), "fence.sc.cta"),
+            (
+                atom_add(AtomSem::AcqRel, Scope::Gpu, Register(2), Location(0), 3),
+                "atom.acq_rel.gpu.add r2, [x], 3",
+            ),
+            (
+                red_add(AtomSem::Relaxed, Scope::Sys, Location(1), 1),
+                "red.relaxed.sys.add [y], 1",
+            ),
+            (bar_sync(BarrierId(0)), "bar.sync 0"),
+        ] {
+            assert_eq!(i.to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn program_display_is_columnar() {
+        use build::*;
+        let p = Program::new(
+            vec![
+                vec![st_weak(Location(0), 1), st_weak(Location(1), 1)],
+                vec![ld_weak(Register(0), Location(1))],
+            ],
+            SystemLayout::single_cta(2),
+        );
+        let shown = p.to_string();
+        assert!(shown.contains("P0"));
+        assert!(shown.contains('|'));
+        assert!(shown.lines().count() == 3);
+    }
+}

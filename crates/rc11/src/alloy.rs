@@ -1,0 +1,415 @@
+//! The scoped RC11 model as bounded relational constraints.
+//!
+//! Mirrors [`crate::relations`] in the Alloy-style language, for use in
+//! the combined mapping-verification model (paper §5.2, Figure 17). The
+//! memory-order lattice is encoded as cumulative flag sets rather than a
+//! partition, which keeps the derived-relation definitions close to
+//! Figure 10.
+
+use relational::{Expr, Formula, Schema, VarGen};
+
+/// The declared relations of a scoped C++ event universe.
+#[derive(Debug, Clone)]
+pub struct CVocab {
+    /// Live events.
+    pub ev: Expr,
+    /// Read events.
+    pub read: Expr,
+    /// Write events.
+    pub write: Expr,
+    /// Fence events.
+    pub fence: Expr,
+    /// Atomic events (`⊒ RLX`).
+    pub atomic: Expr,
+    /// Events with acquire semantics (`⊒ ACQ`: acq, acq_rel, sc reads/fences).
+    pub acq: Expr,
+    /// Events with release semantics (`⊒ REL`).
+    pub rel: Expr,
+    /// `memory_order_seq_cst` events.
+    pub sc: Expr,
+    /// Scope qualifiers (partition of live events).
+    pub scope_cta: Expr,
+    /// `.gpu`-scoped events.
+    pub scope_gpu: Expr,
+    /// `.sys`-scoped events.
+    pub scope_sys: Expr,
+    /// Event → location (memory events).
+    pub loc: Expr,
+    /// Event → thread.
+    pub thread: Expr,
+    /// Sequenced-before (strict total order per thread).
+    pub sb: Expr,
+    /// Reads-from.
+    pub rf: Expr,
+    /// Modification order (strict total order per location over writes).
+    pub mo: Expr,
+    /// RMW pairing (read half → write half).
+    pub rmw: Expr,
+    /// Thread × Thread: same CTA (constant).
+    pub same_cta: Expr,
+    /// Thread × Thread: same GPU (constant).
+    pub same_gpu: Expr,
+    /// All threads.
+    pub threads: Expr,
+}
+
+impl CVocab {
+    /// Declares a fresh scoped C++ vocabulary with the given prefix.
+    pub fn declare(schema: &mut Schema, prefix: &str) -> CVocab {
+        let mut r =
+            |name: &str, arity| Expr::Rel(schema.relation(&format!("{prefix}{name}"), arity));
+        CVocab {
+            ev: r("ev", 1),
+            read: r("read", 1),
+            write: r("write", 1),
+            fence: r("fence", 1),
+            atomic: r("atomic", 1),
+            acq: r("acq", 1),
+            rel: r("rel", 1),
+            sc: r("sc", 1),
+            scope_cta: r("scope_cta", 1),
+            scope_gpu: r("scope_gpu", 1),
+            scope_sys: r("scope_sys", 1),
+            loc: r("loc", 2),
+            thread: r("thread", 2),
+            sb: r("sb", 2),
+            rf: r("rf", 2),
+            mo: r("mo", 2),
+            rmw: r("rmw", 2),
+            same_cta: r("same_cta", 2),
+            same_gpu: r("same_gpu", 2),
+            threads: r("threads", 1),
+        }
+    }
+
+    /// Memory events.
+    pub fn memory(&self) -> Expr {
+        self.read.union(&self.write)
+    }
+
+    /// Same-location pairs of distinct memory events.
+    pub fn same_loc(&self) -> Expr {
+        self.loc
+            .join(&self.loc.transpose())
+            .difference(&Expr::Iden)
+    }
+
+    /// Scope inclusion: `(a, b)` when `a`'s scope includes `b`'s thread.
+    pub fn inclusion(&self) -> Expr {
+        let via = |scope: &Expr, same: &Expr| -> Expr {
+            crate::alloy_bracket(scope)
+                .join(&self.thread.join(same).join(&self.thread.transpose()))
+        };
+        let all_threads = self.threads.product(&self.threads);
+        via(&self.scope_cta, &self.same_cta)
+            .union(&via(&self.scope_gpu, &self.same_gpu))
+            .union(&via(&self.scope_sys, &all_threads))
+    }
+
+    /// The `incl` relation: mutually inclusive pairs.
+    pub fn incl(&self) -> Expr {
+        let one_way = self.inclusion();
+        one_way.intersect(&one_way.transpose())
+    }
+
+    /// `sb` restricted to same-location memory accesses.
+    pub fn sb_loc(&self) -> Expr {
+        self.sb.intersect(&self.same_loc())
+    }
+
+    /// Reads-before: `rf⁻¹ ; mo − iden`.
+    pub fn rb(&self) -> Expr {
+        self.rf
+            .transpose()
+            .join(&self.mo)
+            .difference(&Expr::Iden)
+    }
+
+    /// Extended communication: `(rf ∪ mo ∪ rb)⁺`.
+    pub fn eco(&self) -> Expr {
+        self.rf.union(&self.mo).union(&self.rb()).closure()
+    }
+
+    /// Release sequences: `[W] ; sb|loc? ; [W∧atomic] ; ((incl ∩ rf) ; rmw)*`.
+    pub fn rs(&self) -> Expr {
+        let w = crate::alloy_bracket(&self.write);
+        let w_at = crate::alloy_bracket(&self.write.intersect(&self.atomic));
+        let step = self.incl().intersect(&self.rf).join(&self.rmw);
+        w.join(&self.sb_loc().optional())
+            .join(&w_at)
+            .join(&step.reflexive_closure())
+    }
+
+    /// Synchronizes-with (Figure 10b).
+    pub fn sw(&self) -> Expr {
+        let e_rel = crate::alloy_bracket(&self.rel);
+        let e_acq = crate::alloy_bracket(&self.acq);
+        let f = crate::alloy_bracket(&self.fence);
+        let r_at = crate::alloy_bracket(&self.read.intersect(&self.atomic));
+        let f_sb_opt = f.join(&self.sb).optional();
+        let sb_f_opt = self.sb.join(&f).optional();
+        e_rel
+            .join(&f_sb_opt)
+            .join(&self.rs())
+            .join(&self.incl().intersect(&self.rf))
+            .join(&r_at)
+            .join(&sb_f_opt)
+            .join(&e_acq)
+    }
+
+    /// Happens-before: `(sb ∪ (incl ∩ sw))⁺`.
+    pub fn hb(&self) -> Expr {
+        self.sb.union(&self.incl().intersect(&self.sw())).closure()
+    }
+
+    /// SC-before (Figure 10b).
+    pub fn scb(&self) -> Expr {
+        let hb = self.hb();
+        let sb_nloc = self.sb.difference(&self.sb_loc());
+        let hb_loc = hb.intersect(&self.same_loc());
+        self.sb
+            .union(&sb_nloc.join(&hb).join(&sb_nloc))
+            .union(&hb_loc)
+            .union(&self.mo)
+            .union(&self.rb())
+    }
+
+    /// Partial-SC (Figure 10b): `psc_base ∪ psc_F`.
+    pub fn psc(&self) -> Expr {
+        let hb = self.hb();
+        let hb_opt = hb.optional();
+        let e_sc = crate::alloy_bracket(&self.sc);
+        let f_sc = crate::alloy_bracket(&self.fence.intersect(&self.sc));
+        let left = e_sc.union(&f_sc.join(&hb_opt));
+        let right = e_sc.union(&hb_opt.join(&f_sc));
+        let psc_base = left.join(&self.scb()).join(&right);
+        let hb_eco_hb = hb.join(&self.eco()).join(&hb);
+        let psc_f = f_sc.join(&hb.union(&hb_eco_hb)).join(&f_sc);
+        psc_base.union(&psc_f)
+    }
+
+    /// Structural well-formedness.
+    pub fn well_formed(&self, fresh: &mut VarGen) -> Formula {
+        let ev = &self.ev;
+        let mem = self.memory();
+        let mut fs = Vec::new();
+
+        fs.push(crate::alloy_partition(
+            ev,
+            &[&self.read, &self.write, &self.fence],
+        ));
+        fs.push(crate::alloy_partition(
+            ev,
+            &[&self.scope_cta, &self.scope_gpu, &self.scope_sys],
+        ));
+
+        // Order-flag discipline (Figure 10a).
+        fs.push(self.atomic.in_(ev));
+        fs.push(self.acq.in_(&self.atomic));
+        fs.push(self.rel.in_(&self.atomic));
+        fs.push(self.sc.in_(&self.atomic));
+        fs.push(self.acq.in_(&self.read.union(&self.fence)));
+        fs.push(self.rel.in_(&self.write.union(&self.fence)));
+        // SC events have the strongest applicable sides.
+        fs.push(self.sc.intersect(&self.read).in_(&self.acq));
+        fs.push(self.sc.intersect(&self.write).in_(&self.rel));
+        fs.push(self.sc.intersect(&self.fence).in_(&self.acq.intersect(&self.rel)));
+        // Fences are atomic and at least one-sided.
+        fs.push(self.fence.in_(&self.atomic));
+        fs.push(self.fence.in_(&self.acq.union(&self.rel)));
+
+        // loc / thread functions.
+        let v = fresh.var();
+        fs.push(Formula::for_all(
+            v,
+            mem.clone(),
+            Expr::Var(v).join(&self.loc).one(),
+        ));
+        fs.push(self.loc.join(&Expr::Univ).in_(&mem));
+        let v = fresh.var();
+        fs.push(Formula::for_all(
+            v,
+            ev.clone(),
+            Expr::Var(v).join(&self.thread).one(),
+        ));
+        fs.push(self.thread.join(&Expr::Univ).in_(ev));
+        fs.push(Expr::Univ.join(&self.thread).in_(&self.threads));
+
+        // sb: strict total order per thread.
+        let same_thread = self
+            .thread
+            .join(&self.thread.transpose())
+            .difference(&Expr::Iden);
+        fs.push(relational::patterns::strict_partial_order(&self.sb));
+        fs.push(self.sb.in_(&same_thread));
+        fs.push(same_thread.in_(&self.sb.union(&self.sb.transpose())));
+
+        // rf: write→read, same loc, total and functional on reads
+        // (the bounded model has no init writes, so every read must have a
+        // source; this is the standard finitization).
+        fs.push(self.rf.in_(&self.write.product(&self.read)));
+        fs.push(self.rf.in_(&self.same_loc()));
+        let v = fresh.var();
+        fs.push(Formula::for_all(
+            v,
+            self.read.clone(),
+            self.rf.join(&Expr::Var(v)).one(),
+        ));
+
+        // mo: strict total order over writes per location.
+        fs.push(relational::patterns::strict_partial_order(&self.mo));
+        fs.push(
+            self.mo
+                .in_(&self.write.product(&self.write).intersect(&self.same_loc())),
+        );
+        let ww_same_loc = self
+            .write
+            .product(&self.write)
+            .intersect(&self.same_loc());
+        fs.push(ww_same_loc.in_(&self.mo.union(&self.mo.transpose())));
+
+        // rmw: atomic read→write pairs, same loc, sb-ordered, one each way.
+        fs.push(self.rmw.in_(&self.read.product(&self.write)));
+        fs.push(self.rmw.in_(&self.same_loc()));
+        fs.push(self.rmw.in_(&self.sb));
+        fs.push(self.rmw.join(&Expr::Univ).in_(&self.atomic));
+        fs.push(Expr::Univ.join(&self.rmw).in_(&self.atomic));
+        let v = fresh.var();
+        fs.push(Formula::for_all(
+            v,
+            self.read.clone(),
+            Expr::Var(v).join(&self.rmw).lone(),
+        ));
+        let v = fresh.var();
+        fs.push(Formula::for_all(
+            v,
+            self.write.clone(),
+            self.rmw.join(&Expr::Var(v)).lone(),
+        ));
+        // RMW atomicity of values is model-level (Atomicity axiom); an RMW
+        // read must read from somewhere mo-adjacent — left to the axiom.
+
+        for unary in [&self.read, &self.write, &self.fence] {
+            fs.push(unary.in_(ev));
+        }
+        for binary in [&self.sb, &self.rf, &self.mo, &self.rmw] {
+            fs.push(binary.in_(&ev.product(ev)));
+        }
+
+        Formula::and_all(fs)
+    }
+
+    /// The three scoped-RC11 axioms with names (Figure 10c; No-Thin-Air
+    /// deliberately omitted).
+    pub fn axioms_named(&self) -> Vec<(&'static str, Formula)> {
+        use relational::patterns::{acyclic, irreflexive};
+        vec![
+            (
+                "Coherence",
+                irreflexive(&self.hb().join(&self.eco().optional())),
+            ),
+            (
+                "Atomicity",
+                self.rmw.intersect(&self.rb().join(&self.mo)).no(),
+            ),
+            ("SC", acyclic(&self.incl().intersect(&self.psc()))),
+        ]
+    }
+
+    /// This execution is race-free: all conflicting cross-thread access
+    /// pairs are happens-before related and (pairwise) adequately typed
+    /// and scoped.
+    pub fn race_free(&self) -> Formula {
+        let mem = self.memory();
+        let w = &self.write;
+        let conflicting = mem
+            .product(w)
+            .union(&w.product(&mem))
+            .intersect(&self.same_loc());
+        let cross_thread = conflicting.difference(&self.thread.join(&self.thread.transpose()));
+        let hb = self.hb();
+        let hb_related = hb.union(&hb.transpose());
+        let well_typed = crate::alloy_bracket(&self.atomic)
+            .join(&self.incl())
+            .join(&crate::alloy_bracket(&self.atomic));
+        // Every cross-thread conflict is hb-ordered AND (atomic+inclusive).
+        let racy = cross_thread.difference(&hb_related.intersect(&well_typed));
+        racy.no()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{eval_expr, eval_formula, Instance, TupleSet};
+
+    /// The MP execution (stale read) evaluated under the relational
+    /// encoding must violate Coherence, matching the bit-matrix engine.
+    #[test]
+    fn relational_encoding_matches_bitmatrix_on_mp() {
+        let mut schema = Schema::new();
+        let v = CVocab::declare(&mut schema, "c_");
+        // events: 0=Wna_x 1=Wrel_y 2=Racq_y 3=Rna_x 8=init_x(as plain W);
+        // threads 4,5; locs 6,7.
+        let n = 9;
+        let mut inst = Instance::empty(&schema, n);
+        let set = |inst: &mut Instance, e: &Expr, ts: TupleSet| {
+            if let Expr::Rel(r) = e {
+                inst.set(*r, ts);
+            }
+        };
+        set(&mut inst, &v.ev, TupleSet::from_atoms([0, 1, 2, 3, 8]));
+        set(&mut inst, &v.write, TupleSet::from_atoms([0, 1, 8]));
+        set(&mut inst, &v.read, TupleSet::from_atoms([2, 3]));
+        set(&mut inst, &v.fence, TupleSet::empty(1));
+        set(&mut inst, &v.atomic, TupleSet::from_atoms([1, 2]));
+        set(&mut inst, &v.acq, TupleSet::from_atoms([2]));
+        set(&mut inst, &v.rel, TupleSet::from_atoms([1]));
+        set(&mut inst, &v.sc, TupleSet::empty(1));
+        set(&mut inst, &v.scope_cta, TupleSet::empty(1));
+        set(&mut inst, &v.scope_gpu, TupleSet::empty(1));
+        set(&mut inst, &v.scope_sys, TupleSet::from_atoms([0, 1, 2, 3, 8]));
+        set(
+            &mut inst,
+            &v.loc,
+            TupleSet::from_pairs([(0, 6), (3, 6), (8, 6), (1, 7), (2, 7)]),
+        );
+        set(
+            &mut inst,
+            &v.thread,
+            TupleSet::from_pairs([(0, 4), (1, 4), (2, 5), (3, 5), (8, 4)]),
+        );
+        // init_x sb-before thread 4's events per the Lahav convention is
+        // not modeled here; make it an ordinary write by thread 4 that is
+        // sb-first instead.
+        set(
+            &mut inst,
+            &v.sb,
+            TupleSet::from_pairs([(8, 0), (8, 1), (0, 1), (2, 3)]),
+        );
+        set(&mut inst, &v.rf, TupleSet::from_pairs([(1, 2), (8, 3)]));
+        set(&mut inst, &v.mo, TupleSet::from_pairs([(8, 0)]));
+        set(&mut inst, &v.rmw, TupleSet::empty(2));
+        set(&mut inst, &v.same_cta, TupleSet::from_pairs([(4, 4), (5, 5)]));
+        set(
+            &mut inst,
+            &v.same_gpu,
+            TupleSet::from_pairs([(4, 4), (5, 5), (4, 5), (5, 4)]),
+        );
+        set(&mut inst, &v.threads, TupleSet::from_atoms([4, 5]));
+
+        let sw = eval_expr(&schema, &inst, &v.sw()).unwrap();
+        assert!(sw.contains_pair(1, 2), "release sw acquire: {sw}");
+        let hb = eval_expr(&schema, &inst, &v.hb()).unwrap();
+        assert!(hb.contains_pair(0, 3), "hb reaches the data read");
+
+        for (name, f) in &v.axioms_named() {
+            let holds = eval_formula(&schema, &inst, f).unwrap();
+            if *name == "Coherence" {
+                assert!(!holds, "Coherence must be violated (hb;rb loop)");
+            } else {
+                assert!(holds, "{name} should hold");
+            }
+        }
+    }
+}

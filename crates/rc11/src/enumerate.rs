@@ -1,0 +1,444 @@
+//! Exhaustive enumeration of consistent scoped-RC11 executions.
+//!
+//! Unlike PTX, RC11's modification order is a *total* order per location,
+//! and the scoped model has no No-Thin-Air axiom — so value assignments on
+//! `rf ∪ dep` cycles are solved by branching over the program's finite
+//! value universe (the same finitization Alloy applies).
+
+use std::collections::BTreeMap;
+
+use memmodel::{enumerate_total_orders, Location, Odometer, Register, RelMat, ThreadId, Value};
+
+use crate::event::{CEventKind, CExpansion};
+use crate::model::{CProgram, Operand};
+use crate::relations::{check_all, races, CCandidate, CRelations};
+
+/// A consistent execution with observable state.
+#[derive(Debug, Clone)]
+pub struct CConsistentExecution {
+    /// The witness.
+    pub candidate: CCandidate,
+    /// Per-event values.
+    pub values: Vec<Option<Value>>,
+    /// Final register values.
+    pub final_registers: BTreeMap<(ThreadId, Register), Value>,
+    /// Final memory: the mo-maximal write's value per location.
+    pub final_memory: Vec<(Location, Value)>,
+    /// Data races present in this execution (empty = race-free).
+    pub races: Vec<(usize, usize)>,
+}
+
+/// Enumeration result.
+#[derive(Debug, Clone)]
+pub struct CEnumeration {
+    /// The expansion.
+    pub expansion: CExpansion,
+    /// All consistent executions.
+    pub executions: Vec<CConsistentExecution>,
+    /// Candidates examined.
+    pub candidates: u64,
+}
+
+impl CEnumeration {
+    /// Whether some consistent execution satisfies `pred`.
+    pub fn any_execution<F: Fn(&CConsistentExecution) -> bool>(&self, pred: F) -> bool {
+        self.executions.iter().any(pred)
+    }
+
+    /// Whether any consistent execution contains a data race — the
+    /// precondition of the mapping-soundness theorem is that none does.
+    pub fn has_race(&self) -> bool {
+        self.executions.iter().any(|e| !e.races.is_empty())
+    }
+}
+
+/// Enumerates all consistent executions of a scoped C++ program.
+pub fn enumerate_executions(program: &CProgram) -> CEnumeration {
+    let x = crate::event::expand(program);
+    let n = x.len();
+    let mut executions = Vec::new();
+    let mut candidates = 0u64;
+
+    let rf_candidates: Vec<Vec<usize>> = x
+        .reads
+        .iter()
+        .map(|&r| {
+            let loc = x.events[r].loc.expect("reads have locations");
+            x.writes_by_loc
+                .iter()
+                .find(|(l, _)| *l == loc)
+                .map(|(_, ws)| ws.clone())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Total modification orders per location (init write fixed first).
+    let mo_per_loc: Vec<Vec<RelMat>> = x
+        .writes_by_loc
+        .iter()
+        .map(|(_, writes)| {
+            let init = writes[0];
+            enumerate_total_orders(n, &writes[1..])
+                .into_iter()
+                .map(|mut order| {
+                    for &w in &writes[1..] {
+                        order.set(init, w);
+                    }
+                    order
+                })
+                .collect()
+        })
+        .collect();
+
+    for rf_idx in Odometer::new(rf_candidates.iter().map(Vec::len).collect()) {
+        let rf_source: Vec<usize> = rf_idx
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| rf_candidates[i][k])
+            .collect();
+        let value_maps = solve_values(&x, &rf_source);
+        if value_maps.is_empty() {
+            let combos: u64 = mo_per_loc.iter().map(|v| v.len() as u64).product();
+            candidates += combos;
+            continue;
+        }
+        for mo_idx in Odometer::new(mo_per_loc.iter().map(Vec::len).collect()) {
+            candidates += 1;
+            let mut mo = RelMat::new(n);
+            for (loc_i, &k) in mo_idx.iter().enumerate() {
+                mo.union_with(&mo_per_loc[loc_i][k]);
+            }
+            let candidate = CCandidate {
+                rf_source: rf_source.clone(),
+                mo,
+            };
+            if !check_all(&x, &candidate).is_empty() {
+                continue;
+            }
+            let rel = CRelations::compute(&x, &candidate);
+            let rs = races(&x, &rel);
+            for values in &value_maps {
+                executions.push(finish(&x, &candidate, values, rs.clone()));
+            }
+        }
+    }
+
+    CEnumeration {
+        expansion: x,
+        executions,
+        candidates,
+    }
+}
+
+fn finish(
+    x: &CExpansion,
+    candidate: &CCandidate,
+    values: &[Option<Value>],
+    races: Vec<(usize, usize)>,
+) -> CConsistentExecution {
+    let final_registers = x
+        .final_setters
+        .iter()
+        .filter_map(|&((t, r), e)| values[e].map(|v| ((t, r), v)))
+        .collect();
+    let final_memory = x
+        .writes_by_loc
+        .iter()
+        .map(|(loc, writes)| {
+            let max = writes
+                .iter()
+                .copied()
+                .find(|&w| writes.iter().all(|&w2| !candidate.mo.get(w, w2)))
+                .expect("total order has a maximum");
+            (*loc, values[max].expect("writes have values"))
+        })
+        .collect();
+    CConsistentExecution {
+        candidate: candidate.clone(),
+        values: values.to_vec(),
+        final_registers,
+        final_memory,
+        races,
+    }
+}
+
+/// Solves the value equations of an rf choice. Forward propagation handles
+/// the acyclic case; on `rf ∪ dep` cycles (legal here — no No-Thin-Air),
+/// branches over the program's value universe and keeps assignments that
+/// satisfy every equation.
+fn solve_values(x: &CExpansion, rf_source: &[usize]) -> Vec<Vec<Option<Value>>> {
+    let n = x.len();
+    let mut rf_of: Vec<Option<usize>> = vec![None; n];
+    for (i, &r) in x.reads.iter().enumerate() {
+        rf_of[r] = Some(rf_source[i]);
+    }
+    let mut results = Vec::new();
+    let values: Vec<Option<Value>> = vec![None; n];
+    branch(x, &rf_of, values, &mut results);
+    results
+}
+
+fn branch(
+    x: &CExpansion,
+    rf_of: &[Option<usize>],
+    mut values: Vec<Option<Value>>,
+    results: &mut Vec<Vec<Option<Value>>>,
+) {
+    propagate(x, rf_of, &mut values);
+    // Find a stuck read to branch on.
+    let stuck = x
+        .reads
+        .iter()
+        .copied()
+        .find(|&r| values[r].is_none());
+    match stuck {
+        Some(r) => {
+            for &v in &x.value_universe {
+                let mut trial = values.clone();
+                trial[r] = Some(v);
+                branch(x, rf_of, trial, results);
+            }
+        }
+        None => {
+            if verify(x, rf_of, &values) && !results.contains(&values) {
+                results.push(values);
+            }
+        }
+    }
+}
+
+fn propagate(x: &CExpansion, rf_of: &[Option<usize>], values: &mut [Option<Value>]) {
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for e in 0..x.len() {
+            if values[e].is_some() {
+                continue;
+            }
+            let ev = &x.events[e];
+            let new = match ev.kind {
+                CEventKind::Fence => continue,
+                CEventKind::Read => rf_of[e].and_then(|w| values[w]),
+                CEventKind::Write => write_value(x, e, values),
+            };
+            if new.is_some() {
+                values[e] = new;
+                progress = true;
+            }
+        }
+    }
+}
+
+fn write_value(x: &CExpansion, e: usize, values: &[Option<Value>]) -> Option<Value> {
+    let ev = &x.events[e];
+    let operand = match ev.src {
+        Some(Operand::Imm(v)) => Some(v),
+        Some(Operand::Reg(_)) => match x.operand_setter[e] {
+            Some(setter) => values[setter],
+            None => Some(Value(0)),
+        },
+        None => Some(Value(0)),
+    };
+    match (ev.rmw_op, ev.rmw_partner) {
+        (Some(op), Some(read_half)) => match (op, operand) {
+            (crate::model::RmwOp::Exchange, Some(v)) => Some(v),
+            (_, Some(v)) => values[read_half].map(|old| op.apply(old, v)),
+            (_, None) => None,
+        },
+        _ => operand,
+    }
+}
+
+/// Re-checks every equation after branching: each read equals its source,
+/// each write equals its computed value.
+fn verify(x: &CExpansion, rf_of: &[Option<usize>], values: &[Option<Value>]) -> bool {
+    for e in 0..x.len() {
+        let ev = &x.events[e];
+        match ev.kind {
+            CEventKind::Fence => {}
+            CEventKind::Read => {
+                let w = rf_of[e].expect("read has source");
+                if values[e] != values[w] {
+                    return false;
+                }
+            }
+            CEventKind::Write => {
+                if values[e] != write_value(x, e, values) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build::*;
+    use crate::model::MemOrder;
+    use memmodel::{Scope, SystemLayout};
+
+    fn reg(t: u32, r: u32) -> (ThreadId, Register) {
+        (ThreadId(t), Register(r))
+    }
+
+    fn has_outcome(e: &CEnumeration, want: &[((ThreadId, Register), u64)]) -> bool {
+        e.any_execution(|x| {
+            want.iter()
+                .all(|(k, v)| x.final_registers.get(k) == Some(&Value(*v)))
+        })
+    }
+
+    #[test]
+    fn mp_release_acquire_forbids_stale() {
+        let p = CProgram::new(
+            vec![
+                vec![
+                    store_na(Location(0), 1),
+                    store(MemOrder::Rel, Scope::Sys, Location(1), 1),
+                ],
+                vec![
+                    load(MemOrder::Acq, Scope::Sys, Register(0), Location(1)),
+                    load_na(Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(!has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 0)]));
+        assert!(has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 1)]));
+        // Straight-line MP is racy only in the executions where the
+        // acquire misses the release (no happens-before for the NA data
+        // accesses); the synchronized executions are race-free.
+        for x in &e.executions {
+            if x.final_registers[&reg(1, 0)] == Value(1) {
+                assert!(x.races.is_empty());
+            } else {
+                assert!(!x.races.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sb_with_sc_accesses_forbids_both_zero() {
+        let p = CProgram::new(
+            vec![
+                vec![
+                    store(MemOrder::Sc, Scope::Sys, Location(0), 1),
+                    load(MemOrder::Sc, Scope::Sys, Register(0), Location(1)),
+                ],
+                vec![
+                    store(MemOrder::Sc, Scope::Sys, Location(1), 1),
+                    load(MemOrder::Sc, Scope::Sys, Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(!has_outcome(&e, &[(reg(0, 0), 0), (reg(1, 1), 0)]));
+        assert!(has_outcome(&e, &[(reg(0, 0), 1), (reg(1, 1), 0)]));
+    }
+
+    #[test]
+    fn sb_relaxed_allows_both_zero() {
+        let p = CProgram::new(
+            vec![
+                vec![
+                    store(MemOrder::Rlx, Scope::Sys, Location(0), 1),
+                    load(MemOrder::Rlx, Scope::Sys, Register(0), Location(1)),
+                ],
+                vec![
+                    store(MemOrder::Rlx, Scope::Sys, Location(1), 1),
+                    load(MemOrder::Rlx, Scope::Sys, Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(has_outcome(&e, &[(reg(0, 0), 0), (reg(1, 1), 0)]));
+    }
+
+    /// With No-Thin-Air removed, the LB dependency cycle admits
+    /// self-satisfying values — but only those in the finite value
+    /// universe, and 0 is always a solution.
+    #[test]
+    fn lb_dependency_cycle_solutions_are_bounded() {
+        let p = CProgram::new(
+            vec![
+                vec![
+                    load(MemOrder::Rlx, Scope::Sys, Register(0), Location(1)),
+                    store_reg(MemOrder::Rlx, Scope::Sys, Location(0), Register(0)),
+                ],
+                vec![
+                    load(MemOrder::Rlx, Scope::Sys, Register(1), Location(0)),
+                    store_reg(MemOrder::Rlx, Scope::Sys, Location(1), Register(1)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        // The cyclic rf is consistent (no NTA axiom), but the only value
+        // solution in the universe {0} is zero — no thin-air 42.
+        for x in &e.executions {
+            for v in x.final_registers.values() {
+                assert_eq!(*v, Value(0));
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_add_pair_sums_to_two() {
+        let p = CProgram::new(
+            vec![
+                vec![fetch_add(MemOrder::Rlx, Scope::Sys, Register(0), Location(0), 1)],
+                vec![fetch_add(MemOrder::Rlx, Scope::Sys, Register(0), Location(0), 1)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(!e.executions.is_empty());
+        for x in &e.executions {
+            assert_eq!(x.final_memory[0].1, Value(2));
+        }
+    }
+
+    #[test]
+    fn racy_program_is_flagged() {
+        let p = CProgram::new(
+            vec![
+                vec![store_na(Location(0), 1)],
+                vec![load_na(Register(0), Location(0))],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        assert!(e.has_race());
+    }
+
+    /// Release sequence (paper Figure 12 context): a relaxed store
+    /// po-after a release store on the same location still synchronizes
+    /// (the reader reads the relaxed store).
+    #[test]
+    fn release_sequence_preserves_synchronization() {
+        let p = CProgram::new(
+            vec![
+                vec![
+                    store_na(Location(0), 1),
+                    store(MemOrder::Rel, Scope::Sys, Location(1), 1),
+                    store(MemOrder::Rlx, Scope::Sys, Location(1), 2),
+                ],
+                vec![
+                    load(MemOrder::Acq, Scope::Sys, Register(0), Location(1)),
+                    load_na(Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let e = enumerate_executions(&p);
+        // Reading 2 (the relaxed store in the release sequence) must still
+        // forbid the stale data read.
+        assert!(!has_outcome(&e, &[(reg(1, 0), 2), (reg(1, 1), 0)]));
+        assert!(has_outcome(&e, &[(reg(1, 0), 2), (reg(1, 1), 1)]));
+    }
+}

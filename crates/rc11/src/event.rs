@@ -1,0 +1,446 @@
+//! Expansion of scoped C++ programs into RC11 events.
+//!
+//! Following Lahav et al., every location gets an initialization write
+//! (non-atomic, value zero) that is `sb`-before every thread event, and
+//! RMWs split into a read and a write event joined by `rmw`.
+
+use memmodel::{Location, Register, RelMat, Scope, ThreadId, Value};
+
+use crate::model::{CInstruction, CProgram, MemOrder, Operand, RmwOp};
+
+/// The kind of an RC11 event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CEventKind {
+    /// A read (including RMW read halves).
+    Read,
+    /// A write (including RMW write halves and init writes).
+    Write,
+    /// A fence.
+    Fence,
+}
+
+/// One RC11 event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CEvent {
+    /// Dense index.
+    pub id: usize,
+    /// Executing thread (`None` for init writes).
+    pub thread: Option<ThreadId>,
+    /// Kind.
+    pub kind: CEventKind,
+    /// Location, for memory events.
+    pub loc: Option<Location>,
+    /// Memory order.
+    pub mo: MemOrder,
+    /// Scope annotation (drives `incl`).
+    pub scope: Scope,
+    /// RMW partner (read ↔ write).
+    pub rmw_partner: Option<usize>,
+    /// Destination register for reads.
+    pub dst: Option<Register>,
+    /// Data operand for writes.
+    pub src: Option<Operand>,
+    /// RMW operation for RMW halves.
+    pub rmw_op: Option<RmwOp>,
+    /// Provenance (thread, instruction).
+    pub instr: Option<(usize, usize)>,
+    /// Init-write marker.
+    pub is_init: bool,
+}
+
+impl CEvent {
+    fn blank(id: usize) -> CEvent {
+        CEvent {
+            id,
+            thread: None,
+            kind: CEventKind::Fence,
+            loc: None,
+            mo: MemOrder::NA,
+            scope: Scope::Sys,
+            rmw_partner: None,
+            dst: None,
+            src: None,
+            rmw_op: None,
+            instr: None,
+            is_init: false,
+        }
+    }
+
+    /// Whether this is a memory event.
+    pub fn is_memory(&self) -> bool {
+        matches!(self.kind, CEventKind::Read | CEventKind::Write)
+    }
+
+    /// Same-location test for memory events.
+    pub fn same_loc(&self, other: &CEvent) -> bool {
+        match (self.loc, other.loc) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A scoped C++ program expanded into events with its static relations.
+#[derive(Debug, Clone)]
+pub struct CExpansion {
+    /// Events: init writes first, then thread events in program order.
+    pub events: Vec<CEvent>,
+    /// Sequenced-before: init writes before everything, transitive within
+    /// threads.
+    pub sb: RelMat,
+    /// `rmw` edges (read half → write half).
+    pub rmw: RelMat,
+    /// Scope inclusion: pairs of events with mutually inclusive scopes.
+    pub incl: RelMat,
+    /// Syntactic dependencies (for the optional No-Thin-Air check and
+    /// value evaluation).
+    pub dep: RelMat,
+    /// Operand setter event per event (register data flow).
+    pub operand_setter: Vec<Option<usize>>,
+    /// Final setter of each `(thread, register)`.
+    pub final_setters: Vec<((ThreadId, Register), usize)>,
+    /// Read event indices.
+    pub reads: Vec<usize>,
+    /// Write event indices per location, init first.
+    pub writes_by_loc: Vec<(Location, Vec<usize>)>,
+    /// The value universe: zero plus every immediate in the program (used
+    /// to close value equations when `sb ∪ rf` is cyclic, since the scoped
+    /// model deliberately omits No-Thin-Air).
+    pub value_universe: Vec<Value>,
+}
+
+impl CExpansion {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Expands a program (see module docs).
+pub fn expand(program: &CProgram) -> CExpansion {
+    let locations = program.locations();
+    let mut events: Vec<CEvent> = Vec::new();
+    let mut value_universe = vec![Value(0)];
+
+    for &loc in &locations {
+        let mut e = CEvent::blank(events.len());
+        e.kind = CEventKind::Write;
+        e.loc = Some(loc);
+        e.is_init = true;
+        e.src = Some(Operand::Imm(Value(0)));
+        events.push(e);
+    }
+
+    let mut thread_events: Vec<Vec<usize>> = vec![Vec::new(); program.num_threads()];
+    for (tid, instrs) in program.threads.iter().enumerate() {
+        for (iid, instr) in instrs.iter().enumerate() {
+            expand_instruction(&mut events, &mut thread_events[tid], tid, iid, instr);
+            collect_values(&mut value_universe, instr);
+        }
+    }
+    value_universe.sort();
+    value_universe.dedup();
+
+    let n = events.len();
+    let num_inits = locations.len();
+
+    // sb: init → everything, transitive within threads.
+    let mut sb = RelMat::new(n);
+    for i in 0..num_inits {
+        for j in num_inits..n {
+            sb.set(i, j);
+        }
+    }
+    for evs in &thread_events {
+        for i in 0..evs.len() {
+            for j in (i + 1)..evs.len() {
+                sb.set(evs[i], evs[j]);
+            }
+        }
+    }
+
+    // rmw edges.
+    let mut rmw = RelMat::new(n);
+    for e in &events {
+        if e.kind == CEventKind::Read {
+            if let Some(w) = e.rmw_partner {
+                rmw.set(e.id, w);
+            }
+        }
+    }
+
+    // incl: mutual scope inclusion between thread events.
+    let mut incl = RelMat::new(n);
+    for a in &events {
+        for b in &events {
+            if a.id == b.id {
+                continue;
+            }
+            if let (Some(ta), Some(tb)) = (a.thread, b.thread) {
+                if program
+                    .layout
+                    .mutually_inclusive(a.scope, ta, b.scope, tb)
+                {
+                    incl.set(a.id, b.id);
+                }
+            }
+        }
+    }
+
+    // Dependencies and register flow.
+    let mut dep = RelMat::new(n);
+    let mut operand_setter: Vec<Option<usize>> = vec![None; n];
+    let mut final_setters: Vec<((ThreadId, Register), usize)> = Vec::new();
+    for (tid, evs) in thread_events.iter().enumerate() {
+        let mut last_setter: std::collections::HashMap<Register, usize> =
+            std::collections::HashMap::new();
+        for &e in evs {
+            if events[e].kind == CEventKind::Write {
+                if let Some(Operand::Reg(r)) = events[e].src {
+                    if let Some(&setter) = last_setter.get(&r) {
+                        dep.set(setter, e);
+                        operand_setter[e] = Some(setter);
+                    }
+                }
+                if let (Some(op), Some(partner)) = (events[e].rmw_op, events[e].rmw_partner) {
+                    if matches!(op, RmwOp::FetchAdd | RmwOp::CompareExchange { .. }) {
+                        dep.set(partner, e);
+                    }
+                }
+            }
+            if let Some(r) = events[e].dst {
+                last_setter.insert(r, e);
+            }
+        }
+        for (r, e) in last_setter {
+            final_setters.push(((ThreadId(tid as u32), r), e));
+        }
+    }
+    final_setters.sort();
+
+    let reads = events
+        .iter()
+        .filter(|e| e.kind == CEventKind::Read)
+        .map(|e| e.id)
+        .collect();
+    let writes_by_loc = locations
+        .iter()
+        .map(|&loc| {
+            let ws = events
+                .iter()
+                .filter(|e| e.kind == CEventKind::Write && e.loc == Some(loc))
+                .map(|e| e.id)
+                .collect();
+            (loc, ws)
+        })
+        .collect();
+
+    CExpansion {
+        events,
+        sb,
+        rmw,
+        incl,
+        dep,
+        operand_setter,
+        final_setters,
+        reads,
+        writes_by_loc,
+        value_universe,
+    }
+}
+
+fn collect_values(universe: &mut Vec<Value>, instr: &CInstruction) {
+    let mut push_op = |src: &Operand| {
+        if let Operand::Imm(v) = src {
+            universe.push(*v);
+        }
+    };
+    match instr {
+        CInstruction::Store { src, .. } => push_op(src),
+        CInstruction::Rmw { src, op, .. } => {
+            push_op(src);
+            if let RmwOp::CompareExchange { cmp } = op {
+                universe.push(*cmp);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn expand_instruction(
+    events: &mut Vec<CEvent>,
+    thread_events: &mut Vec<usize>,
+    tid: usize,
+    iid: usize,
+    instr: &CInstruction,
+) {
+    let thread = Some(ThreadId(tid as u32));
+    let provenance = Some((tid, iid));
+    match *instr {
+        CInstruction::Load {
+            mo,
+            scope,
+            dst,
+            loc,
+        } => {
+            let mut e = CEvent::blank(events.len());
+            e.thread = thread;
+            e.kind = CEventKind::Read;
+            e.loc = Some(loc);
+            e.mo = mo;
+            e.scope = scope;
+            e.dst = Some(dst);
+            e.instr = provenance;
+            thread_events.push(e.id);
+            events.push(e);
+        }
+        CInstruction::Store {
+            mo,
+            scope,
+            loc,
+            src,
+        } => {
+            let mut e = CEvent::blank(events.len());
+            e.thread = thread;
+            e.kind = CEventKind::Write;
+            e.loc = Some(loc);
+            e.mo = mo;
+            e.scope = scope;
+            e.src = Some(src);
+            e.instr = provenance;
+            thread_events.push(e.id);
+            events.push(e);
+        }
+        CInstruction::Rmw {
+            mo,
+            scope,
+            dst,
+            loc,
+            op,
+            src,
+        } => {
+            let read_id = events.len();
+            let write_id = read_id + 1;
+            // Split the order across the halves: the read half carries the
+            // acquire side, the write half the release side; both count as
+            // SC for psc when mo = SC.
+            let (rmo, wmo) = split_rmw_order(mo);
+            let mut r = CEvent::blank(read_id);
+            r.thread = thread;
+            r.kind = CEventKind::Read;
+            r.loc = Some(loc);
+            r.mo = rmo;
+            r.scope = scope;
+            r.rmw_partner = Some(write_id);
+            r.dst = Some(dst);
+            r.rmw_op = Some(op);
+            r.instr = provenance;
+            thread_events.push(read_id);
+            events.push(r);
+            let mut w = CEvent::blank(write_id);
+            w.thread = thread;
+            w.kind = CEventKind::Write;
+            w.loc = Some(loc);
+            w.mo = wmo;
+            w.scope = scope;
+            w.rmw_partner = Some(read_id);
+            w.src = Some(src);
+            w.rmw_op = Some(op);
+            w.instr = provenance;
+            thread_events.push(write_id);
+            events.push(w);
+        }
+        CInstruction::Fence { mo, scope } => {
+            let mut e = CEvent::blank(events.len());
+            e.thread = thread;
+            e.kind = CEventKind::Fence;
+            e.mo = mo;
+            e.scope = scope;
+            e.instr = provenance;
+            thread_events.push(e.id);
+            events.push(e);
+        }
+    }
+}
+
+/// Splits an RMW's memory order onto its read and write halves.
+fn split_rmw_order(mo: MemOrder) -> (MemOrder, MemOrder) {
+    match mo {
+        MemOrder::Rlx => (MemOrder::Rlx, MemOrder::Rlx),
+        MemOrder::Acq => (MemOrder::Acq, MemOrder::Rlx),
+        MemOrder::Rel => (MemOrder::Rlx, MemOrder::Rel),
+        MemOrder::AcqRel => (MemOrder::Acq, MemOrder::Rel),
+        MemOrder::Sc => (MemOrder::Sc, MemOrder::Sc),
+        MemOrder::NA => (MemOrder::NA, MemOrder::NA),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build::*;
+    use memmodel::SystemLayout;
+
+    #[test]
+    fn init_writes_are_sb_before_everything() {
+        let p = CProgram::new(
+            vec![
+                vec![store(MemOrder::Rel, Scope::Sys, Location(0), 1)],
+                vec![load(MemOrder::Acq, Scope::Sys, Register(0), Location(0))],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let x = expand(&p);
+        assert_eq!(x.len(), 3);
+        assert!(x.sb.get(0, 1));
+        assert!(x.sb.get(0, 2));
+        assert!(!x.sb.get(1, 2));
+    }
+
+    #[test]
+    fn rmw_split_carries_sides() {
+        let p = CProgram::new(
+            vec![vec![fetch_add(MemOrder::AcqRel, Scope::Gpu, Register(0), Location(0), 1)]],
+            SystemLayout::single_cta(1),
+        );
+        let x = expand(&p);
+        let r = &x.events[1];
+        let w = &x.events[2];
+        assert!(r.mo.at_least_acq() && !r.mo.at_least_rel());
+        assert!(w.mo.at_least_rel() && !w.mo.at_least_acq());
+        assert!(x.rmw.get(1, 2));
+        assert!(x.dep.get(1, 2));
+    }
+
+    #[test]
+    fn sc_rmw_halves_are_both_sc() {
+        let p = CProgram::new(
+            vec![vec![exchange(MemOrder::Sc, Scope::Sys, Register(0), Location(0), 7)]],
+            SystemLayout::single_cta(1),
+        );
+        let x = expand(&p);
+        assert!(x.events[1].mo.is_sc());
+        assert!(x.events[2].mo.is_sc());
+        assert_eq!(x.value_universe, vec![Value(0), Value(7)]);
+    }
+
+    #[test]
+    fn incl_respects_scopes() {
+        let p = CProgram::new(
+            vec![
+                vec![store(MemOrder::Rel, Scope::Cta, Location(0), 1)],
+                vec![load(MemOrder::Acq, Scope::Sys, Register(0), Location(0))],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let x = expand(&p);
+        // Thread 0's cta-scoped store does not include thread 1.
+        assert!(!x.incl.get(1, 2));
+        assert!(!x.incl.get(2, 1));
+    }
+}

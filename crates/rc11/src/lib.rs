@@ -1,0 +1,87 @@
+//! A scope-extended RC11 ("scoped C++") memory model.
+//!
+//! The source-level model of the reproduced paper's §4.1: RC11 (Lahav et
+//! al., *Repairing Sequential Consistency in C/C++11*) with two changes:
+//!
+//! 1. **Scopes**: synchronizing inter-thread communication must be
+//!    scope-*inclusive* (`incl`), in the spirit of OpenCL and of
+//!    Wickerson et al.'s scoped models — `hb` only admits `incl ∩ sw`
+//!    edges and the SC axiom becomes `acyclic(incl ∩ psc)`.
+//! 2. **No-Thin-Air removed**: the RC11 `acyclic(sb ∪ rf)` axiom is
+//!    excluded because it forbids load-to-store reordering that GPUs
+//!    perform. (It remains available as
+//!    [`relations::no_thin_air_holds`] for comparison.)
+//!
+//! One deliberate choice documented here: the paper's Figure 10 glosses
+//! `mo` as a "total order over atomic writes"; following Lahav et al. we
+//! order *all* writes to a location (including non-atomic ones), which is
+//! what the Coherence axiom needs to police `hb`-ordered non-atomic
+//! writes. Value equations on `rf` cycles (legal without No-Thin-Air) are
+//! closed over the program's finite value universe, exactly as a bounded
+//! model finder would.
+//!
+//! # Examples
+//!
+//! ```
+//! use memmodel::{Location, Register, Scope, SystemLayout, ThreadId, Value};
+//! use rc11::model::{build::*, CProgram, MemOrder};
+//! use rc11::enumerate::enumerate_executions;
+//!
+//! // Message passing with release/acquire at system scope.
+//! let p = CProgram::new(
+//!     vec![
+//!         vec![store_na(Location(0), 1), store(MemOrder::Rel, Scope::Sys, Location(1), 1)],
+//!         vec![
+//!             load(MemOrder::Acq, Scope::Sys, Register(0), Location(1)),
+//!             load_na(Register(1), Location(0)),
+//!         ],
+//!     ],
+//!     SystemLayout::cta_per_thread(2),
+//! );
+//! let e = enumerate_executions(&p);
+//! assert!(!e.any_execution(|x| {
+//!     x.final_registers[&(ThreadId(1), Register(0))] == Value(1)
+//!         && x.final_registers[&(ThreadId(1), Register(1))] == Value(0)
+//! }));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alloy;
+pub mod enumerate;
+pub mod event;
+pub mod model;
+pub mod relations;
+
+/// The `[s]` bracket used by the relational encodings.
+pub fn alloy_bracket(s: &relational::Expr) -> relational::Expr {
+    relational::patterns::bracket(s)
+}
+
+/// A partition constraint used by the relational encodings.
+pub fn alloy_partition(
+    whole: &relational::Expr,
+    parts: &[&relational::Expr],
+) -> relational::Formula {
+    let mut fs = Vec::new();
+    let mut union: Option<relational::Expr> = None;
+    for (i, p) in parts.iter().enumerate() {
+        fs.push(p.in_(whole));
+        for q in &parts[i + 1..] {
+            fs.push(p.intersect(q).no());
+        }
+        union = Some(match union {
+            None => (*p).clone(),
+            Some(u) => u.union(p),
+        });
+    }
+    if let Some(u) = union {
+        fs.push(whole.in_(&u));
+    }
+    relational::Formula::and_all(fs)
+}
+
+pub use enumerate::{enumerate_executions, CConsistentExecution, CEnumeration};
+pub use event::{expand, CEvent, CEventKind, CExpansion};
+pub use model::{CInstruction, CProgram, MemOrder, Operand, RmwOp};
+pub use relations::{check_all, check_axiom, races, CAxiom, CCandidate, CRelations, C_AXIOMS};

@@ -1,0 +1,360 @@
+//! The scoped C++ source language: memory orders, instructions, programs.
+//!
+//! This is the paper's §4.1 model: RC11 (Lahav et al., "Repairing
+//! Sequential Consistency in C/C++11") extended with OpenCL-like scopes by
+//! requiring synchronizing communication to be scope-inclusive (`incl`),
+//! and with the RC11 No-Thin-Air axiom removed.
+
+use memmodel::{Location, Register, Scope, SystemLayout, Value};
+
+/// A C/C++ `memory_order`, plus non-atomic.
+///
+/// The set is ordered `NA < RLX < {ACQ, REL} < ACQREL < SC`, with `ACQ` and
+/// `REL` incomparable (paper Figure 10a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOrder {
+    /// Non-atomic access.
+    NA,
+    /// `memory_order_relaxed`.
+    Rlx,
+    /// `memory_order_acquire`.
+    Acq,
+    /// `memory_order_release`.
+    Rel,
+    /// `memory_order_acq_rel`.
+    AcqRel,
+    /// `memory_order_seq_cst`.
+    Sc,
+}
+
+impl MemOrder {
+    /// `self ⊒ RLX`: the event is atomic.
+    pub fn is_atomic(self) -> bool {
+        self != MemOrder::NA
+    }
+
+    /// `self ⊒ ACQ` in the memory-order lattice.
+    pub fn at_least_acq(self) -> bool {
+        matches!(self, MemOrder::Acq | MemOrder::AcqRel | MemOrder::Sc)
+    }
+
+    /// `self ⊒ REL` in the memory-order lattice.
+    pub fn at_least_rel(self) -> bool {
+        matches!(self, MemOrder::Rel | MemOrder::AcqRel | MemOrder::Sc)
+    }
+
+    /// `self = SC`.
+    pub fn is_sc(self) -> bool {
+        self == MemOrder::Sc
+    }
+}
+
+impl std::fmt::Display for MemOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MemOrder::NA => "na",
+            MemOrder::Rlx => "rlx",
+            MemOrder::Acq => "acq",
+            MemOrder::Rel => "rel",
+            MemOrder::AcqRel => "acq_rel",
+            MemOrder::Sc => "sc",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A read-modify-write operation (shared shape with the PTX `atom`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// `atomic_exchange`.
+    Exchange,
+    /// `atomic_fetch_add`.
+    FetchAdd,
+    /// `atomic_compare_exchange` (strong) against `cmp`.
+    CompareExchange {
+        /// The expected value.
+        cmp: Value,
+    },
+}
+
+impl RmwOp {
+    /// The value stored given the old value and the operand.
+    pub fn apply(self, old: Value, operand: Value) -> Value {
+        match self {
+            RmwOp::Exchange => operand,
+            RmwOp::FetchAdd => Value(old.0.wrapping_add(operand.0)),
+            RmwOp::CompareExchange { cmp } => {
+                if old == cmp {
+                    operand
+                } else {
+                    old
+                }
+            }
+        }
+    }
+}
+
+/// A data operand: immediate or register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// An immediate value.
+    Imm(Value),
+    /// The value of a register set by an earlier load (data dependency).
+    Reg(Register),
+}
+
+/// One scoped C++ instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CInstruction {
+    /// An atomic or non-atomic load.
+    Load {
+        /// Memory order (NA, RLX, ACQ, or SC).
+        mo: MemOrder,
+        /// Scope of the operation.
+        scope: Scope,
+        /// Destination register.
+        dst: Register,
+        /// Location read.
+        loc: Location,
+    },
+    /// An atomic or non-atomic store.
+    Store {
+        /// Memory order (NA, RLX, REL, or SC).
+        mo: MemOrder,
+        /// Scope of the operation.
+        scope: Scope,
+        /// Location written.
+        loc: Location,
+        /// Data operand.
+        src: Operand,
+    },
+    /// An atomic read-modify-write.
+    Rmw {
+        /// Memory order (RLX, ACQ, REL, ACQREL, or SC).
+        mo: MemOrder,
+        /// Scope of the operation.
+        scope: Scope,
+        /// Destination register (old value).
+        dst: Register,
+        /// Location updated.
+        loc: Location,
+        /// The operation.
+        op: RmwOp,
+        /// Data operand.
+        src: Operand,
+    },
+    /// A fence.
+    Fence {
+        /// Memory order (ACQ, REL, ACQREL, or SC).
+        mo: MemOrder,
+        /// Scope of the operation.
+        scope: Scope,
+    },
+}
+
+impl CInstruction {
+    /// Checks the Figure 10a legality table for this instruction's order.
+    pub fn order_is_legal(&self) -> bool {
+        match self {
+            CInstruction::Load { mo, .. } => {
+                matches!(mo, MemOrder::NA | MemOrder::Rlx | MemOrder::Acq | MemOrder::Sc)
+            }
+            CInstruction::Store { mo, .. } => {
+                matches!(mo, MemOrder::NA | MemOrder::Rlx | MemOrder::Rel | MemOrder::Sc)
+            }
+            CInstruction::Rmw { mo, .. } => mo.is_atomic(),
+            CInstruction::Fence { mo, .. } => {
+                matches!(mo, MemOrder::Acq | MemOrder::Rel | MemOrder::AcqRel | MemOrder::Sc)
+            }
+        }
+    }
+}
+
+/// A straight-line multi-threaded scoped C++ program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CProgram {
+    /// Instructions per thread.
+    pub threads: Vec<Vec<CInstruction>>,
+    /// Thread placement in the scope tree.
+    pub layout: SystemLayout,
+}
+
+impl CProgram {
+    /// Creates a program, validating layout coverage and order legality.
+    ///
+    /// # Panics
+    ///
+    /// Panics on layout/thread count mismatch or an illegal memory order
+    /// (e.g. `memory_order_acquire` on a store).
+    pub fn new(threads: Vec<Vec<CInstruction>>, layout: SystemLayout) -> CProgram {
+        assert_eq!(threads.len(), layout.num_threads(), "layout mismatch");
+        for (t, instrs) in threads.iter().enumerate() {
+            for (i, instr) in instrs.iter().enumerate() {
+                assert!(
+                    instr.order_is_legal(),
+                    "illegal memory order at thread {t} instruction {i}: {instr:?}"
+                );
+            }
+        }
+        CProgram { threads, layout }
+    }
+
+    /// The locations used by the program, sorted.
+    pub fn locations(&self) -> Vec<Location> {
+        let mut locs: Vec<Location> = self
+            .threads
+            .iter()
+            .flatten()
+            .filter_map(|i| match *i {
+                CInstruction::Load { loc, .. }
+                | CInstruction::Store { loc, .. }
+                | CInstruction::Rmw { loc, .. } => Some(loc),
+                CInstruction::Fence { .. } => None,
+            })
+            .collect();
+        locs.sort();
+        locs.dedup();
+        locs
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+/// Terse builders for litmus tests.
+pub mod build {
+    use super::*;
+
+    /// A non-atomic load.
+    pub fn load_na(dst: Register, loc: Location) -> CInstruction {
+        CInstruction::Load {
+            mo: MemOrder::NA,
+            scope: Scope::Sys,
+            dst,
+            loc,
+        }
+    }
+
+    /// An atomic load with the given order and scope.
+    pub fn load(mo: MemOrder, scope: Scope, dst: Register, loc: Location) -> CInstruction {
+        CInstruction::Load {
+            mo,
+            scope,
+            dst,
+            loc,
+        }
+    }
+
+    /// A non-atomic store of an immediate.
+    pub fn store_na(loc: Location, v: u64) -> CInstruction {
+        CInstruction::Store {
+            mo: MemOrder::NA,
+            scope: Scope::Sys,
+            loc,
+            src: Operand::Imm(Value(v)),
+        }
+    }
+
+    /// An atomic store of an immediate.
+    pub fn store(mo: MemOrder, scope: Scope, loc: Location, v: u64) -> CInstruction {
+        CInstruction::Store {
+            mo,
+            scope,
+            loc,
+            src: Operand::Imm(Value(v)),
+        }
+    }
+
+    /// A store of a register (data dependency).
+    pub fn store_reg(mo: MemOrder, scope: Scope, loc: Location, r: Register) -> CInstruction {
+        CInstruction::Store {
+            mo,
+            scope,
+            loc,
+            src: Operand::Reg(r),
+        }
+    }
+
+    /// An atomic exchange.
+    pub fn exchange(mo: MemOrder, scope: Scope, dst: Register, loc: Location, v: u64) -> CInstruction {
+        CInstruction::Rmw {
+            mo,
+            scope,
+            dst,
+            loc,
+            op: RmwOp::Exchange,
+            src: Operand::Imm(Value(v)),
+        }
+    }
+
+    /// An atomic fetch-add.
+    pub fn fetch_add(mo: MemOrder, scope: Scope, dst: Register, loc: Location, v: u64) -> CInstruction {
+        CInstruction::Rmw {
+            mo,
+            scope,
+            dst,
+            loc,
+            op: RmwOp::FetchAdd,
+            src: Operand::Imm(Value(v)),
+        }
+    }
+
+    /// A fence.
+    pub fn fence(mo: MemOrder, scope: Scope) -> CInstruction {
+        CInstruction::Fence { mo, scope }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_lattice() {
+        assert!(MemOrder::Sc.at_least_acq() && MemOrder::Sc.at_least_rel());
+        assert!(MemOrder::AcqRel.at_least_acq() && MemOrder::AcqRel.at_least_rel());
+        assert!(MemOrder::Acq.at_least_acq() && !MemOrder::Acq.at_least_rel());
+        assert!(!MemOrder::Rel.at_least_acq() && MemOrder::Rel.at_least_rel());
+        assert!(!MemOrder::Rlx.at_least_acq() && !MemOrder::NA.is_atomic());
+    }
+
+    #[test]
+    fn legality_table() {
+        use build::*;
+        assert!(load(MemOrder::Acq, Scope::Sys, Register(0), Location(0)).order_is_legal());
+        assert!(!CInstruction::Load {
+            mo: MemOrder::Rel,
+            scope: Scope::Sys,
+            dst: Register(0),
+            loc: Location(0),
+        }
+        .order_is_legal());
+        assert!(!CInstruction::Store {
+            mo: MemOrder::Acq,
+            scope: Scope::Sys,
+            loc: Location(0),
+            src: Operand::Imm(Value(0)),
+        }
+        .order_is_legal());
+        assert!(fence(MemOrder::Sc, Scope::Sys).order_is_legal());
+        assert!(!CInstruction::Fence {
+            mo: MemOrder::NA,
+            scope: Scope::Sys,
+        }
+        .order_is_legal());
+    }
+
+    #[test]
+    #[should_panic]
+    fn illegal_order_rejected_at_construction() {
+        let bad = CInstruction::Store {
+            mo: MemOrder::Acq,
+            scope: Scope::Sys,
+            loc: Location(0),
+            src: Operand::Imm(Value(1)),
+        };
+        CProgram::new(vec![vec![bad]], memmodel::SystemLayout::single_cta(1));
+    }
+}

@@ -1,0 +1,424 @@
+//! The scoped RC11 derived relations and axioms (paper Figure 10).
+
+use memmodel::RelMat;
+
+use crate::event::{CEventKind, CExpansion};
+
+/// A candidate RC11 execution witness.
+#[derive(Debug, Clone)]
+pub struct CCandidate {
+    /// For each read (indexed as in `expansion.reads`), the write read.
+    pub rf_source: Vec<usize>,
+    /// Modification order: a strict total order over the writes to each
+    /// location (union across locations), init writes first.
+    pub mo: RelMat,
+}
+
+impl CCandidate {
+    /// The reads-from matrix (write → read).
+    pub fn rf_matrix(&self, x: &CExpansion) -> RelMat {
+        let mut rf = RelMat::new(x.len());
+        for (i, &r) in x.reads.iter().enumerate() {
+            rf.set(self.rf_source[i], r);
+        }
+        rf
+    }
+}
+
+/// The derived relations of scoped RC11.
+#[derive(Debug, Clone)]
+pub struct CRelations {
+    /// Reads-from.
+    pub rf: RelMat,
+    /// Reads-before: `rf⁻¹ ; mo − iden`.
+    pub rb: RelMat,
+    /// Extended communication order: `(rf ∪ mo ∪ rb)⁺`.
+    pub eco: RelMat,
+    /// Release sequences.
+    pub rs: RelMat,
+    /// Synchronizes-with.
+    pub sw: RelMat,
+    /// Happens-before: `(sb ∪ (incl ∩ sw))⁺`.
+    pub hb: RelMat,
+    /// SC-before: `sb ∪ sb|≠loc;hb;sb|≠loc ∪ hb|loc ∪ mo ∪ rb`.
+    pub scb: RelMat,
+    /// Partial SC base.
+    pub psc_base: RelMat,
+    /// Partial SC via fences.
+    pub psc_f: RelMat,
+    /// Partial SC: `psc_base ∪ psc_f`.
+    pub psc: RelMat,
+}
+
+impl CRelations {
+    /// Computes all derived relations for one candidate.
+    pub fn compute(x: &CExpansion, candidate: &CCandidate) -> CRelations {
+        let n = x.len();
+        let events = &x.events;
+        let iden = RelMat::identity(n);
+
+        let rf = candidate.rf_matrix(x);
+        let mo = &candidate.mo;
+        let rb = rf.transpose().compose(mo).difference(&iden);
+        let eco = rf.union(mo).union(&rb).transitive_closure();
+
+        // Diagonals.
+        let d_w = diag(n, |i| events[i].kind == CEventKind::Write);
+        let d_w_rlx = diag(n, |i| {
+            events[i].kind == CEventKind::Write && events[i].mo.is_atomic()
+        });
+        let d_r_rlx = diag(n, |i| {
+            events[i].kind == CEventKind::Read && events[i].mo.is_atomic()
+        });
+        let d_rel = diag(n, |i| events[i].mo.at_least_rel());
+        let d_acq = diag(n, |i| events[i].mo.at_least_acq());
+        let d_f = diag(n, |i| events[i].kind == CEventKind::Fence);
+        let d_sc = diag(n, |i| events[i].mo.is_sc());
+        let d_f_sc = diag(n, |i| {
+            events[i].kind == CEventKind::Fence && events[i].mo.is_sc()
+        });
+
+        // sb restricted to same-location memory accesses, and the rest.
+        let sb_loc = x.sb.filter(|i, j| {
+            events[i].is_memory() && events[j].is_memory() && events[i].same_loc(&events[j])
+        });
+        let sb_nloc = x.sb.difference(&sb_loc);
+        let sb_loc_opt = sb_loc.union(&iden);
+
+        let incl_rf = x.incl.intersect(&rf);
+
+        // rs := [W]; sb|loc?; [W≥RLX]; ((incl ∩ rf); rmw)*
+        let step = incl_rf.compose(&x.rmw);
+        let step_star = step.reflexive_transitive_closure();
+        let rs = d_w
+            .compose(&sb_loc_opt)
+            .compose(&d_w_rlx)
+            .compose(&step_star);
+
+        // sw := [E≥REL]; ([F]; sb)?; rs; (incl ∩ rf); [R≥RLX]; (sb; [F])?; [E≥ACQ]
+        let f_sb_opt = d_f.compose(&x.sb).union(&iden);
+        let sb_f_opt = x.sb.compose(&d_f).union(&iden);
+        let sw = d_rel
+            .compose(&f_sb_opt)
+            .compose(&rs)
+            .compose(&incl_rf)
+            .compose(&d_r_rlx)
+            .compose(&sb_f_opt)
+            .compose(&d_acq);
+
+        // hb := (sb ∪ (incl ∩ sw))⁺
+        let hb = x.sb.union(&x.incl.intersect(&sw)).transitive_closure();
+
+        // scb := sb ∪ sb|≠loc; hb; sb|≠loc ∪ hb|loc ∪ mo ∪ rb
+        let hb_loc = hb.filter(|i, j| {
+            events[i].is_memory() && events[j].is_memory() && events[i].same_loc(&events[j])
+        });
+        let scb = x
+            .sb
+            .union(&sb_nloc.compose(&hb).compose(&sb_nloc))
+            .union(&hb_loc)
+            .union(mo)
+            .union(&rb);
+
+        // psc_base := ([E_SC] ∪ [F_SC]; hb?); scb; ([E_SC] ∪ hb?; [F_SC])
+        let hb_opt = hb.union(&iden);
+        let left = d_sc.union(&d_f_sc.compose(&hb_opt));
+        let right = d_sc.union(&hb_opt.compose(&d_f_sc));
+        let psc_base = left.compose(&scb).compose(&right);
+
+        // psc_f := [F_SC]; (hb ∪ hb; eco; hb); [F_SC]
+        let hb_eco_hb = hb.compose(&eco).compose(&hb);
+        let psc_f = d_f_sc.compose(&hb.union(&hb_eco_hb)).compose(&d_f_sc);
+
+        let psc = psc_base.union(&psc_f);
+
+        CRelations {
+            rf,
+            rb,
+            eco,
+            rs,
+            sw,
+            hb,
+            scb,
+            psc_base,
+            psc_f,
+            psc,
+        }
+    }
+}
+
+fn diag<F: Fn(usize) -> bool>(n: usize, pred: F) -> RelMat {
+    RelMat::from_pairs(n, (0..n).filter(|&i| pred(i)).map(|i| (i, i)))
+}
+
+/// An axiom of the scoped RC11 model (Figure 10c, No-Thin-Air excluded per
+/// the paper's §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CAxiom {
+    /// `irreflexive(hb ; eco?)`.
+    Coherence,
+    /// `empty(rmw ∩ (rb ; mo))`.
+    Atomicity,
+    /// `acyclic(incl ∩ psc)`.
+    Sc,
+}
+
+impl std::fmt::Display for CAxiom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CAxiom::Coherence => write!(f, "Coherence"),
+            CAxiom::Atomicity => write!(f, "Atomicity"),
+            CAxiom::Sc => write!(f, "SC"),
+        }
+    }
+}
+
+/// The three scoped-RC11 axioms in paper order.
+pub const C_AXIOMS: [CAxiom; 3] = [CAxiom::Coherence, CAxiom::Atomicity, CAxiom::Sc];
+
+/// Checks one axiom.
+pub fn check_axiom(
+    axiom: CAxiom,
+    x: &CExpansion,
+    candidate: &CCandidate,
+    rel: &CRelations,
+) -> bool {
+    match axiom {
+        CAxiom::Coherence => {
+            let hb_eco_opt = rel.hb.union(&rel.hb.compose(&rel.eco));
+            hb_eco_opt.is_irreflexive()
+        }
+        CAxiom::Atomicity => x
+            .rmw
+            .intersect(&rel.rb.compose(&candidate.mo))
+            .is_empty(),
+        CAxiom::Sc => x.incl.intersect(&rel.psc).is_acyclic(),
+    }
+}
+
+/// Checks all three axioms; returns the violated ones (empty =
+/// consistent).
+pub fn check_all(x: &CExpansion, candidate: &CCandidate) -> Vec<CAxiom> {
+    let rel = CRelations::compute(x, candidate);
+    C_AXIOMS
+        .iter()
+        .copied()
+        .filter(|&a| !check_axiom(a, x, candidate, &rel))
+        .collect()
+}
+
+/// The original RC11 No-Thin-Air axiom, `acyclic(sb ∪ rf)`. Excluded from
+/// the scoped model (paper §4.1) but available for comparison.
+pub fn no_thin_air_holds(x: &CExpansion, candidate: &CCandidate) -> bool {
+    x.sb.union(&candidate.rf_matrix(x)).is_acyclic()
+}
+
+/// A data race: two conflicting accesses (same location, at least one
+/// write, different threads) unrelated by happens-before, where at least
+/// one is non-atomic or the pair is not scope-inclusive (the
+/// heterogeneous-race-free extension).
+pub fn races(x: &CExpansion, rel: &CRelations) -> Vec<(usize, usize)> {
+    let events = &x.events;
+    let mut out = Vec::new();
+    for a in events {
+        for b in events {
+            if a.id >= b.id || !a.is_memory() || !b.is_memory() || !a.same_loc(b) {
+                continue;
+            }
+            let conflicting =
+                a.kind == CEventKind::Write || b.kind == CEventKind::Write;
+            if !conflicting {
+                continue;
+            }
+            match (a.thread, b.thread) {
+                (Some(ta), Some(tb)) if ta != tb => {}
+                _ => continue,
+            }
+            let hb_related = rel.hb.get(a.id, b.id) || rel.hb.get(b.id, a.id);
+            if hb_related {
+                continue;
+            }
+            let weakly_typed = !a.mo.is_atomic() || !b.mo.is_atomic();
+            let non_inclusive = !x.incl.get(a.id, b.id);
+            if weakly_typed || non_inclusive {
+                out.push((a.id, b.id));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::expand;
+    use crate::model::build::*;
+    use crate::model::{CProgram, MemOrder};
+    use memmodel::{Location, Register, Scope, SystemLayout};
+
+    /// MP with release/acquire: event ids 0=init_x 1=init_y 2=Wx 3=Wrel_y
+    /// 4=Racq_y 5=Rx.
+    fn mp() -> CExpansion {
+        expand(&CProgram::new(
+            vec![
+                vec![
+                    store_na(Location(0), 1),
+                    store(MemOrder::Rel, Scope::Sys, Location(1), 1),
+                ],
+                vec![
+                    load(MemOrder::Acq, Scope::Sys, Register(0), Location(1)),
+                    load_na(Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        ))
+    }
+
+    fn mo_for(x: &CExpansion) -> RelMat {
+        // init_x → Wx, init_y → Wrel_y.
+        RelMat::from_pairs(x.len(), [(0, 2), (1, 3)])
+    }
+
+    #[test]
+    fn mp_stale_read_violates_coherence() {
+        let x = mp();
+        let c = CCandidate {
+            rf_source: vec![3, 0], // acquire sees release; data read sees init
+            mo: mo_for(&x),
+        };
+        let rel = CRelations::compute(&x, &c);
+        assert!(rel.sw.get(3, 4), "release synchronizes with acquire");
+        assert!(rel.hb.get(2, 5), "hb reaches the data read");
+        // rb(Rx, Wx) and hb(Wx, Rx): hb;eco is reflexive → Coherence fails.
+        let violations = check_all(&x, &c);
+        assert_eq!(violations, vec![CAxiom::Coherence]);
+    }
+
+    #[test]
+    fn mp_fresh_read_is_consistent() {
+        let x = mp();
+        let c = CCandidate {
+            rf_source: vec![3, 2],
+            mo: mo_for(&x),
+        };
+        assert!(check_all(&x, &c).is_empty());
+    }
+
+    #[test]
+    fn mp_synchronized_execution_is_race_free() {
+        let x = mp();
+        let c = CCandidate {
+            rf_source: vec![3, 2],
+            mo: mo_for(&x),
+        };
+        let rel = CRelations::compute(&x, &c);
+        assert!(races(&x, &rel).is_empty());
+    }
+
+    #[test]
+    fn unsynchronized_na_accesses_race() {
+        let p = CProgram::new(
+            vec![
+                vec![store_na(Location(0), 1)],
+                vec![load_na(Register(0), Location(0))],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let x = expand(&p);
+        let c = CCandidate {
+            rf_source: vec![1], // read the store
+            mo: RelMat::from_pairs(x.len(), [(0, 1)]),
+        };
+        let rel = CRelations::compute(&x, &c);
+        assert_eq!(races(&x, &rel), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn narrow_scope_breaks_synchronization() {
+        // Same MP but with cta-scoped release/acquire across CTAs: no sw
+        // because incl is empty across the pair, so the stale read is NOT
+        // a coherence violation — and the accesses race.
+        let p = CProgram::new(
+            vec![
+                vec![
+                    store_na(Location(0), 1),
+                    store(MemOrder::Rel, Scope::Cta, Location(1), 1),
+                ],
+                vec![
+                    load(MemOrder::Acq, Scope::Cta, Register(0), Location(1)),
+                    load_na(Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let x = expand(&p);
+        let c = CCandidate {
+            rf_source: vec![3, 0],
+            mo: RelMat::from_pairs(x.len(), [(0, 2), (1, 3)]),
+        };
+        let rel = CRelations::compute(&x, &c);
+        assert!(!rel.hb.get(2, 5));
+        assert!(check_all(&x, &c).is_empty(), "stale read allowed");
+        assert!(!races(&x, &rel).is_empty(), "and the program is racy");
+    }
+
+    #[test]
+    fn sb_with_sc_fences_cycle_is_caught_by_psc() {
+        // SB: both threads store then (SC fence) then load the other's
+        // location; both loads reading init must be inconsistent.
+        let p = CProgram::new(
+            vec![
+                vec![
+                    store(MemOrder::Rlx, Scope::Sys, Location(0), 1),
+                    fence(MemOrder::Sc, Scope::Sys),
+                    load(MemOrder::Rlx, Scope::Sys, Register(0), Location(1)),
+                ],
+                vec![
+                    store(MemOrder::Rlx, Scope::Sys, Location(1), 1),
+                    fence(MemOrder::Sc, Scope::Sys),
+                    load(MemOrder::Rlx, Scope::Sys, Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let x = expand(&p);
+        // events: 0=init_x 1=init_y 2=Wx 3=F0 4=Ry 5=Wy 6=F1 7=Rx
+        let c = CCandidate {
+            rf_source: vec![1, 0], // both read init
+            mo: RelMat::from_pairs(x.len(), [(0, 2), (1, 5)]),
+        };
+        let violations = check_all(&x, &c);
+        assert!(violations.contains(&CAxiom::Sc), "psc cycle: {violations:?}");
+        // Reading one store is fine.
+        let c2 = CCandidate {
+            rf_source: vec![5, 0],
+            mo: RelMat::from_pairs(x.len(), [(0, 2), (1, 5)]),
+        };
+        assert!(check_all(&x, &c2).is_empty());
+    }
+
+    #[test]
+    fn atomicity_forbids_intervening_write() {
+        // T0: fetch_add(x); T1: store rlx x = 5. If the RMW reads init but
+        // the store slots between read and write in mo, Atomicity fails.
+        let p = CProgram::new(
+            vec![
+                vec![fetch_add(MemOrder::Rlx, Scope::Sys, Register(0), Location(0), 1)],
+                vec![store(MemOrder::Rlx, Scope::Sys, Location(0), 5)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let x = expand(&p);
+        // events: 0=init 1=Rrmw 2=Wrmw 3=Wstore
+        let bad = CCandidate {
+            rf_source: vec![0],
+            mo: RelMat::from_pairs(x.len(), [(0, 3), (3, 2), (0, 2)]),
+        };
+        assert!(check_all(&x, &bad).contains(&CAxiom::Atomicity));
+        let good = CCandidate {
+            rf_source: vec![0],
+            mo: RelMat::from_pairs(x.len(), [(0, 2), (2, 3), (0, 3)]),
+        };
+        assert!(check_all(&x, &good).is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! Expression and formula ASTs for bounded relational logic.
+//!
+//! This is the Alloy/Kodkod fragment needed for axiomatic memory models:
+//! relation constants and variables, the relational operators (union,
+//! intersection, difference, join, product, transpose, transitive closure),
+//! and first-order formulas with multiplicity tests and quantifiers over
+//! atoms.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::tuple::TupleSet;
+
+/// A declared relation, identified by index into a [`crate::Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub(crate) u32);
+
+impl RelId {
+    /// The dense index of this relation in its schema.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A quantified atom variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Creates a variable id. Ids must be unique within a formula; the
+    /// convenience quantifier builders in [`Formula`] handle this.
+    pub fn new(id: u32) -> VarId {
+        VarId(id)
+    }
+
+    /// The raw id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A relational expression. Evaluates to a [`TupleSet`].
+///
+/// Expressions are immutable trees with shared subtrees (`Arc`), so cloning
+/// a large derived relation definition is cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A declared relation.
+    Rel(RelId),
+    /// A quantified atom variable, used as a singleton unary set.
+    Var(VarId),
+    /// A constant tuple set.
+    Const(Arc<TupleSet>),
+    /// The identity relation over the universe (binary).
+    Iden,
+    /// The full unary universe set.
+    Univ,
+    /// The empty set of the given arity.
+    None(usize),
+    /// Set union.
+    Union(Arc<Expr>, Arc<Expr>),
+    /// Set intersection.
+    Intersect(Arc<Expr>, Arc<Expr>),
+    /// Set difference.
+    Difference(Arc<Expr>, Arc<Expr>),
+    /// Relational join (`;` in the paper's notation, `.` in Alloy).
+    Join(Arc<Expr>, Arc<Expr>),
+    /// Cartesian product (`->` in Alloy).
+    Product(Arc<Expr>, Arc<Expr>),
+    /// Transpose of a binary relation (`~r`).
+    Transpose(Arc<Expr>),
+    /// Irreflexive transitive closure (`^r`).
+    Closure(Arc<Expr>),
+    /// Reflexive transitive closure (`*r`).
+    ReflexiveClosure(Arc<Expr>),
+}
+
+impl Expr {
+    /// A constant expression.
+    pub fn constant(ts: TupleSet) -> Expr {
+        Expr::Const(Arc::new(ts))
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &Expr) -> Expr {
+        Expr::Union(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(&self, other: &Expr) -> Expr {
+        Expr::Intersect(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `self − other`.
+    pub fn difference(&self, other: &Expr) -> Expr {
+        Expr::Difference(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `self ; other` (relational join).
+    pub fn join(&self, other: &Expr) -> Expr {
+        Expr::Join(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `self × other` (Cartesian product).
+    pub fn product(&self, other: &Expr) -> Expr {
+        Expr::Product(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `~self` (transpose).
+    pub fn transpose(&self) -> Expr {
+        Expr::Transpose(Arc::new(self.clone()))
+    }
+
+    /// `^self` (transitive closure).
+    pub fn closure(&self) -> Expr {
+        Expr::Closure(Arc::new(self.clone()))
+    }
+
+    /// `*self` (reflexive transitive closure).
+    pub fn reflexive_closure(&self) -> Expr {
+        Expr::ReflexiveClosure(Arc::new(self.clone()))
+    }
+
+    /// `self?` in the paper's notation: `self ∪ iden`.
+    pub fn optional(&self) -> Expr {
+        self.union(&Expr::Iden)
+    }
+
+    /// `self ⊆ other`.
+    pub fn in_(&self, other: &Expr) -> Formula {
+        Formula::Subset(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `self = other`.
+    pub fn equal(&self, other: &Expr) -> Formula {
+        Formula::Equal(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `some self` (non-empty).
+    pub fn some(&self) -> Formula {
+        Formula::Some(Arc::new(self.clone()))
+    }
+
+    /// `no self` (empty).
+    pub fn no(&self) -> Formula {
+        Formula::No(Arc::new(self.clone()))
+    }
+
+    /// `one self` (exactly one tuple).
+    pub fn one(&self) -> Formula {
+        Formula::One(Arc::new(self.clone()))
+    }
+
+    /// `lone self` (at most one tuple).
+    pub fn lone(&self) -> Formula {
+        Formula::Lone(Arc::new(self.clone()))
+    }
+}
+
+impl From<RelId> for Expr {
+    fn from(r: RelId) -> Expr {
+        Expr::Rel(r)
+    }
+}
+
+impl From<VarId> for Expr {
+    fn from(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Rel(r) => write!(f, "r{}", r.0),
+            Expr::Var(v) => write!(f, "v{}", v.0),
+            Expr::Const(ts) => write!(f, "{ts}"),
+            Expr::Iden => write!(f, "iden"),
+            Expr::Univ => write!(f, "univ"),
+            Expr::None(a) => write!(f, "none/{a}"),
+            Expr::Union(a, b) => write!(f, "({a} + {b})"),
+            Expr::Intersect(a, b) => write!(f, "({a} & {b})"),
+            Expr::Difference(a, b) => write!(f, "({a} - {b})"),
+            Expr::Join(a, b) => write!(f, "({a} ; {b})"),
+            Expr::Product(a, b) => write!(f, "({a} -> {b})"),
+            Expr::Transpose(a) => write!(f, "~{a}"),
+            Expr::Closure(a) => write!(f, "^{a}"),
+            Expr::ReflexiveClosure(a) => write!(f, "*{a}"),
+        }
+    }
+}
+
+/// A first-order relational formula. Evaluates to a boolean.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// `a ⊆ b`.
+    Subset(Arc<Expr>, Arc<Expr>),
+    /// `a = b`.
+    Equal(Arc<Expr>, Arc<Expr>),
+    /// `a` is non-empty.
+    Some(Arc<Expr>),
+    /// `a` is empty.
+    No(Arc<Expr>),
+    /// `a` has exactly one tuple.
+    One(Arc<Expr>),
+    /// `a` has at most one tuple.
+    Lone(Arc<Expr>),
+    /// Negation.
+    Not(Arc<Formula>),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Arc<Formula>, Arc<Formula>),
+    /// Biconditional.
+    Iff(Arc<Formula>, Arc<Formula>),
+    /// `∀ v ∈ domain · body` — `domain` must be unary.
+    ForAll(VarId, Arc<Expr>, Arc<Formula>),
+    /// `∃ v ∈ domain · body` — `domain` must be unary.
+    Exists(VarId, Arc<Expr>, Arc<Formula>),
+}
+
+impl Formula {
+    /// Conjunction of an iterator of formulas (true if empty).
+    pub fn and_all<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
+        let v: Vec<Formula> = fs.into_iter().collect();
+        match v.len() {
+            0 => Formula::True,
+            1 => v.into_iter().next().expect("len 1"),
+            _ => Formula::And(v),
+        }
+    }
+
+    /// Disjunction of an iterator of formulas (false if empty).
+    pub fn or_all<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
+        let v: Vec<Formula> = fs.into_iter().collect();
+        match v.len() {
+            0 => Formula::False,
+            1 => v.into_iter().next().expect("len 1"),
+            _ => Formula::Or(v),
+        }
+    }
+
+    /// `self ∧ other`.
+    pub fn and(&self, other: &Formula) -> Formula {
+        Formula::And(vec![self.clone(), other.clone()])
+    }
+
+    /// `self ∨ other`.
+    pub fn or(&self, other: &Formula) -> Formula {
+        Formula::Or(vec![self.clone(), other.clone()])
+    }
+
+    /// `¬self`.
+    pub fn not(&self) -> Formula {
+        Formula::Not(Arc::new(self.clone()))
+    }
+
+    /// `self ⇒ other`.
+    pub fn implies(&self, other: &Formula) -> Formula {
+        Formula::Implies(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `self ⇔ other`.
+    pub fn iff(&self, other: &Formula) -> Formula {
+        Formula::Iff(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// Universal quantification.
+    pub fn for_all(v: VarId, domain: Expr, body: Formula) -> Formula {
+        Formula::ForAll(v, Arc::new(domain), Arc::new(body))
+    }
+
+    /// Existential quantification.
+    pub fn exists(v: VarId, domain: Expr, body: Formula) -> Formula {
+        Formula::Exists(v, Arc::new(domain), Arc::new(body))
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Subset(a, b) => write!(f, "({a} in {b})"),
+            Formula::Equal(a, b) => write!(f, "({a} = {b})"),
+            Formula::Some(a) => write!(f, "some {a}"),
+            Formula::No(a) => write!(f, "no {a}"),
+            Formula::One(a) => write!(f, "one {a}"),
+            Formula::Lone(a) => write!(f, "lone {a}"),
+            Formula::Not(a) => write!(f, "!{a}"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} => {b})"),
+            Formula::Iff(a, b) => write!(f, "({a} <=> {b})"),
+            Formula::ForAll(v, d, b) => write!(f, "(all v{} : {} | {})", v.0, d, b),
+            Formula::Exists(v, d, b) => write!(f, "(some v{} : {} | {})", v.0, d, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let r = Expr::Rel(RelId(0));
+        let s = Expr::Rel(RelId(1));
+        let e = r.join(&s).union(&r.transpose()).closure();
+        let text = format!("{e}");
+        assert!(text.contains(';'));
+        assert!(text.contains('^'));
+    }
+
+    #[test]
+    fn and_all_flattens_trivia() {
+        assert_eq!(Formula::and_all([]), Formula::True);
+        assert_eq!(Formula::or_all([]), Formula::False);
+        let f = Expr::Univ.some();
+        assert_eq!(Formula::and_all([f.clone()]), f);
+    }
+}

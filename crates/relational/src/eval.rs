@@ -1,0 +1,433 @@
+//! Ground evaluation of expressions and formulas over a concrete instance.
+//!
+//! This evaluator is the semantic reference for the SAT-based model finder
+//! in `ptxmm-solver`: any instance the model finder returns must satisfy the
+//! formula under this evaluator (a property the test suites check).
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, Formula, VarId};
+use crate::schema::{Instance, Schema};
+use crate::tuple::{Atom, Tuple, TupleSet};
+
+/// A type error found while checking an expression or formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Binary set operation over different arities.
+    ArityMismatch {
+        /// The operator involved.
+        op: &'static str,
+        /// Left-hand arity.
+        left: usize,
+        /// Right-hand arity.
+        right: usize,
+    },
+    /// Operator requiring a binary relation applied elsewhere.
+    NotBinary {
+        /// The operator involved.
+        op: &'static str,
+        /// The offending arity.
+        arity: usize,
+    },
+    /// A join producing arity zero.
+    EmptyJoin,
+    /// A quantifier domain that is not unary.
+    NonUnaryDomain(usize),
+    /// An unbound quantified variable.
+    UnboundVar(VarId),
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeError::ArityMismatch { op, left, right } => {
+                write!(f, "arity mismatch in {op}: {left} vs {right}")
+            }
+            TypeError::NotBinary { op, arity } => {
+                write!(f, "{op} requires a binary relation, got arity {arity}")
+            }
+            TypeError::EmptyJoin => write!(f, "join would produce an arity-0 relation"),
+            TypeError::NonUnaryDomain(a) => {
+                write!(f, "quantifier domain must be unary, got arity {a}")
+            }
+            TypeError::UnboundVar(v) => write!(f, "unbound quantified variable v{}", v.index()),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Computes the arity of `expr`, checking arity discipline along the way.
+///
+/// Quantified variables are unary. `vars` need not be bound for arity
+/// checking.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] on any arity violation.
+pub fn arity_of(expr: &Expr, schema: &Schema) -> Result<usize, TypeError> {
+    match expr {
+        Expr::Rel(r) => Ok(schema.arity(*r)),
+        Expr::Var(_) => Ok(1),
+        Expr::Const(ts) => Ok(ts.arity()),
+        Expr::Iden => Ok(2),
+        Expr::Univ => Ok(1),
+        Expr::None(a) => Ok(*a),
+        Expr::Union(a, b) | Expr::Intersect(a, b) | Expr::Difference(a, b) => {
+            let (la, lb) = (arity_of(a, schema)?, arity_of(b, schema)?);
+            if la != lb {
+                return Err(TypeError::ArityMismatch {
+                    op: "set operation",
+                    left: la,
+                    right: lb,
+                });
+            }
+            Ok(la)
+        }
+        Expr::Join(a, b) => {
+            let (la, lb) = (arity_of(a, schema)?, arity_of(b, schema)?);
+            if la + lb < 3 {
+                return Err(TypeError::EmptyJoin);
+            }
+            Ok(la + lb - 2)
+        }
+        Expr::Product(a, b) => Ok(arity_of(a, schema)? + arity_of(b, schema)?),
+        Expr::Transpose(a) => {
+            let la = arity_of(a, schema)?;
+            if la != 2 {
+                return Err(TypeError::NotBinary {
+                    op: "transpose",
+                    arity: la,
+                });
+            }
+            Ok(2)
+        }
+        Expr::Closure(a) | Expr::ReflexiveClosure(a) => {
+            let la = arity_of(a, schema)?;
+            if la != 2 {
+                return Err(TypeError::NotBinary {
+                    op: "closure",
+                    arity: la,
+                });
+            }
+            Ok(2)
+        }
+    }
+}
+
+/// Checks all expressions inside `formula` for arity discipline.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found.
+pub fn check_formula(formula: &Formula, schema: &Schema) -> Result<(), TypeError> {
+    match formula {
+        Formula::True | Formula::False => Ok(()),
+        Formula::Subset(a, b) | Formula::Equal(a, b) => {
+            let (la, lb) = (arity_of(a, schema)?, arity_of(b, schema)?);
+            if la != lb {
+                return Err(TypeError::ArityMismatch {
+                    op: "comparison",
+                    left: la,
+                    right: lb,
+                });
+            }
+            Ok(())
+        }
+        Formula::Some(a) | Formula::No(a) | Formula::One(a) | Formula::Lone(a) => {
+            arity_of(a, schema).map(|_| ())
+        }
+        Formula::Not(f) => check_formula(f, schema),
+        Formula::And(fs) | Formula::Or(fs) => {
+            fs.iter().try_for_each(|f| check_formula(f, schema))
+        }
+        Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            check_formula(a, schema)?;
+            check_formula(b, schema)
+        }
+        Formula::ForAll(_, d, body) | Formula::Exists(_, d, body) => {
+            let da = arity_of(d, schema)?;
+            if da != 1 {
+                return Err(TypeError::NonUnaryDomain(da));
+            }
+            check_formula(body, schema)
+        }
+    }
+}
+
+/// An evaluator holding the instance and an environment for quantified
+/// variables.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    schema: &'a Schema,
+    instance: &'a Instance,
+    env: HashMap<VarId, Atom>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over `instance`.
+    pub fn new(schema: &'a Schema, instance: &'a Instance) -> Evaluator<'a> {
+        Evaluator {
+            schema,
+            instance,
+            env: HashMap::new(),
+        }
+    }
+
+    /// Evaluates an expression to a tuple set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] on arity violations or unbound variables.
+    pub fn eval(&mut self, expr: &Expr) -> Result<TupleSet, TypeError> {
+        let n = self.instance.universe_size();
+        match expr {
+            Expr::Rel(r) => Ok(self.instance.get(*r).clone()),
+            Expr::Var(v) => {
+                let atom = *self.env.get(v).ok_or(TypeError::UnboundVar(*v))?;
+                Ok(TupleSet::from_atoms([atom]))
+            }
+            Expr::Const(ts) => Ok((**ts).clone()),
+            Expr::Iden => Ok(TupleSet::iden(n)),
+            Expr::Univ => Ok(TupleSet::universe(n)),
+            Expr::None(a) => Ok(TupleSet::empty(*a)),
+            Expr::Union(a, b) => {
+                self.check_same_arity("union", a, b)?;
+                Ok(self.eval(a)?.union(&self.eval(b)?))
+            }
+            Expr::Intersect(a, b) => {
+                self.check_same_arity("intersection", a, b)?;
+                Ok(self.eval(a)?.intersect(&self.eval(b)?))
+            }
+            Expr::Difference(a, b) => {
+                self.check_same_arity("difference", a, b)?;
+                Ok(self.eval(a)?.difference(&self.eval(b)?))
+            }
+            Expr::Join(a, b) => {
+                let (la, lb) = (arity_of(a, self.schema)?, arity_of(b, self.schema)?);
+                if la + lb < 3 {
+                    return Err(TypeError::EmptyJoin);
+                }
+                Ok(self.eval(a)?.join(&self.eval(b)?))
+            }
+            Expr::Product(a, b) => Ok(self.eval(a)?.product(&self.eval(b)?)),
+            Expr::Transpose(a) => {
+                self.check_binary("transpose", a)?;
+                Ok(self.eval(a)?.transpose())
+            }
+            Expr::Closure(a) => {
+                self.check_binary("closure", a)?;
+                Ok(self.eval(a)?.closure())
+            }
+            Expr::ReflexiveClosure(a) => {
+                self.check_binary("closure", a)?;
+                Ok(self.eval(a)?.reflexive_closure(n))
+            }
+        }
+    }
+
+    /// Evaluates a formula to a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] on arity violations or unbound variables.
+    pub fn eval_formula(&mut self, formula: &Formula) -> Result<bool, TypeError> {
+        match formula {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Subset(a, b) => {
+                self.check_same_arity("subset", a, b)?;
+                Ok(self.eval(a)?.is_subset(&self.eval(b)?))
+            }
+            Formula::Equal(a, b) => {
+                self.check_same_arity("equality", a, b)?;
+                Ok(self.eval(a)? == self.eval(b)?)
+            }
+            Formula::Some(a) => Ok(!self.eval(a)?.is_empty()),
+            Formula::No(a) => Ok(self.eval(a)?.is_empty()),
+            Formula::One(a) => Ok(self.eval(a)?.len() == 1),
+            Formula::Lone(a) => Ok(self.eval(a)?.len() <= 1),
+            Formula::Not(f) => Ok(!self.eval_formula(f)?),
+            Formula::And(fs) => {
+                for f in fs {
+                    if !self.eval_formula(f)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(fs) => {
+                for f in fs {
+                    if self.eval_formula(f)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Implies(a, b) => Ok(!self.eval_formula(a)? || self.eval_formula(b)?),
+            Formula::Iff(a, b) => Ok(self.eval_formula(a)? == self.eval_formula(b)?),
+            Formula::ForAll(v, d, body) => {
+                let domain = self.eval(d)?;
+                if domain.arity() != 1 {
+                    return Err(TypeError::NonUnaryDomain(domain.arity()));
+                }
+                for t in domain.iter().cloned().collect::<Vec<Tuple>>() {
+                    self.env.insert(*v, t.atoms()[0]);
+                    let holds = self.eval_formula(body)?;
+                    self.env.remove(v);
+                    if !holds {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Exists(v, d, body) => {
+                let domain = self.eval(d)?;
+                if domain.arity() != 1 {
+                    return Err(TypeError::NonUnaryDomain(domain.arity()));
+                }
+                for t in domain.iter().cloned().collect::<Vec<Tuple>>() {
+                    self.env.insert(*v, t.atoms()[0]);
+                    let holds = self.eval_formula(body)?;
+                    self.env.remove(v);
+                    if holds {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    fn check_same_arity(&self, op: &'static str, a: &Expr, b: &Expr) -> Result<(), TypeError> {
+        let (la, lb) = (arity_of(a, self.schema)?, arity_of(b, self.schema)?);
+        if la != lb {
+            return Err(TypeError::ArityMismatch {
+                op,
+                left: la,
+                right: lb,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_binary(&self, op: &'static str, a: &Expr) -> Result<(), TypeError> {
+        let la = arity_of(a, self.schema)?;
+        if la != 2 {
+            return Err(TypeError::NotBinary { op, arity: la });
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates `formula` over `instance` with an empty environment.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] on arity violations or unbound variables.
+pub fn eval_formula(
+    schema: &Schema,
+    instance: &Instance,
+    formula: &Formula,
+) -> Result<bool, TypeError> {
+    Evaluator::new(schema, instance).eval_formula(formula)
+}
+
+/// Evaluates `expr` over `instance` with an empty environment.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] on arity violations or unbound variables.
+pub fn eval_expr(
+    schema: &Schema,
+    instance: &Instance,
+    expr: &Expr,
+) -> Result<TupleSet, TypeError> {
+    Evaluator::new(schema, instance).eval(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::rel;
+
+    fn setup() -> (Schema, Instance, crate::ast::RelId, crate::ast::RelId) {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let s = schema.relation("s", 1);
+        let mut inst = Instance::empty(&schema, 4);
+        inst.set(r, TupleSet::from_pairs([(0, 1), (1, 2), (2, 3)]));
+        inst.set(s, TupleSet::from_atoms([0, 2]));
+        (schema, inst, r, s)
+    }
+
+    #[test]
+    fn closure_and_join() {
+        let (schema, inst, r, _) = setup();
+        let closure = eval_expr(&schema, &inst, &rel(r).closure()).unwrap();
+        assert!(closure.contains_pair(0, 3));
+        let rr = eval_expr(&schema, &inst, &rel(r).join(&rel(r))).unwrap();
+        assert_eq!(rr, TupleSet::from_pairs([(0, 2), (1, 3)]));
+    }
+
+    #[test]
+    fn subset_formula() {
+        let (schema, inst, r, _) = setup();
+        let f = rel(r).join(&rel(r)).in_(&rel(r).closure());
+        assert!(eval_formula(&schema, &inst, &f).unwrap());
+        let g = rel(r).closure().in_(&rel(r));
+        assert!(!eval_formula(&schema, &inst, &g).unwrap());
+    }
+
+    #[test]
+    fn quantifiers() {
+        let (schema, inst, r, s) = setup();
+        // all x in s | some x.r  — 0 and 2 both have successors.
+        let v = VarId::new(0);
+        let f = Formula::for_all(v, rel(s), Expr::Var(v).join(&rel(r)).some());
+        assert!(eval_formula(&schema, &inst, &f).unwrap());
+        // all x in univ | some x.r — 3 has no successor.
+        let g = Formula::for_all(v, Expr::Univ, Expr::Var(v).join(&rel(r)).some());
+        assert!(!eval_formula(&schema, &inst, &g).unwrap());
+        // some x in univ | no x.r
+        let h = Formula::exists(v, Expr::Univ, Expr::Var(v).join(&rel(r)).no());
+        assert!(eval_formula(&schema, &inst, &h).unwrap());
+    }
+
+    #[test]
+    fn multiplicities() {
+        let (schema, inst, _, s) = setup();
+        assert!(eval_formula(&schema, &inst, &rel(s).some()).unwrap());
+        assert!(!eval_formula(&schema, &inst, &rel(s).one()).unwrap());
+        assert!(!eval_formula(&schema, &inst, &rel(s).lone()).unwrap());
+        assert!(eval_formula(&schema, &inst, &Expr::None(1).no()).unwrap());
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let (schema, _, r, s) = setup();
+        assert!(matches!(
+            arity_of(&rel(r).union(&rel(s)), &schema),
+            Err(TypeError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            arity_of(&rel(s).transpose(), &schema),
+            Err(TypeError::NotBinary { .. })
+        ));
+        assert!(matches!(
+            arity_of(&rel(s).join(&rel(s)), &schema),
+            Err(TypeError::EmptyJoin)
+        ));
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let (schema, inst, _, _) = setup();
+        let v = VarId::new(9);
+        let f = Expr::Var(v).some();
+        assert!(matches!(
+            eval_formula(&schema, &inst, &f),
+            Err(TypeError::UnboundVar(_))
+        ));
+    }
+}

@@ -1,0 +1,51 @@
+//! Alloy-style bounded relational logic.
+//!
+//! This crate provides the modeling language of the PTX memory model
+//! analysis stack, mirroring the role of the Alloy DSL in the paper:
+//!
+//! * [`TupleSet`]: ground relational values over a finite universe of atoms;
+//! * [`Expr`] / [`Formula`]: the relational expression and first-order
+//!   formula ASTs (union, intersection, difference, join, product,
+//!   transpose, transitive closure; subset/equality/multiplicity tests,
+//!   boolean connectives, quantifiers over atoms);
+//! * [`Schema`] / [`Bounds`] / [`Instance`]: relation declarations, Kodkod
+//!   style lower/upper bounds, and concrete valuations;
+//! * [`eval_formula`]: a ground evaluator, the semantic reference for the
+//!   SAT-based model finder in the `ptxmm-solver` crate;
+//! * [`patterns`]: the derived predicates used by axiomatic memory models
+//!   (`acyclic`, `irreflexive`, the `[s]` bracket, order predicates).
+//!
+//! # Examples
+//!
+//! Checking the paper's Causality-axiom shape on a concrete execution:
+//!
+//! ```
+//! use relational::{Schema, Instance, TupleSet, patterns};
+//! use relational::schema::rel;
+//!
+//! let mut schema = Schema::new();
+//! let rf = schema.relation("rf", 2);
+//! let cause = schema.relation("cause", 2);
+//!
+//! let mut inst = Instance::empty(&schema, 4);
+//! inst.set(rf, TupleSet::from_pairs([(0, 1)]));
+//! inst.set(cause, TupleSet::from_pairs([(1, 0)]));
+//!
+//! // irreflexive(rf ; cause) — violated: rf and cause form a loop.
+//! let axiom = patterns::irreflexive(&rel(rf).join(&rel(cause)));
+//! assert!(!relational::eval_formula(&schema, &inst, &axiom).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod patterns;
+pub mod schema;
+pub mod tuple;
+
+pub use ast::{Expr, Formula, RelId, VarId};
+pub use eval::{arity_of, check_formula, eval_expr, eval_formula, Evaluator, TypeError};
+pub use patterns::VarGen;
+pub use schema::{full_set, rel, Bounds, Instance, RelDecl, Schema};
+pub use tuple::{Atom, Tuple, TupleSet};

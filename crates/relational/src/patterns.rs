@@ -1,0 +1,183 @@
+//! Derived formula combinators used throughout axiomatic memory models.
+//!
+//! These mirror the helper predicates in the paper's Alloy development
+//! (Figure 13): `irreflexive`, `acyclic`, order predicates, and domain
+//! restriction brackets `[s]`.
+
+use crate::ast::{Expr, Formula, VarId};
+
+/// `irreflexive(r)`: `no (iden ∩ r)`.
+pub fn irreflexive(r: &Expr) -> Formula {
+    Expr::Iden.intersect(r).no()
+}
+
+/// `acyclic(r)`: `no (iden ∩ ^r)`.
+pub fn acyclic(r: &Expr) -> Formula {
+    Expr::Iden.intersect(&r.closure()).no()
+}
+
+/// `empty(r)`: `no r`.
+pub fn empty(r: &Expr) -> Formula {
+    r.no()
+}
+
+/// The restriction bracket `[s]` of the paper: `(s × s) ∩ iden`, which
+/// confines a relational chain to pass through the set `s`.
+pub fn bracket(s: &Expr) -> Expr {
+    s.product(s).intersect(&Expr::Iden)
+}
+
+/// `r` is transitive: `r;r ⊆ r`.
+pub fn transitive(r: &Expr) -> Formula {
+    r.join(r).in_(r)
+}
+
+/// `r` is symmetric: `~r ⊆ r`.
+pub fn symmetric(r: &Expr) -> Formula {
+    r.transpose().in_(r)
+}
+
+/// `r` is antisymmetric: `r ∩ ~r ⊆ iden`.
+pub fn antisymmetric(r: &Expr) -> Formula {
+    r.intersect(&r.transpose()).in_(&Expr::Iden)
+}
+
+/// `r` is a strict partial order (irreflexive and transitive; antisymmetry
+/// follows).
+pub fn strict_partial_order(r: &Expr) -> Formula {
+    Formula::and_all([irreflexive(r), transitive(r)])
+}
+
+/// `r` is a strict total order on the set `s`: a strict partial order that
+/// relates every distinct pair of `s`, and relates only elements of `s`.
+pub fn strict_total_order_on(r: &Expr, s: &Expr) -> Formula {
+    let within = r.in_(&s.product(s));
+    let total = s
+        .product(s)
+        .difference(&Expr::Iden)
+        .in_(&r.union(&r.transpose()));
+    Formula::and_all([strict_partial_order(r), within, total])
+}
+
+/// `r` relates only elements of `s` (binary `r ⊆ s × s`).
+pub fn within(r: &Expr, s: &Expr) -> Formula {
+    r.in_(&s.product(s))
+}
+
+/// `r` is a function from `s` to `t`: every element of `s` maps to exactly
+/// one element, and the image stays in `t`.
+pub fn function(r: &Expr, s: &Expr, t: &Expr, fresh: &mut VarGen) -> Formula {
+    let v = fresh.var();
+    let image_ok = r.in_(&s.product(t));
+    let functional = Formula::for_all(v, s.clone(), Expr::Var(v).join(r).one());
+    Formula::and_all([image_ok, functional])
+}
+
+/// `r` is a partial function on `s`: every element of `s` maps to at most
+/// one element.
+pub fn partial_function(r: &Expr, s: &Expr, t: &Expr, fresh: &mut VarGen) -> Formula {
+    let v = fresh.var();
+    let image_ok = r.in_(&s.product(t));
+    let functional = Formula::for_all(v, s.clone(), Expr::Var(v).join(r).lone());
+    Formula::and_all([image_ok, functional])
+}
+
+/// A generator of fresh quantifier variables.
+#[derive(Debug, Default)]
+pub struct VarGen {
+    next: u32,
+}
+
+impl VarGen {
+    /// Creates a generator starting at id 0.
+    pub fn new() -> VarGen {
+        VarGen::default()
+    }
+
+    /// Returns a fresh variable id.
+    pub fn var(&mut self) -> VarId {
+        let v = VarId::new(self.next);
+        self.next += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_formula;
+    use crate::schema::{rel, Instance, Schema};
+    use crate::tuple::TupleSet;
+
+    fn one_rel(pairs: &[(u32, u32)], n: usize) -> (Schema, Instance, crate::ast::RelId) {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let mut inst = Instance::empty(&schema, n);
+        inst.set(r, TupleSet::from_pairs(pairs.iter().copied()));
+        (schema, inst, r)
+    }
+
+    #[test]
+    fn acyclic_detects_cycles() {
+        let (schema, inst, r) = one_rel(&[(0, 1), (1, 2)], 3);
+        assert!(eval_formula(&schema, &inst, &acyclic(&rel(r))).unwrap());
+        let (schema, inst, r) = one_rel(&[(0, 1), (1, 0)], 3);
+        assert!(!eval_formula(&schema, &inst, &acyclic(&rel(r))).unwrap());
+    }
+
+    #[test]
+    fn irreflexive_vs_acyclic() {
+        // A 2-cycle is irreflexive but not acyclic.
+        let (schema, inst, r) = one_rel(&[(0, 1), (1, 0)], 2);
+        assert!(eval_formula(&schema, &inst, &irreflexive(&rel(r))).unwrap());
+        assert!(!eval_formula(&schema, &inst, &acyclic(&rel(r))).unwrap());
+    }
+
+    #[test]
+    fn total_order_recognition() {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let s = schema.relation("s", 1);
+        let mut inst = Instance::empty(&schema, 3);
+        inst.set(r, TupleSet::from_pairs([(0, 1), (1, 2), (0, 2)]));
+        inst.set(s, TupleSet::from_atoms([0, 1, 2]));
+        let f = strict_total_order_on(&rel(r), &rel(s));
+        assert!(eval_formula(&schema, &inst, &f).unwrap());
+        // Remove transitive edge: no longer a total order.
+        inst.set(r, TupleSet::from_pairs([(0, 1), (1, 2)]));
+        assert!(!eval_formula(&schema, &inst, &f).unwrap());
+    }
+
+    #[test]
+    fn bracket_restricts_chains() {
+        // [s];r keeps only pairs starting in s.
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let s = schema.relation("s", 1);
+        let mut inst = Instance::empty(&schema, 3);
+        inst.set(r, TupleSet::from_pairs([(0, 1), (1, 2)]));
+        inst.set(s, TupleSet::from_atoms([0]));
+        let e = bracket(&rel(s)).join(&rel(r));
+        let v = crate::eval::eval_expr(&schema, &inst, &e).unwrap();
+        assert_eq!(v, TupleSet::from_pairs([(0, 1)]));
+    }
+
+    #[test]
+    fn function_predicate() {
+        let mut schema = Schema::new();
+        let f = schema.relation("f", 2);
+        let s = schema.relation("s", 1);
+        let t = schema.relation("t", 1);
+        let mut inst = Instance::empty(&schema, 4);
+        inst.set(s, TupleSet::from_atoms([0, 1]));
+        inst.set(t, TupleSet::from_atoms([2, 3]));
+        inst.set(f, TupleSet::from_pairs([(0, 2), (1, 3)]));
+        let mut gen = VarGen::new();
+        let pred = function(&rel(f), &rel(s), &rel(t), &mut gen);
+        assert!(eval_formula(&schema, &inst, &pred).unwrap());
+        // Make it non-functional.
+        inst.set(f, TupleSet::from_pairs([(0, 2), (0, 3), (1, 3)]));
+        let pred2 = function(&rel(f), &rel(s), &rel(t), &mut gen);
+        assert!(!eval_formula(&schema, &inst, &pred2).unwrap());
+    }
+}

@@ -1,0 +1,265 @@
+//! Relation declarations and per-relation bounds over a finite universe.
+
+use crate::ast::{Expr, RelId};
+use crate::tuple::TupleSet;
+
+/// The declaration of one relation: name and arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelDecl {
+    /// Human-readable name (for diagnostics and instance display).
+    pub name: String,
+    /// Arity of the relation.
+    pub arity: usize,
+}
+
+/// A collection of relation declarations: the vocabulary of a problem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    decls: Vec<RelDecl>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Declares a relation and returns its id.
+    pub fn relation(&mut self, name: &str, arity: usize) -> RelId {
+        assert!(arity >= 1, "relations must have arity >= 1");
+        self.decls.push(RelDecl {
+            name: name.to_string(),
+            arity,
+        });
+        RelId((self.decls.len() - 1) as u32)
+    }
+
+    /// The declaration for `id`.
+    pub fn decl(&self, id: RelId) -> &RelDecl {
+        &self.decls[id.index()]
+    }
+
+    /// The arity of `id`.
+    pub fn arity(&self, id: RelId) -> usize {
+        self.decls[id.index()].arity
+    }
+
+    /// The name of `id`.
+    pub fn name(&self, id: RelId) -> &str {
+        &self.decls[id.index()].name
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// Whether no relations are declared.
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// Iterates over `(id, decl)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelDecl)> {
+        self.decls
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (RelId(i as u32), d))
+    }
+
+    /// Looks up a relation by name.
+    pub fn find(&self, name: &str) -> Option<RelId> {
+        self.decls
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| RelId(i as u32))
+    }
+}
+
+/// Lower and upper bounds for every relation in a schema, over a universe of
+/// `universe_size` atoms — the Kodkod notion of a bounded problem.
+///
+/// The lower bound is the set of tuples the relation *must* contain; the
+/// upper bound is the set it *may* contain. An exact relation has equal
+/// bounds (and contributes no SAT variables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bounds {
+    universe_size: usize,
+    lower: Vec<TupleSet>,
+    upper: Vec<TupleSet>,
+}
+
+impl Bounds {
+    /// Creates bounds where every relation is bounded by `[∅, full]`.
+    pub fn new(schema: &Schema, universe_size: usize) -> Bounds {
+        let mut lower = Vec::with_capacity(schema.len());
+        let mut upper = Vec::with_capacity(schema.len());
+        for (_, d) in schema.iter() {
+            lower.push(TupleSet::empty(d.arity));
+            upper.push(full_set(d.arity, universe_size));
+        }
+        Bounds {
+            universe_size,
+            lower,
+            upper,
+        }
+    }
+
+    /// The universe size.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// Sets the bounds of `rel` to `[lower, upper]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower ⊄ upper` or arities disagree.
+    pub fn bound(&mut self, rel: RelId, lower: TupleSet, upper: TupleSet) {
+        assert_eq!(lower.arity(), upper.arity(), "bound arity mismatch");
+        assert!(lower.is_subset(&upper), "lower bound must be within upper");
+        self.lower[rel.index()] = lower;
+        self.upper[rel.index()] = upper;
+    }
+
+    /// Fixes `rel` to exactly `value`.
+    pub fn bound_exact(&mut self, rel: RelId, value: TupleSet) {
+        self.lower[rel.index()] = value.clone();
+        self.upper[rel.index()] = value;
+    }
+
+    /// Sets only the upper bound (lower stays empty).
+    pub fn bound_upper(&mut self, rel: RelId, upper: TupleSet) {
+        self.lower[rel.index()] = TupleSet::empty(upper.arity());
+        self.upper[rel.index()] = upper;
+    }
+
+    /// The lower bound of `rel`.
+    pub fn lower(&self, rel: RelId) -> &TupleSet {
+        &self.lower[rel.index()]
+    }
+
+    /// The upper bound of `rel`.
+    pub fn upper(&self, rel: RelId) -> &TupleSet {
+        &self.upper[rel.index()]
+    }
+}
+
+/// The full tuple set of the given arity over `n` atoms.
+pub fn full_set(arity: usize, n: usize) -> TupleSet {
+    let mut out = TupleSet::empty(arity);
+    let mut tuple = vec![0u32; arity];
+    loop {
+        out.insert(crate::tuple::Tuple::new(tuple.clone()));
+        // Odometer increment.
+        let mut i = arity;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            tuple[i] += 1;
+            if (tuple[i] as usize) < n {
+                break;
+            }
+            tuple[i] = 0;
+        }
+    }
+}
+
+/// A concrete valuation of every relation in a schema: the output of model
+/// finding and the input to the ground evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    universe_size: usize,
+    values: Vec<TupleSet>,
+}
+
+impl Instance {
+    /// Creates an instance with every relation empty.
+    pub fn empty(schema: &Schema, universe_size: usize) -> Instance {
+        Instance {
+            universe_size,
+            values: schema.iter().map(|(_, d)| TupleSet::empty(d.arity)).collect(),
+        }
+    }
+
+    /// The universe size.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// Sets the value of `rel`.
+    pub fn set(&mut self, rel: RelId, value: TupleSet) {
+        self.values[rel.index()] = value;
+    }
+
+    /// The value of `rel`.
+    pub fn get(&self, rel: RelId) -> &TupleSet {
+        &self.values[rel.index()]
+    }
+
+    /// Renders the instance with relation names from `schema`.
+    pub fn display(&self, schema: &Schema) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (id, d) in schema.iter() {
+            let _ = writeln!(out, "{} = {}", d.name, self.values[id.index()]);
+        }
+        out
+    }
+}
+
+/// Convenience: an expression referring to a declared relation.
+pub fn rel(id: RelId) -> Expr {
+    Expr::Rel(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_declares_and_finds() {
+        let mut s = Schema::new();
+        let po = s.relation("po", 2);
+        let w = s.relation("W", 1);
+        assert_eq!(s.arity(po), 2);
+        assert_eq!(s.name(w), "W");
+        assert_eq!(s.find("po"), Some(po));
+        assert_eq!(s.find("nope"), None);
+    }
+
+    #[test]
+    fn full_set_sizes() {
+        assert_eq!(full_set(1, 3).len(), 3);
+        assert_eq!(full_set(2, 3).len(), 9);
+        assert_eq!(full_set(3, 2).len(), 8);
+    }
+
+    #[test]
+    fn bounds_default_and_exact() {
+        let mut s = Schema::new();
+        let r = s.relation("r", 2);
+        let mut b = Bounds::new(&s, 3);
+        assert_eq!(b.upper(r).len(), 9);
+        assert!(b.lower(r).is_empty());
+        let v = TupleSet::from_pairs([(0, 1)]);
+        b.bound_exact(r, v.clone());
+        assert_eq!(b.lower(r), &v);
+        assert_eq!(b.upper(r), &v);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_bounds_panic() {
+        let mut s = Schema::new();
+        let r = s.relation("r", 2);
+        let mut b = Bounds::new(&s, 2);
+        b.bound(
+            r,
+            TupleSet::from_pairs([(0, 1)]),
+            TupleSet::from_pairs([(1, 0)]),
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! Tuples and tuple sets: the ground values of relational expressions.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atom of the universe, identified by a dense index.
+pub type Atom = u32;
+
+/// An n-ary tuple of atoms.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Vec<Atom>);
+
+impl Tuple {
+    /// Creates a tuple from its atoms.
+    pub fn new(atoms: Vec<Atom>) -> Tuple {
+        Tuple(atoms)
+    }
+
+    /// The arity (number of atoms).
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The atoms of this tuple.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.0
+    }
+
+    /// Concatenates two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+
+    /// The reversed tuple (used by transpose on binary tuples).
+    pub fn reversed(&self) -> Tuple {
+        let mut v = self.0.clone();
+        v.reverse();
+        Tuple(v)
+    }
+}
+
+impl From<Vec<Atom>> for Tuple {
+    fn from(v: Vec<Atom>) -> Tuple {
+        Tuple(v)
+    }
+}
+
+impl From<&[Atom]> for Tuple {
+    fn from(v: &[Atom]) -> Tuple {
+        Tuple(v.to_vec())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A set of same-arity tuples: the value of a relational expression.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleSet {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl TupleSet {
+    /// The empty tuple set of the given arity.
+    pub fn empty(arity: usize) -> TupleSet {
+        assert!(arity >= 1, "relations must have arity >= 1");
+        TupleSet {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a tuple set from an iterator of tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tuples disagree on arity or `arity` is zero.
+    pub fn from_tuples<I, T>(arity: usize, tuples: I) -> TupleSet
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Tuple>,
+    {
+        let mut set = TupleSet::empty(arity);
+        for t in tuples {
+            set.insert(t.into());
+        }
+        set
+    }
+
+    /// Builds a unary tuple set from atoms.
+    pub fn from_atoms<I: IntoIterator<Item = Atom>>(atoms: I) -> TupleSet {
+        TupleSet::from_tuples(1, atoms.into_iter().map(|a| Tuple::new(vec![a])))
+    }
+
+    /// Builds a binary tuple set from pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (Atom, Atom)>>(pairs: I) -> TupleSet {
+        TupleSet::from_tuples(2, pairs.into_iter().map(|(a, b)| Tuple::new(vec![a, b])))
+    }
+
+    /// The full unary set `{0, …, n-1}`.
+    pub fn universe(n: usize) -> TupleSet {
+        TupleSet::from_atoms(0..n as Atom)
+    }
+
+    /// The identity relation over `n` atoms.
+    pub fn iden(n: usize) -> TupleSet {
+        TupleSet::from_pairs((0..n as Atom).map(|a| (a, a)))
+    }
+
+    /// The arity of all tuples in this set.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple's arity disagrees.
+    pub fn insert(&mut self, t: Tuple) {
+        assert_eq!(t.arity(), self.arity, "tuple arity mismatch");
+        self.tuples.insert(t);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Membership test for binary relations.
+    pub fn contains_pair(&self, a: Atom, b: Atom) -> bool {
+        self.contains(&Tuple::new(vec![a, b]))
+    }
+
+    /// Iterates the tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Set union.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch (as do all binary set operations).
+    pub fn union(&self, other: &TupleSet) -> TupleSet {
+        assert_eq!(self.arity, other.arity, "arity mismatch in union");
+        TupleSet {
+            arity: self.arity,
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &TupleSet) -> TupleSet {
+        assert_eq!(self.arity, other.arity, "arity mismatch in intersection");
+        TupleSet {
+            arity: self.arity,
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Set difference.
+    pub fn difference(&self, other: &TupleSet) -> TupleSet {
+        assert_eq!(self.arity, other.arity, "arity mismatch in difference");
+        TupleSet {
+            arity: self.arity,
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Subset test.
+    pub fn is_subset(&self, other: &TupleSet) -> bool {
+        assert_eq!(self.arity, other.arity, "arity mismatch in subset");
+        self.tuples.is_subset(&other.tuples)
+    }
+
+    /// Relational join: matches the last column of `self` against the first
+    /// column of `other`. Result arity is `self.arity + other.arity - 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would have arity zero (join of two unary sets
+    /// is not a relation in this algebra).
+    pub fn join(&self, other: &TupleSet) -> TupleSet {
+        let result_arity = self.arity + other.arity - 2;
+        assert!(result_arity >= 1, "join would produce arity-0 relation");
+        // Index `other` by first atom.
+        let mut index: std::collections::HashMap<Atom, Vec<&Tuple>> =
+            std::collections::HashMap::new();
+        for t in &other.tuples {
+            index.entry(t.atoms()[0]).or_default().push(t);
+        }
+        let mut out = TupleSet::empty(result_arity);
+        for a in &self.tuples {
+            let last = *a.atoms().last().expect("non-empty tuple");
+            if let Some(matches) = index.get(&last) {
+                for b in matches {
+                    let mut v = a.atoms()[..self.arity - 1].to_vec();
+                    v.extend_from_slice(&b.atoms()[1..]);
+                    out.insert(Tuple::new(v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Cartesian product. Result arity is the sum of arities.
+    pub fn product(&self, other: &TupleSet) -> TupleSet {
+        let mut out = TupleSet::empty(self.arity + other.arity);
+        for a in &self.tuples {
+            for b in &other.tuples {
+                out.insert(a.concat(b));
+            }
+        }
+        out
+    }
+
+    /// Transpose of a binary relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arity is not 2.
+    pub fn transpose(&self) -> TupleSet {
+        assert_eq!(self.arity, 2, "transpose requires a binary relation");
+        TupleSet {
+            arity: 2,
+            tuples: self.tuples.iter().map(Tuple::reversed).collect(),
+        }
+    }
+
+    /// Irreflexive transitive closure of a binary relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arity is not 2.
+    pub fn closure(&self) -> TupleSet {
+        assert_eq!(self.arity, 2, "closure requires a binary relation");
+        let mut result = self.clone();
+        loop {
+            let step = result.join(self).union(&result);
+            if step == result {
+                return result;
+            }
+            result = step;
+        }
+    }
+
+    /// Reflexive transitive closure over `n` universe atoms.
+    pub fn reflexive_closure(&self, n: usize) -> TupleSet {
+        self.closure().union(&TupleSet::iden(n))
+    }
+}
+
+impl fmt::Display for TupleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Tuple> for TupleSet {
+    /// Builds a tuple set, inferring arity from the first tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty (arity cannot be inferred) or tuples
+    /// disagree on arity.
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> TupleSet {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().expect("cannot infer arity of empty set").arity();
+        TupleSet::from_tuples(arity, it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(ps: &[(Atom, Atom)]) -> TupleSet {
+        TupleSet::from_pairs(ps.iter().copied())
+    }
+
+    #[test]
+    fn join_binary_relations() {
+        let r = pairs(&[(0, 1), (1, 2)]);
+        let s = pairs(&[(1, 5), (2, 6)]);
+        assert_eq!(r.join(&s), pairs(&[(0, 5), (1, 6)]));
+    }
+
+    #[test]
+    fn join_unary_with_binary() {
+        let set = TupleSet::from_atoms([0, 1]);
+        let r = pairs(&[(0, 7), (1, 8), (2, 9)]);
+        assert_eq!(set.join(&r), TupleSet::from_atoms([7, 8]));
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let r = pairs(&[(0, 1), (2, 3)]);
+        assert_eq!(r.transpose().transpose(), r);
+    }
+
+    #[test]
+    fn closure_of_chain() {
+        let r = pairs(&[(0, 1), (1, 2), (2, 3)]);
+        let c = r.closure();
+        assert!(c.contains_pair(0, 3));
+        assert!(c.contains_pair(1, 3));
+        assert!(!c.contains_pair(3, 0));
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn closure_of_cycle_contains_self_loops() {
+        let r = pairs(&[(0, 1), (1, 0)]);
+        let c = r.closure();
+        assert!(c.contains_pair(0, 0));
+        assert!(c.contains_pair(1, 1));
+    }
+
+    #[test]
+    fn product_arity() {
+        let a = TupleSet::from_atoms([0, 1]);
+        let b = pairs(&[(2, 3)]);
+        let p = a.product(&b);
+        assert_eq!(p.arity(), 3);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = pairs(&[(0, 1), (1, 2)]);
+        let b = pairs(&[(1, 2), (2, 3)]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.intersect(&b), pairs(&[(1, 2)]));
+        assert_eq!(a.difference(&b), pairs(&[(0, 1)]));
+        assert!(pairs(&[(1, 2)]).is_subset(&a));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let a = TupleSet::from_atoms([0]);
+        let b = pairs(&[(0, 1)]);
+        let _ = a.union(&b);
+    }
+}

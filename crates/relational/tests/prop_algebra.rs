@@ -1,0 +1,90 @@
+//! Property tests of relational-algebra laws on random ground instances.
+
+use proptest::prelude::*;
+use relational::{Tuple, TupleSet};
+
+fn arb_binary(n: u32) -> impl Strategy<Value = TupleSet> {
+    prop::collection::btree_set((0..n, 0..n), 0..12)
+        .prop_map(|set| TupleSet::from_pairs(set.into_iter()))
+}
+
+fn arb_unary(n: u32) -> impl Strategy<Value = TupleSet> {
+    prop::collection::btree_set(0..n, 0..5).prop_map(|set| {
+        let mut ts = TupleSet::empty(1);
+        for a in set {
+            ts.insert(Tuple::new(vec![a]));
+        }
+        ts
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// De Morgan via difference: a − (b ∪ c) = (a − b) ∩ (a − c).
+    #[test]
+    fn de_morgan_difference(a in arb_binary(4), b in arb_binary(4), c in arb_binary(4)) {
+        let lhs = a.difference(&b.union(&c));
+        let rhs = a.difference(&b).intersect(&a.difference(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Join is associative: (a;b);c = a;(b;c) for binary relations.
+    #[test]
+    fn join_associative(a in arb_binary(4), b in arb_binary(4), c in arb_binary(4)) {
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    }
+
+    /// Transpose anti-distributes over join: ~(a;b) = ~b;~a.
+    #[test]
+    fn transpose_antidistributes(a in arb_binary(4), b in arb_binary(4)) {
+        prop_assert_eq!(a.join(&b).transpose(), b.transpose().join(&a.transpose()));
+    }
+
+    /// Join distributes over union on both sides.
+    #[test]
+    fn join_distributes_over_union(a in arb_binary(4), b in arb_binary(4), c in arb_binary(4)) {
+        prop_assert_eq!(a.join(&b.union(&c)), a.join(&b).union(&a.join(&c)));
+        prop_assert_eq!(b.union(&c).join(&a), b.join(&a).union(&c.join(&a)));
+    }
+
+    /// Closure is idempotent, contains its base, and is transitive.
+    #[test]
+    fn closure_properties(a in arb_binary(4)) {
+        let c = a.closure();
+        prop_assert_eq!(c.closure(), c.clone());
+        prop_assert!(a.is_subset(&c));
+        prop_assert!(c.join(&c).is_subset(&c));
+    }
+
+    /// Closure commutes with transpose: ^(~r) = ~(^r).
+    #[test]
+    fn closure_commutes_with_transpose(a in arb_binary(4)) {
+        prop_assert_eq!(a.transpose().closure(), a.closure().transpose());
+    }
+
+    /// Unary join against a binary relation computes the relational image.
+    #[test]
+    fn unary_join_is_image(s in arb_unary(4), r in arb_binary(4)) {
+        if s.is_empty() { return Ok(()); }
+        let image = s.join(&r);
+        for t in r.iter() {
+            let (x, y) = (t.atoms()[0], t.atoms()[1]);
+            let x_in_s = s.contains(&Tuple::new(vec![x]));
+            prop_assert_eq!(
+                x_in_s && image.contains(&Tuple::new(vec![y])) || !x_in_s,
+                true
+            );
+            if x_in_s {
+                prop_assert!(image.contains(&Tuple::new(vec![y])));
+            }
+        }
+    }
+
+    /// The reflexive closure equals closure plus identity.
+    #[test]
+    fn reflexive_closure_decomposition(a in arb_binary(4)) {
+        let rc = a.reflexive_closure(4);
+        prop_assert_eq!(rc, a.closure().union(&TupleSet::iden(4)));
+    }
+}

@@ -1,0 +1,74 @@
+//! `ptxsat` — a minimal DIMACS CNF solver front end for the workspace's
+//! CDCL engine (handy for poking at the Figure 17 instances or any CNF).
+//!
+//! ```text
+//! ptxsat file.cnf      # prints s SATISFIABLE / s UNSATISFIABLE + model
+//! ptxsat -             # reads DIMACS from stdin
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use satsolver::{Cnf, SolveResult, Var};
+
+fn main() -> ExitCode {
+    let Some(arg) = std::env::args().nth(1) else {
+        eprintln!("usage: ptxsat <file.cnf | ->");
+        return ExitCode::FAILURE;
+    };
+    let input = if arg == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("cannot read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&arg) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{arg}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let cnf = match Cnf::parse(&input) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut solver = cnf.into_solver();
+    match solver.solve() {
+        SolveResult::Sat => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for i in 0..cnf.num_vars {
+                let v = Var::from_index(i);
+                let val = solver.model_value(v).unwrap_or(false);
+                line.push_str(&format!(" {}", if val { (i + 1) as i64 } else { -((i + 1) as i64) }));
+                if line.len() > 72 {
+                    println!("{line}");
+                    line = String::from("v");
+                }
+            }
+            println!("{line} 0");
+            let stats = solver.stats();
+            eprintln!(
+                "c conflicts={} decisions={} propagations={}",
+                stats.conflicts, stats.decisions, stats.propagations
+            );
+            // Conventional SAT-competition exit code.
+            ExitCode::from(10)
+        }
+        SolveResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            ExitCode::from(20)
+        }
+        SolveResult::Unknown => {
+            println!("s UNKNOWN");
+            ExitCode::FAILURE
+        }
+    }
+}

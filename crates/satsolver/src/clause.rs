@@ -1,0 +1,235 @@
+//! Arena-backed clause storage.
+//!
+//! Clauses live in one contiguous literal arena. A [`ClauseRef`] is a stable
+//! index into a header table; garbage collection compacts the arena without
+//! invalidating references.
+
+// Several helpers here are exercised only by tests or kept for API
+// completeness of the storage layer.
+#![allow(dead_code)]
+
+use crate::types::Lit;
+
+/// A stable handle to a clause in a [`ClauseDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClauseRef(u32);
+
+impl ClauseRef {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Header {
+    start: u32,
+    len: u32,
+    learnt: bool,
+    deleted: bool,
+    activity: f32,
+}
+
+/// The clause database: original and learnt clauses in a single arena.
+#[derive(Debug, Default)]
+pub struct ClauseDb {
+    lits: Vec<Lit>,
+    headers: Vec<Header>,
+    /// Literals occupied by deleted clauses, to decide when to compact.
+    wasted: usize,
+    /// Amount to bump a used clause's activity by (exponentially rescaled).
+    activity_inc: f32,
+}
+
+impl ClauseDb {
+    /// Creates an empty database.
+    pub fn new() -> ClauseDb {
+        ClauseDb {
+            lits: Vec::new(),
+            headers: Vec::new(),
+            wasted: 0,
+            activity_inc: 1.0,
+        }
+    }
+
+    /// Adds a clause (at least two literals; units live on the trail) and
+    /// returns its handle.
+    pub fn add(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "clause arena only stores non-unit clauses");
+        let start = self.lits.len() as u32;
+        self.lits.extend_from_slice(lits);
+        self.headers.push(Header {
+            start,
+            len: lits.len() as u32,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        ClauseRef(self.headers.len() as u32 - 1)
+    }
+
+    /// The literals of `cref`.
+    #[inline]
+    pub fn lits(&self, cref: ClauseRef) -> &[Lit] {
+        let h = &self.headers[cref.index()];
+        &self.lits[h.start as usize..(h.start + h.len) as usize]
+    }
+
+    /// Mutable access to the literals of `cref` (used to reorder watches).
+    #[inline]
+    pub fn lits_mut(&mut self, cref: ClauseRef) -> &mut [Lit] {
+        let h = &self.headers[cref.index()];
+        &mut self.lits[h.start as usize..(h.start + h.len) as usize]
+    }
+
+    /// Whether `cref` is a learnt clause.
+    #[inline]
+    pub fn is_learnt(&self, cref: ClauseRef) -> bool {
+        self.headers[cref.index()].learnt
+    }
+
+    /// Whether `cref` has been deleted.
+    #[inline]
+    pub fn is_deleted(&self, cref: ClauseRef) -> bool {
+        self.headers[cref.index()].deleted
+    }
+
+    /// The activity score of a learnt clause.
+    #[inline]
+    pub fn activity(&self, cref: ClauseRef) -> f32 {
+        self.headers[cref.index()].activity
+    }
+
+    /// Marks a clause deleted; its storage is reclaimed on the next
+    /// [`ClauseDb::maybe_compact`].
+    pub fn delete(&mut self, cref: ClauseRef) {
+        let h = &mut self.headers[cref.index()];
+        if !h.deleted {
+            h.deleted = true;
+            self.wasted += h.len as usize;
+        }
+    }
+
+    /// Bumps the activity of a clause involved in conflict analysis.
+    pub fn bump_activity(&mut self, cref: ClauseRef) {
+        let inc = self.activity_inc;
+        let h = &mut self.headers[cref.index()];
+        h.activity += inc;
+        if h.activity > 1e20 {
+            for h in &mut self.headers {
+                h.activity *= 1e-20;
+            }
+            self.activity_inc *= 1e-20;
+        }
+    }
+
+    /// Decays all clause activities by increasing the bump amount.
+    pub fn decay_activity(&mut self) {
+        self.activity_inc /= 0.999;
+    }
+
+    /// All live clause handles.
+    pub fn iter(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.headers
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !h.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
+    /// All live learnt clause handles.
+    pub fn iter_learnt(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.headers
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !h.deleted && h.learnt)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
+    /// Number of live clauses.
+    pub fn live_count(&self) -> usize {
+        self.headers.iter().filter(|h| !h.deleted).count()
+    }
+
+    /// Number of live learnt clauses.
+    pub fn learnt_count(&self) -> usize {
+        self.headers.iter().filter(|h| !h.deleted && h.learnt).count()
+    }
+
+    /// Compacts the arena if more than a quarter of it is wasted.
+    ///
+    /// `ClauseRef` handles remain valid; only the internal offsets move.
+    pub fn maybe_compact(&mut self) {
+        if self.wasted * 4 < self.lits.len().max(1) {
+            return;
+        }
+        let mut new_lits = Vec::with_capacity(self.lits.len() - self.wasted);
+        for h in &mut self.headers {
+            if h.deleted {
+                h.len = 0;
+                continue;
+            }
+            let start = new_lits.len() as u32;
+            new_lits.extend_from_slice(&self.lits[h.start as usize..(h.start + h.len) as usize]);
+            h.start = start;
+        }
+        self.lits = new_lits;
+        self.wasted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lit(i: usize) -> Lit {
+        Var::from_index(i).positive()
+    }
+
+    #[test]
+    fn add_and_read_back() {
+        let mut db = ClauseDb::new();
+        let a = db.add(&[lit(0), lit(1)], false);
+        let b = db.add(&[lit(2), lit(3), lit(4)], true);
+        assert_eq!(db.lits(a), &[lit(0), lit(1)]);
+        assert_eq!(db.lits(b), &[lit(2), lit(3), lit(4)]);
+        assert!(!db.is_learnt(a));
+        assert!(db.is_learnt(b));
+        assert_eq!(db.live_count(), 2);
+        assert_eq!(db.learnt_count(), 1);
+    }
+
+    #[test]
+    fn delete_and_compact_preserves_live_refs() {
+        let mut db = ClauseDb::new();
+        let mut refs = Vec::new();
+        for i in 0..20 {
+            refs.push(db.add(&[lit(i), lit(i + 1), lit(i + 2)], i % 2 == 0));
+        }
+        for (i, &r) in refs.iter().enumerate() {
+            if i % 2 == 1 {
+                db.delete(r);
+            }
+        }
+        db.maybe_compact();
+        for (i, &r) in refs.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(db.lits(r), &[lit(i), lit(i + 1), lit(i + 2)]);
+            } else {
+                assert!(db.is_deleted(r));
+            }
+        }
+    }
+
+    #[test]
+    fn activity_bump_and_rescale() {
+        let mut db = ClauseDb::new();
+        let a = db.add(&[lit(0), lit(1)], true);
+        for _ in 0..100 {
+            db.bump_activity(a);
+            db.decay_activity();
+        }
+        assert!(db.activity(a) > 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! DIMACS CNF parsing and serialization.
+//!
+//! Supports the standard `p cnf <vars> <clauses>` header, `c` comment lines,
+//! and clauses terminated by `0`. Clauses may span multiple lines.
+
+use std::fmt::Write as _;
+
+use crate::solver::Solver;
+use crate::types::Lit;
+
+/// An error produced while parsing DIMACS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDimacsError {
+    /// The `p cnf` header line is missing or malformed.
+    BadHeader(String),
+    /// A token could not be parsed as an integer literal.
+    BadToken(String),
+    /// A literal referenced a variable beyond the declared count.
+    VarOutOfRange(i64),
+    /// The final clause was not terminated with `0`.
+    UnterminatedClause,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader(line) => write!(f, "malformed DIMACS header: {line:?}"),
+            ParseDimacsError::BadToken(tok) => write!(f, "malformed DIMACS token: {tok:?}"),
+            ParseDimacsError::VarOutOfRange(l) => {
+                write!(f, "literal {l} exceeds declared variable count")
+            }
+            ParseDimacsError::UnterminatedClause => write!(f, "final clause not terminated by 0"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// A CNF formula in memory: a variable count and a list of clauses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// The number of variables (indices `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses, each a disjunction of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Parses DIMACS text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseDimacsError`] for malformed headers, tokens, or an
+    /// unterminated final clause.
+    pub fn parse(input: &str) -> Result<Cnf, ParseDimacsError> {
+        let mut num_vars: Option<usize> = None;
+        let mut clauses = Vec::new();
+        let mut current: Vec<Lit> = Vec::new();
+        for line in input.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if line.starts_with('p') {
+                let mut parts = line.split_whitespace();
+                let (p, cnf, v) = (parts.next(), parts.next(), parts.next());
+                match (p, cnf, v) {
+                    (Some("p"), Some("cnf"), Some(v)) => {
+                        num_vars = Some(
+                            v.parse::<usize>()
+                                .map_err(|_| ParseDimacsError::BadHeader(line.to_string()))?,
+                        );
+                    }
+                    _ => return Err(ParseDimacsError::BadHeader(line.to_string())),
+                }
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let n: i64 = tok
+                    .parse()
+                    .map_err(|_| ParseDimacsError::BadToken(tok.to_string()))?;
+                if n == 0 {
+                    clauses.push(std::mem::take(&mut current));
+                } else {
+                    if let Some(nv) = num_vars {
+                        if n.unsigned_abs() as usize > nv {
+                            return Err(ParseDimacsError::VarOutOfRange(n));
+                        }
+                    }
+                    current.push(Lit::from_dimacs(n));
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err(ParseDimacsError::UnterminatedClause);
+        }
+        let declared = num_vars.unwrap_or(0);
+        let max_used = clauses
+            .iter()
+            .flatten()
+            .map(|l| l.var().index() + 1)
+            .max()
+            .unwrap_or(0);
+        Ok(Cnf {
+            num_vars: declared.max(max_used),
+            clauses,
+        })
+    }
+
+    /// Serializes to DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for &l in clause {
+                let _ = write!(out, "{} ", l.to_dimacs());
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Loads this CNF into a fresh [`Solver`].
+    pub fn into_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for clause in &self.clauses {
+            s.add_clause(clause);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parse_simple() {
+        let cnf = Cnf::parse("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0], vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]);
+    }
+
+    #[test]
+    fn parse_multiline_clause() {
+        let cnf = Cnf::parse("p cnf 3 1\n1 2\n3 0\n").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 3);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cnf = Cnf::parse("p cnf 4 3\n1 -2 0\n-3 4 0\n1 2 3 4 0\n").unwrap();
+        let again = Cnf::parse(&cnf.to_dimacs()).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            Cnf::parse("p dnf 1 1\n1 0"),
+            Err(ParseDimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            Cnf::parse("p cnf 1 1\nfoo 0"),
+            Err(ParseDimacsError::BadToken(_))
+        ));
+        assert!(matches!(
+            Cnf::parse("p cnf 1 1\n5 0"),
+            Err(ParseDimacsError::VarOutOfRange(5))
+        ));
+        assert!(matches!(
+            Cnf::parse("p cnf 1 1\n1"),
+            Err(ParseDimacsError::UnterminatedClause)
+        ));
+    }
+
+    #[test]
+    fn solve_parsed_instance() {
+        let cnf = Cnf::parse("p cnf 2 3\n1 2 0\n-1 2 0\n1 -2 0\n").unwrap();
+        let mut s = cnf.into_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+}

@@ -1,0 +1,162 @@
+//! An indexed max-heap over variables, keyed by VSIDS activity.
+//!
+//! Supports O(log n) insert/remove-max plus O(log n) priority increase of an
+//! arbitrary element, which is what VSIDS bumping needs.
+
+#![allow(dead_code)] // `new`/`is_empty` are exercised only by tests
+
+use crate::types::Var;
+
+/// Indexed binary max-heap of variables ordered by an external activity array.
+#[derive(Debug, Default)]
+pub struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `position[v]` = index of `v` in `heap`, or `NOT_IN_HEAP`.
+    position: Vec<u32>,
+}
+
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    /// Registers a new variable index (initially not in the heap).
+    pub fn grow_to(&mut self, num_vars: usize) {
+        self.position.resize(num_vars, NOT_IN_HEAP);
+    }
+
+    /// Whether `v` is currently in the heap.
+    #[inline]
+    pub fn contains(&self, v: Var) -> bool {
+        self.position[v.index()] != NOT_IN_HEAP
+    }
+
+    /// Whether the heap is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts `v` if absent.
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v.index() as u32);
+        self.position[v.index()] = i as u32;
+        self.sift_up(i, activity);
+    }
+
+    /// Removes and returns the maximum-activity variable.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.position[top as usize] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var::from_index(top as usize))
+    }
+
+    /// Restores the heap property after `v`'s activity increased.
+    pub fn update(&mut self, v: Var, activity: &[f64]) {
+        let pos = self.position[v.index()];
+        if pos != NOT_IN_HEAP {
+            self.sift_up(pos as usize, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a] as usize] = a as u32;
+        self.position[self.heap[b] as usize] = b as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut heap = VarHeap::new();
+        heap.grow_to(4);
+        for i in 0..4 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop_max(&activity))
+            .map(Var::index)
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn update_after_bump_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarHeap::new();
+        heap.grow_to(3);
+        for i in 0..3 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.update(Var::from_index(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let activity = vec![1.0];
+        let mut heap = VarHeap::new();
+        heap.grow_to(1);
+        heap.insert(Var::from_index(0), &activity);
+        heap.insert(Var::from_index(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+        assert!(heap.pop_max(&activity).is_none());
+    }
+}

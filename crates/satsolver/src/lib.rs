@@ -1,0 +1,43 @@
+//! A conflict-driven clause learning (CDCL) SAT solver built from scratch.
+//!
+//! This crate is the bottom layer of the PTX memory model analysis stack:
+//! the bounded relational model finder in `ptxmm-solver` compiles memory
+//! model questions into CNF and discharges them here, exactly as Alloy
+//! discharges Kodkod translations to an off-the-shelf SAT solver.
+//!
+//! The implementation follows the MiniSat architecture:
+//!
+//! * two-watched-literal unit propagation with blocker literals,
+//! * first-UIP conflict analysis with basic clause minimization,
+//! * VSIDS variable activities with phase saving,
+//! * Luby-sequence restarts,
+//! * activity-driven learnt clause deletion with arena compaction.
+//!
+//! # Examples
+//!
+//! ```
+//! use satsolver::{Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var();
+//! let y = solver.new_var();
+//! // (x ∨ y) ∧ (¬x ∨ y) ∧ (¬y ∨ x)
+//! solver.add_clause(&[x.positive(), y.positive()]);
+//! solver.add_clause(&[x.negative(), y.positive()]);
+//! solver.add_clause(&[y.negative(), x.positive()]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.model_value(x), Some(true));
+//! assert_eq!(solver.model_value(y), Some(true));
+//! ```
+
+#![warn(missing_docs)]
+
+mod clause;
+mod dimacs;
+mod heap;
+mod solver;
+mod types;
+
+pub use dimacs::{Cnf, ParseDimacsError};
+pub use solver::{SolveResult, Solver, SolverStats};
+pub use types::{LBool, Lit, Var};

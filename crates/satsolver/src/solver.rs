@@ -1,0 +1,721 @@
+//! The CDCL search engine.
+//!
+//! A conventional conflict-driven clause-learning solver in the MiniSat
+//! lineage: two-watched-literal propagation, first-UIP conflict analysis with
+//! basic clause minimization, VSIDS variable activities with phase saving,
+//! Luby-sequence restarts, and activity-based learnt-clause deletion.
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::heap::VarHeap;
+use crate::types::{LBool, Lit, Var};
+
+/// The outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::model_value`].
+    Sat,
+    /// The clause set is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+/// Counters describing the work a solve performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use satsolver::{Solver, SolveResult};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var().positive();
+/// let b = solver.new_var().positive();
+/// solver.add_clause(&[a, b]);
+/// solver.add_clause(&[!a, b]);
+/// solver.add_clause(&[a, !b]);
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// assert_eq!(solver.model_value(a.var()), Some(true));
+/// assert_eq!(solver.model_value(b.var()), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    db: ClauseDb,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SolverStats,
+    max_learnt: f64,
+    conflict_budget: Option<u64>,
+    model: Vec<LBool>,
+}
+
+impl Solver {
+    /// Creates a solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver {
+            var_inc: 1.0,
+            ok: true,
+            max_learnt: 4000.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Adds a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow_to(self.assigns.len());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of live clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.db.live_count()
+    }
+
+    /// Statistics for all solving performed so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits the number of conflicts any single `solve` call may spend.
+    ///
+    /// When exhausted, [`Solver::solve`] returns [`SolveResult::Unknown`].
+    /// `None` removes the limit.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already known to be
+    /// unsatisfiable (in which case the clause is ignored).
+    ///
+    /// Tautologies are dropped and duplicate literals removed. Must be
+    /// called at decision level zero (i.e., not from inside a solve).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut cl: Vec<Lit> = lits.to_vec();
+        cl.sort_unstable();
+        cl.dedup();
+        // Drop tautologies and already-satisfied/false literals at level 0.
+        let mut out = Vec::with_capacity(cl.len());
+        for (i, &l) in cl.iter().enumerate() {
+            if i + 1 < cl.len() && cl[i + 1] == !l {
+                return true; // tautology: contains l and ¬l
+            }
+            match self.value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => continue,   // falsified at level 0: drop literal
+                LBool::Undef => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(out[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let cref = self.db.add(&out, false);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    /// Solves the current clause set.
+    pub fn solve(&mut self) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.model.clear();
+        let budget_start = self.stats.conflicts;
+        let mut luby_index: u32 = 0;
+        let mut restart_limit = 100 * luby(luby_index);
+        let mut conflicts_this_restart: u64 = 0;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start > budget {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                let (learnt, backtrack_level) = self.analyze(confl);
+                self.cancel_until(backtrack_level);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let cref = self.db.add(&learnt, true);
+                    self.attach(cref);
+                    self.db.bump_activity(cref);
+                    self.unchecked_enqueue(learnt[0], Some(cref));
+                }
+                self.decay_var_activity();
+                self.db.decay_activity();
+            } else {
+                if conflicts_this_restart >= restart_limit {
+                    // Restart.
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                    luby_index += 1;
+                    restart_limit = 100 * luby(luby_index);
+                    conflicts_this_restart = 0;
+                    continue;
+                }
+                if self.db.learnt_count() as f64 > self.max_learnt {
+                    self.reduce_db();
+                    self.max_learnt *= 1.3;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        // All variables assigned: record model.
+                        self.model = self.assigns.clone();
+                        self.cancel_until(0);
+                        return SolveResult::Sat;
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        let lit = Lit::new(v, !self.phase[v.index()]);
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The value of `v` in the most recent satisfying model, if any.
+    pub fn model_value(&self, v: Var) -> Option<bool> {
+        match self.model.get(v.index())? {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// The value of a literal in the most recent satisfying model.
+    pub fn model_lit_value(&self, l: Lit) -> Option<bool> {
+        self.model_value(l.var()).map(|b| b != l.is_negative())
+    }
+
+    /// Adds a clause blocking the most recent model, projected onto `vars`.
+    ///
+    /// Useful for model enumeration. Returns `false` if this makes the
+    /// instance unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no model.
+    pub fn block_model(&mut self, vars: &[Var]) -> bool {
+        assert!(!self.model.is_empty(), "no model to block");
+        let lits: Vec<Lit> = vars
+            .iter()
+            .filter_map(|&v| match self.model[v.index()] {
+                LBool::True => Some(v.negative()),
+                LBool::False => Some(v.positive()),
+                LBool::Undef => None,
+            })
+            .collect();
+        self.add_clause(&lits)
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    #[inline]
+    fn value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].negate_if(l.is_negative())
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let lits = self.db.lits(cref);
+        debug_assert!(lits.len() >= 2);
+        let (l0, l1) = (lits[0], lits[1]);
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Propagates all enqueued literals. Returns a conflicting clause if one
+    /// is found.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut kept = 0;
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Fast path: blocker already true.
+                if self.value(w.blocker) == LBool::True {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let false_lit = !p;
+                {
+                    let lits = self.db.lits_mut(w.cref);
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.db.lits(w.cref)[0];
+                if first != w.blocker && self.value(first) == LBool::True {
+                    ws[kept] = Watcher { cref: w.cref, blocker: first };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.db.lits(w.cref).len();
+                for k in 2..len {
+                    let lk = self.db.lits(w.cref)[k];
+                    if self.value(lk) != LBool::False {
+                        let lits = self.db.lits_mut(w.cref);
+                        lits[1] = lk;
+                        lits[k] = false_lit;
+                        self.watches[(!lk).code()].push(Watcher { cref: w.cref, blocker: first });
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[kept] = Watcher { cref: w.cref, blocker: first };
+                kept += 1;
+                if self.value(first) == LBool::False {
+                    // Conflict: retain remaining watchers and bail out.
+                    while i < ws.len() {
+                        ws[kept] = ws[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.cref);
+                } else {
+                    self.unchecked_enqueue(first, Some(w.cref));
+                }
+            }
+            ws.truncate(kept);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the level to backtrack to.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+        let current_level = self.decision_level();
+
+        loop {
+            self.db.bump_activity(confl);
+            let start = if p.is_some() { 1 } else { 0 };
+            let clause_lits: Vec<Lit> = self.db.lits(confl)[start..].to_vec();
+            for q in clause_lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var_activity(v);
+                    if self.level[v.index()] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next trail literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            p = Some(pl);
+            confl = self.reason[pl.var().index()].expect("non-decision on conflict path");
+        }
+
+        // Basic clause minimization: drop literals implied by the rest.
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.literal_redundant(l))
+            .collect();
+        let mut minimized: Vec<Lit> = learnt
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(&l, _)| l)
+            .collect();
+
+        // Clear `seen` for everything we marked.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Compute backtrack level: highest level among minimized[1..].
+        let backtrack_level = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()]
+        };
+        (minimized, backtrack_level)
+    }
+
+    /// A learnt literal is redundant if its reason clause's other literals
+    /// are all already in the learnt clause (seen) or fixed at level 0.
+    fn literal_redundant(&self, l: Lit) -> bool {
+        let v = l.var();
+        match self.reason[v.index()] {
+            None => false,
+            Some(cref) => self.db.lits(cref).iter().all(|&q| {
+                q.var() == v || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+            }),
+        }
+    }
+
+    fn cancel_until(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let lim = self.trail_lim[target_level as usize];
+        while self.trail.len() > lim {
+            let l = self.trail.pop().expect("trail non-empty");
+            let v = l.var();
+            self.phase[v.index()] = l.is_positive();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn bump_var_activity(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// Deletes the lower-activity half of the learnt clauses, keeping
+    /// clauses that are reasons on the current trail.
+    fn reduce_db(&mut self) {
+        let mut learnt: Vec<ClauseRef> = self.db.iter_learnt().collect();
+        learnt.sort_by(|&a, &b| {
+            self.db
+                .activity(a)
+                .partial_cmp(&self.db.activity(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: std::collections::HashSet<usize> = self
+            .reason
+            .iter()
+            .flatten()
+            .map(|c| c.index())
+            .collect();
+        let remove_count = learnt.len() / 2;
+        let mut removed = 0;
+        for cref in learnt {
+            if removed >= remove_count {
+                break;
+            }
+            if locked.contains(&cref.index()) || self.db.lits(cref).len() <= 2 {
+                continue;
+            }
+            self.detach(cref);
+            self.db.delete(cref);
+            self.stats.deleted_clauses += 1;
+            removed += 1;
+        }
+        self.db.maybe_compact();
+    }
+
+    fn detach(&mut self, cref: ClauseRef) {
+        let lits = self.db.lits(cref);
+        let (l0, l1) = (lits[0], lits[1]);
+        self.watches[(!l0).code()].retain(|w| w.cref != cref);
+        self.watches[(!l1).code()].retain(|w| w.cref != cref);
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+/// (`i` is zero-based).
+fn luby(i: u32) -> u64 {
+    let mut x = i as u64 + 1; // one-based position
+    loop {
+        // Find k with 2^(k-1) <= x < 2^k, i.e. x has k bits.
+        let k = 64 - x.leading_zeros() as u64;
+        if x == (1u64 << k) - 1 {
+            return 1u64 << (k - 1);
+        }
+        x -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| solver.new_var().positive()).collect()
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause(&[v[0]]));
+        assert!(s.add_clause(&[!v[0], v[1]]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_lit_value(v[0]), Some(true));
+        assert_eq!(s.model_lit_value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[v[0]]);
+        assert!(!s.add_clause(&[!v[0]]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = lits(&mut s, 1);
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn no_clauses_is_sat() {
+        let mut s = Solver::new();
+        let _ = lits(&mut s, 3);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        assert!(s.add_clause(&[v[0], !v[0]]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    /// The unsatisfiable pigeonhole problem PHP(n+1, n): n+1 pigeons in n
+    /// holes. Exercises real conflict analysis and restarts.
+    fn pigeonhole(pigeons: usize, holes: usize) -> (Solver, bool) {
+        let mut s = Solver::new();
+        let mut var = vec![vec![Lit::from_code(0); holes]; pigeons];
+        for row in var.iter_mut() {
+            for x in row.iter_mut() {
+                *x = s.new_var().positive();
+            }
+        }
+        // Each pigeon in some hole.
+        for p in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|h| var[p][h]).collect();
+            s.add_clause(&clause);
+        }
+        // No two pigeons share a hole.
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[!var[p1][h], !var[p2][h]]);
+                }
+            }
+        }
+        let sat_expected = pigeons <= holes;
+        (s, sat_expected)
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for n in 2..=6 {
+            let (mut s, _) = pigeonhole(n + 1, n);
+            assert_eq!(s.solve(), SolveResult::Unsat, "PHP({}, {})", n + 1, n);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_sat() {
+        let (mut s, _) = pigeonhole(5, 5);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        let (mut s, _) = pigeonhole(9, 8);
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_enumeration_via_blocking() {
+        // x or y: 3 models over {x, y}.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause(&[x.positive(), y.positive()]);
+        let mut count = 0;
+        while s.solve() == SolveResult::Sat {
+            count += 1;
+            assert!(count <= 3, "too many models");
+            if !s.block_model(&[x, y]) {
+                break;
+            }
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[v[0], v[1], v[2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[!v[0]]);
+        s.add_clause(&[!v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_lit_value(v[2]), Some(true));
+        s.add_clause(&[!v[2]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (mut s, _) = pigeonhole(6, 5);
+        s.solve();
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.decisions > 0);
+        assert!(st.propagations > 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Core variable/literal types shared across the solver.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, identified by a dense index starting at 0.
+///
+/// Variables are created through [`crate::Solver::new_var`]; indices are
+/// assigned consecutively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// The dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit::new(self, true)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as `var << 1 | negated` so that a literal and its negation are
+/// adjacent codes, which makes watch lists cheap to index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal over `var`; `negated` selects the negative phase.
+    #[inline]
+    pub fn new(var: Var, negated: bool) -> Lit {
+        Lit(var.0 << 1 | negated as u32)
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the negative-phase literal.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this is the positive-phase literal.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        !self.is_negative()
+    }
+
+    /// The dense code of this literal (`2*var + negated`), suitable for
+    /// indexing per-literal tables such as watch lists.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from [`Lit::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// Converts from DIMACS convention: positive integers are positive
+    /// literals of variable `n-1`, negative integers their negations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimacs` is zero.
+    pub fn from_dimacs(dimacs: i64) -> Lit {
+        assert!(dimacs != 0, "DIMACS literal must be non-zero");
+        let var = Var((dimacs.unsigned_abs() - 1) as u32);
+        Lit::new(var, dimacs < 0)
+    }
+
+    /// Converts to the DIMACS integer convention.
+    pub fn to_dimacs(self) -> i64 {
+        let v = (self.var().0 + 1) as i64;
+        if self.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬x{}", self.0 >> 1)
+        } else {
+            write!(f, "x{}", self.0 >> 1)
+        }
+    }
+}
+
+/// A three-valued boolean: the assignment state of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a concrete boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Flips true/false and leaves undef intact.
+    #[inline]
+    pub fn negate_if(self, negate: bool) -> LBool {
+        match (self, negate) {
+            (LBool::True, true) => LBool::False,
+            (LBool::False, true) => LBool::True,
+            (other, _) => other,
+        }
+    }
+
+    /// True iff assigned (not undef).
+    #[inline]
+    pub fn is_assigned(self) -> bool {
+        self != LBool::Undef
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_negation_flips_phase() {
+        let v = Var::from_index(3);
+        let l = v.positive();
+        assert!(l.is_positive());
+        assert!((!l).is_negative());
+        assert_eq!(!!l, l);
+        assert_eq!(l.var(), v);
+        assert_eq!((!l).var(), v);
+    }
+
+    #[test]
+    fn literal_codes_are_adjacent() {
+        let v = Var::from_index(7);
+        assert_eq!(v.positive().code() + 1, v.negative().code());
+        assert_eq!(Lit::from_code(v.positive().code()), v.positive());
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for d in [1i64, -1, 5, -42] {
+            assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimacs_zero_rejected() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lbool_negate_if() {
+        assert_eq!(LBool::True.negate_if(true), LBool::False);
+        assert_eq!(LBool::False.negate_if(true), LBool::True);
+        assert_eq!(LBool::Undef.negate_if(true), LBool::Undef);
+        assert_eq!(LBool::True.negate_if(false), LBool::True);
+    }
+}

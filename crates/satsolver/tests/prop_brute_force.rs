@@ -1,0 +1,111 @@
+//! Property-based differential testing of the CDCL solver against
+//! exhaustive brute-force enumeration on small random CNFs.
+
+use proptest::prelude::*;
+use satsolver::{Cnf, Lit, SolveResult, Solver};
+
+/// Exhaustively checks satisfiability of `clauses` over `num_vars` variables.
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    assert!(num_vars <= 20);
+    'outer: for assignment in 0u32..(1u32 << num_vars) {
+        for clause in clauses {
+            let satisfied = clause.iter().any(|l| {
+                let bit = (assignment >> l.var().index()) & 1 == 1;
+                bit != l.is_negative()
+            });
+            if !satisfied {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn arb_clause(num_vars: usize, max_len: usize) -> impl Strategy<Value = Vec<Lit>> {
+    prop::collection::vec(
+        (0..num_vars, any::<bool>()).prop_map(|(v, neg)| {
+            let var = satsolver::Var::from_index(v);
+            Lit::new(var, neg)
+        }),
+        1..=max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The CDCL verdict matches brute force, and SAT models actually satisfy.
+    #[test]
+    fn cdcl_matches_brute_force(
+        clauses in prop::collection::vec(arb_clause(8, 4), 0..40)
+    ) {
+        let num_vars = 8;
+        let mut solver = Solver::new();
+        let vars: Vec<_> = (0..num_vars).map(|_| solver.new_var()).collect();
+        for clause in &clauses {
+            solver.add_clause(clause);
+        }
+        let result = solver.solve();
+        let expected = brute_force_sat(num_vars, &clauses);
+        match result {
+            SolveResult::Sat => {
+                prop_assert!(expected, "solver said SAT but formula is UNSAT");
+                // The model must satisfy every clause.
+                for clause in &clauses {
+                    let ok = clause.iter().any(|l| solver.model_lit_value(*l) == Some(true));
+                    prop_assert!(ok, "model does not satisfy clause {clause:?}");
+                }
+                let _ = vars;
+            }
+            SolveResult::Unsat => prop_assert!(!expected, "solver said UNSAT but formula is SAT"),
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    /// Model enumeration with blocking clauses finds exactly the brute-force
+    /// model count (projected on all variables).
+    #[test]
+    fn enumeration_counts_match(
+        clauses in prop::collection::vec(arb_clause(6, 3), 0..15)
+    ) {
+        let num_vars = 6;
+        // Brute-force count.
+        let mut expected = 0u32;
+        'outer: for assignment in 0u32..(1 << num_vars) {
+            for clause in &clauses {
+                let sat = clause.iter().any(|l| {
+                    let bit = (assignment >> l.var().index()) & 1 == 1;
+                    bit != l.is_negative()
+                });
+                if !sat { continue 'outer; }
+            }
+            expected += 1;
+        }
+
+        let mut solver = Solver::new();
+        let vars: Vec<_> = (0..num_vars).map(|_| solver.new_var()).collect();
+        for clause in &clauses {
+            solver.add_clause(clause);
+        }
+        let mut count = 0u32;
+        while solver.solve() == SolveResult::Sat {
+            count += 1;
+            prop_assert!(count <= expected, "enumerated more models than exist");
+            if !solver.block_model(&vars) {
+                break;
+            }
+        }
+        prop_assert_eq!(count, expected);
+    }
+
+    /// DIMACS serialization round-trips through parsing.
+    #[test]
+    fn dimacs_roundtrip(
+        clauses in prop::collection::vec(arb_clause(8, 5), 1..20)
+    ) {
+        let cnf = Cnf { num_vars: 8, clauses };
+        let parsed = Cnf::parse(&cnf.to_dimacs()).unwrap();
+        prop_assert_eq!(cnf, parsed);
+    }
+}

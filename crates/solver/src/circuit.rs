@@ -1,0 +1,413 @@
+//! A hash-consed boolean circuit with Tseitin conversion to CNF.
+//!
+//! The translation from relational logic to SAT goes through this layer:
+//! every entry of a relation's boolean matrix is a gate, relational
+//! operators combine gates, and the final formula gate is converted to CNF
+//! for the CDCL solver. Structural hashing and constant folding keep the
+//! circuit (and hence the CNF) small.
+
+use std::collections::HashMap;
+
+use satsolver::{Lit, Solver, Var};
+
+/// A handle to a gate in a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(u32);
+
+impl GateId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Gate {
+    False,
+    True,
+    /// A free input, identified by a dense input index.
+    Input(u32),
+    Not(GateId),
+    And(GateId, GateId),
+    Or(GateId, GateId),
+}
+
+/// A boolean circuit builder with structural hashing.
+#[derive(Debug, Default)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    dedup: HashMap<Gate, GateId>,
+    num_inputs: u32,
+    input_gates: Vec<GateId>,
+}
+
+impl Circuit {
+    /// Creates a circuit containing only the constants.
+    pub fn new() -> Circuit {
+        let mut c = Circuit::default();
+        c.intern(Gate::False);
+        c.intern(Gate::True);
+        c
+    }
+
+    /// The constant-false gate.
+    pub fn fls(&self) -> GateId {
+        GateId(0)
+    }
+
+    /// The constant-true gate.
+    pub fn tru(&self) -> GateId {
+        GateId(1)
+    }
+
+    /// Is this gate the constant false?
+    pub fn is_false(&self, g: GateId) -> bool {
+        g == self.fls()
+    }
+
+    /// Is this gate the constant true?
+    pub fn is_true(&self, g: GateId) -> bool {
+        g == self.tru()
+    }
+
+    /// Creates a fresh free input.
+    pub fn input(&mut self) -> GateId {
+        let idx = self.num_inputs;
+        self.num_inputs += 1;
+        // Inputs are distinct by index: intern always creates a new gate.
+        let g = self.intern(Gate::Input(idx));
+        self.input_gates.push(g);
+        g
+    }
+
+    /// The gate of the `k`-th input (in creation order).
+    pub fn input_gate(&self, k: u32) -> GateId {
+        self.input_gates[k as usize]
+    }
+
+    /// Number of free inputs created.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs as usize
+    }
+
+    /// Total number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Negation, with folding.
+    pub fn not(&mut self, a: GateId) -> GateId {
+        if a == self.fls() {
+            return self.tru();
+        }
+        if a == self.tru() {
+            return self.fls();
+        }
+        if let Gate::Not(inner) = self.gates[a.index()] {
+            return inner;
+        }
+        self.intern(Gate::Not(a))
+    }
+
+    /// Conjunction, with folding and operand normalization.
+    pub fn and(&mut self, a: GateId, b: GateId) -> GateId {
+        if a == self.fls() || b == self.fls() {
+            return self.fls();
+        }
+        if a == self.tru() {
+            return b;
+        }
+        if b == self.tru() {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        // a ∧ ¬a = false
+        if self.gates[y.index()] == Gate::Not(x) || self.gates[x.index()] == Gate::Not(y) {
+            return self.fls();
+        }
+        self.intern(Gate::And(x, y))
+    }
+
+    /// Disjunction, with folding and operand normalization.
+    pub fn or(&mut self, a: GateId, b: GateId) -> GateId {
+        if a == self.tru() || b == self.tru() {
+            return self.tru();
+        }
+        if a == self.fls() {
+            return b;
+        }
+        if b == self.fls() {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        if self.gates[y.index()] == Gate::Not(x) || self.gates[x.index()] == Gate::Not(y) {
+            return self.tru();
+        }
+        self.intern(Gate::Or(x, y))
+    }
+
+    /// `a ⇒ b`.
+    pub fn implies(&mut self, a: GateId, b: GateId) -> GateId {
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    /// `a ⇔ b`.
+    pub fn iff(&mut self, a: GateId, b: GateId) -> GateId {
+        let fwd = self.implies(a, b);
+        let back = self.implies(b, a);
+        self.and(fwd, back)
+    }
+
+    /// Balanced conjunction of many gates.
+    pub fn and_all<I: IntoIterator<Item = GateId>>(&mut self, gates: I) -> GateId {
+        let mut layer: Vec<GateId> = gates.into_iter().collect();
+        if layer.is_empty() {
+            return self.tru();
+        }
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    self.and(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Balanced disjunction of many gates.
+    pub fn or_all<I: IntoIterator<Item = GateId>>(&mut self, gates: I) -> GateId {
+        let mut layer: Vec<GateId> = gates.into_iter().collect();
+        if layer.is_empty() {
+            return self.fls();
+        }
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    self.or(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Evaluates gate `g` under an assignment of the inputs.
+    pub fn eval(&self, g: GateId, inputs: &[bool]) -> bool {
+        // Iterative evaluation over the (topologically ordered) gate array.
+        let mut values = vec![false; g.index() + 1];
+        for i in 0..=g.index() {
+            values[i] = match self.gates[i] {
+                Gate::False => false,
+                Gate::True => true,
+                Gate::Input(k) => inputs[k as usize],
+                Gate::Not(a) => !values[a.index()],
+                Gate::And(a, b) => values[a.index()] && values[b.index()],
+                Gate::Or(a, b) => values[a.index()] || values[b.index()],
+            };
+        }
+        values[g.index()]
+    }
+
+    /// Tseitin-encodes the circuit into `solver`, asserting `root` true.
+    ///
+    /// Returns the mapping from input index to SAT variable so the caller
+    /// can decode models. Only the cone of influence of `root` is encoded.
+    pub fn to_solver(&self, root: GateId, solver: &mut Solver) -> HashMap<u32, Var> {
+        if self.is_false(root) {
+            // Assert an immediate contradiction.
+            let v = solver.new_var();
+            solver.add_clause(&[v.positive()]);
+            solver.add_clause(&[v.negative()]);
+            return HashMap::new();
+        }
+        // Collect the cone of influence.
+        let mut needed = vec![false; self.gates.len()];
+        let mut stack = vec![root];
+        while let Some(g) = stack.pop() {
+            if needed[g.index()] {
+                continue;
+            }
+            needed[g.index()] = true;
+            match self.gates[g.index()] {
+                Gate::Not(a) => stack.push(a),
+                Gate::And(a, b) | Gate::Or(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                _ => {}
+            }
+        }
+        // Assign a literal to each needed gate. Not-gates reuse the
+        // operand's variable with flipped polarity; inputs get their own
+        // variables (allocated for all inputs so decoding is stable).
+        let mut input_vars: HashMap<u32, Var> = HashMap::new();
+        let mut lits: Vec<Option<Lit>> = vec![None; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            if !needed[i] {
+                continue;
+            }
+            let lit = match *gate {
+                Gate::False | Gate::True => {
+                    // Encode constants as a variable frozen by a unit clause;
+                    // the literal then correctly carries the constant value.
+                    let v = solver.new_var();
+                    let l = v.positive();
+                    solver.add_clause(&[if matches!(gate, Gate::True) { l } else { !l }]);
+                    l
+                }
+                Gate::Input(k) => {
+                    let v = solver.new_var();
+                    input_vars.insert(k, v);
+                    v.positive()
+                }
+                Gate::Not(a) => !lits[a.index()].expect("operand encoded first"),
+                Gate::And(_, _) | Gate::Or(_, _) => solver.new_var().positive(),
+            };
+            lits[i] = Some(lit);
+            // Emit defining clauses for composite gates.
+            match *gate {
+                Gate::And(a, b) => {
+                    let (la, lb) = (
+                        lits[a.index()].expect("topological order"),
+                        lits[b.index()].expect("topological order"),
+                    );
+                    solver.add_clause(&[!lit, la]);
+                    solver.add_clause(&[!lit, lb]);
+                    solver.add_clause(&[lit, !la, !lb]);
+                }
+                Gate::Or(a, b) => {
+                    let (la, lb) = (
+                        lits[a.index()].expect("topological order"),
+                        lits[b.index()].expect("topological order"),
+                    );
+                    solver.add_clause(&[!lit, la, lb]);
+                    solver.add_clause(&[lit, !la]);
+                    solver.add_clause(&[lit, !lb]);
+                }
+                _ => {}
+            }
+        }
+        solver.add_clause(&[lits[root.index()].expect("root encoded")]);
+        input_vars
+    }
+
+    fn intern(&mut self, gate: Gate) -> GateId {
+        if let Gate::Input(_) = gate {
+            let id = GateId(self.gates.len() as u32);
+            self.gates.push(gate);
+            return id;
+        }
+        if let Some(&id) = self.dedup.get(&gate) {
+            return id;
+        }
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(gate);
+        self.dedup.insert(gate, id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satsolver::SolveResult;
+
+    #[test]
+    fn constant_folding() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let t = c.tru();
+        let f = c.fls();
+        assert_eq!(c.and(x, t), x);
+        assert_eq!(c.and(x, f), f);
+        assert_eq!(c.or(x, f), x);
+        assert_eq!(c.or(x, t), t);
+        let nx = c.not(x);
+        assert_eq!(c.not(nx), x);
+        assert_eq!(c.and(x, nx), f);
+        assert_eq!(c.or(x, nx), t);
+    }
+
+    #[test]
+    fn structural_hashing_dedupes() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let a1 = c.and(x, y);
+        let a2 = c.and(y, x);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let nx = c.not(x);
+        let g = c.or(nx, y); // x => y
+        assert!(c.eval(g, &[false, false]));
+        assert!(c.eval(g, &[false, true]));
+        assert!(!c.eval(g, &[true, false]));
+        assert!(c.eval(g, &[true, true]));
+    }
+
+    #[test]
+    fn tseitin_sat_agrees_with_eval() {
+        // g = (x ∧ ¬y) ∨ (¬x ∧ y)  (xor)
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let ny = c.not(y);
+        let nx = c.not(x);
+        let l = c.and(x, ny);
+        let r = c.and(nx, y);
+        let g = c.or(l, r);
+
+        let mut solver = Solver::new();
+        let inputs = c.to_solver(g, &mut solver);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        let vx = solver.model_value(inputs[&0]).unwrap();
+        let vy = solver.model_value(inputs[&1]).unwrap();
+        assert!(vx != vy, "xor model must differ");
+        assert!(c.eval(g, &[vx, vy]));
+    }
+
+    #[test]
+    fn tseitin_unsat_for_contradiction() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let nx = c.not(x);
+        let g = c.and(x, nx);
+        let mut solver = Solver::new();
+        let _ = c.to_solver(g, &mut solver);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn and_or_all_balance() {
+        let mut c = Circuit::new();
+        let xs: Vec<GateId> = (0..9).map(|_| c.input()).collect();
+        let all = c.and_all(xs.iter().copied());
+        let any = c.or_all(xs.iter().copied());
+        assert!(c.eval(all, &[true; 9]));
+        assert!(!c.eval(all, &[true, true, false, true, true, true, true, true, true]));
+        assert!(!c.eval(any, &[false; 9]));
+        let empty_and = c.and_all([]);
+        let empty_or = c.or_all([]);
+        assert!(c.is_true(empty_and));
+        assert!(c.is_false(empty_or));
+    }
+}

@@ -1,0 +1,438 @@
+//! The model finding driver: translate, solve, decode.
+
+use std::time::{Duration, Instant};
+
+use relational::{Bounds, Formula, Instance, Schema, TypeError};
+use satsolver::{SolveResult, Solver, Var};
+
+use crate::symmetry::{break_symmetries, symmetry_classes};
+use crate::translate::{translate, ClosureStrategy};
+
+/// A bounded relational satisfiability problem.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// The relation vocabulary.
+    pub schema: Schema,
+    /// Per-relation lower/upper bounds over a finite universe.
+    pub bounds: Bounds,
+    /// The formula to satisfy.
+    pub formula: Formula,
+}
+
+/// Model finding options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// How to encode transitive closure.
+    pub closure: ClosureStrategy,
+    /// Whether to add lex-leader symmetry-breaking predicates.
+    ///
+    /// Sound for satisfiability checks but removes isomorphic models, so it
+    /// must be disabled when enumerating all models.
+    pub symmetry_breaking: bool,
+    /// Optional conflict budget for the SAT solver.
+    pub conflict_budget: Option<u64>,
+}
+
+impl Options {
+    /// Options for a plain satisfiability check (symmetry breaking on).
+    pub fn check() -> Options {
+        Options {
+            symmetry_breaking: true,
+            ..Options::default()
+        }
+    }
+}
+
+/// The verdict of a model finding run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// A satisfying instance exists.
+    Sat(Instance),
+    /// No satisfying instance exists within the bounds.
+    Unsat,
+    /// The conflict budget ran out.
+    Unknown,
+}
+
+impl Verdict {
+    /// The instance, if satisfiable.
+    pub fn instance(&self) -> Option<&Instance> {
+        match self {
+            Verdict::Sat(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// True iff the verdict is [`Verdict::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Verdict::Unsat)
+    }
+}
+
+/// Statistics about one model finding run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Gates in the translated circuit.
+    pub gates: usize,
+    /// Free boolean inputs (relation tuples not fixed by bounds).
+    pub inputs: usize,
+    /// Variables in the CNF handed to the SAT solver.
+    pub sat_vars: usize,
+    /// Clauses in the CNF.
+    pub sat_clauses: usize,
+    /// Number of symmetry classes broken.
+    pub symmetry_classes: usize,
+    /// Time spent translating to CNF.
+    pub translate_time: Duration,
+    /// Time spent in the SAT solver.
+    pub solve_time: Duration,
+    /// SAT solver counters.
+    pub solver_stats: satsolver::SolverStats,
+}
+
+/// A model finder for bounded relational problems.
+///
+/// # Examples
+///
+/// Find a non-trivial acyclic relation:
+///
+/// ```
+/// use relational::{Schema, Bounds, patterns};
+/// use relational::schema::rel;
+/// use modelfinder::{ModelFinder, Problem, Options};
+///
+/// let mut schema = Schema::new();
+/// let r = schema.relation("r", 2);
+/// let bounds = Bounds::new(&schema, 3);
+/// let formula = patterns::acyclic(&rel(r)).and(&rel(r).some());
+/// let problem = Problem { schema, bounds, formula };
+///
+/// let (verdict, _report) = ModelFinder::new(Options::check()).solve(&problem)?;
+/// let instance = verdict.instance().expect("satisfiable");
+/// assert!(!instance.get(r).is_empty());
+/// # Ok::<(), relational::TypeError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ModelFinder {
+    options: Options,
+}
+
+impl ModelFinder {
+    /// Creates a finder with the given options.
+    pub fn new(options: Options) -> ModelFinder {
+        ModelFinder { options }
+    }
+
+    /// Solves the problem, returning the verdict and a run report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if the formula violates arity discipline.
+    pub fn solve(&self, problem: &Problem) -> Result<(Verdict, Report), TypeError> {
+        let t0 = Instant::now();
+        let mut translation = translate(
+            &problem.schema,
+            &problem.bounds,
+            &problem.formula,
+            self.options.closure,
+        )?;
+        let mut root = translation.root;
+        let mut report = Report::default();
+        if self.options.symmetry_breaking {
+            let classes = symmetry_classes(&problem.schema, &problem.bounds);
+            report.symmetry_classes = classes.len();
+            let sym = break_symmetries(&problem.schema, &problem.bounds, &mut translation, &classes);
+            root = translation.circuit.and(root, sym);
+        }
+        let mut solver = Solver::new();
+        solver.set_conflict_budget(self.options.conflict_budget);
+        let input_vars = translation.circuit.to_solver(root, &mut solver);
+        report.gates = translation.circuit.num_gates();
+        report.inputs = translation.circuit.num_inputs();
+        report.sat_vars = solver.num_vars();
+        report.sat_clauses = solver.num_clauses();
+        report.translate_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let result = solver.solve();
+        report.solve_time = t1.elapsed();
+        report.solver_stats = solver.stats();
+
+        let verdict = match result {
+            SolveResult::Unsat => Verdict::Unsat,
+            SolveResult::Unknown => Verdict::Unknown,
+            SolveResult::Sat => Verdict::Sat(decode(problem, &translation.rel_inputs, &input_vars, &solver)),
+        };
+        Ok((verdict, report))
+    }
+
+    /// Enumerates satisfying instances, invoking `visit` for each, up to
+    /// `limit`. Returns the number of instances found.
+    ///
+    /// Symmetry breaking is forcibly disabled so the enumeration is
+    /// complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if the formula violates arity discipline.
+    pub fn enumerate<F: FnMut(&Instance)>(
+        &self,
+        problem: &Problem,
+        limit: usize,
+        mut visit: F,
+    ) -> Result<usize, TypeError> {
+        let translation = translate(
+            &problem.schema,
+            &problem.bounds,
+            &problem.formula,
+            self.options.closure,
+        )?;
+        let mut solver = Solver::new();
+        solver.set_conflict_budget(self.options.conflict_budget);
+        let input_vars = translation.circuit.to_solver(translation.root, &mut solver);
+        let all_inputs: Vec<Var> = input_vars.values().copied().collect();
+        let mut count = 0;
+        while count < limit && solver.solve() == SolveResult::Sat {
+            let inst = decode(problem, &translation.rel_inputs, &input_vars, &solver);
+            visit(&inst);
+            count += 1;
+            if all_inputs.is_empty() || !solver.block_model(&all_inputs) {
+                break;
+            }
+        }
+        Ok(count)
+    }
+}
+
+/// The result of an Alloy-style `check`: either the assertion holds
+/// within the bounds, or a counterexample instance is produced.
+#[derive(Debug, Clone)]
+pub enum CheckResult {
+    /// No counterexample exists within the bounds.
+    Valid,
+    /// The assertion fails on this instance.
+    Counterexample(Instance),
+    /// The conflict budget ran out before a verdict.
+    Unknown,
+}
+
+impl CheckResult {
+    /// True iff the assertion held within bounds.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, CheckResult::Valid)
+    }
+}
+
+impl ModelFinder {
+    /// Alloy's `check` idiom: verify that `assumptions ⇒ assertion` holds
+    /// for every instance within the bounds, by searching for an instance
+    /// satisfying `assumptions ∧ ¬assertion`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if either formula violates arity
+    /// discipline.
+    pub fn check(
+        &self,
+        schema: &Schema,
+        bounds: &Bounds,
+        assumptions: &Formula,
+        assertion: &Formula,
+    ) -> Result<(CheckResult, Report), TypeError> {
+        let problem = Problem {
+            schema: schema.clone(),
+            bounds: bounds.clone(),
+            formula: assumptions.and(&assertion.not()),
+        };
+        let (verdict, report) = self.solve(&problem)?;
+        let result = match verdict {
+            Verdict::Unsat => CheckResult::Valid,
+            Verdict::Sat(instance) => CheckResult::Counterexample(instance),
+            Verdict::Unknown => CheckResult::Unknown,
+        };
+        Ok((result, report))
+    }
+}
+
+fn decode(
+    problem: &Problem,
+    rel_inputs: &[std::collections::BTreeMap<relational::Tuple, u32>],
+    input_vars: &std::collections::HashMap<u32, Var>,
+    solver: &Solver,
+) -> Instance {
+    let mut inst = Instance::empty(&problem.schema, problem.bounds.universe_size());
+    for (id, d) in problem.schema.iter() {
+        let mut value = problem.bounds.lower(id).clone();
+        let _ = d;
+        for (tuple, input_idx) in &rel_inputs[id.index()] {
+            // Inputs outside the root's cone of influence have no SAT
+            // variable; they are unconstrained, so leave them absent.
+            if let Some(var) = input_vars.get(input_idx) {
+                if solver.model_value(*var) == Some(true) {
+                    value.insert(tuple.clone());
+                }
+            }
+        }
+        inst.set(id, value);
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::patterns;
+    use relational::schema::rel;
+    use relational::{eval_formula, TupleSet};
+
+    fn simple_problem() -> (Problem, relational::RelId) {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let bounds = Bounds::new(&schema, 3);
+        let formula = patterns::acyclic(&rel(r)).and(&rel(r).some());
+        (
+            Problem {
+                schema,
+                bounds,
+                formula,
+            },
+            r,
+        )
+    }
+
+    #[test]
+    fn finds_satisfying_instance() {
+        let (problem, r) = simple_problem();
+        let (verdict, report) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        let inst = verdict.instance().expect("sat");
+        assert!(!inst.get(r).is_empty());
+        assert!(eval_formula(&problem.schema, inst, &problem.formula).unwrap());
+        assert!(report.sat_vars > 0);
+    }
+
+    #[test]
+    fn unsat_when_formula_contradictory() {
+        let (mut problem, _) = simple_problem();
+        // r must be non-empty, acyclic, and empty: contradiction.
+        let r = problem.schema.find("r").unwrap();
+        problem.formula = problem.formula.and(&rel(r).no());
+        let (verdict, _) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        assert!(verdict.is_unsat());
+    }
+
+    #[test]
+    fn symmetry_breaking_preserves_satisfiability() {
+        let (problem, _) = simple_problem();
+        let (v1, _) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        let (v2, r2) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
+        assert!(v1.instance().is_some());
+        assert!(v2.instance().is_some());
+        assert!(r2.symmetry_classes >= 1);
+        // The symmetric model must still satisfy the formula.
+        assert!(eval_formula(
+            &problem.schema,
+            v2.instance().unwrap(),
+            &problem.formula
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn enumeration_matches_hand_count() {
+        // Relations over a 2-atom universe with `one r`: exactly 4 models.
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let bounds = Bounds::new(&schema, 2);
+        let formula = rel(r).one();
+        let problem = Problem {
+            schema,
+            bounds,
+            formula,
+        };
+        let count = ModelFinder::new(Options::default())
+            .enumerate(&problem, 100, |inst| {
+                assert_eq!(inst.get(r).len(), 1);
+            })
+            .unwrap();
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn exact_bounds_need_no_search() {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let mut bounds = Bounds::new(&schema, 2);
+        bounds.bound_exact(r, TupleSet::from_pairs([(0, 1)]));
+        let formula = rel(r).some();
+        let problem = Problem {
+            schema,
+            bounds,
+            formula,
+        };
+        let (verdict, report) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        assert!(verdict.instance().is_some());
+        assert_eq!(report.inputs, 0);
+    }
+
+    #[test]
+    fn closure_strategies_agree() {
+        let (problem, _) = simple_problem();
+        for strategy in [ClosureStrategy::IterativeSquaring, ClosureStrategy::Unrolled] {
+            let opts = Options {
+                closure: strategy,
+                ..Options::default()
+            };
+            let (verdict, _) = ModelFinder::new(opts).solve(&problem).unwrap();
+            assert!(verdict.instance().is_some(), "{strategy:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod check_tests {
+    use super::*;
+    use relational::patterns;
+    use relational::schema::rel;
+
+    #[test]
+    fn check_valid_assertion() {
+        // Assuming r is acyclic, r is irreflexive — valid at any bound.
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let bounds = Bounds::new(&schema, 3);
+        let finder = ModelFinder::new(Options::check());
+        let (result, _) = finder
+            .check(
+                &schema,
+                &bounds,
+                &patterns::acyclic(&rel(r)),
+                &patterns::irreflexive(&rel(r)),
+            )
+            .unwrap();
+        assert!(result.is_valid());
+    }
+
+    #[test]
+    fn check_invalid_assertion_yields_counterexample() {
+        // Assuming r is irreflexive, r is acyclic — false (2-cycles).
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let bounds = Bounds::new(&schema, 3);
+        let finder = ModelFinder::new(Options::default());
+        let (result, _) = finder
+            .check(
+                &schema,
+                &bounds,
+                &patterns::irreflexive(&rel(r)),
+                &patterns::acyclic(&rel(r)),
+            )
+            .unwrap();
+        match result {
+            CheckResult::Counterexample(inst) => {
+                let v = inst.get(r);
+                assert!(!v.is_empty(), "counterexample must contain a cycle");
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+}

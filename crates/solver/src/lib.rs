@@ -1,0 +1,29 @@
+//! A Kodkod-style bounded relational model finder.
+//!
+//! This crate plays the role of Alloy's Kodkod engine in the paper's
+//! workflow: a [`Problem`] pairs a relational [`relational::Formula`] with
+//! per-relation [`relational::Bounds`] over a finite universe; the
+//! [`ModelFinder`] translates it into a boolean circuit (relations as
+//! matrices of gates), Tseitin-encodes the circuit into CNF, discharges it
+//! to the from-scratch CDCL solver in `ptxmm-satsolver`, and decodes any
+//! model back into a relational [`relational::Instance`].
+//!
+//! Features mirroring Kodkod:
+//!
+//! * sparse gate matrices with constant folding and structural hashing,
+//! * transitive closure by iterative squaring (naive unrolling available
+//!   for ablation),
+//! * exact lower bounds contribute no SAT variables,
+//! * lex-leader symmetry breaking over interchangeable atoms.
+//!
+//! See the crate-level example on [`ModelFinder`].
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod finder;
+pub mod symmetry;
+pub mod translate;
+
+pub use finder::{CheckResult, ModelFinder, Options, Problem, Report, Verdict};
+pub use translate::ClosureStrategy;

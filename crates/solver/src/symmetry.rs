@@ -1,0 +1,196 @@
+//! Symmetry detection and lex-leader symmetry-breaking predicates.
+//!
+//! Following Kodkod, atoms that play identical roles in every relation's
+//! bounds are interchangeable: permuting them maps models to models. We
+//! detect maximal interchangeable classes exactly (by checking that each
+//! candidate transposition preserves all bounds) and then emit lex-leader
+//! constraints for adjacent transpositions within each class. This prunes
+//! isomorphic models without affecting satisfiability.
+
+use std::collections::BTreeMap;
+
+use relational::{Atom, Bounds, Schema, Tuple, TupleSet};
+
+use crate::circuit::GateId;
+use crate::translate::Translation;
+
+/// Computes the interchangeable-atom classes of `bounds`.
+///
+/// Two atoms are in the same class iff swapping them maps every relation's
+/// lower and upper bound onto itself. Classes with a single atom are
+/// omitted.
+pub fn symmetry_classes(schema: &Schema, bounds: &Bounds) -> Vec<Vec<Atom>> {
+    let n = bounds.universe_size() as Atom;
+    let mut remaining: Vec<Atom> = (0..n).collect();
+    let mut classes = Vec::new();
+    while let Some(&pivot) = remaining.first() {
+        let mut class = vec![pivot];
+        let mut rest = Vec::new();
+        for &a in &remaining[1..] {
+            if swap_preserves_bounds(schema, bounds, pivot, a) {
+                class.push(a);
+            } else {
+                rest.push(a);
+            }
+        }
+        if class.len() > 1 {
+            classes.push(class);
+        }
+        remaining = rest;
+    }
+    classes
+}
+
+fn swap_preserves_bounds(schema: &Schema, bounds: &Bounds, a: Atom, b: Atom) -> bool {
+    for (id, _) in schema.iter() {
+        if !invariant_under_swap(bounds.lower(id), a, b)
+            || !invariant_under_swap(bounds.upper(id), a, b)
+        {
+            return false;
+        }
+    }
+    true
+}
+
+fn invariant_under_swap(ts: &TupleSet, a: Atom, b: Atom) -> bool {
+    ts.iter().all(|t| ts.contains(&apply_swap(t, a, b)))
+}
+
+fn apply_swap(t: &Tuple, a: Atom, b: Atom) -> Tuple {
+    Tuple::new(
+        t.atoms()
+            .iter()
+            .map(|&x| {
+                if x == a {
+                    b
+                } else if x == b {
+                    a
+                } else {
+                    x
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Adds lex-leader symmetry-breaking constraints for every adjacent
+/// transposition within every interchangeable class, returning the
+/// conjunction gate (to be ANDed with the problem's root gate).
+///
+/// The constraint for a transposition π is `V ≤lex π(V)` where `V` is the
+/// concatenation of all relation matrices in a canonical tuple order. Any
+/// model violating it has an isomorphic model satisfying it, so adding the
+/// constraint preserves satisfiability (but not model counts — callers
+/// enumerating models must not use this).
+pub fn break_symmetries(
+    schema: &Schema,
+    bounds: &Bounds,
+    translation: &mut Translation,
+    classes: &[Vec<Atom>],
+) -> GateId {
+    let mut constraints = Vec::new();
+    for class in classes {
+        for pair in class.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let c = lex_leader_constraint(schema, bounds, translation, a, b);
+            constraints.push(c);
+        }
+    }
+    translation.circuit.and_all(constraints)
+}
+
+/// Builds `V ≤lex π(V)` for the transposition `(a b)`.
+fn lex_leader_constraint(
+    schema: &Schema,
+    bounds: &Bounds,
+    translation: &mut Translation,
+    a: Atom,
+    b: Atom,
+) -> GateId {
+    // Build the paired vector (v_i, πv_i) across all relations in order.
+    let mut pairs: Vec<(GateId, GateId)> = Vec::new();
+    for (id, _) in schema.iter() {
+        let inputs: &BTreeMap<Tuple, u32> = &translation.rel_inputs[id.index()];
+        let lower = bounds.lower(id);
+        for (t, _) in inputs.clone() {
+            let g = gate_for(translation, id.index(), lower, &t);
+            let swapped = apply_swap(&t, a, b);
+            if swapped == t {
+                continue; // fixed point: contributes equality trivially
+            }
+            let gp = gate_for(translation, id.index(), lower, &swapped);
+            pairs.push((g, gp));
+        }
+    }
+    // V ≤lex π(V): prefix-equality chain.
+    let circuit = &mut translation.circuit;
+    let mut eq_prefix = circuit.tru();
+    let mut constraint = circuit.tru();
+    for (x, y) in pairs {
+        // eq_prefix => (x => y)
+        let x_imp_y = circuit.implies(x, y);
+        let step = circuit.implies(eq_prefix, x_imp_y);
+        constraint = circuit.and(constraint, step);
+        let x_iff_y = circuit.iff(x, y);
+        eq_prefix = circuit.and(eq_prefix, x_iff_y);
+    }
+    constraint
+}
+
+/// The gate representing tuple `t` of relation `rel_index`: constant-true
+/// if in the lower bound, the allocated input if free, constant-false
+/// outside the upper bound.
+fn gate_for(
+    translation: &Translation,
+    rel_index: usize,
+    lower: &TupleSet,
+    t: &Tuple,
+) -> GateId {
+    if lower.contains(t) {
+        return translation.circuit.tru();
+    }
+    match translation.rel_inputs[rel_index].get(t) {
+        Some(&input_idx) => translation.circuit.input_gate(input_idx),
+        None => translation.circuit.fls(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_free_bounds_are_one_class() {
+        let mut schema = Schema::new();
+        let _r = schema.relation("r", 2);
+        let bounds = Bounds::new(&schema, 4);
+        let classes = symmetry_classes(&schema, &bounds);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 4);
+    }
+
+    #[test]
+    fn distinguished_atom_is_excluded() {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let s = schema.relation("s", 1);
+        let mut bounds = Bounds::new(&schema, 4);
+        let _ = r;
+        // Atom 0 is pinned into s; atoms 1-3 remain interchangeable.
+        bounds.bound_exact(s, TupleSet::from_atoms([0]));
+        let classes = symmetry_classes(&schema, &bounds);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn asymmetric_binary_bounds_split_classes() {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let mut bounds = Bounds::new(&schema, 3);
+        // Upper bound only allows edges out of atom 0.
+        bounds.bound_upper(r, TupleSet::from_pairs([(0, 1), (0, 2)]));
+        let classes = symmetry_classes(&schema, &bounds);
+        assert_eq!(classes, vec![vec![1, 2]]);
+    }
+}

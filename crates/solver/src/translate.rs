@@ -1,0 +1,459 @@
+//! Translation from bounded relational logic to boolean circuits.
+//!
+//! Every relation becomes a sparse matrix of gates indexed by tuple: tuples
+//! in the lower bound map to constant-true, tuples outside the upper bound
+//! are absent (constant-false), and tuples in between become free inputs.
+//! Relational operators combine matrices pointwise or by join; transitive
+//! closure uses iterative squaring (or naive unrolling, for the ablation
+//! study). Formulas reduce to a single root gate.
+
+use std::collections::{BTreeMap, HashMap};
+
+use relational::ast::{Expr, Formula, VarId};
+use relational::{Atom, Bounds, Schema, Tuple, TupleSet, TypeError};
+
+use crate::circuit::{Circuit, GateId};
+
+/// Strategy for encoding transitive closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClosureStrategy {
+    /// `log₂(n)` squaring steps: `r ← r ∪ r;r`.
+    #[default]
+    IterativeSquaring,
+    /// `n-1` linear unrolling steps: `acc ← r ∪ acc;r`.
+    Unrolled,
+}
+
+/// A sparse boolean matrix over tuples: the translated value of an
+/// expression. Tuples absent from `entries` are constant-false.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    arity: usize,
+    entries: BTreeMap<Tuple, GateId>,
+}
+
+impl Matrix {
+    fn empty(arity: usize) -> Matrix {
+        Matrix {
+            arity,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    fn constant(c: &mut Circuit, ts: &TupleSet) -> Matrix {
+        let mut m = Matrix::empty(ts.arity());
+        let t = c.tru();
+        for tuple in ts.iter() {
+            m.entries.insert(tuple.clone(), t);
+        }
+        m
+    }
+
+    fn insert(&mut self, c: &Circuit, t: Tuple, g: GateId) {
+        if !c.is_false(g) {
+            self.entries.insert(t, g);
+        }
+    }
+
+    fn get(&self, c: &Circuit, t: &Tuple) -> GateId {
+        self.entries.get(t).copied().unwrap_or(c.fls())
+    }
+
+    /// The arity of this matrix.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The non-false entries.
+    pub fn entries(&self) -> impl Iterator<Item = (&Tuple, GateId)> {
+        self.entries.iter().map(|(t, &g)| (t, g))
+    }
+}
+
+/// The result of translating a problem: a circuit, the root gate that must
+/// hold, and for each relation the map from tuple to input index used for
+/// decoding models.
+#[derive(Debug)]
+pub struct Translation {
+    /// The boolean circuit.
+    pub circuit: Circuit,
+    /// The gate asserting the formula and all bounds.
+    pub root: GateId,
+    /// For each relation id: tuple → circuit input index.
+    pub rel_inputs: Vec<BTreeMap<Tuple, u32>>,
+}
+
+/// Translates `formula` under `bounds` into a boolean circuit.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the formula or any expression in it violates
+/// arity discipline.
+pub fn translate(
+    schema: &Schema,
+    bounds: &Bounds,
+    formula: &Formula,
+    strategy: ClosureStrategy,
+) -> Result<Translation, TypeError> {
+    relational::check_formula(formula, schema)?;
+    let mut tr = Translator {
+        schema,
+        bounds,
+        circuit: Circuit::new(),
+        rel_matrices: Vec::new(),
+        rel_inputs: Vec::new(),
+        env: HashMap::new(),
+        strategy,
+    };
+    tr.allocate_relations();
+    let root = tr.formula(formula)?;
+    Ok(Translation {
+        circuit: tr.circuit,
+        root,
+        rel_inputs: tr.rel_inputs,
+    })
+}
+
+struct Translator<'a> {
+    schema: &'a Schema,
+    bounds: &'a Bounds,
+    circuit: Circuit,
+    rel_matrices: Vec<Matrix>,
+    rel_inputs: Vec<BTreeMap<Tuple, u32>>,
+    env: HashMap<VarId, Atom>,
+    strategy: ClosureStrategy,
+}
+
+impl<'a> Translator<'a> {
+    fn allocate_relations(&mut self) {
+        for (id, d) in self.schema.iter() {
+            let lower = self.bounds.lower(id);
+            let upper = self.bounds.upper(id);
+            let mut m = Matrix::empty(d.arity);
+            let mut inputs = BTreeMap::new();
+            for t in upper.iter() {
+                let g = if lower.contains(t) {
+                    self.circuit.tru()
+                } else {
+                    let g = self.circuit.input();
+                    inputs.insert(t.clone(), (self.circuit.num_inputs() - 1) as u32);
+                    g
+                };
+                m.entries.insert(t.clone(), g);
+            }
+            self.rel_matrices.push(m);
+            self.rel_inputs.push(inputs);
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Matrix, TypeError> {
+        let n = self.bounds.universe_size();
+        Ok(match e {
+            Expr::Rel(r) => self.rel_matrices[r.index()].clone(),
+            Expr::Var(v) => {
+                let atom = *self.env.get(v).ok_or(TypeError::UnboundVar(*v))?;
+                let mut m = Matrix::empty(1);
+                m.entries.insert(Tuple::new(vec![atom]), self.circuit.tru());
+                m
+            }
+            Expr::Const(ts) => Matrix::constant(&mut self.circuit, ts),
+            Expr::Iden => Matrix::constant(&mut self.circuit, &TupleSet::iden(n)),
+            Expr::Univ => Matrix::constant(&mut self.circuit, &TupleSet::universe(n)),
+            Expr::None(a) => Matrix::empty(*a),
+            Expr::Union(a, b) => {
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                self.union(&ma, &mb)
+            }
+            Expr::Intersect(a, b) => {
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                self.intersect(&ma, &mb)
+            }
+            Expr::Difference(a, b) => {
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                self.difference(&ma, &mb)
+            }
+            Expr::Join(a, b) => {
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                self.join(&ma, &mb)
+            }
+            Expr::Product(a, b) => {
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                self.product(&ma, &mb)
+            }
+            Expr::Transpose(a) => {
+                let ma = self.expr(a)?;
+                let mut m = Matrix::empty(2);
+                for (t, g) in ma.entries {
+                    m.entries.insert(t.reversed(), g);
+                }
+                m
+            }
+            Expr::Closure(a) => {
+                let ma = self.expr(a)?;
+                self.closure(&ma)
+            }
+            Expr::ReflexiveClosure(a) => {
+                let ma = self.expr(a)?;
+                let closed = self.closure(&ma);
+                let iden = Matrix::constant(&mut self.circuit, &TupleSet::iden(n));
+                self.union(&closed, &iden)
+            }
+        })
+    }
+
+    fn union(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        let mut m = Matrix::empty(a.arity);
+        for (t, &g) in &a.entries {
+            m.entries.insert(t.clone(), g);
+        }
+        for (t, &g) in &b.entries {
+            let existing = m.get(&self.circuit, t);
+            let merged = self.circuit.or(existing, g);
+            m.insert(&self.circuit, t.clone(), merged);
+        }
+        m
+    }
+
+    fn intersect(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        let mut m = Matrix::empty(a.arity);
+        for (t, &ga) in &a.entries {
+            let gb = b.get(&self.circuit, t);
+            let g = self.circuit.and(ga, gb);
+            m.insert(&self.circuit, t.clone(), g);
+        }
+        m
+    }
+
+    fn difference(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        let mut m = Matrix::empty(a.arity);
+        for (t, &ga) in &a.entries {
+            let gb = b.get(&self.circuit, t);
+            let ngb = self.circuit.not(gb);
+            let g = self.circuit.and(ga, ngb);
+            m.insert(&self.circuit, t.clone(), g);
+        }
+        m
+    }
+
+    fn join(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        let result_arity = a.arity + b.arity - 2;
+        // Index b by first atom.
+        let mut index: HashMap<Atom, Vec<(&Tuple, GateId)>> = HashMap::new();
+        for (t, &g) in &b.entries {
+            index.entry(t.atoms()[0]).or_default().push((t, g));
+        }
+        // Group products by result tuple, then OR them together.
+        let mut products: BTreeMap<Tuple, Vec<GateId>> = BTreeMap::new();
+        for (ta, &ga) in &a.entries {
+            let last = *ta.atoms().last().expect("tuples are non-empty");
+            if let Some(matches) = index.get(&last) {
+                for &(tb, gb) in matches {
+                    let mut atoms = ta.atoms()[..a.arity - 1].to_vec();
+                    atoms.extend_from_slice(&tb.atoms()[1..]);
+                    let g = self.circuit.and(ga, gb);
+                    if !self.circuit.is_false(g) {
+                        products.entry(Tuple::new(atoms)).or_default().push(g);
+                    }
+                }
+            }
+        }
+        let mut m = Matrix::empty(result_arity);
+        for (t, gates) in products {
+            let g = self.circuit.or_all(gates);
+            m.insert(&self.circuit, t, g);
+        }
+        m
+    }
+
+    fn product(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        let mut m = Matrix::empty(a.arity + b.arity);
+        for (ta, &ga) in &a.entries {
+            for (tb, &gb) in &b.entries {
+                let g = self.circuit.and(ga, gb);
+                m.insert(&self.circuit, ta.concat(tb), g);
+            }
+        }
+        m
+    }
+
+    fn closure(&mut self, a: &Matrix) -> Matrix {
+        let n = self.bounds.universe_size();
+        match self.strategy {
+            ClosureStrategy::IterativeSquaring => {
+                let mut acc = a.clone();
+                let mut span = 1usize;
+                while span < n {
+                    let squared = self.join(&acc, &acc);
+                    acc = self.union(&acc, &squared);
+                    span *= 2;
+                }
+                acc
+            }
+            ClosureStrategy::Unrolled => {
+                let mut acc = a.clone();
+                for _ in 1..n {
+                    let step = self.join(&acc, a);
+                    acc = self.union(a, &step);
+                }
+                acc
+            }
+        }
+    }
+
+    fn formula(&mut self, f: &Formula) -> Result<GateId, TypeError> {
+        Ok(match f {
+            Formula::True => self.circuit.tru(),
+            Formula::False => self.circuit.fls(),
+            Formula::Subset(a, b) => {
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                self.subset(&ma, &mb)
+            }
+            Formula::Equal(a, b) => {
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                let fwd = self.subset(&ma, &mb);
+                let back = self.subset(&mb, &ma);
+                self.circuit.and(fwd, back)
+            }
+            Formula::Some(a) => {
+                let ma = self.expr(a)?;
+                let gates: Vec<GateId> = ma.entries.values().copied().collect();
+                self.circuit.or_all(gates)
+            }
+            Formula::No(a) => {
+                let ma = self.expr(a)?;
+                let gates: Vec<GateId> = ma.entries.values().copied().collect();
+                let any = self.circuit.or_all(gates);
+                self.circuit.not(any)
+            }
+            Formula::One(a) => {
+                let ma = self.expr(a)?;
+                let some = {
+                    let gates: Vec<GateId> = ma.entries.values().copied().collect();
+                    self.circuit.or_all(gates)
+                };
+                let lone = self.at_most_one(&ma);
+                self.circuit.and(some, lone)
+            }
+            Formula::Lone(a) => {
+                let ma = self.expr(a)?;
+                self.at_most_one(&ma)
+            }
+            Formula::Not(inner) => {
+                let g = self.formula(inner)?;
+                self.circuit.not(g)
+            }
+            Formula::And(fs) => {
+                let mut gates = Vec::with_capacity(fs.len());
+                for f in fs {
+                    gates.push(self.formula(f)?);
+                }
+                self.circuit.and_all(gates)
+            }
+            Formula::Or(fs) => {
+                let mut gates = Vec::with_capacity(fs.len());
+                for f in fs {
+                    gates.push(self.formula(f)?);
+                }
+                self.circuit.or_all(gates)
+            }
+            Formula::Implies(a, b) => {
+                let (ga, gb) = (self.formula(a)?, self.formula(b)?);
+                self.circuit.implies(ga, gb)
+            }
+            Formula::Iff(a, b) => {
+                let (ga, gb) = (self.formula(a)?, self.formula(b)?);
+                self.circuit.iff(ga, gb)
+            }
+            Formula::ForAll(v, domain, body) => {
+                let md = self.expr(domain)?;
+                let mut gates = Vec::new();
+                for (t, gd) in md.entries.clone() {
+                    self.env.insert(*v, t.atoms()[0]);
+                    let gb = self.formula(body)?;
+                    self.env.remove(v);
+                    gates.push(self.circuit.implies(gd, gb));
+                }
+                self.circuit.and_all(gates)
+            }
+            Formula::Exists(v, domain, body) => {
+                let md = self.expr(domain)?;
+                let mut gates = Vec::new();
+                for (t, gd) in md.entries.clone() {
+                    self.env.insert(*v, t.atoms()[0]);
+                    let gb = self.formula(body)?;
+                    self.env.remove(v);
+                    gates.push(self.circuit.and(gd, gb));
+                }
+                self.circuit.or_all(gates)
+            }
+        })
+    }
+
+    fn subset(&mut self, a: &Matrix, b: &Matrix) -> GateId {
+        let mut gates = Vec::with_capacity(a.entries.len());
+        for (t, &ga) in &a.entries {
+            let gb = b.get(&self.circuit, t);
+            gates.push(self.circuit.implies(ga, gb));
+        }
+        self.circuit.and_all(gates)
+    }
+
+    fn at_most_one(&mut self, a: &Matrix) -> GateId {
+        let gates: Vec<GateId> = a.entries.values().copied().collect();
+        let mut constraints = Vec::new();
+        for i in 0..gates.len() {
+            for j in (i + 1)..gates.len() {
+                let both = self.circuit.and(gates[i], gates[j]);
+                constraints.push(self.circuit.not(both));
+            }
+        }
+        self.circuit.and_all(constraints)
+    }
+}
+
+// Re-check that arity discipline is validated before translation: the
+// public entry point calls `relational::check_formula` first, so the
+// matrix operations may assume consistent arities.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::schema::rel;
+
+    #[test]
+    fn translation_counts_inputs() {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let mut bounds = Bounds::new(&schema, 2);
+        bounds.bound_upper(r, TupleSet::from_pairs([(0, 0), (0, 1), (1, 0), (1, 1)]));
+        let f = rel(r).some();
+        let tr = translate(&schema, &bounds, &f, ClosureStrategy::default()).unwrap();
+        assert_eq!(tr.rel_inputs[0].len(), 4);
+        assert!(!tr.circuit.is_false(tr.root));
+    }
+
+    #[test]
+    fn lower_bound_tuples_are_constant_true() {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let mut bounds = Bounds::new(&schema, 2);
+        bounds.bound(
+            r,
+            TupleSet::from_pairs([(0, 1)]),
+            TupleSet::from_pairs([(0, 1), (1, 0)]),
+        );
+        // `some r` must be constant-true: (0,1) is always present.
+        let tr = translate(&schema, &bounds, &rel(r).some(), ClosureStrategy::default()).unwrap();
+        assert!(tr.circuit.is_true(tr.root));
+        assert_eq!(tr.rel_inputs[0].len(), 1); // only (1,0) is free
+    }
+
+    #[test]
+    fn type_errors_propagate() {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let s = schema.relation("s", 1);
+        let bounds = Bounds::new(&schema, 2);
+        let bad = rel(r).union(&rel(s)).some();
+        assert!(translate(&schema, &bounds, &bad, ClosureStrategy::default()).is_err());
+    }
+}

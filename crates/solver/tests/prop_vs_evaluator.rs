@@ -1,0 +1,153 @@
+//! Differential testing: the SAT-based model finder against the ground
+//! evaluator and exhaustive instance enumeration.
+
+use modelfinder::{ClosureStrategy, ModelFinder, Options, Problem};
+use proptest::prelude::*;
+use relational::schema::rel;
+use relational::{eval_formula, patterns, Bounds, Expr, Formula, Instance, Schema, TupleSet};
+
+/// A small random formula over one binary relation `r` and one unary set
+/// `s`.
+fn arb_formula() -> impl Strategy<Value = FormulaSpec> {
+    let leaf = prop_oneof![
+        Just(ExprSpec::R),
+        Just(ExprSpec::S),
+        Just(ExprSpec::Iden),
+        Just(ExprSpec::RTrans),
+        Just(ExprSpec::RJoinR),
+        Just(ExprSpec::RClos),
+        Just(ExprSpec::SProdS),
+    ];
+    (leaf.clone(), leaf, 0u8..6).prop_map(|(a, b, op)| FormulaSpec { a, b, op })
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ExprSpec {
+    R,
+    S,
+    Iden,
+    RTrans,
+    RJoinR,
+    RClos,
+    SProdS,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FormulaSpec {
+    a: ExprSpec,
+    b: ExprSpec,
+    op: u8,
+}
+
+struct Ctx {
+    schema: Schema,
+    r: relational::RelId,
+    s: relational::RelId,
+}
+
+fn ctx() -> Ctx {
+    let mut schema = Schema::new();
+    let r = schema.relation("r", 2);
+    let s = schema.relation("s", 1);
+    Ctx { schema, r, s }
+}
+
+fn build_expr(c: &Ctx, spec: ExprSpec) -> (Expr, usize) {
+    match spec {
+        ExprSpec::R => (rel(c.r), 2),
+        ExprSpec::S => (rel(c.s), 1),
+        ExprSpec::Iden => (Expr::Iden, 2),
+        ExprSpec::RTrans => (rel(c.r).transpose(), 2),
+        ExprSpec::RJoinR => (rel(c.r).join(&rel(c.r)), 2),
+        ExprSpec::RClos => (rel(c.r).closure(), 2),
+        ExprSpec::SProdS => (rel(c.s).product(&rel(c.s)), 2),
+    }
+}
+
+fn build_formula(c: &Ctx, spec: FormulaSpec) -> Formula {
+    let (ea, aa) = build_expr(c, spec.a);
+    let (eb, ab) = build_expr(c, spec.b);
+    match spec.op {
+        0 if aa == ab => ea.in_(&eb),
+        1 if aa == ab => ea.equal(&eb).not(),
+        2 => ea.some().and(&eb.some()),
+        3 => ea.no().or(&eb.some()),
+        4 if aa == ab => ea.intersect(&eb).some(),
+        5 => patterns::acyclic(&rel(c.r)).and(&ea.some()),
+        _ => ea.some(),
+    }
+}
+
+/// Exhaustively enumerates all instances over a tiny universe and checks
+/// whether any satisfies the formula.
+fn brute_force_sat(c: &Ctx, n: usize, formula: &Formula) -> bool {
+    let pair_count = n * n;
+    assert!(pair_count <= 9, "keep brute force tiny");
+    for r_bits in 0u32..(1 << pair_count) {
+        for s_bits in 0u32..(1 << n) {
+            let mut inst = Instance::empty(&c.schema, n);
+            let mut pairs = Vec::new();
+            for i in 0..pair_count {
+                if (r_bits >> i) & 1 == 1 {
+                    pairs.push(((i / n) as u32, (i % n) as u32));
+                }
+            }
+            inst.set(c.r, TupleSet::from_pairs(pairs));
+            let atoms: Vec<u32> = (0..n as u32).filter(|&a| (s_bits >> a) & 1 == 1).collect();
+            inst.set(c.s, TupleSet::from_atoms(atoms));
+            if eval_formula(&c.schema, &inst, formula).unwrap() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SAT-pipeline verdict == brute-force verdict; SAT models satisfy the
+    /// formula under the ground evaluator.
+    #[test]
+    fn finder_matches_brute_force(spec in arb_formula()) {
+        let c = ctx();
+        let n = 3;
+        let formula = build_formula(&c, spec);
+        let problem = Problem {
+            schema: c.schema.clone(),
+            bounds: Bounds::new(&c.schema, n),
+            formula: formula.clone(),
+        };
+        let expected = brute_force_sat(&c, n, &formula);
+        for strategy in [ClosureStrategy::IterativeSquaring, ClosureStrategy::Unrolled] {
+            let opts = Options { closure: strategy, ..Options::default() };
+            let (verdict, _) = ModelFinder::new(opts).solve(&problem).unwrap();
+            match verdict {
+                modelfinder::Verdict::Sat(inst) => {
+                    prop_assert!(expected, "finder SAT, brute force UNSAT ({strategy:?})");
+                    prop_assert!(eval_formula(&c.schema, &inst, &formula).unwrap(),
+                        "decoded instance does not satisfy formula ({strategy:?})");
+                }
+                modelfinder::Verdict::Unsat => {
+                    prop_assert!(!expected, "finder UNSAT, brute force SAT ({strategy:?})");
+                }
+                modelfinder::Verdict::Unknown => prop_assert!(false, "no budget set"),
+            }
+        }
+    }
+
+    /// Symmetry breaking never changes the verdict.
+    #[test]
+    fn symmetry_breaking_preserves_verdict(spec in arb_formula()) {
+        let c = ctx();
+        let formula = build_formula(&c, spec);
+        let problem = Problem {
+            schema: c.schema.clone(),
+            bounds: Bounds::new(&c.schema, 3),
+            formula,
+        };
+        let (plain, _) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        let (broken, _) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
+        prop_assert_eq!(plain.instance().is_some(), broken.instance().is_some());
+    }
+}

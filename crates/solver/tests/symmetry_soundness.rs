@@ -1,0 +1,82 @@
+//! Symmetry breaking must preserve satisfiability (never verdicts) while
+//! genuinely pruning models: for problems with interchangeable atoms, the
+//! lex-leader-constrained model count is strictly smaller than the full
+//! count but nonzero whenever the full count is nonzero.
+
+use modelfinder::{ModelFinder, Options, Problem};
+use relational::patterns;
+use relational::schema::rel;
+use relational::{Bounds, Formula, Schema};
+
+/// Counts all models via `enumerate` (which always disables symmetry
+/// breaking, keeping the count exact).
+fn count_models(problem: &Problem) -> usize {
+    ModelFinder::new(Options::default())
+        .enumerate(problem, 10_000, |_| {})
+        .unwrap()
+}
+
+#[test]
+fn verdicts_agree_across_structured_problems() {
+    // A family of problems over one binary relation with varying
+    // constraints; symmetry breaking must never flip SAT/UNSAT.
+    let mut schema = Schema::new();
+    let r = schema.relation("r", 2);
+    let bounds = Bounds::new(&schema, 4);
+    let formulas: Vec<(&str, Formula)> = vec![
+        ("acyclic+some", patterns::acyclic(&rel(r)).and(&rel(r).some())),
+        ("total-order", {
+            let univ = relational::Expr::Univ;
+            patterns::strict_total_order_on(&rel(r), &univ)
+        }),
+        ("symmetric+irreflexive", {
+            patterns::symmetric(&rel(r)).and(&patterns::irreflexive(&rel(r))).and(&rel(r).some())
+        }),
+        ("impossible", {
+            // r non-empty, transitive, irreflexive, and r ; r = r with
+            // r ⊆ iden — contradiction.
+            rel(r).some().and(&rel(r).in_(&relational::Expr::Iden)).and(&patterns::irreflexive(&rel(r)))
+        }),
+    ];
+    for (name, formula) in formulas {
+        let problem = Problem {
+            schema: schema.clone(),
+            bounds: bounds.clone(),
+            formula,
+        };
+        let (plain, _) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        let (broken, _) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
+        assert_eq!(
+            plain.instance().is_some(),
+            broken.instance().is_some(),
+            "symmetry breaking changed the verdict for {name}"
+        );
+    }
+}
+
+#[test]
+fn lex_leader_prunes_but_keeps_witnesses() {
+    // Over 3 fully interchangeable atoms, a strict total order has 6
+    // models; symmetry breaking must keep at least one and the verdict
+    // SAT. (Model counting under symmetry is not part of the public API;
+    // we check pruning indirectly through solver statistics: the broken
+    // problem carries extra clauses.)
+    let mut schema = Schema::new();
+    let r = schema.relation("r", 2);
+    let bounds = Bounds::new(&schema, 3);
+    let formula = patterns::strict_total_order_on(&rel(r), &relational::Expr::Univ);
+    let problem = Problem {
+        schema,
+        bounds,
+        formula,
+    };
+    assert_eq!(count_models(&problem), 6, "3! total orders");
+    let (verdict, report) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
+    assert!(verdict.instance().is_some());
+    assert_eq!(report.symmetry_classes, 1);
+    let (_, plain_report) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+    assert!(
+        report.sat_clauses > plain_report.sat_clauses,
+        "lex-leader constraints must add clauses"
+    );
+}

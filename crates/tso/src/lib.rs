@@ -1,0 +1,600 @@
+//! An axiomatic Total Store Ordering (TSO) memory model.
+//!
+//! The paper's §2.2 uses TSO (Figure 2) to introduce the standard
+//! axiomatic vocabulary (`rf`, `co`, `fr`, `po_loc`, `ppo`, `fence`); this
+//! crate implements that exact two-axiom model as a comparison baseline:
+//!
+//! * **SC-per-Location**: `acyclic(rf ∪ co ∪ fr ∪ po_loc)`
+//! * **Causality**: `acyclic(rfe ∪ co ∪ fr ∪ ppo ∪ fence)`
+//!
+//! where `ppo` removes store→load pairs from `po` (the store buffer), and
+//! `fence` relates same-thread pairs separated by an `mfence` or involving
+//! an atomic read-modify-write.
+//!
+//! # Examples
+//!
+//! Store buffering is the defining TSO weak behaviour:
+//!
+//! ```
+//! use memmodel::{Location, Register, ThreadId, Value};
+//! use tso::{build::*, enumerate_executions, TsoProgram};
+//!
+//! let p = TsoProgram::new(vec![
+//!     vec![store(Location(0), 1), load(Register(0), Location(1))],
+//!     vec![store(Location(1), 1), load(Register(1), Location(0))],
+//! ]);
+//! let e = enumerate_executions(&p);
+//! // Both loads may read 0 under TSO…
+//! assert!(e.any_execution(|x| {
+//!     x.final_registers[&(ThreadId(0), Register(0))] == Value(0)
+//!         && x.final_registers[&(ThreadId(1), Register(1))] == Value(0)
+//! }));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use memmodel::{
+    enumerate_total_orders, Location, Odometer, Register, RelMat, ThreadId, Value,
+};
+
+/// One TSO (x86-like) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TsoInstruction {
+    /// A load into a register.
+    Load {
+        /// Destination register.
+        dst: Register,
+        /// Location read.
+        loc: Location,
+    },
+    /// A store of an immediate.
+    Store {
+        /// Location written.
+        loc: Location,
+        /// Value stored.
+        value: Value,
+    },
+    /// A full memory fence (`mfence`).
+    Mfence,
+    /// An atomic exchange (`lock xchg`): reads the old value into `dst`
+    /// and stores `value`. Implies full fencing like all locked x86 ops.
+    Exchange {
+        /// Destination register (old value).
+        dst: Register,
+        /// Location updated.
+        loc: Location,
+        /// Value stored.
+        value: Value,
+    },
+}
+
+/// Terse instruction builders.
+pub mod build {
+    use super::*;
+
+    /// A load.
+    pub fn load(dst: Register, loc: Location) -> TsoInstruction {
+        TsoInstruction::Load { dst, loc }
+    }
+
+    /// A store of an immediate.
+    pub fn store(loc: Location, v: u64) -> TsoInstruction {
+        TsoInstruction::Store {
+            loc,
+            value: Value(v),
+        }
+    }
+
+    /// An `mfence`.
+    pub fn mfence() -> TsoInstruction {
+        TsoInstruction::Mfence
+    }
+
+    /// A locked exchange.
+    pub fn exchange(dst: Register, loc: Location, v: u64) -> TsoInstruction {
+        TsoInstruction::Exchange {
+            dst,
+            loc,
+            value: Value(v),
+        }
+    }
+}
+
+/// A straight-line multi-threaded TSO program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsoProgram {
+    /// Instructions per thread.
+    pub threads: Vec<Vec<TsoInstruction>>,
+}
+
+impl TsoProgram {
+    /// Creates a program.
+    pub fn new(threads: Vec<Vec<TsoInstruction>>) -> TsoProgram {
+        TsoProgram { threads }
+    }
+
+    /// Locations used, sorted.
+    pub fn locations(&self) -> Vec<Location> {
+        let mut locs: Vec<Location> = self
+            .threads
+            .iter()
+            .flatten()
+            .filter_map(|i| match *i {
+                TsoInstruction::Load { loc, .. }
+                | TsoInstruction::Store { loc, .. }
+                | TsoInstruction::Exchange { loc, .. } => Some(loc),
+                TsoInstruction::Mfence => None,
+            })
+            .collect();
+        locs.sort();
+        locs.dedup();
+        locs
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Read,
+    Write,
+    Fence,
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    id: usize,
+    thread: Option<ThreadId>,
+    kind: Kind,
+    loc: Option<Location>,
+    value: Option<Value>, // store immediates; loads filled by rf
+    dst: Option<Register>,
+    rmw_partner: Option<usize>,
+    #[allow(dead_code)]
+    is_init: bool,
+}
+
+/// An expanded TSO program with its static relations.
+#[derive(Debug, Clone)]
+pub struct TsoExpansion {
+    events: Vec<Event>,
+    po: RelMat,
+    ppo: RelMat,
+    fence: RelMat,
+    rmw: RelMat,
+    reads: Vec<usize>,
+    writes_by_loc: Vec<(Location, Vec<usize>)>,
+    final_setters: Vec<((ThreadId, Register), usize)>,
+}
+
+fn expand(program: &TsoProgram) -> TsoExpansion {
+    let locations = program.locations();
+    let mut events: Vec<Event> = Vec::new();
+    for &loc in &locations {
+        events.push(Event {
+            id: events.len(),
+            thread: None,
+            kind: Kind::Write,
+            loc: Some(loc),
+            value: Some(Value(0)),
+            dst: None,
+            rmw_partner: None,
+            is_init: true,
+        });
+    }
+    let mut thread_events: Vec<Vec<usize>> = vec![Vec::new(); program.threads.len()];
+    for (tid, instrs) in program.threads.iter().enumerate() {
+        for instr in instrs {
+            let thread = Some(ThreadId(tid as u32));
+            match *instr {
+                TsoInstruction::Load { dst, loc } => {
+                    events.push(Event {
+                        id: events.len(),
+                        thread,
+                        kind: Kind::Read,
+                        loc: Some(loc),
+                        value: None,
+                        dst: Some(dst),
+                        rmw_partner: None,
+                        is_init: false,
+                    });
+                    thread_events[tid].push(events.len() - 1);
+                }
+                TsoInstruction::Store { loc, value } => {
+                    events.push(Event {
+                        id: events.len(),
+                        thread,
+                        kind: Kind::Write,
+                        loc: Some(loc),
+                        value: Some(value),
+                        dst: None,
+                        rmw_partner: None,
+                        is_init: false,
+                    });
+                    thread_events[tid].push(events.len() - 1);
+                }
+                TsoInstruction::Mfence => {
+                    events.push(Event {
+                        id: events.len(),
+                        thread,
+                        kind: Kind::Fence,
+                        loc: None,
+                        value: None,
+                        dst: None,
+                        rmw_partner: None,
+                        is_init: false,
+                    });
+                    thread_events[tid].push(events.len() - 1);
+                }
+                TsoInstruction::Exchange { dst, loc, value } => {
+                    let r = events.len();
+                    events.push(Event {
+                        id: r,
+                        thread,
+                        kind: Kind::Read,
+                        loc: Some(loc),
+                        value: None,
+                        dst: Some(dst),
+                        rmw_partner: Some(r + 1),
+                        is_init: false,
+                    });
+                    events.push(Event {
+                        id: r + 1,
+                        thread,
+                        kind: Kind::Write,
+                        loc: Some(loc),
+                        value: Some(value),
+                        dst: None,
+                        rmw_partner: Some(r),
+                        is_init: false,
+                    });
+                    thread_events[tid].push(r);
+                    thread_events[tid].push(r + 1);
+                }
+            }
+        }
+    }
+
+    let n = events.len();
+    let mut po = RelMat::new(n);
+    for evs in &thread_events {
+        for i in 0..evs.len() {
+            for j in (i + 1)..evs.len() {
+                po.set(evs[i], evs[j]);
+            }
+        }
+    }
+
+    // ppo: po between memory events, minus store→load (the store buffer).
+    let ppo = po.filter(|i, j| {
+        let (a, b) = (&events[i], &events[j]);
+        let mem = a.kind != Kind::Fence && b.kind != Kind::Fence;
+        mem && !(a.kind == Kind::Write && b.kind == Kind::Read)
+    });
+
+    // fence: same-thread memory pairs separated by an mfence, or with
+    // either endpoint half of an atomic RMW.
+    let mut fence = RelMat::new(n);
+    for (i, j) in po.pairs() {
+        let (a, b) = (&events[i], &events[j]);
+        if a.kind == Kind::Fence || b.kind == Kind::Fence {
+            continue;
+        }
+        let fenced = events
+            .iter()
+            .any(|f| f.kind == Kind::Fence && po.get(i, f.id) && po.get(f.id, j));
+        let locked = a.rmw_partner.is_some() || b.rmw_partner.is_some();
+        if fenced || locked {
+            fence.set(i, j);
+        }
+    }
+
+    let mut rmw = RelMat::new(n);
+    for e in &events {
+        if e.kind == Kind::Read {
+            if let Some(w) = e.rmw_partner {
+                rmw.set(e.id, w);
+            }
+        }
+    }
+
+    let reads = events
+        .iter()
+        .filter(|e| e.kind == Kind::Read)
+        .map(|e| e.id)
+        .collect();
+    let writes_by_loc = locations
+        .iter()
+        .map(|&loc| {
+            let ws = events
+                .iter()
+                .filter(|e| e.kind == Kind::Write && e.loc == Some(loc))
+                .map(|e| e.id)
+                .collect();
+            (loc, ws)
+        })
+        .collect();
+    let mut final_setters: Vec<((ThreadId, Register), usize)> = Vec::new();
+    for (tid, evs) in thread_events.iter().enumerate() {
+        let mut last: BTreeMap<Register, usize> = BTreeMap::new();
+        for &e in evs {
+            if let Some(r) = events[e].dst {
+                last.insert(r, e);
+            }
+        }
+        for (r, e) in last {
+            final_setters.push(((ThreadId(tid as u32), r), e));
+        }
+    }
+
+    TsoExpansion {
+        events,
+        po,
+        ppo,
+        fence,
+        rmw,
+        reads,
+        writes_by_loc,
+        final_setters,
+    }
+}
+
+/// A consistent TSO execution with its observable state.
+#[derive(Debug, Clone)]
+pub struct TsoExecution {
+    /// Final register values.
+    pub final_registers: BTreeMap<(ThreadId, Register), Value>,
+    /// Final memory values (co-maximal write per location).
+    pub final_memory: Vec<(Location, Value)>,
+}
+
+/// Enumeration result.
+#[derive(Debug, Clone)]
+pub struct TsoEnumeration {
+    /// All consistent executions.
+    pub executions: Vec<TsoExecution>,
+    /// Candidates examined.
+    pub candidates: u64,
+}
+
+impl TsoEnumeration {
+    /// Whether some consistent execution satisfies `pred`.
+    pub fn any_execution<F: Fn(&TsoExecution) -> bool>(&self, pred: F) -> bool {
+        self.executions.iter().any(pred)
+    }
+}
+
+/// Enumerates all TSO-consistent executions of `program`.
+pub fn enumerate_executions(program: &TsoProgram) -> TsoEnumeration {
+    let x = expand(program);
+    let n = x.events.len();
+    let mut executions = Vec::new();
+    let mut candidates = 0u64;
+
+    let rf_candidates: Vec<Vec<usize>> = x
+        .reads
+        .iter()
+        .map(|&r| {
+            let loc = x.events[r].loc.expect("reads have locations");
+            x.writes_by_loc
+                .iter()
+                .find(|(l, _)| *l == loc)
+                .map(|(_, ws)| ws.clone())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    let co_per_loc: Vec<Vec<RelMat>> = x
+        .writes_by_loc
+        .iter()
+        .map(|(_, writes)| {
+            let init = writes[0];
+            enumerate_total_orders(n, &writes[1..])
+                .into_iter()
+                .map(|mut order| {
+                    for &w in &writes[1..] {
+                        order.set(init, w);
+                    }
+                    order
+                })
+                .collect()
+        })
+        .collect();
+
+    for rf_idx in Odometer::new(rf_candidates.iter().map(Vec::len).collect()) {
+        let rf_source: Vec<usize> = rf_idx
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| rf_candidates[i][k])
+            .collect();
+        let mut rf = RelMat::new(n);
+        for (i, &r) in x.reads.iter().enumerate() {
+            rf.set(rf_source[i], r);
+        }
+        for co_idx in Odometer::new(co_per_loc.iter().map(Vec::len).collect()) {
+            candidates += 1;
+            let mut co = RelMat::new(n);
+            for (loc_i, &k) in co_idx.iter().enumerate() {
+                co.union_with(&co_per_loc[loc_i][k]);
+            }
+            let fr = rf
+                .transpose()
+                .compose(&co)
+                .difference(&RelMat::identity(n));
+
+            // Atomicity for locked RMWs: no write may slot between the
+            // read and write halves in coherence order.
+            let atomicity_ok = x.rmw.intersect(&fr.compose(&co)).is_empty();
+            if !atomicity_ok {
+                continue;
+            }
+
+            // Axiom 1: SC-per-Location.
+            let po_loc = x
+                .po
+                .filter(|i, j| x.events[i].loc.is_some() && x.events[i].loc == x.events[j].loc);
+            let sc_per_loc = rf.union(&co).union(&fr).union(&po_loc).is_acyclic();
+            if !sc_per_loc {
+                continue;
+            }
+
+            // Axiom 2: Causality with rfe (external rf only).
+            let rfe = rf.filter(|i, j| x.events[i].thread != x.events[j].thread);
+            let causality = rfe
+                .union(&co)
+                .union(&fr)
+                .union(&x.ppo)
+                .union(&x.fence)
+                .is_acyclic();
+            if !causality {
+                continue;
+            }
+
+            executions.push(finish(&x, &rf_source, &co));
+        }
+    }
+    TsoEnumeration {
+        executions,
+        candidates,
+    }
+}
+
+fn finish(x: &TsoExpansion, rf_source: &[usize], co: &RelMat) -> TsoExecution {
+    // Values: loads take their source's value. Sources are always stores
+    // or init writes with static values, so one pass suffices (exchange
+    // writes store immediates).
+    let mut values: Vec<Option<Value>> = x.events.iter().map(|e| e.value).collect();
+    for (i, &r) in x.reads.iter().enumerate() {
+        values[r] = values[rf_source[i]];
+    }
+    let final_registers = x
+        .final_setters
+        .iter()
+        .filter_map(|&((t, r), e)| values[e].map(|v| ((t, r), v)))
+        .collect();
+    let final_memory = x
+        .writes_by_loc
+        .iter()
+        .map(|(loc, writes)| {
+            let max = writes
+                .iter()
+                .copied()
+                .find(|&w| writes.iter().all(|&w2| !co.get(w, w2)))
+                .expect("total order has a maximum");
+            (*loc, values[max].expect("writes have values"))
+        })
+        .collect();
+    TsoExecution {
+        final_registers,
+        final_memory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    fn reg(t: u32, r: u32) -> (ThreadId, Register) {
+        (ThreadId(t), Register(r))
+    }
+
+    fn has_outcome(e: &TsoEnumeration, want: &[((ThreadId, Register), u64)]) -> bool {
+        e.any_execution(|x| {
+            want.iter()
+                .all(|(k, v)| x.final_registers.get(k) == Some(&Value(*v)))
+        })
+    }
+
+    #[test]
+    fn mp_is_forbidden_under_tso() {
+        // TSO keeps store→store and load→load order: plain MP works.
+        let p = TsoProgram::new(vec![
+            vec![store(Location(0), 1), store(Location(1), 1)],
+            vec![load(Register(0), Location(1)), load(Register(1), Location(0))],
+        ]);
+        let e = enumerate_executions(&p);
+        assert!(!has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 0)]));
+        assert!(has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 1)]));
+    }
+
+    #[test]
+    fn sb_is_allowed_without_fence() {
+        let p = TsoProgram::new(vec![
+            vec![store(Location(0), 1), load(Register(0), Location(1))],
+            vec![store(Location(1), 1), load(Register(1), Location(0))],
+        ]);
+        let e = enumerate_executions(&p);
+        assert!(has_outcome(&e, &[(reg(0, 0), 0), (reg(1, 1), 0)]));
+    }
+
+    #[test]
+    fn sb_is_forbidden_with_mfence() {
+        let p = TsoProgram::new(vec![
+            vec![store(Location(0), 1), mfence(), load(Register(0), Location(1))],
+            vec![store(Location(1), 1), mfence(), load(Register(1), Location(0))],
+        ]);
+        let e = enumerate_executions(&p);
+        assert!(!has_outcome(&e, &[(reg(0, 0), 0), (reg(1, 1), 0)]));
+        assert!(has_outcome(&e, &[(reg(0, 0), 1), (reg(1, 1), 0)]));
+    }
+
+    #[test]
+    fn sb_is_forbidden_with_locked_rmw() {
+        // A locked RMW acts as a fence on both sides.
+        let p = TsoProgram::new(vec![
+            vec![
+                exchange(Register(2), Location(0), 1),
+                load(Register(0), Location(1)),
+            ],
+            vec![
+                exchange(Register(3), Location(1), 1),
+                load(Register(1), Location(0)),
+            ],
+        ]);
+        let e = enumerate_executions(&p);
+        assert!(!has_outcome(&e, &[(reg(0, 0), 0), (reg(1, 1), 0)]));
+    }
+
+    #[test]
+    fn coww_final_state() {
+        let p = TsoProgram::new(vec![vec![store(Location(0), 1), store(Location(0), 2)]]);
+        let e = enumerate_executions(&p);
+        assert!(!e.executions.is_empty());
+        for x in &e.executions {
+            assert_eq!(x.final_memory[0].1, Value(2));
+        }
+    }
+
+    #[test]
+    fn iriw_is_forbidden_under_tso() {
+        // TSO is multi-copy atomic: independent readers agree on the write
+        // order (load→load order comes from ppo).
+        let p = TsoProgram::new(vec![
+            vec![store(Location(0), 1)],
+            vec![store(Location(1), 1)],
+            vec![load(Register(0), Location(0)), load(Register(1), Location(1))],
+            vec![load(Register(2), Location(1)), load(Register(3), Location(0))],
+        ]);
+        let e = enumerate_executions(&p);
+        assert!(!has_outcome(
+            &e,
+            &[(reg(2, 0), 1), (reg(2, 1), 0), (reg(3, 2), 1), (reg(3, 3), 0)]
+        ));
+    }
+
+    #[test]
+    fn rmw_atomicity() {
+        let p = TsoProgram::new(vec![
+            vec![exchange(Register(0), Location(0), 1)],
+            vec![exchange(Register(1), Location(0), 2)],
+        ]);
+        let e = enumerate_executions(&p);
+        assert!(!e.executions.is_empty());
+        let both_zero = e.any_execution(|x| {
+            x.final_registers[&reg(0, 0)] == Value(0)
+                && x.final_registers[&reg(1, 1)] == Value(0)
+        });
+        assert!(!both_zero, "locked exchanges must serialize");
+    }
+}

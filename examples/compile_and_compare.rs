@@ -1,0 +1,57 @@
+//! Compile a scoped C++ litmus test to PTX with the Figure 11 recipe and
+//! compare the outcome sets of source and image — the program-level
+//! soundness check, shown end to end (including what goes wrong with the
+//! paper's Figure 12 variant).
+//!
+//! Run with: `cargo run --example compile_and_compare`
+
+use mapping::{check_program_soundness, compile_program, RecipeVariant};
+use memmodel::{Location, Register, Scope, SystemLayout};
+use rc11::model::build::*;
+use rc11::{CProgram, MemOrder};
+
+fn main() {
+    let (x, y) = (Location(0), Location(1));
+    // The Figure 12 shape: an SC exchange inside a release sequence.
+    let program = CProgram::new(
+        vec![
+            vec![
+                store(MemOrder::Rlx, Scope::Sys, x, 1),
+                store(MemOrder::Rel, Scope::Sys, y, 1),
+            ],
+            vec![
+                exchange(MemOrder::Sc, Scope::Sys, Register(0), y, 2),
+                store(MemOrder::Rlx, Scope::Sys, y, 3),
+            ],
+            vec![
+                load(MemOrder::Acq, Scope::Sys, Register(1), y),
+                load(MemOrder::Rlx, Scope::Sys, Register(2), x),
+            ],
+        ],
+        SystemLayout::cta_per_thread(3),
+    );
+
+    for (label, variant) in [
+        ("Figure 11 (correct)", RecipeVariant::Correct),
+        (
+            "Figure 12 pitfall (release elided on RMW_SC)",
+            RecipeVariant::ElideReleaseOnScRmw,
+        ),
+    ] {
+        println!("=== {label} ===");
+        let compiled = compile_program(&program, variant);
+        println!("compiled PTX program:\n{compiled}");
+        let report = check_program_soundness(&program, variant);
+        println!("source (RC11) outcomes: {}", report.rc11_outcomes.len());
+        println!("image (PTX) outcomes:   {}", report.ptx_outcomes.len());
+        if report.sound {
+            println!("SOUND: every PTX outcome is RC11-allowed\n");
+        } else {
+            println!("UNSOUND — leaked outcomes:");
+            for o in &report.unsound_outcomes {
+                println!("  {o}");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Parse a litmus test from its text form (or use a built-in), then
+//! enumerate and display every consistent execution — a miniature `herd`.
+//!
+//! Run with: `cargo run --example litmus_explorer`
+//! or:       `cargo run --example litmus_explorer -- path/to/test.litmus`
+
+use litmus::{parse_ptx_litmus, run_ptx};
+use ptx::visit_candidates;
+
+const DEFAULT_TEST: &str = r"
+PTX SB+fence.sc
+layout cta_per_thread
+P0               | P1               ;
+st.weak [x], 1   | st.weak [y], 1   ;
+fence.sc.gpu     | fence.sc.gpu     ;
+ld.weak r0, [y]  | ld.weak r1, [x]  ;
+forbidden: 0:r0=0 /\ 1:r1=0
+";
+
+fn main() {
+    let source = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => DEFAULT_TEST.to_string(),
+    };
+    let test = parse_ptx_litmus(&source).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        std::process::exit(1);
+    });
+
+    println!("test {}", test.name);
+    println!("condition: {} ({:?})\n", test.cond, test.expectation);
+
+    // Walk every candidate witness, reporting the axiom verdicts.
+    let mut consistent = 0usize;
+    let mut shown = 0usize;
+    let (expansion, stats) = visit_candidates(&test.program, |candidate, check, values| {
+        if check.is_consistent() && values.is_some() {
+            consistent += 1;
+            if shown < 8 {
+                shown += 1;
+                println!(
+                    "  consistent execution #{consistent}: rf sources {:?}, co pairs {}, sc pairs {}",
+                    candidate.rf_source,
+                    candidate.co.count(),
+                    candidate.sc.count()
+                );
+            }
+        }
+    });
+    println!(
+        "\nevents: {} | candidates: {} | consistent: {} | inconsistent: {}",
+        expansion.len(),
+        stats.candidates,
+        stats.consistent,
+        stats.inconsistent
+    );
+
+    let result = run_ptx(&test);
+    println!(
+        "outcome observable: {} → {}",
+        result.observable,
+        if result.passed {
+            "matches expectation"
+        } else {
+            "DOES NOT match expectation"
+        }
+    );
+}

@@ -1,0 +1,43 @@
+//! Quickstart: check the paper's Figure 5 message-passing litmus test
+//! against the PTX memory model.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use litmus::{library, run_ptx};
+
+fn main() {
+    // Figure 5: T0 publishes data with st.weak + st.release.gpu;
+    // T1 consumes with ld.acquire.gpu + ld.weak, in a different CTA.
+    let test = library::mp();
+    println!("test: {} — {}", test.name, test.description);
+    println!("condition under test: {}", test.cond);
+
+    let result = run_ptx(&test);
+    println!();
+    println!(
+        "candidate witnesses examined: {}",
+        result.candidates
+    );
+    println!(
+        "consistent executions:        {}",
+        result.consistent_executions
+    );
+    println!(
+        "tagged outcome observable:    {}",
+        result.observable
+    );
+    println!(
+        "verdict:                      {}",
+        if result.passed { "PASS (matches the paper)" } else { "FAIL" }
+    );
+
+    // For contrast: the same program with relaxed (non-acquire/release)
+    // synchronization allows the stale read.
+    let relaxed = library::mp_relaxed();
+    let relaxed_result = run_ptx(&relaxed);
+    println!();
+    println!(
+        "{}: observable = {} (expected: allowed)",
+        relaxed.name, relaxed_result.observable
+    );
+}

@@ -1,0 +1,36 @@
+//! Store buffering and `fence.sc` (paper Figure 6, §3.4.3).
+//!
+//! Demonstrates the scope-sensitivity of Fence-SC order: morally strong
+//! `fence.sc` pairs forbid the weak outcome, while fences at too-narrow
+//! scopes do not — the hazard that bit pre-Volta `membar` users.
+//!
+//! Run with: `cargo run --example sb_fence`
+
+use litmus::{library, run_ptx, run_under_tso};
+
+fn main() {
+    println!("Store buffering under PTX: r0 == 0 && r1 == 0?\n");
+    for test in [
+        library::sb(),                // relaxed, no fences
+        library::sb_fence_sc(),       // fence.sc.gpu, morally strong
+        library::sb_fence_weak_scope(), // fence.sc.cta across CTAs: weak
+    ] {
+        let r = run_ptx(&test);
+        println!(
+            "  {:<22} observable={:<5} (expected {:?}) {}",
+            test.name,
+            r.observable,
+            test.expectation,
+            if r.passed { "✓" } else { "✗ MISMATCH" }
+        );
+    }
+
+    // TSO comparison: plain SB is the defining TSO weakness; mfence
+    // (the image of fence.sc) restores order.
+    println!("\nThe same programs under the TSO baseline:");
+    for test in [library::sb(), library::sb_fence_sc()] {
+        if let Some(r) = run_under_tso(&test) {
+            println!("  {:<22} observable={}", test.name, r.observable);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! A formal analysis infrastructure for the NVIDIA PTX memory consistency
+//! model.
+//!
+//! This workspace reproduces, from scratch in Rust, the entire analysis
+//! stack of *A Formal Analysis of the NVIDIA PTX Memory Consistency Model*
+//! (Lustig, Sahasrabuddhe, Giroux — ASPLOS 2019):
+//!
+//! | Layer | Crate | Role in the paper |
+//! |-------|-------|-------------------|
+//! | [`satsolver`] | CDCL SAT solver | the off-the-shelf solver under Kodkod |
+//! | [`relational`] | bounded relational logic | the Alloy language |
+//! | [`modelfinder`] | relational → SAT model finder | Kodkod |
+//! | [`memmodel`] | events, scopes, bit-matrix relations | axiomatic-model scaffolding |
+//! | [`ptx`] | the PTX 6.0 memory model (§3) | the paper's primary contribution |
+//! | [`rc11`] | scoped RC11 ("scoped C++", §4.1) | the source model |
+//! | [`tso`] | TSO baseline (§2.2, Fig. 2) | expository baseline |
+//! | [`litmus`] | litmus tests, parser, runner | the diy/litmus/herd suite |
+//! | [`mapping`] | Figure 11 recipe + combined bounded model | §4.2, §5.2, Figure 17 |
+//! | [`proofkernel`] | LCF-style kernel + Theorems 1–3 | alloqc + Coq (§5.3, §6.2) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use litmus::{library, run_ptx};
+//!
+//! // Paper Figure 5: message passing with gpu-scoped acquire/release.
+//! let result = run_ptx(&library::mp());
+//! assert!(!result.observable); // the stale read is forbidden
+//! ```
+//!
+//! See the `examples/` directory for runnable walkthroughs and the
+//! `crates/bench` harness for the Figure 17 reproduction.
+
+pub use litmus;
+pub use mapping;
+pub use memmodel;
+pub use modelfinder;
+pub use proofkernel;
+pub use ptx;
+pub use rc11;
+pub use relational;
+pub use satsolver;
+pub use tso;

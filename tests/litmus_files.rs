@@ -1,0 +1,46 @@
+//! Every litmus text file shipped in `litmus/` parses and matches its
+//! stated expectation under the appropriate model.
+
+use litmus::{parse_c11_litmus, parse_ptx_litmus, run_ptx, run_rc11};
+
+#[test]
+fn shipped_litmus_files_pass() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus");
+    let mut count = 0;
+    for entry in std::fs::read_dir(&dir).expect("litmus/ directory exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("litmus") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).expect("readable file");
+        let header = source
+            .lines()
+            .map(|l| l.split("//").next().unwrap_or("").trim())
+            .find(|l| !l.is_empty())
+            .unwrap_or("");
+        let display = path.display();
+        if header.starts_with("PTX ") {
+            let test = parse_ptx_litmus(&source)
+                .unwrap_or_else(|e| panic!("{display}: {e}"));
+            let r = run_ptx(&test);
+            assert!(
+                r.passed,
+                "{display} ({}): observable={} vs {:?}",
+                test.name, r.observable, test.expectation
+            );
+        } else if header.starts_with("C11 ") {
+            let test = parse_c11_litmus(&source)
+                .unwrap_or_else(|e| panic!("{display}: {e}"));
+            let r = run_rc11(&test);
+            assert!(
+                r.passed,
+                "{display} ({}): observable={} vs {:?}",
+                test.name, r.observable, test.expectation
+            );
+        } else {
+            panic!("{display}: unknown dialect header {header:?}");
+        }
+        count += 1;
+    }
+    assert!(count >= 9, "expected the shipped suite, found {count}");
+}

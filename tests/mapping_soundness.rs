@@ -1,0 +1,129 @@
+//! End-to-end mapping soundness: the compiled PTX program never exhibits
+//! an outcome the scoped C++ source forbids (for race-free sources), and
+//! the Figure 12 unsound variant is caught.
+
+use litmus::library;
+use mapping::{check_program_soundness, RecipeVariant};
+use memmodel::{Location, Register, Scope, SystemLayout};
+use rc11::model::build::*;
+use rc11::{CProgram, MemOrder};
+
+/// Every scoped C++ litmus test in the library compiles soundly with the
+/// correct recipe.
+#[test]
+fn c11_suite_compiles_soundly() {
+    for test in library::c11_suite() {
+        let report = check_program_soundness(&test.program, RecipeVariant::Correct);
+        assert!(
+            report.sound,
+            "{}: compiled program leaks outcomes {:?}",
+            test.name, report.unsound_outcomes
+        );
+    }
+}
+
+/// A broad sweep of hand-built programs across orders and scopes.
+#[test]
+fn order_scope_sweep_compiles_soundly() {
+    let (x, y) = (Location(0), Location(1));
+    let store_orders = [MemOrder::Rlx, MemOrder::Rel, MemOrder::Sc];
+    let load_orders = [MemOrder::Rlx, MemOrder::Acq, MemOrder::Sc];
+    let scopes = [Scope::Cta, Scope::Gpu, Scope::Sys];
+    let mut swept = 0;
+    for &so in &store_orders {
+        for &lo in &load_orders {
+            for &scope in &scopes {
+                // MP shape with the chosen orders/scope.
+                let program = CProgram::new(
+                    vec![
+                        vec![
+                            store(MemOrder::Rlx, scope, x, 1),
+                            store(so, scope, y, 1),
+                        ],
+                        vec![
+                            load(lo, scope, Register(0), y),
+                            load(MemOrder::Rlx, scope, Register(1), x),
+                        ],
+                    ],
+                    SystemLayout::cta_per_thread(2),
+                );
+                let report = check_program_soundness(&program, RecipeVariant::Correct);
+                assert!(
+                    report.sound,
+                    "MP({so:?},{lo:?},{scope:?}) leaks {:?}",
+                    report.unsound_outcomes
+                );
+                swept += 1;
+            }
+        }
+    }
+    assert_eq!(swept, 27);
+}
+
+/// RMW-heavy programs compile soundly.
+#[test]
+fn rmw_programs_compile_soundly() {
+    let x = Location(0);
+    let program = CProgram::new(
+        vec![
+            vec![fetch_add(MemOrder::AcqRel, Scope::Gpu, Register(0), x, 1)],
+            vec![exchange(MemOrder::Sc, Scope::Gpu, Register(1), x, 9)],
+            vec![load(MemOrder::Acq, Scope::Gpu, Register(2), x)],
+        ],
+        SystemLayout::single_cta(3),
+    );
+    let report = check_program_soundness(&program, RecipeVariant::Correct);
+    assert!(report.sound, "leaks: {:?}", report.unsound_outcomes);
+}
+
+/// The Figure 12 elided-release variant is unsound, and the program-level
+/// differential check catches it — the corner the paper could only reach
+/// with Coq.
+#[test]
+fn figure12_variant_is_caught() {
+    let (x, y) = (Location(0), Location(1));
+    let program = CProgram::new(
+        vec![
+            vec![
+                store(MemOrder::Rlx, Scope::Sys, x, 1),
+                store(MemOrder::Rel, Scope::Sys, y, 1),
+            ],
+            vec![
+                exchange(MemOrder::Sc, Scope::Sys, Register(0), y, 2),
+                store(MemOrder::Rlx, Scope::Sys, y, 3),
+            ],
+            vec![
+                load(MemOrder::Acq, Scope::Sys, Register(1), y),
+                load(MemOrder::Rlx, Scope::Sys, Register(2), x),
+            ],
+        ],
+        SystemLayout::cta_per_thread(3),
+    );
+    assert!(check_program_soundness(&program, RecipeVariant::Correct).sound);
+    let bad = check_program_soundness(&program, RecipeVariant::ElideReleaseOnScRmw);
+    assert!(!bad.sound, "the unsound variant must leak");
+}
+
+/// The bounded combined-model verification agrees: all three RC11 axioms
+/// are UNSAT at bound 2 in both scope modes (the full Figure 17 sweep at
+/// higher bounds lives in the bench harness).
+#[test]
+fn combined_model_unsat_at_bound_2() {
+    for mode in [mapping::ScopeMode::Scoped, mapping::ScopeMode::Descoped] {
+        let rows = mapping::verify_all(
+            2,
+            mode,
+            RecipeVariant::Correct,
+            modelfinder::Options::check(),
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        for row in rows {
+            assert!(
+                row.verdict.is_unsat(),
+                "{} at bound 2 ({mode:?}) found a counterexample",
+                row.axiom
+            );
+        }
+    }
+}

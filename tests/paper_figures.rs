@@ -1,0 +1,102 @@
+//! Integration test: every litmus-test figure in the paper gets the
+//! verdict the paper assigns it, via the public workspace API.
+
+use litmus::{library, run_ptx, Expectation};
+
+fn assert_figure(test: litmus::PtxLitmus) {
+    let result = run_ptx(&test);
+    assert!(
+        result.passed,
+        "{}: expected {:?} but observable={} ({})",
+        test.name, test.expectation, result.observable, test.description
+    );
+}
+
+/// Figure 5: MP with gpu-scoped release/acquire across CTAs — forbidden.
+#[test]
+fn figure5_mp() {
+    let test = library::mp();
+    assert_eq!(test.expectation, Expectation::Forbidden);
+    assert_figure(test);
+}
+
+/// Figure 6: SB with morally strong fence.sc — forbidden (and the paper's
+/// §3.4.3 point: morally weak fences do not help).
+#[test]
+fn figure6_sb_fence_sc() {
+    assert_figure(library::sb_fence_sc());
+    assert_figure(library::sb_fence_weak_scope());
+}
+
+/// Figure 8: no out-of-thin-air values.
+#[test]
+fn figure8_thin_air() {
+    assert_figure(library::lb_thin_air());
+}
+
+/// Figure 9: the four coherence shapes.
+#[test]
+fn figure9_coherence() {
+    assert_figure(library::corr());
+    assert_figure(library::corw());
+    assert_figure(library::cowr());
+    assert_figure(library::coww());
+}
+
+/// The full extended suite (scope variants and classic shapes) matches
+/// expectations.
+#[test]
+fn extended_suite() {
+    for test in library::extended_suite() {
+        assert_figure(test);
+    }
+}
+
+/// Monotonicity: strengthening synchronization never makes a forbidden
+/// outcome observable. We check the MP family across the
+/// weak → relaxed → acquire/release strength ladder and the
+/// cta → gpu → sys scope ladder.
+#[test]
+fn strengthening_is_monotone() {
+    use memmodel::{Location, Register, Scope, SystemLayout};
+    use ptx::inst::build::*;
+    use ptx::Program;
+
+    let (x, y) = (Location(0), Location(1));
+    let stale = |e: &ptx::Enumeration| {
+        e.any_execution(|ex| {
+            ex.final_registers[&(memmodel::ThreadId(1), Register(0))].0 == 1
+                && ex.final_registers[&(memmodel::ThreadId(1), Register(1))].0 == 0
+        })
+    };
+
+    // Scope ladder at fixed acquire/release strength, across CTAs on one
+    // GPU: cta (too narrow) must be weakest; gpu and sys both forbid.
+    let mp_at = |scope: Scope| {
+        Program::new(
+            vec![
+                vec![st_weak(x, 1), st_release(scope, y, 1)],
+                vec![ld_acquire(scope, Register(0), y), ld_weak(Register(1), x)],
+            ],
+            SystemLayout::cta_per_thread(2),
+        )
+    };
+    let cta = stale(&ptx::enumerate_executions(&mp_at(Scope::Cta)));
+    let gpu = stale(&ptx::enumerate_executions(&mp_at(Scope::Gpu)));
+    let sys = stale(&ptx::enumerate_executions(&mp_at(Scope::Sys)));
+    assert!(cta, "cta scope across CTAs is too narrow");
+    assert!(!gpu && !sys, "wider scopes must forbid");
+
+    // Strength ladder at fixed gpu scope: relaxed allows, acq/rel forbids.
+    let mp_relaxed = Program::new(
+        vec![
+            vec![st_weak(x, 1), st_relaxed(Scope::Gpu, y, 1)],
+            vec![
+                ld_relaxed(Scope::Gpu, Register(0), y),
+                ld_weak(Register(1), x),
+            ],
+        ],
+        SystemLayout::cta_per_thread(2),
+    );
+    assert!(stale(&ptx::enumerate_executions(&mp_relaxed)));
+}

@@ -1,0 +1,120 @@
+//! Oracle tests against the operational SC interpreter.
+//!
+//! * **SC ⊆ PTX**: every interleaving outcome must be an axiomatically
+//!   consistent PTX outcome — across the whole litmus library and the
+//!   generated shape sweep. A violation would mean the axiomatic model
+//!   forbids a plainly sequential execution.
+//! * **DRF-SC collapse**: for fully `fence.sc`-synchronized or
+//!   barrier-synchronized programs at adequate scope, the PTX outcome set
+//!   equals the SC outcome set exactly.
+
+use std::collections::BTreeSet;
+
+use litmus::generate::{full_sweep, mp_shape, sb_shape, Layout, Strength};
+use litmus::{library, sc_outcomes};
+use memmodel::Scope;
+
+type RegOutcome = Vec<((u32, u32), u64)>;
+
+fn ptx_register_outcomes(program: &ptx::Program) -> BTreeSet<RegOutcome> {
+    ptx::enumerate_executions(program)
+        .executions
+        .iter()
+        .map(|e| {
+            e.final_registers
+                .iter()
+                .map(|(&(t, r), &v)| ((t.0, r.0), v.0))
+                .collect()
+        })
+        .collect()
+}
+
+fn sc_register_outcomes(program: &ptx::Program) -> BTreeSet<RegOutcome> {
+    sc_outcomes(program)
+        .into_iter()
+        .map(|o| {
+            o.registers
+                .iter()
+                .map(|(&(t, r), &v)| ((t.0, r.0), v.0))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn sc_outcomes_are_ptx_allowed_on_library() {
+    for test in library::extended_suite() {
+        let sc = sc_register_outcomes(&test.program);
+        let ptx_outs = ptx_register_outcomes(&test.program);
+        for o in &sc {
+            assert!(
+                ptx_outs.contains(o),
+                "{}: SC outcome {:?} not allowed by PTX",
+                test.name,
+                o
+            );
+        }
+    }
+}
+
+#[test]
+fn sc_outcomes_are_ptx_allowed_on_generated_sweep() {
+    for test in full_sweep() {
+        let sc = sc_register_outcomes(&test.program);
+        let ptx_outs = ptx_register_outcomes(&test.program);
+        for o in &sc {
+            assert!(
+                ptx_outs.contains(o),
+                "{}: SC outcome {:?} not allowed by PTX",
+                test.name,
+                o
+            );
+        }
+    }
+}
+
+/// Fully fenced two-thread programs collapse to SC: with a morally strong
+/// `fence.sc` between every adjacent pair of accesses, PTX admits exactly
+/// the interleaving outcomes. (Fences at the thread boundaries would add
+/// nothing but witness-enumeration cost: each extra morally strong
+/// `fence.sc` doubles the sc-orientation space.)
+#[test]
+fn fully_fenced_programs_collapse_to_sc() {
+    for (shape, name) in [(mp_shape as fn(_, _, _) -> _, "MP"), (sb_shape, "SB")] {
+        let weak = shape(Strength::Weak, Scope::Sys, Layout::CtaPerThread);
+        let program = &weak.program;
+        // Strengthen: insert fence.sc.sys between adjacent instructions.
+        let fenced = ptx::Program::new(
+            program
+                .threads
+                .iter()
+                .map(|instrs| {
+                    let mut out = Vec::new();
+                    for (k, i) in instrs.iter().enumerate() {
+                        if k > 0 {
+                            out.push(ptx::Instruction::Fence {
+                                sem: ptx::FenceSem::Sc,
+                                scope: Scope::Sys,
+                            });
+                        }
+                        out.push(*i);
+                    }
+                    out
+                })
+                .collect(),
+            program.layout.clone(),
+        );
+        let sc = sc_register_outcomes(&fenced);
+        let ptx_outs = ptx_register_outcomes(&fenced);
+        assert_eq!(sc, ptx_outs, "{name}: fully fenced must equal SC");
+    }
+}
+
+/// Barrier-synchronized single-CTA programs collapse to SC as well.
+#[test]
+fn barrier_round_collapses_to_sc() {
+    let test = library::mp_barrier();
+    let sc = sc_register_outcomes(&test.program);
+    let ptx_outs = ptx_register_outcomes(&test.program);
+    assert_eq!(sc, ptx_outs, "barrier MP must equal SC");
+}
