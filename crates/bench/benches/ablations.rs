@@ -4,12 +4,12 @@
 //! * lex-leader symmetry breaking: on vs off;
 //! * evaluation engine: full enumeration vs the axiom-check inner loop.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use litmus::library;
 use modelfinder::{ClosureStrategy, ModelFinder, Options, Problem};
 use relational::patterns;
 use relational::schema::rel;
 use relational::{Bounds, Schema};
+use testkit::bench::Group;
 
 /// A closure-heavy model-finding problem over a 6-atom universe.
 fn closure_problem() -> Problem {
@@ -31,88 +31,77 @@ fn closure_problem() -> Problem {
     }
 }
 
-fn bench_closure(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_closure");
+fn bench_closure() {
+    let mut group = Group::new("ablation_closure");
     group.sample_size(10);
     let problem = closure_problem();
     for (name, strategy) in [
         ("iterative_squaring", ClosureStrategy::IterativeSquaring),
         ("unrolled", ClosureStrategy::Unrolled),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let opts = Options {
-                    closure: strategy,
-                    ..Options::default()
-                };
-                let _ = ModelFinder::new(opts).solve(&problem).unwrap();
-            })
+        group.bench(name, || {
+            let opts = Options {
+                closure: strategy,
+                ..Options::default()
+            };
+            let _ = ModelFinder::new(opts).solve(&problem).unwrap();
         });
     }
-    group.finish();
 }
 
-fn bench_symmetry(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_symmetry");
+fn bench_symmetry() {
+    let mut group = Group::new("ablation_symmetry");
     group.sample_size(10);
     // The Figure 17 Coherence check at bound 2 with and without
     // lex-leader symmetry breaking.
     for (name, sym) in [("on", true), ("off", false)] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let model = mapping::build(
-                    2,
-                    mapping::ScopeMode::Scoped,
-                    mapping::RecipeVariant::Correct,
-                );
-                let opts = Options {
-                    symmetry_breaking: sym,
-                    ..Options::default()
-                };
-                let row = mapping::verify_axiom(
-                    &model,
-                    "Coherence",
-                    mapping::ScopeMode::Scoped,
-                    opts,
-                )
-                .unwrap();
-                assert!(row.verdict.is_unsat());
-            })
+        group.bench(name, || {
+            let model = mapping::build(
+                2,
+                mapping::ScopeMode::Scoped,
+                mapping::RecipeVariant::Correct,
+            );
+            let opts = Options {
+                symmetry_breaking: sym,
+                ..Options::default()
+            };
+            let row =
+                mapping::verify_axiom(&model, "Coherence", mapping::ScopeMode::Scoped, opts)
+                    .unwrap();
+            assert!(row.verdict.is_unsat());
         });
     }
-    group.finish();
 }
 
-fn bench_engines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_engine");
+fn bench_engines() {
+    let mut group = Group::new("ablation_engine");
+    group.sample_size(20);
     // Enumeration engine on the MP figure.
     let mp = library::mp();
-    group.bench_function("bitmatrix_enumeration", |b| {
-        b.iter(|| {
-            let e = ptx::enumerate_executions(&mp.program);
-            assert!(!e.executions.is_empty());
-        })
+    group.bench("bitmatrix_enumeration", || {
+        let e = ptx::enumerate_executions(&mp.program);
+        assert!(!e.executions.is_empty());
     });
     // Candidate checking via derived-relation computation only (the
     // axiom-check inner loop).
-    group.bench_function("axiom_check_inner_loop", |b| {
-        let expansion = ptx::expand(&mp.program);
-        let co = memmodel::RelMat::from_pairs(
-            expansion.len(),
-            ptx::exec::init_co_edges(&expansion).into_iter(),
-        );
-        let candidate = ptx::Candidate {
-            rf_source: vec![3, 2],
-            co,
-            sc: memmodel::RelMat::new(expansion.len()),
-        };
-        b.iter(|| {
-            let check = ptx::check_all(&expansion, &mp.program.layout, &candidate);
-            assert!(check.is_consistent());
-        })
+    let expansion = ptx::expand(&mp.program);
+    let co = memmodel::RelMat::from_pairs(
+        expansion.len(),
+        ptx::exec::init_co_edges(&expansion),
+    );
+    let candidate = ptx::Candidate {
+        rf_source: vec![3, 2],
+        co,
+        sc: memmodel::RelMat::new(expansion.len()),
+    };
+    group.bench("axiom_check_inner_loop", || {
+        let check = ptx::check_all(&expansion, &mp.program.layout, &candidate);
+        assert!(check.is_consistent());
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_closure, bench_symmetry, bench_engines);
-criterion_main!(benches);
+fn main() {
+    bench_closure();
+    bench_symmetry();
+    bench_engines();
+}

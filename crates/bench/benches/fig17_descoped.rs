@@ -5,24 +5,18 @@
 //! smaller gap at small bounds (the scope tree is fixed, so scopes add
 //! per-event choice but no extra atoms).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ptxmm_bench::fig17_row;
+use testkit::bench::Group;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig17_descoped");
+fn main() {
+    let mut group = Group::new("fig17_descoped");
     group.sample_size(10);
     for bound in [2usize, 3] {
         for axiom in ["Coherence", "Atomicity", "SC"] {
-            group.bench_with_input(BenchmarkId::new(axiom, bound), &bound, |b, &bound| {
-                b.iter(|| {
-                    let (unsat, _) = fig17_row(bound, mapping::ScopeMode::Descoped, axiom);
-                    assert!(unsat, "{axiom} bound {bound}: counterexample found");
-                })
+            group.bench(&format!("{axiom}/{bound}"), || {
+                let (unsat, _) = fig17_row(bound, mapping::ScopeMode::Descoped, axiom);
+                assert!(unsat, "{axiom} bound {bound}: counterexample found");
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -6,28 +6,22 @@
 //! Coherence 41 s at bound 4 and 6.4 h at bound 5; Atomicity 4–5 s;
 //! SC 10 s / 15 min. The absolute numbers differ on our stack, but the
 //! orderings (Coherence ≈ SC ≫ Atomicity) and the superexponential growth
-//! per bound reproduce. Criterion sweeps bounds 2–3; run
+//! per bound reproduce. This bench sweeps bounds 2–3; run
 //! `cargo run --release -p ptxmm-bench --bin fig17_table -- 4 5` for the
 //! long-bound rows reported in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ptxmm_bench::fig17_row;
+use testkit::bench::Group;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig17_scoped");
+fn main() {
+    let mut group = Group::new("fig17_scoped");
     group.sample_size(10);
     for bound in [2usize, 3] {
         for axiom in ["Coherence", "Atomicity", "SC"] {
-            group.bench_with_input(BenchmarkId::new(axiom, bound), &bound, |b, &bound| {
-                b.iter(|| {
-                    let (unsat, _) = fig17_row(bound, mapping::ScopeMode::Scoped, axiom);
-                    assert!(unsat, "{axiom} bound {bound}: counterexample found");
-                })
+            group.bench(&format!("{axiom}/{bound}"), || {
+                let (unsat, _) = fig17_row(bound, mapping::ScopeMode::Scoped, axiom);
+                assert!(unsat, "{axiom} bound {bound}: counterexample found");
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

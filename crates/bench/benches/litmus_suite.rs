@@ -2,31 +2,24 @@
 //! (Figures 5, 6, 8, 9) plus the heavier classic shapes — the herd-style
 //! workload of the infrastructure.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use litmus::{library, run_ptx};
+use testkit::bench::Group;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("litmus_suite");
+fn main() {
+    let mut group = Group::new("litmus_suite");
+    group.sample_size(20);
     for test in library::paper_suite() {
-        group.bench_function(&test.name, |b| {
-            b.iter(|| {
-                let r = run_ptx(&test);
-                assert!(r.passed, "{} regressed", test.name);
-            })
+        group.bench(&test.name, || {
+            let r = run_ptx(&test);
+            assert!(r.passed, "{} regressed", test.name);
         });
     }
     // The heavier four-thread tests.
     group.sample_size(10);
     for test in [library::iriw_acquire(), library::iriw_fence_sc()] {
-        group.bench_function(&test.name, |b| {
-            b.iter(|| {
-                let r = run_ptx(&test);
-                assert!(r.passed, "{} regressed", test.name);
-            })
+        group.bench(&test.name, || {
+            let r = run_ptx(&test);
+            assert!(r.passed, "{} regressed", test.name);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

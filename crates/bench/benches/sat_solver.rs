@@ -3,31 +3,23 @@
 //! (clause/var ≈ 4.26). This is the substrate every Figure 17 row rests
 //! on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ptxmm_bench::{pigeonhole, random_3sat};
 use satsolver::SolveResult;
+use testkit::bench::Group;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat_solver");
+fn main() {
+    let mut group = Group::new("sat_solver");
     group.sample_size(10);
     for n in [6usize, 7, 8] {
-        group.bench_with_input(BenchmarkId::new("pigeonhole", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut s = pigeonhole(n + 1, n);
-                assert_eq!(s.solve(), SolveResult::Unsat);
-            })
+        group.bench(&format!("pigeonhole/{n}"), || {
+            let mut s = pigeonhole(n + 1, n);
+            assert_eq!(s.solve(), SolveResult::Unsat);
         });
     }
     for n in [60usize, 100, 140] {
-        group.bench_with_input(BenchmarkId::new("random3sat_4.26", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut s = random_3sat(n, 4.26, n as u64);
-                let _ = s.solve();
-            })
+        group.bench(&format!("random3sat_4.26/{n}"), || {
+            let mut s = random_3sat(n, 4.26, n as u64);
+            let _ = s.solve();
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,35 +1,112 @@
 //! One-off driver that prints Figure 17-style rows (also used to collect
 //! data for EXPERIMENTS.md).
-fn main() {
-    let bounds: Vec<usize> = std::env::args()
-        .skip(1)
-        .filter_map(|a| a.parse().ok())
-        .collect();
-    let bounds = if bounds.is_empty() { vec![2, 3, 4] } else { bounds };
-    for mode in [mapping::ScopeMode::Scoped, mapping::ScopeMode::Descoped] {
-        for &bound in &bounds {
-            let start = std::time::Instant::now();
-            let rows = mapping::verify_all(
-                bound,
-                mode,
-                mapping::RecipeVariant::Correct,
-                modelfinder::Options::check(),
-            )
-            .unwrap();
-            for r in &rows {
-                println!(
-                    "{:?} bound={} {:<10} unsat={:?} vars={} clauses={} conflicts={} t={:?}",
-                    mode,
-                    bound,
-                    r.axiom,
-                    matches!(r.verdict, modelfinder::Verdict::Unsat),
-                    r.report.sat_vars,
-                    r.report.sat_clauses,
-                    r.report.solver_stats.conflicts,
-                    r.total_time
-                );
-            }
-            println!("  total bound={bound}: {:?}", start.elapsed());
+//!
+//! ```text
+//! fig17_table [bounds…] [--jobs N] [--timeout-secs S] [--json]
+//! ```
+//!
+//! Each (scope mode × bound × axiom) verification is one query. With
+//! `--jobs N` the queries fan out over a worker pool; `--timeout-secs S`
+//! bounds each query's wall clock via the solver's cooperative deadline
+//! (an overrunning query is reported as `Unknown`, never hangs the
+//! sweep); `--json` emits one JSON Lines record per query.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mapping::{RecipeVariant, ScopeMode};
+use modelfinder::harness::{run_queries, HarnessOptions, Query, QueryOutput};
+use modelfinder::{Options, Verdict};
+
+const AXIOMS: [&str; 3] = ["Coherence", "Atomicity", "SC"];
+
+fn main() -> ExitCode {
+    let mut bounds: Vec<usize> = Vec::new();
+    let mut jobs = 1usize;
+    let mut timeout_secs: Option<u64> = None;
+    let mut json = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => return usage("--jobs needs a positive integer"),
+            },
+            "--timeout-secs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => timeout_secs = Some(s),
+                None => return usage("--timeout-secs needs an integer"),
+            },
+            other => match other.parse() {
+                Ok(b) => bounds.push(b),
+                Err(_) => return usage(&format!("unrecognized argument `{other}`")),
+            },
         }
     }
+    let bounds = if bounds.is_empty() { vec![2, 3, 4] } else { bounds };
+
+    let timeout = timeout_secs.map(Duration::from_secs);
+    let mut queries = Vec::new();
+    for mode in [ScopeMode::Scoped, ScopeMode::Descoped] {
+        for &bound in &bounds {
+            for axiom in AXIOMS {
+                let name = format!("{mode:?}/bound{bound}/{axiom}");
+                queries.push(Query::new(name, move |ctx| {
+                    let model = mapping::build(bound, mode, RecipeVariant::Correct);
+                    let mut opts = Options::check().with_cancel(ctx.cancel.clone());
+                    opts.deadline = ctx.timeout;
+                    let row = mapping::verify_axiom(&model, axiom, mode, opts)
+                        .expect("internal encoding error");
+                    QueryOutput {
+                        verdict: match row.verdict {
+                            Verdict::Sat(_) => "Sat".to_string(),
+                            Verdict::Unsat => "Unsat".to_string(),
+                            Verdict::Unknown => "Unknown".to_string(),
+                        },
+                        sat_vars: row.report.sat_vars as u64,
+                        sat_clauses: row.report.sat_clauses as u64,
+                        conflicts: row.report.solver_stats.conflicts,
+                        detail: row
+                            .report
+                            .interrupted
+                            .map(|reason| format!("stopped early: {reason}")),
+                    }
+                }));
+            }
+        }
+    }
+
+    let options = HarnessOptions {
+        jobs,
+        timeout,
+        ..HarnessOptions::default()
+    };
+    let records = run_queries(queries, &options, |rec| {
+        if json {
+            println!("{}", rec.to_json());
+        } else {
+            println!(
+                "{:<28} unsat={:<5} vars={} clauses={} conflicts={} t={:.3}s{}",
+                rec.name,
+                rec.verdict == "Unsat",
+                rec.sat_vars,
+                rec.sat_clauses,
+                rec.conflicts,
+                rec.wall.as_secs_f64(),
+                if rec.timed_out { "  TIMEOUT" } else { "" },
+            );
+        }
+    });
+    let unknown = records.iter().filter(|r| r.verdict == "Unknown").count();
+    if !json && unknown > 0 {
+        eprintln!("{unknown} quer(ies) did not finish within budget");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("fig17_table: {err}");
+    eprintln!("usage: fig17_table [bounds…] [--jobs N] [--timeout-secs S] [--json]");
+    ExitCode::FAILURE
 }

@@ -1,9 +1,8 @@
 //! Shared helpers for the benchmark harness that regenerates the paper's
 //! tables and figures (see `benches/` and the `fig17_table` binary).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use satsolver::{Lit, Solver, Var};
+use testkit::Rng;
 
 /// Builds a pigeonhole CNF: `pigeons` into `holes` (UNSAT when
 /// `pigeons > holes`).
@@ -12,14 +11,14 @@ pub fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
     let var: Vec<Vec<Var>> = (0..pigeons)
         .map(|_| (0..holes).map(|_| s.new_var()).collect())
         .collect();
-    for p in 0..pigeons {
-        let clause: Vec<Lit> = (0..holes).map(|h| var[p][h].positive()).collect();
+    for row in &var {
+        let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
         s.add_clause(&clause);
     }
-    for h in 0..holes {
-        for p1 in 0..pigeons {
-            for p2 in (p1 + 1)..pigeons {
-                s.add_clause(&[var[p1][h].negative(), var[p2][h].negative()]);
+    for p1 in 0..pigeons {
+        for p2 in (p1 + 1)..pigeons {
+            for (a, b) in var[p1].iter().zip(&var[p2]) {
+                s.add_clause(&[a.negative(), b.negative()]);
             }
         }
     }
@@ -28,15 +27,15 @@ pub fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
 
 /// Builds a random 3-SAT instance with the given clause/variable ratio.
 pub fn random_3sat(num_vars: usize, ratio: f64, seed: u64) -> Solver {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed(seed);
     let mut s = Solver::new();
     let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
     let num_clauses = (num_vars as f64 * ratio) as usize;
     for _ in 0..num_clauses {
         let mut clause = Vec::with_capacity(3);
         while clause.len() < 3 {
-            let v = vars[rng.gen_range(0..num_vars)];
-            let lit = Lit::new(v, rng.gen_bool(0.5));
+            let v = vars[rng.index(num_vars)];
+            let lit = Lit::new(v, rng.flip());
             if !clause.contains(&lit) && !clause.contains(&!lit) {
                 clause.push(lit);
             }

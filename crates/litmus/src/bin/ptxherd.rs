@@ -3,74 +3,219 @@
 //!
 //! ```text
 //! ptxherd test1.litmus [test2.litmus …]
-//! ptxherd --suite            # run the built-in library
+//! ptxherd --suite                        # run the built-in library
+//! ptxherd --suite --jobs 4 --timeout-secs 10 --json
 //! ```
 //!
 //! Files starting with `PTX <name>` run under the PTX model; files
-//! starting with `C11 <name>` run under scoped RC11. Output mimics herd:
-//! the observed outcome states, whether the tagged condition was
-//! observable, and the verdict against the file's expectation.
+//! starting with `C11 <name>` run under scoped RC11. The default output
+//! mimics herd: the observed outcome states, whether the tagged condition
+//! was observable, and the verdict against the file's expectation.
+//!
+//! With `--jobs N` the tests fan out over a worker pool; `--timeout-secs
+//! S` bounds each test's wall clock (an overrunning test is recorded as
+//! `Unknown`, never hangs the sweep); `--json` emits one JSON Lines
+//! record per test instead of the herd-style report.
 
 use std::process::ExitCode;
 
 use litmus::{library, parse_c11_litmus, parse_ptx_litmus, run_ptx, run_rc11, Expectation};
+use modelfinder::harness::{run_queries, HarnessOptions, Query, QueryOutput};
+
+struct Cli {
+    suite: bool,
+    jobs: usize,
+    timeout_secs: Option<u64>,
+    json: bool,
+    files: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        suite: false,
+        jobs: 1,
+        timeout_secs: None,
+        json: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--suite" => cli.suite = true,
+            "--json" => cli.json = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                cli.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+                if cli.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--timeout-secs" => {
+                let v = it.next().ok_or("--timeout-secs needs a value")?;
+                cli.timeout_secs =
+                    Some(v.parse().map_err(|_| format!("bad --timeout-secs value `{v}`"))?);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            path => cli.files.push(path.to_string()),
+        }
+    }
+    if !cli.suite && cli.files.is_empty() {
+        return Err("no input: pass litmus files or --suite".to_string());
+    }
+    Ok(cli)
+}
+
+enum AnyTest {
+    Ptx(litmus::PtxLitmus),
+    C11(litmus::C11Litmus),
+}
+
+impl AnyTest {
+    fn name(&self) -> &str {
+        match self {
+            AnyTest::Ptx(t) => &t.name,
+            AnyTest::C11(t) => &t.name,
+        }
+    }
+}
+
+/// Loads a litmus file, sniffing the dialect from its header line.
+fn load_file(path: &str) -> Result<AnyTest, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
+    let header = source
+        .lines()
+        .map(|l| l.split("//").next().unwrap_or("").trim())
+        .find(|l| !l.is_empty())
+        .unwrap_or("");
+    if header.starts_with("PTX ") {
+        parse_ptx_litmus(&source)
+            .map(AnyTest::Ptx)
+            .map_err(|e| format!("{path}: {e}"))
+    } else if header.starts_with("C11 ") {
+        parse_c11_litmus(&source)
+            .map(AnyTest::C11)
+            .map_err(|e| format!("{path}: {e}"))
+    } else {
+        Err(format!(
+            "{path}: expected a `PTX <name>` or `C11 <name>` header"
+        ))
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: ptxherd <file.litmus>…  |  ptxherd --suite");
+        eprintln!(
+            "usage: ptxherd [--jobs N] [--timeout-secs S] [--json] <file.litmus>… | --suite"
+        );
         return ExitCode::FAILURE;
     }
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("ptxherd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut tests: Vec<AnyTest> = Vec::new();
     let mut failures = 0usize;
-    if args[0] == "--suite" {
-        for test in library::extended_suite() {
-            failures += usize::from(!report_ptx(&test));
-        }
-        for test in library::c11_suite() {
-            failures += usize::from(!report_c11(&test));
-        }
-    } else {
-        for path in &args {
-            let Ok(source) = std::fs::read_to_string(path) else {
-                eprintln!("{path}: cannot read file");
+    if cli.suite {
+        tests.extend(library::extended_suite().into_iter().map(AnyTest::Ptx));
+        tests.extend(library::c11_suite().into_iter().map(AnyTest::C11));
+    }
+    for path in &cli.files {
+        match load_file(path) {
+            Ok(t) => tests.push(t),
+            Err(e) => {
+                eprintln!("{e}");
                 failures += 1;
-                continue;
-            };
-            // Dialect sniffing: the first non-empty, non-comment line.
-            let header = source
-                .lines()
-                .map(|l| l.split("//").next().unwrap_or("").trim())
-                .find(|l| !l.is_empty())
-                .unwrap_or("");
-            let trimmed = header;
-            let ok = if trimmed.starts_with("PTX ") {
-                match parse_ptx_litmus(&source) {
-                    Ok(test) => report_ptx(&test),
-                    Err(e) => {
-                        eprintln!("{path}: {e}");
-                        false
-                    }
-                }
-            } else if trimmed.starts_with("C11 ") {
-                match parse_c11_litmus(&source) {
-                    Ok(test) => report_c11(&test),
-                    Err(e) => {
-                        eprintln!("{path}: {e}");
-                        false
-                    }
-                }
-            } else {
-                eprintln!("{path}: expected a `PTX <name>` or `C11 <name>` header");
-                false
+            }
+        }
+    }
+
+    // The herd-style detailed report stays the default single-threaded
+    // behavior; any harness flag switches to the one-line-per-test sweep.
+    let use_harness = cli.jobs > 1 || cli.timeout_secs.is_some() || cli.json;
+    if !use_harness {
+        for test in &tests {
+            let ok = match test {
+                AnyTest::Ptx(t) => report_ptx(t),
+                AnyTest::C11(t) => report_c11(t),
             };
             failures += usize::from(!ok);
         }
+    } else {
+        let queries: Vec<Query> = tests
+            .into_iter()
+            .map(|test| {
+                let name = test.name().to_string();
+                Query::new(name, move |_ctx| match &test {
+                    AnyTest::Ptx(t) => {
+                        let r = run_ptx(t);
+                        litmus_output(t.expectation, r.observable, r.passed, r.candidates)
+                    }
+                    AnyTest::C11(t) => {
+                        let r = run_rc11(t);
+                        litmus_output(t.expectation, r.observable, r.passed, r.candidates)
+                    }
+                })
+            })
+            .collect();
+        let options = HarnessOptions {
+            jobs: cli.jobs,
+            timeout: cli.timeout_secs.map(std::time::Duration::from_secs),
+            ..HarnessOptions::default()
+        };
+        let json = cli.json;
+        let records = run_queries(queries, &options, |rec| {
+            if json {
+                println!("{}", rec.to_json());
+            } else {
+                println!(
+                    "{:<24} {:<8} {:>9.3}s{}{}",
+                    rec.name,
+                    rec.verdict,
+                    rec.wall.as_secs_f64(),
+                    if rec.timed_out { "  TIMEOUT" } else { "" },
+                    rec.detail
+                        .as_deref()
+                        .map(|d| format!("  {d}"))
+                        .unwrap_or_default()
+                );
+            }
+        });
+        failures += records.iter().filter(|r| r.verdict == "FAILED").count();
+        let timeouts = records.iter().filter(|r| r.timed_out).count();
+        if !json && timeouts > 0 {
+            eprintln!("{timeouts} test(s) timed out (reported as Unknown)");
+        }
     }
+
     if failures > 0 {
         eprintln!("\n{failures} test(s) failed");
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Maps a litmus result onto a harness record payload.
+fn litmus_output(
+    expectation: Expectation,
+    observable: bool,
+    passed: bool,
+    candidates: u64,
+) -> QueryOutput {
+    QueryOutput {
+        verdict: if passed { "Ok" } else { "FAILED" }.to_string(),
+        detail: Some(format!(
+            "observable={observable} expected={expectation:?} candidates={candidates}"
+        )),
+        ..QueryOutput::default()
     }
 }
 

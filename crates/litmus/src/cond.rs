@@ -34,6 +34,7 @@ impl Cond {
     }
 
     /// `¬a`.
+    #[allow(clippy::should_implement_trait)] // builder-style, by value, like `Formula::not`
     pub fn not(self) -> Cond {
         Cond::Not(Box::new(self))
     }

@@ -3,12 +3,11 @@
 use std::collections::BTreeMap;
 
 use memmodel::{Location, Value};
-use serde::Serialize;
 
 use crate::cond::Cond;
 
 /// What the paper (or the test author) claims about the tagged outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Expectation {
     /// The outcome must not be observable in any consistent execution.
     Forbidden,
@@ -47,7 +46,7 @@ pub struct C11Litmus {
 }
 
 /// The result of running one litmus test against one model.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LitmusResult {
     /// Test name.
     pub name: String,
@@ -154,7 +153,7 @@ pub fn run_under_tso(test: &PtxLitmus) -> Option<LitmusResult> {
 }
 
 /// A summary row for reporting across a suite.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SuiteRow {
     /// Test name.
     pub name: String,

@@ -5,65 +5,66 @@ use std::collections::BTreeMap;
 
 use litmus::{parse_cond, Cond};
 use memmodel::{Location, Register, ThreadId, Value};
-use proptest::prelude::*;
+use testkit::Rng;
 
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    let leaf = prop_oneof![
-        (0u32..2, 0u32..2, 0u64..3).prop_map(|(t, r, v)| Cond::reg(t, r, v)),
-        (0u32..2, 0u64..3).prop_map(|(l, v)| Cond::mem(l, v)),
-        Just(Cond::True),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 2..4).prop_map(Cond::And),
-            prop::collection::vec(inner.clone(), 2..4).prop_map(Cond::Or),
-            inner.prop_map(|c| c.not()),
-        ]
-    })
+fn gen_leaf(rng: &mut Rng) -> Cond {
+    match rng.below(3) {
+        0 => Cond::reg(rng.below(2) as u32, rng.below(2) as u32, rng.below(3)),
+        1 => Cond::mem(rng.below(2) as u32, rng.below(3)),
+        _ => Cond::True,
+    }
 }
 
-fn arb_state() -> impl Strategy<
-    Value = (
-        BTreeMap<(ThreadId, Register), Value>,
-        BTreeMap<Location, Value>,
-    ),
-> {
-    (
-        prop::collection::btree_map((0u32..2, 0u32..2), 0u64..3, 0..5),
-        prop::collection::btree_map(0u32..2, 0u64..3, 0..3),
-    )
-        .prop_map(|(regs, mem)| {
-            (
-                regs.into_iter()
-                    .map(|((t, r), v)| ((ThreadId(t), Register(r)), Value(v)))
-                    .collect(),
-                mem.into_iter()
-                    .map(|(l, v)| (Location(l), Value(v)))
-                    .collect(),
-            )
-        })
+/// A random condition tree of at most `depth` composite levels.
+fn gen_cond(rng: &mut Rng, depth: u32) -> Cond {
+    if depth == 0 || rng.chance(0.3) {
+        return gen_leaf(rng);
+    }
+    match rng.below(3) {
+        0 => Cond::And(rng.vec_of(2, 3, |r| gen_cond(r, depth - 1))),
+        1 => Cond::Or(rng.vec_of(2, 3, |r| gen_cond(r, depth - 1))),
+        _ => gen_cond(rng, depth - 1).not(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[allow(clippy::type_complexity)]
+fn gen_state(
+    rng: &mut Rng,
+) -> (
+    BTreeMap<(ThreadId, Register), Value>,
+    BTreeMap<Location, Value>,
+) {
+    let mut regs = BTreeMap::new();
+    for _ in 0..rng.below(5) {
+        regs.insert(
+            (ThreadId(rng.below(2) as u32), Register(rng.below(2) as u32)),
+            Value(rng.below(3)),
+        );
+    }
+    let mut mem = BTreeMap::new();
+    for _ in 0..rng.below(3) {
+        mem.insert(Location(rng.below(2) as u32), Value(rng.below(3)));
+    }
+    (regs, mem)
+}
 
-    #[test]
-    fn display_parse_roundtrip_preserves_semantics(
-        cond in arb_cond(),
-        state in arb_state(),
-    ) {
+#[test]
+fn display_parse_roundtrip_preserves_semantics() {
+    testkit::forall("display_parse_roundtrip_preserves_semantics", 256, |rng| {
+        let cond = gen_cond(rng, 3);
+        let (regs, mem) = gen_state(rng);
         let printed = cond.to_string();
         // `true` is a display-only leaf the grammar doesn't accept; skip
         // conditions that contain it.
-        prop_assume!(!printed.contains("true"));
+        if printed.contains("true") {
+            return;
+        }
         let reparsed = parse_cond(1, &printed)
             .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
-        let (regs, mem) = state;
-        prop_assert_eq!(
+        assert_eq!(
             cond.eval(&regs, &mem),
             reparsed.eval(&regs, &mem),
-            "semantics changed through `{}`",
-            printed
+            "semantics changed through `{printed}`"
         );
-    }
+    });
 }

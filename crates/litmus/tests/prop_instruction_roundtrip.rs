@@ -3,123 +3,104 @@
 
 use litmus::parse_instruction;
 use memmodel::{BarrierId, Location, Register, Scope, Value};
-use proptest::prelude::*;
 use ptx::{AtomSem, BarKind, FenceSem, Instruction, LoadSem, Operand, RmwOp, StoreSem};
+use testkit::Rng;
 
-fn arb_scope() -> impl Strategy<Value = Scope> {
-    prop_oneof![Just(Scope::Cta), Just(Scope::Gpu), Just(Scope::Sys)]
+fn gen_scope(rng: &mut Rng) -> Scope {
+    *rng.choose(&[Scope::Cta, Scope::Gpu, Scope::Sys])
 }
 
-fn arb_loc() -> impl Strategy<Value = Location> {
-    (0u32..6).prop_map(Location)
+fn gen_loc(rng: &mut Rng) -> Location {
+    Location(rng.below(6) as u32)
 }
 
-fn arb_reg() -> impl Strategy<Value = Register> {
-    (0u32..8).prop_map(Register)
+fn gen_reg(rng: &mut Rng) -> Register {
+    Register(rng.below(8) as u32)
 }
 
-fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        (0u64..100).prop_map(|v| Operand::Imm(Value(v))),
-        arb_reg().prop_map(Operand::Reg),
-    ]
+fn gen_operand(rng: &mut Rng) -> Operand {
+    if rng.flip() {
+        Operand::Imm(Value(rng.below(100)))
+    } else {
+        Operand::Reg(gen_reg(rng))
+    }
 }
 
-fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        (
-            prop_oneof![
-                Just(LoadSem::Weak),
-                Just(LoadSem::Relaxed),
-                Just(LoadSem::Acquire)
-            ],
-            arb_scope(),
-            arb_reg(),
-            arb_loc()
-        )
-            .prop_map(|(sem, mut scope, dst, loc)| {
-                if sem == LoadSem::Weak {
-                    scope = Scope::Sys; // weak prints without a scope
-                }
-                Instruction::Ld {
-                    sem,
-                    scope,
-                    dst,
-                    loc,
-                }
-            }),
-        (
-            prop_oneof![
-                Just(StoreSem::Weak),
-                Just(StoreSem::Relaxed),
-                Just(StoreSem::Release)
-            ],
-            arb_scope(),
-            arb_loc(),
-            arb_operand()
-        )
-            .prop_map(|(sem, mut scope, loc, src)| {
-                if sem == StoreSem::Weak {
-                    scope = Scope::Sys;
-                }
-                Instruction::St {
-                    sem,
-                    scope,
-                    loc,
-                    src,
-                }
-            }),
-        (
-            prop_oneof![
-                Just(AtomSem::Relaxed),
-                Just(AtomSem::Acquire),
-                Just(AtomSem::Release),
-                Just(AtomSem::AcqRel)
-            ],
-            arb_scope(),
-            arb_reg(),
-            arb_loc(),
-            prop_oneof![
-                Just(RmwOp::Exch),
-                Just(RmwOp::Add),
-                (0u64..10).prop_map(|c| RmwOp::Cas { cmp: Value(c) })
-            ],
-            arb_operand()
-        )
-            .prop_map(|(sem, scope, dst, loc, op, src)| Instruction::Atom {
+fn gen_instruction(rng: &mut Rng) -> Instruction {
+    match rng.below(5) {
+        0 => {
+            let sem = *rng.choose(&[LoadSem::Weak, LoadSem::Relaxed, LoadSem::Acquire]);
+            let scope = if sem == LoadSem::Weak {
+                Scope::Sys // weak prints without a scope
+            } else {
+                gen_scope(rng)
+            };
+            Instruction::Ld {
                 sem,
                 scope,
-                dst,
-                loc,
+                dst: gen_reg(rng),
+                loc: gen_loc(rng),
+            }
+        }
+        1 => {
+            let sem = *rng.choose(&[StoreSem::Weak, StoreSem::Relaxed, StoreSem::Release]);
+            let scope = if sem == StoreSem::Weak {
+                Scope::Sys
+            } else {
+                gen_scope(rng)
+            };
+            Instruction::St {
+                sem,
+                scope,
+                loc: gen_loc(rng),
+                src: gen_operand(rng),
+            }
+        }
+        2 => {
+            let op = match rng.below(3) {
+                0 => RmwOp::Exch,
+                1 => RmwOp::Add,
+                _ => RmwOp::Cas {
+                    cmp: Value(rng.below(10)),
+                },
+            };
+            Instruction::Atom {
+                sem: *rng.choose(&[
+                    AtomSem::Relaxed,
+                    AtomSem::Acquire,
+                    AtomSem::Release,
+                    AtomSem::AcqRel,
+                ]),
+                scope: gen_scope(rng),
+                dst: gen_reg(rng),
+                loc: gen_loc(rng),
                 op,
-                src,
-            }),
-        (
-            prop_oneof![
-                Just(FenceSem::Acquire),
-                Just(FenceSem::Release),
-                Just(FenceSem::AcqRel),
-                Just(FenceSem::Sc)
-            ],
-            arb_scope()
-        )
-            .prop_map(|(sem, scope)| Instruction::Fence { sem, scope }),
-        (
-            prop_oneof![Just(BarKind::Sync), Just(BarKind::Arrive), Just(BarKind::Red)],
-            (0u32..4).prop_map(BarrierId)
-        )
-            .prop_map(|(kind, bar)| Instruction::Bar { kind, bar }),
-    ]
+                src: gen_operand(rng),
+            }
+        }
+        3 => Instruction::Fence {
+            sem: *rng.choose(&[
+                FenceSem::Acquire,
+                FenceSem::Release,
+                FenceSem::AcqRel,
+                FenceSem::Sc,
+            ]),
+            scope: gen_scope(rng),
+        },
+        _ => Instruction::Bar {
+            kind: *rng.choose(&[BarKind::Sync, BarKind::Arrive, BarKind::Red]),
+            bar: BarrierId(rng.below(4) as u32),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn display_then_parse_is_identity(instr in arb_instruction()) {
+#[test]
+fn display_then_parse_is_identity() {
+    testkit::forall("display_then_parse_is_identity", 512, |rng| {
+        let instr = gen_instruction(rng);
         let printed = instr.to_string();
         let reparsed = parse_instruction(&printed)
             .unwrap_or_else(|e| panic!("`{printed}` failed to parse: {e}"));
-        prop_assert_eq!(instr, reparsed, "through `{}`", printed);
-    }
+        assert_eq!(instr, reparsed, "through `{printed}`");
+    });
 }

@@ -136,7 +136,7 @@ pub fn verify_all(
     let model = build(bound, mode, variant);
     ["Coherence", "Atomicity", "SC"]
         .into_iter()
-        .map(|axiom| verify_axiom(&model, axiom, mode, options))
+        .map(|axiom| verify_axiom(&model, axiom, mode, options.clone()))
         .collect()
 }
 

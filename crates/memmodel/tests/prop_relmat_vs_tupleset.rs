@@ -5,13 +5,13 @@
 //! their algebra must agree exactly.
 
 use memmodel::RelMat;
-use proptest::prelude::*;
 use relational::TupleSet;
+use testkit::{forall, Rng};
 
 const N: usize = 6;
 
-fn arb_pairs() -> impl Strategy<Value = Vec<(usize, usize)>> {
-    prop::collection::vec((0..N, 0..N), 0..15)
+fn gen_pairs(rng: &mut Rng) -> Vec<(usize, usize)> {
+    rng.vec_of(0, 14, |r| (r.index(N), r.index(N)))
 }
 
 fn to_relmat(pairs: &[(usize, usize)]) -> RelMat {
@@ -30,88 +30,107 @@ fn back(m: &RelMat) -> TupleSet {
     ts
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn union_agrees(a in arb_pairs(), b in arb_pairs()) {
-        prop_assert_eq!(
+#[test]
+fn union_agrees() {
+    forall("union_agrees", 256, |rng| {
+        let (a, b) = (gen_pairs(rng), gen_pairs(rng));
+        assert_eq!(
             back(&to_relmat(&a).union(&to_relmat(&b))),
             to_tupleset(&a).union(&to_tupleset(&b))
         );
-    }
+    });
+}
 
-    #[test]
-    fn intersect_agrees(a in arb_pairs(), b in arb_pairs()) {
-        prop_assert_eq!(
+#[test]
+fn intersect_agrees() {
+    forall("intersect_agrees", 256, |rng| {
+        let (a, b) = (gen_pairs(rng), gen_pairs(rng));
+        assert_eq!(
             back(&to_relmat(&a).intersect(&to_relmat(&b))),
             to_tupleset(&a).intersect(&to_tupleset(&b))
         );
-    }
+    });
+}
 
-    #[test]
-    fn difference_agrees(a in arb_pairs(), b in arb_pairs()) {
-        prop_assert_eq!(
+#[test]
+fn difference_agrees() {
+    forall("difference_agrees", 256, |rng| {
+        let (a, b) = (gen_pairs(rng), gen_pairs(rng));
+        assert_eq!(
             back(&to_relmat(&a).difference(&to_relmat(&b))),
             to_tupleset(&a).difference(&to_tupleset(&b))
         );
-    }
+    });
+}
 
-    #[test]
-    fn compose_agrees_with_join(a in arb_pairs(), b in arb_pairs()) {
-        prop_assert_eq!(
+#[test]
+fn compose_agrees_with_join() {
+    forall("compose_agrees_with_join", 256, |rng| {
+        let (a, b) = (gen_pairs(rng), gen_pairs(rng));
+        assert_eq!(
             back(&to_relmat(&a).compose(&to_relmat(&b))),
             to_tupleset(&a).join(&to_tupleset(&b))
         );
-    }
+    });
+}
 
-    #[test]
-    fn transpose_agrees(a in arb_pairs()) {
-        prop_assert_eq!(
-            back(&to_relmat(&a).transpose()),
-            to_tupleset(&a).transpose()
-        );
-    }
+#[test]
+fn transpose_agrees() {
+    forall("transpose_agrees", 256, |rng| {
+        let a = gen_pairs(rng);
+        assert_eq!(back(&to_relmat(&a).transpose()), to_tupleset(&a).transpose());
+    });
+}
 
-    #[test]
-    fn closure_agrees(a in arb_pairs()) {
-        prop_assert_eq!(
+#[test]
+fn closure_agrees() {
+    forall("closure_agrees", 256, |rng| {
+        let a = gen_pairs(rng);
+        assert_eq!(
             back(&to_relmat(&a).transitive_closure()),
             to_tupleset(&a).closure()
         );
-    }
+    });
+}
 
-    #[test]
-    fn reflexive_closure_agrees(a in arb_pairs()) {
-        prop_assert_eq!(
+#[test]
+fn reflexive_closure_agrees() {
+    forall("reflexive_closure_agrees", 256, |rng| {
+        let a = gen_pairs(rng);
+        assert_eq!(
             back(&to_relmat(&a).reflexive_transitive_closure()),
             to_tupleset(&a).reflexive_closure(N)
         );
-    }
+    });
+}
 
-    #[test]
-    fn predicates_agree(a in arb_pairs()) {
+#[test]
+fn predicates_agree() {
+    forall("predicates_agree", 256, |rng| {
+        let a = gen_pairs(rng);
         let m = to_relmat(&a);
         let ts = to_tupleset(&a);
         // Irreflexivity.
         let ts_irr = TupleSet::iden(N).intersect(&ts).is_empty();
-        prop_assert_eq!(m.is_irreflexive(), ts_irr);
+        assert_eq!(m.is_irreflexive(), ts_irr);
         // Acyclicity.
         let ts_acyclic = TupleSet::iden(N).intersect(&ts.closure()).is_empty();
-        prop_assert_eq!(m.is_acyclic(), ts_acyclic);
+        assert_eq!(m.is_acyclic(), ts_acyclic);
         // Transitivity.
         let ts_trans = ts.join(&ts).is_subset(&ts);
-        prop_assert_eq!(m.is_transitive(), ts_trans);
+        assert_eq!(m.is_transitive(), ts_trans);
         // Cardinality.
-        prop_assert_eq!(m.count(), ts.len());
-    }
+        assert_eq!(m.count(), ts.len());
+    });
+}
 
-    /// The fixpoint used for PTX `obs` agrees with a direct TupleSet
-    /// computation.
-    #[test]
-    fn obs_fixpoint_agrees(base in arb_pairs(), step in arb_pairs()) {
-        let m = to_relmat(&base)
-            .fixpoint(|cur| cur.compose(&to_relmat(&step)).compose(cur));
+/// The fixpoint used for PTX `obs` agrees with a direct TupleSet
+/// computation.
+#[test]
+fn obs_fixpoint_agrees() {
+    forall("obs_fixpoint_agrees", 256, |rng| {
+        let (base, step) = (gen_pairs(rng), gen_pairs(rng));
+        let m = to_relmat(&base).fixpoint(|cur| cur.compose(&to_relmat(&step)).compose(cur));
         // TupleSet version: iterate until stable.
         let step_ts = to_tupleset(&step);
         let mut cur = to_tupleset(&base);
@@ -122,6 +141,6 @@ proptest! {
             }
             cur = next;
         }
-        prop_assert_eq!(back(&m), cur);
-    }
+        assert_eq!(back(&m), cur);
+    });
 }

@@ -6,8 +6,8 @@
 
 use proofkernel::kernel::*;
 use proofkernel::{compile_prop, Env, Prop, Term};
-use proptest::prelude::*;
 use relational::{eval_formula, Instance, Schema, TupleSet};
+use testkit::Rng;
 
 const UNIVERSE: usize = 4;
 
@@ -61,44 +61,48 @@ fn theory_of_instance(schema: &Schema, env: &Env, inst: &Instance) -> (Theory, V
     (th, included)
 }
 
-fn arb_rel() -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0..UNIVERSE as u32, 0..UNIVERSE as u32), 0..8)
+/// A random binary relation over the universe, up to 7 pairs.
+fn gen_rel(rng: &mut Rng) -> Vec<(u32, u32)> {
+    rng.vec_of(0, 7, |r| {
+        (r.below(UNIVERSE as u64) as u32, r.below(UNIVERSE as u64) as u32)
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Derive with every applicable rule from true axioms; conclusions
-    /// must be true.
-    #[test]
-    fn derived_theorems_hold(r_pairs in arb_rel(), s_pairs in arb_rel()) {
+/// Derive with every applicable rule from true axioms; conclusions
+/// must be true.
+#[test]
+fn derived_theorems_hold() {
+    testkit::forall("derived_theorems_hold", 128, |rng| {
+        let r_pairs = gen_rel(rng);
+        let s_pairs = gen_rel(rng);
         let (schema, env, inst) = setup(&r_pairs, &s_pairs);
         let (th, axioms) = theory_of_instance(&schema, &env, &inst);
         let r = Term::atom("r");
         let s = Term::atom("s");
 
-        let mut derived: Vec<Theorem> = Vec::new();
         // Schematic rules always apply.
-        derived.push(incl_refl(&th, r.clone()));
-        derived.push(union_ub_left(&th, r.clone(), s.clone()));
-        derived.push(union_ub_right(&th, r.clone(), s.clone()));
-        derived.push(inter_lb_left(&th, r.clone(), s.clone()));
-        derived.push(inter_lb_right(&th, r.clone(), s.clone()));
-        derived.push(closure_contains(&th, r.clone()));
-        derived.push(closure_trans(&th, r.union(&s)));
-        derived.push(closure_idem(&th, s.clone()));
-        derived.push(comp_assoc(&th, r.clone(), s.clone(), r.clone()));
-        derived.push(comp_union_dist_left(&th, r.clone(), s.clone(), r.clone()));
-        derived.push(comp_union_dist_right(&th, r.clone(), s.clone(), s.clone()));
-        derived.push(comp_iden_left(&th, r.clone()));
-        derived.push(comp_iden_right(&th, s.clone()));
+        let mut derived: Vec<Theorem> = vec![
+            incl_refl(&th, r.clone()),
+            union_ub_left(&th, r.clone(), s.clone()),
+            union_ub_right(&th, r.clone(), s.clone()),
+            inter_lb_left(&th, r.clone(), s.clone()),
+            inter_lb_right(&th, r.clone(), s.clone()),
+            closure_contains(&th, r.clone()),
+            closure_trans(&th, r.union(&s)),
+            closure_idem(&th, s.clone()),
+            comp_assoc(&th, r.clone(), s.clone(), r.clone()),
+            comp_union_dist_left(&th, r.clone(), s.clone(), r.clone()),
+            comp_union_dist_right(&th, r.clone(), s.clone(), s.clone()),
+            comp_iden_left(&th, r.clone()),
+            comp_iden_right(&th, s.clone()),
+        ];
 
         // Premise-driven rules: try every pair of axioms. (Axiom names
         // carry their original candidate indices, which may be sparse.)
         let named: Vec<Theorem> = (0..13)
             .filter_map(|i| th.axiom(&format!("ax{i}")).ok())
             .collect();
-        prop_assert_eq!(named.len(), axioms.len());
+        assert_eq!(named.len(), axioms.len());
 
         for a in &named {
             for b in &named {
@@ -144,11 +148,11 @@ proptest! {
         }
 
         for thm in &derived {
-            prop_assert!(
+            assert!(
                 holds(thm.prop(), &schema, &env, &inst),
                 "unsound derivation: {} (r={r_pairs:?}, s={s_pairs:?})",
                 thm.prop()
             );
         }
-    }
+    });
 }

@@ -210,6 +210,7 @@ impl PtxVocab {
     /// total orders, `rf` functional reads-from, `co` a legal coherence
     /// witness, `sc` a legal Fence-SC witness, `rmw` same-location strong
     /// pairs.
+    #[allow(clippy::vec_init_then_push)] // the pushes are grouped by axiom, with commentary
     pub fn well_formed(&self, fresh: &mut VarGen) -> Formula {
         let ev = &self.ev;
         let mem = self.memory();

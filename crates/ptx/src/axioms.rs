@@ -222,7 +222,7 @@ mod tests {
         );
         let layout = p.layout.clone();
         let x = expand(&p);
-        let co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        let co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x));
         let candidate = Candidate {
             rf_source: vec![3, 0],
             co,
@@ -251,7 +251,7 @@ mod tests {
         );
         let layout = p.layout.clone();
         let x = expand(&p);
-        let co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        let co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x));
         let candidate = Candidate {
             rf_source: vec![3, 2], // both loads see the stores
             co,
@@ -271,7 +271,7 @@ mod tests {
         );
         let layout = p.layout.clone();
         let x = expand(&p);
-        let mut co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        let mut co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x));
         co.set(2, 1); // W2 before W1: contradicts po
         let candidate = Candidate {
             rf_source: vec![],
@@ -295,7 +295,7 @@ mod tests {
         let x = expand(&p);
         // co with only init edges: the two strong writes are unrelated —
         // ill-formed because they are morally strong.
-        let co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        let co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x));
         let candidate = Candidate {
             rf_source: vec![],
             co: co.clone(),
@@ -325,7 +325,7 @@ mod tests {
         );
         let layout = p.layout.clone();
         let x = expand(&p);
-        let co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        let co = memmodel::RelMat::from_pairs(x.len(), init_co_edges(&x));
         let candidate = Candidate {
             rf_source: vec![],
             co,

@@ -431,7 +431,7 @@ mod tests {
         let e = enumerate_executions(&p);
         assert!(!e.executions.is_empty());
         for x in &e.executions {
-            for (_, v) in &x.final_registers {
+            for v in x.final_registers.values() {
                 assert_eq!(*v, Value(0), "only zero can circulate");
             }
         }

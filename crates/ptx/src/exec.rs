@@ -323,7 +323,7 @@ mod tests {
     /// but the data load misses (r1 = 0).
     fn mp_forbidden_candidate(x: &Expansion) -> Candidate {
         // events: 0=init_x, 1=init_y, 2=Wx, 3=Wrel_y, 4=Racq_y, 5=Rx
-        let co = RelMat::from_pairs(x.len(), init_co_edges(x).into_iter());
+        let co = RelMat::from_pairs(x.len(), init_co_edges(x));
         Candidate {
             rf_source: vec![3, 0], // Racq_y reads Wrel_y; Rx reads init_x
             co,
@@ -385,7 +385,7 @@ mod tests {
         );
         let x = expand(&p);
         // events: 0=init_x,1=init_y,2=Rx,3=Wy,4=Ry,5=Wx
-        let co = RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        let co = RelMat::from_pairs(x.len(), init_co_edges(&x));
         let cyclic = Candidate {
             rf_source: vec![5, 3], // Rx reads Wx, Ry reads Wy: value cycle
             co,
@@ -402,7 +402,7 @@ mod tests {
         );
         let x = expand(&p);
         // events: 0=init, 1=W1, 2=W2. co: init→both, W1→W2.
-        let mut co = RelMat::from_pairs(x.len(), init_co_edges(&x).into_iter());
+        let mut co = RelMat::from_pairs(x.len(), init_co_edges(&x));
         co.set(1, 2);
         let c = Candidate {
             rf_source: vec![],

@@ -189,6 +189,7 @@ impl CVocab {
     }
 
     /// Structural well-formedness.
+    #[allow(clippy::vec_init_then_push)] // the pushes are grouped by axiom, with commentary
     pub fn well_formed(&self, fresh: &mut VarGen) -> Formula {
         let ev = &self.ev;
         let mem = self.memory();

@@ -1,90 +1,109 @@
 //! Property tests of relational-algebra laws on random ground instances.
 
-use proptest::prelude::*;
 use relational::{Tuple, TupleSet};
+use testkit::{forall, Rng};
 
-fn arb_binary(n: u32) -> impl Strategy<Value = TupleSet> {
-    prop::collection::btree_set((0..n, 0..n), 0..12)
-        .prop_map(|set| TupleSet::from_pairs(set.into_iter()))
+/// A random binary relation over atoms `0..n`, up to 11 pairs.
+fn gen_binary(rng: &mut Rng, n: u32) -> TupleSet {
+    let pairs = rng.vec_of(0, 11, |r| {
+        (r.below(u64::from(n)) as u32, r.below(u64::from(n)) as u32)
+    });
+    TupleSet::from_pairs(pairs)
 }
 
-fn arb_unary(n: u32) -> impl Strategy<Value = TupleSet> {
-    prop::collection::btree_set(0..n, 0..5).prop_map(|set| {
-        let mut ts = TupleSet::empty(1);
-        for a in set {
-            ts.insert(Tuple::new(vec![a]));
-        }
-        ts
-    })
+/// A random unary relation over atoms `0..n`, up to 4 atoms.
+fn gen_unary(rng: &mut Rng, n: u32) -> TupleSet {
+    let mut ts = TupleSet::empty(1);
+    for a in rng.vec_of(0, 4, |r| r.below(u64::from(n)) as u32) {
+        ts.insert(Tuple::new(vec![a]));
+    }
+    ts
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// De Morgan via difference: a − (b ∪ c) = (a − b) ∩ (a − c).
-    #[test]
-    fn de_morgan_difference(a in arb_binary(4), b in arb_binary(4), c in arb_binary(4)) {
+/// De Morgan via difference: a − (b ∪ c) = (a − b) ∩ (a − c).
+#[test]
+fn de_morgan_difference() {
+    forall("de_morgan_difference", 256, |rng| {
+        let (a, b, c) = (gen_binary(rng, 4), gen_binary(rng, 4), gen_binary(rng, 4));
         let lhs = a.difference(&b.union(&c));
         let rhs = a.difference(&b).intersect(&a.difference(&c));
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    /// Join is associative: (a;b);c = a;(b;c) for binary relations.
-    #[test]
-    fn join_associative(a in arb_binary(4), b in arb_binary(4), c in arb_binary(4)) {
-        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
-    }
+/// Join is associative: (a;b);c = a;(b;c) for binary relations.
+#[test]
+fn join_associative() {
+    forall("join_associative", 256, |rng| {
+        let (a, b, c) = (gen_binary(rng, 4), gen_binary(rng, 4), gen_binary(rng, 4));
+        assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    });
+}
 
-    /// Transpose anti-distributes over join: ~(a;b) = ~b;~a.
-    #[test]
-    fn transpose_antidistributes(a in arb_binary(4), b in arb_binary(4)) {
-        prop_assert_eq!(a.join(&b).transpose(), b.transpose().join(&a.transpose()));
-    }
+/// Transpose anti-distributes over join: ~(a;b) = ~b;~a.
+#[test]
+fn transpose_antidistributes() {
+    forall("transpose_antidistributes", 256, |rng| {
+        let (a, b) = (gen_binary(rng, 4), gen_binary(rng, 4));
+        assert_eq!(a.join(&b).transpose(), b.transpose().join(&a.transpose()));
+    });
+}
 
-    /// Join distributes over union on both sides.
-    #[test]
-    fn join_distributes_over_union(a in arb_binary(4), b in arb_binary(4), c in arb_binary(4)) {
-        prop_assert_eq!(a.join(&b.union(&c)), a.join(&b).union(&a.join(&c)));
-        prop_assert_eq!(b.union(&c).join(&a), b.join(&a).union(&c.join(&a)));
-    }
+/// Join distributes over union on both sides.
+#[test]
+fn join_distributes_over_union() {
+    forall("join_distributes_over_union", 256, |rng| {
+        let (a, b, c) = (gen_binary(rng, 4), gen_binary(rng, 4), gen_binary(rng, 4));
+        assert_eq!(a.join(&b.union(&c)), a.join(&b).union(&a.join(&c)));
+        assert_eq!(b.union(&c).join(&a), b.join(&a).union(&c.join(&a)));
+    });
+}
 
-    /// Closure is idempotent, contains its base, and is transitive.
-    #[test]
-    fn closure_properties(a in arb_binary(4)) {
+/// Closure is idempotent, contains its base, and is transitive.
+#[test]
+fn closure_properties() {
+    forall("closure_properties", 256, |rng| {
+        let a = gen_binary(rng, 4);
         let c = a.closure();
-        prop_assert_eq!(c.closure(), c.clone());
-        prop_assert!(a.is_subset(&c));
-        prop_assert!(c.join(&c).is_subset(&c));
-    }
+        assert_eq!(c.closure(), c.clone());
+        assert!(a.is_subset(&c));
+        assert!(c.join(&c).is_subset(&c));
+    });
+}
 
-    /// Closure commutes with transpose: ^(~r) = ~(^r).
-    #[test]
-    fn closure_commutes_with_transpose(a in arb_binary(4)) {
-        prop_assert_eq!(a.transpose().closure(), a.closure().transpose());
-    }
+/// Closure commutes with transpose: ^(~r) = ~(^r).
+#[test]
+fn closure_commutes_with_transpose() {
+    forall("closure_commutes_with_transpose", 256, |rng| {
+        let a = gen_binary(rng, 4);
+        assert_eq!(a.transpose().closure(), a.closure().transpose());
+    });
+}
 
-    /// Unary join against a binary relation computes the relational image.
-    #[test]
-    fn unary_join_is_image(s in arb_unary(4), r in arb_binary(4)) {
-        if s.is_empty() { return Ok(()); }
+/// Unary join against a binary relation computes the relational image.
+#[test]
+fn unary_join_is_image() {
+    forall("unary_join_is_image", 256, |rng| {
+        let (s, r) = (gen_unary(rng, 4), gen_binary(rng, 4));
+        if s.is_empty() {
+            return;
+        }
         let image = s.join(&r);
         for t in r.iter() {
             let (x, y) = (t.atoms()[0], t.atoms()[1]);
-            let x_in_s = s.contains(&Tuple::new(vec![x]));
-            prop_assert_eq!(
-                x_in_s && image.contains(&Tuple::new(vec![y])) || !x_in_s,
-                true
-            );
-            if x_in_s {
-                prop_assert!(image.contains(&Tuple::new(vec![y])));
+            if s.contains(&Tuple::new(vec![x])) {
+                assert!(image.contains(&Tuple::new(vec![y])));
             }
         }
-    }
+    });
+}
 
-    /// The reflexive closure equals closure plus identity.
-    #[test]
-    fn reflexive_closure_decomposition(a in arb_binary(4)) {
+/// The reflexive closure equals closure plus identity.
+#[test]
+fn reflexive_closure_decomposition() {
+    forall("reflexive_closure_decomposition", 256, |rng| {
+        let a = gen_binary(rng, 4);
         let rc = a.reflexive_closure(4);
-        prop_assert_eq!(rc, a.closure().union(&TupleSet::iden(4)));
-    }
+        assert_eq!(rc, a.closure().union(&TupleSet::iden(4)));
+    });
 }

@@ -66,8 +66,9 @@ fn main() -> ExitCode {
             println!("s UNSATISFIABLE");
             ExitCode::from(20)
         }
-        SolveResult::Unknown => {
+        SolveResult::Unknown(reason) => {
             println!("s UNKNOWN");
+            eprintln!("c stopped early: {reason}");
             ExitCode::FAILURE
         }
     }

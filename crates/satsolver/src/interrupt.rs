@@ -1,0 +1,101 @@
+//! Cooperative interruption of a running solve.
+//!
+//! A [`CancelToken`] is a cheaply clonable flag that can be set from any
+//! thread; the CDCL search loop polls it (together with the optional
+//! wall-clock deadline and conflict/propagation budgets) and exits early
+//! with [`crate::SolveResult::Unknown`] when it fires. Cancellation is
+//! cooperative: the solver stops at the next search-loop iteration, so
+//! latency is bounded by the cost of a single propagation pass.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag for cooperative solver interruption.
+///
+/// Cloning the token shares the underlying flag, so a clone handed to a
+/// worker thread can be fired from a supervisor.
+///
+/// # Examples
+///
+/// ```
+/// use satsolver::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let shared = token.clone();
+/// assert!(!token.is_cancelled());
+/// shared.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, unfired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a solve stopped without a verdict.
+///
+/// Carried by [`crate::SolveResult::Unknown`]; the partial statistics of
+/// the interrupted run remain available through
+/// [`crate::Solver::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The per-call conflict budget was exhausted.
+    ConflictBudget,
+    /// The per-call propagation budget was exhausted.
+    PropagationBudget,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The cancel token was fired from outside.
+    Cancelled,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Interrupt::ConflictBudget => "conflict budget exhausted",
+            Interrupt::PropagationBudget => "propagation budget exhausted",
+            Interrupt::Deadline => "deadline expired",
+            Interrupt::Cancelled => "cancelled",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        // Idempotent.
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn interrupt_display() {
+        assert_eq!(Interrupt::Deadline.to_string(), "deadline expired");
+        assert_eq!(Interrupt::Cancelled.to_string(), "cancelled");
+    }
+}

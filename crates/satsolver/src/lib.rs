@@ -35,9 +35,11 @@
 mod clause;
 mod dimacs;
 mod heap;
+mod interrupt;
 mod solver;
 mod types;
 
 pub use dimacs::{Cnf, ParseDimacsError};
+pub use interrupt::{CancelToken, Interrupt};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use types::{LBool, Lit, Var};

@@ -5,8 +5,11 @@
 //! basic clause minimization, VSIDS variable activities with phase saving,
 //! Luby-sequence restarts, and activity-based learnt-clause deletion.
 
+use std::time::Instant;
+
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
+use crate::interrupt::{CancelToken, Interrupt};
 use crate::types::{LBool, Lit, Var};
 
 /// The outcome of a [`Solver::solve`] call.
@@ -16,8 +19,17 @@ pub enum SolveResult {
     Sat,
     /// The clause set is unsatisfiable.
     Unsat,
-    /// The conflict budget was exhausted before a verdict.
-    Unknown,
+    /// The solve stopped early for the carried reason (budget exhausted,
+    /// deadline, or external cancellation). Partial statistics for the
+    /// interrupted run are available through [`Solver::stats`].
+    Unknown(Interrupt),
+}
+
+impl SolveResult {
+    /// True iff the solve ended without a verdict.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SolveResult::Unknown(_))
+    }
 }
 
 /// Counters describing the work a solve performed.
@@ -77,6 +89,9 @@ pub struct Solver {
     stats: SolverStats,
     max_learnt: f64,
     conflict_budget: Option<u64>,
+    propagation_budget: Option<u64>,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
     model: Vec<LBool>,
 }
 
@@ -124,10 +139,33 @@ impl Solver {
 
     /// Limits the number of conflicts any single `solve` call may spend.
     ///
-    /// When exhausted, [`Solver::solve`] returns [`SolveResult::Unknown`].
+    /// A budget of `N` permits exactly `N` conflicts; when the `N`-th
+    /// conflict occurs, [`Solver::solve`] returns
+    /// [`SolveResult::Unknown`] with [`Interrupt::ConflictBudget`].
     /// `None` removes the limit.
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Limits the number of propagations any single `solve` call may
+    /// spend. `None` removes the limit.
+    pub fn set_propagation_budget(&mut self, budget: Option<u64>) {
+        self.propagation_budget = budget;
+    }
+
+    /// Sets a wall-clock deadline for subsequent `solve` calls; the search
+    /// loop polls the clock and exits with [`Interrupt::Deadline`] once it
+    /// passes. `None` removes the deadline.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Installs a cancellation token polled by the search loop. Firing it
+    /// from another thread makes `solve` return
+    /// [`SolveResult::Unknown`] with [`Interrupt::Cancelled`] at the next
+    /// loop iteration. `None` removes the token.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 
     /// Adds a clause. Returns `false` if the solver is already known to be
@@ -182,11 +220,22 @@ impl Solver {
         }
         self.model.clear();
         let budget_start = self.stats.conflicts;
+        let prop_start = self.stats.propagations;
         let mut luby_index: u32 = 0;
         let mut restart_limit = 100 * luby(luby_index);
         let mut conflicts_this_restart: u64 = 0;
+        let mut probe: u32 = 0;
 
         loop {
+            // Cooperative interruption: the cancel token and propagation
+            // budget are cheap enough to poll every iteration; the clock is
+            // probed every 64th iteration (including the first, so an
+            // already-expired deadline returns before any search).
+            if let Some(reason) = self.check_interrupt(prop_start, probe) {
+                self.cancel_until(0);
+                return SolveResult::Unknown(reason);
+            }
+            probe = probe.wrapping_add(1);
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_this_restart += 1;
@@ -195,9 +244,9 @@ impl Solver {
                     return SolveResult::Unsat;
                 }
                 if let Some(budget) = self.conflict_budget {
-                    if self.stats.conflicts - budget_start > budget {
+                    if self.stats.conflicts - budget_start >= budget {
                         self.cancel_until(0);
-                        return SolveResult::Unknown;
+                        return SolveResult::Unknown(Interrupt::ConflictBudget);
                     }
                 }
                 let (learnt, backtrack_level) = self.analyze(confl);
@@ -280,6 +329,34 @@ impl Solver {
     }
 
     // ---- internals ------------------------------------------------------
+
+    /// Polls the interruption sources at the top of the search loop.
+    ///
+    /// The conflict-budget case here only fires for a budget of zero (the
+    /// in-loop check after each conflict handles positive budgets before
+    /// analysis runs); it makes `solve` with a zero budget return
+    /// immediately instead of spending one conflict.
+    fn check_interrupt(&self, prop_start: u64, probe: u32) -> Option<Interrupt> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(Interrupt::Cancelled);
+            }
+        }
+        if let Some(budget) = self.propagation_budget {
+            if self.stats.propagations - prop_start >= budget {
+                return Some(Interrupt::PropagationBudget);
+            }
+        }
+        if self.conflict_budget == Some(0) {
+            return Some(Interrupt::ConflictBudget);
+        }
+        if let Some(deadline) = self.deadline {
+            if probe.is_multiple_of(64) && Instant::now() >= deadline {
+                return Some(Interrupt::Deadline);
+            }
+        }
+        None
+    }
 
     #[inline]
     fn value(&self, l: Lit) -> LBool {
@@ -638,15 +715,14 @@ mod tests {
             }
         }
         // Each pigeon in some hole.
-        for p in 0..pigeons {
-            let clause: Vec<Lit> = (0..holes).map(|h| var[p][h]).collect();
-            s.add_clause(&clause);
+        for row in &var {
+            s.add_clause(row);
         }
         // No two pigeons share a hole.
-        for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in (p1 + 1)..pigeons {
-                    s.add_clause(&[!var[p1][h], !var[p2][h]]);
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                for (&a, &b) in var[p1].iter().zip(&var[p2]) {
+                    s.add_clause(&[!a, !b]);
                 }
             }
         }
@@ -672,9 +748,86 @@ mod tests {
     fn conflict_budget_returns_unknown() {
         let (mut s, _) = pigeonhole(9, 8);
         s.set_conflict_budget(Some(5));
-        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(
+            s.solve(),
+            SolveResult::Unknown(Interrupt::ConflictBudget)
+        );
+        // A budget of N permits exactly N conflicts, not N+1.
+        assert_eq!(s.stats().conflicts, 5);
         s.set_conflict_budget(None);
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn zero_conflict_budget_spends_no_conflicts() {
+        let (mut s, _) = pigeonhole(7, 6);
+        s.set_conflict_budget(Some(0));
+        assert_eq!(
+            s.solve(),
+            SolveResult::Unknown(Interrupt::ConflictBudget)
+        );
+        assert_eq!(s.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn propagation_budget_returns_unknown() {
+        let (mut s, _) = pigeonhole(9, 8);
+        s.set_propagation_budget(Some(10));
+        assert_eq!(
+            s.solve(),
+            SolveResult::Unknown(Interrupt::PropagationBudget)
+        );
+        s.set_propagation_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_returns_unknown_immediately() {
+        let (mut s, _) = pigeonhole(9, 8);
+        s.set_deadline(Some(std::time::Instant::now()));
+        let t0 = std::time::Instant::now();
+        assert_eq!(s.solve(), SolveResult::Unknown(Interrupt::Deadline));
+        assert!(t0.elapsed() < std::time::Duration::from_secs(2));
+        s.set_deadline(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn cancellation_from_another_thread_stops_solve() {
+        // PHP(11, 10) takes far longer than the cancellation latency, so a
+        // prompt Unknown demonstrates the flag is being polled.
+        let (mut s, _) = pigeonhole(11, 10);
+        let token = CancelToken::new();
+        s.set_cancel_token(Some(token.clone()));
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            token.cancel();
+        });
+        let t0 = std::time::Instant::now();
+        let result = s.solve();
+        canceller.join().unwrap();
+        assert_eq!(result, SolveResult::Unknown(Interrupt::Cancelled));
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "cancellation took {:?}",
+            t0.elapsed()
+        );
+        // Partial stats from the interrupted run are visible.
+        assert!(s.stats().propagations > 0);
+    }
+
+    #[test]
+    fn pre_cancelled_token_returns_before_searching() {
+        let (mut s, _) = pigeonhole(11, 10);
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_cancel_token(Some(token));
+        assert_eq!(s.solve(), SolveResult::Unknown(Interrupt::Cancelled));
+        assert_eq!(s.stats().decisions, 0);
+        // Clearing the token restores normal solving.
+        s.set_cancel_token(None);
+        s.set_conflict_budget(Some(1));
+        assert!(s.solve().is_unknown());
     }
 
     #[test]

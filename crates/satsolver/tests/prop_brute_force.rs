@@ -1,8 +1,8 @@
 //! Property-based differential testing of the CDCL solver against
 //! exhaustive brute-force enumeration on small random CNFs.
 
-use proptest::prelude::*;
-use satsolver::{Cnf, Lit, SolveResult, Solver};
+use satsolver::{Cnf, Lit, SolveResult, Solver, Var};
+use testkit::Rng;
 
 /// Exhaustively checks satisfiability of `clauses` over `num_vars` variables.
 fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
@@ -22,27 +22,23 @@ fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
     false
 }
 
-fn arb_clause(num_vars: usize, max_len: usize) -> impl Strategy<Value = Vec<Lit>> {
-    prop::collection::vec(
-        (0..num_vars, any::<bool>()).prop_map(|(v, neg)| {
-            let var = satsolver::Var::from_index(v);
-            Lit::new(var, neg)
-        }),
-        1..=max_len,
-    )
+/// A random clause of 1..=max_len literals over `num_vars` variables.
+fn gen_clause(rng: &mut Rng, num_vars: usize, max_len: usize) -> Vec<Lit> {
+    rng.vec_of(1, max_len, |r| {
+        Lit::new(Var::from_index(r.index(num_vars)), r.flip())
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The CDCL verdict matches brute force, and SAT models actually satisfy.
-    #[test]
-    fn cdcl_matches_brute_force(
-        clauses in prop::collection::vec(arb_clause(8, 4), 0..40)
-    ) {
+/// The CDCL verdict matches brute force, and SAT models actually satisfy.
+#[test]
+fn cdcl_matches_brute_force() {
+    testkit::forall("cdcl_matches_brute_force", 256, |rng| {
         let num_vars = 8;
+        let clauses = rng.vec_of(0, 39, |r| gen_clause(r, num_vars, 4));
         let mut solver = Solver::new();
-        let vars: Vec<_> = (0..num_vars).map(|_| solver.new_var()).collect();
+        for _ in 0..num_vars {
+            solver.new_var();
+        }
         for clause in &clauses {
             solver.add_clause(clause);
         }
@@ -50,26 +46,28 @@ proptest! {
         let expected = brute_force_sat(num_vars, &clauses);
         match result {
             SolveResult::Sat => {
-                prop_assert!(expected, "solver said SAT but formula is UNSAT");
+                assert!(expected, "solver said SAT but formula is UNSAT");
                 // The model must satisfy every clause.
                 for clause in &clauses {
-                    let ok = clause.iter().any(|l| solver.model_lit_value(*l) == Some(true));
-                    prop_assert!(ok, "model does not satisfy clause {clause:?}");
+                    let ok = clause
+                        .iter()
+                        .any(|l| solver.model_lit_value(*l) == Some(true));
+                    assert!(ok, "model does not satisfy clause {clause:?}");
                 }
-                let _ = vars;
             }
-            SolveResult::Unsat => prop_assert!(!expected, "solver said UNSAT but formula is SAT"),
-            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+            SolveResult::Unsat => assert!(!expected, "solver said UNSAT but formula is SAT"),
+            SolveResult::Unknown(reason) => panic!("no budget was set, got {reason:?}"),
         }
-    }
+    });
+}
 
-    /// Model enumeration with blocking clauses finds exactly the brute-force
-    /// model count (projected on all variables).
-    #[test]
-    fn enumeration_counts_match(
-        clauses in prop::collection::vec(arb_clause(6, 3), 0..15)
-    ) {
+/// Model enumeration with blocking clauses finds exactly the brute-force
+/// model count (projected on all variables).
+#[test]
+fn enumeration_counts_match() {
+    testkit::forall("enumeration_counts_match", 256, |rng| {
         let num_vars = 6;
+        let clauses = rng.vec_of(0, 14, |r| gen_clause(r, num_vars, 3));
         // Brute-force count.
         let mut expected = 0u32;
         'outer: for assignment in 0u32..(1 << num_vars) {
@@ -78,7 +76,9 @@ proptest! {
                     let bit = (assignment >> l.var().index()) & 1 == 1;
                     bit != l.is_negative()
                 });
-                if !sat { continue 'outer; }
+                if !sat {
+                    continue 'outer;
+                }
             }
             expected += 1;
         }
@@ -91,21 +91,25 @@ proptest! {
         let mut count = 0u32;
         while solver.solve() == SolveResult::Sat {
             count += 1;
-            prop_assert!(count <= expected, "enumerated more models than exist");
+            assert!(count <= expected, "enumerated more models than exist");
             if !solver.block_model(&vars) {
                 break;
             }
         }
-        prop_assert_eq!(count, expected);
-    }
+        assert_eq!(count, expected);
+    });
+}
 
-    /// DIMACS serialization round-trips through parsing.
-    #[test]
-    fn dimacs_roundtrip(
-        clauses in prop::collection::vec(arb_clause(8, 5), 1..20)
-    ) {
-        let cnf = Cnf { num_vars: 8, clauses };
+/// DIMACS serialization round-trips through parsing.
+#[test]
+fn dimacs_roundtrip() {
+    testkit::forall("dimacs_roundtrip", 256, |rng| {
+        let clauses = rng.vec_of(1, 19, |r| gen_clause(r, 8, 5));
+        let cnf = Cnf {
+            num_vars: 8,
+            clauses,
+        };
         let parsed = Cnf::parse(&cnf.to_dimacs()).unwrap();
-        prop_assert_eq!(cnf, parsed);
-    }
+        assert_eq!(cnf, parsed);
+    });
 }

@@ -3,7 +3,7 @@
 use std::time::{Duration, Instant};
 
 use relational::{Bounds, Formula, Instance, Schema, TypeError};
-use satsolver::{SolveResult, Solver, Var};
+use satsolver::{CancelToken, Interrupt, SolveResult, Solver, Var};
 
 use crate::symmetry::{break_symmetries, symmetry_classes};
 use crate::translate::{translate, ClosureStrategy};
@@ -20,7 +20,7 @@ pub struct Problem {
 }
 
 /// Model finding options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Options {
     /// How to encode transitive closure.
     pub closure: ClosureStrategy,
@@ -31,6 +31,16 @@ pub struct Options {
     pub symmetry_breaking: bool,
     /// Optional conflict budget for the SAT solver.
     pub conflict_budget: Option<u64>,
+    /// Optional propagation budget for the SAT solver.
+    pub propagation_budget: Option<u64>,
+    /// Optional wall-clock budget for the whole run (translation +
+    /// solving), measured from the start of the `solve` call. On expiry
+    /// the verdict is [`Verdict::Unknown`] and the [`Report`] records
+    /// [`Interrupt::Deadline`].
+    pub deadline: Option<Duration>,
+    /// Optional cancellation token polled by the SAT solver, for stopping
+    /// a run from another thread (see [`satsolver::CancelToken`]).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Options {
@@ -40,6 +50,18 @@ impl Options {
             symmetry_breaking: true,
             ..Options::default()
         }
+    }
+
+    /// This configuration with a wall-clock budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Options {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// This configuration with a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Options {
+        self.cancel = Some(token);
+        self
     }
 }
 
@@ -88,6 +110,9 @@ pub struct Report {
     pub solve_time: Duration,
     /// SAT solver counters.
     pub solver_stats: satsolver::SolverStats,
+    /// Why the run stopped early, when the verdict is
+    /// [`Verdict::Unknown`]. `None` for a completed run.
+    pub interrupted: Option<Interrupt>,
 }
 
 /// A model finder for bounded relational problems.
@@ -130,6 +155,7 @@ impl ModelFinder {
     /// Returns a [`TypeError`] if the formula violates arity discipline.
     pub fn solve(&self, problem: &Problem) -> Result<(Verdict, Report), TypeError> {
         let t0 = Instant::now();
+        let deadline = self.options.deadline.map(|d| t0 + d);
         let mut translation = translate(
             &problem.schema,
             &problem.bounds,
@@ -146,12 +172,29 @@ impl ModelFinder {
         }
         let mut solver = Solver::new();
         solver.set_conflict_budget(self.options.conflict_budget);
+        solver.set_propagation_budget(self.options.propagation_budget);
+        solver.set_deadline(deadline);
+        solver.set_cancel_token(self.options.cancel.clone());
         let input_vars = translation.circuit.to_solver(root, &mut solver);
         report.gates = translation.circuit.num_gates();
         report.inputs = translation.circuit.num_inputs();
         report.sat_vars = solver.num_vars();
         report.sat_clauses = solver.num_clauses();
         report.translate_time = t0.elapsed();
+
+        // The deadline covers translation too; if it already passed (or
+        // the caller cancelled during translation), skip the search but
+        // still return an accurate report of the work done so far.
+        let expired = deadline.is_some_and(|d| Instant::now() >= d);
+        let cancelled = self.options.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+        if expired || cancelled {
+            report.interrupted = Some(if cancelled {
+                Interrupt::Cancelled
+            } else {
+                Interrupt::Deadline
+            });
+            return Ok((Verdict::Unknown, report));
+        }
 
         let t1 = Instant::now();
         let result = solver.solve();
@@ -160,7 +203,10 @@ impl ModelFinder {
 
         let verdict = match result {
             SolveResult::Unsat => Verdict::Unsat,
-            SolveResult::Unknown => Verdict::Unknown,
+            SolveResult::Unknown(reason) => {
+                report.interrupted = Some(reason);
+                Verdict::Unknown
+            }
             SolveResult::Sat => Verdict::Sat(decode(problem, &translation.rel_inputs, &input_vars, &solver)),
         };
         Ok((verdict, report))
@@ -189,6 +235,9 @@ impl ModelFinder {
         )?;
         let mut solver = Solver::new();
         solver.set_conflict_budget(self.options.conflict_budget);
+        solver.set_propagation_budget(self.options.propagation_budget);
+        solver.set_deadline(self.options.deadline.map(|d| Instant::now() + d));
+        solver.set_cancel_token(self.options.cancel.clone());
         let input_vars = translation.circuit.to_solver(translation.root, &mut solver);
         let all_inputs: Vec<Var> = input_vars.values().copied().collect();
         let mut count = 0;

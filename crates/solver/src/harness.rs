@@ -1,0 +1,350 @@
+//! A parallel, deadline-aware query harness.
+//!
+//! The paper's evaluation (Figure 17) sweeps dozens of bounded
+//! model-finding queries whose runtimes span three orders of magnitude;
+//! running them sequentially with no wall-clock control means one
+//! pathological query stalls the whole sweep. This module fans a list of
+//! [`Query`] jobs across a `std::thread` worker pool, enforces a
+//! per-query timeout, and emits one [`QueryRecord`] per query — in JSON
+//! Lines form via [`QueryRecord::to_json`] when machine-readable output
+//! is wanted.
+//!
+//! Timeout enforcement is two-layered:
+//!
+//! 1. **Cooperative**: each job receives a [`QueryCtx`] carrying a
+//!    [`CancelToken`] and the per-query time budget. Jobs that discharge
+//!    to the SAT solver thread these straight into
+//!    [`crate::Options::with_cancel`] / [`crate::Options::with_deadline`]
+//!    and stop promptly, yielding a verdict of `Unknown`.
+//! 2. **Supervised**: a dispatcher fires the token once a job passes its
+//!    deadline, and if the job still has not returned after a grace
+//!    period (a job that never polls the token, e.g. a pure enumeration),
+//!    the worker is *abandoned*: a timeout record is emitted, a
+//!    replacement worker is spawned, and the stuck thread is left to die
+//!    with the process. The sweep therefore always completes — a timeout
+//!    degrades to `Unknown`, never to a hang.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use satsolver::CancelToken;
+
+/// Context handed to a running query: its cancellation token and time
+/// budget, for threading into whatever engine the job drives.
+#[derive(Debug, Clone)]
+pub struct QueryCtx {
+    /// Fired by the dispatcher when the query passes its deadline.
+    pub cancel: CancelToken,
+    /// The per-query wall-clock budget, if one is configured.
+    pub timeout: Option<Duration>,
+}
+
+/// What a query reports back when it completes on its own.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// Verdict label (`"Sat"`, `"Unsat"`, `"Unknown"`, `"Ok"`, …).
+    pub verdict: String,
+    /// CNF variables, when the query ran the SAT pipeline (else 0).
+    pub sat_vars: u64,
+    /// CNF clauses, when the query ran the SAT pipeline (else 0).
+    pub sat_clauses: u64,
+    /// SAT conflicts spent (else 0).
+    pub conflicts: u64,
+    /// Free-form extra information carried into the record.
+    pub detail: Option<String>,
+}
+
+/// A named unit of work for the harness.
+pub struct Query {
+    /// Display/record name of the query.
+    pub name: String,
+    run: Box<dyn FnOnce(&QueryCtx) -> QueryOutput + Send + 'static>,
+}
+
+impl Query {
+    /// Creates a query running `f`.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl FnOnce(&QueryCtx) -> QueryOutput + Send + 'static,
+    ) -> Query {
+        Query {
+            name: name.into(),
+            run: Box::new(f),
+        }
+    }
+}
+
+impl std::fmt::Debug for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Query").field("name", &self.name).finish()
+    }
+}
+
+/// The per-query result row.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Query name.
+    pub name: String,
+    /// Verdict label; `"Unknown"` for a timed-out or panicked query.
+    pub verdict: String,
+    /// Whether the query exceeded its deadline.
+    pub timed_out: bool,
+    /// CNF variables (0 when not applicable).
+    pub sat_vars: u64,
+    /// CNF clauses (0 when not applicable).
+    pub sat_clauses: u64,
+    /// SAT conflicts spent (0 when not applicable).
+    pub conflicts: u64,
+    /// Wall-clock time the query ran (or ran until abandonment).
+    pub wall: Duration,
+    /// Free-form extra information.
+    pub detail: Option<String>,
+}
+
+impl QueryRecord {
+    /// This record as one JSON Lines object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"test\":");
+        json_string(&mut s, &self.name);
+        s.push_str(",\"verdict\":");
+        json_string(&mut s, &self.verdict);
+        s.push_str(&format!(
+            ",\"timed_out\":{},\"vars\":{},\"clauses\":{},\"conflicts\":{},\"wall_secs\":{:.6}",
+            self.timed_out,
+            self.sat_vars,
+            self.sat_clauses,
+            self.conflicts,
+            self.wall.as_secs_f64()
+        ));
+        if let Some(d) = &self.detail {
+            s.push_str(",\"detail\":");
+            json_string(&mut s, d);
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Appends `value` to `out` as a JSON string literal with escaping.
+pub fn json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Worker-pool configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Worker threads. 1 (with no timeout) runs inline on the caller.
+    pub jobs: usize,
+    /// Per-query wall-clock budget; `None` disables timeouts.
+    pub timeout: Option<Duration>,
+    /// How long after firing a query's cancel token the dispatcher waits
+    /// before abandoning the worker running it.
+    pub grace: Duration,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> HarnessOptions {
+        HarnessOptions {
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            timeout: None,
+            grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Runs every query, invoking `on_record` as each finishes (completion
+/// order), and returns the records in input order.
+///
+/// With `jobs <= 1` and no timeout the queries run inline on the calling
+/// thread; otherwise a worker pool is used. Verdicts are identical
+/// either way for queries that finish within budget — scheduling affects
+/// only wall-clock numbers.
+pub fn run_queries(
+    queries: Vec<Query>,
+    options: &HarnessOptions,
+    mut on_record: impl FnMut(&QueryRecord),
+) -> Vec<QueryRecord> {
+    if options.jobs <= 1 && options.timeout.is_none() {
+        return queries
+            .into_iter()
+            .map(|q| {
+                let rec = run_one(q, options.timeout);
+                on_record(&rec);
+                rec
+            })
+            .collect();
+    }
+
+    let total = queries.len();
+    let names: Vec<String> = queries.iter().map(|q| q.name.clone()).collect();
+    let queue: Arc<Mutex<VecDeque<(usize, Query)>>> =
+        Arc::new(Mutex::new(queries.into_iter().enumerate().collect()));
+    // Queries currently executing: index -> (start time, token).
+    let inflight: Arc<Mutex<HashMap<usize, (Instant, CancelToken)>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let (tx, rx) = mpsc::channel::<(usize, QueryRecord)>();
+
+    let spawn_worker = {
+        let queue = Arc::clone(&queue);
+        let inflight = Arc::clone(&inflight);
+        let timeout = options.timeout;
+        move |tx: mpsc::Sender<(usize, QueryRecord)>| {
+            let queue = Arc::clone(&queue);
+            let inflight = Arc::clone(&inflight);
+            std::thread::spawn(move || loop {
+                let Some((idx, query)) = queue.lock().unwrap().pop_front() else {
+                    return;
+                };
+                let token = CancelToken::new();
+                let start = Instant::now();
+                inflight.lock().unwrap().insert(idx, (start, token.clone()));
+                let rec = execute(query, token.clone(), timeout, start);
+                let still_ours = inflight.lock().unwrap().remove(&idx).is_some();
+                if !still_ours {
+                    // The dispatcher abandoned this query (and spawned a
+                    // replacement worker): drop the late result and exit
+                    // rather than oversubscribe the pool.
+                    return;
+                }
+                if tx.send((idx, rec)).is_err() {
+                    return;
+                }
+            });
+        }
+    };
+
+    for _ in 0..options.jobs.max(1).min(total.max(1)) {
+        spawn_worker(tx.clone());
+    }
+
+    // Every query fills its slot exactly once: a worker send for a
+    // completed query, or an abandonment record minted here. The
+    // dispatcher holds `tx` for replacement workers, so the channel never
+    // disconnects while we wait.
+    let mut slots: Vec<Option<QueryRecord>> = (0..total).map(|_| None).collect();
+    let mut filled = 0usize;
+    while filled < total {
+        if let Ok((idx, rec)) = rx.recv_timeout(Duration::from_millis(50)) {
+            if slots[idx].is_none() {
+                on_record(&rec);
+                slots[idx] = Some(rec);
+                filled += 1;
+            }
+        }
+        let Some(timeout) = options.timeout else {
+            continue;
+        };
+        let now = Instant::now();
+        let abandoned: Vec<(usize, Instant)> = {
+            let mut table = inflight.lock().unwrap();
+            let mut overdue = Vec::new();
+            for (&idx, (start, token)) in table.iter() {
+                if now >= *start + timeout {
+                    token.cancel();
+                    if now >= *start + timeout + options.grace {
+                        overdue.push((idx, *start));
+                    }
+                }
+            }
+            for (idx, _) in &overdue {
+                table.remove(idx);
+            }
+            overdue
+        };
+        for (idx, start) in abandoned {
+            // The worker ignored its token past the grace period: record
+            // the timeout, replace the worker, leave the thread behind.
+            if slots[idx].is_none() {
+                let rec = QueryRecord {
+                    name: names[idx].clone(),
+                    verdict: "Unknown".to_string(),
+                    timed_out: true,
+                    sat_vars: 0,
+                    sat_clauses: 0,
+                    conflicts: 0,
+                    wall: now - start,
+                    detail: Some("abandoned: deadline and grace period expired".to_string()),
+                };
+                on_record(&rec);
+                slots[idx] = Some(rec);
+                filled += 1;
+            }
+            spawn_worker(tx.clone());
+        }
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every query fills its slot"))
+        .collect()
+}
+
+/// Runs one query inline (the sequential path).
+fn run_one(query: Query, timeout: Option<Duration>) -> QueryRecord {
+    let token = CancelToken::new();
+    execute(query, token, timeout, Instant::now())
+}
+
+/// Executes a query body, converting panics into `Unknown` records.
+fn execute(
+    query: Query,
+    token: CancelToken,
+    timeout: Option<Duration>,
+    start: Instant,
+) -> QueryRecord {
+    let ctx = QueryCtx {
+        cancel: token.clone(),
+        timeout,
+    };
+    let name = query.name.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(|| (query.run)(&ctx)));
+    let wall = start.elapsed();
+    // The solver may observe its own deadline and return just before the
+    // supervisor cancels the token — count that as a timeout too.
+    let timed_out = token.is_cancelled() || timeout.is_some_and(|t| wall >= t);
+    match outcome {
+        Ok(out) => QueryRecord {
+            name,
+            verdict: out.verdict,
+            timed_out,
+            sat_vars: out.sat_vars,
+            sat_clauses: out.sat_clauses,
+            conflicts: out.conflicts,
+            wall,
+            detail: out.detail,
+        },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "query panicked".to_string());
+            QueryRecord {
+                name,
+                verdict: "Unknown".to_string(),
+                timed_out,
+                sat_vars: 0,
+                sat_clauses: 0,
+                conflicts: 0,
+                wall,
+                detail: Some(format!("panic: {msg}")),
+            }
+        }
+    }
+}

@@ -22,8 +22,11 @@
 
 pub mod circuit;
 pub mod finder;
+pub mod harness;
 pub mod symmetry;
 pub mod translate;
 
 pub use finder::{CheckResult, ModelFinder, Options, Problem, Report, Verdict};
+pub use harness::{HarnessOptions, Query, QueryCtx, QueryOutput, QueryRecord};
+pub use satsolver::{CancelToken, Interrupt};
 pub use translate::ClosureStrategy;

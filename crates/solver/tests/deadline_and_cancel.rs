@@ -1,0 +1,83 @@
+//! Deadline, budget, and cancellation behavior of the model finder: every
+//! early-exit path must surface as `Verdict::Unknown` with the reason
+//! recorded in the report — never a hang, never a bogus verdict.
+
+use std::time::Duration;
+
+use modelfinder::{CancelToken, Interrupt, ModelFinder, Options, Problem, Verdict};
+use relational::schema::rel;
+use relational::{patterns, Bounds, Schema};
+
+fn simple_problem() -> Problem {
+    let mut schema = Schema::new();
+    let r = schema.relation("r", 2);
+    let bounds = Bounds::new(&schema, 3);
+    let formula = patterns::acyclic(&rel(r)).and(&rel(r).some());
+    Problem {
+        schema,
+        bounds,
+        formula,
+    }
+}
+
+#[test]
+fn expired_deadline_is_unknown_with_reason() {
+    let opts = Options::check().with_deadline(Duration::ZERO);
+    let (verdict, report) = ModelFinder::new(opts).solve(&simple_problem()).unwrap();
+    assert_eq!(verdict, Verdict::Unknown);
+    assert_eq!(report.interrupted, Some(Interrupt::Deadline));
+    // Translation still happened and is reported.
+    assert!(report.sat_vars > 0);
+}
+
+#[test]
+fn generous_deadline_does_not_change_verdict() {
+    let problem = simple_problem();
+    let (plain, _) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
+    let opts = Options::check().with_deadline(Duration::from_secs(3600));
+    let (timed, report) = ModelFinder::new(opts).solve(&problem).unwrap();
+    assert_eq!(plain.instance().is_some(), timed.instance().is_some());
+    assert_eq!(report.interrupted, None);
+}
+
+#[test]
+fn pre_cancelled_token_is_unknown() {
+    let token = CancelToken::new();
+    token.cancel();
+    let opts = Options::check().with_cancel(token);
+    let (verdict, report) = ModelFinder::new(opts).solve(&simple_problem()).unwrap();
+    assert_eq!(verdict, Verdict::Unknown);
+    assert_eq!(report.interrupted, Some(Interrupt::Cancelled));
+}
+
+#[test]
+fn uncancelled_token_is_harmless() {
+    let token = CancelToken::new();
+    let opts = Options::check().with_cancel(token.clone());
+    let (verdict, report) = ModelFinder::new(opts).solve(&simple_problem()).unwrap();
+    assert!(verdict.instance().is_some());
+    assert_eq!(report.interrupted, None);
+    assert!(!token.is_cancelled());
+}
+
+#[test]
+fn zero_conflict_budget_reports_reason() {
+    let opts = Options {
+        conflict_budget: Some(0),
+        ..Options::check()
+    };
+    let (verdict, report) = ModelFinder::new(opts).solve(&simple_problem()).unwrap();
+    assert_eq!(verdict, Verdict::Unknown);
+    assert_eq!(report.interrupted, Some(Interrupt::ConflictBudget));
+}
+
+#[test]
+fn zero_propagation_budget_reports_reason() {
+    let opts = Options {
+        propagation_budget: Some(0),
+        ..Options::check()
+    };
+    let (verdict, report) = ModelFinder::new(opts).solve(&simple_problem()).unwrap();
+    assert_eq!(verdict, Verdict::Unknown);
+    assert_eq!(report.interrupted, Some(Interrupt::PropagationBudget));
+}

@@ -1,0 +1,250 @@
+//! The worker-pool harness: parallel/sequential verdict agreement,
+//! cooperative timeouts, abandonment of uncooperative jobs, and panic
+//! containment.
+
+use std::time::{Duration, Instant};
+
+use modelfinder::harness::{run_queries, HarnessOptions, Query, QueryOutput};
+use modelfinder::{ModelFinder, Options, Problem, Verdict};
+use relational::schema::rel;
+use relational::{patterns, Bounds, Schema};
+use satsolver::{Lit, SolveResult, Solver, Var};
+
+/// A small model-finding query; `contradict` flips it to UNSAT.
+fn finder_query(name: &str, contradict: bool) -> Query {
+    let name = name.to_string();
+    Query::new(name, move |ctx| {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let bounds = Bounds::new(&schema, 3);
+        let mut formula = patterns::acyclic(&rel(r)).and(&rel(r).some());
+        if contradict {
+            formula = formula.and(&rel(r).no());
+        }
+        let problem = Problem {
+            schema,
+            bounds,
+            formula,
+        };
+        let mut opts = Options::check().with_cancel(ctx.cancel.clone());
+        opts.deadline = ctx.timeout;
+        let (verdict, report) = ModelFinder::new(opts).solve(&problem).unwrap();
+        QueryOutput {
+            verdict: match verdict {
+                Verdict::Sat(_) => "Sat".to_string(),
+                Verdict::Unsat => "Unsat".to_string(),
+                Verdict::Unknown => "Unknown".to_string(),
+            },
+            sat_vars: report.sat_vars as u64,
+            sat_clauses: report.sat_clauses as u64,
+            conflicts: report.solver_stats.conflicts,
+            detail: None,
+        }
+    })
+}
+
+/// An unsatisfiable pigeonhole instance big enough to outlive any test
+/// timeout, run straight on the SAT solver with the context's token.
+fn hard_cooperative_query(name: &str) -> Query {
+    Query::new(name.to_string(), |ctx| {
+        let (pigeons, holes) = (11usize, 10usize);
+        let mut s = Solver::new();
+        let var: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &var {
+            let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&clause);
+        }
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                for (a, b) in var[p1].iter().zip(&var[p2]) {
+                    s.add_clause(&[a.negative(), b.negative()]);
+                }
+            }
+        }
+        s.set_cancel_token(Some(ctx.cancel.clone()));
+        let verdict = match s.solve() {
+            SolveResult::Sat => "Sat",
+            SolveResult::Unsat => "Unsat",
+            SolveResult::Unknown(_) => "Unknown",
+        };
+        QueryOutput {
+            verdict: verdict.to_string(),
+            conflicts: s.stats().conflicts,
+            ..QueryOutput::default()
+        }
+    })
+}
+
+fn verdicts(records: &[modelfinder::QueryRecord]) -> Vec<(String, String)> {
+    records
+        .iter()
+        .map(|r| (r.name.clone(), r.verdict.clone()))
+        .collect()
+}
+
+#[test]
+fn parallel_verdicts_match_sequential() {
+    let make = || {
+        (0..8)
+            .map(|i| finder_query(&format!("q{i}"), i % 3 == 0))
+            .collect::<Vec<_>>()
+    };
+    let sequential = run_queries(
+        make(),
+        &HarnessOptions {
+            jobs: 1,
+            timeout: None,
+            ..HarnessOptions::default()
+        },
+        |_| {},
+    );
+    let parallel = run_queries(
+        make(),
+        &HarnessOptions {
+            jobs: 4,
+            timeout: Some(Duration::from_secs(60)),
+            ..HarnessOptions::default()
+        },
+        |_| {},
+    );
+    assert_eq!(verdicts(&sequential), verdicts(&parallel));
+    assert!(sequential.iter().all(|r| !r.timed_out));
+    assert!(parallel.iter().all(|r| !r.timed_out));
+    // Input order is preserved in the returned records.
+    let names: Vec<&str> = parallel.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, ["q0", "q1", "q2", "q3", "q4", "q5", "q6", "q7"]);
+}
+
+#[test]
+fn records_stream_in_completion_order_and_cover_all_queries() {
+    let queries: Vec<Query> = (0..5)
+        .map(|i| finder_query(&format!("q{i}"), false))
+        .collect();
+    let mut streamed = Vec::new();
+    let records = run_queries(
+        queries,
+        &HarnessOptions {
+            jobs: 3,
+            timeout: Some(Duration::from_secs(60)),
+            ..HarnessOptions::default()
+        },
+        |r| streamed.push(r.name.clone()),
+    );
+    assert_eq!(streamed.len(), records.len());
+    let mut sorted = streamed.clone();
+    sorted.sort();
+    assert_eq!(sorted, ["q0", "q1", "q2", "q3", "q4"]);
+}
+
+#[test]
+fn cooperative_query_times_out_promptly() {
+    let t0 = Instant::now();
+    let records = run_queries(
+        vec![hard_cooperative_query("php-11-10")],
+        &HarnessOptions {
+            jobs: 2,
+            timeout: Some(Duration::from_millis(200)),
+            grace: Duration::from_secs(30),
+        },
+        |_| {},
+    );
+    // The generous grace proves the *cooperative* path fired: the solver
+    // observed the token, no abandonment was needed.
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "cancellation took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].verdict, "Unknown");
+    assert!(records[0].timed_out);
+}
+
+#[test]
+fn uncooperative_query_is_abandoned_not_hung() {
+    // This job ignores its token entirely; only abandonment saves the
+    // sweep. The stuck thread is leaked by design and dies with the test
+    // process.
+    let stuck = Query::new("stuck", |_ctx| {
+        std::thread::sleep(Duration::from_secs(20));
+        QueryOutput {
+            verdict: "Sat".to_string(),
+            ..QueryOutput::default()
+        }
+    });
+    let quick = finder_query("quick", false);
+    let t0 = Instant::now();
+    let records = run_queries(
+        vec![stuck, quick],
+        &HarnessOptions {
+            jobs: 1,
+            timeout: Some(Duration::from_millis(100)),
+            grace: Duration::from_millis(100),
+        },
+        |_| {},
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(15),
+        "abandonment took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(records[0].name, "stuck");
+    assert_eq!(records[0].verdict, "Unknown");
+    assert!(records[0].timed_out);
+    // The replacement worker still ran the remaining query.
+    assert_eq!(records[1].name, "quick");
+    assert_eq!(records[1].verdict, "Sat");
+}
+
+#[test]
+fn panicking_query_degrades_to_unknown() {
+    let boom = Query::new("boom", |_ctx| -> QueryOutput {
+        panic!("deliberate test panic");
+    });
+    let quick = finder_query("quick", true);
+    let records = run_queries(
+        vec![boom, quick],
+        &HarnessOptions {
+            jobs: 2,
+            timeout: Some(Duration::from_secs(60)),
+            ..HarnessOptions::default()
+        },
+        |_| {},
+    );
+    assert_eq!(records[0].verdict, "Unknown");
+    assert!(records[0]
+        .detail
+        .as_deref()
+        .unwrap()
+        .contains("deliberate test panic"));
+    assert_eq!(records[1].verdict, "Unsat");
+}
+
+#[test]
+fn json_records_are_well_formed() {
+    let rec = modelfinder::QueryRecord {
+        name: "weird \"name\"\n".to_string(),
+        verdict: "Unsat".to_string(),
+        timed_out: false,
+        sat_vars: 12,
+        sat_clauses: 34,
+        conflicts: 5,
+        wall: Duration::from_millis(1500),
+        detail: Some("tab\there".to_string()),
+    };
+    let json = rec.to_json();
+    assert_eq!(
+        json,
+        "{\"test\":\"weird \\\"name\\\"\\n\",\"verdict\":\"Unsat\",\
+         \"timed_out\":false,\"vars\":12,\"clauses\":34,\"conflicts\":5,\
+         \"wall_secs\":1.500000,\"detail\":\"tab\\there\"}"
+    );
+    // And without detail the key is omitted.
+    let bare = modelfinder::QueryRecord {
+        detail: None,
+        ..rec
+    };
+    assert!(!bare.to_json().contains("detail"));
+}

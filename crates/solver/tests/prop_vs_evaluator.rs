@@ -2,24 +2,9 @@
 //! evaluator and exhaustive instance enumeration.
 
 use modelfinder::{ClosureStrategy, ModelFinder, Options, Problem};
-use proptest::prelude::*;
 use relational::schema::rel;
 use relational::{eval_formula, patterns, Bounds, Expr, Formula, Instance, Schema, TupleSet};
-
-/// A small random formula over one binary relation `r` and one unary set
-/// `s`.
-fn arb_formula() -> impl Strategy<Value = FormulaSpec> {
-    let leaf = prop_oneof![
-        Just(ExprSpec::R),
-        Just(ExprSpec::S),
-        Just(ExprSpec::Iden),
-        Just(ExprSpec::RTrans),
-        Just(ExprSpec::RJoinR),
-        Just(ExprSpec::RClos),
-        Just(ExprSpec::SProdS),
-    ];
-    (leaf.clone(), leaf, 0u8..6).prop_map(|(a, b, op)| FormulaSpec { a, b, op })
-}
+use testkit::Rng;
 
 #[derive(Debug, Clone, Copy)]
 enum ExprSpec {
@@ -32,11 +17,31 @@ enum ExprSpec {
     SProdS,
 }
 
+const LEAVES: [ExprSpec; 7] = [
+    ExprSpec::R,
+    ExprSpec::S,
+    ExprSpec::Iden,
+    ExprSpec::RTrans,
+    ExprSpec::RJoinR,
+    ExprSpec::RClos,
+    ExprSpec::SProdS,
+];
+
 #[derive(Debug, Clone, Copy)]
 struct FormulaSpec {
     a: ExprSpec,
     b: ExprSpec,
     op: u8,
+}
+
+/// A small random formula over one binary relation `r` and one unary set
+/// `s`.
+fn gen_spec(rng: &mut Rng) -> FormulaSpec {
+    FormulaSpec {
+        a: *rng.choose(&LEAVES),
+        b: *rng.choose(&LEAVES),
+        op: rng.below(6) as u8,
+    }
 }
 
 struct Ctx {
@@ -103,13 +108,12 @@ fn brute_force_sat(c: &Ctx, n: usize, formula: &Formula) -> bool {
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// SAT-pipeline verdict == brute-force verdict; SAT models satisfy the
-    /// formula under the ground evaluator.
-    #[test]
-    fn finder_matches_brute_force(spec in arb_formula()) {
+/// SAT-pipeline verdict == brute-force verdict; SAT models satisfy the
+/// formula under the ground evaluator.
+#[test]
+fn finder_matches_brute_force() {
+    testkit::forall("finder_matches_brute_force", 64, |rng| {
+        let spec = gen_spec(rng);
         let c = ctx();
         let n = 3;
         let formula = build_formula(&c, spec);
@@ -120,25 +124,33 @@ proptest! {
         };
         let expected = brute_force_sat(&c, n, &formula);
         for strategy in [ClosureStrategy::IterativeSquaring, ClosureStrategy::Unrolled] {
-            let opts = Options { closure: strategy, ..Options::default() };
+            let opts = Options {
+                closure: strategy,
+                ..Options::default()
+            };
             let (verdict, _) = ModelFinder::new(opts).solve(&problem).unwrap();
             match verdict {
                 modelfinder::Verdict::Sat(inst) => {
-                    prop_assert!(expected, "finder SAT, brute force UNSAT ({strategy:?})");
-                    prop_assert!(eval_formula(&c.schema, &inst, &formula).unwrap(),
-                        "decoded instance does not satisfy formula ({strategy:?})");
+                    assert!(expected, "finder SAT, brute force UNSAT ({strategy:?})");
+                    assert!(
+                        eval_formula(&c.schema, &inst, &formula).unwrap(),
+                        "decoded instance does not satisfy formula ({strategy:?})"
+                    );
                 }
                 modelfinder::Verdict::Unsat => {
-                    prop_assert!(!expected, "finder UNSAT, brute force SAT ({strategy:?})");
+                    assert!(!expected, "finder UNSAT, brute force SAT ({strategy:?})");
                 }
-                modelfinder::Verdict::Unknown => prop_assert!(false, "no budget set"),
+                modelfinder::Verdict::Unknown => panic!("no budget set"),
             }
         }
-    }
+    });
+}
 
-    /// Symmetry breaking never changes the verdict.
-    #[test]
-    fn symmetry_breaking_preserves_verdict(spec in arb_formula()) {
+/// Symmetry breaking never changes the verdict.
+#[test]
+fn symmetry_breaking_preserves_verdict() {
+    testkit::forall("symmetry_breaking_preserves_verdict", 64, |rng| {
+        let spec = gen_spec(rng);
         let c = ctx();
         let formula = build_formula(&c, spec);
         let problem = Problem {
@@ -148,6 +160,6 @@ proptest! {
         };
         let (plain, _) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
         let (broken, _) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
-        prop_assert_eq!(plain.instance().is_some(), broken.instance().is_some());
-    }
+        assert_eq!(plain.instance().is_some(), broken.instance().is_some());
+    });
 }

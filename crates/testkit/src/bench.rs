@@ -1,0 +1,76 @@
+//! A minimal wall-clock benchmark runner for the workspace's `benches/`
+//! targets (plain `harness = false` binaries), replacing `criterion`.
+//!
+//! Each measurement runs a warmup iteration, then `samples` timed
+//! iterations, and prints min/median/max. Not statistically rigorous —
+//! the point is trend visibility with zero external dependencies.
+
+use std::time::{Duration, Instant};
+
+/// One named measurement group, mirroring criterion's `benchmark_group`.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    samples: u32,
+}
+
+impl Group {
+    /// Creates a group printing under `name`, with 10 samples per bench.
+    pub fn new(name: &str) -> Group {
+        Group {
+            name: name.to_string(),
+            samples: 10,
+        }
+    }
+
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: u32) -> &mut Group {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `body` and prints one result line.
+    pub fn bench(&self, id: &str, mut body: impl FnMut()) {
+        body(); // warmup
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                body();
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        let median = times[times.len() / 2];
+        println!(
+            "{}/{id}: median {:?} (min {:?}, max {:?}, n={})",
+            self.name,
+            median,
+            times[0],
+            times[times.len() - 1],
+            self.samples
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_warmup_plus_samples() {
+        let mut count = 0u32;
+        let mut g = Group::new("g");
+        g.sample_size(3);
+        g.bench("id", || count += 1);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn sample_size_floor_is_one() {
+        let mut g = Group::new("g");
+        g.sample_size(0);
+        let mut count = 0u32;
+        g.bench("id", || count += 1);
+        assert_eq!(count, 2);
+    }
+}

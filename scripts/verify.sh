@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: hermetic build, full test suite, and lint —
+# all with --offline, proving no network/registry access is needed.
+# --workspace matters: the root is itself a package, so without it cargo
+# would build/test only the root crate, skipping member bins and tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --workspace --release --offline =="
+cargo build --workspace --release --offline
+
+echo "== cargo test --workspace -q --offline =="
+cargo test --workspace -q --offline
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "verify.sh: all gates passed."

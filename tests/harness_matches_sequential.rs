@@ -1,0 +1,61 @@
+//! Integration check for the parallel sweep mode of `ptxherd` (and any
+//! other harness user): running a litmus subset with `jobs = 4` must
+//! produce exactly the verdicts of the sequential run, in the same
+//! (input) order.
+
+use litmus::{library, run_ptx, run_rc11};
+use modelfinder::harness::{run_queries, HarnessOptions, Query, QueryOutput};
+
+fn suite_queries() -> Vec<Query> {
+    let mut queries = Vec::new();
+    for test in library::paper_suite() {
+        queries.push(Query::new(test.name.clone(), move |_ctx| {
+            let r = run_ptx(&test);
+            QueryOutput {
+                verdict: if r.passed { "Ok" } else { "FAILED" }.to_string(),
+                ..QueryOutput::default()
+            }
+        }));
+    }
+    for test in library::c11_suite() {
+        queries.push(Query::new(test.name.clone(), move |_ctx| {
+            let r = run_rc11(&test);
+            QueryOutput {
+                verdict: if r.passed { "Ok" } else { "FAILED" }.to_string(),
+                ..QueryOutput::default()
+            }
+        }));
+    }
+    queries
+}
+
+#[test]
+fn parallel_litmus_sweep_matches_sequential() {
+    let sequential = run_queries(
+        suite_queries(),
+        &HarnessOptions {
+            jobs: 1,
+            timeout: None,
+            ..HarnessOptions::default()
+        },
+        |_| {},
+    );
+    let parallel = run_queries(
+        suite_queries(),
+        &HarnessOptions {
+            jobs: 4,
+            timeout: Some(std::time::Duration::from_secs(60)),
+            ..HarnessOptions::default()
+        },
+        |_| {},
+    );
+    assert!(!sequential.is_empty());
+    assert_eq!(sequential.len(), parallel.len());
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name, "record order diverged");
+        assert_eq!(s.verdict, p.verdict, "verdict diverged on {}", s.name);
+        assert!(!p.timed_out, "{} timed out under a 60s budget", p.name);
+    }
+    // The library itself is green, so every verdict should be Ok.
+    assert!(sequential.iter().all(|r| r.verdict == "Ok"));
+}

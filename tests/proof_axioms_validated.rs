@@ -168,7 +168,8 @@ fn validate_program(original: &CProgram) -> usize {
 
     // lower_psc is validated existentially per (rf, co) class (see module
     // docs); everything else universally.
-    let mut psc_witnessed: BTreeMap<(Vec<usize>, Vec<(usize, usize)>), bool> = BTreeMap::new();
+    type RfCoClass = (Vec<usize>, Vec<(usize, usize)>);
+    let mut psc_witnessed: BTreeMap<RfCoClass, bool> = BTreeMap::new();
 
     let mut checks = 0usize;
     for exec in &p_enum.executions {

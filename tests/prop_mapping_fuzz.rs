@@ -8,124 +8,82 @@
 
 use mapping::{check_program_soundness, RecipeVariant};
 use memmodel::{Location, Register, Scope, SystemLayout, Value};
-use proptest::prelude::*;
 use rc11::{CInstruction, CProgram, MemOrder, Operand, RmwOp};
+use testkit::Rng;
 
-fn arb_scope() -> impl Strategy<Value = Scope> {
-    prop_oneof![Just(Scope::Cta), Just(Scope::Gpu), Just(Scope::Sys)]
+fn gen_scope(rng: &mut Rng) -> Scope {
+    *rng.choose(&[Scope::Cta, Scope::Gpu, Scope::Sys])
 }
 
-fn arb_loc() -> impl Strategy<Value = Location> {
-    (0u32..2).prop_map(Location)
-}
-
-fn arb_load_order() -> impl Strategy<Value = MemOrder> {
-    prop_oneof![
-        Just(MemOrder::NA),
-        Just(MemOrder::Rlx),
-        Just(MemOrder::Acq),
-        Just(MemOrder::Sc)
-    ]
-}
-
-fn arb_store_order() -> impl Strategy<Value = MemOrder> {
-    prop_oneof![
-        Just(MemOrder::NA),
-        Just(MemOrder::Rlx),
-        Just(MemOrder::Rel),
-        Just(MemOrder::Sc)
-    ]
-}
-
-fn arb_rmw_order() -> impl Strategy<Value = MemOrder> {
-    prop_oneof![
-        Just(MemOrder::Rlx),
-        Just(MemOrder::Acq),
-        Just(MemOrder::Rel),
-        Just(MemOrder::AcqRel),
-        Just(MemOrder::Sc)
-    ]
-}
-
-fn arb_fence_order() -> impl Strategy<Value = MemOrder> {
-    prop_oneof![
-        Just(MemOrder::Acq),
-        Just(MemOrder::Rel),
-        Just(MemOrder::AcqRel),
-        Just(MemOrder::Sc)
-    ]
+fn gen_loc(rng: &mut Rng) -> Location {
+    Location(rng.below(2) as u32)
 }
 
 /// One instruction; register indices are assigned by the caller so loads
 /// never clobber each other (keeps outcomes comparable).
-fn arb_instruction(reg: u32) -> impl Strategy<Value = CInstruction> {
-    prop_oneof![
-        (arb_load_order(), arb_scope(), arb_loc()).prop_map(move |(mo, scope, loc)| {
-            CInstruction::Load {
-                mo,
-                scope,
-                dst: Register(reg),
-                loc,
-            }
-        }),
-        (arb_store_order(), arb_scope(), arb_loc(), 1u64..3).prop_map(
-            |(mo, scope, loc, v)| CInstruction::Store {
-                mo,
-                scope,
-                loc,
-                src: Operand::Imm(Value(v)),
-            }
-        ),
-        (arb_rmw_order(), arb_scope(), arb_loc(), 1u64..3).prop_map(
-            move |(mo, scope, loc, v)| CInstruction::Rmw {
-                mo,
-                scope,
-                dst: Register(reg),
-                loc,
-                op: RmwOp::Exchange,
-                src: Operand::Imm(Value(v)),
-            }
-        ),
-        (arb_fence_order(), arb_scope())
-            .prop_map(|(mo, scope)| CInstruction::Fence { mo, scope }),
-    ]
+fn gen_instruction(rng: &mut Rng, reg: u32) -> CInstruction {
+    match rng.below(4) {
+        0 => CInstruction::Load {
+            mo: *rng.choose(&[MemOrder::NA, MemOrder::Rlx, MemOrder::Acq, MemOrder::Sc]),
+            scope: gen_scope(rng),
+            dst: Register(reg),
+            loc: gen_loc(rng),
+        },
+        1 => CInstruction::Store {
+            mo: *rng.choose(&[MemOrder::NA, MemOrder::Rlx, MemOrder::Rel, MemOrder::Sc]),
+            scope: gen_scope(rng),
+            loc: gen_loc(rng),
+            src: Operand::Imm(Value(rng.range(1, 3))),
+        },
+        2 => CInstruction::Rmw {
+            mo: *rng.choose(&[
+                MemOrder::Rlx,
+                MemOrder::Acq,
+                MemOrder::Rel,
+                MemOrder::AcqRel,
+                MemOrder::Sc,
+            ]),
+            scope: gen_scope(rng),
+            dst: Register(reg),
+            loc: gen_loc(rng),
+            op: RmwOp::Exchange,
+            src: Operand::Imm(Value(rng.range(1, 3))),
+        },
+        _ => CInstruction::Fence {
+            mo: *rng.choose(&[MemOrder::Acq, MemOrder::Rel, MemOrder::AcqRel, MemOrder::Sc]),
+            scope: gen_scope(rng),
+        },
+    }
 }
 
-fn arb_thread(regs_from: u32) -> impl Strategy<Value = Vec<CInstruction>> {
-    prop::collection::vec(0u8..1, 1..=3).prop_flat_map(move |slots| {
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(i, _)| arb_instruction(regs_from + i as u32))
-            .collect::<Vec<_>>()
-    })
+fn gen_thread(rng: &mut Rng, regs_from: u32) -> Vec<CInstruction> {
+    let len = rng.range(1, 4) as usize;
+    (0..len)
+        .map(|i| gen_instruction(rng, regs_from + i as u32))
+        .collect()
 }
 
-fn arb_layout() -> impl Strategy<Value = SystemLayout> {
-    prop_oneof![
-        Just(SystemLayout::single_cta(2)),
-        Just(SystemLayout::cta_per_thread(2)),
-        Just(SystemLayout::gpu_per_thread(2)),
-    ]
+fn gen_layout(rng: &mut Rng) -> SystemLayout {
+    match rng.below(3) {
+        0 => SystemLayout::single_cta(2),
+        1 => SystemLayout::cta_per_thread(2),
+        _ => SystemLayout::gpu_per_thread(2),
+    }
 }
 
-proptest! {
+#[test]
+fn random_programs_compile_soundly() {
     // Each case runs two exhaustive enumerations; keep the count modest.
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_programs_compile_soundly(
-        t0 in arb_thread(0),
-        t1 in arb_thread(8),
-        layout in arb_layout(),
-    ) {
+    testkit::forall("random_programs_compile_soundly", 48, |rng| {
+        let t0 = gen_thread(rng, 0);
+        let t1 = gen_thread(rng, 8);
+        let layout = gen_layout(rng);
         let program = CProgram::new(vec![t0, t1], layout);
         let report = check_program_soundness(&program, RecipeVariant::Correct);
-        prop_assert!(
+        assert!(
             report.sound,
             "unsound compilation of {program:?}: leaked {:?} (racy={})",
-            report.unsound_outcomes,
-            report.source_racy
+            report.unsound_outcomes, report.source_racy
         );
-    }
+    });
 }
