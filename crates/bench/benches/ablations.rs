@@ -65,9 +65,8 @@ fn bench_symmetry() {
                 symmetry_breaking: sym,
                 ..Options::default()
             };
-            let row =
-                mapping::verify_axiom(&model, "Coherence", mapping::ScopeMode::Scoped, opts)
-                    .unwrap();
+            let row = mapping::verify_axiom(&model, "Coherence", mapping::ScopeMode::Scoped, opts)
+                .unwrap();
             assert!(row.verdict.is_unsat());
         });
     }
@@ -85,10 +84,7 @@ fn bench_engines() {
     // Candidate checking via derived-relation computation only (the
     // axiom-check inner loop).
     let expansion = ptx::expand(&mp.program);
-    let co = memmodel::RelMat::from_pairs(
-        expansion.len(),
-        ptx::exec::init_co_edges(&expansion),
-    );
+    let co = memmodel::RelMat::from_pairs(expansion.len(), ptx::exec::init_co_edges(&expansion));
     let candidate = ptx::Candidate {
         rf_source: vec![3, 2],
         co,

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! fig17_table [bounds…] [--jobs N] [--timeout-secs S] [--json]
+//!             [--sessions] [--bench-json PATH]
 //! ```
 //!
 //! Each (scope mode × bound × axiom) verification is one query. With
@@ -10,13 +11,25 @@
 //! bounds each query's wall clock via the solver's cooperative deadline
 //! (an overrunning query is reported as `Unknown`, never hangs the
 //! sweep); `--json` emits one JSON Lines record per query.
+//!
+//! `--sessions` answers the queries through incremental
+//! [`mapping::AxiomSession`]s pooled per (mode, bound): the combined
+//! model's hypotheses are translated and encoded once per session, each
+//! axiom only adds its negated goal, and learnt clauses persist between
+//! axioms. Verdicts are identical to the scratch path; records gain a
+//! detail field with the translation-cache hits and per-phase timings.
+//!
+//! `--bench-json PATH` times the scratch and session paths against each
+//! other per bound and writes the comparison as a JSON artifact (the
+//! `BENCH_fig17.json` baseline in the repository root).
 
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use mapping::{RecipeVariant, ScopeMode};
-use modelfinder::harness::{run_queries, HarnessOptions, Query, QueryOutput};
-use modelfinder::{Options, Verdict};
+use mapping::{AxiomSession, RecipeVariant, ScopeMode};
+use modelfinder::harness::{json_string, run_queries, HarnessOptions, Query, QueryOutput};
+use modelfinder::{Options, QueryRecord, SessionPool, Verdict};
 
 const AXIOMS: [&str; 3] = ["Coherence", "Atomicity", "SC"];
 
@@ -25,11 +38,14 @@ fn main() -> ExitCode {
     let mut jobs = 1usize;
     let mut timeout_secs: Option<u64> = None;
     let mut json = false;
+    let mut sessions = false;
+    let mut bench_json: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--sessions" => sessions = true,
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => jobs = n,
                 _ => return usage("--jobs needs a positive integer"),
@@ -38,51 +54,28 @@ fn main() -> ExitCode {
                 Some(s) => timeout_secs = Some(s),
                 None => return usage("--timeout-secs needs an integer"),
             },
+            "--bench-json" => match it.next() {
+                Some(path) => bench_json = Some(path.clone()),
+                None => return usage("--bench-json needs a file path"),
+            },
             other => match other.parse() {
                 Ok(b) => bounds.push(b),
                 Err(_) => return usage(&format!("unrecognized argument `{other}`")),
             },
         }
     }
-    let bounds = if bounds.is_empty() { vec![2, 3, 4] } else { bounds };
-
+    let bounds = if bounds.is_empty() {
+        vec![2, 3, 4]
+    } else {
+        bounds
+    };
     let timeout = timeout_secs.map(Duration::from_secs);
-    let mut queries = Vec::new();
-    for mode in [ScopeMode::Scoped, ScopeMode::Descoped] {
-        for &bound in &bounds {
-            for axiom in AXIOMS {
-                let name = format!("{mode:?}/bound{bound}/{axiom}");
-                queries.push(Query::new(name, move |ctx| {
-                    let model = mapping::build(bound, mode, RecipeVariant::Correct);
-                    let mut opts = Options::check().with_cancel(ctx.cancel.clone());
-                    opts.deadline = ctx.timeout;
-                    let row = mapping::verify_axiom(&model, axiom, mode, opts)
-                        .expect("internal encoding error");
-                    QueryOutput {
-                        verdict: match row.verdict {
-                            Verdict::Sat(_) => "Sat".to_string(),
-                            Verdict::Unsat => "Unsat".to_string(),
-                            Verdict::Unknown => "Unknown".to_string(),
-                        },
-                        sat_vars: row.report.sat_vars as u64,
-                        sat_clauses: row.report.sat_clauses as u64,
-                        conflicts: row.report.solver_stats.conflicts,
-                        detail: row
-                            .report
-                            .interrupted
-                            .map(|reason| format!("stopped early: {reason}")),
-                    }
-                }));
-            }
-        }
+
+    if let Some(path) = bench_json {
+        return run_bench(&bounds, jobs, timeout, &path);
     }
 
-    let options = HarnessOptions {
-        jobs,
-        timeout,
-        ..HarnessOptions::default()
-    };
-    let records = run_queries(queries, &options, |rec| {
+    let records = run_sweep(&bounds, jobs, timeout, sessions, |rec| {
         if json {
             println!("{}", rec.to_json());
         } else {
@@ -105,8 +98,148 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the full (mode × bound × axiom) sweep on either the scratch or
+/// the incremental path, streaming records to `on_record`.
+fn run_sweep(
+    bounds: &[usize],
+    jobs: usize,
+    timeout: Option<Duration>,
+    sessions: bool,
+    on_record: impl FnMut(&QueryRecord),
+) -> Vec<QueryRecord> {
+    // One incremental session per (mode, bound) key and worker; workers
+    // check sessions out per query, so at most `jobs` exist per key.
+    let pool: Arc<SessionPool<(ScopeMode, usize), AxiomSession>> = Arc::new(SessionPool::new());
+    let mut queries = Vec::new();
+    for mode in [ScopeMode::Scoped, ScopeMode::Descoped] {
+        for &bound in bounds {
+            for axiom in AXIOMS {
+                let name = format!("{mode:?}/bound{bound}/{axiom}");
+                let pool = Arc::clone(&pool);
+                queries.push(Query::new(name, move |ctx| {
+                    if sessions {
+                        let mut session = pool.checkout(&(mode, bound), || {
+                            AxiomSession::new(bound, mode, RecipeVariant::Correct, Options::check())
+                                .expect("internal encoding error")
+                        });
+                        session.set_cancel(Some(ctx.cancel.clone()));
+                        session.set_deadline(ctx.timeout);
+                        let row = session.verify(axiom).expect("internal encoding error");
+                        session.set_cancel(None);
+                        session.set_deadline(None);
+                        let out = query_output(&row, true);
+                        pool.checkin((mode, bound), session);
+                        out
+                    } else {
+                        let model = mapping::build(bound, mode, RecipeVariant::Correct);
+                        let mut opts = Options::check().with_cancel(ctx.cancel.clone());
+                        opts.deadline = ctx.timeout;
+                        let row = mapping::verify_axiom(&model, axiom, mode, opts)
+                            .expect("internal encoding error");
+                        query_output(&row, false)
+                    }
+                }));
+            }
+        }
+    }
+    let options = HarnessOptions {
+        jobs,
+        timeout,
+        ..HarnessOptions::default()
+    };
+    run_queries(queries, &options, on_record)
+}
+
+/// Converts a verification row into a harness record payload. Session
+/// rows carry the incremental counters in the detail field.
+fn query_output(row: &mapping::AxiomCheckRow, sessions: bool) -> QueryOutput {
+    let mut detail = row
+        .report
+        .interrupted
+        .map(|reason| format!("stopped early: {reason}"));
+    if sessions {
+        let phases = format!(
+            "cache_hits={} t_translate={:.6}s t_solve={:.6}s",
+            row.report.gate_cache_hits,
+            row.report.translate_time.as_secs_f64(),
+            row.report.solve_time.as_secs_f64(),
+        );
+        detail = Some(match detail {
+            Some(d) => format!("{d}; {phases}"),
+            None => phases,
+        });
+    }
+    QueryOutput {
+        verdict: match &row.verdict {
+            Verdict::Sat(_) => "Sat".to_string(),
+            Verdict::Unsat => "Unsat".to_string(),
+            Verdict::Unknown => "Unknown".to_string(),
+        },
+        sat_vars: row.report.sat_vars as u64,
+        sat_clauses: row.report.sat_clauses as u64,
+        conflicts: row.report.solver_stats.conflicts,
+        detail,
+    }
+}
+
+/// Times the scratch path against the session path per bound and writes
+/// the comparison to `path` as a JSON artifact.
+fn run_bench(bounds: &[usize], jobs: usize, timeout: Option<Duration>, path: &str) -> ExitCode {
+    let mut rows = Vec::new();
+    for &bound in bounds {
+        let single = [bound];
+        let t0 = Instant::now();
+        let scratch_records = run_sweep(&single, jobs, timeout, false, |_| {});
+        let scratch_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let session_records = run_sweep(&single, jobs, timeout, true, |_| {});
+        let session_secs = t1.elapsed().as_secs_f64();
+        for (s, i) in scratch_records.iter().zip(&session_records) {
+            if s.verdict != i.verdict {
+                eprintln!(
+                    "fig17_table: verdict drift on {}: scratch={} sessions={}",
+                    s.name, s.verdict, i.verdict
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "bound {bound}: scratch {scratch_secs:.3}s, sessions {session_secs:.3}s ({:.2}x)",
+            scratch_secs / session_secs
+        );
+        rows.push((bound, scratch_secs, session_secs));
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": ");
+    json_string(&mut out, "fig17 scratch vs incremental sessions");
+    out.push_str(&format!(
+        ",\n  \"queries_per_bound\": {},\n  \"jobs\": {jobs},\n  \"rows\": [\n",
+        2 * AXIOMS.len()
+    ));
+    for (i, (bound, scratch, session)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bound\": {bound}, \"scratch_secs\": {scratch:.6}, \
+             \"sessions_secs\": {session:.6}, \"speedup\": {:.3}}}{}\n",
+            scratch / session,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(path, out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig17_table: cannot write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("fig17_table: {err}");
-    eprintln!("usage: fig17_table [bounds…] [--jobs N] [--timeout-secs S] [--json]");
+    eprintln!(
+        "usage: fig17_table [bounds…] [--jobs N] [--timeout-secs S] [--json] \
+         [--sessions] [--bench-json PATH]"
+    );
     ExitCode::FAILURE
 }

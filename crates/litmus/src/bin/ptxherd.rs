@@ -5,6 +5,7 @@
 //! ptxherd test1.litmus [test2.litmus …]
 //! ptxherd --suite                        # run the built-in library
 //! ptxherd --suite --jobs 4 --timeout-secs 10 --json
+//! ptxherd --suite --sat --jobs 4 --json  # answer via incremental SAT
 //! ```
 //!
 //! Files starting with `PTX <name>` run under the PTX model; files
@@ -16,17 +17,31 @@
 //! S` bounds each test's wall clock (an overrunning test is recorded as
 //! `Unknown`, never hangs the sweep); `--json` emits one JSON Lines
 //! record per test instead of the herd-style report.
+//!
+//! With `--sat` the PTX tests are answered through incremental
+//! [`litmus::sat::SatSession`]s pooled per universe signature: the PTX
+//! axioms are translated and CNF-encoded once per signature, and learnt
+//! clauses persist across the tests sharing it. Verdicts are identical
+//! to the enumeration path (enforced by the `sat_equivalence` regression
+//! suite); records gain a detail field with the translation-cache hits
+//! and per-phase timings. Tests the relational encoding cannot express
+//! (barriers, data-dependent values) fall back to enumeration, noted in
+//! the detail. C11 tests always use the RC11 enumeration engine.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use litmus::sat::{self, SatSession, Signature};
 use litmus::{library, parse_c11_litmus, parse_ptx_litmus, run_ptx, run_rc11, Expectation};
 use modelfinder::harness::{run_queries, HarnessOptions, Query, QueryOutput};
+use modelfinder::SessionPool;
 
 struct Cli {
     suite: bool,
     jobs: usize,
     timeout_secs: Option<u64>,
     json: bool,
+    sat: bool,
     files: Vec<String>,
 }
 
@@ -36,6 +51,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         jobs: 1,
         timeout_secs: None,
         json: false,
+        sat: false,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -43,6 +59,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         match arg.as_str() {
             "--suite" => cli.suite = true,
             "--json" => cli.json = true,
+            "--sat" => cli.sat = true,
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 cli.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
@@ -52,8 +69,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--timeout-secs" => {
                 let v = it.next().ok_or("--timeout-secs needs a value")?;
-                cli.timeout_secs =
-                    Some(v.parse().map_err(|_| format!("bad --timeout-secs value `{v}`"))?);
+                cli.timeout_secs = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --timeout-secs value `{v}`"))?,
+                );
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
@@ -109,7 +128,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: ptxherd [--jobs N] [--timeout-secs S] [--json] <file.litmus>… | --suite"
+            "usage: ptxherd [--jobs N] [--timeout-secs S] [--json] [--sat] <file.litmus>… | --suite"
         );
         return ExitCode::FAILURE;
     }
@@ -139,7 +158,7 @@ fn main() -> ExitCode {
 
     // The herd-style detailed report stays the default single-threaded
     // behavior; any harness flag switches to the one-line-per-test sweep.
-    let use_harness = cli.jobs > 1 || cli.timeout_secs.is_some() || cli.json;
+    let use_harness = cli.jobs > 1 || cli.timeout_secs.is_some() || cli.json || cli.sat;
     if !use_harness {
         for test in &tests {
             let ok = match test {
@@ -149,11 +168,31 @@ fn main() -> ExitCode {
             failures += usize::from(!ok);
         }
     } else {
+        // One incremental session per universe signature and worker: a
+        // job checks a session out of the pool, runs its query under the
+        // harness's cancel token and deadline, and checks it back in with
+        // its gate cache and learnt clauses intact for the next test.
+        let pool: Arc<SessionPool<Signature, SatSession>> = Arc::new(SessionPool::new());
         let queries: Vec<Query> = tests
             .into_iter()
             .map(|test| {
                 let name = test.name().to_string();
-                Query::new(name, move |_ctx| match &test {
+                let pool = Arc::clone(&pool);
+                let sat_mode = cli.sat;
+                Query::new(name, move |ctx| match &test {
+                    AnyTest::Ptx(t) if sat_mode => match sat::supported(t) {
+                        Ok(()) => sat_output(&pool, t, ctx),
+                        Err(why) => {
+                            let r = run_ptx(t);
+                            let mut out =
+                                litmus_output(t.expectation, r.observable, r.passed, r.candidates);
+                            if let Some(d) = &mut out.detail {
+                                use std::fmt::Write as _;
+                                let _ = write!(d, " fallback=enumeration ({why})");
+                            }
+                            out
+                        }
+                    },
                     AnyTest::Ptx(t) => {
                         let r = run_ptx(t);
                         litmus_output(t.expectation, r.observable, r.passed, r.candidates)
@@ -203,6 +242,62 @@ fn main() -> ExitCode {
     }
 }
 
+/// Answers one supported PTX test through a pooled incremental session.
+fn sat_output(
+    pool: &SessionPool<Signature, SatSession>,
+    test: &litmus::PtxLitmus,
+    ctx: &modelfinder::harness::QueryCtx,
+) -> QueryOutput {
+    let sig = sat::signature(&test.program);
+    let mut session = pool.checkout(&sig, || {
+        SatSession::new(sig).expect("internal encoding error")
+    });
+    session.set_cancel(Some(ctx.cancel.clone()));
+    session.set_deadline(ctx.timeout);
+    let result = session.run(test);
+    session.set_cancel(None);
+    session.set_deadline(None);
+    let out = match &result {
+        Ok(r) => {
+            let verdict = match r.passed {
+                Some(true) => "Ok",
+                Some(false) => "FAILED",
+                None => "Unknown",
+            };
+            let detail = match r.observable {
+                Some(observable) => format!(
+                    "observable={observable} expected={:?} cache_hits={} \
+                     t_translate={:.6}s t_solve={:.6}s",
+                    test.expectation,
+                    r.report.gate_cache_hits,
+                    r.report.translate_time.as_secs_f64(),
+                    r.report.solve_time.as_secs_f64()
+                ),
+                None => format!("expected={:?} interrupted", test.expectation),
+            };
+            QueryOutput {
+                verdict: verdict.to_string(),
+                sat_vars: r.report.sat_vars as u64,
+                sat_clauses: r.report.sat_clauses as u64,
+                conflicts: r.report.solver_stats.conflicts,
+                detail: Some(detail),
+            }
+        }
+        // `supported` was checked before checkout, so this is an internal
+        // encoding error; surface it as Unknown rather than aborting the
+        // sweep.
+        Err(e) => QueryOutput {
+            verdict: "Unknown".to_string(),
+            detail: Some(format!("sat path error: {e}")),
+            ..QueryOutput::default()
+        },
+    };
+    // A cancelled query leaves the solver consistent (it backtracks to the
+    // root on interruption), so the session is safe to reuse either way.
+    pool.checkin(sig, session);
+    out
+}
+
 /// Maps a litmus result onto a harness record payload.
 fn litmus_output(
     expectation: Expectation,
@@ -235,7 +330,13 @@ fn report_ptx(test: &litmus::PtxLitmus) -> bool {
         println!("  {}", if s.is_empty() { "<no registers>" } else { s });
     }
     let result = run_ptx(test);
-    print_verdict(&test.name, test.expectation, &test.cond.to_string(), result.observable, result.passed);
+    print_verdict(
+        &test.name,
+        test.expectation,
+        &test.cond.to_string(),
+        result.observable,
+        result.passed,
+    );
     result.passed
 }
 
@@ -254,16 +355,18 @@ fn report_c11(test: &litmus::C11Litmus) -> bool {
         println!("  {}", if s.is_empty() { "<no registers>" } else { s });
     }
     let result = run_rc11(test);
-    print_verdict(&test.name, test.expectation, &test.cond.to_string(), result.observable, result.passed);
+    print_verdict(
+        &test.name,
+        test.expectation,
+        &test.cond.to_string(),
+        result.observable,
+        result.passed,
+    );
     result.passed
 }
 
 fn print_verdict(name: &str, expectation: Expectation, cond: &str, observable: bool, passed: bool) {
-    println!(
-        "Condition {} ({:?})",
-        cond,
-        expectation
-    );
+    println!("Condition {} ({:?})", cond, expectation);
     println!(
         "Observation {} {}",
         name,

@@ -75,7 +75,10 @@ impl Cond {
         memory_choices: &[(Location, Vec<Value>)],
     ) -> bool {
         // Odometer over the per-location choices.
-        let sizes: Vec<usize> = memory_choices.iter().map(|(_, vs)| vs.len().max(1)).collect();
+        let sizes: Vec<usize> = memory_choices
+            .iter()
+            .map(|(_, vs)| vs.len().max(1))
+            .collect();
         for combo in memmodel::Odometer::new(sizes) {
             let memory: BTreeMap<Location, Value> = memory_choices
                 .iter()

@@ -48,7 +48,11 @@ pub enum Layout {
 }
 
 /// All layouts, most local first.
-pub const LAYOUTS: [Layout; 3] = [Layout::SingleCta, Layout::CtaPerThread, Layout::GpuPerThread];
+pub const LAYOUTS: [Layout; 3] = [
+    Layout::SingleCta,
+    Layout::CtaPerThread,
+    Layout::GpuPerThread,
+];
 
 impl Layout {
     fn build(self, n: usize) -> SystemLayout {
@@ -105,19 +109,9 @@ pub fn sb_shape(strength: Strength, scope: Scope, layout: Layout) -> PtxLitmus {
     let barrierize = |loc_w: Location, loc_r: Location, dst: Register| -> Vec<Instruction> {
         match strength {
             Strength::Weak => vec![st_weak(loc_w, 1), ld_weak(dst, loc_r)],
-            Strength::Relaxed => vec![
-                st_relaxed(scope, loc_w, 1),
-                ld_relaxed(scope, dst, loc_r),
-            ],
-            Strength::RelAcq => vec![
-                st_release(scope, loc_w, 1),
-                ld_acquire(scope, dst, loc_r),
-            ],
-            Strength::FenceSc => vec![
-                st_weak(loc_w, 1),
-                fence_sc(scope),
-                ld_weak(dst, loc_r),
-            ],
+            Strength::Relaxed => vec![st_relaxed(scope, loc_w, 1), ld_relaxed(scope, dst, loc_r)],
+            Strength::RelAcq => vec![st_release(scope, loc_w, 1), ld_acquire(scope, dst, loc_r)],
+            Strength::FenceSc => vec![st_weak(loc_w, 1), fence_sc(scope), ld_weak(dst, loc_r)],
         }
     };
     PtxLitmus {
@@ -138,14 +132,8 @@ pub fn lb_shape(strength: Strength, scope: Scope, layout: Layout) -> PtxLitmus {
     let arm = |loc_r: Location, loc_w: Location, dst: Register| -> Vec<Instruction> {
         match strength {
             Strength::Weak => vec![ld_weak(dst, loc_r), st_weak(loc_w, 1)],
-            Strength::Relaxed => vec![
-                ld_relaxed(scope, dst, loc_r),
-                st_relaxed(scope, loc_w, 1),
-            ],
-            Strength::RelAcq => vec![
-                ld_acquire(scope, dst, loc_r),
-                st_release(scope, loc_w, 1),
-            ],
+            Strength::Relaxed => vec![ld_relaxed(scope, dst, loc_r), st_relaxed(scope, loc_w, 1)],
+            Strength::RelAcq => vec![ld_acquire(scope, dst, loc_r), st_release(scope, loc_w, 1)],
             Strength::FenceSc => vec![
                 ld_relaxed(scope, dst, loc_r),
                 fence_sc(scope),
@@ -218,8 +206,8 @@ mod tests {
                             // FenceSc is not comparable to RelAcq; compare
                             // only along Weak→Relaxed→RelAcq and
                             // Relaxed→FenceSc.
-                            let comparable = !(ps == Strength::RelAcq
-                                && strength == Strength::FenceSc);
+                            let comparable =
+                                !(ps == Strength::RelAcq && strength == Strength::FenceSc);
                             if comparable && !pobs {
                                 assert!(
                                     !observable,

@@ -9,6 +9,9 @@
 //! * [`PtxLitmus`] / [`C11Litmus`]: named tests with expectations;
 //! * [`run_ptx`] / [`run_rc11`] / [`run_under_tso`]: model-generic
 //!   runners over the exhaustive-enumeration engines;
+//! * [`sat::SatSession`]: a SAT-path runner answering PTX tests through
+//!   the bounded relational model finder, with one incremental session
+//!   (translated axioms, learnt clauses) shared per universe signature;
 //! * [`parse::parse_ptx_litmus`]: a `diy`-style text format;
 //! * [`library`]: every litmus test figure from the paper plus the
 //!   classic GPU suite (MP, SB, LB, CoRR/CoRW/CoWR/CoWW, IRIW, ISA2, WRC,
@@ -32,13 +35,15 @@ pub mod generate;
 pub mod library;
 pub mod parse;
 pub mod parse_c11;
+pub mod sat;
 pub mod scref;
 pub mod test;
 
 pub use cond::Cond;
-pub use scref::{sc_outcomes, ScOutcome};
 pub use parse::{parse_cond, parse_instruction, parse_ptx_litmus, ParseLitmusError};
 pub use parse_c11::{parse_c11_instruction, parse_c11_litmus};
+pub use sat::{SatLitmusResult, SatSession, Signature};
+pub use scref::{sc_outcomes, ScOutcome};
 pub use test::{
     format_registers, ptx_to_tso, run_ptx, run_rc11, run_suite, run_under_tso, C11Litmus,
     Expectation, LitmusResult, PtxLitmus, SuiteRow,

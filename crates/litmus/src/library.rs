@@ -563,7 +563,9 @@ pub fn cas_chain() -> PtxLitmus {
         ),
         // r0 = 0 (first CAS saw init) and r1 = 1 (second saw the first)
         // and memory settles at 2.
-        Cond::reg(0, 0, 0).and(Cond::reg(1, 1, 1)).and(Cond::mem(0, 2)),
+        Cond::reg(0, 0, 0)
+            .and(Cond::reg(1, 1, 1))
+            .and(Cond::mem(0, 2)),
         Expectation::Allowed,
     )
 }
@@ -589,13 +591,13 @@ pub fn red_no_lost_updates() -> PtxLitmus {
 /// The tests that appear as figures in the paper, in order.
 pub fn paper_suite() -> Vec<PtxLitmus> {
     vec![
-        mp(),             // Figure 5
-        sb_fence_sc(),    // Figure 6
-        lb_thin_air(),    // Figure 8
-        corr(),           // Figure 9a
-        corw(),           // Figure 9b
-        cowr(),           // Figure 9c
-        coww(),           // Figure 9d
+        mp(),          // Figure 5
+        sb_fence_sc(), // Figure 6
+        lb_thin_air(), // Figure 8
+        corr(),        // Figure 9a
+        corw(),        // Figure 9b
+        cowr(),        // Figure 9c
+        coww(),        // Figure 9d
     ]
 }
 
@@ -639,10 +641,7 @@ pub fn c11_suite() -> Vec<C11Litmus> {
         program: CProgram::new(
             vec![
                 vec![store_na(X, 1), store(MemOrder::Rel, Scope::Sys, Y, 1)],
-                vec![
-                    load(MemOrder::Acq, Scope::Sys, R0, Y),
-                    load_na(R1, X),
-                ],
+                vec![load(MemOrder::Acq, Scope::Sys, R0, Y), load_na(R1, X)],
             ],
             SystemLayout::cta_per_thread(2),
         ),

@@ -180,7 +180,10 @@ fn parse_layout(line: usize, spec: &str) -> Result<LayoutSpec, ParseLitmusError>
                     return err(line, format!("bad placement `{part}`"));
                 };
                 if t.parse::<usize>() != Ok(i) {
-                    return err(line, format!("placements must be in thread order at `{part}`"));
+                    return err(
+                        line,
+                        format!("placements must be in thread order at `{part}`"),
+                    );
                 }
                 let Some((g, c)) = gc.split_once(',') else {
                     return err(line, format!("bad placement `{part}`"));
@@ -387,9 +390,14 @@ fn arg<'a>(args: &[&'a str], i: usize) -> Result<&'a str, String> {
 pub fn parse_cond(line: usize, text: &str) -> Result<Cond, ParseLitmusError> {
     let tokens = tokenize_cond(text).map_err(|m| ParseLitmusError { line, message: m })?;
     let mut p = CondParser { tokens, pos: 0 };
-    let cond = p.parse_or().map_err(|m| ParseLitmusError { line, message: m })?;
+    let cond = p
+        .parse_or()
+        .map_err(|m| ParseLitmusError { line, message: m })?;
     if p.pos != p.tokens.len() {
-        return err(line, format!("trailing tokens in condition: {:?}", &p.tokens[p.pos..]));
+        return err(
+            line,
+            format!("trailing tokens in condition: {:?}", &p.tokens[p.pos..]),
+        );
     }
     Ok(cond)
 }
@@ -525,11 +533,7 @@ fn parse_cond_atom(atom: &str) -> Result<Cond, String> {
     if let Some((t, r)) = lhs.split_once(':') {
         let thread: u32 = t.parse().map_err(|_| format!("bad thread `{t}`"))?;
         let reg = parse_register(r)?;
-        Ok(Cond::RegEq(
-            memmodel::ThreadId(thread),
-            reg,
-            Value(value),
-        ))
+        Ok(Cond::RegEq(memmodel::ThreadId(thread), reg, Value(value)))
     } else {
         let loc = parse_location(&format!("[{lhs}]"))?;
         Ok(Cond::MemEq(loc, Value(value)))
@@ -617,7 +621,10 @@ st.weak [x], 1 | st.weak [x], 2 | ld.weak r0, [x] ;
 allowed: 2:r0=2
 ";
         let t = parse_ptx_litmus(text).unwrap();
-        assert!(!t.program.layout.same_gpu(memmodel::ThreadId(0), memmodel::ThreadId(2)));
+        assert!(!t
+            .program
+            .layout
+            .same_gpu(memmodel::ThreadId(0), memmodel::ThreadId(2)));
         assert!(run_ptx(&t).passed);
     }
 

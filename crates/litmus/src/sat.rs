@@ -1,0 +1,676 @@
+//! SAT-path litmus running: answering PTX litmus tests with the bounded
+//! relational model finder instead of explicit enumeration.
+//!
+//! A test's question — "is the tagged outcome observable in some
+//! consistent execution?" — is a satisfiability query: pin the program's
+//! event structure (kinds, scopes, `po`, `rmw`, `dep`, the thread layout)
+//! as relational constants, leave the execution witnesses (`rf`, `co`,
+//! `sc`) free under the PTX axioms, and conjoin the outcome condition as
+//! constraints on `rf`/`co`. `Sat` means observable.
+//!
+//! The payoff is incremental: every test with the same *signature*
+//! (event/thread/location counts) shares one [`modelfinder::Session`],
+//! so the PTX axioms — including the expensive `cause` closure — are
+//! translated and CNF-encoded once per signature, and learned clauses
+//! carry across tests. [`SatSession`] wraps a session keyed by
+//! [`Signature`]; `ptxherd --sat` pools them per worker.
+//!
+//! Not every test can take this path (see [`Unsupported`]): execution
+//! barriers are outside the relational vocabulary, and conditions over
+//! data-dependent values (register-operand stores, `atom.add`/`cas`)
+//! would need value reasoning the boolean encoding does not do. Callers
+//! fall back to [`crate::run_ptx`] for those.
+//!
+//! # Examples
+//!
+//! ```
+//! use litmus::sat::{signature, SatSession};
+//! use litmus::library;
+//!
+//! let test = library::mp(); // paper Figure 5
+//! let mut session = SatSession::new(signature(&test.program)).unwrap();
+//! let result = session.run(&test).unwrap();
+//! assert_eq!(result.observable, Some(false)); // stale MP outcome forbidden
+//! assert_eq!(result.passed, Some(true));
+//! ```
+
+use std::time::Duration;
+
+use memmodel::{Location, Scope, ThreadId, Value};
+use modelfinder::{CancelToken, Options, Problem, Report, Session, SessionStats, Verdict};
+use ptx::alloy::PtxVocab;
+use ptx::event::{expand, Event, EventKind, Expansion};
+use ptx::exec::init_co_edges;
+use ptx::inst::{Operand, Program, RmwOp};
+use relational::{patterns, Atom, Bounds, Expr, Formula, RelId, Schema, TupleSet, VarGen};
+
+use crate::cond::Cond;
+use crate::test::{Expectation, PtxLitmus};
+
+/// The shape of a test's universe. Tests with equal signatures share a
+/// session (and therefore the translated, CNF-encoded PTX axioms).
+///
+/// `events` counts expanded events including the per-location init
+/// writes; `threads` counts program threads (the shared init-write
+/// thread is added internally); `locs` counts distinct locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature {
+    /// Expanded events, including init writes.
+    pub events: usize,
+    /// Program threads (excluding the internal init thread).
+    pub threads: usize,
+    /// Distinct memory locations.
+    pub locs: usize,
+}
+
+/// The signature of a program's expansion.
+pub fn signature(program: &Program) -> Signature {
+    let locs = program.locations().len();
+    Signature {
+        events: expand(program).len(),
+        threads: program.num_threads(),
+        locs,
+    }
+}
+
+/// Why a test cannot be answered on the SAT path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unsupported {
+    /// The program uses execution barriers (`bar`), which the relational
+    /// vocabulary does not model.
+    Barrier,
+    /// Some write's value depends on the execution (register-operand
+    /// store, or an `add`/`cas` RMW), so outcome values cannot be
+    /// resolved statically.
+    DataDependentValue,
+    /// The condition constrains final memory in a shape the encoding
+    /// cannot express faithfully (a negated `MemEq`, or one location
+    /// constrained by several `MemEq` atoms).
+    Condition,
+}
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let why = match self {
+            Unsupported::Barrier => "uses execution barriers",
+            Unsupported::DataDependentValue => "has data-dependent write values",
+            Unsupported::Condition => "condition not expressible",
+        };
+        write!(f, "{why}")
+    }
+}
+
+/// Checks whether `test` can be answered on the SAT path.
+///
+/// # Errors
+///
+/// Returns the first blocking [`Unsupported`] reason.
+pub fn supported(test: &PtxLitmus) -> Result<(), Unsupported> {
+    let x = expand(&test.program);
+    if x.events.iter().any(|e| e.kind == EventKind::Barrier) {
+        return Err(Unsupported::Barrier);
+    }
+    if x.events
+        .iter()
+        .any(|e| e.kind == EventKind::Write && static_write_value(&x, e).is_none())
+    {
+        return Err(Unsupported::DataDependentValue);
+    }
+    let mut mem_locs = Vec::new();
+    if !cond_expressible(&test.cond, false, &mut mem_locs) {
+        return Err(Unsupported::Condition);
+    }
+    Ok(())
+}
+
+/// The value a write stores, when it is independent of the execution:
+/// immediates, `exch` with an immediate, init writes, and reads of a
+/// never-written register (which the engine defines as zero).
+fn static_write_value(x: &Expansion, e: &Event) -> Option<Value> {
+    match e.rmw_op {
+        None | Some(RmwOp::Exch) => match e.src {
+            Some(Operand::Imm(v)) => Some(v),
+            Some(Operand::Reg(_)) => match x.operand_setter[e.id] {
+                None => Some(Value(0)),
+                Some(_) => None,
+            },
+            None => Some(Value(0)),
+        },
+        Some(_) => None,
+    }
+}
+
+/// Conservatively decides whether [`cond_formula`] is faithful to
+/// [`Cond::satisfiable`]'s pick-one-final-value-per-location semantics:
+/// no `MemEq` under negation, and each location in at most one `MemEq`.
+fn cond_expressible(cond: &Cond, negated: bool, mem_locs: &mut Vec<Location>) -> bool {
+    match cond {
+        Cond::True => true,
+        Cond::RegEq(..) => true,
+        Cond::MemEq(l, _) => {
+            if negated || mem_locs.contains(l) {
+                return false;
+            }
+            mem_locs.push(*l);
+            true
+        }
+        Cond::And(cs) | Cond::Or(cs) => cs.iter().all(|c| cond_expressible(c, negated, mem_locs)),
+        Cond::Not(c) => cond_expressible(c, true, mem_locs),
+    }
+}
+
+/// A test's expansion together with its atom layout in the relational
+/// universe: events first, then program threads, the init-write thread,
+/// then locations.
+struct TestEncoding {
+    x: Expansion,
+    layout: memmodel::SystemLayout,
+    locs: Vec<Location>,
+    sig: Signature,
+}
+
+impl TestEncoding {
+    fn new(program: &Program) -> TestEncoding {
+        let locs = program.locations();
+        let x = expand(program);
+        let sig = Signature {
+            events: x.len(),
+            threads: program.num_threads(),
+            locs: locs.len(),
+        };
+        TestEncoding {
+            x,
+            layout: program.layout.clone(),
+            locs,
+            sig,
+        }
+    }
+
+    fn thread_atom(&self, t: ThreadId) -> Atom {
+        (self.sig.events + t.0 as usize) as Atom
+    }
+
+    fn init_thread_atom(&self) -> Atom {
+        (self.sig.events + self.sig.threads) as Atom
+    }
+
+    fn loc_atom(&self, l: Location) -> Atom {
+        let idx = self
+            .locs
+            .iter()
+            .position(|&m| m == l)
+            .expect("location not in program");
+        (self.sig.events + self.sig.threads + 1 + idx) as Atom
+    }
+
+    fn events_where(&self, pred: impl Fn(&Event) -> bool) -> TupleSet {
+        TupleSet::from_atoms(
+            self.x
+                .events
+                .iter()
+                .filter(|e| pred(e))
+                .map(|e| e.id as Atom),
+        )
+    }
+
+    /// Pins the program-determined relations to constants and requires a
+    /// total reads-from and init-first coherence, leaving `rf`/`co`/`sc`
+    /// free for the axioms to constrain.
+    fn structure(&self, vocab: &PtxVocab, dep: &Expr) -> Formula {
+        let mut fs = Vec::new();
+        let pin = |fs: &mut Vec<Formula>, rel: &Expr, ts: TupleSet| {
+            fs.push(rel.equal(&Expr::constant(ts)));
+        };
+
+        pin(
+            &mut fs,
+            &vocab.read,
+            self.events_where(|e| e.kind == EventKind::Read),
+        );
+        pin(
+            &mut fs,
+            &vocab.write,
+            self.events_where(|e| e.kind == EventKind::Write),
+        );
+        pin(
+            &mut fs,
+            &vocab.fence,
+            self.events_where(|e| e.kind == EventKind::Fence),
+        );
+        pin(&mut fs, &vocab.strong, self.events_where(|e| e.strong));
+        pin(&mut fs, &vocab.acq, self.events_where(|e| e.acquire));
+        pin(&mut fs, &vocab.rel, self.events_where(|e| e.release));
+        pin(&mut fs, &vocab.sc_fence, self.events_where(|e| e.sc_fence));
+        pin(
+            &mut fs,
+            &vocab.scope_cta,
+            self.events_where(|e| e.scope == Scope::Cta),
+        );
+        pin(
+            &mut fs,
+            &vocab.scope_gpu,
+            self.events_where(|e| e.scope == Scope::Gpu),
+        );
+        pin(
+            &mut fs,
+            &vocab.scope_sys,
+            self.events_where(|e| e.scope == Scope::Sys),
+        );
+
+        let loc_pairs = TupleSet::from_pairs(
+            self.x
+                .events
+                .iter()
+                .filter_map(|e| e.loc.map(|l| (e.id as Atom, self.loc_atom(l)))),
+        );
+        pin(&mut fs, &vocab.loc, loc_pairs);
+
+        let thread_pairs = TupleSet::from_pairs(self.x.events.iter().map(|e| {
+            let t = e
+                .thread
+                .map(|t| self.thread_atom(t))
+                .unwrap_or_else(|| self.init_thread_atom());
+            (e.id as Atom, t)
+        }));
+        pin(&mut fs, &vocab.thread, thread_pairs);
+
+        // po: the expansion's intra-thread order, plus a chain over the
+        // init writes (they share the internal init thread, and
+        // well-formedness totally orders each thread). The chain is
+        // inert: init writes are weak, never release, and never overlap
+        // each other, so no axiom or derived relation can use it.
+        let mut po_pairs: Vec<(Atom, Atom)> = self
+            .x
+            .po
+            .pairs()
+            .map(|(a, b)| (a as Atom, b as Atom))
+            .collect();
+        for i in 0..self.sig.locs {
+            for j in (i + 1)..self.sig.locs {
+                po_pairs.push((i as Atom, j as Atom));
+            }
+        }
+        pin(&mut fs, &vocab.po, TupleSet::from_pairs(po_pairs));
+
+        let rel_pairs = |m: &memmodel::RelMat| {
+            TupleSet::from_pairs(m.pairs().map(|(a, b)| (a as Atom, b as Atom)))
+        };
+        pin(&mut fs, &vocab.rmw, rel_pairs(&self.x.rmw));
+        pin(&mut fs, dep, rel_pairs(&self.x.dep));
+
+        // Thread layout constants; the init thread is alone in its CTA.
+        let mut cta_pairs = Vec::new();
+        let mut gpu_pairs = Vec::new();
+        for a in 0..self.sig.threads {
+            for b in 0..self.sig.threads {
+                let (ta, tb) = (ThreadId(a as u32), ThreadId(b as u32));
+                if self.layout.same_cta(ta, tb) {
+                    cta_pairs.push((self.thread_atom(ta), self.thread_atom(tb)));
+                }
+                if self.layout.same_gpu(ta, tb) {
+                    gpu_pairs.push((self.thread_atom(ta), self.thread_atom(tb)));
+                }
+            }
+        }
+        cta_pairs.push((self.init_thread_atom(), self.init_thread_atom()));
+        gpu_pairs.push((self.init_thread_atom(), self.init_thread_atom()));
+        pin(&mut fs, &vocab.same_cta, TupleSet::from_pairs(cta_pairs));
+        pin(&mut fs, &vocab.same_gpu, TupleSet::from_pairs(gpu_pairs));
+
+        // Every read reads from some write (init writes guarantee a
+        // source exists; well-formedness already caps it at one).
+        for &r in &self.x.reads {
+            fs.push(
+                vocab
+                    .rf
+                    .join(&Expr::constant(TupleSet::from_atoms([r as Atom])))
+                    .some(),
+            );
+        }
+
+        // Init writes are coherence-first at their location (§8.8.6).
+        let init_edges: Vec<(Atom, Atom)> = init_co_edges(&self.x)
+            .into_iter()
+            .map(|(a, b)| (a as Atom, b as Atom))
+            .collect();
+        if !init_edges.is_empty() {
+            fs.push(Expr::constant(TupleSet::from_pairs(init_edges)).in_(&vocab.co));
+        }
+
+        Formula::and_all(fs)
+    }
+
+    /// The outcome condition over the free `rf`/`co` witnesses. Must only
+    /// be called when [`cond_expressible`] holds.
+    fn cond_formula(&self, cond: &Cond, vocab: &PtxVocab) -> Formula {
+        match cond {
+            Cond::True => Formula::True,
+            Cond::RegEq(t, r, v) => {
+                // The register's final value is the value read by its last
+                // setter, i.e. the static value of the write it reads from.
+                let setter = self
+                    .x
+                    .final_setters
+                    .iter()
+                    .find(|((ft, fr), _)| ft == t && fr == r)
+                    .map(|(_, e)| *e);
+                let Some(read) = setter else {
+                    return Formula::False; // register never written
+                };
+                let loc = self.x.events[read].loc.expect("reads have locations");
+                Formula::or_all(self.writes_with_value(loc, *v).map(|w| {
+                    Expr::constant(TupleSet::from_pairs([(w as Atom, read as Atom)])).in_(&vocab.rf)
+                }))
+            }
+            Cond::MemEq(l, v) => {
+                // Some co-maximal write to `l` holds `v` (the location may
+                // settle to any co-maximal value, §8.8.6).
+                Formula::or_all(self.writes_with_value(*l, *v).map(|w| {
+                    Expr::constant(TupleSet::from_atoms([w as Atom]))
+                        .join(&vocab.co)
+                        .no()
+                }))
+            }
+            Cond::And(cs) => Formula::and_all(cs.iter().map(|c| self.cond_formula(c, vocab))),
+            Cond::Or(cs) => Formula::or_all(cs.iter().map(|c| self.cond_formula(c, vocab))),
+            Cond::Not(c) => self.cond_formula(c, vocab).not(),
+        }
+    }
+
+    /// Writes to `loc` whose static value is `v`.
+    fn writes_with_value(&self, loc: Location, v: Value) -> impl Iterator<Item = usize> + '_ {
+        self.x
+            .events
+            .iter()
+            .filter(move |e| {
+                e.kind == EventKind::Write
+                    && e.loc == Some(loc)
+                    && static_write_value(&self.x, e) == Some(v)
+            })
+            .map(|e| e.id)
+    }
+}
+
+/// Declares the PTX vocabulary (plus the syntactic dependency relation
+/// the engine's No-Thin-Air uses) over a signature's universe, with
+/// permissive bounds, and builds the session base: well-formedness and
+/// the six axioms.
+fn universe(sig: &Signature) -> (Schema, Bounds, PtxVocab, Expr, Formula) {
+    let mut schema = Schema::new();
+    let vocab = PtxVocab::declare(&mut schema, "p_");
+    let dep = Expr::Rel(schema.relation("p_dep", 2));
+
+    let e = sig.events as Atom;
+    let t = (sig.threads + 1) as Atom; // + the init-write thread
+    let n = sig.events + sig.threads + 1 + sig.locs;
+    let event_atoms = TupleSet::from_atoms(0..e);
+    let thread_atoms = TupleSet::from_atoms(e..e + t);
+    let cross = |xs: std::ops::Range<Atom>, ys: std::ops::Range<Atom>| {
+        TupleSet::from_pairs(xs.flat_map(|x| ys.clone().map(move |y| (x, y))))
+    };
+    let ev_ev = cross(0..e, 0..e);
+    let th_th = cross(e..e + t, e..e + t);
+
+    let rid = |expr: &Expr| -> RelId {
+        match expr {
+            Expr::Rel(r) => *r,
+            _ => unreachable!("vocabulary exprs are declared relations"),
+        }
+    };
+    let mut bounds = Bounds::new(&schema, n);
+    bounds.bound_exact(rid(&vocab.ev), event_atoms.clone());
+    bounds.bound_exact(rid(&vocab.threads), thread_atoms.clone());
+    for unary in [
+        &vocab.read,
+        &vocab.write,
+        &vocab.fence,
+        &vocab.strong,
+        &vocab.acq,
+        &vocab.rel,
+        &vocab.sc_fence,
+        &vocab.scope_cta,
+        &vocab.scope_gpu,
+        &vocab.scope_sys,
+    ] {
+        bounds.bound_upper(rid(unary), event_atoms.clone());
+    }
+    for binary in [&vocab.po, &vocab.rf, &vocab.co, &vocab.sc, &vocab.rmw, &dep] {
+        bounds.bound_upper(rid(binary), ev_ev.clone());
+    }
+    bounds.bound_upper(rid(&vocab.loc), cross(0..e, e + t..n as Atom));
+    bounds.bound_upper(rid(&vocab.thread), cross(0..e, e..e + t));
+    bounds.bound_upper(rid(&vocab.same_cta), th_th.clone());
+    bounds.bound_upper(rid(&vocab.same_gpu), th_th);
+
+    let mut fresh = VarGen::new();
+    let wf = vocab.well_formed(&mut fresh);
+    // The engine's No-Thin-Air is over the syntactic dependency relation,
+    // not the program-free `rmw` approximation the vocabulary defaults to.
+    let axioms = Formula::and_all(
+        vocab
+            .axioms_named()
+            .into_iter()
+            .filter(|(name, _)| *name != "No-Thin-Air")
+            .map(|(_, f)| f),
+    );
+    let no_thin_air = patterns::acyclic(&vocab.rf.union(&dep));
+    let base = Formula::and_all([wf, axioms, no_thin_air]);
+    (schema, bounds, vocab, dep, base)
+}
+
+/// The result of answering one litmus test on the SAT path.
+#[derive(Debug, Clone)]
+pub struct SatLitmusResult {
+    /// Test name.
+    pub name: String,
+    /// Whether the tagged outcome is observable; `None` if the query hit
+    /// its budget or deadline.
+    pub observable: Option<bool>,
+    /// Whether observability matched the expectation; `None` on budget.
+    pub passed: Option<bool>,
+    /// Translation and solving statistics for this query.
+    pub report: Report,
+}
+
+/// An error from [`SatSession::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatError {
+    /// The test cannot take the SAT path; fall back to enumeration.
+    Unsupported(Unsupported),
+    /// An internal relational encoding bug.
+    Type(relational::TypeError),
+}
+
+impl std::fmt::Display for SatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SatError::Unsupported(u) => write!(f, "unsupported: {u}"),
+            SatError::Type(e) => write!(f, "encoding error: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SatError {}
+
+/// A long-lived SAT session answering every litmus test of one
+/// [`Signature`]: the PTX axioms are translated and encoded once, each
+/// test only contributes its pinned structure and outcome condition.
+///
+/// Symmetry breaking stays off ([`Options::default`]): the queries pin
+/// individual atoms through constants, which is not invariant under the
+/// bound-respecting permutations lex-leader predicates assume.
+#[derive(Debug)]
+pub struct SatSession {
+    sig: Signature,
+    vocab: PtxVocab,
+    dep: Expr,
+    session: Session,
+}
+
+impl SatSession {
+    /// Opens a session for one universe signature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational type errors (an internal encoding bug).
+    pub fn new(sig: Signature) -> Result<SatSession, relational::TypeError> {
+        let (schema, bounds, vocab, dep, base) = universe(&sig);
+        let session = Session::new(&schema, &bounds, &base, Options::default())?;
+        Ok(SatSession {
+            sig,
+            vocab,
+            dep,
+            session,
+        })
+    }
+
+    /// The signature this session answers.
+    pub fn signature(&self) -> Signature {
+        self.sig
+    }
+
+    /// Answers one litmus test.
+    ///
+    /// # Errors
+    ///
+    /// [`SatError::Unsupported`] when the test cannot take the SAT path
+    /// (use [`crate::run_ptx`] instead), [`SatError::Type`] on internal
+    /// encoding bugs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test's signature differs from [`SatSession::new`]'s.
+    pub fn run(&mut self, test: &PtxLitmus) -> Result<SatLitmusResult, SatError> {
+        supported(test).map_err(SatError::Unsupported)?;
+        let enc = TestEncoding::new(&test.program);
+        assert_eq!(
+            enc.sig, self.sig,
+            "test `{}` does not match the session signature",
+            test.name
+        );
+        let query = enc
+            .structure(&self.vocab, &self.dep)
+            .and(&enc.cond_formula(&test.cond, &self.vocab));
+        let (verdict, report) = self.session.solve(&query).map_err(SatError::Type)?;
+        let observable = match verdict {
+            Verdict::Sat(_) => Some(true),
+            Verdict::Unsat => Some(false),
+            Verdict::Unknown => None,
+        };
+        Ok(SatLitmusResult {
+            name: test.name.clone(),
+            observable,
+            passed: observable.map(|o| o == (test.expectation == Expectation::Allowed)),
+            report,
+        })
+    }
+
+    /// Replaces the per-query wall-clock budget.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.session.set_deadline(deadline);
+    }
+
+    /// Replaces the per-query cancellation token.
+    pub fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.session.set_cancel(token);
+    }
+
+    /// Cumulative session work counters.
+    pub fn stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+}
+
+/// The same query as [`SatSession::run`], as a self-contained [`Problem`]
+/// for a scratch [`modelfinder::ModelFinder`] — the oracle the regression
+/// suite compares sessions against.
+///
+/// # Errors
+///
+/// Returns the blocking [`Unsupported`] reason, as [`supported`] does.
+pub fn scratch_problem(test: &PtxLitmus) -> Result<Problem, Unsupported> {
+    supported(test)?;
+    let enc = TestEncoding::new(&test.program);
+    let (schema, bounds, vocab, dep, base) = universe(&enc.sig);
+    let formula = base
+        .and(&enc.structure(&vocab, &dep))
+        .and(&enc.cond_formula(&test.cond, &vocab));
+    Ok(Problem {
+        schema,
+        bounds,
+        formula,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn mp_family_shares_a_session_and_matches_expectations() {
+        // MP and its scope variants share one signature; the session's
+        // gate cache proves the axioms were only encoded once.
+        let tests = [
+            library::mp(),
+            library::mp_relaxed(),
+            library::mp_cta_scope_across_ctas(),
+            library::mp_cta_scope_within_cta(),
+        ];
+        let sig = signature(&tests[0].program);
+        let mut session = SatSession::new(sig).unwrap();
+        for test in &tests {
+            assert_eq!(signature(&test.program), sig);
+            let r = session.run(test).unwrap();
+            assert_eq!(r.passed, Some(true), "test {}", test.name);
+        }
+        assert!(session.stats().gate_cache_hits > 0);
+    }
+
+    #[test]
+    fn unsupported_tests_are_detected() {
+        assert_eq!(supported(&library::mp_barrier()), Err(Unsupported::Barrier));
+        assert_eq!(
+            supported(&library::lb_thin_air()),
+            Err(Unsupported::DataDependentValue)
+        );
+        assert_eq!(
+            supported(&library::cas_semantics()),
+            Err(Unsupported::DataDependentValue)
+        );
+        assert!(supported(&library::mp()).is_ok());
+        assert!(supported(&library::coww()).is_ok());
+    }
+
+    #[test]
+    fn memeq_conditions_use_co_maximality() {
+        // CoWW: same-thread writes settle in program order, so the final
+        // value 1 (the first write) is forbidden.
+        let test = library::coww();
+        let mut session = SatSession::new(signature(&test.program)).unwrap();
+        let r = session.run(&test).unwrap();
+        assert_eq!(r.observable, Some(false));
+        assert_eq!(r.passed, Some(true));
+    }
+
+    #[test]
+    fn negated_memeq_is_rejected() {
+        let mut test = library::coww();
+        test.cond = test.cond.not();
+        assert_eq!(supported(&test), Err(Unsupported::Condition));
+    }
+
+    #[test]
+    fn deadline_yields_unknown_not_wrong_answer() {
+        let test = library::mp();
+        let mut session = SatSession::new(signature(&test.program)).unwrap();
+        session.set_deadline(Some(Duration::ZERO));
+        let r = session.run(&test).unwrap();
+        assert_eq!(r.observable, None);
+        assert_eq!(r.passed, None);
+        // The session recovers once the budget is lifted.
+        session.set_deadline(None);
+        let r = session.run(&test).unwrap();
+        assert_eq!(r.passed, Some(true));
+    }
+}

@@ -95,10 +95,7 @@ pub fn sc_outcomes(program: &Program) -> BTreeSet<ScOutcome> {
                     .regs
                     .iter()
                     .enumerate()
-                    .flat_map(|(t, m)| {
-                        m.iter()
-                            .map(move |(&r, &v)| ((ThreadId(t as u32), r), v))
-                    })
+                    .flat_map(|(t, m)| m.iter().map(move |(&r, &v)| ((ThreadId(t as u32), r), v)))
                     .collect(),
                 memory: state.memory.clone(),
             });
@@ -206,10 +203,7 @@ mod tests {
             })
             .collect();
         // SC forbids (1, 0).
-        assert_eq!(
-            reg_pairs,
-            BTreeSet::from([(0, 0), (0, 1), (1, 1)])
-        );
+        assert_eq!(reg_pairs, BTreeSet::from([(0, 0), (0, 1), (1, 1)]));
     }
 
     #[test]
@@ -232,8 +226,20 @@ mod tests {
     fn atomics_are_atomic_under_sc() {
         let p = Program::new(
             vec![
-                vec![atom_add(ptx::AtomSem::Relaxed, Scope::Sys, Register(0), X, 1)],
-                vec![atom_add(ptx::AtomSem::Relaxed, Scope::Sys, Register(0), X, 1)],
+                vec![atom_add(
+                    ptx::AtomSem::Relaxed,
+                    Scope::Sys,
+                    Register(0),
+                    X,
+                    1,
+                )],
+                vec![atom_add(
+                    ptx::AtomSem::Relaxed,
+                    Scope::Sys,
+                    Register(0),
+                    X,
+                    1,
+                )],
             ],
             SystemLayout::cta_per_thread(2),
         );

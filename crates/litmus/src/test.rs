@@ -63,10 +63,10 @@ pub struct LitmusResult {
 /// Runs a PTX litmus test with the enumeration engine.
 pub fn run_ptx(test: &PtxLitmus) -> LitmusResult {
     let e = ptx::enumerate_executions(&test.program);
-    let observable = e.executions.iter().any(|x| {
-        test.cond
-            .satisfiable(&x.final_registers, &x.final_memory)
-    });
+    let observable = e
+        .executions
+        .iter()
+        .any(|x| test.cond.satisfiable(&x.final_registers, &x.final_memory));
     LitmusResult {
         name: test.name.clone(),
         observable,
@@ -80,11 +80,8 @@ pub fn run_ptx(test: &PtxLitmus) -> LitmusResult {
 pub fn run_rc11(test: &C11Litmus) -> LitmusResult {
     let e = rc11::enumerate_executions(&test.program);
     let observable = e.executions.iter().any(|x| {
-        let memory: Vec<(Location, Vec<Value>)> = x
-            .final_memory
-            .iter()
-            .map(|&(l, v)| (l, vec![v]))
-            .collect();
+        let memory: Vec<(Location, Vec<Value>)> =
+            x.final_memory.iter().map(|&(l, v)| (l, vec![v])).collect();
         test.cond.satisfiable(&x.final_registers, &memory)
     });
     LitmusResult {
@@ -136,11 +133,8 @@ pub fn run_under_tso(test: &PtxLitmus) -> Option<LitmusResult> {
     let program = ptx_to_tso(&test.program)?;
     let e = tso::enumerate_executions(&program);
     let observable = e.executions.iter().any(|x| {
-        let memory: Vec<(Location, Vec<Value>)> = x
-            .final_memory
-            .iter()
-            .map(|&(l, v)| (l, vec![v]))
-            .collect();
+        let memory: Vec<(Location, Vec<Value>)> =
+            x.final_memory.iter().map(|&(l, v)| (l, vec![v])).collect();
         test.cond.satisfiable(&x.final_registers, &memory)
     });
     Some(LitmusResult {
@@ -182,7 +176,9 @@ pub fn run_suite(tests: &[PtxLitmus]) -> Vec<SuiteRow> {
 }
 
 /// Pretty-prints an outcome map for display.
-pub fn format_registers(regs: &BTreeMap<(memmodel::ThreadId, memmodel::Register), Value>) -> String {
+pub fn format_registers(
+    regs: &BTreeMap<(memmodel::ThreadId, memmodel::Register), Value>,
+) -> String {
     let parts: Vec<String> = regs
         .iter()
         .map(|((t, r), v)| format!("{}:{}={}", t.0, r, v))

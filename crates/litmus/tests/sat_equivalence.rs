@@ -1,0 +1,72 @@
+//! Regression suite for the incremental SAT path: over every bundled
+//! litmus test the pooled [`litmus::sat::SatSession`] must agree with a
+//! per-query scratch [`modelfinder::ModelFinder`] on the identical
+//! problem, and both must agree with the exhaustive enumeration engine
+//! (the ground truth the paper's herd-style runner uses).
+
+use std::collections::BTreeMap;
+
+use litmus::sat::{self, SatSession, Signature};
+use litmus::{library, run_ptx};
+use modelfinder::{ModelFinder, Options};
+
+#[test]
+fn sessions_match_scratch_and_enumeration_on_the_bundled_suite() {
+    let mut sessions: BTreeMap<Signature, SatSession> = BTreeMap::new();
+    let mut checked = 0usize;
+    let mut skipped = Vec::new();
+    for test in library::extended_suite() {
+        if let Err(why) = sat::supported(&test) {
+            skipped.push(format!("{} ({why})", test.name));
+            continue;
+        }
+        let sig = sat::signature(&test.program);
+        let session = match sessions.entry(sig) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(SatSession::new(sig).expect("internal encoding error"))
+            }
+        };
+
+        let incremental = session.run(&test).expect("supported test");
+        let problem = sat::scratch_problem(&test).expect("supported test");
+        let (scratch, _) = ModelFinder::new(Options::default())
+            .solve(&problem)
+            .expect("internal encoding error");
+        let ground_truth = run_ptx(&test);
+
+        assert_eq!(
+            incremental.observable,
+            Some(scratch.instance().is_some()),
+            "session and scratch ModelFinder disagree on {}",
+            test.name
+        );
+        assert_eq!(
+            incremental.observable,
+            Some(ground_truth.observable),
+            "SAT path and enumeration disagree on {}",
+            test.name
+        );
+        assert_eq!(
+            incremental.passed,
+            Some(ground_truth.passed),
+            "verdict drift on {}",
+            test.name
+        );
+        checked += 1;
+    }
+
+    // The suite must be meaningfully covered, and the expected handful of
+    // barrier / data-dependent tests are the only fallbacks.
+    assert!(checked >= 20, "only {checked} tests took the SAT path");
+    assert!(
+        skipped.len() <= 5,
+        "unexpected SAT-path fallbacks: {skipped:?}"
+    );
+
+    // Sharing worked: at least one signature answered several tests, so
+    // its second query hit the session's gate cache.
+    assert!(sessions
+        .values()
+        .any(|s| s.stats().queries > 1 && s.stats().gate_cache_hits > 0));
+}

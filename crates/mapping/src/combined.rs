@@ -20,7 +20,7 @@ use crate::recipe::RecipeVariant;
 
 /// Whether the model carries the full scope hierarchy or is "de-scoped"
 /// (everything at `.sys`), the comparison axis of Figure 17b.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScopeMode {
     /// Full scopes: `.cta` / `.gpu` / `.sys` free per event.
     Scoped,
@@ -61,14 +61,8 @@ pub fn build(bound: usize, mode: ScopeMode, variant: RecipeVariant) -> CombinedM
     // Fixed scope tree: t0,t1 share CTA0 on GPU0; t2 in CTA1 on GPU0;
     // t3 in CTA2 on GPU1.
     let (t0, t1, t2, t3) = (t_lo, t_lo + 1, t_lo + 2, t_lo + 3);
-    let same_cta = TupleSet::from_pairs([
-        (t0, t0),
-        (t1, t1),
-        (t2, t2),
-        (t3, t3),
-        (t0, t1),
-        (t1, t0),
-    ]);
+    let same_cta =
+        TupleSet::from_pairs([(t0, t0), (t1, t1), (t2, t2), (t3, t3), (t0, t1), (t1, t0)]);
     let same_gpu = same_cta.union(&TupleSet::from_pairs([
         (t0, t2),
         (t2, t0),
@@ -82,8 +76,26 @@ pub fn build(bound: usize, mode: ScopeMode, variant: RecipeVariant) -> CombinedM
     let map = Expr::Rel(schema.relation("map", 2));
 
     let mut bounds = Bounds::new(&schema, universe);
-    bound_cvocab(&mut bounds, &cv, &c_block, &threads, &locs, &same_cta, &same_gpu, mode);
-    bound_pvocab(&mut bounds, &pv, &p_block, &threads, &locs, &same_cta, &same_gpu, mode);
+    bound_cvocab(
+        &mut bounds,
+        &cv,
+        &c_block,
+        &threads,
+        &locs,
+        &same_cta,
+        &same_gpu,
+        mode,
+    );
+    bound_pvocab(
+        &mut bounds,
+        &pv,
+        &p_block,
+        &threads,
+        &locs,
+        &same_cta,
+        &same_gpu,
+        mode,
+    );
     if let Expr::Rel(r) = &map {
         bounds.bound_upper(*r, c_block.product(&p_block));
     }
@@ -124,7 +136,9 @@ fn bound_cvocab(
     same_gpu: &TupleSet,
     mode: ScopeMode,
 ) {
-    for e in [&v.ev, &v.read, &v.write, &v.fence, &v.atomic, &v.acq, &v.rel, &v.sc] {
+    for e in [
+        &v.ev, &v.read, &v.write, &v.fence, &v.atomic, &v.acq, &v.rel, &v.sc,
+    ] {
         bounds.bound_upper(rel_id(e), block.clone());
     }
     match mode {
@@ -263,19 +277,13 @@ fn map_constraints(
     // Leading fences: exactly the SC memory events that are not the write
     // half of an RMW get one `fence.sc` image; everything else gets none.
     let rmw_write_halves = Expr::Univ.join(&cv.rmw);
-    let needs_fence = cv
-        .sc
-        .intersect(&c_mem)
-        .difference(&rmw_write_halves);
+    let needs_fence = cv.sc.intersect(&c_mem).difference(&rmw_write_halves);
     let no_fence_mem = c_mem.difference(&needs_fence);
     let v = fresh.var();
     fs.push(Formula::for_all(
         v,
         needs_fence.clone(),
-        Expr::Var(v)
-            .join(map)
-            .intersect(&pv.fence)
-            .one(),
+        Expr::Var(v).join(map).intersect(&pv.fence).one(),
     ));
     let v = fresh.var();
     fs.push(Formula::for_all(
@@ -344,10 +352,7 @@ fn map_constraints(
     fs.push(Formula::for_all(
         v,
         na_mem,
-        Expr::Var(v)
-            .join(&map_mem)
-            .intersect(&pv.strong)
-            .no(),
+        Expr::Var(v).join(&map_mem).intersect(&pv.strong).no(),
     ));
     // Atomic memory events compile to strong operations.
     let v = fresh.var();
@@ -432,10 +437,7 @@ fn map_constraints(
     // "no fence image" constraint for non-SC memory events.
 
     // RMW pairing is preserved exactly.
-    let lifted_rmw = map_mem
-        .transpose()
-        .join(&cv.rmw)
-        .join(&map_mem);
+    let lifted_rmw = map_mem.transpose().join(&cv.rmw).join(&map_mem);
     fs.push(lifted_rmw.equal(&pv.rmw));
 
     // Program order lift: sequencing of source events forces program
@@ -452,12 +454,7 @@ fn map_constraints(
             .join(&map_mem.transpose())
             .equal(&cv.rf),
     );
-    fs.push(
-        map_mem
-            .join(&pv.co)
-            .join(&map_mem.transpose())
-            .in_(&cv.mo),
-    );
+    fs.push(map_mem.join(&pv.co).join(&map_mem.transpose()).in_(&cv.mo));
 
     Formula::and_all(fs)
 }
@@ -526,12 +523,8 @@ mod tests {
                     bounds: model.bounds.clone(),
                     formula: model.hypotheses.and(&goal.not()),
                 };
-                let (verdict, _) =
-                    ModelFinder::new(Options::check()).solve(&problem).unwrap();
-                assert!(
-                    verdict.is_unsat(),
-                    "{name} violated at bound 2 ({mode:?})"
-                );
+                let (verdict, _) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
+                assert!(verdict.is_unsat(), "{name} violated at bound 2 ({mode:?})");
             }
         }
     }

@@ -43,5 +43,5 @@ pub mod verify;
 pub use combined::{build, CombinedModel, ScopeMode};
 pub use recipe::{compile_instruction, compile_program, RecipeVariant};
 pub use verify::{
-    check_program_soundness, verify_all, verify_axiom, AxiomCheckRow, SoundnessReport,
+    check_program_soundness, verify_all, verify_axiom, AxiomCheckRow, AxiomSession, SoundnessReport,
 };

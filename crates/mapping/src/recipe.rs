@@ -42,10 +42,7 @@ fn map_operand(src: rc11::Operand) -> ptx::Operand {
 
 /// Compiles one scoped C++ instruction to PTX instruction(s) per
 /// Figure 11.
-pub fn compile_instruction(
-    instr: &CInstruction,
-    variant: RecipeVariant,
-) -> Vec<Instruction> {
+pub fn compile_instruction(instr: &CInstruction, variant: RecipeVariant) -> Vec<Instruction> {
     match *instr {
         CInstruction::Load {
             mo,
@@ -252,7 +249,13 @@ mod tests {
             }]
         ));
         assert!(matches!(
-            one(exchange(MemOrder::Sc, Scope::Gpu, Register(0), Location(0), 1))[..],
+            one(exchange(
+                MemOrder::Sc,
+                Scope::Gpu,
+                Register(0),
+                Location(0),
+                1
+            ))[..],
             [
                 Instruction::Fence {
                     sem: FenceSem::Sc,

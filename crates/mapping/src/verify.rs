@@ -15,7 +15,7 @@
 use std::collections::BTreeSet;
 use std::time::Duration;
 
-use modelfinder::{ModelFinder, Options, Problem, Report, Verdict};
+use modelfinder::{ModelFinder, Options, Problem, Report, Session, SessionStats, Verdict};
 use rc11::CProgram;
 
 use crate::combined::{build, CombinedModel, ScopeMode};
@@ -55,10 +55,8 @@ pub fn check_program_soundness(program: &CProgram, variant: RecipeVariant) -> So
         .map(|x| litmus::format_registers(&x.final_registers))
         .collect();
 
-    let unsound_outcomes: BTreeSet<String> = ptx_outcomes
-        .difference(&rc11_outcomes)
-        .cloned()
-        .collect();
+    let unsound_outcomes: BTreeSet<String> =
+        ptx_outcomes.difference(&rc11_outcomes).cloned().collect();
     let sound = unsound_outcomes.is_empty() || source_racy;
     SoundnessReport {
         rc11_outcomes,
@@ -121,6 +119,92 @@ pub fn verify_axiom(
     })
 }
 
+/// An incremental Figure 17 verifier: one combined model and one
+/// [`Session`] answering every axiom query for a (bound, mode, variant)
+/// triple.
+///
+/// The session's base is the model's hypotheses (both memory models'
+/// well-formedness and axioms plus the mapping constraints); each
+/// [`AxiomSession::verify`] call only adds the negated goal. Verdicts
+/// match [`verify_axiom`] exactly — the symmetry-breaking predicates
+/// depend only on (schema, bounds), which the session shares with every
+/// scratch query, and the goals are built purely from declared relations,
+/// so they are invariant under the broken permutations.
+#[derive(Debug)]
+pub struct AxiomSession {
+    model: CombinedModel,
+    mode: ScopeMode,
+    session: Session,
+}
+
+impl AxiomSession {
+    /// Builds the combined model for `(bound, mode, variant)` and opens a
+    /// session on its hypotheses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational type errors (an internal encoding bug).
+    pub fn new(
+        bound: usize,
+        mode: ScopeMode,
+        variant: RecipeVariant,
+        options: Options,
+    ) -> Result<AxiomSession, relational::TypeError> {
+        let model = build(bound, mode, variant);
+        let session = Session::new(&model.schema, &model.bounds, &model.hypotheses, options)?;
+        Ok(AxiomSession {
+            model,
+            mode,
+            session,
+        })
+    }
+
+    /// Runs the counterexample search for one axiom on the shared session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational type errors from the encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axiom` is not one of the model's goals.
+    pub fn verify(&mut self, axiom: &'static str) -> Result<AxiomCheckRow, relational::TypeError> {
+        let goal = self
+            .model
+            .goals
+            .iter()
+            .find(|(n, _)| *n == axiom)
+            .map(|(_, f)| f.clone())
+            .unwrap_or_else(|| panic!("unknown axiom {axiom}"));
+        let start = std::time::Instant::now();
+        let (verdict, report) = self.session.solve(&goal.not())?;
+        Ok(AxiomCheckRow {
+            axiom,
+            bound: self.model.bound,
+            mode: self.mode,
+            verdict,
+            report,
+            total_time: start.elapsed(),
+        })
+    }
+
+    /// Replaces the per-query wall-clock budget.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.session.set_deadline(deadline);
+    }
+
+    /// Replaces the per-query cancellation token.
+    pub fn set_cancel(&mut self, token: Option<modelfinder::CancelToken>) {
+        self.session.set_cancel(token);
+    }
+
+    /// Cumulative session work counters (translation/encode/solve time,
+    /// gate-cache hits).
+    pub fn stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+}
+
 /// Runs the full Figure 17 sweep: every RC11 axiom at the given bound and
 /// scope mode. Returns one row per axiom.
 ///
@@ -164,10 +248,34 @@ mod tests {
     }
 
     #[test]
+    fn axiom_session_matches_scratch_verdicts() {
+        for mode in [ScopeMode::Scoped, ScopeMode::Descoped] {
+            let mut session =
+                AxiomSession::new(2, mode, RecipeVariant::Correct, Options::check()).unwrap();
+            let model = build(2, mode, RecipeVariant::Correct);
+            for axiom in ["Coherence", "Atomicity", "SC"] {
+                let incremental = session.verify(axiom).unwrap();
+                let scratch = verify_axiom(&model, axiom, mode, Options::check()).unwrap();
+                assert_eq!(
+                    incremental.verdict.is_unsat(),
+                    scratch.verdict.is_unsat(),
+                    "session and scratch disagree on {axiom} ({mode:?})"
+                );
+            }
+            // The second and third axiom share the hypotheses encoding.
+            assert!(session.stats().gate_cache_hits > 0);
+        }
+    }
+
+    #[test]
     fn mp_compiles_soundly() {
         let report = check_program_soundness(&mp_program(), RecipeVariant::Correct);
         assert!(!report.source_racy);
-        assert!(report.sound, "unsound outcomes: {:?}", report.unsound_outcomes);
+        assert!(
+            report.sound,
+            "unsound outcomes: {:?}",
+            report.unsound_outcomes
+        );
         // And the compiled program is not degenerate: it has outcomes.
         assert!(!report.ptx_outcomes.is_empty());
     }
@@ -222,7 +330,11 @@ mod tests {
         );
         let good = check_program_soundness(&program, RecipeVariant::Correct);
         assert!(!good.source_racy);
-        assert!(good.sound, "correct mapping leaked: {:?}", good.unsound_outcomes);
+        assert!(
+            good.sound,
+            "correct mapping leaked: {:?}",
+            good.unsound_outcomes
+        );
 
         let bad = check_program_soundness(&program, RecipeVariant::ElideReleaseOnScRmw);
         assert!(

@@ -80,7 +80,8 @@ impl RelMat {
 
     /// Iterates all pairs in row-major order.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.n).flat_map(move |i| (0..self.n).filter_map(move |j| self.get(i, j).then_some((i, j))))
+        (0..self.n)
+            .flat_map(move |i| (0..self.n).filter_map(move |j| self.get(i, j).then_some((i, j))))
     }
 
     /// Union, in place.

@@ -78,7 +78,10 @@ fn compose_agrees_with_join() {
 fn transpose_agrees() {
     forall("transpose_agrees", 256, |rng| {
         let a = gen_pairs(rng);
-        assert_eq!(back(&to_relmat(&a).transpose()), to_tupleset(&a).transpose());
+        assert_eq!(
+            back(&to_relmat(&a).transpose()),
+            to_tupleset(&a).transpose()
+        );
     });
 }
 

@@ -104,13 +104,7 @@ mod tests {
         let s = Term::atom("s");
         assert!(eval_prop(&Prop::Incl(r.clone(), s.clone()), &env, &schema, &inst).unwrap());
         assert!(!eval_prop(&Prop::Incl(s.clone(), r.clone()), &env, &schema, &inst).unwrap());
-        assert!(eval_prop(
-            &Prop::Eq(r.closure(), s.clone()),
-            &env,
-            &schema,
-            &inst
-        )
-        .unwrap());
+        assert!(eval_prop(&Prop::Eq(r.closure(), s.clone()), &env, &schema, &inst).unwrap());
         assert!(eval_prop(&Prop::Acyclic(r.clone()), &env, &schema, &inst).unwrap());
         assert!(eval_prop(&Prop::Irreflexive(r.comp(&s)), &env, &schema, &inst).unwrap());
         assert!(eval_prop(&Prop::IsEmpty(r.diff(&s)), &env, &schema, &inst).unwrap());

@@ -49,10 +49,7 @@ pub fn union_lub_all(thms: &[&Theorem]) -> Result<Theorem, ProofError> {
 /// From `irreflexive(r)`: `⊢ empty(iden ∩ (r' ∩ r))`-style corollaries are
 /// often needed through an inclusion first; this tactic goes straight
 /// from `s ⊆ r` and `irreflexive(r)` to `⊢ empty(iden ∩ s)`.
-pub fn empty_diagonal_of_sub(
-    sub: &Theorem,
-    irreflexive: &Theorem,
-) -> Result<Theorem, ProofError> {
+pub fn empty_diagonal_of_sub(sub: &Theorem, irreflexive: &Theorem) -> Result<Theorem, ProofError> {
     let irr_s = irreflexive_sub(sub, irreflexive)?;
     irreflexive_to_empty(&irr_s)
 }
@@ -115,10 +112,7 @@ mod tests {
         let bc = th.axiom("bc").unwrap();
         let ac = incl_chain(&[&ab, &bc]).unwrap();
         let empty_diag = empty_diagonal_of_sub(&ac, &irr).unwrap();
-        assert_eq!(
-            *empty_diag.prop(),
-            Prop::IsEmpty(Term::Iden.inter(&a))
-        );
+        assert_eq!(*empty_diag.prop(), Prop::IsEmpty(Term::Iden.inter(&a)));
     }
 
     #[test]

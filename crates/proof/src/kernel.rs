@@ -158,9 +158,7 @@ pub fn union_lub(ac: &Theorem, bc: &Theorem) -> Result<Theorem, ProofError> {
 pub fn union_mono(aa: &Theorem, bb: &Theorem) -> Result<Theorem, ProofError> {
     let t = same_theory(aa, bb)?;
     match (&aa.prop, &bb.prop) {
-        (Prop::Incl(a, a2), Prop::Incl(b, b2)) => {
-            Ok(mk(t, Prop::Incl(a.union(b), a2.union(b2))))
-        }
+        (Prop::Incl(a, a2), Prop::Incl(b, b2)) => Ok(mk(t, Prop::Incl(a.union(b), a2.union(b2)))),
         _ => err("union_mono expects two inclusions"),
     }
 }
@@ -190,9 +188,7 @@ pub fn inter_glb(ca: &Theorem, cb: &Theorem) -> Result<Theorem, ProofError> {
 pub fn inter_mono(aa: &Theorem, bb: &Theorem) -> Result<Theorem, ProofError> {
     let t = same_theory(aa, bb)?;
     match (&aa.prop, &bb.prop) {
-        (Prop::Incl(a, a2), Prop::Incl(b, b2)) => {
-            Ok(mk(t, Prop::Incl(a.inter(b), a2.inter(b2))))
-        }
+        (Prop::Incl(a, a2), Prop::Incl(b, b2)) => Ok(mk(t, Prop::Incl(a.inter(b), a2.inter(b2)))),
         _ => err("inter_mono expects two inclusions"),
     }
 }
@@ -201,9 +197,7 @@ pub fn inter_mono(aa: &Theorem, bb: &Theorem) -> Result<Theorem, ProofError> {
 pub fn comp_mono(aa: &Theorem, bb: &Theorem) -> Result<Theorem, ProofError> {
     let t = same_theory(aa, bb)?;
     match (&aa.prop, &bb.prop) {
-        (Prop::Incl(a, a2), Prop::Incl(b, b2)) => {
-            Ok(mk(t, Prop::Incl(a.comp(b), a2.comp(b2))))
-        }
+        (Prop::Incl(a, a2), Prop::Incl(b, b2)) => Ok(mk(t, Prop::Incl(a.comp(b), a2.comp(b2)))),
         _ => err("comp_mono expects two inclusions"),
     }
 }
@@ -300,9 +294,7 @@ pub fn irreflexive_sub(ab: &Theorem, irr_b: &Theorem) -> Result<Theorem, ProofEr
 pub fn acyclic_sub(ab: &Theorem, acy_b: &Theorem) -> Result<Theorem, ProofError> {
     let t = same_theory(ab, acy_b)?;
     match (&ab.prop, &acy_b.prop) {
-        (Prop::Incl(a, b1), Prop::Acyclic(b2)) if b1 == b2 => {
-            Ok(mk(t, Prop::Acyclic(a.clone())))
-        }
+        (Prop::Incl(a, b1), Prop::Acyclic(b2)) if b1 == b2 => Ok(mk(t, Prop::Acyclic(a.clone()))),
         _ => err("acyclic_sub mismatch"),
     }
 }
@@ -318,9 +310,7 @@ pub fn acyclic_closure_irreflexive(acy: &Theorem) -> Result<Theorem, ProofError>
 /// From `irreflexive(a⁺)`: `⊢ acyclic(a)`.
 pub fn irreflexive_closure_acyclic(irr: &Theorem) -> Result<Theorem, ProofError> {
     match &irr.prop {
-        Prop::Irreflexive(Term::Closure(a)) => {
-            Ok(mk(irr.theory, Prop::Acyclic((**a).clone())))
-        }
+        Prop::Irreflexive(Term::Closure(a)) => Ok(mk(irr.theory, Prop::Acyclic((**a).clone()))),
         _ => err("expects irreflexive of a closure"),
     }
 }
@@ -328,10 +318,7 @@ pub fn irreflexive_closure_acyclic(irr: &Theorem) -> Result<Theorem, ProofError>
 /// From `irreflexive(a ; b)`: `⊢ irreflexive(b ; a)` (cycle rotation).
 pub fn irreflexive_rotate(irr: &Theorem) -> Result<Theorem, ProofError> {
     match &irr.prop {
-        Prop::Irreflexive(Term::Comp(a, b)) => Ok(mk(
-            irr.theory,
-            Prop::Irreflexive(b.comp(a)),
-        )),
+        Prop::Irreflexive(Term::Comp(a, b)) => Ok(mk(irr.theory, Prop::Irreflexive(b.comp(a)))),
         _ => err("irreflexive_rotate expects irreflexive(a ; b)"),
     }
 }
@@ -340,9 +327,7 @@ pub fn irreflexive_rotate(irr: &Theorem) -> Result<Theorem, ProofError> {
 pub fn irreflexive_union(ia: &Theorem, ib: &Theorem) -> Result<Theorem, ProofError> {
     let t = same_theory(ia, ib)?;
     match (&ia.prop, &ib.prop) {
-        (Prop::Irreflexive(a), Prop::Irreflexive(b)) => {
-            Ok(mk(t, Prop::Irreflexive(a.union(b))))
-        }
+        (Prop::Irreflexive(a), Prop::Irreflexive(b)) => Ok(mk(t, Prop::Irreflexive(a.union(b)))),
         _ => err("irreflexive_union expects two irreflexivity facts"),
     }
 }
@@ -350,10 +335,7 @@ pub fn irreflexive_union(ia: &Theorem, ib: &Theorem) -> Result<Theorem, ProofErr
 /// From `irreflexive(a)`: `⊢ empty(iden ∩ a)`.
 pub fn irreflexive_to_empty(irr: &Theorem) -> Result<Theorem, ProofError> {
     match &irr.prop {
-        Prop::Irreflexive(a) => Ok(mk(
-            irr.theory,
-            Prop::IsEmpty(Term::Iden.inter(a)),
-        )),
+        Prop::Irreflexive(a) => Ok(mk(irr.theory, Prop::IsEmpty(Term::Iden.inter(a)))),
         _ => err("expects irreflexive"),
     }
 }
@@ -372,9 +354,7 @@ pub fn empty_to_irreflexive(e: &Theorem) -> Result<Theorem, ProofError> {
 pub fn empty_sub(ab: &Theorem, eb: &Theorem) -> Result<Theorem, ProofError> {
     let t = same_theory(ab, eb)?;
     match (&ab.prop, &eb.prop) {
-        (Prop::Incl(a, b1), Prop::IsEmpty(b2)) if b1 == b2 => {
-            Ok(mk(t, Prop::IsEmpty(a.clone())))
-        }
+        (Prop::Incl(a, b1), Prop::IsEmpty(b2)) if b1 == b2 => Ok(mk(t, Prop::IsEmpty(a.clone()))),
         _ => err(format!("empty_sub mismatch: {} vs {}", ab.prop, eb.prop)),
     }
 }

@@ -105,9 +105,7 @@ impl Atoms {
     /// The hb-loop escape case of the Theorem 2 case split:
     /// `(iden ∩ (hb ; hb)) ; rmw_c`.
     pub fn hb_loop_case(&self) -> Term {
-        Term::Iden
-            .inter(&self.hb.comp(&self.hb))
-            .comp(&self.rmw_c)
+        Term::Iden.inter(&self.hb.comp(&self.hb)).comp(&self.rmw_c)
     }
 }
 
@@ -133,10 +131,7 @@ pub fn mapping_theory() -> (Theory, Atoms) {
             a.ptx_atomicity_violation().union(&a.hb_loop_case()),
         ),
     );
-    th.add_axiom(
-        "lower_psc",
-        Prop::Incl(a.incl.inter(&a.psc), a.sc.clone()),
-    );
+    th.add_axiom("lower_psc", Prop::Incl(a.incl.inter(&a.psc), a.sc.clone()));
 
     // PTX facts: consequences of the six axioms for consistent
     // executions.
@@ -145,10 +140,7 @@ pub fn mapping_theory() -> (Theory, Atoms) {
         "ptx_comm_cause",
         Prop::Irreflexive(a.comm_closure().comp(&a.po_cause())),
     );
-    th.add_axiom(
-        "ptx_atomicity",
-        Prop::IsEmpty(a.ptx_atomicity_violation()),
-    );
+    th.add_axiom("ptx_atomicity", Prop::IsEmpty(a.ptx_atomicity_violation()));
     th.add_axiom("ptx_sc_order", Prop::Acyclic(a.sc.clone()));
 
     (th, a)
@@ -247,20 +239,14 @@ mod tests {
     fn theorem_1_checks() {
         let (th, a) = mapping_theory();
         let t = theorem_1_coherence(&th, &a).expect("proof script must check");
-        assert_eq!(
-            *t.prop(),
-            Prop::Irreflexive(a.hb.union(&a.hb.comp(&a.eco)))
-        );
+        assert_eq!(*t.prop(), Prop::Irreflexive(a.hb.union(&a.hb.comp(&a.eco))));
     }
 
     #[test]
     fn theorem_2_checks() {
         let (th, a) = mapping_theory();
         let t = theorem_2_atomicity(&th, &a).expect("proof script must check");
-        assert_eq!(
-            *t.prop(),
-            Prop::IsEmpty(a.rmw_c.inter(&a.rb.comp(&a.mo)))
-        );
+        assert_eq!(*t.prop(), Prop::IsEmpty(a.rmw_c.inter(&a.rb.comp(&a.mo))));
     }
 
     #[test]

@@ -11,10 +11,7 @@ use testkit::Rng;
 
 const UNIVERSE: usize = 4;
 
-fn setup(
-    r_pairs: &[(u32, u32)],
-    s_pairs: &[(u32, u32)],
-) -> (Schema, Env, Instance) {
+fn setup(r_pairs: &[(u32, u32)], s_pairs: &[(u32, u32)]) -> (Schema, Env, Instance) {
     let mut schema = Schema::new();
     let mut env = Env::new();
     env.insert("r".into(), schema.relation("r", 2));
@@ -64,7 +61,10 @@ fn theory_of_instance(schema: &Schema, env: &Env, inst: &Instance) -> (Theory, V
 /// A random binary relation over the universe, up to 7 pairs.
 fn gen_rel(rng: &mut Rng) -> Vec<(u32, u32)> {
     rng.vec_of(0, 7, |r| {
-        (r.below(UNIVERSE as u64) as u32, r.below(UNIVERSE as u64) as u32)
+        (
+            r.below(UNIVERSE as u64) as u32,
+            r.below(UNIVERSE as u64) as u32,
+        )
     })
 }
 

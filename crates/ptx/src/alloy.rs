@@ -445,7 +445,11 @@ mod tests {
         set(&mut inst, &v.co, TupleSet::from_pairs([(8, 0)]));
         set(&mut inst, &v.sc, TupleSet::empty(2));
         set(&mut inst, &v.rmw, TupleSet::empty(2));
-        set(&mut inst, &v.same_cta, TupleSet::from_pairs([(4, 4), (5, 5)]));
+        set(
+            &mut inst,
+            &v.same_cta,
+            TupleSet::from_pairs([(4, 4), (5, 5)]),
+        );
         set(
             &mut inst,
             &v.same_gpu,
@@ -494,7 +498,15 @@ mod tests {
                 b.bound_upper(*r, relational::full_set(2, n));
             }
         };
-        for e in [&v.read, &v.write, &v.fence, &v.strong, &v.acq, &v.rel, &v.sc_fence] {
+        for e in [
+            &v.read,
+            &v.write,
+            &v.fence,
+            &v.strong,
+            &v.acq,
+            &v.rel,
+            &v.sc_fence,
+        ] {
             if let Expr::Rel(r) = e {
                 bounds.bound_upper(*r, events.clone());
             }
@@ -514,10 +526,7 @@ mod tests {
             bounds.bound_exact(*r, TupleSet::from_pairs([(3, 3), (4, 4)]));
         }
         if let Expr::Rel(r) = &v.same_gpu {
-            bounds.bound_exact(
-                *r,
-                TupleSet::from_pairs([(3, 3), (4, 4), (3, 4), (4, 3)]),
-            );
+            bounds.bound_exact(*r, TupleSet::from_pairs([(3, 3), (4, 4), (3, 4), (4, 3)]));
         }
         if let Expr::Rel(r) = &v.loc {
             bounds.bound_upper(*r, TupleSet::from_pairs([(0, 5), (1, 5), (2, 5)]));
@@ -537,18 +546,19 @@ mod tests {
         // Ask for an execution with a cross-thread rf: rf non-empty and
         // disjoint from same-thread pairs.
         let same_thread = v.thread.join(&v.thread.transpose());
-        let formula = Formula::and_all([
-            wf,
-            axioms,
-            v.rf.some(),
-            v.rf.intersect(&same_thread).no(),
-        ]);
+        let formula =
+            Formula::and_all([wf, axioms, v.rf.some(), v.rf.intersect(&same_thread).no()]);
         let problem = Problem {
             schema,
             bounds,
             formula,
         };
-        let (verdict, _) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
-        assert!(verdict.instance().is_some(), "expected a consistent execution");
+        let (verdict, _) = ModelFinder::new(Options::default())
+            .solve(&problem)
+            .unwrap();
+        assert!(
+            verdict.instance().is_some(),
+            "expected a consistent execution"
+        );
     }
 }

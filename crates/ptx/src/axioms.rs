@@ -82,17 +82,11 @@ pub fn check_axiom(
         Axiom::Atomicity => {
             let ms_fr = relations.morally_strong.intersect(&relations.fr);
             let ms_co = relations.morally_strong.intersect(&candidate.co);
-            ms_fr
-                .compose(&ms_co)
-                .intersect(&expansion.rmw)
-                .is_empty()
+            ms_fr.compose(&ms_co).intersect(&expansion.rmw).is_empty()
         }
         Axiom::NoThinAir => relations.rf.union(&expansion.dep).is_acyclic(),
         Axiom::ScPerLocation => {
-            let comm = relations
-                .rf
-                .union(&candidate.co)
-                .union(&relations.fr);
+            let comm = relations.rf.union(&candidate.co).union(&relations.fr);
             relations
                 .morally_strong
                 .intersect(&comm)
@@ -127,11 +121,7 @@ pub fn check_all(
 /// morally strong overlapping write pair and orders init writes first.
 /// The enumerator produces only well-formed witnesses; this is used to
 /// validate hand-built candidates.
-pub fn co_well_formed(
-    expansion: &Expansion,
-    layout: &SystemLayout,
-    candidate: &Candidate,
-) -> bool {
+pub fn co_well_formed(expansion: &Expansion, layout: &SystemLayout, candidate: &Candidate) -> bool {
     let co = &candidate.co;
     if !co.is_irreflexive() || !co.is_transitive() {
         return false;
@@ -169,11 +159,7 @@ pub fn co_well_formed(
 
 /// Well-formedness of a Fence-SC witness (§8.8.3): an acyclic partial
 /// order over `fence.sc` events relating every morally strong pair.
-pub fn sc_well_formed(
-    expansion: &Expansion,
-    layout: &SystemLayout,
-    candidate: &Candidate,
-) -> bool {
+pub fn sc_well_formed(expansion: &Expansion, layout: &SystemLayout, candidate: &Candidate) -> bool {
     let sc = &candidate.sc;
     if !sc.is_irreflexive() || !sc.is_transitive() {
         return false;
@@ -317,10 +303,7 @@ mod tests {
     #[test]
     fn racy_weak_writes_may_be_unordered() {
         let p = Program::new(
-            vec![
-                vec![st_weak(Location(0), 1)],
-                vec![st_weak(Location(0), 2)],
-            ],
+            vec![vec![st_weak(Location(0), 1)], vec![st_weak(Location(0), 2)]],
             SystemLayout::single_cta(2),
         );
         let layout = p.layout.clone();

@@ -8,15 +8,11 @@
 
 use std::collections::BTreeMap;
 
-use memmodel::{
-    enumerate_partial_orders, Location, Odometer, Register, RelMat, ThreadId, Value,
-};
+use memmodel::{enumerate_partial_orders, Location, Odometer, Register, RelMat, ThreadId, Value};
 
 use crate::axioms::{check_all, AxiomCheck};
 use crate::event::{expand, Expansion};
-use crate::exec::{
-    evaluate_values, final_values, morally_strong, Candidate, ValueMap,
-};
+use crate::exec::{evaluate_values, final_values, morally_strong, Candidate, ValueMap};
 use crate::inst::Program;
 
 /// One consistent (axiom-satisfying) execution with its observable state.
@@ -94,8 +90,7 @@ where
         .iter()
         .map(|(_, writes)| {
             let init = writes[0];
-            let fixed: Vec<(usize, usize)> =
-                writes[1..].iter().map(|&w| (init, w)).collect();
+            let fixed: Vec<(usize, usize)> = writes[1..].iter().map(|&w| (init, w)).collect();
             let mut must = Vec::new();
             let mut may = Vec::new();
             for (i, &a) in writes[1..].iter().enumerate() {
@@ -197,11 +192,7 @@ pub fn enumerate_executions(program: &Program) -> Enumeration {
     }
 }
 
-fn finish(
-    expansion: &Expansion,
-    candidate: Candidate,
-    values: &ValueMap,
-) -> ConsistentExecution {
+fn finish(expansion: &Expansion, candidate: Candidate, values: &ValueMap) -> ConsistentExecution {
     let final_registers: BTreeMap<(ThreadId, Register), Value> = expansion
         .final_setters
         .iter()
@@ -276,7 +267,10 @@ mod tests {
             SystemLayout::cta_per_thread(2),
         );
         let e = enumerate_executions(&p);
-        assert!(!has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 0)]), "forbidden");
+        assert!(
+            !has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 0)]),
+            "forbidden"
+        );
         assert!(has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 1)]));
         assert!(has_outcome(&e, &[(reg(1, 0), 0), (reg(1, 1), 0)]));
         assert!(has_outcome(&e, &[(reg(1, 0), 0), (reg(1, 1), 1)]));
@@ -363,7 +357,10 @@ mod tests {
             SystemLayout::cta_per_thread(2),
         );
         let e = enumerate_executions(&p);
-        assert!(!has_outcome(&e, &[(reg(0, 0), 0), (reg(1, 1), 0)]), "forbidden");
+        assert!(
+            !has_outcome(&e, &[(reg(0, 0), 0), (reg(1, 1), 0)]),
+            "forbidden"
+        );
         assert!(has_outcome(&e, &[(reg(0, 0), 1), (reg(1, 1), 0)]));
     }
 
@@ -435,7 +432,10 @@ mod tests {
                 assert_eq!(*v, Value(0), "only zero can circulate");
             }
         }
-        assert!(e.stats.value_cycles > 0, "the thin-air rf choice was seen and rejected");
+        assert!(
+            e.stats.value_cycles > 0,
+            "the thin-air rf choice was seen and rejected"
+        );
     }
 
     /// Atomic fetch-add pairs never lose updates: two releaxed atom.add(1)
@@ -444,8 +444,20 @@ mod tests {
     fn atomics_do_not_lose_updates() {
         let p = Program::new(
             vec![
-                vec![atom_add(AtomSem::Relaxed, Scope::Gpu, Register(0), memmodel::Location(0), 1)],
-                vec![atom_add(AtomSem::Relaxed, Scope::Gpu, Register(0), memmodel::Location(0), 1)],
+                vec![atom_add(
+                    AtomSem::Relaxed,
+                    Scope::Gpu,
+                    Register(0),
+                    memmodel::Location(0),
+                    1,
+                )],
+                vec![atom_add(
+                    AtomSem::Relaxed,
+                    Scope::Gpu,
+                    Register(0),
+                    memmodel::Location(0),
+                    1,
+                )],
             ],
             SystemLayout::cta_per_thread(2),
         );
@@ -459,9 +471,7 @@ mod tests {
         let mut sums: Vec<u64> = e
             .executions
             .iter()
-            .map(|x| {
-                x.final_registers[&reg(0, 0)].0 + x.final_registers[&reg(1, 0)].0
-            })
+            .map(|x| x.final_registers[&reg(0, 0)].0 + x.final_registers[&reg(1, 0)].0)
             .collect();
         sums.sort();
         sums.dedup();
@@ -509,7 +519,10 @@ mod tests {
         let e = enumerate_executions(&p);
         // After both threads sync on the barrier, the load must see 1.
         // (Straight-line executions assume both threads pass the barrier.)
-        assert!(!has_outcome(&e, &[(reg(1, 0), 0)]), "stale read through barrier");
+        assert!(
+            !has_outcome(&e, &[(reg(1, 0), 0)]),
+            "stale read through barrier"
+        );
         assert!(has_outcome(&e, &[(reg(1, 0), 1)]));
     }
 }

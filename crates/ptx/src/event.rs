@@ -346,7 +346,17 @@ fn expand_instruction(
             loc,
             op,
             src,
-        } => expand_rmw(events, thread, provenance, sem, scope, Some(dst), loc, op, src),
+        } => expand_rmw(
+            events,
+            thread,
+            provenance,
+            sem,
+            scope,
+            Some(dst),
+            loc,
+            op,
+            src,
+        ),
         Instruction::Red {
             sem,
             scope,
@@ -434,7 +444,10 @@ mod tests {
     fn mp_program() -> Program {
         Program::new(
             vec![
-                vec![st_weak(Location(0), 1), st_release(Scope::Gpu, Location(1), 1)],
+                vec![
+                    st_weak(Location(0), 1),
+                    st_release(Scope::Gpu, Location(1), 1),
+                ],
                 vec![
                     ld_acquire(Scope::Gpu, Register(0), Location(1)),
                     ld_weak(Register(1), Location(0)),
@@ -471,7 +484,13 @@ mod tests {
     #[test]
     fn atom_splits_into_rmw_pair() {
         let p = Program::new(
-            vec![vec![atom_add(AtomSem::AcqRel, Scope::Gpu, Register(0), Location(0), 1)]],
+            vec![vec![atom_add(
+                AtomSem::AcqRel,
+                Scope::Gpu,
+                Register(0),
+                Location(0),
+                1,
+            )]],
             SystemLayout::single_cta(1),
         );
         let x = expand(&p);

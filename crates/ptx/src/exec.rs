@@ -155,9 +155,9 @@ impl Relations {
         let fr = rf.transpose().compose(&candidate.co);
 
         // po_loc: program order between overlapping memory events.
-        let po_loc = expansion
-            .po
-            .filter(|i, j| events[i].is_memory() && events[j].is_memory() && events[i].overlaps(&events[j]));
+        let po_loc = expansion.po.filter(|i, j| {
+            events[i].is_memory() && events[j].is_memory() && events[i].overlaps(&events[j])
+        });
 
         // obs = (ms ∩ rf) ∪ (obs ; rmw ; obs), least fixpoint.
         let obs_base = morally_strong.intersect(&rf);
@@ -165,10 +165,12 @@ impl Relations {
 
         // pattern_rel = ([W≥REL] ; po_loc? ; [W]) ∪ ([F≥REL] ; po ; [W]).
         let diag_w = diag(n, |i| events[i].kind == EventKind::Write);
-        let diag_w_rel =
-            diag(n, |i| events[i].kind == EventKind::Write && events[i].release);
-        let diag_f_rel =
-            diag(n, |i| events[i].kind == EventKind::Fence && events[i].release);
+        let diag_w_rel = diag(n, |i| {
+            events[i].kind == EventKind::Write && events[i].release
+        });
+        let diag_f_rel = diag(n, |i| {
+            events[i].kind == EventKind::Fence && events[i].release
+        });
         let po_loc_opt = po_loc.union(&RelMat::identity(n));
         let pattern_rel = diag_w_rel
             .compose(&po_loc_opt)
@@ -177,10 +179,12 @@ impl Relations {
 
         // pattern_acq = ([R] ; po_loc? ; [R≥ACQ]) ∪ ([R] ; po ; [F≥ACQ]).
         let diag_r = diag(n, |i| events[i].kind == EventKind::Read);
-        let diag_r_acq =
-            diag(n, |i| events[i].kind == EventKind::Read && events[i].acquire);
-        let diag_f_acq =
-            diag(n, |i| events[i].kind == EventKind::Fence && events[i].acquire);
+        let diag_r_acq = diag(n, |i| {
+            events[i].kind == EventKind::Read && events[i].acquire
+        });
+        let diag_f_acq = diag(n, |i| {
+            events[i].kind == EventKind::Fence && events[i].acquire
+        });
         let pattern_acq = diag_r
             .compose(&po_loc_opt)
             .compose(&diag_r_acq)
@@ -195,10 +199,7 @@ impl Relations {
 
         // cause_base = (po? ; sw ; po?)⁺.
         let po_opt = expansion.po.union(&RelMat::identity(n));
-        let cause_base = po_opt
-            .compose(&sw)
-            .compose(&po_opt)
-            .transitive_closure();
+        let cause_base = po_opt.compose(&sw).compose(&po_opt).transitive_closure();
 
         // cause = cause_base ∪ (obs ; (cause_base ∪ po_loc)).
         let cause = cause_base.union(&obs.compose(&cause_base.union(&po_loc)));

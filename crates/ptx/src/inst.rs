@@ -505,7 +505,13 @@ pub mod build {
     }
 
     /// `atom.sem.scope.exch dst, [loc], imm`.
-    pub fn atom_exch(sem: AtomSem, scope: Scope, dst: Register, loc: Location, v: u64) -> Instruction {
+    pub fn atom_exch(
+        sem: AtomSem,
+        scope: Scope,
+        dst: Register,
+        loc: Location,
+        v: u64,
+    ) -> Instruction {
         Instruction::Atom {
             sem,
             scope,
@@ -517,7 +523,13 @@ pub mod build {
     }
 
     /// `atom.sem.scope.add dst, [loc], imm`.
-    pub fn atom_add(sem: AtomSem, scope: Scope, dst: Register, loc: Location, v: u64) -> Instruction {
+    pub fn atom_add(
+        sem: AtomSem,
+        scope: Scope,
+        dst: Register,
+        loc: Location,
+        v: u64,
+    ) -> Instruction {
         Instruction::Atom {
             sem,
             scope,

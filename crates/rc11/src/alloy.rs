@@ -89,16 +89,13 @@ impl CVocab {
 
     /// Same-location pairs of distinct memory events.
     pub fn same_loc(&self) -> Expr {
-        self.loc
-            .join(&self.loc.transpose())
-            .difference(&Expr::Iden)
+        self.loc.join(&self.loc.transpose()).difference(&Expr::Iden)
     }
 
     /// Scope inclusion: `(a, b)` when `a`'s scope includes `b`'s thread.
     pub fn inclusion(&self) -> Expr {
         let via = |scope: &Expr, same: &Expr| -> Expr {
-            crate::alloy_bracket(scope)
-                .join(&self.thread.join(same).join(&self.thread.transpose()))
+            crate::alloy_bracket(scope).join(&self.thread.join(same).join(&self.thread.transpose()))
         };
         let all_threads = self.threads.product(&self.threads);
         via(&self.scope_cta, &self.same_cta)
@@ -119,10 +116,7 @@ impl CVocab {
 
     /// Reads-before: `rf⁻¹ ; mo − iden`.
     pub fn rb(&self) -> Expr {
-        self.rf
-            .transpose()
-            .join(&self.mo)
-            .difference(&Expr::Iden)
+        self.rf.transpose().join(&self.mo).difference(&Expr::Iden)
     }
 
     /// Extended communication: `(rf ∪ mo ∪ rb)⁺`.
@@ -214,7 +208,11 @@ impl CVocab {
         // SC events have the strongest applicable sides.
         fs.push(self.sc.intersect(&self.read).in_(&self.acq));
         fs.push(self.sc.intersect(&self.write).in_(&self.rel));
-        fs.push(self.sc.intersect(&self.fence).in_(&self.acq.intersect(&self.rel)));
+        fs.push(
+            self.sc
+                .intersect(&self.fence)
+                .in_(&self.acq.intersect(&self.rel)),
+        );
         // Fences are atomic and at least one-sided.
         fs.push(self.fence.in_(&self.atomic));
         fs.push(self.fence.in_(&self.acq.union(&self.rel)));
@@ -263,10 +261,7 @@ impl CVocab {
             self.mo
                 .in_(&self.write.product(&self.write).intersect(&self.same_loc())),
         );
-        let ww_same_loc = self
-            .write
-            .product(&self.write)
-            .intersect(&self.same_loc());
+        let ww_same_loc = self.write.product(&self.write).intersect(&self.same_loc());
         fs.push(ww_same_loc.in_(&self.mo.union(&self.mo.transpose())));
 
         // rmw: atomic read→write pairs, same loc, sb-ordered, one each way.
@@ -369,7 +364,11 @@ mod tests {
         set(&mut inst, &v.sc, TupleSet::empty(1));
         set(&mut inst, &v.scope_cta, TupleSet::empty(1));
         set(&mut inst, &v.scope_gpu, TupleSet::empty(1));
-        set(&mut inst, &v.scope_sys, TupleSet::from_atoms([0, 1, 2, 3, 8]));
+        set(
+            &mut inst,
+            &v.scope_sys,
+            TupleSet::from_atoms([0, 1, 2, 3, 8]),
+        );
         set(
             &mut inst,
             &v.loc,
@@ -391,7 +390,11 @@ mod tests {
         set(&mut inst, &v.rf, TupleSet::from_pairs([(1, 2), (8, 3)]));
         set(&mut inst, &v.mo, TupleSet::from_pairs([(8, 0)]));
         set(&mut inst, &v.rmw, TupleSet::empty(2));
-        set(&mut inst, &v.same_cta, TupleSet::from_pairs([(4, 4), (5, 5)]));
+        set(
+            &mut inst,
+            &v.same_cta,
+            TupleSet::from_pairs([(4, 4), (5, 5)]),
+        );
         set(
             &mut inst,
             &v.same_gpu,

@@ -186,11 +186,7 @@ fn branch(
 ) {
     propagate(x, rf_of, &mut values);
     // Find a stuck read to branch on.
-    let stuck = x
-        .reads
-        .iter()
-        .copied()
-        .find(|&r| values[r].is_none());
+    let stuck = x.reads.iter().copied().find(|&r| values[r].is_none());
     match stuck {
         Some(r) => {
             for &v in &x.value_universe {
@@ -391,8 +387,20 @@ mod tests {
     fn fetch_add_pair_sums_to_two() {
         let p = CProgram::new(
             vec![
-                vec![fetch_add(MemOrder::Rlx, Scope::Sys, Register(0), Location(0), 1)],
-                vec![fetch_add(MemOrder::Rlx, Scope::Sys, Register(0), Location(0), 1)],
+                vec![fetch_add(
+                    MemOrder::Rlx,
+                    Scope::Sys,
+                    Register(0),
+                    Location(0),
+                    1,
+                )],
+                vec![fetch_add(
+                    MemOrder::Rlx,
+                    Scope::Sys,
+                    Register(0),
+                    Location(0),
+                    1,
+                )],
             ],
             SystemLayout::cta_per_thread(2),
         );

@@ -182,10 +182,7 @@ pub fn expand(program: &CProgram) -> CExpansion {
                 continue;
             }
             if let (Some(ta), Some(tb)) = (a.thread, b.thread) {
-                if program
-                    .layout
-                    .mutually_inclusive(a.scope, ta, b.scope, tb)
-                {
+                if program.layout.mutually_inclusive(a.scope, ta, b.scope, tb) {
                     incl.set(a.id, b.id);
                 }
             }
@@ -405,7 +402,13 @@ mod tests {
     #[test]
     fn rmw_split_carries_sides() {
         let p = CProgram::new(
-            vec![vec![fetch_add(MemOrder::AcqRel, Scope::Gpu, Register(0), Location(0), 1)]],
+            vec![vec![fetch_add(
+                MemOrder::AcqRel,
+                Scope::Gpu,
+                Register(0),
+                Location(0),
+                1,
+            )]],
             SystemLayout::single_cta(1),
         );
         let x = expand(&p);
@@ -420,7 +423,13 @@ mod tests {
     #[test]
     fn sc_rmw_halves_are_both_sc() {
         let p = CProgram::new(
-            vec![vec![exchange(MemOrder::Sc, Scope::Sys, Register(0), Location(0), 7)]],
+            vec![vec![exchange(
+                MemOrder::Sc,
+                Scope::Sys,
+                Register(0),
+                Location(0),
+                7,
+            )]],
             SystemLayout::single_cta(1),
         );
         let x = expand(&p);

@@ -157,14 +157,23 @@ impl CInstruction {
     pub fn order_is_legal(&self) -> bool {
         match self {
             CInstruction::Load { mo, .. } => {
-                matches!(mo, MemOrder::NA | MemOrder::Rlx | MemOrder::Acq | MemOrder::Sc)
+                matches!(
+                    mo,
+                    MemOrder::NA | MemOrder::Rlx | MemOrder::Acq | MemOrder::Sc
+                )
             }
             CInstruction::Store { mo, .. } => {
-                matches!(mo, MemOrder::NA | MemOrder::Rlx | MemOrder::Rel | MemOrder::Sc)
+                matches!(
+                    mo,
+                    MemOrder::NA | MemOrder::Rlx | MemOrder::Rel | MemOrder::Sc
+                )
             }
             CInstruction::Rmw { mo, .. } => mo.is_atomic(),
             CInstruction::Fence { mo, .. } => {
-                matches!(mo, MemOrder::Acq | MemOrder::Rel | MemOrder::AcqRel | MemOrder::Sc)
+                matches!(
+                    mo,
+                    MemOrder::Acq | MemOrder::Rel | MemOrder::AcqRel | MemOrder::Sc
+                )
             }
         }
     }
@@ -278,7 +287,13 @@ pub mod build {
     }
 
     /// An atomic exchange.
-    pub fn exchange(mo: MemOrder, scope: Scope, dst: Register, loc: Location, v: u64) -> CInstruction {
+    pub fn exchange(
+        mo: MemOrder,
+        scope: Scope,
+        dst: Register,
+        loc: Location,
+        v: u64,
+    ) -> CInstruction {
         CInstruction::Rmw {
             mo,
             scope,
@@ -290,7 +305,13 @@ pub mod build {
     }
 
     /// An atomic fetch-add.
-    pub fn fetch_add(mo: MemOrder, scope: Scope, dst: Register, loc: Location, v: u64) -> CInstruction {
+    pub fn fetch_add(
+        mo: MemOrder,
+        scope: Scope,
+        dst: Register,
+        loc: Location,
+        v: u64,
+    ) -> CInstruction {
         CInstruction::Rmw {
             mo,
             scope,

@@ -113,12 +113,11 @@ impl CRelations {
         let hb_loc = hb.filter(|i, j| {
             events[i].is_memory() && events[j].is_memory() && events[i].same_loc(&events[j])
         });
-        let scb = x
-            .sb
-            .union(&sb_nloc.compose(&hb).compose(&sb_nloc))
-            .union(&hb_loc)
-            .union(mo)
-            .union(&rb);
+        let scb =
+            x.sb.union(&sb_nloc.compose(&hb).compose(&sb_nloc))
+                .union(&hb_loc)
+                .union(mo)
+                .union(&rb);
 
         // psc_base := ([E_SC] ∪ [F_SC]; hb?); scb; ([E_SC] ∪ hb?; [F_SC])
         let hb_opt = hb.union(&iden);
@@ -188,10 +187,7 @@ pub fn check_axiom(
             let hb_eco_opt = rel.hb.union(&rel.hb.compose(&rel.eco));
             hb_eco_opt.is_irreflexive()
         }
-        CAxiom::Atomicity => x
-            .rmw
-            .intersect(&rel.rb.compose(&candidate.mo))
-            .is_empty(),
+        CAxiom::Atomicity => x.rmw.intersect(&rel.rb.compose(&candidate.mo)).is_empty(),
         CAxiom::Sc => x.incl.intersect(&rel.psc).is_acyclic(),
     }
 }
@@ -225,8 +221,7 @@ pub fn races(x: &CExpansion, rel: &CRelations) -> Vec<(usize, usize)> {
             if a.id >= b.id || !a.is_memory() || !b.is_memory() || !a.same_loc(b) {
                 continue;
             }
-            let conflicting =
-                a.kind == CEventKind::Write || b.kind == CEventKind::Write;
+            let conflicting = a.kind == CEventKind::Write || b.kind == CEventKind::Write;
             if !conflicting {
                 continue;
             }
@@ -388,7 +383,10 @@ mod tests {
             mo: RelMat::from_pairs(x.len(), [(0, 2), (1, 5)]),
         };
         let violations = check_all(&x, &c);
-        assert!(violations.contains(&CAxiom::Sc), "psc cycle: {violations:?}");
+        assert!(
+            violations.contains(&CAxiom::Sc),
+            "psc cycle: {violations:?}"
+        );
         // Reading one store is fine.
         let c2 = CCandidate {
             rf_source: vec![5, 0],
@@ -403,7 +401,13 @@ mod tests {
         // the store slots between read and write in mo, Atomicity fails.
         let p = CProgram::new(
             vec![
-                vec![fetch_add(MemOrder::Rlx, Scope::Sys, Register(0), Location(0), 1)],
+                vec![fetch_add(
+                    MemOrder::Rlx,
+                    Scope::Sys,
+                    Register(0),
+                    Location(0),
+                    1,
+                )],
                 vec![store(MemOrder::Rlx, Scope::Sys, Location(0), 5)],
             ],
             SystemLayout::cta_per_thread(2),

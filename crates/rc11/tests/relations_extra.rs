@@ -86,10 +86,7 @@ fn scb_crosses_threads_through_hb() {
 fn release_sequence_through_rmw_chain() {
     let p = CProgram::new(
         vec![
-            vec![
-                store_na(X, 1),
-                store(MemOrder::Rel, Scope::Sys, Y, 1),
-            ],
+            vec![store_na(X, 1), store(MemOrder::Rel, Scope::Sys, Y, 1)],
             vec![exchange(MemOrder::Rlx, Scope::Sys, Register(0), Y, 2)],
             vec![exchange(MemOrder::Rlx, Scope::Sys, Register(1), Y, 3)],
             vec![

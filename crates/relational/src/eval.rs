@@ -138,9 +138,7 @@ pub fn check_formula(formula: &Formula, schema: &Schema) -> Result<(), TypeError
             arity_of(a, schema).map(|_| ())
         }
         Formula::Not(f) => check_formula(f, schema),
-        Formula::And(fs) | Formula::Or(fs) => {
-            fs.iter().try_for_each(|f| check_formula(f, schema))
-        }
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().try_for_each(|f| check_formula(f, schema)),
         Formula::Implies(a, b) | Formula::Iff(a, b) => {
             check_formula(a, schema)?;
             check_formula(b, schema)
@@ -338,11 +336,7 @@ pub fn eval_formula(
 /// # Errors
 ///
 /// Returns a [`TypeError`] on arity violations or unbound variables.
-pub fn eval_expr(
-    schema: &Schema,
-    instance: &Instance,
-    expr: &Expr,
-) -> Result<TupleSet, TypeError> {
+pub fn eval_expr(schema: &Schema, instance: &Instance, expr: &Expr) -> Result<TupleSet, TypeError> {
     Evaluator::new(schema, instance).eval(expr)
 }
 

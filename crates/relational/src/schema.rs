@@ -180,7 +180,10 @@ impl Instance {
     pub fn empty(schema: &Schema, universe_size: usize) -> Instance {
         Instance {
             universe_size,
-            values: schema.iter().map(|(_, d)| TupleSet::empty(d.arity)).collect(),
+            values: schema
+                .iter()
+                .map(|(_, d)| TupleSet::empty(d.arity))
+                .collect(),
         }
     }
 

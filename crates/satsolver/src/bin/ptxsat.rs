@@ -47,7 +47,14 @@ fn main() -> ExitCode {
             for i in 0..cnf.num_vars {
                 let v = Var::from_index(i);
                 let val = solver.model_value(v).unwrap_or(false);
-                line.push_str(&format!(" {}", if val { (i + 1) as i64 } else { -((i + 1) as i64) }));
+                line.push_str(&format!(
+                    " {}",
+                    if val {
+                        (i + 1) as i64
+                    } else {
+                        -((i + 1) as i64)
+                    }
+                ));
                 if line.len() > 72 {
                     println!("{line}");
                     line = String::from("v");

@@ -153,7 +153,10 @@ impl ClauseDb {
 
     /// Number of live learnt clauses.
     pub fn learnt_count(&self) -> usize {
-        self.headers.iter().filter(|h| !h.deleted && h.learnt).count()
+        self.headers
+            .iter()
+            .filter(|h| !h.deleted && h.learnt)
+            .count()
     }
 
     /// Compacts the arena if more than a quarter of it is wasted.

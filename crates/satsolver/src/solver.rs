@@ -93,6 +93,7 @@ pub struct Solver {
     deadline: Option<Instant>,
     cancel: Option<CancelToken>,
     model: Vec<LBool>,
+    final_conflict: Vec<Lit>,
 }
 
 impl Solver {
@@ -215,6 +216,23 @@ impl Solver {
 
     /// Solves the current clause set.
     pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the current clause set under the given assumptions.
+    ///
+    /// Each assumption is enqueued as a pseudo-decision on its own decision
+    /// level, below any real decision the search makes, so all of them hold
+    /// in any model found. On [`SolveResult::Unsat`] the subset of
+    /// assumptions responsible is available from
+    /// [`Solver::final_conflict`]; the clause set itself stays intact, and
+    /// learnt clauses, variable activities, and saved phases carry over to
+    /// later calls — this is the incremental-solving entry point.
+    ///
+    /// Assumption literals must refer to variables already created with
+    /// [`Solver::new_var`].
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.final_conflict.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -275,6 +293,35 @@ impl Solver {
                     self.reduce_db();
                     self.max_learnt *= 1.3;
                 }
+                // Re-take any assumptions not currently on the trail (a
+                // restart or backjump may have undone them) before making
+                // real decisions. One decision level per assumption — a
+                // dummy level when the assumption already holds — so real
+                // decisions always sit strictly above assumption levels.
+                let mut enqueued_assumption = false;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.value(p) {
+                        LBool::True => {
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.final_conflict = self.analyze_final(p);
+                            self.cancel_until(0);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(p, None);
+                            enqueued_assumption = true;
+                            break;
+                        }
+                    }
+                }
+                if enqueued_assumption {
+                    continue;
+                }
                 match self.pick_branch_var() {
                     None => {
                         // All variables assigned: record model.
@@ -291,6 +338,18 @@ impl Solver {
                 }
             }
         }
+    }
+
+    /// The assumptions responsible for the most recent
+    /// [`SolveResult::Unsat`] answer of
+    /// [`Solver::solve_with_assumptions`]: a subset of the assumptions
+    /// passed in whose conjunction with the clause set is unsatisfiable
+    /// (an unsat core over the assumptions).
+    ///
+    /// Empty when the clause set is unsatisfiable on its own, and after
+    /// any `Sat`/`Unknown` answer.
+    pub fn final_conflict(&self) -> &[Lit] {
+        &self.final_conflict
     }
 
     /// The value of `v` in the most recent satisfying model, if any.
@@ -416,7 +475,10 @@ impl Solver {
                 }
                 let first = self.db.lits(w.cref)[0];
                 if first != w.blocker && self.value(first) == LBool::True {
-                    ws[kept] = Watcher { cref: w.cref, blocker: first };
+                    ws[kept] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
                     kept += 1;
                     continue;
                 }
@@ -428,12 +490,18 @@ impl Solver {
                         let lits = self.db.lits_mut(w.cref);
                         lits[1] = lk;
                         lits[k] = false_lit;
-                        self.watches[(!lk).code()].push(Watcher { cref: w.cref, blocker: first });
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
                         continue 'watchers;
                     }
                 }
                 // No new watch: clause is unit or conflicting.
-                ws[kept] = Watcher { cref: w.cref, blocker: first };
+                ws[kept] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
                 kept += 1;
                 if self.value(first) == LBool::False {
                     // Conflict: retain remaining watchers and bail out.
@@ -537,6 +605,41 @@ impl Solver {
         (minimized, backtrack_level)
     }
 
+    /// Computes the unsat core for a failed assumption `p` (its value on
+    /// the trail is false): the subset of taken assumptions, `p` included,
+    /// that together imply the conflict. Walks the implication graph from
+    /// `¬p` back to the pseudo-decisions; every decision reached is an
+    /// assumption, because real decisions are never made while an
+    /// assumption is still pending.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.decision_level() == 0 {
+            return core;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i].var();
+            if !self.seen[x.index()] {
+                continue;
+            }
+            match self.reason[x.index()] {
+                // A pseudo-decision: the trail literal is the assumption
+                // exactly as it was enqueued.
+                None => core.push(self.trail[i]),
+                Some(cref) => {
+                    for &q in self.db.lits(cref) {
+                        if q.var() != x && self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[x.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+        core
+    }
+
     /// A learnt literal is redundant if its reason clause's other literals
     /// are all already in the learnt clause (seen) or fixed at level 0.
     fn literal_redundant(&self, l: Lit) -> bool {
@@ -600,12 +703,8 @@ impl Solver {
                 .partial_cmp(&self.db.activity(b))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let locked: std::collections::HashSet<usize> = self
-            .reason
-            .iter()
-            .flatten()
-            .map(|c| c.index())
-            .collect();
+        let locked: std::collections::HashSet<usize> =
+            self.reason.iter().flatten().map(|c| c.index()).collect();
         let remove_count = learnt.len() / 2;
         let mut removed = 0;
         for cref in learnt {
@@ -748,10 +847,7 @@ mod tests {
     fn conflict_budget_returns_unknown() {
         let (mut s, _) = pigeonhole(9, 8);
         s.set_conflict_budget(Some(5));
-        assert_eq!(
-            s.solve(),
-            SolveResult::Unknown(Interrupt::ConflictBudget)
-        );
+        assert_eq!(s.solve(), SolveResult::Unknown(Interrupt::ConflictBudget));
         // A budget of N permits exactly N conflicts, not N+1.
         assert_eq!(s.stats().conflicts, 5);
         s.set_conflict_budget(None);
@@ -762,10 +858,7 @@ mod tests {
     fn zero_conflict_budget_spends_no_conflicts() {
         let (mut s, _) = pigeonhole(7, 6);
         s.set_conflict_budget(Some(0));
-        assert_eq!(
-            s.solve(),
-            SolveResult::Unknown(Interrupt::ConflictBudget)
-        );
+        assert_eq!(s.solve(), SolveResult::Unknown(Interrupt::ConflictBudget));
         assert_eq!(s.stats().conflicts, 0);
     }
 
@@ -860,6 +953,107 @@ mod tests {
         assert_eq!(s.model_lit_value(v[2]), Some(true));
         s.add_clause(&[!v[2]]);
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_constrain_without_committing() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        // Under ¬x the clause forces y.
+        assert_eq!(s.solve_with_assumptions(&[!v[0]]), SolveResult::Sat);
+        assert_eq!(s.model_lit_value(v[0]), Some(false));
+        assert_eq!(s.model_lit_value(v[1]), Some(true));
+        // The assumptions do not persist: x alone is fine afterwards.
+        assert_eq!(s.solve_with_assumptions(&[v[0], !v[1]]), SolveResult::Sat);
+        assert_eq!(s.model_lit_value(v[0]), Some(true));
+    }
+
+    #[test]
+    fn failed_assumptions_yield_core() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[!v[0], v[1]]);
+        s.add_clause(&[!v[1], v[2]]);
+        // x0 ∧ ¬x2 is inconsistent through the implication chain; x3 is
+        // irrelevant and must not appear in the core.
+        let result = s.solve_with_assumptions(&[v[3], v[0], !v[2]]);
+        assert_eq!(result, SolveResult::Unsat);
+        let mut core = s.final_conflict().to_vec();
+        core.sort_unstable();
+        let mut expect = vec![v[0], !v[2]];
+        expect.sort_unstable();
+        assert_eq!(core, expect);
+        // The solver is still usable and satisfiable without assumptions.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.final_conflict().is_empty());
+    }
+
+    #[test]
+    fn contradictory_assumption_pair_is_its_own_core() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        assert_eq!(s.solve_with_assumptions(&[v[0], !v[0]]), SolveResult::Unsat);
+        let mut core = s.final_conflict().to_vec();
+        core.sort_unstable();
+        let mut expect = vec![v[0], !v[0]];
+        expect.sort_unstable();
+        assert_eq!(core, expect);
+    }
+
+    #[test]
+    fn formula_level_unsat_has_empty_core() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0]]);
+        s.add_clause(&[!v[0]]);
+        assert_eq!(s.solve_with_assumptions(&[v[1]]), SolveResult::Unsat);
+        assert!(s.final_conflict().is_empty());
+    }
+
+    #[test]
+    fn assumption_falsified_at_level_zero_is_the_core() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[!v[0]]);
+        assert_eq!(s.solve_with_assumptions(&[v[1], v[0]]), SolveResult::Unsat);
+        assert_eq!(s.final_conflict(), &[v[0]]);
+        // The formula alone stays satisfiable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumptions_survive_restarts_on_hard_instances() {
+        // PHP(7, 6) forces many conflicts and restarts; an assumed hole
+        // assignment must still hold in the end-of-search state.
+        let (mut s, _) = pigeonhole(6, 6);
+        let first = Lit::from_code(0).var().positive();
+        assert_eq!(s.solve_with_assumptions(&[first]), SolveResult::Sat);
+        assert_eq!(s.model_lit_value(first), Some(true));
+        assert_eq!(s.solve_with_assumptions(&[!first]), SolveResult::Sat);
+        assert_eq!(s.model_lit_value(first), Some(false));
+    }
+
+    #[test]
+    fn activation_literal_workflow() {
+        // The Session pattern: guard a constraint behind an activation
+        // literal, solve with it assumed, then retire it permanently.
+        let mut s = Solver::new();
+        let x = s.new_var().positive();
+        let act1 = s.new_var().positive();
+        let act2 = s.new_var().positive();
+        s.add_clause(&[!act1, x]);
+        s.add_clause(&[!act2, !x]);
+        assert_eq!(s.solve_with_assumptions(&[act1]), SolveResult::Sat);
+        assert_eq!(s.model_lit_value(x), Some(true));
+        assert_eq!(s.solve_with_assumptions(&[act2]), SolveResult::Sat);
+        assert_eq!(s.model_lit_value(x), Some(false));
+        assert_eq!(s.solve_with_assumptions(&[act1, act2]), SolveResult::Unsat);
+        assert_eq!(s.final_conflict().len(), 2);
+        // Retire act1; act2 alone still works.
+        s.add_clause(&[!act1]);
+        assert_eq!(s.solve_with_assumptions(&[act2]), SolveResult::Sat);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Property-based testing of `solve_with_assumptions` against scratch
+//! solving, and of the unsat core it reports on failure.
+//!
+//! For seeded random CNFs and assumption sets:
+//!
+//! * the incremental verdict matches a scratch solver that receives the
+//!   assumptions as unit clauses;
+//! * a `Sat` model satisfies every assumption;
+//! * an `Unsat` core is a subset of the assumptions that is itself
+//!   unsatisfiable together with the formula.
+//!
+//! One long-lived solver answers a whole sequence of assumption queries,
+//! so clause learning, activities, and saved phases accumulated by
+//! earlier queries are in play for later ones — exactly the incremental
+//! session workload.
+
+use satsolver::{Lit, SolveResult, Solver, Var};
+use testkit::Rng;
+
+/// A random clause of 1..=max_len literals over `num_vars` variables.
+fn gen_clause(rng: &mut Rng, num_vars: usize, max_len: usize) -> Vec<Lit> {
+    rng.vec_of(1, max_len, |r| {
+        Lit::new(Var::from_index(r.index(num_vars)), r.flip())
+    })
+}
+
+/// A fresh solver over `num_vars` variables holding `clauses`.
+fn scratch(num_vars: usize, clauses: &[Vec<Lit>]) -> Solver {
+    let mut s = Solver::new();
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for clause in clauses {
+        s.add_clause(clause);
+    }
+    s
+}
+
+/// Scratch-solves `clauses` with `units` added as unit clauses.
+fn scratch_with_units(num_vars: usize, clauses: &[Vec<Lit>], units: &[Lit]) -> SolveResult {
+    let mut s = scratch(num_vars, clauses);
+    for &u in units {
+        s.add_clause(&[u]);
+    }
+    s.solve()
+}
+
+#[test]
+fn assumptions_match_scratch_unit_clauses() {
+    testkit::forall("assumptions_match_scratch_unit_clauses", 192, |rng| {
+        let num_vars = 8;
+        let clauses = rng.vec_of(0, 34, |r| gen_clause(r, num_vars, 4));
+        let mut incremental = scratch(num_vars, &clauses);
+
+        // A sequence of queries against ONE solver: learnt clauses and
+        // heuristic state persist from query to query.
+        let num_queries = rng.index(4) + 2;
+        for _ in 0..num_queries {
+            let assumptions: Vec<Lit> = rng.vec_of(0, 5, |r| {
+                Lit::new(Var::from_index(r.index(num_vars)), r.flip())
+            });
+            let result = incremental.solve_with_assumptions(&assumptions);
+            let expected = scratch_with_units(num_vars, &clauses, &assumptions);
+            match result {
+                SolveResult::Sat => {
+                    assert_eq!(
+                        expected,
+                        SolveResult::Sat,
+                        "scratch disagrees: {assumptions:?}"
+                    );
+                    for &a in &assumptions {
+                        assert_eq!(
+                            incremental.model_lit_value(a),
+                            Some(true),
+                            "model violates assumption {a:?}"
+                        );
+                    }
+                }
+                SolveResult::Unsat => {
+                    assert_eq!(
+                        expected,
+                        SolveResult::Unsat,
+                        "scratch disagrees: {assumptions:?}"
+                    );
+                    let core = incremental.final_conflict().to_vec();
+                    // The core is a subset of the assumptions…
+                    for l in &core {
+                        assert!(
+                            assumptions.contains(l),
+                            "core literal {l:?} not among assumptions {assumptions:?}"
+                        );
+                    }
+                    // …and already inconsistent with the formula by itself.
+                    assert_eq!(
+                        scratch_with_units(num_vars, &clauses, &core),
+                        SolveResult::Unsat,
+                        "core {core:?} is not unsat with the formula"
+                    );
+                }
+                SolveResult::Unknown(reason) => panic!("no budget was set, got {reason:?}"),
+            }
+        }
+    });
+}
+
+#[test]
+fn empty_core_means_formula_unsat() {
+    testkit::forall("empty_core_means_formula_unsat", 128, |rng| {
+        let num_vars = 6;
+        let clauses = rng.vec_of(4, 30, |r| gen_clause(r, num_vars, 3));
+        let assumptions: Vec<Lit> = rng.vec_of(1, 4, |r| {
+            Lit::new(Var::from_index(r.index(num_vars)), r.flip())
+        });
+        let mut s = scratch(num_vars, &clauses);
+        if s.solve_with_assumptions(&assumptions) == SolveResult::Unsat
+            && s.final_conflict().is_empty()
+        {
+            // An empty core claims the formula alone is unsatisfiable.
+            assert_eq!(
+                scratch_with_units(num_vars, &clauses, &[]),
+                SolveResult::Unsat
+            );
+        }
+    });
+}

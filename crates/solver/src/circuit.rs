@@ -226,16 +226,17 @@ impl Circuit {
     /// Returns the mapping from input index to SAT variable so the caller
     /// can decode models. Only the cone of influence of `root` is encoded.
     pub fn to_solver(&self, root: GateId, solver: &mut Solver) -> HashMap<u32, Var> {
-        if self.is_false(root) {
-            // Assert an immediate contradiction.
-            let v = solver.new_var();
-            solver.add_clause(&[v.positive()]);
-            solver.add_clause(&[v.negative()]);
-            return HashMap::new();
-        }
-        // Collect the cone of influence.
+        let mut encoder = CircuitEncoder::new();
+        let root_lit = encoder.encode(self, root, solver);
+        solver.add_clause(&[root_lit]);
+        encoder.input_vars
+    }
+
+    /// Collects the cone of influence of `roots`: a gate-indexed
+    /// membership mask.
+    fn cone(&self, roots: &[GateId]) -> Vec<bool> {
         let mut needed = vec![false; self.gates.len()];
-        let mut stack = vec![root];
+        let mut stack: Vec<GateId> = roots.to_vec();
         while let Some(g) = stack.pop() {
             if needed[g.index()] {
                 continue;
@@ -250,58 +251,7 @@ impl Circuit {
                 _ => {}
             }
         }
-        // Assign a literal to each needed gate. Not-gates reuse the
-        // operand's variable with flipped polarity; inputs get their own
-        // variables (allocated for all inputs so decoding is stable).
-        let mut input_vars: HashMap<u32, Var> = HashMap::new();
-        let mut lits: Vec<Option<Lit>> = vec![None; self.gates.len()];
-        for (i, gate) in self.gates.iter().enumerate() {
-            if !needed[i] {
-                continue;
-            }
-            let lit = match *gate {
-                Gate::False | Gate::True => {
-                    // Encode constants as a variable frozen by a unit clause;
-                    // the literal then correctly carries the constant value.
-                    let v = solver.new_var();
-                    let l = v.positive();
-                    solver.add_clause(&[if matches!(gate, Gate::True) { l } else { !l }]);
-                    l
-                }
-                Gate::Input(k) => {
-                    let v = solver.new_var();
-                    input_vars.insert(k, v);
-                    v.positive()
-                }
-                Gate::Not(a) => !lits[a.index()].expect("operand encoded first"),
-                Gate::And(_, _) | Gate::Or(_, _) => solver.new_var().positive(),
-            };
-            lits[i] = Some(lit);
-            // Emit defining clauses for composite gates.
-            match *gate {
-                Gate::And(a, b) => {
-                    let (la, lb) = (
-                        lits[a.index()].expect("topological order"),
-                        lits[b.index()].expect("topological order"),
-                    );
-                    solver.add_clause(&[!lit, la]);
-                    solver.add_clause(&[!lit, lb]);
-                    solver.add_clause(&[lit, !la, !lb]);
-                }
-                Gate::Or(a, b) => {
-                    let (la, lb) = (
-                        lits[a.index()].expect("topological order"),
-                        lits[b.index()].expect("topological order"),
-                    );
-                    solver.add_clause(&[!lit, la, lb]);
-                    solver.add_clause(&[lit, !la]);
-                    solver.add_clause(&[lit, !lb]);
-                }
-                _ => {}
-            }
-        }
-        solver.add_clause(&[lits[root.index()].expect("root encoded")]);
-        input_vars
+        needed
     }
 
     fn intern(&mut self, gate: Gate) -> GateId {
@@ -317,6 +267,152 @@ impl Circuit {
         self.gates.push(gate);
         self.dedup.insert(gate, id);
         id
+    }
+}
+
+/// An incremental Tseitin encoder: one growing [`Circuit`] feeding one
+/// long-lived [`Solver`] across many queries.
+///
+/// Each [`CircuitEncoder::encode`] call emits defining clauses only for
+/// the gates in the root's cone of influence that have not been encoded
+/// by an earlier call; thanks to the circuit's structural hashing,
+/// subcircuits shared between queries (relation matrices, closure
+/// squaring chains, axiom bodies) therefore hit the cache and cost
+/// nothing. Unlike [`Circuit::to_solver`], `encode` does **not** assert
+/// the root — the caller decides whether the returned literal becomes a
+/// permanent unit clause or an activation-guarded implication.
+///
+/// An encoder is tied to the circuit/solver pair it was first used with;
+/// mixing circuits or solvers produces nonsense encodings.
+#[derive(Debug, Default)]
+pub struct CircuitEncoder {
+    /// Gate-indexed literal cache; `None` = not yet encoded.
+    lits: Vec<Option<Lit>>,
+    input_vars: HashMap<u32, Var>,
+    gates_encoded: u64,
+    cache_hits: u64,
+}
+
+impl CircuitEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> CircuitEncoder {
+        CircuitEncoder::default()
+    }
+
+    /// Encodes the not-yet-encoded part of `root`'s cone into `solver`
+    /// and returns the literal representing `root` (not asserted).
+    pub fn encode(&mut self, circuit: &Circuit, root: GateId, solver: &mut Solver) -> Lit {
+        if self.lits.len() < circuit.gates.len() {
+            self.lits.resize(circuit.gates.len(), None);
+        }
+        // Cone of influence, stopping at already-encoded gates.
+        let mut needed = vec![false; circuit.gates.len()];
+        let mut stack = vec![root];
+        while let Some(g) = stack.pop() {
+            if needed[g.index()] {
+                continue;
+            }
+            if self.lits[g.index()].is_some() {
+                self.cache_hits += 1;
+                continue;
+            }
+            needed[g.index()] = true;
+            match circuit.gates[g.index()] {
+                Gate::Not(a) => stack.push(a),
+                Gate::And(a, b) | Gate::Or(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                _ => {}
+            }
+        }
+        // Gate ids are topologically ordered (operands precede users), so
+        // one pass in index order sees every operand before its gate.
+        for (i, gate) in circuit.gates.iter().enumerate() {
+            if !needed[i] {
+                continue;
+            }
+            self.gates_encoded += 1;
+            let lit = match *gate {
+                Gate::False | Gate::True => {
+                    // Encode constants as a variable frozen by a unit clause;
+                    // the literal then correctly carries the constant value.
+                    let v = solver.new_var();
+                    let l = v.positive();
+                    solver.add_clause(&[if matches!(gate, Gate::True) { l } else { !l }]);
+                    l
+                }
+                Gate::Input(k) => {
+                    let v = solver.new_var();
+                    self.input_vars.insert(k, v);
+                    v.positive()
+                }
+                Gate::Not(a) => !self.lits[a.index()].expect("operand encoded first"),
+                Gate::And(_, _) | Gate::Or(_, _) => solver.new_var().positive(),
+            };
+            self.lits[i] = Some(lit);
+            // Emit defining clauses for composite gates.
+            match *gate {
+                Gate::And(a, b) => {
+                    let (la, lb) = (
+                        self.lits[a.index()].expect("topological order"),
+                        self.lits[b.index()].expect("topological order"),
+                    );
+                    solver.add_clause(&[!lit, la]);
+                    solver.add_clause(&[!lit, lb]);
+                    solver.add_clause(&[lit, !la, !lb]);
+                }
+                Gate::Or(a, b) => {
+                    let (la, lb) = (
+                        self.lits[a.index()].expect("topological order"),
+                        self.lits[b.index()].expect("topological order"),
+                    );
+                    solver.add_clause(&[!lit, la, lb]);
+                    solver.add_clause(&[lit, !la]);
+                    solver.add_clause(&[lit, !lb]);
+                }
+                _ => {}
+            }
+        }
+        self.lits[root.index()].expect("root encoded")
+    }
+
+    /// The SAT variable carrying input `k`, if its gate has been encoded.
+    pub fn input_var(&self, k: u32) -> Option<Var> {
+        self.input_vars.get(&k).copied()
+    }
+
+    /// Input-index → SAT-variable mapping for every input encoded so far.
+    pub fn input_vars(&self) -> &HashMap<u32, Var> {
+        &self.input_vars
+    }
+
+    /// The encoded SAT variables of all inputs in the cones of `roots`,
+    /// in input-index order. Every root must have been encoded already.
+    pub fn cone_input_vars(&self, circuit: &Circuit, roots: &[GateId]) -> Vec<Var> {
+        let needed = circuit.cone(roots);
+        let mut ks: Vec<u32> = circuit
+            .gates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| match g {
+                Gate::Input(k) if needed[i] => Some(*k),
+                _ => None,
+            })
+            .collect();
+        ks.sort_unstable();
+        ks.iter().map(|k| self.input_vars[k]).collect()
+    }
+
+    /// Total gates whose defining clauses this encoder has emitted.
+    pub fn gates_encoded(&self) -> u64 {
+        self.gates_encoded
+    }
+
+    /// Gates found already encoded during later `encode` calls — work a
+    /// scratch translation would have repeated.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
     }
 }
 
@@ -397,13 +493,68 @@ mod tests {
     }
 
     #[test]
+    fn incremental_encoder_reuses_shared_cone() {
+        // Two queries sharing the subcircuit (x ∧ y): the second encode
+        // emits only the new Or gate.
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let z = c.input();
+        let shared = c.and(x, y);
+        let q1 = c.and(shared, z);
+        let nz = c.not(z);
+        let q2 = c.or(shared, nz);
+
+        let mut solver = Solver::new();
+        let mut enc = CircuitEncoder::new();
+        let l1 = enc.encode(&c, q1, &mut solver);
+        let after_q1 = enc.gates_encoded();
+        let l2 = enc.encode(&c, q2, &mut solver);
+        assert!(enc.cache_hits() > 0, "shared gate not cached");
+        assert_eq!(
+            enc.gates_encoded() - after_q1,
+            2,
+            "second query re-encoded more than Or + Not"
+        );
+
+        // Activation literals dispatch each query independently.
+        let a1 = solver.new_var().positive();
+        let a2 = solver.new_var().positive();
+        solver.add_clause(&[!a1, l1]);
+        solver.add_clause(&[!a2, l2]);
+        assert_eq!(solver.solve_with_assumptions(&[a1]), SolveResult::Sat);
+        let vx = enc.input_var(0).unwrap();
+        let vz = enc.input_var(2).unwrap();
+        assert_eq!(solver.model_value(vx), Some(true));
+        assert_eq!(solver.model_value(vz), Some(true));
+        assert_eq!(solver.solve_with_assumptions(&[a2]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn cone_input_vars_cover_both_roots() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let _unused = c.input();
+        let g = c.or(x, y);
+        let mut solver = Solver::new();
+        let mut enc = CircuitEncoder::new();
+        let _ = enc.encode(&c, g, &mut solver);
+        let vars = enc.cone_input_vars(&c, &[g]);
+        assert_eq!(vars.len(), 2, "only inputs in the cone are collected");
+    }
+
+    #[test]
     fn and_or_all_balance() {
         let mut c = Circuit::new();
         let xs: Vec<GateId> = (0..9).map(|_| c.input()).collect();
         let all = c.and_all(xs.iter().copied());
         let any = c.or_all(xs.iter().copied());
         assert!(c.eval(all, &[true; 9]));
-        assert!(!c.eval(all, &[true, true, false, true, true, true, true, true, true]));
+        assert!(!c.eval(
+            all,
+            &[true, true, false, true, true, true, true, true, true]
+        ));
         assert!(!c.eval(any, &[false; 9]));
         let empty_and = c.and_all([]);
         let empty_or = c.or_all([]);

@@ -110,6 +110,9 @@ pub struct Report {
     pub solve_time: Duration,
     /// SAT solver counters.
     pub solver_stats: satsolver::SolverStats,
+    /// Gates found already encoded by an earlier query on the same
+    /// incremental session (0 for a scratch run).
+    pub gate_cache_hits: u64,
     /// Why the run stopped early, when the verdict is
     /// [`Verdict::Unknown`]. `None` for a completed run.
     pub interrupted: Option<Interrupt>,
@@ -167,7 +170,13 @@ impl ModelFinder {
         if self.options.symmetry_breaking {
             let classes = symmetry_classes(&problem.schema, &problem.bounds);
             report.symmetry_classes = classes.len();
-            let sym = break_symmetries(&problem.schema, &problem.bounds, &mut translation, &classes);
+            let sym = break_symmetries(
+                &problem.schema,
+                &problem.bounds,
+                &mut translation.circuit,
+                &translation.rel_inputs,
+                &classes,
+            );
             root = translation.circuit.and(root, sym);
         }
         let mut solver = Solver::new();
@@ -186,7 +195,11 @@ impl ModelFinder {
         // the caller cancelled during translation), skip the search but
         // still return an accurate report of the work done so far.
         let expired = deadline.is_some_and(|d| Instant::now() >= d);
-        let cancelled = self.options.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+        let cancelled = self
+            .options
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled);
         if expired || cancelled {
             report.interrupted = Some(if cancelled {
                 Interrupt::Cancelled
@@ -207,7 +220,13 @@ impl ModelFinder {
                 report.interrupted = Some(reason);
                 Verdict::Unknown
             }
-            SolveResult::Sat => Verdict::Sat(decode(problem, &translation.rel_inputs, &input_vars, &solver)),
+            SolveResult::Sat => Verdict::Sat(decode(
+                &problem.schema,
+                &problem.bounds,
+                &translation.rel_inputs,
+                &input_vars,
+                &solver,
+            )),
         };
         Ok((verdict, report))
     }
@@ -242,7 +261,13 @@ impl ModelFinder {
         let all_inputs: Vec<Var> = input_vars.values().copied().collect();
         let mut count = 0;
         while count < limit && solver.solve() == SolveResult::Sat {
-            let inst = decode(problem, &translation.rel_inputs, &input_vars, &solver);
+            let inst = decode(
+                &problem.schema,
+                &problem.bounds,
+                &translation.rel_inputs,
+                &input_vars,
+                &solver,
+            );
             visit(&inst);
             count += 1;
             if all_inputs.is_empty() || !solver.block_model(&all_inputs) {
@@ -303,15 +328,17 @@ impl ModelFinder {
     }
 }
 
-fn decode(
-    problem: &Problem,
+/// Reads a satisfying assignment back into a relational [`Instance`].
+pub(crate) fn decode(
+    schema: &Schema,
+    bounds: &Bounds,
     rel_inputs: &[std::collections::BTreeMap<relational::Tuple, u32>],
     input_vars: &std::collections::HashMap<u32, Var>,
     solver: &Solver,
 ) -> Instance {
-    let mut inst = Instance::empty(&problem.schema, problem.bounds.universe_size());
-    for (id, d) in problem.schema.iter() {
-        let mut value = problem.bounds.lower(id).clone();
+    let mut inst = Instance::empty(schema, bounds.universe_size());
+    for (id, d) in schema.iter() {
+        let mut value = bounds.lower(id).clone();
         let _ = d;
         for (tuple, input_idx) in &rel_inputs[id.index()] {
             // Inputs outside the root's cone of influence have no SAT
@@ -352,7 +379,9 @@ mod tests {
     #[test]
     fn finds_satisfying_instance() {
         let (problem, r) = simple_problem();
-        let (verdict, report) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        let (verdict, report) = ModelFinder::new(Options::default())
+            .solve(&problem)
+            .unwrap();
         let inst = verdict.instance().expect("sat");
         assert!(!inst.get(r).is_empty());
         assert!(eval_formula(&problem.schema, inst, &problem.formula).unwrap());
@@ -365,25 +394,24 @@ mod tests {
         // r must be non-empty, acyclic, and empty: contradiction.
         let r = problem.schema.find("r").unwrap();
         problem.formula = problem.formula.and(&rel(r).no());
-        let (verdict, _) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        let (verdict, _) = ModelFinder::new(Options::default())
+            .solve(&problem)
+            .unwrap();
         assert!(verdict.is_unsat());
     }
 
     #[test]
     fn symmetry_breaking_preserves_satisfiability() {
         let (problem, _) = simple_problem();
-        let (v1, _) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        let (v1, _) = ModelFinder::new(Options::default())
+            .solve(&problem)
+            .unwrap();
         let (v2, r2) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
         assert!(v1.instance().is_some());
         assert!(v2.instance().is_some());
         assert!(r2.symmetry_classes >= 1);
         // The symmetric model must still satisfy the formula.
-        assert!(eval_formula(
-            &problem.schema,
-            v2.instance().unwrap(),
-            &problem.formula
-        )
-        .unwrap());
+        assert!(eval_formula(&problem.schema, v2.instance().unwrap(), &problem.formula).unwrap());
     }
 
     #[test]
@@ -418,7 +446,9 @@ mod tests {
             bounds,
             formula,
         };
-        let (verdict, report) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        let (verdict, report) = ModelFinder::new(Options::default())
+            .solve(&problem)
+            .unwrap();
         assert!(verdict.instance().is_some());
         assert_eq!(report.inputs, 0);
     }
@@ -426,7 +456,10 @@ mod tests {
     #[test]
     fn closure_strategies_agree() {
         let (problem, _) = simple_problem();
-        for strategy in [ClosureStrategy::IterativeSquaring, ClosureStrategy::Unrolled] {
+        for strategy in [
+            ClosureStrategy::IterativeSquaring,
+            ClosureStrategy::Unrolled,
+        ] {
             let opts = Options {
                 closure: strategy,
                 ..Options::default()

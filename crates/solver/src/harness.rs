@@ -146,6 +146,67 @@ pub fn json_string(out: &mut String, value: &str) {
     out.push('"');
 }
 
+/// A keyed checkout/checkin pool of reusable per-worker state —
+/// typically one [`crate::Session`] per (model, bound) key and worker.
+///
+/// Harness jobs run on up to `jobs` workers, so at most `jobs` values
+/// exist per key: each job checks a value out, uses it exclusively, and
+/// checks it back in for the next job with the same key. A job that
+/// panics or is abandoned by the dispatcher simply never returns its
+/// value, which is exactly right — an interrupted solver is mid-search
+/// and must not be handed to another query.
+#[derive(Debug, Default)]
+pub struct SessionPool<K, S> {
+    idle: Mutex<HashMap<K, Vec<S>>>,
+    created: Mutex<u64>,
+    reused: Mutex<u64>,
+}
+
+impl<K: std::hash::Hash + Eq, S> SessionPool<K, S> {
+    /// Creates an empty pool.
+    pub fn new() -> SessionPool<K, S> {
+        SessionPool {
+            idle: Mutex::new(HashMap::new()),
+            created: Mutex::new(0),
+            reused: Mutex::new(0),
+        }
+    }
+
+    /// Takes an idle value for `key`, or builds one with `make`.
+    ///
+    /// `make` runs outside the pool lock, so concurrent checkouts of the
+    /// same key may build several values — bounded by the number of
+    /// workers, which is the intended "one session per worker" shape.
+    pub fn checkout(&self, key: &K, make: impl FnOnce() -> S) -> S {
+        let existing = self.idle.lock().unwrap().get_mut(key).and_then(Vec::pop);
+        match existing {
+            Some(s) => {
+                *self.reused.lock().unwrap() += 1;
+                s
+            }
+            None => {
+                *self.created.lock().unwrap() += 1;
+                make()
+            }
+        }
+    }
+
+    /// Returns a value to the pool for later checkouts of `key`.
+    pub fn checkin(&self, key: K, value: S) {
+        self.idle
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_default()
+            .push(value);
+    }
+
+    /// (values built, checkouts served by reuse) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.created.lock().unwrap(), *self.reused.lock().unwrap())
+    }
+}
+
 /// Worker-pool configuration.
 #[derive(Debug, Clone)]
 pub struct HarnessOptions {

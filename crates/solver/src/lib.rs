@@ -23,10 +23,12 @@
 pub mod circuit;
 pub mod finder;
 pub mod harness;
+pub mod session;
 pub mod symmetry;
 pub mod translate;
 
 pub use finder::{CheckResult, ModelFinder, Options, Problem, Report, Verdict};
-pub use harness::{HarnessOptions, Query, QueryCtx, QueryOutput, QueryRecord};
+pub use harness::{HarnessOptions, Query, QueryCtx, QueryOutput, QueryRecord, SessionPool};
 pub use satsolver::{CancelToken, Interrupt};
-pub use translate::ClosureStrategy;
+pub use session::{Session, SessionStats};
+pub use translate::{ClosureStrategy, IncrementalTranslator};

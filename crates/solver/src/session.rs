@@ -1,0 +1,511 @@
+//! Incremental model finding sessions.
+//!
+//! A [`Session`] amortizes the fixed cost of a family of closely related
+//! queries — the same (schema, bounds) universe, the same base formula
+//! (well-formedness + axioms), but a different assertion or litmus
+//! postcondition each time. Three layers persist across queries:
+//!
+//! 1. **Translation** ([`IncrementalTranslator`]): relation matrices are
+//!    allocated once, and structural hashing dedups any subcircuit later
+//!    queries share with earlier ones (closure squaring chains, join
+//!    products, quantifier expansions).
+//! 2. **Encoding** ([`CircuitEncoder`]): Tseitin clauses are emitted only
+//!    for gates not already in the solver, so a query pays CNF cost only
+//!    for its genuinely new subformula.
+//! 3. **Search** ([`satsolver::Solver`]): one long-lived CDCL solver keeps
+//!    learnt clauses, VSIDS activities, and saved phases. Each query's
+//!    root is guarded by a fresh activation literal `act` via the clause
+//!    `¬act ∨ root`; the query is solved with `act` assumed and retired
+//!    afterwards with a permanent unit `¬act`, so its constraint can never
+//!    leak into later queries.
+//!
+//! Verdicts are identical to per-query [`crate::ModelFinder`] runs over
+//! `base ∧ query` (guaranteed by the `session_matches_scratch`
+//! regression tests); only the work performed differs.
+
+use std::time::{Duration, Instant};
+
+use relational::{Bounds, Formula, Instance, Schema, TypeError};
+use satsolver::{CancelToken, Interrupt, SolveResult, Solver, SolverStats};
+
+use crate::circuit::{CircuitEncoder, GateId};
+use crate::finder::{decode, CheckResult, Options, Report, Verdict};
+use crate::symmetry::{break_symmetries, symmetry_classes};
+use crate::translate::IncrementalTranslator;
+
+/// Cumulative work counters for a session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Queries dispatched (solve/check calls, enumerate counts once).
+    pub queries: u64,
+    /// Total time translating formulas to circuit gates.
+    pub translate_time: Duration,
+    /// Total time Tseitin-encoding new gates into the solver.
+    pub encode_time: Duration,
+    /// Total time inside the SAT solver.
+    pub solve_time: Duration,
+    /// Gates whose defining clauses were emitted.
+    pub gates_encoded: u64,
+    /// Gates found already encoded by an earlier query — translation work
+    /// a scratch run would have repeated.
+    pub gate_cache_hits: u64,
+}
+
+/// An incremental model-finding session over one (schema, bounds, base
+/// formula) triple.
+///
+/// # Examples
+///
+/// ```
+/// use relational::{Schema, Bounds, patterns};
+/// use relational::schema::rel;
+/// use modelfinder::{Session, Options, Verdict};
+///
+/// let mut schema = Schema::new();
+/// let r = schema.relation("r", 2);
+/// let bounds = Bounds::new(&schema, 3);
+/// let base = patterns::acyclic(&rel(r));
+/// let mut session = Session::new(&schema, &bounds, &base, Options::default())?;
+/// // Queries against the shared base, answered on one solver:
+/// let (v1, _) = session.solve(&rel(r).some())?;
+/// assert!(v1.instance().is_some());
+/// let (v2, _) = session.solve(&rel(r).some().not())?;
+/// assert!(v2.instance().is_some());
+/// # Ok::<(), relational::TypeError>(())
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    translator: IncrementalTranslator,
+    encoder: CircuitEncoder,
+    solver: Solver,
+    base_root: GateId,
+    options: Options,
+    num_symmetry_classes: usize,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// Creates a session: translates and encodes `base` once, asserting
+    /// it permanently in the solver.
+    ///
+    /// With [`Options::symmetry_breaking`] on, lex-leader predicates for
+    /// the bounds' interchangeable-atom classes are asserted alongside the
+    /// base. They are sound only for queries invariant under
+    /// bound-respecting atom permutations — in particular, queries that
+    /// pin individual atoms through `Expr::Const` may be misjudged, and
+    /// [`Session::enumerate`] refuses to run (the predicates cannot be
+    /// retracted). Use [`Options::default`] for such workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if `base` violates arity discipline.
+    pub fn new(
+        schema: &Schema,
+        bounds: &Bounds,
+        base: &Formula,
+        options: Options,
+    ) -> Result<Session, TypeError> {
+        let mut stats = SessionStats::default();
+        let t0 = Instant::now();
+        let mut translator = IncrementalTranslator::new(schema, bounds, options.closure);
+        let mut base_root = translator.formula(base)?;
+        let mut num_symmetry_classes = 0;
+        if options.symmetry_breaking {
+            let classes = symmetry_classes(schema, bounds);
+            num_symmetry_classes = classes.len();
+            let (circuit, rel_inputs) = translator.parts_mut();
+            let sym = break_symmetries(schema, bounds, circuit, rel_inputs, &classes);
+            base_root = circuit.and(base_root, sym);
+        }
+        stats.translate_time += t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut solver = Solver::new();
+        let mut encoder = CircuitEncoder::new();
+        let base_lit = encoder.encode(translator.circuit(), base_root, &mut solver);
+        solver.add_clause(&[base_lit]);
+        stats.encode_time += t1.elapsed();
+
+        Ok(Session {
+            translator,
+            encoder,
+            solver,
+            base_root,
+            options,
+            num_symmetry_classes,
+            stats,
+        })
+    }
+
+    /// Replaces the per-query wall-clock budget.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.options.deadline = deadline;
+    }
+
+    /// Replaces the per-query cancellation token.
+    pub fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.options.cancel = token;
+    }
+
+    /// Cumulative work counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            gates_encoded: self.encoder.gates_encoded(),
+            gate_cache_hits: self.encoder.cache_hits(),
+            ..self.stats
+        }
+    }
+
+    /// Searches for an instance satisfying `base ∧ formula`.
+    ///
+    /// Equivalent to [`crate::ModelFinder::solve`] on the conjoined
+    /// problem, but incremental: only `formula`'s new subcircuit is
+    /// translated and encoded, and the solver resumes with everything it
+    /// learnt from earlier queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if `formula` violates arity discipline.
+    pub fn solve(&mut self, formula: &Formula) -> Result<(Verdict, Report), TypeError> {
+        let t0 = Instant::now();
+        let deadline = self.options.deadline.map(|d| t0 + d);
+        self.stats.queries += 1;
+
+        let query_root = self.translator.formula(formula)?;
+        let translate_time = t0.elapsed();
+        self.stats.translate_time += translate_time;
+
+        let t1 = Instant::now();
+        let hits_before = self.encoder.cache_hits();
+        let root_lit = self
+            .encoder
+            .encode(self.translator.circuit(), query_root, &mut self.solver);
+        let act = self.solver.new_var();
+        self.solver.add_clause(&[act.negative(), root_lit]);
+        self.stats.encode_time += t1.elapsed();
+
+        let mut report = Report {
+            gates: self.translator.circuit().num_gates(),
+            inputs: self.translator.circuit().num_inputs(),
+            sat_vars: self.solver.num_vars(),
+            sat_clauses: self.solver.num_clauses(),
+            symmetry_classes: self.num_symmetry_classes,
+            translate_time,
+            gate_cache_hits: self.encoder.cache_hits() - hits_before,
+            ..Report::default()
+        };
+
+        self.solver
+            .set_conflict_budget(self.options.conflict_budget);
+        self.solver
+            .set_propagation_budget(self.options.propagation_budget);
+        self.solver.set_deadline(deadline);
+        self.solver.set_cancel_token(self.options.cancel.clone());
+
+        // The deadline covers translation and encoding too.
+        let expired = deadline.is_some_and(|d| Instant::now() >= d);
+        let cancelled = self
+            .options
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled);
+        if expired || cancelled {
+            report.interrupted = Some(if cancelled {
+                Interrupt::Cancelled
+            } else {
+                Interrupt::Deadline
+            });
+            self.retire(act.negative());
+            return Ok((Verdict::Unknown, report));
+        }
+
+        let t2 = Instant::now();
+        let stats_before = self.solver.stats();
+        let result = self.solver.solve_with_assumptions(&[act.positive()]);
+        report.solve_time = t2.elapsed();
+        self.stats.solve_time += report.solve_time;
+        report.solver_stats = stats_delta(stats_before, self.solver.stats());
+
+        let verdict = match result {
+            SolveResult::Unsat => Verdict::Unsat,
+            SolveResult::Unknown(reason) => {
+                report.interrupted = Some(reason);
+                Verdict::Unknown
+            }
+            SolveResult::Sat => Verdict::Sat(decode(
+                self.translator.schema(),
+                self.translator.bounds(),
+                self.translator.rel_inputs(),
+                self.encoder.input_vars(),
+                &self.solver,
+            )),
+        };
+        self.retire(act.negative());
+        Ok((verdict, report))
+    }
+
+    /// Alloy's `check` idiom against the session base: searches for a
+    /// counterexample satisfying `base ∧ ¬assertion`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if `assertion` violates arity discipline.
+    pub fn check(&mut self, assertion: &Formula) -> Result<(CheckResult, Report), TypeError> {
+        let (verdict, report) = self.solve(&assertion.not())?;
+        let result = match verdict {
+            Verdict::Unsat => CheckResult::Valid,
+            Verdict::Sat(instance) => CheckResult::Counterexample(instance),
+            Verdict::Unknown => CheckResult::Unknown,
+        };
+        Ok((result, report))
+    }
+
+    /// Enumerates instances satisfying `base ∧ formula`, invoking `visit`
+    /// for each, up to `limit`. Returns the number found.
+    ///
+    /// Blocking clauses carry the query's activation literal, so they
+    /// retire together with the query instead of constraining later ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if `formula` violates arity discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was created with symmetry breaking: its
+    /// predicates are permanently asserted and would make the enumeration
+    /// incomplete.
+    pub fn enumerate<F: FnMut(&Instance)>(
+        &mut self,
+        formula: &Formula,
+        limit: usize,
+        mut visit: F,
+    ) -> Result<usize, TypeError> {
+        assert!(
+            !self.options.symmetry_breaking,
+            "enumeration on a symmetry-breaking session is incomplete; \
+             create the session with Options::default()"
+        );
+        self.stats.queries += 1;
+        let t0 = Instant::now();
+        let query_root = self.translator.formula(formula)?;
+        self.stats.translate_time += t0.elapsed();
+
+        let t1 = Instant::now();
+        let root_lit = self
+            .encoder
+            .encode(self.translator.circuit(), query_root, &mut self.solver);
+        let act = self.solver.new_var();
+        self.solver.add_clause(&[act.negative(), root_lit]);
+        // Enumeration is projected onto the inputs both roots can see —
+        // the same set a scratch run over `base ∧ formula` would use.
+        let block_vars = self
+            .encoder
+            .cone_input_vars(self.translator.circuit(), &[self.base_root, query_root]);
+        self.stats.encode_time += t1.elapsed();
+
+        self.solver
+            .set_conflict_budget(self.options.conflict_budget);
+        self.solver
+            .set_propagation_budget(self.options.propagation_budget);
+        self.solver
+            .set_deadline(self.options.deadline.map(|d| Instant::now() + d));
+        self.solver.set_cancel_token(self.options.cancel.clone());
+
+        let t2 = Instant::now();
+        let mut count = 0;
+        while count < limit
+            && self.solver.solve_with_assumptions(&[act.positive()]) == SolveResult::Sat
+        {
+            let inst = decode(
+                self.translator.schema(),
+                self.translator.bounds(),
+                self.translator.rel_inputs(),
+                self.encoder.input_vars(),
+                &self.solver,
+            );
+            visit(&inst);
+            count += 1;
+            if block_vars.is_empty() {
+                break;
+            }
+            // A query-local blocking clause: vacuous once `act` retires.
+            let mut lits = vec![act.negative()];
+            for &v in &block_vars {
+                match self.solver.model_value(v) {
+                    Some(true) => lits.push(v.negative()),
+                    Some(false) => lits.push(v.positive()),
+                    None => {}
+                }
+            }
+            if !self.solver.add_clause(&lits) {
+                break;
+            }
+        }
+        self.stats.solve_time += t2.elapsed();
+        self.retire(act.negative());
+        Ok(count)
+    }
+
+    /// Permanently disables a query's activation literal so its clauses
+    /// (and any blocking clauses carrying it) become vacuous.
+    fn retire(&mut self, not_act: satsolver::Lit) {
+        self.solver.add_clause(&[not_act]);
+    }
+}
+
+/// Per-query solver counters: the difference between two cumulative
+/// snapshots of one long-lived solver.
+fn stats_delta(before: SolverStats, after: SolverStats) -> SolverStats {
+    SolverStats {
+        conflicts: after.conflicts - before.conflicts,
+        decisions: after.decisions - before.decisions,
+        propagations: after.propagations - before.propagations,
+        restarts: after.restarts - before.restarts,
+        deleted_clauses: after.deleted_clauses - before.deleted_clauses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finder::{ModelFinder, Problem};
+    use relational::eval_formula;
+    use relational::patterns;
+    use relational::schema::rel;
+
+    fn acyclic_base() -> (Schema, Bounds, Formula) {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let bounds = Bounds::new(&schema, 3);
+        (schema, bounds, patterns::acyclic(&rel(r)))
+    }
+
+    #[test]
+    fn session_verdicts_match_scratch() {
+        let (schema, bounds, base) = acyclic_base();
+        let r = schema.find("r").unwrap();
+        let queries = [
+            rel(r).some(),
+            rel(r).no(),
+            rel(r).one(),
+            rel(r).join(&rel(r)).some(),
+            patterns::irreflexive(&rel(r)).not(),
+        ];
+        let mut session = Session::new(&schema, &bounds, &base, Options::default()).unwrap();
+        let finder = ModelFinder::new(Options::default());
+        for q in &queries {
+            let (sv, _) = session.solve(q).unwrap();
+            let (fv, _) = finder
+                .solve(&Problem {
+                    schema: schema.clone(),
+                    bounds: bounds.clone(),
+                    formula: base.and(q),
+                })
+                .unwrap();
+            assert_eq!(
+                sv.is_unsat(),
+                fv.is_unsat(),
+                "session and scratch disagree on {q:?}"
+            );
+            if let Verdict::Sat(inst) = &sv {
+                assert!(eval_formula(&schema, inst, &base.and(q)).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn queries_do_not_leak_into_later_ones() {
+        let (schema, bounds, base) = acyclic_base();
+        let r = schema.find("r").unwrap();
+        let mut session = Session::new(&schema, &bounds, &base, Options::default()).unwrap();
+        // An unsatisfiable query must not poison the session.
+        let (v, _) = session.solve(&rel(r).some().and(&rel(r).no())).unwrap();
+        assert!(v.is_unsat());
+        let (v, _) = session.solve(&rel(r).some()).unwrap();
+        assert!(v.instance().is_some());
+        // Two contradictory queries each satisfiable on their own.
+        let (v1, _) = session.solve(&rel(r).no()).unwrap();
+        assert!(v1.instance().is_some());
+        let (v2, _) = session.solve(&rel(r).some()).unwrap();
+        assert!(v2.instance().is_some());
+    }
+
+    #[test]
+    fn later_queries_hit_the_gate_cache() {
+        let (schema, bounds, base) = acyclic_base();
+        let r = schema.find("r").unwrap();
+        let mut session = Session::new(&schema, &bounds, &base, Options::default()).unwrap();
+        // Both queries contain the subcircuit r;r.
+        let (_, _) = session.solve(&rel(r).join(&rel(r)).some()).unwrap();
+        let (_, r2) = session
+            .solve(&rel(r).join(&rel(r)).join(&rel(r)).some())
+            .unwrap();
+        assert!(
+            r2.gate_cache_hits > 0,
+            "second query should reuse the r;r encoding"
+        );
+    }
+
+    #[test]
+    fn session_enumerate_matches_scratch_count() {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let bounds = Bounds::new(&schema, 2);
+        let mut session =
+            Session::new(&schema, &bounds, &Formula::True, Options::default()).unwrap();
+        // `one r` has exactly 4 models over a 2-atom universe.
+        let n = session.enumerate(&rel(r).one(), 100, |_| {}).unwrap();
+        assert_eq!(n, 4);
+        // `no r` has exactly 1; the blocking clauses above must be gone.
+        let n = session.enumerate(&rel(r).no(), 100, |_| {}).unwrap();
+        assert_eq!(n, 1);
+        // And `some r` has 2^4 - 1.
+        let n = session.enumerate(&rel(r).some(), 100, |_| {}).unwrap();
+        assert_eq!(n, 15);
+    }
+
+    #[test]
+    fn check_finds_counterexample_and_validity() {
+        let (schema, bounds, _) = acyclic_base();
+        let r = schema.find("r").unwrap();
+        let mut session = Session::new(
+            &schema,
+            &bounds,
+            &patterns::acyclic(&rel(r)),
+            Options::check(),
+        )
+        .unwrap();
+        let (res, _) = session.check(&patterns::irreflexive(&rel(r))).unwrap();
+        assert!(res.is_valid(), "acyclic implies irreflexive");
+        let (res, _) = session.check(&rel(r).no()).unwrap();
+        assert!(
+            matches!(res, CheckResult::Counterexample(_)),
+            "acyclic does not imply empty"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "enumeration on a symmetry-breaking session")]
+    fn enumerate_rejects_symmetry_breaking() {
+        let (schema, bounds, base) = acyclic_base();
+        let mut session = Session::new(&schema, &bounds, &base, Options::check()).unwrap();
+        let r = schema.find("r").unwrap();
+        let _ = session.enumerate(&rel(r).some(), 10, |_| {});
+    }
+
+    #[test]
+    fn per_query_deadline_yields_unknown_not_poison() {
+        let (schema, bounds, base) = acyclic_base();
+        let r = schema.find("r").unwrap();
+        let mut session = Session::new(&schema, &bounds, &base, Options::default()).unwrap();
+        session.set_deadline(Some(Duration::ZERO));
+        let (v, report) = session.solve(&rel(r).some()).unwrap();
+        assert_eq!(v, Verdict::Unknown);
+        assert_eq!(report.interrupted, Some(Interrupt::Deadline));
+        // Clearing the deadline restores normal solving.
+        session.set_deadline(None);
+        let (v, _) = session.solve(&rel(r).some()).unwrap();
+        assert!(v.instance().is_some());
+    }
+}

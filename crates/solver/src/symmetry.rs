@@ -11,8 +11,7 @@ use std::collections::BTreeMap;
 
 use relational::{Atom, Bounds, Schema, Tuple, TupleSet};
 
-use crate::circuit::GateId;
-use crate::translate::Translation;
+use crate::circuit::{Circuit, GateId};
 
 /// Computes the interchangeable-atom classes of `bounds`.
 ///
@@ -85,45 +84,46 @@ fn apply_swap(t: &Tuple, a: Atom, b: Atom) -> Tuple {
 pub fn break_symmetries(
     schema: &Schema,
     bounds: &Bounds,
-    translation: &mut Translation,
+    circuit: &mut Circuit,
+    rel_inputs: &[BTreeMap<Tuple, u32>],
     classes: &[Vec<Atom>],
 ) -> GateId {
     let mut constraints = Vec::new();
     for class in classes {
         for pair in class.windows(2) {
             let (a, b) = (pair[0], pair[1]);
-            let c = lex_leader_constraint(schema, bounds, translation, a, b);
+            let c = lex_leader_constraint(schema, bounds, circuit, rel_inputs, a, b);
             constraints.push(c);
         }
     }
-    translation.circuit.and_all(constraints)
+    circuit.and_all(constraints)
 }
 
 /// Builds `V ≤lex π(V)` for the transposition `(a b)`.
 fn lex_leader_constraint(
     schema: &Schema,
     bounds: &Bounds,
-    translation: &mut Translation,
+    circuit: &mut Circuit,
+    rel_inputs: &[BTreeMap<Tuple, u32>],
     a: Atom,
     b: Atom,
 ) -> GateId {
     // Build the paired vector (v_i, πv_i) across all relations in order.
     let mut pairs: Vec<(GateId, GateId)> = Vec::new();
     for (id, _) in schema.iter() {
-        let inputs: &BTreeMap<Tuple, u32> = &translation.rel_inputs[id.index()];
+        let inputs: &BTreeMap<Tuple, u32> = &rel_inputs[id.index()];
         let lower = bounds.lower(id);
         for (t, _) in inputs.clone() {
-            let g = gate_for(translation, id.index(), lower, &t);
+            let g = gate_for(circuit, rel_inputs, id.index(), lower, &t);
             let swapped = apply_swap(&t, a, b);
             if swapped == t {
                 continue; // fixed point: contributes equality trivially
             }
-            let gp = gate_for(translation, id.index(), lower, &swapped);
+            let gp = gate_for(circuit, rel_inputs, id.index(), lower, &swapped);
             pairs.push((g, gp));
         }
     }
     // V ≤lex π(V): prefix-equality chain.
-    let circuit = &mut translation.circuit;
     let mut eq_prefix = circuit.tru();
     let mut constraint = circuit.tru();
     for (x, y) in pairs {
@@ -141,17 +141,18 @@ fn lex_leader_constraint(
 /// if in the lower bound, the allocated input if free, constant-false
 /// outside the upper bound.
 fn gate_for(
-    translation: &Translation,
+    circuit: &Circuit,
+    rel_inputs: &[BTreeMap<Tuple, u32>],
     rel_index: usize,
     lower: &TupleSet,
     t: &Tuple,
 ) -> GateId {
     if lower.contains(t) {
-        return translation.circuit.tru();
+        return circuit.tru();
     }
-    match translation.rel_inputs[rel_index].get(t) {
-        Some(&input_idx) => translation.circuit.input_gate(input_idx),
-        None => translation.circuit.fls(),
+    match rel_inputs[rel_index].get(t) {
+        Some(&input_idx) => circuit.input_gate(input_idx),
+        None => circuit.fls(),
     }
 }
 

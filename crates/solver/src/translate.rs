@@ -95,28 +95,98 @@ pub fn translate(
     formula: &Formula,
     strategy: ClosureStrategy,
 ) -> Result<Translation, TypeError> {
-    relational::check_formula(formula, schema)?;
-    let mut tr = Translator {
-        schema,
-        bounds,
-        circuit: Circuit::new(),
-        rel_matrices: Vec::new(),
-        rel_inputs: Vec::new(),
-        env: HashMap::new(),
-        strategy,
-    };
-    tr.allocate_relations();
+    let mut tr = IncrementalTranslator::new(schema, bounds, strategy);
     let root = tr.formula(formula)?;
     Ok(Translation {
-        circuit: tr.circuit,
+        circuit: tr.inner.circuit,
         root,
-        rel_inputs: tr.rel_inputs,
+        rel_inputs: tr.inner.rel_inputs,
     })
 }
 
-struct Translator<'a> {
-    schema: &'a Schema,
-    bounds: &'a Bounds,
+/// A persistent translator: one circuit accumulating the translations of
+/// many formulas over the same (schema, bounds).
+///
+/// The relation matrices are allocated once at construction, so every
+/// translated formula refers to the *same* input gates, and structural
+/// hashing in the shared [`Circuit`] dedups any subexpression (joins,
+/// closure squaring chains, quantifier expansions) that later formulas
+/// have in common with earlier ones. This is the translation half of the
+/// incremental `Session` pipeline.
+#[derive(Debug)]
+pub struct IncrementalTranslator {
+    inner: Translator,
+}
+
+impl IncrementalTranslator {
+    /// Creates a translator for `(schema, bounds)`, allocating the
+    /// relation matrices.
+    pub fn new(
+        schema: &Schema,
+        bounds: &Bounds,
+        strategy: ClosureStrategy,
+    ) -> IncrementalTranslator {
+        let mut inner = Translator {
+            schema: schema.clone(),
+            bounds: bounds.clone(),
+            circuit: Circuit::new(),
+            rel_matrices: Vec::new(),
+            rel_inputs: Vec::new(),
+            env: HashMap::new(),
+            strategy,
+        };
+        inner.allocate_relations();
+        IncrementalTranslator { inner }
+    }
+
+    /// Translates one more formula into the shared circuit and returns
+    /// its root gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if the formula violates arity discipline.
+    pub fn formula(&mut self, formula: &Formula) -> Result<GateId, TypeError> {
+        relational::check_formula(formula, &self.inner.schema)?;
+        self.inner.formula(formula)
+    }
+
+    /// The shared circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.inner.circuit
+    }
+
+    /// Mutable access to the shared circuit (symmetry-breaking predicates
+    /// are built directly into it).
+    pub fn circuit_mut(&mut self) -> &mut Circuit {
+        &mut self.inner.circuit
+    }
+
+    /// The mutable circuit together with the relation input maps, for
+    /// callers (symmetry breaking) that need both at once.
+    pub fn parts_mut(&mut self) -> (&mut Circuit, &[BTreeMap<Tuple, u32>]) {
+        (&mut self.inner.circuit, &self.inner.rel_inputs)
+    }
+
+    /// For each relation id: tuple → circuit input index.
+    pub fn rel_inputs(&self) -> &[BTreeMap<Tuple, u32>] {
+        &self.inner.rel_inputs
+    }
+
+    /// The schema this translator was built for.
+    pub fn schema(&self) -> &Schema {
+        &self.inner.schema
+    }
+
+    /// The bounds this translator was built for.
+    pub fn bounds(&self) -> &Bounds {
+        &self.inner.bounds
+    }
+}
+
+#[derive(Debug)]
+struct Translator {
+    schema: Schema,
+    bounds: Bounds,
     circuit: Circuit,
     rel_matrices: Vec<Matrix>,
     rel_inputs: Vec<BTreeMap<Tuple, u32>>,
@@ -124,7 +194,7 @@ struct Translator<'a> {
     strategy: ClosureStrategy,
 }
 
-impl<'a> Translator<'a> {
+impl Translator {
     fn allocate_relations(&mut self) {
         for (id, d) in self.schema.iter() {
             let lower = self.bounds.lower(id);

@@ -123,7 +123,10 @@ fn finder_matches_brute_force() {
             formula: formula.clone(),
         };
         let expected = brute_force_sat(&c, n, &formula);
-        for strategy in [ClosureStrategy::IterativeSquaring, ClosureStrategy::Unrolled] {
+        for strategy in [
+            ClosureStrategy::IterativeSquaring,
+            ClosureStrategy::Unrolled,
+        ] {
             let opts = Options {
                 closure: strategy,
                 ..Options::default()
@@ -158,7 +161,9 @@ fn symmetry_breaking_preserves_verdict() {
             bounds: Bounds::new(&c.schema, 3),
             formula,
         };
-        let (plain, _) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        let (plain, _) = ModelFinder::new(Options::default())
+            .solve(&problem)
+            .unwrap();
         let (broken, _) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
         assert_eq!(plain.instance().is_some(), broken.instance().is_some());
     });

@@ -24,18 +24,26 @@ fn verdicts_agree_across_structured_problems() {
     let r = schema.relation("r", 2);
     let bounds = Bounds::new(&schema, 4);
     let formulas: Vec<(&str, Formula)> = vec![
-        ("acyclic+some", patterns::acyclic(&rel(r)).and(&rel(r).some())),
+        (
+            "acyclic+some",
+            patterns::acyclic(&rel(r)).and(&rel(r).some()),
+        ),
         ("total-order", {
             let univ = relational::Expr::Univ;
             patterns::strict_total_order_on(&rel(r), &univ)
         }),
         ("symmetric+irreflexive", {
-            patterns::symmetric(&rel(r)).and(&patterns::irreflexive(&rel(r))).and(&rel(r).some())
+            patterns::symmetric(&rel(r))
+                .and(&patterns::irreflexive(&rel(r)))
+                .and(&rel(r).some())
         }),
         ("impossible", {
             // r non-empty, transitive, irreflexive, and r ; r = r with
             // r ⊆ iden — contradiction.
-            rel(r).some().and(&rel(r).in_(&relational::Expr::Iden)).and(&patterns::irreflexive(&rel(r)))
+            rel(r)
+                .some()
+                .and(&rel(r).in_(&relational::Expr::Iden))
+                .and(&patterns::irreflexive(&rel(r)))
         }),
     ];
     for (name, formula) in formulas {
@@ -44,7 +52,9 @@ fn verdicts_agree_across_structured_problems() {
             bounds: bounds.clone(),
             formula,
         };
-        let (plain, _) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+        let (plain, _) = ModelFinder::new(Options::default())
+            .solve(&problem)
+            .unwrap();
         let (broken, _) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
         assert_eq!(
             plain.instance().is_some(),
@@ -74,7 +84,9 @@ fn lex_leader_prunes_but_keeps_witnesses() {
     let (verdict, report) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
     assert!(verdict.instance().is_some());
     assert_eq!(report.symmetry_classes, 1);
-    let (_, plain_report) = ModelFinder::new(Options::default()).solve(&problem).unwrap();
+    let (_, plain_report) = ModelFinder::new(Options::default())
+        .solve(&problem)
+        .unwrap();
     assert!(
         report.sat_clauses > plain_report.sat_clauses,
         "lex-leader constraints must add clauses"

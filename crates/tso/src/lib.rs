@@ -35,9 +35,7 @@
 
 use std::collections::BTreeMap;
 
-use memmodel::{
-    enumerate_total_orders, Location, Odometer, Register, RelMat, ThreadId, Value,
-};
+use memmodel::{enumerate_total_orders, Location, Odometer, Register, RelMat, ThreadId, Value};
 
 /// One TSO (x86-like) instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -417,10 +415,7 @@ pub fn enumerate_executions(program: &TsoProgram) -> TsoEnumeration {
             for (loc_i, &k) in co_idx.iter().enumerate() {
                 co.union_with(&co_per_loc[loc_i][k]);
             }
-            let fr = rf
-                .transpose()
-                .compose(&co)
-                .difference(&RelMat::identity(n));
+            let fr = rf.transpose().compose(&co).difference(&RelMat::identity(n));
 
             // Atomicity for locked RMWs: no write may slot between the
             // read and write halves in coherence order.
@@ -430,9 +425,8 @@ pub fn enumerate_executions(program: &TsoProgram) -> TsoEnumeration {
             }
 
             // Axiom 1: SC-per-Location.
-            let po_loc = x
-                .po
-                .filter(|i, j| x.events[i].loc.is_some() && x.events[i].loc == x.events[j].loc);
+            let po_loc =
+                x.po.filter(|i, j| x.events[i].loc.is_some() && x.events[i].loc == x.events[j].loc);
             let sc_per_loc = rf.union(&co).union(&fr).union(&po_loc).is_acyclic();
             if !sc_per_loc {
                 continue;
@@ -511,7 +505,10 @@ mod tests {
         // TSO keeps store→store and load→load order: plain MP works.
         let p = TsoProgram::new(vec![
             vec![store(Location(0), 1), store(Location(1), 1)],
-            vec![load(Register(0), Location(1)), load(Register(1), Location(0))],
+            vec![
+                load(Register(0), Location(1)),
+                load(Register(1), Location(0)),
+            ],
         ]);
         let e = enumerate_executions(&p);
         assert!(!has_outcome(&e, &[(reg(1, 0), 1), (reg(1, 1), 0)]));
@@ -531,8 +528,16 @@ mod tests {
     #[test]
     fn sb_is_forbidden_with_mfence() {
         let p = TsoProgram::new(vec![
-            vec![store(Location(0), 1), mfence(), load(Register(0), Location(1))],
-            vec![store(Location(1), 1), mfence(), load(Register(1), Location(0))],
+            vec![
+                store(Location(0), 1),
+                mfence(),
+                load(Register(0), Location(1)),
+            ],
+            vec![
+                store(Location(1), 1),
+                mfence(),
+                load(Register(1), Location(0)),
+            ],
         ]);
         let e = enumerate_executions(&p);
         assert!(!has_outcome(&e, &[(reg(0, 0), 0), (reg(1, 1), 0)]));
@@ -573,13 +578,24 @@ mod tests {
         let p = TsoProgram::new(vec![
             vec![store(Location(0), 1)],
             vec![store(Location(1), 1)],
-            vec![load(Register(0), Location(0)), load(Register(1), Location(1))],
-            vec![load(Register(2), Location(1)), load(Register(3), Location(0))],
+            vec![
+                load(Register(0), Location(0)),
+                load(Register(1), Location(1)),
+            ],
+            vec![
+                load(Register(2), Location(1)),
+                load(Register(3), Location(0)),
+            ],
         ]);
         let e = enumerate_executions(&p);
         assert!(!has_outcome(
             &e,
-            &[(reg(2, 0), 1), (reg(2, 1), 0), (reg(3, 2), 1), (reg(3, 3), 0)]
+            &[
+                (reg(2, 0), 1),
+                (reg(2, 1), 0),
+                (reg(3, 2), 1),
+                (reg(3, 3), 0)
+            ]
         ));
     }
 
@@ -592,8 +608,7 @@ mod tests {
         let e = enumerate_executions(&p);
         assert!(!e.executions.is_empty());
         let both_zero = e.any_execution(|x| {
-            x.final_registers[&reg(0, 0)] == Value(0)
-                && x.final_registers[&reg(1, 1)] == Value(0)
+            x.final_registers[&reg(0, 0)] == Value(0) && x.final_registers[&reg(1, 1)] == Value(0)
         });
         assert!(!both_zero, "locked exchanges must serialize");
     }

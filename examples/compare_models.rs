@@ -26,7 +26,11 @@ fn main() {
             "{:<22} {:>10} {:>10} {:>10}",
             test.name,
             expected,
-            if ptx_result.observable { "obs" } else { "forbid" },
+            if ptx_result.observable {
+                "obs"
+            } else {
+                "forbid"
+            },
             match tso_result {
                 Some(r) =>
                     if r.observable {

@@ -14,21 +14,19 @@ fn main() {
 
     let result = run_ptx(&test);
     println!();
-    println!(
-        "candidate witnesses examined: {}",
-        result.candidates
-    );
+    println!("candidate witnesses examined: {}", result.candidates);
     println!(
         "consistent executions:        {}",
         result.consistent_executions
     );
-    println!(
-        "tagged outcome observable:    {}",
-        result.observable
-    );
+    println!("tagged outcome observable:    {}", result.observable);
     println!(
         "verdict:                      {}",
-        if result.passed { "PASS (matches the paper)" } else { "FAIL" }
+        if result.passed {
+            "PASS (matches the paper)"
+        } else {
+            "FAIL"
+        }
     );
 
     // For contrast: the same program with relaxed (non-acquire/release)

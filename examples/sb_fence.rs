@@ -11,8 +11,8 @@ use litmus::{library, run_ptx, run_under_tso};
 fn main() {
     println!("Store buffering under PTX: r0 == 0 && r1 == 0?\n");
     for test in [
-        library::sb(),                // relaxed, no fences
-        library::sb_fence_sc(),       // fence.sc.gpu, morally strong
+        library::sb(),                  // relaxed, no fences
+        library::sb_fence_sc(),         // fence.sc.gpu, morally strong
         library::sb_fence_weak_scope(), // fence.sc.cta across CTAs: weak
     ] {
         let r = run_ptx(&test);

@@ -15,4 +15,17 @@ cargo test --workspace -q --offline
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+# Fast incremental-equivalence smoke: at bound 3 fig17_table runs every
+# axiom query both from scratch and through a shared session, and exits
+# non-zero if any verdict drifts between the two paths.
+echo "== incremental-equivalence smoke (fig17_table 3) =="
+smoke_json="$(mktemp)"
+trap 'rm -f "$smoke_json"' EXIT
+cargo run --release --offline -q -p ptxmm-bench --bin fig17_table -- 3 \
+    --bench-json "$smoke_json" > /dev/null
+grep -q '"bound": *3' "$smoke_json"
+
 echo "verify.sh: all gates passed."

@@ -24,11 +24,7 @@ fn encode(
     let n_events = expansion.len();
     let n_threads = layout.num_threads();
     // Universe: events, then threads, then locations.
-    let locs: Vec<memmodel::Location> = expansion
-        .writes_by_loc
-        .iter()
-        .map(|&(l, _)| l)
-        .collect();
+    let locs: Vec<memmodel::Location> = expansion.writes_by_loc.iter().map(|&(l, _)| l).collect();
     let thread_atom = |t: memmodel::ThreadId| (n_events + t.0 as usize) as u32;
     let loc_atom = |l: memmodel::Location| {
         (n_events + n_threads + locs.iter().position(|&x| x == l).expect("known loc")) as u32
@@ -83,9 +79,8 @@ fn encode(
         ),
     );
 
-    let to_pairs = |m: &memmodel::RelMat| {
-        TupleSet::from_pairs(m.pairs().map(|(a, b)| (a as u32, b as u32)))
-    };
+    let to_pairs =
+        |m: &memmodel::RelMat| TupleSet::from_pairs(m.pairs().map(|(a, b)| (a as u32, b as u32)));
     set(&mut inst, &v.po, to_pairs(&expansion.po));
     set(&mut inst, &v.rmw, to_pairs(&expansion.rmw));
     set(&mut inst, &v.rf, to_pairs(&candidate.rf_matrix(expansion)));
@@ -99,10 +94,16 @@ fn encode(
         for b in 0..n_threads {
             let (ta, tb) = (memmodel::ThreadId(a as u32), memmodel::ThreadId(b as u32));
             if layout.same_cta(ta, tb) {
-                same_cta.insert(relational::Tuple::new(vec![thread_atom(ta), thread_atom(tb)]));
+                same_cta.insert(relational::Tuple::new(vec![
+                    thread_atom(ta),
+                    thread_atom(tb),
+                ]));
             }
             if layout.same_gpu(ta, tb) {
-                same_gpu.insert(relational::Tuple::new(vec![thread_atom(ta), thread_atom(tb)]));
+                same_gpu.insert(relational::Tuple::new(vec![
+                    thread_atom(ta),
+                    thread_atom(tb),
+                ]));
             }
         }
     }
@@ -173,6 +174,9 @@ fn axiom_verdicts_agree_on_all_candidates() {
             }
         }
     }
-    assert!(checked > 500, "expected substantial coverage, got {checked}");
+    assert!(
+        checked > 500,
+        "expected substantial coverage, got {checked}"
+    );
     assert!(candidates_total > 100);
 }

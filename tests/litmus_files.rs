@@ -20,8 +20,7 @@ fn shipped_litmus_files_pass() {
             .unwrap_or("");
         let display = path.display();
         if header.starts_with("PTX ") {
-            let test = parse_ptx_litmus(&source)
-                .unwrap_or_else(|e| panic!("{display}: {e}"));
+            let test = parse_ptx_litmus(&source).unwrap_or_else(|e| panic!("{display}: {e}"));
             let r = run_ptx(&test);
             assert!(
                 r.passed,
@@ -29,8 +28,7 @@ fn shipped_litmus_files_pass() {
                 test.name, r.observable, test.expectation
             );
         } else if header.starts_with("C11 ") {
-            let test = parse_c11_litmus(&source)
-                .unwrap_or_else(|e| panic!("{display}: {e}"));
+            let test = parse_c11_litmus(&source).unwrap_or_else(|e| panic!("{display}: {e}"));
             let r = run_rc11(&test);
             assert!(
                 r.passed,

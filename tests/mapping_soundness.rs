@@ -36,10 +36,7 @@ fn order_scope_sweep_compiles_soundly() {
                 // MP shape with the chosen orders/scope.
                 let program = CProgram::new(
                     vec![
-                        vec![
-                            store(MemOrder::Rlx, scope, x, 1),
-                            store(so, scope, y, 1),
-                        ],
+                        vec![store(MemOrder::Rlx, scope, x, 1), store(so, scope, y, 1)],
                         vec![
                             load(lo, scope, Register(0), y),
                             load(MemOrder::Rlx, scope, Register(1), x),

@@ -158,13 +158,20 @@ fn validate_program(original: &CProgram) -> usize {
 
     let cexp = rc11::expand(&cprog);
     let pexp = ptx::expand(&compiled);
-    assert_eq!(cexp.len(), pexp.len(), "1:1 correspondence after preconversion");
+    assert_eq!(
+        cexp.len(),
+        pexp.len(),
+        "1:1 correspondence after preconversion"
+    );
     let n_p = pexp.len();
     let main: Vec<usize> = (0..n_p).collect();
 
     let (theory, _atoms) = mapping_theory();
     let p_enum = ptx::enumerate_executions(&compiled);
-    assert!(!p_enum.executions.is_empty(), "compiled program is degenerate");
+    assert!(
+        !p_enum.executions.is_empty(),
+        "compiled program is degenerate"
+    );
 
     // lower_psc is validated existentially per (rf, co) class (see module
     // docs); everything else universally.
