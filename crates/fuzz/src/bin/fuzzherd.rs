@@ -1,0 +1,192 @@
+//! `fuzzherd` — the cross-layer differential fuzzing driver.
+//!
+//! ```text
+//! fuzzherd --rounds 200 --seed 7
+//! fuzzherd --rounds 50 --seed 7 --jobs 4 --timeout-secs 60 --json
+//! ```
+//!
+//! Each round derives a deterministic seed per generator
+//! ([`fuzzkit::round_seed`]) and runs one case from each of the three
+//! generators — random CNF against a DPLL oracle, random relational
+//! formulas against ground enumeration, random litmus programs against
+//! execution enumeration — as jobs on the workspace's worker-pool
+//! harness ([`modelfinder::harness`]). Litmus rounds share incremental
+//! SAT sessions (with their proof checkers) through a
+//! [`modelfinder::SessionPool`], exactly like `ptxherd --sat`.
+//!
+//! Every `Unsat` any engine produces is certified against the
+//! independent DRAT checker. On disagreement the round's seed and a
+//! shrunk minimal case are printed and the exit code is nonzero;
+//! timeouts degrade to `Unknown` records, never hangs.
+
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use fuzzkit::litmusgen::CertSession;
+use fuzzkit::{cnf, litmusgen, relform, round_seed, Disagreement, RoundStats};
+use litmus::sat::Signature;
+use modelfinder::harness::{run_queries, HarnessOptions, Query, QueryOutput};
+use modelfinder::SessionPool;
+
+struct Cli {
+    rounds: u64,
+    seed: u64,
+    jobs: usize,
+    timeout_secs: Option<u64>,
+    json: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        rounds: 100,
+        seed: 7,
+        jobs: 1,
+        timeout_secs: None,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => cli.json = true,
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds needs a value")?;
+                cli.rounds = v.parse().map_err(|_| format!("bad --rounds value `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cli.seed = parse_seed(v)?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                cli.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+                if cli.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--timeout-secs" => {
+                let v = it.next().ok_or("--timeout-secs needs a value")?;
+                cli.timeout_secs = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --timeout-secs value `{v}`"))?,
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+fn parse_seed(v: &str) -> Result<u64, String> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| format!("bad --seed value `{v}`"))
+}
+
+fn output(
+    result: Result<RoundStats, Disagreement>,
+    failures: &Mutex<Vec<Disagreement>>,
+) -> QueryOutput {
+    match result {
+        Ok(stats) => QueryOutput {
+            verdict: "Ok".to_string(),
+            sat_vars: stats.sat_vars,
+            sat_clauses: stats.sat_clauses,
+            conflicts: stats.conflicts,
+            detail: None,
+        },
+        Err(d) => {
+            let detail = format!("{}: {} (seed {:#018x})", d.generator, d.what, d.seed);
+            failures.lock().unwrap().push(d);
+            QueryOutput {
+                verdict: "Disagree".to_string(),
+                detail: Some(detail),
+                ..QueryOutput::default()
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("fuzzherd: {e}");
+            eprintln!(
+                "usage: fuzzherd [--rounds N] [--seed S] [--jobs N] [--timeout-secs S] [--json]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let pool: Arc<SessionPool<Signature, CertSession>> = Arc::new(SessionPool::new());
+    let failures: Arc<Mutex<Vec<Disagreement>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut queries = Vec::new();
+    for round in 0..cli.rounds {
+        let f = Arc::clone(&failures);
+        let seed = round_seed(cli.seed, "cnf", round);
+        queries.push(Query::new(format!("cnf/{round}"), move |_ctx| {
+            output(cnf::run_round(seed), &f)
+        }));
+        let f = Arc::clone(&failures);
+        let seed = round_seed(cli.seed, "relform", round);
+        queries.push(Query::new(format!("relform/{round}"), move |_ctx| {
+            output(relform::run_round(seed), &f)
+        }));
+        let f = Arc::clone(&failures);
+        let p = Arc::clone(&pool);
+        let seed = round_seed(cli.seed, "litmusgen", round);
+        queries.push(Query::new(format!("litmus/{round}"), move |_ctx| {
+            output(litmusgen::run_round(seed, &p), &f)
+        }));
+    }
+
+    let options = HarnessOptions {
+        jobs: cli.jobs,
+        timeout: cli.timeout_secs.map(Duration::from_secs),
+        ..HarnessOptions::default()
+    };
+    let json = cli.json;
+    let records = run_queries(queries, &options, |rec| {
+        if json {
+            println!("{}", rec.to_json());
+        } else if rec.verdict != "Ok" {
+            println!(
+                "{:<16} {:<9} {:.3}s{}",
+                rec.name,
+                rec.verdict,
+                rec.wall.as_secs_f64(),
+                rec.detail
+                    .as_deref()
+                    .map(|d| format!("  {d}"))
+                    .unwrap_or_default()
+            );
+        }
+    });
+
+    let timeouts = records.iter().filter(|r| r.timed_out).count();
+    let failures = failures.lock().unwrap();
+    let (created, reused) = pool.stats();
+    if !json {
+        println!(
+            "fuzzherd: {} rounds x 3 generators, {} disagreements, {} timeouts \
+             (litmus sessions: {} created, {} reused)",
+            cli.rounds,
+            failures.len(),
+            timeouts,
+            created,
+            reused
+        );
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for d in failures.iter() {
+            eprintln!("{d}");
+        }
+        ExitCode::FAILURE
+    }
+}

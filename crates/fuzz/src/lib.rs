@@ -1,0 +1,101 @@
+//! Cross-layer differential fuzzing for the PTX memory-model stack.
+//!
+//! Every layer of the workspace has at least two independent ways to
+//! answer the same question, and this crate generates random inputs and
+//! pits them against each other:
+//!
+//! * [`cnf`] — random CNF instances (with assumptions): the CDCL solver
+//!   in `ptxmm-satsolver` against a naive DPLL oracle, with every `Unsat`
+//!   answer certified by the independent DRAT checker and every unsat
+//!   core re-checked by the oracle;
+//! * [`relform`] — random relational formulas over small universes: the
+//!   bounded model finder (scratch and incremental-session paths) against
+//!   ground-truth enumeration of every instance through
+//!   [`relational::eval_formula`];
+//! * [`litmusgen`] — random PTX litmus programs: exhaustive execution
+//!   enumeration against the SAT path, both scratch
+//!   [`modelfinder::ModelFinder`] problems and pooled incremental
+//!   [`litmus::sat::SatSession`]s with incremental proof certification.
+//!
+//! Failures are deterministic: each round derives from an explicit seed
+//! ([`round_seed`]), and a failing case is greedily minimized by
+//! [`shrink::shrink`] before being reported as a [`Disagreement`]. The
+//! `fuzzherd` binary drives all three generators under the existing
+//! worker-pool harness ([`modelfinder::harness`]).
+
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod litmusgen;
+pub mod relform;
+pub mod shrink;
+
+/// A cross-layer disagreement (or certificate failure) found by a
+/// generator round, after shrinking.
+#[derive(Debug, Clone)]
+pub struct Disagreement {
+    /// Which generator found it (`"cnf"`, `"relform"`, `"litmus"`).
+    pub generator: &'static str,
+    /// The round seed that reproduces the failure deterministically.
+    pub seed: u64,
+    /// What went wrong (which engines disagreed, or which certificate
+    /// was rejected) — reported for the *original* generated case.
+    pub what: String,
+    /// The shrunk, minimal failing case, pretty-printed.
+    pub shrunk: String,
+}
+
+impl std::fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} disagreement (seed {:#018x})",
+            self.generator, self.seed
+        )?;
+        writeln!(f, "  {}", self.what)?;
+        writeln!(f, "  minimal failing case:")?;
+        for line in self.shrunk.lines() {
+            writeln!(f, "    {line}")?;
+        }
+        write!(
+            f,
+            "  replay with fuzzkit::{}::run_round({:#018x}, ..)",
+            self.generator, self.seed
+        )
+    }
+}
+
+/// SAT-pipeline size counters accumulated by a generator round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundStats {
+    /// CNF variables in the round's largest solver.
+    pub sat_vars: u64,
+    /// CNF clauses in the round's largest solver.
+    pub sat_clauses: u64,
+    /// Total SAT conflicts spent.
+    pub conflicts: u64,
+}
+
+/// Derives the deterministic seed for `round` of `generator` under a
+/// base seed, decorrelating generators and rounds the way
+/// [`testkit::case_seed`] decorrelates property-test cases.
+pub fn round_seed(base: u64, generator: &str, round: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in generator.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    testkit::Rng::seed(base ^ h ^ round.rotate_left(32)).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_seeds_are_deterministic_and_decorrelated() {
+        assert_eq!(round_seed(7, "cnf", 0), round_seed(7, "cnf", 0));
+        assert_ne!(round_seed(7, "cnf", 0), round_seed(7, "cnf", 1));
+        assert_ne!(round_seed(7, "cnf", 0), round_seed(7, "relform", 0));
+        assert_ne!(round_seed(7, "cnf", 0), round_seed(8, "cnf", 0));
+    }
+}

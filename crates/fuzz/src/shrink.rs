@@ -1,0 +1,88 @@
+//! A generic greedy input shrinker.
+//!
+//! Differential failures found on random inputs are rarely minimal; the
+//! shrinker repeatedly replaces the current failing input with the first
+//! still-failing candidate from a caller-supplied reduction step until no
+//! candidate fails (a local minimum) or the evaluation budget runs out.
+
+/// Greedily minimizes `failing`.
+///
+/// `candidates` proposes strictly simpler variants of an input (smaller
+/// formula, fewer clauses, fewer instructions — the caller defines
+/// "simpler"); `still_fails` re-runs the failing check. Each accepted
+/// candidate restarts the scan, so the result is a local minimum of the
+/// reduction relation — every candidate of the returned value passes.
+///
+/// `still_fails` is invoked at most `budget` times, bounding shrink cost
+/// on expensive checks; on exhaustion the best input found so far is
+/// returned.
+pub fn shrink<T: Clone>(
+    failing: T,
+    mut candidates: impl FnMut(&T) -> Vec<T>,
+    mut still_fails: impl FnMut(&T) -> bool,
+    budget: usize,
+) -> T {
+    let mut current = failing;
+    let mut evals = 0usize;
+    'progress: loop {
+        for cand in candidates(&current) {
+            if evals >= budget {
+                return current;
+            }
+            evals += 1;
+            if still_fails(&cand) {
+                current = cand;
+                continue 'progress;
+            }
+        }
+        return current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shrinking a vector of numbers where "fails" means it contains
+    /// both a multiple of 3 and a multiple of 5 must reach a two-element
+    /// (or smaller) witness.
+    #[test]
+    fn reaches_a_local_minimum() {
+        let fails = |v: &Vec<u32>| v.iter().any(|x| x % 3 == 0) && v.iter().any(|x| x % 5 == 0);
+        let drop_one = |v: &Vec<u32>| {
+            (0..v.len())
+                .map(|i| {
+                    let mut w = v.clone();
+                    w.remove(i);
+                    w
+                })
+                .collect()
+        };
+        let start = vec![1, 9, 4, 25, 7, 15, 8];
+        assert!(fails(&start));
+        let min = shrink(start, drop_one, |v| fails(v), 1000);
+        assert!(fails(&min));
+        // 15 alone fails; the greedy walk must land on ≤ 2 elements.
+        assert!(min.len() <= 2, "not minimal: {min:?}");
+    }
+
+    #[test]
+    fn budget_bounds_the_walk() {
+        let min = shrink(
+            (0..100).collect::<Vec<u32>>(),
+            |v| {
+                (0..v.len())
+                    .map(|i| {
+                        let mut w = v.clone();
+                        w.remove(i);
+                        w
+                    })
+                    .collect()
+            },
+            |v| !v.is_empty(),
+            5,
+        );
+        // Only five evaluations were allowed, so at most five removals.
+        assert!(min.len() >= 95);
+    }
+}

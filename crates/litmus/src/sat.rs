@@ -514,8 +514,24 @@ impl SatSession {
     ///
     /// Propagates relational type errors (an internal encoding bug).
     pub fn new(sig: Signature) -> Result<SatSession, relational::TypeError> {
+        SatSession::with_options(sig, Options::default())
+    }
+
+    /// Opens a session with explicit [`Options`] — in particular
+    /// [`Options::with_proof_logging`], which makes every `Unsat` answer
+    /// certifiable through [`SatSession::proof`] and
+    /// [`SatSession::last_core`]. Callers must leave symmetry breaking
+    /// off (see the type-level note).
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational type errors (an internal encoding bug).
+    pub fn with_options(
+        sig: Signature,
+        options: Options,
+    ) -> Result<SatSession, relational::TypeError> {
         let (schema, bounds, vocab, dep, base) = universe(&sig);
-        let session = Session::new(&schema, &bounds, &base, Options::default())?;
+        let session = Session::new(&schema, &bounds, &base, options)?;
         Ok(SatSession {
             sig,
             vocab,
@@ -578,6 +594,24 @@ impl SatSession {
     /// Cumulative session work counters.
     pub fn stats(&self) -> SessionStats {
         self.session.stats()
+    }
+
+    /// The session's DRAT proof, when opened with proof logging. The
+    /// proof is append-only across [`SatSession::run`] calls; check it
+    /// incrementally with [`modelfinder::drat::Checker::absorb`].
+    pub fn proof(&self) -> Option<&modelfinder::Proof> {
+        self.session.proof()
+    }
+
+    /// The assumption core of the most recent query, `Some` exactly when
+    /// that query answered `Unsat` (empty if the base itself refutes).
+    pub fn last_core(&self) -> Option<&[modelfinder::Lit]> {
+        self.session.last_core()
+    }
+
+    /// Learnt clauses currently live in the underlying solver.
+    pub fn num_learnts(&self) -> usize {
+        self.session.num_learnts()
     }
 }
 

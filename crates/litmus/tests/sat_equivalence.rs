@@ -8,12 +8,15 @@ use std::collections::BTreeMap;
 
 use litmus::sat::{self, SatSession, Signature};
 use litmus::{library, run_ptx};
-use modelfinder::{ModelFinder, Options};
+use modelfinder::{drat, ModelFinder, Options};
 
 #[test]
 fn sessions_match_scratch_and_enumeration_on_the_bundled_suite() {
-    let mut sessions: BTreeMap<Signature, SatSession> = BTreeMap::new();
+    // Each pooled session gets a persistent DRAT checker so every Unsat
+    // answer it produces is independently certified, incrementally.
+    let mut sessions: BTreeMap<Signature, (SatSession, drat::Checker)> = BTreeMap::new();
     let mut checked = 0usize;
+    let mut certified = 0usize;
     let mut skipped = Vec::new();
     for test in library::extended_suite() {
         if let Err(why) = sat::supported(&test) {
@@ -21,18 +24,39 @@ fn sessions_match_scratch_and_enumeration_on_the_bundled_suite() {
             continue;
         }
         let sig = sat::signature(&test.program);
-        let session = match sessions.entry(sig) {
+        let (session, checker) = match sessions.entry(sig) {
             std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(SatSession::new(sig).expect("internal encoding error"))
-            }
+            std::collections::btree_map::Entry::Vacant(e) => e.insert((
+                SatSession::with_options(sig, Options::default().with_proof_logging())
+                    .expect("internal encoding error"),
+                drat::Checker::new(),
+            )),
         };
 
         let incremental = session.run(&test).expect("supported test");
+        checker
+            .absorb(session.proof().expect("proof logging enabled"))
+            .unwrap_or_else(|e| panic!("proof rejected on {}: {e}", test.name));
+        if incremental.observable == Some(false) {
+            let core = session.last_core().expect("unsat answers record a core");
+            checker
+                .expect_core(core)
+                .unwrap_or_else(|e| panic!("core not certified on {}: {e}", test.name));
+            certified += 1;
+        }
+
         let problem = sat::scratch_problem(&test).expect("supported test");
-        let (scratch, _) = ModelFinder::new(Options::default())
+        let (scratch, scratch_report) = ModelFinder::new(Options::default().with_proof_logging())
             .solve(&problem)
             .expect("internal encoding error");
+        if scratch.is_unsat() {
+            let proof = scratch_report
+                .proof
+                .as_ref()
+                .expect("proof logging enabled");
+            drat::certify_unsat(proof, &[])
+                .unwrap_or_else(|e| panic!("scratch proof rejected on {}: {e}", test.name));
+        }
         let ground_truth = run_ptx(&test);
 
         assert_eq!(
@@ -64,9 +88,13 @@ fn sessions_match_scratch_and_enumeration_on_the_bundled_suite() {
         "unexpected SAT-path fallbacks: {skipped:?}"
     );
 
+    // Forbidden outcomes exist in the suite, so certification actually
+    // ran (every Unsat answer above passed the independent DRAT checker).
+    assert!(certified > 0, "no Unsat answer was certified");
+
     // Sharing worked: at least one signature answered several tests, so
     // its second query hit the session's gate cache.
     assert!(sessions
         .values()
-        .any(|s| s.stats().queries > 1 && s.stats().gate_cache_hits > 0));
+        .any(|(s, _)| s.stats().queries > 1 && s.stats().gate_cache_hits > 0));
 }

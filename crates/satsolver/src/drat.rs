@@ -1,0 +1,540 @@
+//! An independent forward DRAT (RUP) proof checker.
+//!
+//! This module validates [`Proof`] logs produced by the solver without
+//! sharing any code with it: the checker keeps its own clause store,
+//! occurrence lists, and a simple counting-based unit propagator —
+//! deliberately different machinery from the solver's two-watched-literal
+//! scheme, so a bug in the solver's propagation cannot silently re-appear
+//! here and vouch for itself.
+//!
+//! Soundness argument: `Input` clauses are axioms; every `Derive` step is
+//! admitted only if asserting the negation of its literals on top of the
+//! current unit-propagation closure yields a conflict (reverse unit
+//! propagation), which makes the derived clause a logical consequence of
+//! the clauses before it. Since inputs are never retracted, every clause
+//! ever present is implied by the inputs — including clauses whose
+//! `Delete` step has already been processed — so a verified derivation of
+//! the empty clause proves the inputs unsatisfiable, and a verified final
+//! derivation of `¬a₁ ∨ … ∨ ¬aₖ` proves the inputs force at least one
+//! assumption `aᵢ` false ([`Checker::expect_core`]).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::proof::{Proof, ProofStep};
+use crate::types::Lit;
+
+/// Why a proof was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DratError {
+    /// A `Derive` step is not a reverse-unit-propagation consequence of
+    /// the clauses preceding it.
+    NotRup {
+        /// Index of the offending step in [`Proof::steps`].
+        step: usize,
+        /// The clause that failed the RUP check.
+        clause: Vec<Lit>,
+    },
+    /// A `Delete` step names a clause that is not in the active set.
+    DeleteMissing {
+        /// Index of the offending step in [`Proof::steps`].
+        step: usize,
+        /// The clause the step tried to delete.
+        clause: Vec<Lit>,
+    },
+    /// The proof is valid but does not end in the expected certificate
+    /// clause (see [`Checker::expect_core`]).
+    CoreMismatch {
+        /// The clause the caller expected as the last derivation
+        /// (the negated assumption core, sorted).
+        expected: Vec<Lit>,
+        /// The last derivation actually present, if any (sorted).
+        found: Option<Vec<Lit>>,
+    },
+}
+
+impl fmt::Display for DratError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DratError::NotRup { step, clause } => {
+                write!(f, "step {step}: clause {} is not RUP", dimacs(clause))
+            }
+            DratError::DeleteMissing { step, clause } => {
+                write!(
+                    f,
+                    "step {step}: deleted clause {} not in active set",
+                    dimacs(clause)
+                )
+            }
+            DratError::CoreMismatch { expected, found } => match found {
+                Some(c) => write!(
+                    f,
+                    "last derivation {} does not match expected core clause {}",
+                    dimacs(c),
+                    dimacs(expected)
+                ),
+                None => write!(
+                    f,
+                    "proof has no derivations; expected core clause {}",
+                    dimacs(expected)
+                ),
+            },
+        }
+    }
+}
+
+impl std::error::Error for DratError {}
+
+fn dimacs(lits: &[Lit]) -> String {
+    let mut s = String::from("(");
+    for (i, l) in lits.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&l.to_dimacs().to_string());
+    }
+    s.push(')');
+    s
+}
+
+/// Summary of a successfully checked proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DratOutcome {
+    /// Input clauses absorbed.
+    pub inputs: usize,
+    /// Derivations verified by reverse unit propagation.
+    pub derivations: usize,
+    /// Deletions applied.
+    pub deletions: usize,
+    /// True once unit propagation alone refutes the active set, i.e. the
+    /// empty clause (or a clause falsified by propagation) was derived.
+    pub refuted: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Undef,
+    True,
+    False,
+}
+
+/// A stateful checker that can absorb a growing [`Proof`] incrementally:
+/// call [`Checker::absorb`] with the same proof after each solver query
+/// and only the new steps are (re)checked. This keeps certifying a
+/// long-lived incremental session linear in the proof length.
+#[derive(Default)]
+pub struct Checker {
+    /// Active clause set; `None` marks deleted slots.
+    clauses: Vec<Option<Vec<Lit>>>,
+    /// Literal code → indices of clauses containing that literal.
+    occ: Vec<Vec<usize>>,
+    /// Normalized clause → live indices, for deletion lookup.
+    by_key: HashMap<Vec<Lit>, Vec<usize>>,
+    /// Current assignment; literals assigned true live on `trail`.
+    assign: Vec<Val>,
+    trail: Vec<Lit>,
+    /// Prefix of `trail` that is permanent (top-level units).
+    fixed_len: usize,
+    /// Unit propagation from the active set alone yields a conflict.
+    refuted: bool,
+    steps_seen: usize,
+    inputs: usize,
+    derivations: usize,
+    deletions: usize,
+    last_derived: Option<Vec<Lit>>,
+}
+
+impl Checker {
+    /// Creates an empty checker.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// Processes all steps of `proof` not yet seen by this checker.
+    /// The proof must be the same append-only log on every call.
+    pub fn absorb(&mut self, proof: &Proof) -> Result<(), DratError> {
+        let steps = proof.steps();
+        while self.steps_seen < steps.len() {
+            let index = self.steps_seen;
+            match &steps[index] {
+                ProofStep::Input(c) => {
+                    self.add_clause(c);
+                    self.inputs += 1;
+                }
+                ProofStep::Derive(c) => {
+                    if !self.refuted && !self.check_rup(c) {
+                        return Err(DratError::NotRup {
+                            step: index,
+                            clause: c.clone(),
+                        });
+                    }
+                    self.add_clause(c);
+                    self.derivations += 1;
+                    self.last_derived = Some(normalize(c));
+                }
+                ProofStep::Delete(c) => {
+                    self.delete_clause(c, index)?;
+                    self.deletions += 1;
+                }
+            }
+            self.steps_seen += 1;
+        }
+        Ok(())
+    }
+
+    /// Summary of everything absorbed so far.
+    pub fn outcome(&self) -> DratOutcome {
+        DratOutcome {
+            inputs: self.inputs,
+            derivations: self.derivations,
+            deletions: self.deletions,
+            refuted: self.refuted,
+        }
+    }
+
+    /// The most recent verified derivation (sorted literals).
+    pub fn last_derived(&self) -> Option<&[Lit]> {
+        self.last_derived.as_deref()
+    }
+
+    /// True once unit propagation refutes the active set outright.
+    pub fn refuted(&self) -> bool {
+        self.refuted
+    }
+
+    /// Checks that the most recent derivation certifies the given
+    /// assumption core: the last derived clause must be exactly
+    /// `{¬a : a ∈ core}` (the empty clause for an empty core). Once the
+    /// clause set is refuted outright, every core is vacuously certified.
+    pub fn expect_core(&self, core: &[Lit]) -> Result<(), DratError> {
+        if self.refuted {
+            return Ok(());
+        }
+        let expected = normalize(&core.iter().map(|&l| !l).collect::<Vec<Lit>>());
+        match &self.last_derived {
+            Some(found) if *found == expected => Ok(()),
+            found => Err(DratError::CoreMismatch {
+                expected,
+                found: found.clone(),
+            }),
+        }
+    }
+
+    fn ensure_vars(&mut self, lits: &[Lit]) {
+        for &l in lits {
+            let need = l.var().index() + 1;
+            if self.assign.len() < need {
+                self.assign.resize(need, Val::Undef);
+                self.occ.resize(need * 2, Vec::new());
+            }
+        }
+    }
+
+    fn value(&self, l: Lit) -> Val {
+        match self.assign[l.var().index()] {
+            Val::Undef => Val::Undef,
+            Val::True => {
+                if l.is_positive() {
+                    Val::True
+                } else {
+                    Val::False
+                }
+            }
+            Val::False => {
+                if l.is_positive() {
+                    Val::False
+                } else {
+                    Val::True
+                }
+            }
+        }
+    }
+
+    /// Assigns `l` true and records it on the trail.
+    fn assign_true(&mut self, l: Lit) {
+        self.assign[l.var().index()] = if l.is_positive() {
+            Val::True
+        } else {
+            Val::False
+        };
+        self.trail.push(l);
+    }
+
+    /// Propagates to fixpoint starting from `trail[from..]`. Returns true
+    /// on conflict. Newly implied literals are appended to the trail.
+    fn propagate(&mut self, from: usize) -> bool {
+        let mut i = from;
+        while i < self.trail.len() {
+            let falsified = !self.trail[i];
+            i += 1;
+            let mut k = 0;
+            while k < self.occ[falsified.code()].len() {
+                let ci = self.occ[falsified.code()][k];
+                k += 1;
+                let Some(clause) = &self.clauses[ci] else {
+                    continue;
+                };
+                let mut unit = None;
+                let mut satisfied = false;
+                let mut unassigned = 0;
+                for &l in clause {
+                    match self.value(l) {
+                        Val::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        Val::Undef => {
+                            unassigned += 1;
+                            unit = Some(l);
+                        }
+                        Val::False => {}
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned {
+                    0 => return true,
+                    1 => self.assign_true(unit.expect("unit literal present")),
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+
+    /// Adds a clause to the active set and updates the permanent
+    /// unit-propagation closure.
+    fn add_clause(&mut self, lits: &[Lit]) {
+        self.ensure_vars(lits);
+        let normalized = normalize(lits);
+        let ci = self.clauses.len();
+        for &l in &normalized {
+            self.occ[l.code()].push(ci);
+        }
+        self.by_key.entry(normalized.clone()).or_default().push(ci);
+        self.clauses.push(Some(normalized.clone()));
+        if self.refuted {
+            return;
+        }
+        // Maintain the permanent closure: propagate if the new clause is
+        // unit (or already falsified) under the current assignment.
+        let mut unit = None;
+        let mut unassigned = 0;
+        for &l in &normalized {
+            match self.value(l) {
+                Val::True => return,
+                Val::Undef => {
+                    unassigned += 1;
+                    unit = Some(l);
+                }
+                Val::False => {}
+            }
+        }
+        match unassigned {
+            0 => self.refuted = true,
+            1 => {
+                let from = self.trail.len();
+                self.assign_true(unit.expect("unit literal present"));
+                if self.propagate(from) {
+                    self.refuted = true;
+                }
+                self.fixed_len = self.trail.len();
+            }
+            _ => {}
+        }
+    }
+
+    /// Reverse-unit-propagation check: asserting the negation of every
+    /// literal in `lits` on top of the permanent closure must conflict.
+    /// Leaves the permanent closure untouched.
+    fn check_rup(&mut self, lits: &[Lit]) -> bool {
+        self.ensure_vars(lits);
+        let mark = self.trail.len();
+        let mut ok = false;
+        for &l in lits {
+            match self.value(l) {
+                // The clause is satisfied by the permanent closure (or by
+                // a duplicate-literal artifact): its negation is already
+                // inconsistent, so the clause is trivially implied.
+                Val::True => {
+                    ok = true;
+                    break;
+                }
+                Val::False => {}
+                Val::Undef => self.assign_true(!l),
+            }
+        }
+        if !ok {
+            ok = self.propagate(mark);
+        }
+        while self.trail.len() > mark {
+            let l = self.trail.pop().expect("trail non-empty");
+            self.assign[l.var().index()] = Val::Undef;
+        }
+        ok
+    }
+
+    fn delete_clause(&mut self, lits: &[Lit], step: usize) -> Result<(), DratError> {
+        let key = normalize(lits);
+        let live = self
+            .by_key
+            .get_mut(&key)
+            .and_then(|ids| ids.pop())
+            .ok_or_else(|| DratError::DeleteMissing {
+                step,
+                clause: lits.to_vec(),
+            })?;
+        self.clauses[live] = None;
+        // Occurrence lists are cleaned lazily during propagation. The
+        // permanent closure is intentionally not recomputed: its literals
+        // remain logical consequences of the (never-retracted) inputs, so
+        // later RUP checks stay sound — see the module docs.
+        Ok(())
+    }
+}
+
+fn normalize(lits: &[Lit]) -> Vec<Lit> {
+    let mut v = lits.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Checks a complete proof from scratch.
+pub fn check_proof(proof: &Proof) -> Result<DratOutcome, DratError> {
+    let mut checker = Checker::new();
+    checker.absorb(proof)?;
+    Ok(checker.outcome())
+}
+
+/// Checks a proof and additionally requires it to certify the given
+/// `Unsat` answer: for a formula-level `Unsat` pass an empty `core`
+/// (the last derivation must be the empty clause); for a
+/// failed-assumption `Unsat` pass the solver's
+/// [`final_conflict`](crate::Solver::final_conflict) core.
+pub fn certify_unsat(proof: &Proof, core: &[Lit]) -> Result<DratOutcome, DratError> {
+    let mut checker = Checker::new();
+    checker.absorb(proof)?;
+    checker.expect_core(core)?;
+    Ok(checker.outcome())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proof::ProofStep;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn proof(steps: Vec<ProofStep>) -> Proof {
+        Proof::from_steps(steps)
+    }
+
+    #[test]
+    fn accepts_simple_rup_refutation() {
+        // (1 ∨ 2) ∧ (¬1 ∨ 2) ∧ (1 ∨ ¬2) ∧ (¬1 ∨ ¬2) is unsat.
+        let p = proof(vec![
+            ProofStep::Input(vec![lit(1), lit(2)]),
+            ProofStep::Input(vec![lit(-1), lit(2)]),
+            ProofStep::Input(vec![lit(1), lit(-2)]),
+            ProofStep::Input(vec![lit(-1), lit(-2)]),
+            ProofStep::Derive(vec![lit(2)]),
+            ProofStep::Derive(vec![]),
+        ]);
+        let outcome = check_proof(&p).expect("valid proof");
+        assert!(outcome.refuted);
+        assert_eq!(outcome.derivations, 2);
+        certify_unsat(&p, &[]).expect("empty core certified");
+    }
+
+    #[test]
+    fn rejects_non_rup_derivation() {
+        let p = proof(vec![
+            ProofStep::Input(vec![lit(1), lit(2)]),
+            ProofStep::Derive(vec![lit(1)]),
+        ]);
+        match check_proof(&p) {
+            Err(DratError::NotRup { step: 1, clause }) => {
+                assert_eq!(clause, vec![lit(1)]);
+            }
+            other => panic!("expected NotRup, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_deleting_absent_clause() {
+        let p = proof(vec![
+            ProofStep::Input(vec![lit(1), lit(2)]),
+            ProofStep::Delete(vec![lit(1), lit(3)]),
+        ]);
+        assert!(matches!(
+            check_proof(&p),
+            Err(DratError::DeleteMissing { step: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn deletion_removes_clause_from_rup_checks() {
+        // After deleting (¬1 ∨ 2), the unit 2 is no longer derivable
+        // from the assumption 1.
+        let p = proof(vec![
+            ProofStep::Input(vec![lit(-1), lit(2)]),
+            ProofStep::Input(vec![lit(1)]),
+            ProofStep::Delete(vec![lit(-1), lit(2)]),
+        ]);
+        // The unit 2 was already fixed by the permanent closure before
+        // the deletion, which is sound (2 is implied by the inputs).
+        let mut checker = Checker::new();
+        checker.absorb(&p).expect("valid");
+        assert!(!checker.refuted());
+    }
+
+    #[test]
+    fn certifies_assumption_core() {
+        // Inputs: ¬a ∨ x, ¬b ∨ ¬x. Core {a, b} ⇒ derive (¬a ∨ ¬b).
+        let a = lit(1);
+        let b = lit(2);
+        let x = lit(3);
+        let p = proof(vec![
+            ProofStep::Input(vec![!a, x]),
+            ProofStep::Input(vec![!b, !x]),
+            ProofStep::Derive(vec![!a, !b]),
+        ]);
+        certify_unsat(&p, &[a, b]).expect("core certified");
+        assert!(matches!(
+            certify_unsat(&p, &[a]),
+            Err(DratError::CoreMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn incremental_absorb_checks_only_new_steps() {
+        let mut steps = vec![
+            ProofStep::Input(vec![lit(1), lit(2)]),
+            ProofStep::Input(vec![lit(-1), lit(2)]),
+        ];
+        let mut checker = Checker::new();
+        checker.absorb(&proof(steps.clone())).expect("inputs ok");
+        steps.push(ProofStep::Derive(vec![lit(2)]));
+        checker
+            .absorb(&proof(steps.clone()))
+            .expect("derivation ok");
+        assert_eq!(checker.outcome().derivations, 1);
+        checker.expect_core(&[lit(-2)]).expect("unit core");
+    }
+
+    #[test]
+    fn trivially_accepts_after_refutation() {
+        let p = proof(vec![
+            ProofStep::Input(vec![lit(1)]),
+            ProofStep::Input(vec![lit(-1)]),
+            ProofStep::Derive(vec![]),
+            ProofStep::Derive(vec![lit(7)]),
+        ]);
+        let outcome = check_proof(&p).expect("valid");
+        assert!(outcome.refuted);
+    }
+}

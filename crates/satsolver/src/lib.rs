@@ -34,12 +34,16 @@
 
 mod clause;
 mod dimacs;
+pub mod drat;
 mod heap;
 mod interrupt;
+mod proof;
 mod solver;
 mod types;
 
 pub use dimacs::{Cnf, ParseDimacsError};
+pub use drat::{DratError, DratOutcome};
 pub use interrupt::{CancelToken, Interrupt};
+pub use proof::{Proof, ProofStep};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use types::{LBool, Lit, Var};

@@ -1,0 +1,200 @@
+//! In-memory DRAT-style proof logs.
+//!
+//! When proof logging is enabled (see [`Solver::enable_proof_logging`]),
+//! the solver records every clause it was given ([`ProofStep::Input`]),
+//! every clause it derived — learnt clauses, level-zero simplifications,
+//! failed-assumption cores — ([`ProofStep::Derive`]), and every learnt
+//! clause it deleted ([`ProofStep::Delete`]). The resulting [`Proof`] can
+//! be serialized to the standard DRAT text format, or validated in-process
+//! by the independent checker in [`crate::drat`].
+//!
+//! Every `Derive` step is a reverse-unit-propagation (RUP) consequence of
+//! the clauses preceding it, so an `Unsat` answer (the empty clause, or
+//! the negation of a failed-assumption core) is certifiable without
+//! trusting the solver's search machinery.
+//!
+//! [`Solver::enable_proof_logging`]: crate::Solver::enable_proof_logging
+
+use crate::types::Lit;
+
+/// One step of a proof log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofStep {
+    /// A clause supplied from outside: an axiom, not checked.
+    Input(Vec<Lit>),
+    /// A clause the solver claims follows by unit propagation from the
+    /// clauses preceding this step (RUP). The empty clause proves the
+    /// inputs unsatisfiable; a non-empty final derivation of the form
+    /// `¬a₁ ∨ … ∨ ¬aₖ` proves the assumption core `{a₁ … aₖ}`
+    /// inconsistent with the inputs.
+    Derive(Vec<Lit>),
+    /// A clause removed from the active set (learnt-clause deletion).
+    Delete(Vec<Lit>),
+}
+
+impl ProofStep {
+    /// The literals of the clause this step concerns.
+    pub fn lits(&self) -> &[Lit] {
+        match self {
+            ProofStep::Input(c) | ProofStep::Derive(c) | ProofStep::Delete(c) => c,
+        }
+    }
+}
+
+/// An append-only log of proof steps, in the order the solver produced
+/// them. Grows monotonically across incremental `solve` calls, so one
+/// proof certifies every `Unsat` answer a session has given.
+#[derive(Debug, Clone, Default)]
+pub struct Proof {
+    steps: Vec<ProofStep>,
+}
+
+impl Proof {
+    /// Builds a proof from explicit steps (used by tests to construct
+    /// corrupted proofs; the solver builds proofs internally).
+    pub fn from_steps(steps: Vec<ProofStep>) -> Proof {
+        Proof { steps }
+    }
+
+    /// All steps, oldest first.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Number of steps recorded.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of [`ProofStep::Input`] steps.
+    pub fn num_inputs(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, ProofStep::Input(_)))
+            .count()
+    }
+
+    /// Number of [`ProofStep::Derive`] steps.
+    pub fn num_derivations(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, ProofStep::Derive(_)))
+            .count()
+    }
+
+    /// Number of [`ProofStep::Delete`] steps.
+    pub fn num_deletions(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, ProofStep::Delete(_)))
+            .count()
+    }
+
+    /// The most recent derived clause, if any. After an `Unsat` answer
+    /// this is the clause that certifies it: empty for formula-level
+    /// unsatisfiability, the negated core for a failed assumption set.
+    pub fn last_derived(&self) -> Option<&[Lit]> {
+        self.steps.iter().rev().find_map(|s| match s {
+            ProofStep::Derive(c) => Some(c.as_slice()),
+            _ => None,
+        })
+    }
+
+    pub(crate) fn push_input(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Input(lits.to_vec()));
+    }
+
+    pub(crate) fn push_derive(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Derive(lits.to_vec()));
+    }
+
+    pub(crate) fn push_delete(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Delete(lits.to_vec()));
+    }
+
+    /// The derivation/deletion part in standard DRAT text format: one
+    /// line per `Derive` step (signed DIMACS literals, `0`-terminated)
+    /// and one `d`-prefixed line per `Delete` step. `Input` steps are
+    /// omitted — they belong to the formula, not the proof (see
+    /// [`Proof::input_dimacs`]).
+    pub fn to_drat(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            match step {
+                ProofStep::Input(_) => continue,
+                ProofStep::Derive(c) => {
+                    push_clause_line(&mut out, "", c);
+                }
+                ProofStep::Delete(c) => {
+                    push_clause_line(&mut out, "d ", c);
+                }
+            }
+        }
+        out
+    }
+
+    /// The `Input` clauses as a DIMACS CNF file, the companion to
+    /// [`Proof::to_drat`] for external checkers (`drat-trim` style
+    /// tools take exactly this pair).
+    pub fn input_dimacs(&self) -> String {
+        let mut max_var = 0usize;
+        for step in &self.steps {
+            for &l in step.lits() {
+                max_var = max_var.max(l.var().index() + 1);
+            }
+        }
+        let inputs: Vec<&Vec<Lit>> = self
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                ProofStep::Input(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        let mut out = format!("p cnf {} {}\n", max_var, inputs.len());
+        for c in inputs {
+            push_clause_line(&mut out, "", c);
+        }
+        out
+    }
+}
+
+fn push_clause_line(out: &mut String, prefix: &str, lits: &[Lit]) {
+    out.push_str(prefix);
+    for &l in lits {
+        out.push_str(&l.to_dimacs().to_string());
+        out.push(' ');
+    }
+    out.push_str("0\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn drat_text_format() {
+        let proof = Proof::from_steps(vec![
+            ProofStep::Input(vec![lit(1), lit(2)]),
+            ProofStep::Derive(vec![lit(-1)]),
+            ProofStep::Delete(vec![lit(1), lit(2)]),
+            ProofStep::Derive(vec![]),
+        ]);
+        assert_eq!(proof.to_drat(), "-1 0\nd 1 2 0\n0\n");
+        assert_eq!(proof.input_dimacs(), "p cnf 2 1\n1 2 0\n");
+        assert_eq!(proof.num_inputs(), 1);
+        assert_eq!(proof.num_derivations(), 2);
+        assert_eq!(proof.num_deletions(), 1);
+        assert_eq!(proof.last_derived(), Some(&[][..]));
+        assert_eq!(proof.steps()[0].lits(), &[lit(1), lit(2)]);
+    }
+}

@@ -10,6 +10,7 @@ use std::time::Instant;
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::interrupt::{CancelToken, Interrupt};
+use crate::proof::Proof;
 use crate::types::{LBool, Lit, Var};
 
 /// The outcome of a [`Solver::solve`] call.
@@ -94,6 +95,7 @@ pub struct Solver {
     cancel: Option<CancelToken>,
     model: Vec<LBool>,
     final_conflict: Vec<Lit>,
+    proof: Option<Proof>,
 }
 
 impl Solver {
@@ -169,6 +171,81 @@ impl Solver {
         self.cancel = token;
     }
 
+    /// Turns on DRAT proof logging. From this point on, every clause
+    /// added, learnt, or deleted is recorded in an append-only [`Proof`]
+    /// that the independent checker in [`crate::drat`] can validate.
+    ///
+    /// Must be called at decision level zero. Enabling logging on a
+    /// solver that already holds clauses snapshots the current live
+    /// clause set as proof inputs (so the proof certifies answers
+    /// relative to the solver's state at the time of the call); enabling
+    /// it on a fresh solver certifies answers relative to the original
+    /// problem. Logging roughly doubles clause bookkeeping cost and is
+    /// off by default. Idempotent.
+    pub fn enable_proof_logging(&mut self) {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "proof logging must be enabled at level 0"
+        );
+        if self.proof.is_some() {
+            return;
+        }
+        let mut proof = Proof::default();
+        for cref in self.db.iter() {
+            proof.push_input(self.db.lits(cref));
+        }
+        // Level-0 trail literals: roots (no reason) are axioms, propagated
+        // literals are unit-propagation consequences of the clauses above,
+        // so the checker can re-verify them.
+        for &l in &self.trail {
+            match self.reason[l.var().index()] {
+                None => proof.push_input(&[l]),
+                Some(_) => proof.push_derive(&[l]),
+            }
+        }
+        // A solver already known unsatisfiable may have dropped the clause
+        // that refuted it, so the refutation cannot be re-derived; it is
+        // part of the snapshotted state and enters as an axiom.
+        if !self.ok {
+            proof.push_input(&[]);
+        }
+        self.proof = Some(proof);
+    }
+
+    /// The proof log accumulated so far, if logging is enabled.
+    pub fn proof(&self) -> Option<&Proof> {
+        self.proof.as_ref()
+    }
+
+    /// Removes and returns the proof log, turning logging off.
+    pub fn take_proof(&mut self) -> Option<Proof> {
+        self.proof.take()
+    }
+
+    /// Number of live learnt clauses currently in the database.
+    pub fn num_learnts(&self) -> usize {
+        self.db.learnt_count()
+    }
+
+    fn log_input(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.push_input(lits);
+        }
+    }
+
+    fn log_derive(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.push_derive(lits);
+        }
+    }
+
+    fn log_delete(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.push_delete(lits);
+        }
+    }
+
     /// Adds a clause. Returns `false` if the solver is already known to be
     /// unsatisfiable (in which case the clause is ignored).
     ///
@@ -179,6 +256,9 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        // The clause as given is an axiom of the proof; simplified forms
+        // derived below are logged as RUP consequences of it.
+        self.log_input(lits);
         let mut cl: Vec<Lit> = lits.to_vec();
         cl.sort_unstable();
         cl.dedup();
@@ -194,6 +274,11 @@ impl Solver {
                 LBool::Undef => out.push(l),
             }
         }
+        // Literals falsified at level 0 were dropped: the shortened clause
+        // follows from the input by unit propagation, so it is RUP.
+        if out.len() != cl.len() {
+            self.log_derive(&out);
+        }
         match out.len() {
             0 => {
                 self.ok = false;
@@ -203,6 +288,7 @@ impl Solver {
                 self.unchecked_enqueue(out[0], None);
                 if self.propagate().is_some() {
                     self.ok = false;
+                    self.log_derive(&[]);
                 }
                 self.ok
             }
@@ -259,6 +345,7 @@ impl Solver {
                 conflicts_this_restart += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    self.log_derive(&[]);
                     return SolveResult::Unsat;
                 }
                 if let Some(budget) = self.conflict_budget {
@@ -268,6 +355,7 @@ impl Solver {
                     }
                 }
                 let (learnt, backtrack_level) = self.analyze(confl);
+                self.log_derive(&learnt);
                 self.cancel_until(backtrack_level);
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], None);
@@ -307,6 +395,15 @@ impl Solver {
                         }
                         LBool::False => {
                             self.final_conflict = self.analyze_final(p);
+                            // The negation of the core is a clause the
+                            // checker can verify by RUP, certifying this
+                            // assumption-level Unsat without touching the
+                            // clause set.
+                            if self.proof.is_some() {
+                                let negated: Vec<Lit> =
+                                    self.final_conflict.iter().map(|&l| !l).collect();
+                                self.log_derive(&negated);
+                            }
                             self.cancel_until(0);
                             return SolveResult::Unsat;
                         }
@@ -713,6 +810,10 @@ impl Solver {
             }
             if locked.contains(&cref.index()) || self.db.lits(cref).len() <= 2 {
                 continue;
+            }
+            if self.proof.is_some() {
+                let lits = self.db.lits(cref).to_vec();
+                self.log_delete(&lits);
             }
             self.detach(cref);
             self.db.delete(cref);

@@ -14,7 +14,7 @@
 //! earlier queries are in play for later ones — exactly the incremental
 //! session workload.
 
-use satsolver::{Lit, SolveResult, Solver, Var};
+use satsolver::{drat, Lit, SolveResult, Solver, Var};
 use testkit::Rng;
 
 /// A random clause of 1..=max_len literals over `num_vars` variables.
@@ -50,7 +50,19 @@ fn assumptions_match_scratch_unit_clauses() {
     testkit::forall("assumptions_match_scratch_unit_clauses", 192, |rng| {
         let num_vars = 8;
         let clauses = rng.vec_of(0, 34, |r| gen_clause(r, num_vars, 4));
-        let mut incremental = scratch(num_vars, &clauses);
+        // Logging is enabled before the clauses go in, so the proof
+        // certifies answers relative to the original formula.
+        let mut incremental = Solver::new();
+        incremental.enable_proof_logging();
+        for _ in 0..num_vars {
+            incremental.new_var();
+        }
+        for clause in &clauses {
+            incremental.add_clause(clause);
+        }
+        // One checker follows the whole query sequence, re-verifying only
+        // the steps each query appends.
+        let mut checker = drat::Checker::new();
 
         // A sequence of queries against ONE solver: learnt clauses and
         // heuristic state persist from query to query.
@@ -61,6 +73,9 @@ fn assumptions_match_scratch_unit_clauses() {
             });
             let result = incremental.solve_with_assumptions(&assumptions);
             let expected = scratch_with_units(num_vars, &clauses, &assumptions);
+            checker
+                .absorb(incremental.proof().unwrap())
+                .expect("incremental proof checks");
             match result {
                 SolveResult::Sat => {
                     assert_eq!(
@@ -96,6 +111,11 @@ fn assumptions_match_scratch_unit_clauses() {
                         SolveResult::Unsat,
                         "core {core:?} is not unsat with the formula"
                     );
+                    // …and the proof's last derivation certifies exactly
+                    // this core.
+                    checker
+                        .expect_core(&core)
+                        .expect("DRAT certificate matches the reported core");
                 }
                 SolveResult::Unknown(reason) => panic!("no budget was set, got {reason:?}"),
             }

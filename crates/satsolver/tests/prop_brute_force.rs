@@ -1,7 +1,7 @@
 //! Property-based differential testing of the CDCL solver against
 //! exhaustive brute-force enumeration on small random CNFs.
 
-use satsolver::{Cnf, Lit, SolveResult, Solver, Var};
+use satsolver::{drat, Cnf, DratError, Lit, ProofStep, SolveResult, Solver, Var};
 use testkit::Rng;
 
 /// Exhaustively checks satisfiability of `clauses` over `num_vars` variables.
@@ -36,6 +36,7 @@ fn cdcl_matches_brute_force() {
         let num_vars = 8;
         let clauses = rng.vec_of(0, 39, |r| gen_clause(r, num_vars, 4));
         let mut solver = Solver::new();
+        solver.enable_proof_logging();
         for _ in 0..num_vars {
             solver.new_var();
         }
@@ -54,11 +55,78 @@ fn cdcl_matches_brute_force() {
                         .any(|l| solver.model_lit_value(*l) == Some(true));
                     assert!(ok, "model does not satisfy clause {clause:?}");
                 }
+                // Every learnt clause must still be RUP-derivable.
+                drat::check_proof(solver.proof().unwrap()).expect("proof of SAT run checks");
             }
-            SolveResult::Unsat => assert!(!expected, "solver said UNSAT but formula is SAT"),
+            SolveResult::Unsat => {
+                assert!(!expected, "solver said UNSAT but formula is SAT");
+                // The UNSAT verdict must round-trip through the
+                // independent DRAT checker (empty assumption core).
+                drat::certify_unsat(solver.proof().unwrap(), &[])
+                    .expect("UNSAT verdict certified by DRAT checker");
+            }
             SolveResult::Unknown(reason) => panic!("no budget was set, got {reason:?}"),
         }
     });
+}
+
+/// A corrupted proof — one with a derivation that does not follow by unit
+/// propagation — must be rejected by the checker, and a truncated proof
+/// must fail core certification.
+#[test]
+fn corrupted_proofs_are_rejected() {
+    // Pigeonhole: 3 pigeons, 2 holes — UNSAT with a non-trivial proof.
+    let mut solver = Solver::new();
+    solver.enable_proof_logging();
+    let p: Vec<Vec<Lit>> = (0..3)
+        .map(|_| (0..2).map(|_| solver.new_var().positive()).collect())
+        .collect();
+    for holes in &p {
+        solver.add_clause(holes);
+    }
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            for (&a, &b) in p[i].iter().zip(&p[j]) {
+                solver.add_clause(&[!a, !b]);
+            }
+        }
+    }
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    let proof = solver.take_proof().unwrap();
+    drat::certify_unsat(&proof, &[]).expect("genuine proof is accepted");
+
+    // Corruption 1: smuggle in a derivation that is not a consequence.
+    let mut steps = proof.steps().to_vec();
+    let first_derive = steps
+        .iter()
+        .position(|s| matches!(s, ProofStep::Derive(_)))
+        .expect("UNSAT proof has derivations");
+    steps.insert(0, ProofStep::Derive(vec![p[0][0]]));
+    let corrupted = satsolver::Proof::from_steps(steps);
+    match drat::check_proof(&corrupted) {
+        Err(DratError::NotRup { step: 0, .. }) => {}
+        other => panic!("expected NotRup at step 0, got {other:?}"),
+    }
+
+    // Corruption 2: truncate everything from the first derivation on —
+    // the remaining proof is valid but certifies nothing.
+    let truncated = satsolver::Proof::from_steps(proof.steps()[..first_derive].to_vec());
+    match drat::certify_unsat(&truncated, &[]) {
+        Err(DratError::CoreMismatch { .. }) => {}
+        other => panic!("expected CoreMismatch, got {other:?}"),
+    }
+
+    // Corruption 3: delete a clause that was never added.
+    let mut steps = proof.steps().to_vec();
+    steps.insert(
+        first_derive,
+        ProofStep::Delete(vec![p[0][0], p[1][0], p[2][0]]),
+    );
+    let corrupted = satsolver::Proof::from_steps(steps);
+    match drat::check_proof(&corrupted) {
+        Err(DratError::DeleteMissing { .. }) => {}
+        other => panic!("expected DeleteMissing, got {other:?}"),
+    }
 }
 
 /// Model enumeration with blocking clauses finds exactly the brute-force

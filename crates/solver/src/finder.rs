@@ -41,6 +41,12 @@ pub struct Options {
     /// Optional cancellation token polled by the SAT solver, for stopping
     /// a run from another thread (see [`satsolver::CancelToken`]).
     pub cancel: Option<CancelToken>,
+    /// Record a DRAT proof log while solving, returned in
+    /// [`Report::proof`] (scratch runs) or kept on the session
+    /// ([`crate::Session::proof`]). `Unsat` verdicts then carry an
+    /// independently checkable certificate (see [`satsolver::drat`]).
+    /// Off by default; roughly doubles clause bookkeeping cost.
+    pub proof_logging: bool,
 }
 
 impl Options {
@@ -61,6 +67,12 @@ impl Options {
     /// This configuration with a cancellation token.
     pub fn with_cancel(mut self, token: CancelToken) -> Options {
         self.cancel = Some(token);
+        self
+    }
+
+    /// This configuration with DRAT proof logging turned on.
+    pub fn with_proof_logging(mut self) -> Options {
+        self.proof_logging = true;
         self
     }
 }
@@ -116,6 +128,11 @@ pub struct Report {
     /// Why the run stopped early, when the verdict is
     /// [`Verdict::Unknown`]. `None` for a completed run.
     pub interrupted: Option<Interrupt>,
+    /// The DRAT proof recorded for this run when
+    /// [`Options::proof_logging`] is set (scratch runs only; session
+    /// proofs accumulate on the session instead). An `Unsat` verdict is
+    /// certified by `satsolver::drat::certify_unsat(proof, &[])`.
+    pub proof: Option<satsolver::Proof>,
 }
 
 /// A model finder for bounded relational problems.
@@ -180,6 +197,9 @@ impl ModelFinder {
             root = translation.circuit.and(root, sym);
         }
         let mut solver = Solver::new();
+        if self.options.proof_logging {
+            solver.enable_proof_logging();
+        }
         solver.set_conflict_budget(self.options.conflict_budget);
         solver.set_propagation_budget(self.options.propagation_budget);
         solver.set_deadline(deadline);
@@ -206,6 +226,7 @@ impl ModelFinder {
             } else {
                 Interrupt::Deadline
             });
+            report.proof = solver.take_proof();
             return Ok((Verdict::Unknown, report));
         }
 
@@ -228,6 +249,7 @@ impl ModelFinder {
                 &solver,
             )),
         };
+        report.proof = solver.take_proof();
         Ok((verdict, report))
     }
 

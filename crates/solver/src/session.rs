@@ -26,7 +26,7 @@
 use std::time::{Duration, Instant};
 
 use relational::{Bounds, Formula, Instance, Schema, TypeError};
-use satsolver::{CancelToken, Interrupt, SolveResult, Solver, SolverStats};
+use satsolver::{CancelToken, Interrupt, Lit, Proof, SolveResult, Solver, SolverStats};
 
 use crate::circuit::{CircuitEncoder, GateId};
 use crate::finder::{decode, CheckResult, Options, Report, Verdict};
@@ -82,6 +82,8 @@ pub struct Session {
     options: Options,
     num_symmetry_classes: usize,
     stats: SessionStats,
+    /// The assumption core of the most recent query, when it was `Unsat`.
+    last_core: Option<Vec<Lit>>,
 }
 
 impl Session {
@@ -121,6 +123,9 @@ impl Session {
 
         let t1 = Instant::now();
         let mut solver = Solver::new();
+        if options.proof_logging {
+            solver.enable_proof_logging();
+        }
         let mut encoder = CircuitEncoder::new();
         let base_lit = encoder.encode(translator.circuit(), base_root, &mut solver);
         solver.add_clause(&[base_lit]);
@@ -134,12 +139,18 @@ impl Session {
             options,
             num_symmetry_classes,
             stats,
+            last_core: None,
         })
     }
 
     /// Replaces the per-query wall-clock budget.
     pub fn set_deadline(&mut self, deadline: Option<Duration>) {
         self.options.deadline = deadline;
+    }
+
+    /// Replaces the per-query conflict budget.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.options.conflict_budget = budget;
     }
 
     /// Replaces the per-query cancellation token.
@@ -215,6 +226,7 @@ impl Session {
             } else {
                 Interrupt::Deadline
             });
+            self.last_core = None;
             self.retire(act.negative());
             return Ok((Verdict::Unknown, report));
         }
@@ -227,18 +239,25 @@ impl Session {
         report.solver_stats = stats_delta(stats_before, self.solver.stats());
 
         let verdict = match result {
-            SolveResult::Unsat => Verdict::Unsat,
+            SolveResult::Unsat => {
+                self.last_core = Some(self.solver.final_conflict().to_vec());
+                Verdict::Unsat
+            }
             SolveResult::Unknown(reason) => {
+                self.last_core = None;
                 report.interrupted = Some(reason);
                 Verdict::Unknown
             }
-            SolveResult::Sat => Verdict::Sat(decode(
-                self.translator.schema(),
-                self.translator.bounds(),
-                self.translator.rel_inputs(),
-                self.encoder.input_vars(),
-                &self.solver,
-            )),
+            SolveResult::Sat => {
+                self.last_core = None;
+                Verdict::Sat(decode(
+                    self.translator.schema(),
+                    self.translator.bounds(),
+                    self.translator.rel_inputs(),
+                    self.encoder.input_vars(),
+                    &self.solver,
+                ))
+            }
         };
         self.retire(act.negative());
         Ok((verdict, report))
@@ -287,6 +306,7 @@ impl Session {
              create the session with Options::default()"
         );
         self.stats.queries += 1;
+        self.last_core = None;
         let t0 = Instant::now();
         let query_root = self.translator.formula(formula)?;
         self.stats.translate_time += t0.elapsed();
@@ -351,6 +371,33 @@ impl Session {
     /// (and any blocking clauses carrying it) become vacuous.
     fn retire(&mut self, not_act: satsolver::Lit) {
         self.solver.add_clause(&[not_act]);
+    }
+
+    /// The DRAT proof accumulated across every query of this session,
+    /// when the session was created with [`Options::proof_logging`].
+    ///
+    /// The log is append-only, so an incremental
+    /// [`satsolver::drat::Checker`] can re-verify just the steps each
+    /// query adds; after an `Unsat` query, checking the proof and then
+    /// [`expect_core`](satsolver::drat::Checker::expect_core) with
+    /// [`Session::last_core`] certifies the verdict.
+    pub fn proof(&self) -> Option<&Proof> {
+        self.solver.proof()
+    }
+
+    /// The assumption core of the most recent query, `Some` exactly when
+    /// that query answered `Unsat`. For session queries the core is over
+    /// the query's activation literal: `[act]` when the query formula
+    /// conflicts with the base, empty when the base itself (plus retired
+    /// activations) became unsatisfiable.
+    pub fn last_core(&self) -> Option<&[Lit]> {
+        self.last_core.as_deref()
+    }
+
+    /// Number of live learnt clauses in the session's solver — the
+    /// search state that persists across queries.
+    pub fn num_learnts(&self) -> usize {
+        self.solver.num_learnts()
     }
 }
 

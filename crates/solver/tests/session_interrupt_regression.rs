@@ -1,0 +1,158 @@
+//! Regression: a budget-interrupted (Unknown) query must not damage a
+//! session — the gate cache and the solver's learnt clauses survive, and
+//! SAT/UNSAT queries interleaved around the interruption keep their
+//! verdicts. Pins the cancellation invariant introduced with incremental
+//! solving (the solver backtracks to level 0 on interruption instead of
+//! poisoning its state).
+
+use modelfinder::{drat, Options, Session, Verdict};
+use relational::patterns;
+use relational::schema::rel;
+use relational::{Bounds, Formula, Schema};
+use satsolver::Interrupt;
+use std::time::Duration;
+
+fn acyclic_session(options: Options) -> (Schema, Session) {
+    let mut schema = Schema::new();
+    let r = schema.relation("r", 2);
+    let bounds = Bounds::new(&schema, 3);
+    let base = patterns::acyclic(&rel(r));
+    let session = Session::new(&schema, &bounds, &base, options).unwrap();
+    (schema, session)
+}
+
+#[test]
+fn gate_cache_and_learnts_survive_budget_interruption() {
+    let (schema, mut session) = acyclic_session(Options::default().with_proof_logging());
+    let r = schema.find("r").unwrap();
+    let mut checker = drat::Checker::new();
+    let mut certify = |session: &Session, core_expected: bool| {
+        checker
+            .absorb(session.proof().unwrap())
+            .expect("proof checks");
+        if core_expected {
+            let core = session.last_core().expect("unsat query records a core");
+            checker.expect_core(core).expect("core certified");
+        }
+    };
+
+    // Interleave SAT and UNSAT before the interruption. The UNSAT query
+    // leaves learnt clauses behind; the SAT query warms the gate cache
+    // for the r;r subcircuit.
+    let unsat_query = rel(r).some().and(&rel(r).no());
+    let sat_query = rel(r).join(&rel(r)).some();
+    let (v, _) = session.solve(&unsat_query).unwrap();
+    assert!(v.is_unsat());
+    certify(&session, true);
+    let (v, first_sat_report) = session.solve(&sat_query).unwrap();
+    assert!(v.instance().is_some());
+    certify(&session, false);
+
+    let learnts_before = session.num_learnts();
+    let queries_before = session.stats().queries;
+
+    // A conflict-budget interruption: the query is cut off before any
+    // conflict is spent and must answer Unknown without poisoning state.
+    session.set_conflict_budget(Some(0));
+    let (v, report) = session.solve(&sat_query).unwrap();
+    assert_eq!(v, Verdict::Unknown);
+    assert_eq!(report.interrupted, Some(Interrupt::ConflictBudget));
+    certify(&session, false);
+
+    // And a wall-clock interruption, which fires even earlier (before
+    // the search starts at all).
+    session.set_conflict_budget(None);
+    session.set_deadline(Some(Duration::ZERO));
+    let (v, report) = session.solve(&sat_query).unwrap();
+    assert_eq!(v, Verdict::Unknown);
+    assert_eq!(report.interrupted, Some(Interrupt::Deadline));
+    certify(&session, false);
+    session.set_deadline(None);
+
+    // Learnt clauses survived both interruptions…
+    assert!(
+        session.num_learnts() >= learnts_before,
+        "interrupted queries must not drop learnt clauses \
+         ({} before, {} after)",
+        learnts_before,
+        session.num_learnts()
+    );
+    assert_eq!(session.stats().queries, queries_before + 2);
+
+    // …and the gate cache did too: re-running the SAT query hits the
+    // cache (at the root, so one hit suffices) and encodes no new gate
+    // variables — the only vars added since the first SAT run are the
+    // three per-query activation literals (two interrupted + this one).
+    let (v, report) = session.solve(&sat_query).unwrap();
+    assert!(
+        v.instance().is_some(),
+        "verdict unchanged after interruption"
+    );
+    certify(&session, false);
+    assert!(
+        report.gate_cache_hits > 0,
+        "re-query must hit the gate cache"
+    );
+    assert_eq!(
+        report.sat_vars,
+        first_sat_report.sat_vars + 3,
+        "interrupted queries must not re-encode the cached subcircuit"
+    );
+
+    // UNSAT still answered correctly, with a certified core.
+    let (v, _) = session.solve(&unsat_query).unwrap();
+    assert!(v.is_unsat());
+    certify(&session, true);
+    let (v, _) = session.solve(&rel(r).no()).unwrap();
+    assert!(v.instance().is_some());
+    certify(&session, false);
+}
+
+#[test]
+fn pre_cancelled_token_does_not_poison_session() {
+    let (schema, mut session) = acyclic_session(Options::default());
+    let r = schema.find("r").unwrap();
+    let (v, _) = session.solve(&rel(r).some()).unwrap();
+    assert!(v.instance().is_some());
+
+    let token = modelfinder::CancelToken::new();
+    token.cancel();
+    session.set_cancel(Some(token));
+    let (v, report) = session.solve(&rel(r).some()).unwrap();
+    assert_eq!(v, Verdict::Unknown);
+    assert_eq!(report.interrupted, Some(Interrupt::Cancelled));
+
+    session.set_cancel(None);
+    // Verdicts on both sides of the cancellation still correct.
+    let (v, _) = session.solve(&rel(r).some().and(&rel(r).no())).unwrap();
+    assert!(v.is_unsat());
+    assert_eq!(session.last_core().map(<[_]>::len), Some(1));
+    let (v, _) = session.solve(&rel(r).some()).unwrap();
+    assert!(v.instance().is_some());
+    assert!(session.last_core().is_none());
+}
+
+/// The empty universe of `Formula::False` as base: every query is Unsat
+/// with an *empty* core once the base refutes itself — the degenerate
+/// core shape `fuzzherd` also exercises.
+#[test]
+fn base_level_unsat_reports_empty_core() {
+    let mut schema = Schema::new();
+    let r = schema.relation("r", 2);
+    let bounds = Bounds::new(&schema, 2);
+    let mut session = Session::new(
+        &schema,
+        &bounds,
+        &Formula::False,
+        Options::default().with_proof_logging(),
+    )
+    .unwrap();
+    let (v, _) = session.solve(&rel(r).some()).unwrap();
+    assert!(v.is_unsat());
+    let core = session.last_core().expect("unsat");
+    let mut checker = drat::Checker::new();
+    checker
+        .absorb(session.proof().unwrap())
+        .expect("proof checks");
+    checker.expect_core(core).expect("core certified");
+}

@@ -78,9 +78,23 @@ impl Rng {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
     }
 
+    /// A uniform value in a half-open `Range`, the `std::ops::Range`
+    /// spelling of [`Rng::range`]: `rng.gen_range(5..8)`.
+    pub fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        self.range(range.start, range.end)
+    }
+
     /// A uniformly chosen element of a non-empty slice.
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         &items[self.index(items.len())]
+    }
+
+    /// Uniformly permutes a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
     }
 
     /// A vector of `len` items drawn from `gen`, with `len` uniform in
@@ -220,6 +234,37 @@ mod tests {
         }
         let empty = rng.vec_of(0, 0, |r| r.below(3));
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn gen_range_matches_range() {
+        let mut a = Rng::seed(11);
+        let mut b = Rng::seed(11);
+        for _ in 0..200 {
+            assert_eq!(a.gen_range(3..17), b.range(3, 17));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_and_is_deterministic() {
+        let mut rng = Rng::seed(12);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        // Same multiset…
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+        // …deterministic under the seed…
+        let mut w: Vec<u32> = (0..20).collect();
+        Rng::seed(12).shuffle(&mut w);
+        assert_eq!(v, w);
+        // …and actually permutes (overwhelmingly likely for 20 elements).
+        assert_ne!(v, (0..20).collect::<Vec<u32>>());
+        // Degenerate sizes are fine.
+        rng.shuffle::<u32>(&mut []);
+        let mut one = [7u32];
+        rng.shuffle(&mut one);
+        assert_eq!(one, [7]);
     }
 
     #[test]

@@ -28,4 +28,12 @@ cargo run --release --offline -q -p ptxmm-bench --bin fig17_table -- 3 \
     --bench-json "$smoke_json" > /dev/null
 grep -q '"bound": *3' "$smoke_json"
 
+# Fixed-seed differential-fuzzing smoke: every generator round is
+# deterministic under --seed, so this also guards against generator
+# drift. Any cross-layer disagreement or rejected DRAT certificate makes
+# fuzzherd exit non-zero, printing the replayable seed and shrunk case.
+echo "== differential-fuzzing smoke (fuzzherd --rounds 50 --seed 7) =="
+cargo run --release --offline -q -p ptxmm-fuzz --bin fuzzherd -- \
+    --rounds 50 --seed 7 --jobs 4 --timeout-secs 60
+
 echo "verify.sh: all gates passed."
