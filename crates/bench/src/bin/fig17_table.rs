@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! fig17_table [bounds…] [--jobs N] [--timeout-secs S] [--json]
-//!             [--sessions] [--bench-json PATH]
+//!             [--sessions] [--bench-json PATH] [--stats] [--stats-json PATH]
 //! ```
 //!
 //! Each (scope mode × bound × axiom) verification is one query. With
@@ -20,16 +20,24 @@
 //! detail field with the translation-cache hits and per-phase timings.
 //!
 //! `--bench-json PATH` times the scratch and session paths against each
-//! other per bound and writes the comparison as a JSON artifact (the
-//! `BENCH_fig17.json` baseline in the repository root).
+//! other per bound and writes the comparison as a JSON Lines artifact in
+//! the shared `obs` stats schema (the `BENCH_fig17.json` baseline in the
+//! repository root): wall times under `time.bound<B>.{scratch,sessions}`
+//! and the merged solver/translation counters of each path under
+//! `bound<B>.{scratch,sessions}.`, so two baselines can be compared with
+//! `scripts/bench_diff.sh`.
+//!
+//! `--stats` prints an observability table after the sweep — totals plus
+//! per-query counters under `query.<name>.`; `--stats-json PATH` writes
+//! the same snapshot as JSON Lines.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mapping::{AxiomSession, RecipeVariant, ScopeMode};
-use modelfinder::harness::{json_string, run_queries, HarnessOptions, Query, QueryOutput};
-use modelfinder::{Options, QueryRecord, SessionPool, Verdict};
+use modelfinder::harness::{run_queries, HarnessOptions, Query, QueryOutput};
+use modelfinder::{obs, Options, QueryRecord, SessionPool, Verdict};
 
 const AXIOMS: [&str; 3] = ["Coherence", "Atomicity", "SC"];
 
@@ -40,6 +48,8 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut sessions = false;
     let mut bench_json: Option<String> = None;
+    let mut stats = false;
+    let mut stats_json: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -58,6 +68,11 @@ fn main() -> ExitCode {
                 Some(path) => bench_json = Some(path.clone()),
                 None => return usage("--bench-json needs a file path"),
             },
+            "--stats" => stats = true,
+            "--stats-json" => match it.next() {
+                Some(path) => stats_json = Some(path.clone()),
+                None => return usage("--stats-json needs a file path"),
+            },
             other => match other.parse() {
                 Ok(b) => bounds.push(b),
                 Err(_) => return usage(&format!("unrecognized argument `{other}`")),
@@ -75,7 +90,14 @@ fn main() -> ExitCode {
         return run_bench(&bounds, jobs, timeout, &path);
     }
 
-    let records = run_sweep(&bounds, jobs, timeout, sessions, |rec| {
+    let stats_wanted = stats || stats_json.is_some();
+    let reg = if stats_wanted {
+        obs::Registry::new()
+    } else {
+        obs::Registry::disabled()
+    };
+    let records = run_sweep(&bounds, jobs, timeout, sessions, &reg, |rec| {
+        reg.merge_prefixed(&rec.obs, &format!("query.{}.", rec.name));
         if json {
             println!("{}", rec.to_json());
         } else {
@@ -95,6 +117,18 @@ fn main() -> ExitCode {
     if !json && unknown > 0 {
         eprintln!("{unknown} quer(ies) did not finish within budget");
     }
+    if stats_wanted {
+        let snap = reg.snapshot();
+        if let Some(path) = &stats_json {
+            if let Err(e) = std::fs::write(path, snap.to_jsonl()) {
+                eprintln!("fig17_table: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if stats {
+            print!("{}", snap.render_table());
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -105,6 +139,7 @@ fn run_sweep(
     jobs: usize,
     timeout: Option<Duration>,
     sessions: bool,
+    reg: &obs::Registry,
     on_record: impl FnMut(&QueryRecord),
 ) -> Vec<QueryRecord> {
     // One incremental session per (mode, bound) key and worker; workers
@@ -127,6 +162,7 @@ fn run_sweep(
                         let row = session.verify(axiom).expect("internal encoding error");
                         session.set_cancel(None);
                         session.set_deadline(None);
+                        row.report.record_obs(&ctx.obs);
                         let out = query_output(&row, true);
                         pool.checkin((mode, bound), session);
                         out
@@ -136,6 +172,7 @@ fn run_sweep(
                         opts.deadline = ctx.timeout;
                         let row = mapping::verify_axiom(&model, axiom, mode, opts)
                             .expect("internal encoding error");
+                        row.report.record_obs(&ctx.obs);
                         query_output(&row, false)
                     }
                 }));
@@ -145,6 +182,7 @@ fn run_sweep(
     let options = HarnessOptions {
         jobs,
         timeout,
+        obs: reg.clone(),
         ..HarnessOptions::default()
     };
     run_queries(queries, &options, on_record)
@@ -183,17 +221,24 @@ fn query_output(row: &mapping::AxiomCheckRow, sessions: bool) -> QueryOutput {
 }
 
 /// Times the scratch path against the session path per bound and writes
-/// the comparison to `path` as a JSON artifact.
+/// the comparison to `path` as an `obs` JSON Lines snapshot: wall times
+/// as `time.bound<B>.{scratch,sessions}` and each path's merged work
+/// counters under `bound<B>.{scratch,sessions}.`.
 fn run_bench(bounds: &[usize], jobs: usize, timeout: Option<Duration>, path: &str) -> ExitCode {
-    let mut rows = Vec::new();
+    let reg = obs::Registry::new();
+    reg.note("benchmark", "fig17 scratch vs incremental sessions");
+    reg.note("jobs", &jobs.to_string());
+    reg.note("queries_per_bound", &(2 * AXIOMS.len()).to_string());
     for &bound in bounds {
         let single = [bound];
+        let scratch_obs = obs::Registry::new();
         let t0 = Instant::now();
-        let scratch_records = run_sweep(&single, jobs, timeout, false, |_| {});
-        let scratch_secs = t0.elapsed().as_secs_f64();
+        let scratch_records = run_sweep(&single, jobs, timeout, false, &scratch_obs, |_| {});
+        let scratch_wall = t0.elapsed();
+        let session_obs = obs::Registry::new();
         let t1 = Instant::now();
-        let session_records = run_sweep(&single, jobs, timeout, true, |_| {});
-        let session_secs = t1.elapsed().as_secs_f64();
+        let session_records = run_sweep(&single, jobs, timeout, true, &session_obs, |_| {});
+        let session_wall = t1.elapsed();
         for (s, i) in scratch_records.iter().zip(&session_records) {
             if s.verdict != i.verdict {
                 eprintln!(
@@ -203,30 +248,18 @@ fn run_bench(bounds: &[usize], jobs: usize, timeout: Option<Duration>, path: &st
                 return ExitCode::FAILURE;
             }
         }
+        let (scratch_secs, session_secs) = (scratch_wall.as_secs_f64(), session_wall.as_secs_f64());
         eprintln!(
             "bound {bound}: scratch {scratch_secs:.3}s, sessions {session_secs:.3}s ({:.2}x)",
             scratch_secs / session_secs
         );
-        rows.push((bound, scratch_secs, session_secs));
+        reg.record_duration(&format!("time.bound{bound}.scratch"), scratch_wall);
+        reg.record_duration(&format!("time.bound{bound}.sessions"), session_wall);
+        reg.merge_prefixed(&scratch_obs, &format!("bound{bound}.scratch."));
+        reg.merge_prefixed(&session_obs, &format!("bound{bound}.sessions."));
     }
 
-    let mut out = String::new();
-    out.push_str("{\n  \"benchmark\": ");
-    json_string(&mut out, "fig17 scratch vs incremental sessions");
-    out.push_str(&format!(
-        ",\n  \"queries_per_bound\": {},\n  \"jobs\": {jobs},\n  \"rows\": [\n",
-        2 * AXIOMS.len()
-    ));
-    for (i, (bound, scratch, session)) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"bound\": {bound}, \"scratch_secs\": {scratch:.6}, \
-             \"sessions_secs\": {session:.6}, \"speedup\": {:.3}}}{}\n",
-            scratch / session,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    match std::fs::write(path, out) {
+    match std::fs::write(path, reg.snapshot().to_jsonl()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("fig17_table: cannot write {path}: {e}");
@@ -239,7 +272,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("fig17_table: {err}");
     eprintln!(
         "usage: fig17_table [bounds…] [--jobs N] [--timeout-secs S] [--json] \
-         [--sessions] [--bench-json PATH]"
+         [--sessions] [--bench-json PATH] [--stats] [--stats-json PATH]"
     );
     ExitCode::FAILURE
 }

@@ -18,6 +18,11 @@
 //! independent DRAT checker. On disagreement the round's seed and a
 //! shrunk minimal case are printed and the exit code is nonzero;
 //! timeouts degrade to `Unknown` records, never hangs.
+//!
+//! `--stats` prints an observability table after the run — totals plus
+//! per-generator counters under `gen.{cnf,relform,litmus}.`;
+//! `--stats-json PATH` writes the snapshot as JSON Lines in the shared
+//! `obs` schema.
 
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
@@ -35,6 +40,8 @@ struct Cli {
     jobs: usize,
     timeout_secs: Option<u64>,
     json: bool,
+    stats: bool,
+    stats_json: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -44,11 +51,18 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         jobs: 1,
         timeout_secs: None,
         json: false,
+        stats: false,
+        stats_json: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => cli.json = true,
+            "--stats" => cli.stats = true,
+            "--stats-json" => {
+                let v = it.next().ok_or("--stats-json needs a path")?;
+                cli.stats_json = Some(v.clone());
+            }
             "--rounds" => {
                 let v = it.next().ok_or("--rounds needs a value")?;
                 cli.rounds = v.parse().map_err(|_| format!("bad --rounds value `{v}`"))?;
@@ -88,16 +102,24 @@ fn parse_seed(v: &str) -> Result<u64, String> {
 fn output(
     result: Result<RoundStats, Disagreement>,
     failures: &Mutex<Vec<Disagreement>>,
+    obs: &modelfinder::obs::Registry,
 ) -> QueryOutput {
+    obs.add("fuzz.rounds", 1);
     match result {
-        Ok(stats) => QueryOutput {
-            verdict: "Ok".to_string(),
-            sat_vars: stats.sat_vars,
-            sat_clauses: stats.sat_clauses,
-            conflicts: stats.conflicts,
-            detail: None,
-        },
+        Ok(stats) => {
+            obs.add("fuzz.sat_vars", stats.sat_vars);
+            obs.add("fuzz.sat_clauses", stats.sat_clauses);
+            obs.add("fuzz.conflicts", stats.conflicts);
+            QueryOutput {
+                verdict: "Ok".to_string(),
+                sat_vars: stats.sat_vars,
+                sat_clauses: stats.sat_clauses,
+                conflicts: stats.conflicts,
+                detail: None,
+            }
+        }
         Err(d) => {
+            obs.add("fuzz.disagreements", 1);
             let detail = format!("{}: {} (seed {:#018x})", d.generator, d.what, d.seed);
             failures.lock().unwrap().push(d);
             QueryOutput {
@@ -116,7 +138,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("fuzzherd: {e}");
             eprintln!(
-                "usage: fuzzherd [--rounds N] [--seed S] [--jobs N] [--timeout-secs S] [--json]"
+                "usage: fuzzherd [--rounds N] [--seed S] [--jobs N] [--timeout-secs S] \
+                 [--json] [--stats] [--stats-json PATH]"
             );
             return ExitCode::FAILURE;
         }
@@ -128,29 +151,38 @@ fn main() -> ExitCode {
     for round in 0..cli.rounds {
         let f = Arc::clone(&failures);
         let seed = round_seed(cli.seed, "cnf", round);
-        queries.push(Query::new(format!("cnf/{round}"), move |_ctx| {
-            output(cnf::run_round(seed), &f)
+        queries.push(Query::new(format!("cnf/{round}"), move |ctx| {
+            output(cnf::run_round(seed), &f, &ctx.obs)
         }));
         let f = Arc::clone(&failures);
         let seed = round_seed(cli.seed, "relform", round);
-        queries.push(Query::new(format!("relform/{round}"), move |_ctx| {
-            output(relform::run_round(seed), &f)
+        queries.push(Query::new(format!("relform/{round}"), move |ctx| {
+            output(relform::run_round(seed), &f, &ctx.obs)
         }));
         let f = Arc::clone(&failures);
         let p = Arc::clone(&pool);
         let seed = round_seed(cli.seed, "litmusgen", round);
-        queries.push(Query::new(format!("litmus/{round}"), move |_ctx| {
-            output(litmusgen::run_round(seed, &p), &f)
+        queries.push(Query::new(format!("litmus/{round}"), move |ctx| {
+            output(litmusgen::run_round(seed, &p), &f, &ctx.obs)
         }));
     }
 
+    let stats_wanted = cli.stats || cli.stats_json.is_some();
+    let reg = if stats_wanted {
+        modelfinder::obs::Registry::new()
+    } else {
+        modelfinder::obs::Registry::disabled()
+    };
     let options = HarnessOptions {
         jobs: cli.jobs,
         timeout: cli.timeout_secs.map(Duration::from_secs),
+        obs: reg.clone(),
         ..HarnessOptions::default()
     };
     let json = cli.json;
     let records = run_queries(queries, &options, |rec| {
+        let generator = rec.name.split('/').next().unwrap_or("unknown");
+        reg.merge_prefixed(&rec.obs, &format!("gen.{generator}."));
         if json {
             println!("{}", rec.to_json());
         } else if rec.verdict != "Ok" {
@@ -180,6 +212,18 @@ fn main() -> ExitCode {
             created,
             reused
         );
+    }
+    if stats_wanted {
+        let snap = reg.snapshot();
+        if let Some(path) = &cli.stats_json {
+            if let Err(e) = std::fs::write(path, snap.to_jsonl()) {
+                eprintln!("fuzzherd: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if cli.stats {
+            print!("{}", snap.render_table());
+        }
     }
     if failures.is_empty() {
         ExitCode::SUCCESS

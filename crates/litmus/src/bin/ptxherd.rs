@@ -27,6 +27,13 @@
 //! and per-phase timings. Tests the relational encoding cannot express
 //! (barriers, data-dependent values) fall back to enumeration, noted in
 //! the detail. C11 tests always use the RC11 enumeration engine.
+//!
+//! `--stats` prints an observability table after the sweep — totals plus
+//! per-test counters under `test.<name>.` (propagations, conflicts,
+//! learnt clauses, circuit gates, gate-cache hits, translate/solve wall
+//! times); `--stats-json PATH` writes the same snapshot as JSON Lines in
+//! the shared `obs` schema. Counter values are deterministic for
+//! fixed-seed single-job runs; timings are not.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -42,6 +49,8 @@ struct Cli {
     timeout_secs: Option<u64>,
     json: bool,
     sat: bool,
+    stats: bool,
+    stats_json: Option<String>,
     files: Vec<String>,
 }
 
@@ -52,6 +61,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         timeout_secs: None,
         json: false,
         sat: false,
+        stats: false,
+        stats_json: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -60,6 +71,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--suite" => cli.suite = true,
             "--json" => cli.json = true,
             "--sat" => cli.sat = true,
+            "--stats" => cli.stats = true,
+            "--stats-json" => {
+                let v = it.next().ok_or("--stats-json needs a path")?;
+                cli.stats_json = Some(v.clone());
+            }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 cli.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
@@ -128,7 +144,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: ptxherd [--jobs N] [--timeout-secs S] [--json] [--sat] <file.litmus>… | --suite"
+            "usage: ptxherd [--jobs N] [--timeout-secs S] [--json] [--sat] \
+             [--stats] [--stats-json PATH] <file.litmus>… | --suite"
         );
         return ExitCode::FAILURE;
     }
@@ -158,7 +175,9 @@ fn main() -> ExitCode {
 
     // The herd-style detailed report stays the default single-threaded
     // behavior; any harness flag switches to the one-line-per-test sweep.
-    let use_harness = cli.jobs > 1 || cli.timeout_secs.is_some() || cli.json || cli.sat;
+    let stats_wanted = cli.stats || cli.stats_json.is_some();
+    let use_harness =
+        cli.jobs > 1 || cli.timeout_secs.is_some() || cli.json || cli.sat || stats_wanted;
     if !use_harness {
         for test in &tests {
             let ok = match test {
@@ -184,6 +203,7 @@ fn main() -> ExitCode {
                         Ok(()) => sat_output(&pool, t, ctx),
                         Err(why) => {
                             let r = run_ptx(t);
+                            ctx.obs.add("litmus.candidates", r.candidates);
                             let mut out =
                                 litmus_output(t.expectation, r.observable, r.passed, r.candidates);
                             if let Some(d) = &mut out.detail {
@@ -195,22 +215,31 @@ fn main() -> ExitCode {
                     },
                     AnyTest::Ptx(t) => {
                         let r = run_ptx(t);
+                        ctx.obs.add("litmus.candidates", r.candidates);
                         litmus_output(t.expectation, r.observable, r.passed, r.candidates)
                     }
                     AnyTest::C11(t) => {
                         let r = run_rc11(t);
+                        ctx.obs.add("litmus.candidates", r.candidates);
                         litmus_output(t.expectation, r.observable, r.passed, r.candidates)
                     }
                 })
             })
             .collect();
+        let reg = if stats_wanted {
+            modelfinder::obs::Registry::new()
+        } else {
+            modelfinder::obs::Registry::disabled()
+        };
         let options = HarnessOptions {
             jobs: cli.jobs,
             timeout: cli.timeout_secs.map(std::time::Duration::from_secs),
+            obs: reg.clone(),
             ..HarnessOptions::default()
         };
         let json = cli.json;
         let records = run_queries(queries, &options, |rec| {
+            reg.merge_prefixed(&rec.obs, &format!("test.{}.", rec.name));
             if json {
                 println!("{}", rec.to_json());
             } else {
@@ -231,6 +260,18 @@ fn main() -> ExitCode {
         let timeouts = records.iter().filter(|r| r.timed_out).count();
         if !json && timeouts > 0 {
             eprintln!("{timeouts} test(s) timed out (reported as Unknown)");
+        }
+        if stats_wanted {
+            let snap = reg.snapshot();
+            if let Some(path) = &cli.stats_json {
+                if let Err(e) = std::fs::write(path, snap.to_jsonl()) {
+                    eprintln!("ptxherd: cannot write {path}: {e}");
+                    failures += 1;
+                }
+            }
+            if cli.stats {
+                print!("{}", snap.render_table());
+            }
         }
     }
 
@@ -259,6 +300,7 @@ fn sat_output(
     session.set_deadline(None);
     let out = match &result {
         Ok(r) => {
+            r.report.record_obs(&ctx.obs);
             let verdict = match r.passed {
                 Some(true) => "Ok",
                 Some(false) => "FAILED",

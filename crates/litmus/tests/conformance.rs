@@ -1,0 +1,186 @@
+//! Conformance sweep over the bundled `litmus/*.litmus` files: every
+//! test is answered by each applicable engine — execution enumeration,
+//! a scratch SAT run on [`litmus::sat::scratch_problem`], and a pooled
+//! incremental [`litmus::sat::SatSession`] shared per universe
+//! signature — and the combined verdicts are pinned against the
+//! checked-in golden file `litmus/EXPECTED.txt`.
+//!
+//! The engines must agree with each other unconditionally; the golden
+//! file additionally pins the absolute verdicts so a change in either
+//! the parser, the models, or the bundled tests shows up as a readable
+//! diff. Regenerate after an intentional change with:
+//!
+//! ```text
+//! UPDATE_EXPECTED=1 cargo test -p ptxmm-litmus --test conformance
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use litmus::sat::{self, SatSession, Signature};
+use litmus::{parse_c11_litmus, parse_ptx_litmus, run_ptx, run_rc11};
+use modelfinder::{ModelFinder, Options, Verdict};
+
+fn litmus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../litmus")
+}
+
+fn expected_path() -> PathBuf {
+    litmus_dir().join("EXPECTED.txt")
+}
+
+/// `observable` / `never`, the herd-flavored observability words used in
+/// the golden file.
+fn word(observable: bool) -> &'static str {
+    if observable {
+        "observable"
+    } else {
+        "never"
+    }
+}
+
+/// Renders one golden line for a PTX test, running all three engines and
+/// asserting they agree before the line is ever compared.
+fn ptx_line(file: &str, source: &str, sessions: &mut BTreeMap<Signature, SatSession>) -> String {
+    let test = parse_ptx_litmus(source).unwrap_or_else(|e| panic!("{file}: {e}"));
+    let enumeration = run_ptx(&test);
+    let (sat_word, session_word) = match sat::supported(&test) {
+        Err(why) => {
+            let w = format!("unsupported({why})");
+            (w.clone(), w)
+        }
+        Ok(()) => {
+            // Scratch path: a self-contained problem on a fresh finder.
+            // Symmetry breaking must stay off — the query pins individual
+            // atoms through constants (see the `litmus::sat` type-level
+            // note), so `Options::check()` would be unsound here.
+            let problem = sat::scratch_problem(&test).expect("supported test has a problem");
+            let (verdict, _) = ModelFinder::new(Options::default())
+                .solve(&problem)
+                .unwrap_or_else(|e| panic!("{file}: scratch SAT error: {e:?}"));
+            let scratch_observable = match verdict {
+                Verdict::Sat(_) => true,
+                Verdict::Unsat => false,
+                Verdict::Unknown => panic!("{file}: scratch SAT gave Unknown without a budget"),
+            };
+            // Pooled path: one incremental session per signature, shared
+            // across every file in the sweep (and asserted to be reused
+            // below), exactly like `ptxherd --sat`.
+            let sig = sat::signature(&test.program);
+            let session = sessions
+                .entry(sig)
+                .or_insert_with(|| SatSession::new(sig).expect("internal encoding error"));
+            let r = session.run(&test).unwrap_or_else(|e| panic!("{file}: {e}"));
+            let session_observable = r.observable.expect("no budget set");
+            assert_eq!(
+                scratch_observable, enumeration.observable,
+                "{file}: scratch SAT disagrees with enumeration"
+            );
+            assert_eq!(
+                session_observable, enumeration.observable,
+                "{file}: pooled session disagrees with enumeration"
+            );
+            (
+                word(scratch_observable).to_string(),
+                word(session_observable).to_string(),
+            )
+        }
+    };
+    format!(
+        "{file} {name} expected={exp:?} enum={e} sat={sat_word} session={session_word} {status}\n",
+        name = test.name,
+        exp = test.expectation,
+        e = word(enumeration.observable),
+        status = if enumeration.passed { "Ok" } else { "FAILED" },
+    )
+}
+
+/// Renders one golden line for a scoped-C++ test (enumeration only: the
+/// SAT path encodes the PTX axioms, not RC11).
+fn c11_line(file: &str, source: &str) -> String {
+    let test = parse_c11_litmus(source).unwrap_or_else(|e| panic!("{file}: {e}"));
+    let r = run_rc11(&test);
+    format!(
+        "{file} {name} expected={exp:?} enum={e} sat=n/a session=n/a {status}\n",
+        name = test.name,
+        exp = test.expectation,
+        e = word(r.observable),
+        status = if r.passed { "Ok" } else { "FAILED" },
+    )
+}
+
+#[test]
+fn bundled_files_match_golden_verdicts() {
+    let dir = litmus_dir();
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .expect("litmus/ directory exists")
+        .map(|e| {
+            e.expect("readable entry")
+                .file_name()
+                .into_string()
+                .unwrap()
+        })
+        .filter(|n| n.ends_with(".litmus"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 9,
+        "expected the bundled suite, found {} files",
+        files.len()
+    );
+
+    let mut sessions: BTreeMap<Signature, SatSession> = BTreeMap::new();
+    let mut actual = String::new();
+    for file in &files {
+        let source = std::fs::read_to_string(dir.join(file)).expect("readable file");
+        let header = source
+            .lines()
+            .map(|l| l.split("//").next().unwrap_or("").trim())
+            .find(|l| !l.is_empty())
+            .unwrap_or("");
+        if header.starts_with("PTX ") {
+            actual.push_str(&ptx_line(file, &source, &mut sessions));
+        } else if header.starts_with("C11 ") {
+            actual.push_str(&c11_line(file, &source));
+        } else {
+            panic!("{file}: unknown dialect header {header:?}");
+        }
+    }
+    // The pool earned its keep: some signature was shared across files.
+    let reused = sessions.values().any(|s| s.stats().queries > 1);
+    assert!(reused, "no session was reused across the bundled files");
+
+    if std::env::var_os("UPDATE_EXPECTED").is_some() {
+        std::fs::write(expected_path(), &actual).expect("writable EXPECTED.txt");
+        return;
+    }
+    let expected = std::fs::read_to_string(expected_path()).unwrap_or_else(|_| {
+        panic!(
+            "missing {}; regenerate with UPDATE_EXPECTED=1",
+            expected_path().display()
+        )
+    });
+    if actual != expected {
+        let mut diff = String::new();
+        let (exp_lines, act_lines): (Vec<_>, Vec<_>) =
+            (expected.lines().collect(), actual.lines().collect());
+        for i in 0..exp_lines.len().max(act_lines.len()) {
+            match (exp_lines.get(i), act_lines.get(i)) {
+                (Some(e), Some(a)) if e == a => {}
+                (e, a) => {
+                    if let Some(e) = e {
+                        let _ = writeln!(diff, "-{e}");
+                    }
+                    if let Some(a) = a {
+                        let _ = writeln!(diff, "+{a}");
+                    }
+                }
+            }
+        }
+        panic!(
+            "golden verdicts drifted from litmus/EXPECTED.txt \
+             (regenerate with UPDATE_EXPECTED=1 if intentional):\n{diff}"
+        );
+    }
+}

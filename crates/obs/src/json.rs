@@ -1,0 +1,165 @@
+//! Hand-rolled JSON string escaping, shared by every JSON emitter in
+//! the workspace.
+//!
+//! The workspace is hermetic (no serde), so JSON is assembled by hand.
+//! Escaping lived in `modelfinder::harness` before this crate existed;
+//! it now lives here so the harness, the stats exporters, and the bench
+//! emitters all agree, and so the inverse ([`unescape`]) can round-trip
+//! test the encoder against arbitrary strings — including control
+//! characters, quotes, and backslashes in test names and paths.
+
+/// Appends `value` to `out` as a JSON string literal, surrounding
+/// quotes included. Escapes `"` and `\`, uses the short escapes for
+/// `\n`, `\r`, `\t`, and `\uXXXX` for the remaining control characters
+/// (U+0000–U+001F). Everything else is emitted verbatim as UTF-8,
+/// which is valid JSON.
+pub fn escape_into(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xf;
+                    out.push(char::from_digit(digit, 16).unwrap());
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// [`escape_into`] as a fresh `String`.
+pub fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    escape_into(&mut out, value);
+    out
+}
+
+/// Parses a JSON string literal (surrounding quotes included, exactly
+/// the form [`escape`] produces and any standard JSON emitter may
+/// produce) back to its value. Accepts all standard escapes, including
+/// `\uXXXX` with surrogate pairs. Returns `None` on malformed input.
+pub fn unescape(literal: &str) -> Option<String> {
+    let mut chars = literal.chars();
+    if chars.next() != Some('"') {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => {
+                // Closing quote must end the literal.
+                return if chars.next().is_none() {
+                    Some(out)
+                } else {
+                    None
+                };
+            }
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'b' => out.push('\u{0008}'),
+                'f' => out.push('\u{000c}'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hi = hex4(&mut chars)?;
+                    let code = if (0xd800..0xdc00).contains(&hi) {
+                        // High surrogate: a \uXXXX low surrogate must follow.
+                        if chars.next() != Some('\\') || chars.next() != Some('u') {
+                            return None;
+                        }
+                        let lo = hex4(&mut chars)?;
+                        if !(0xdc00..0xe000).contains(&lo) {
+                            return None;
+                        }
+                        0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                    } else {
+                        hi
+                    };
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c if (c as u32) < 0x20 => return None, // raw control char
+            c => out.push(c),
+        }
+    }
+}
+
+fn hex4(chars: &mut std::str::Chars<'_>) -> Option<u32> {
+    let mut code = 0u32;
+    for _ in 0..4 {
+        code = code * 16 + chars.next()?.to_digit(16)?;
+    }
+    Some(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials_and_controls() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape("a\nb\rc\td"), "\"a\\nb\\rc\\td\"");
+        assert_eq!(
+            escape("\u{0000}\u{0001}\u{001f}"),
+            "\"\\u0000\\u0001\\u001f\""
+        );
+        // Non-ASCII passes through verbatim.
+        assert_eq!(escape("π/2 ≤ 𝛕"), "\"π/2 ≤ 𝛕\"");
+    }
+
+    #[test]
+    fn unescape_inverts_escape() {
+        for s in [
+            "",
+            "plain",
+            "quote\" backslash\\ slash/",
+            "line\nfeed\r tab\t",
+            "ctrl\u{0001}\u{001f}\u{0000}done",
+            "unicode π 𝛕 \u{10348}",
+        ] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s), "round-trip {s:?}");
+        }
+    }
+
+    #[test]
+    fn unescape_accepts_standard_escapes_we_never_emit() {
+        assert_eq!(unescape("\"a\\/b\"").as_deref(), Some("a/b"));
+        assert_eq!(unescape("\"\\b\\f\"").as_deref(), Some("\u{0008}\u{000c}"));
+        // BMP \u escape and a surrogate pair (U+1D40C).
+        assert_eq!(unescape("\"\\u03c0\"").as_deref(), Some("π"));
+        assert_eq!(unescape("\"\\ud835\\udd0c\"").as_deref(), Some("\u{1d50c}"));
+    }
+
+    #[test]
+    fn unescape_rejects_malformed() {
+        for bad in [
+            "noquotes",
+            "\"unterminated",
+            "\"trailing\"x",
+            "\"bad escape \\q\"",
+            "\"raw control \u{0001}\"",
+            "\"short hex \\u12\"",
+            "\"lone high surrogate \\ud835\"",
+            "\"high then not-low \\ud835\\u0041\"",
+            "\"lone low surrogate \\udd0c ok\"",
+        ] {
+            assert_eq!(unescape(bad), None, "should reject {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,744 @@
+//! Dependency-free observability for the PTX memory-model workspace.
+//!
+//! Every layer of the stack — the CDCL SAT solver, the relational
+//! translator, the bounded model finder, the litmus harness — counts
+//! things (propagations, conflicts, encoded gates, matrix cells) and
+//! spends wall time in well-defined phases (translate, encode, solve).
+//! This crate gives those layers one vocabulary:
+//!
+//! * [`Counter`] — a monotone atomic `u64`, cheap enough to bump on the
+//!   hottest solver paths;
+//! * [`Histogram`] — a monotone power-of-two bucket histogram for size
+//!   distributions (learnt-clause lengths, cone sizes);
+//! * [`Span`] — an RAII wall-clock timer that records its duration on
+//!   drop, nesting dotted paths per thread (`translate.encode`);
+//! * [`Registry`] — a thread-safe, cloneable home for all of the above.
+//!
+//! A disabled registry (the default) is free of charge: handles carry
+//! no allocation, increments are a single branch, and spans never read
+//! the clock. Enabled registries can be [merged](Registry::merge_from)
+//! — counters add, timings add, histograms add bucket-wise — which is
+//! how the worker-pool harness folds per-query registries into a run
+//! total, and [snapshotted](Registry::snapshot) for rendering as a
+//! human-readable table or as JSON Lines (one event object per line,
+//! see [`Snapshot::to_jsonl`] for the schema `scripts/bench_diff.sh`
+//! consumes).
+//!
+//! Counters and histogram contents are deterministic for fixed-seed
+//! single-job runs; wall-clock *durations* are not, which is why the
+//! JSONL schema keeps them under a separate `"timing"` kind that diff
+//! tooling excludes by default.
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `u64::MAX`.
+const HIST_BUCKETS: usize = 65;
+
+/// A monotone atomic counter handle.
+///
+/// Obtained from [`Registry::counter`]; cloning shares the underlying
+/// cell. Handles from a disabled registry are inert: [`Counter::add`]
+/// is a branch and nothing else.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n` to the counter (no-op when disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to the counter (no-op when disabled).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistCell {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistCell {
+    fn new() -> HistCell {
+        HistCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the power-of-two bucket for `v`: bucket 0 holds zeros,
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i)`.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// A monotone histogram handle with power-of-two buckets.
+///
+/// Obtained from [`Registry::histogram`]; cloning shares the underlying
+/// cells. Observations only ever increase bucket counts, so merged and
+/// repeated snapshots are monotone.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistCell>>);
+
+impl Histogram {
+    /// Records one observation of `v` (no-op when disabled).
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct TimingCell {
+    count: u64,
+    total: Duration,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistCell>>>,
+    timings: Mutex<BTreeMap<String, TimingCell>>,
+    notes: Mutex<BTreeMap<String, String>>,
+}
+
+thread_local! {
+    /// Stack of open span paths for the current thread, innermost last.
+    /// Spans nest per thread: a span opened while another is active on
+    /// the same thread records under `outer.inner`.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A thread-safe registry of named counters, histograms, timings, and
+/// free-form notes.
+///
+/// `Registry` is a cheap handle (an `Option<Arc>`): clones share state,
+/// and the [`Registry::disabled`] default carries nothing at all.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Registry {
+    /// A fresh, enabled, empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// The inert registry: every operation is a no-op, every handle it
+    /// hands out is free. This is the `Default`.
+    pub fn disabled() -> Registry {
+        Registry { inner: None }
+    }
+
+    /// True when this registry records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A fresh registry with the same enablement as `self` — the
+    /// harness uses this to give each query its own registry exactly
+    /// when the caller asked for stats.
+    pub fn child(&self) -> Registry {
+        if self.enabled() {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        }
+    }
+
+    /// The counter registered under `name`, created at zero on first
+    /// use. Disabled registries return an inert handle without locking.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter(None),
+            Some(inner) => {
+                let mut map = inner.counters.lock().unwrap();
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+                Counter(Some(Arc::clone(cell)))
+            }
+        }
+    }
+
+    /// Adds `n` to the counter `name` (shorthand for one-shot bumps;
+    /// hot paths should hold a [`Counter`] handle instead).
+    pub fn add(&self, name: &str, n: u64) {
+        if self.enabled() {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// The histogram registered under `name`, created empty on first
+    /// use. Disabled registries return an inert handle without locking.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            None => Histogram(None),
+            Some(inner) => {
+                let mut map = inner.histograms.lock().unwrap();
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistCell::new()));
+                Histogram(Some(Arc::clone(cell)))
+            }
+        }
+    }
+
+    /// Records one observation of `v` in the histogram `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        if self.enabled() {
+            self.histogram(name).observe(v);
+        }
+    }
+
+    /// Adds one completed interval of length `d` to the timing `name`.
+    pub fn record_duration(&self, name: &str, d: Duration) {
+        if let Some(inner) = &self.inner {
+            let mut map = inner.timings.lock().unwrap();
+            let cell = map.entry(name.to_string()).or_default();
+            cell.count += 1;
+            cell.total += d;
+        }
+    }
+
+    /// Sets the free-form note `name` to `value` (last write wins).
+    /// Notes carry run metadata — benchmark names, seeds — and are
+    /// ignored by diff tooling.
+    pub fn note(&self, name: &str, value: &str) {
+        if let Some(inner) = &self.inner {
+            inner
+                .notes
+                .lock()
+                .unwrap()
+                .insert(name.to_string(), value.to_string());
+        }
+    }
+
+    /// Opens an RAII timing span named `name`. The span records its
+    /// wall-clock duration under its dotted path when dropped; spans
+    /// opened while another span is active *on the same thread* nest
+    /// under it (`outer` then `outer.inner`). Spans are per-thread and
+    /// LIFO: drop them in reverse open order on the thread that opened
+    /// them. Disabled registries never read the clock.
+    pub fn span(&self, name: &str) -> Span {
+        match &self.inner {
+            None => Span { active: None },
+            Some(_) => {
+                let path = SPAN_STACK.with(|stack| {
+                    let mut stack = stack.borrow_mut();
+                    let path = match stack.last() {
+                        Some(parent) => format!("{parent}.{name}"),
+                        None => name.to_string(),
+                    };
+                    stack.push(path.clone());
+                    path
+                });
+                Span {
+                    active: Some(SpanActive {
+                        registry: self.clone(),
+                        path,
+                        start: Instant::now(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Folds another registry's contents into this one: counters and
+    /// timings add, histograms add bucket-wise, notes overwrite. Both
+    /// registries stay usable; merging into a disabled registry is a
+    /// no-op.
+    pub fn merge_from(&self, other: &Registry) {
+        self.merge_prefixed(other, "");
+    }
+
+    /// Like [`Registry::merge_from`], but every name from `other` gains
+    /// `prefix` — how drivers file per-query registries under
+    /// `test.<name>.` while also merging an unprefixed run total.
+    pub fn merge_prefixed(&self, other: &Registry, prefix: &str) {
+        if !self.enabled() {
+            return;
+        }
+        let snap = other.snapshot();
+        for (name, v) in &snap.counters {
+            self.counter(&format!("{prefix}{name}")).add(*v);
+        }
+        for (name, t) in &snap.timings {
+            if let Some(inner) = &self.inner {
+                let mut map = inner.timings.lock().unwrap();
+                let cell = map.entry(format!("{prefix}{name}")).or_default();
+                cell.count += t.count;
+                cell.total += t.total;
+            }
+        }
+        for (name, h) in &snap.histograms {
+            if let Some(cell) = &self.histogram(&format!("{prefix}{name}")).0 {
+                for &(exp, n) in &h.buckets {
+                    cell.buckets[exp as usize].fetch_add(n, Ordering::Relaxed);
+                }
+                cell.count.fetch_add(h.count, Ordering::Relaxed);
+                cell.sum.fetch_add(h.sum, Ordering::Relaxed);
+            }
+        }
+        for (name, value) in &snap.notes {
+            self.note(&format!("{prefix}{name}"), value);
+        }
+    }
+
+    /// A point-in-time copy of everything recorded so far. Disabled
+    /// registries snapshot empty.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        if let Some(inner) = &self.inner {
+            for (name, cell) in inner.counters.lock().unwrap().iter() {
+                snap.counters
+                    .insert(name.clone(), cell.load(Ordering::Relaxed));
+            }
+            for (name, cell) in inner.timings.lock().unwrap().iter() {
+                snap.timings.insert(
+                    name.clone(),
+                    TimingSnap {
+                        count: cell.count,
+                        total: cell.total,
+                    },
+                );
+            }
+            for (name, cell) in inner.histograms.lock().unwrap().iter() {
+                let mut buckets = Vec::new();
+                for (exp, b) in cell.buckets.iter().enumerate() {
+                    let n = b.load(Ordering::Relaxed);
+                    if n > 0 {
+                        buckets.push((exp as u32, n));
+                    }
+                }
+                snap.histograms.insert(
+                    name.clone(),
+                    HistSnap {
+                        count: cell.count.load(Ordering::Relaxed),
+                        sum: cell.sum.load(Ordering::Relaxed),
+                        buckets,
+                    },
+                );
+            }
+            for (name, value) in inner.notes.lock().unwrap().iter() {
+                snap.notes.insert(name.clone(), value.clone());
+            }
+        }
+        snap
+    }
+
+    /// Shorthand for `self.snapshot().to_jsonl()`.
+    pub fn to_jsonl(&self) -> String {
+        self.snapshot().to_jsonl()
+    }
+
+    /// Shorthand for `self.snapshot().render_table()`.
+    pub fn render_table(&self) -> String {
+        self.snapshot().render_table()
+    }
+}
+
+struct SpanActive {
+    registry: Registry,
+    path: String,
+    start: Instant,
+}
+
+/// An open timing interval; see [`Registry::span`]. Records its
+/// duration into the registry when dropped.
+#[must_use = "a span records nothing unless it lives across the timed work"]
+pub struct Span {
+    active: Option<SpanActive>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let elapsed = active.start.elapsed();
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if stack.last() == Some(&active.path) {
+                    stack.pop();
+                } else if let Some(pos) = stack.iter().rposition(|p| p == &active.path) {
+                    // Out-of-order drop: remove this span's own entry,
+                    // leaving siblings alone.
+                    stack.remove(pos);
+                }
+            });
+            active.registry.record_duration(&active.path, elapsed);
+        }
+    }
+}
+
+/// A snapshotted timing: how many intervals completed and their total
+/// wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingSnap {
+    /// Completed intervals.
+    pub count: u64,
+    /// Sum of interval durations.
+    pub total: Duration,
+}
+
+/// A snapshotted histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistSnap {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-empty buckets as `(exponent, observations)`: exponent 0 is
+    /// the zero bucket, exponent `i >= 1` covers `[2^(i-1), 2^i)`.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// A point-in-time copy of a [`Registry`], ready for rendering,
+/// diffing, or assertions. All maps iterate in name order, so exports
+/// are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Timings by name.
+    pub timings: BTreeMap<String, TimingSnap>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistSnap>,
+    /// Notes by name.
+    pub notes: BTreeMap<String, String>,
+}
+
+impl Snapshot {
+    /// The counter `name`, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total seconds recorded under the timing `name`, or 0 when
+    /// absent.
+    pub fn timing_secs(&self, name: &str) -> f64 {
+        self.timings
+            .get(name)
+            .map_or(0.0, |t| t.total.as_secs_f64())
+    }
+
+    /// A copy keeping only entries whose name satisfies `keep`.
+    pub fn filtered(&self, mut keep: impl FnMut(&str) -> bool) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            timings: self
+                .timings
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            notes: self
+                .notes
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// The stats export schema: one JSON object per line, in a fixed
+    /// key order with no extraneous whitespace so line-oriented tools
+    /// (`scripts/bench_diff.sh`) can parse it with `sed`.
+    ///
+    /// ```text
+    /// {"kind":"note","name":"benchmark","value":"fig17"}
+    /// {"kind":"counter","name":"solver.conflicts","value":42}
+    /// {"kind":"timing","name":"time.solve","count":3,"total_secs":0.001234}
+    /// {"kind":"histogram","name":"learnt.len","count":5,"sum":17,"buckets":[[2,3],[3,2]]}
+    /// ```
+    ///
+    /// `counter` values (and histogram contents) are deterministic for
+    /// fixed-seed single-job runs; `timing` entries are wall-clock and
+    /// must be excluded from exact comparisons.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.notes {
+            out.push_str("{\"kind\":\"note\",\"name\":");
+            json::escape_into(&mut out, name);
+            out.push_str(",\"value\":");
+            json::escape_into(&mut out, value);
+            out.push_str("}\n");
+        }
+        for (name, value) in &self.counters {
+            out.push_str("{\"kind\":\"counter\",\"name\":");
+            json::escape_into(&mut out, name);
+            let _ = write!(out, ",\"value\":{value}}}");
+            out.push('\n');
+        }
+        for (name, t) in &self.timings {
+            out.push_str("{\"kind\":\"timing\",\"name\":");
+            json::escape_into(&mut out, name);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"total_secs\":{:.6}}}",
+                t.count,
+                t.total.as_secs_f64()
+            );
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("{\"kind\":\"histogram\",\"name\":");
+            json::escape_into(&mut out, name);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"sum\":{},\"buckets\":[",
+                h.count, h.sum
+            );
+            for (i, (exp, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{exp},{n}]");
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// A human-readable rendering: one aligned section per kind, names
+    /// alphabetical. Empty sections are omitted; an empty snapshot
+    /// renders as the empty string.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.notes.is_empty() {
+            let w = self.notes.keys().map(|k| k.len()).max().unwrap_or(0);
+            out.push_str("notes\n");
+            for (name, value) in &self.notes {
+                let _ = writeln!(out, "  {name:<w$}  {value}");
+            }
+        }
+        if !self.counters.is_empty() {
+            let w = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            let vw = self
+                .counters
+                .values()
+                .map(|v| v.to_string().len())
+                .max()
+                .unwrap_or(0);
+            out.push_str("counters\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<w$}  {value:>vw$}");
+            }
+        }
+        if !self.timings.is_empty() {
+            let w = self.timings.keys().map(|k| k.len()).max().unwrap_or(0);
+            out.push_str("timings\n");
+            for (name, t) in &self.timings {
+                let _ = writeln!(
+                    out,
+                    "  {name:<w$}  {:>6} x  {:>12.6}s",
+                    t.count,
+                    t.total.as_secs_f64()
+                );
+            }
+        }
+        if !self.histograms.is_empty() {
+            let w = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            out.push_str("histograms\n");
+            for (name, h) in &self.histograms {
+                let mean = if h.count == 0 {
+                    0.0
+                } else {
+                    h.sum as f64 / h.count as f64
+                };
+                let _ = write!(
+                    out,
+                    "  {name:<w$}  n={} sum={} mean={mean:.1} buckets=",
+                    h.count, h.sum
+                );
+                for (i, (exp, n)) in h.buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    let lo: u128 = if *exp == 0 { 0 } else { 1u128 << (exp - 1) };
+                    let _ = write!(out, "{lo}+:{n}");
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        assert!(!reg.enabled());
+        let c = reg.counter("x");
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        reg.add("x", 5);
+        reg.observe("h", 3);
+        reg.record_duration("t", Duration::from_millis(1));
+        reg.note("n", "v");
+        {
+            let _s = reg.span("outer");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap, Snapshot::default());
+        assert_eq!(reg.to_jsonl(), "");
+        assert_eq!(reg.render_table(), "");
+    }
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let reg = Registry::new();
+        let a = reg.counter("solver.conflicts");
+        let b = reg.counter("solver.conflicts");
+        a.add(3);
+        b.incr();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.snapshot().counter("solver.conflicts"), 4);
+        assert_eq!(reg.snapshot().counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        let reg = Registry::new();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            reg.observe("sizes", v);
+        }
+        let snap = reg.snapshot();
+        let h = &snap.histograms["sizes"];
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1034);
+        assert_eq!(h.buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1)]);
+    }
+
+    #[test]
+    fn spans_record_nested_paths() {
+        let reg = Registry::new();
+        {
+            let _outer = reg.span("translate");
+            {
+                let _inner = reg.span("encode");
+            }
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.timings["translate"].count, 1);
+        assert_eq!(snap.timings["translate.encode"].count, 1);
+        // The stack unwound: a new span is top-level again.
+        {
+            let _again = reg.span("solve");
+        }
+        assert_eq!(reg.snapshot().timings["solve"].count, 1);
+    }
+
+    #[test]
+    fn merge_prefixed_files_under_prefix() {
+        let per_query = Registry::new();
+        per_query.add("solver.conflicts", 7);
+        per_query.observe("learnt.len", 4);
+        per_query.record_duration("time.solve", Duration::from_millis(2));
+        per_query.note("verdict", "Unsat");
+
+        let total = Registry::new();
+        total.merge_from(&per_query);
+        total.merge_prefixed(&per_query, "test.MP.");
+
+        let snap = total.snapshot();
+        assert_eq!(snap.counter("solver.conflicts"), 7);
+        assert_eq!(snap.counter("test.MP.solver.conflicts"), 7);
+        assert_eq!(snap.histograms["test.MP.learnt.len"].sum, 4);
+        assert_eq!(snap.timings["test.MP.time.solve"].count, 1);
+        assert_eq!(snap.notes["test.MP.verdict"], "Unsat");
+
+        // Merging into a disabled registry is a no-op.
+        let off = Registry::disabled();
+        off.merge_from(&per_query);
+        assert_eq!(off.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn jsonl_schema_is_stable() {
+        let reg = Registry::new();
+        reg.note("benchmark", "demo");
+        reg.add("a.count", 2);
+        reg.record_duration("t", Duration::from_micros(1500));
+        reg.observe("h", 3);
+        let jsonl = reg.to_jsonl();
+        assert_eq!(
+            jsonl,
+            "{\"kind\":\"note\",\"name\":\"benchmark\",\"value\":\"demo\"}\n\
+             {\"kind\":\"counter\",\"name\":\"a.count\",\"value\":2}\n\
+             {\"kind\":\"timing\",\"name\":\"t\",\"count\":1,\"total_secs\":0.001500}\n\
+             {\"kind\":\"histogram\",\"name\":\"h\",\"count\":1,\"sum\":3,\"buckets\":[[2,1]]}\n"
+        );
+    }
+
+    #[test]
+    fn filtered_keeps_matching_names() {
+        let reg = Registry::new();
+        reg.add("total.x", 1);
+        reg.add("test.MP.x", 2);
+        let snap = reg.snapshot().filtered(|n| !n.starts_with("test."));
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counter("total.x"), 1);
+    }
+
+    #[test]
+    fn child_mirrors_enablement() {
+        assert!(Registry::new().child().enabled());
+        assert!(!Registry::disabled().child().enabled());
+    }
+}

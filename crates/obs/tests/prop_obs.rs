@@ -1,0 +1,180 @@
+//! Property tests for the observability registry: span nesting under
+//! threads, and counter monotonicity/additivity under the merge path
+//! the worker-pool harness uses to fold per-query registries into a
+//! run total.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use obs::Registry;
+use testkit::{forall, Rng};
+
+const COUNTER_NAMES: &[&str] = &[
+    "solver.propagations",
+    "solver.conflicts",
+    "circuit.gates",
+    "harness.queries",
+];
+
+/// Randomly bump counters on `reg`, returning the per-name totals.
+fn random_bumps(reg: &Registry, rng: &mut Rng) -> BTreeMap<String, u64> {
+    let mut expected: BTreeMap<String, u64> = BTreeMap::new();
+    for _ in 0..rng.range(1, 40) {
+        let name = COUNTER_NAMES[rng.index(COUNTER_NAMES.len())];
+        let n = rng.below(1000);
+        reg.add(name, n);
+        *expected.entry(name.to_string()).or_default() += n;
+    }
+    expected
+}
+
+#[test]
+fn merged_counters_are_exactly_additive() {
+    forall("obs.merge_additive", 200, |rng| {
+        let a = Registry::new();
+        let b = Registry::new();
+        let ea = random_bumps(&a, rng);
+        let eb = random_bumps(&b, rng);
+
+        // The harness worker-pool shape: fold per-query registries into
+        // a shared total, in either order.
+        let total = Registry::new();
+        if rng.flip() {
+            total.merge_from(&a);
+            total.merge_from(&b);
+        } else {
+            total.merge_from(&b);
+            total.merge_from(&a);
+        }
+
+        let snap = total.snapshot();
+        let mut want: BTreeMap<String, u64> = ea;
+        for (k, v) in eb {
+            *want.entry(k).or_default() += v;
+        }
+        assert_eq!(snap.counters, want, "merge must be exactly additive");
+
+        // Sources are unharmed and snapshots agree with what we bumped.
+        for (k, v) in &snap.counters {
+            assert_eq!(
+                a.snapshot().counter(k) + b.snapshot().counter(k),
+                *v,
+                "sources changed by merge"
+            );
+        }
+    });
+}
+
+#[test]
+fn counters_are_monotone_under_concurrent_bumps() {
+    forall("obs.monotone", 20, |rng| {
+        let reg = Registry::new();
+        let threads = rng.range(2, 5) as usize;
+        let bumps = rng.range(10, 200);
+        let stop = Arc::new(AtomicU64::new(0));
+
+        // A reader thread snapshots concurrently and asserts that every
+        // counter only ever grows.
+        let reader = {
+            let reg = reg.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last: BTreeMap<String, u64> = BTreeMap::new();
+                while stop.load(Ordering::Acquire) == 0 {
+                    let snap = reg.snapshot();
+                    for (name, v) in &snap.counters {
+                        let prev = last.get(name).copied().unwrap_or(0);
+                        assert!(*v >= prev, "counter {name} went backwards: {prev} -> {v}");
+                    }
+                    last = snap.counters;
+                }
+            })
+        };
+
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.counter("solver.propagations");
+                    for _ in 0..bumps {
+                        c.incr();
+                        reg.add("harness.queries", t as u64 + 1);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(1, Ordering::Release);
+        reader.join().unwrap();
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("solver.propagations"), threads as u64 * bumps);
+        let sum_ids: u64 = (1..=threads as u64).sum();
+        assert_eq!(snap.counter("harness.queries"), sum_ids * bumps);
+    });
+}
+
+#[test]
+fn spans_nest_per_thread_without_cross_talk() {
+    forall("obs.span_nesting", 30, |rng| {
+        let reg = Registry::new();
+        let threads = rng.range(2, 6) as usize;
+        let reps = rng.range(1, 8);
+
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..reps {
+                        let _outer = reg.span("outer");
+                        {
+                            let _mid = reg.span("mid");
+                            let _leaf = reg.span("leaf");
+                        }
+                        // Sibling after the nested pair closed: still a
+                        // direct child of `outer`.
+                        let _sib = reg.span("sib");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let snap = reg.snapshot();
+        let expect = threads as u64 * reps;
+        let paths: Vec<&str> = snap.timings.keys().map(String::as_str).collect();
+        assert_eq!(
+            paths,
+            vec!["outer", "outer.mid", "outer.mid.leaf", "outer.sib"],
+            "span paths must reflect per-thread nesting only"
+        );
+        for (path, t) in &snap.timings {
+            assert_eq!(t.count, expect, "span {path} count");
+        }
+    });
+}
+
+#[test]
+fn merge_prefixed_composes_with_totals() {
+    forall("obs.merge_prefixed", 100, |rng| {
+        let total = Registry::new();
+        let mut want_total: BTreeMap<String, u64> = BTreeMap::new();
+        let queries = rng.range(1, 6);
+        for q in 0..queries {
+            let per_query = Registry::new();
+            let bumped = random_bumps(&per_query, rng);
+            total.merge_from(&per_query);
+            total.merge_prefixed(&per_query, &format!("test.q{q}."));
+            for (k, v) in bumped {
+                *want_total.entry(k.clone()).or_default() += v;
+                *want_total.entry(format!("test.q{q}.{k}")).or_default() += v;
+            }
+        }
+        assert_eq!(total.snapshot().counters, want_total);
+    });
+}

@@ -47,13 +47,15 @@ impl ProofStep {
 #[derive(Debug, Clone, Default)]
 pub struct Proof {
     steps: Vec<ProofStep>,
+    drat_bytes: u64,
 }
 
 impl Proof {
     /// Builds a proof from explicit steps (used by tests to construct
     /// corrupted proofs; the solver builds proofs internally).
     pub fn from_steps(steps: Vec<ProofStep>) -> Proof {
-        Proof { steps }
+        let drat_bytes = steps.iter().map(step_drat_bytes).sum();
+        Proof { steps, drat_bytes }
     }
 
     /// All steps, oldest first.
@@ -105,16 +107,29 @@ impl Proof {
         })
     }
 
+    /// The size in bytes of the [`Proof::to_drat`] serialization,
+    /// maintained incrementally so observability counters never pay
+    /// for building the text form. `Input` steps contribute nothing,
+    /// exactly as in `to_drat`.
+    pub fn drat_bytes(&self) -> u64 {
+        self.drat_bytes
+    }
+
     pub(crate) fn push_input(&mut self, lits: &[Lit]) {
-        self.steps.push(ProofStep::Input(lits.to_vec()));
+        self.push(ProofStep::Input(lits.to_vec()));
     }
 
     pub(crate) fn push_derive(&mut self, lits: &[Lit]) {
-        self.steps.push(ProofStep::Derive(lits.to_vec()));
+        self.push(ProofStep::Derive(lits.to_vec()));
     }
 
     pub(crate) fn push_delete(&mut self, lits: &[Lit]) {
-        self.steps.push(ProofStep::Delete(lits.to_vec()));
+        self.push(ProofStep::Delete(lits.to_vec()));
+    }
+
+    fn push(&mut self, step: ProofStep) {
+        self.drat_bytes += step_drat_bytes(&step);
+        self.steps.push(step);
     }
 
     /// The derivation/deletion part in standard DRAT text format: one
@@ -164,6 +179,23 @@ impl Proof {
     }
 }
 
+/// Bytes the step contributes to [`Proof::to_drat`]: the clause line
+/// for `Derive`/`Delete` (with its `d ` prefix), nothing for `Input`.
+fn step_drat_bytes(step: &ProofStep) -> u64 {
+    let (prefix, lits) = match step {
+        ProofStep::Input(_) => return 0,
+        ProofStep::Derive(c) => (0u64, c),
+        ProofStep::Delete(c) => (2u64, c),
+    };
+    // Each literal renders as its signed decimal plus a space; the line
+    // ends with "0\n".
+    let lit_bytes: u64 = lits
+        .iter()
+        .map(|l| l.to_dimacs().to_string().len() as u64 + 1)
+        .sum();
+    prefix + lit_bytes + 2
+}
+
 fn push_clause_line(out: &mut String, prefix: &str, lits: &[Lit]) {
     out.push_str(prefix);
     for &l in lits {
@@ -196,5 +228,18 @@ mod tests {
         assert_eq!(proof.num_deletions(), 1);
         assert_eq!(proof.last_derived(), Some(&[][..]));
         assert_eq!(proof.steps()[0].lits(), &[lit(1), lit(2)]);
+        assert_eq!(proof.drat_bytes(), proof.to_drat().len() as u64);
+    }
+
+    #[test]
+    fn drat_bytes_tracks_serialized_size() {
+        let mut proof = Proof::default();
+        assert_eq!(proof.drat_bytes(), 0);
+        proof.push_input(&[lit(1), lit(-2)]);
+        assert_eq!(proof.drat_bytes(), 0, "inputs are not part of the proof");
+        proof.push_derive(&[lit(-10), lit(256)]);
+        proof.push_delete(&[lit(1), lit(-2)]);
+        proof.push_derive(&[]);
+        assert_eq!(proof.drat_bytes(), proof.to_drat().len() as u64);
     }
 }

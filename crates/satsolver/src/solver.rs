@@ -44,6 +44,12 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Number of restarts performed.
     pub restarts: u64,
+    /// Number of clauses learnt from conflict analysis.
+    pub learnt_clauses: u64,
+    /// Total literals across all learnt clauses.
+    pub learnt_literals: u64,
+    /// Number of learnt-database reduction sweeps.
+    pub reduce_sweeps: u64,
     /// Number of learnt clauses deleted by database reduction.
     pub deleted_clauses: u64,
 }
@@ -355,6 +361,8 @@ impl Solver {
                     }
                 }
                 let (learnt, backtrack_level) = self.analyze(confl);
+                self.stats.learnt_clauses += 1;
+                self.stats.learnt_literals += learnt.len() as u64;
                 self.log_derive(&learnt);
                 self.cancel_until(backtrack_level);
                 if learnt.len() == 1 {
@@ -793,6 +801,7 @@ impl Solver {
     /// Deletes the lower-activity half of the learnt clauses, keeping
     /// clauses that are reasons on the current trail.
     fn reduce_db(&mut self) {
+        self.stats.reduce_sweeps += 1;
         let mut learnt: Vec<ClauseRef> = self.db.iter_learnt().collect();
         learnt.sort_by(|&a, &b| {
             self.db

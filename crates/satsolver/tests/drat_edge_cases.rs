@@ -1,0 +1,145 @@
+//! Negative and corner-case coverage for the independent DRAT checker:
+//! the empty clause arriving as an *input*, deletions of clauses that
+//! were never added (including double deletion and normalization), the
+//! interaction of `expect_core` with later `absorb` calls, and valid
+//! proofs that certify the wrong assumption core.
+
+use satsolver::drat::{certify_unsat, check_proof, Checker, DratError};
+use satsolver::{Lit, Proof, ProofStep};
+
+fn lit(d: i64) -> Lit {
+    Lit::from_dimacs(d)
+}
+
+fn proof(steps: Vec<ProofStep>) -> Proof {
+    Proof::from_steps(steps)
+}
+
+#[test]
+fn empty_input_clause_refutes_immediately() {
+    // An empty clause among the inputs is an axiom-level contradiction:
+    // the checker is refuted before any derivation, and every subsequent
+    // derivation (and any claimed core) is vacuously certified.
+    let p = proof(vec![
+        ProofStep::Input(vec![lit(1), lit(2)]),
+        ProofStep::Input(vec![]),
+        // Not RUP on its own merits — only admissible because the active
+        // set is already refuted.
+        ProofStep::Derive(vec![lit(7)]),
+    ]);
+    let outcome = check_proof(&p).expect("refuted set accepts anything");
+    assert!(outcome.refuted);
+    assert_eq!(outcome.inputs, 2);
+    assert_eq!(outcome.derivations, 1);
+    certify_unsat(&p, &[]).expect("empty core vacuously certified");
+    certify_unsat(&p, &[lit(5)]).expect("any core vacuously certified");
+}
+
+#[test]
+fn empty_input_clause_alone_is_a_refutation() {
+    let p = proof(vec![ProofStep::Input(vec![])]);
+    let mut checker = Checker::new();
+    checker.absorb(&p).expect("inputs are axioms");
+    assert!(checker.refuted());
+    assert!(checker.last_derived().is_none());
+}
+
+#[test]
+fn deleting_a_never_added_clause_is_rejected_even_when_implied() {
+    // (1) is implied by the input (it IS the closure of the unit), but
+    // the clause (1 ∨ 1) normalizes to (1) while (1 ∨ 2) was never
+    // added; deletion must match an *added* clause, not a consequence.
+    let p = proof(vec![
+        ProofStep::Input(vec![lit(1)]),
+        ProofStep::Delete(vec![lit(1), lit(2)]),
+    ]);
+    match check_proof(&p) {
+        Err(DratError::DeleteMissing { step: 1, clause }) => {
+            assert_eq!(clause, vec![lit(1), lit(2)]);
+        }
+        other => panic!("expected DeleteMissing at step 1, got {other:?}"),
+    }
+}
+
+#[test]
+fn double_deletion_of_a_single_copy_is_rejected() {
+    // The clause was added once; the first delete (in permuted,
+    // duplicated literal order — deletion works on the normalized form)
+    // consumes it, the second must fail.
+    let p = proof(vec![
+        ProofStep::Input(vec![lit(1), lit(2)]),
+        ProofStep::Delete(vec![lit(2), lit(1), lit(2)]),
+        ProofStep::Delete(vec![lit(1), lit(2)]),
+    ]);
+    match check_proof(&p) {
+        Err(DratError::DeleteMissing { step: 2, .. }) => {}
+        other => panic!("expected DeleteMissing at step 2, got {other:?}"),
+    }
+}
+
+#[test]
+fn expect_core_tracks_the_latest_absorbed_derivation() {
+    // Session-style usage: absorb, certify a core, absorb more, certify
+    // the next core. After the second absorb the first core no longer
+    // matches — expect_core always speaks about the *latest* derivation,
+    // so callers must interleave absorb/expect_core in query order.
+    let a = lit(1);
+    let b = lit(2);
+    let x = lit(3);
+    let mut steps = vec![
+        ProofStep::Input(vec![!a, x]),
+        ProofStep::Input(vec![!b, !x]),
+        ProofStep::Derive(vec![!a, !b]),
+    ];
+    let mut checker = Checker::new();
+    checker.absorb(&proof(steps.clone())).expect("valid prefix");
+    checker.expect_core(&[a, b]).expect("first core certified");
+
+    steps.push(ProofStep::Derive(vec![!a, x]));
+    checker.absorb(&proof(steps.clone())).expect("valid suffix");
+    checker
+        .expect_core(&[a, !x])
+        .expect("second core certified");
+    match checker.expect_core(&[a, b]) {
+        Err(DratError::CoreMismatch { expected, found }) => {
+            let mut want = vec![!a, !b];
+            want.sort_unstable();
+            assert_eq!(expected, want);
+            let mut latest = vec![!a, x];
+            latest.sort_unstable();
+            assert_eq!(found, Some(latest));
+        }
+        other => panic!("expected CoreMismatch for the stale core, got {other:?}"),
+    }
+}
+
+#[test]
+fn valid_proof_for_the_wrong_core_is_rejected() {
+    // Every step is RUP-valid, so the proof itself checks — but the
+    // final derivation certifies core {a, b}, not the claimed {a}: a
+    // correct derivation attached to the wrong query must not pass.
+    let a = lit(1);
+    let b = lit(2);
+    let x = lit(3);
+    let p = proof(vec![
+        ProofStep::Input(vec![!a, x]),
+        ProofStep::Input(vec![!b, !x]),
+        ProofStep::Derive(vec![!a, !b]),
+    ]);
+    check_proof(&p).expect("the proof itself is valid");
+    match certify_unsat(&p, &[a]) {
+        Err(DratError::CoreMismatch { expected, found }) => {
+            assert_eq!(expected, vec![!a]);
+            let mut latest = vec![!a, !b];
+            latest.sort_unstable();
+            assert_eq!(found, Some(latest));
+        }
+        other => panic!("expected CoreMismatch, got {other:?}"),
+    }
+    // And a proof with no derivations at all cannot certify any core.
+    let inputs_only = proof(vec![ProofStep::Input(vec![lit(1), lit(2)])]);
+    match certify_unsat(&inputs_only, &[]) {
+        Err(DratError::CoreMismatch { found: None, .. }) => {}
+        other => panic!("expected CoreMismatch with no derivation, got {other:?}"),
+    }
+}

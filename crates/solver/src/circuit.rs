@@ -291,6 +291,7 @@ pub struct CircuitEncoder {
     input_vars: HashMap<u32, Var>,
     gates_encoded: u64,
     cache_hits: u64,
+    tseitin_clauses: u64,
 }
 
 impl CircuitEncoder {
@@ -340,6 +341,7 @@ impl CircuitEncoder {
                     let v = solver.new_var();
                     let l = v.positive();
                     solver.add_clause(&[if matches!(gate, Gate::True) { l } else { !l }]);
+                    self.tseitin_clauses += 1;
                     l
                 }
                 Gate::Input(k) => {
@@ -361,6 +363,7 @@ impl CircuitEncoder {
                     solver.add_clause(&[!lit, la]);
                     solver.add_clause(&[!lit, lb]);
                     solver.add_clause(&[lit, !la, !lb]);
+                    self.tseitin_clauses += 3;
                 }
                 Gate::Or(a, b) => {
                     let (la, lb) = (
@@ -370,6 +373,7 @@ impl CircuitEncoder {
                     solver.add_clause(&[!lit, la, lb]);
                     solver.add_clause(&[lit, !la]);
                     solver.add_clause(&[lit, !lb]);
+                    self.tseitin_clauses += 3;
                 }
                 _ => {}
             }
@@ -413,6 +417,13 @@ impl CircuitEncoder {
     /// scratch translation would have repeated.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// Total Tseitin defining clauses this encoder has added to its
+    /// solver (three per binary gate, one per constant; `Not` gates are
+    /// literal negations and cost nothing).
+    pub fn tseitin_clauses(&self) -> u64 {
+        self.tseitin_clauses
     }
 }
 

@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 use relational::{Bounds, Formula, Instance, Schema, TypeError};
 use satsolver::{CancelToken, Interrupt, SolveResult, Solver, Var};
 
+use crate::circuit::CircuitEncoder;
 use crate::symmetry::{break_symmetries, symmetry_classes};
 use crate::translate::{translate, ClosureStrategy};
 
@@ -114,6 +115,12 @@ pub struct Report {
     pub sat_vars: usize,
     /// Clauses in the CNF.
     pub sat_clauses: usize,
+    /// Sparse matrix cells materialized during translation (for a
+    /// session query: cells this query added).
+    pub matrix_cells: u64,
+    /// Tseitin defining clauses emitted while encoding (for a session
+    /// query: clauses this query added).
+    pub tseitin_clauses: u64,
     /// Number of symmetry classes broken.
     pub symmetry_classes: usize,
     /// Time spent translating to CNF.
@@ -133,6 +140,43 @@ pub struct Report {
     /// proofs accumulate on the session instead). An `Unsat` verdict is
     /// certified by `satsolver::drat::certify_unsat(proof, &[])`.
     pub proof: Option<satsolver::Proof>,
+}
+
+impl Report {
+    /// Records this report's counters, timings, and size histograms
+    /// into an observability registry under the workspace's canonical
+    /// stat names (`circuit.*`, `sat.*`, `solver.*`, `time.*`). No-op
+    /// for a disabled registry. Counter values are deterministic for a
+    /// fixed problem; the `time.*` entries are wall clock and excluded
+    /// from exact comparisons by the JSONL schema.
+    pub fn record_obs(&self, reg: &obs::Registry) {
+        if !reg.enabled() {
+            return;
+        }
+        reg.add("circuit.gates", self.gates as u64);
+        reg.add("circuit.inputs", self.inputs as u64);
+        reg.add("circuit.matrix_cells", self.matrix_cells);
+        reg.add("circuit.gate_cache_hits", self.gate_cache_hits);
+        reg.add("sat.vars", self.sat_vars as u64);
+        reg.add("sat.clauses", self.sat_clauses as u64);
+        reg.add("sat.tseitin_clauses", self.tseitin_clauses);
+        reg.add("sym.classes", self.symmetry_classes as u64);
+        let s = &self.solver_stats;
+        reg.add("solver.propagations", s.propagations);
+        reg.add("solver.conflicts", s.conflicts);
+        reg.add("solver.decisions", s.decisions);
+        reg.add("solver.restarts", s.restarts);
+        reg.add("solver.learnt_clauses", s.learnt_clauses);
+        reg.add("solver.learnt_literals", s.learnt_literals);
+        reg.add("solver.reduce_sweeps", s.reduce_sweeps);
+        reg.add("solver.deleted_clauses", s.deleted_clauses);
+        if let Some(proof) = &self.proof {
+            reg.add("proof.drat_bytes", proof.drat_bytes());
+        }
+        reg.observe("hist.sat_clauses", self.sat_clauses as u64);
+        reg.record_duration("time.translate", self.translate_time);
+        reg.record_duration("time.solve", self.solve_time);
+    }
 }
 
 /// A model finder for bounded relational problems.
@@ -204,11 +248,16 @@ impl ModelFinder {
         solver.set_propagation_budget(self.options.propagation_budget);
         solver.set_deadline(deadline);
         solver.set_cancel_token(self.options.cancel.clone());
-        let input_vars = translation.circuit.to_solver(root, &mut solver);
+        let mut encoder = CircuitEncoder::new();
+        let root_lit = encoder.encode(&translation.circuit, root, &mut solver);
+        solver.add_clause(&[root_lit]);
+        let input_vars = encoder.input_vars();
         report.gates = translation.circuit.num_gates();
         report.inputs = translation.circuit.num_inputs();
         report.sat_vars = solver.num_vars();
         report.sat_clauses = solver.num_clauses();
+        report.matrix_cells = translation.matrix_cells;
+        report.tseitin_clauses = encoder.tseitin_clauses();
         report.translate_time = t0.elapsed();
 
         // The deadline covers translation too; if it already passed (or
@@ -245,7 +294,7 @@ impl ModelFinder {
                 &problem.schema,
                 &problem.bounds,
                 &translation.rel_inputs,
-                &input_vars,
+                input_vars,
                 &solver,
             )),
         };

@@ -40,6 +40,11 @@ pub struct QueryCtx {
     pub cancel: CancelToken,
     /// The per-query wall-clock budget, if one is configured.
     pub timeout: Option<Duration>,
+    /// This query's private observability registry. Enabled exactly
+    /// when [`HarnessOptions::obs`] is enabled; whatever the job records
+    /// here is merged into that parent registry when the query finishes
+    /// (the per-query contents survive on [`QueryRecord::obs`]).
+    pub obs: obs::Registry,
 }
 
 /// What a query reports back when it completes on its own.
@@ -102,6 +107,10 @@ pub struct QueryRecord {
     pub wall: Duration,
     /// Free-form extra information.
     pub detail: Option<String>,
+    /// The query's observability registry (disabled/empty unless
+    /// [`HarnessOptions::obs`] was enabled). Holds only this query's
+    /// counters; the harness has already merged them into the parent.
+    pub obs: obs::Registry,
 }
 
 impl QueryRecord {
@@ -130,20 +139,11 @@ impl QueryRecord {
 }
 
 /// Appends `value` to `out` as a JSON string literal with escaping.
+///
+/// Delegates to [`obs::json::escape_into`], the workspace's one JSON
+/// string encoder (round-trip tested against [`obs::json::unescape`]).
 pub fn json_string(out: &mut String, value: &str) {
-    out.push('"');
-    for c in value.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    obs::json::escape_into(out, value);
 }
 
 /// A keyed checkout/checkin pool of reusable per-worker state —
@@ -217,6 +217,12 @@ pub struct HarnessOptions {
     /// How long after firing a query's cancel token the dispatcher waits
     /// before abandoning the worker running it.
     pub grace: Duration,
+    /// Parent observability registry. Disabled (the default) costs
+    /// nothing; when enabled, every query gets a fresh child registry
+    /// in its [`QueryCtx`] whose contents are merged here as the query
+    /// finishes. Merge order follows completion order, so run totals
+    /// are deterministic for single-job runs.
+    pub obs: obs::Registry,
 }
 
 impl Default for HarnessOptions {
@@ -225,6 +231,7 @@ impl Default for HarnessOptions {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             timeout: None,
             grace: Duration::from_secs(2),
+            obs: obs::Registry::disabled(),
         }
     }
 }
@@ -245,7 +252,7 @@ pub fn run_queries(
         return queries
             .into_iter()
             .map(|q| {
-                let rec = run_one(q, options.timeout);
+                let rec = run_one(q, options.timeout, &options.obs);
                 on_record(&rec);
                 rec
             })
@@ -265,9 +272,11 @@ pub fn run_queries(
         let queue = Arc::clone(&queue);
         let inflight = Arc::clone(&inflight);
         let timeout = options.timeout;
+        let parent_obs = options.obs.clone();
         move |tx: mpsc::Sender<(usize, QueryRecord)>| {
             let queue = Arc::clone(&queue);
             let inflight = Arc::clone(&inflight);
+            let parent_obs = parent_obs.clone();
             std::thread::spawn(move || loop {
                 let Some((idx, query)) = queue.lock().unwrap().pop_front() else {
                     return;
@@ -275,7 +284,7 @@ pub fn run_queries(
                 let token = CancelToken::new();
                 let start = Instant::now();
                 inflight.lock().unwrap().insert(idx, (start, token.clone()));
-                let rec = execute(query, token.clone(), timeout, start);
+                let rec = execute(query, token.clone(), timeout, start, &parent_obs);
                 let still_ours = inflight.lock().unwrap().remove(&idx).is_some();
                 if !still_ours {
                     // The dispatcher abandoned this query (and spawned a
@@ -332,6 +341,10 @@ pub fn run_queries(
             // The worker ignored its token past the grace period: record
             // the timeout, replace the worker, leave the thread behind.
             if slots[idx].is_none() {
+                let obs = options.obs.child();
+                obs.add("harness.queries", 1);
+                obs.add("harness.timeouts", 1);
+                options.obs.merge_from(&obs);
                 let rec = QueryRecord {
                     name: names[idx].clone(),
                     verdict: "Unknown".to_string(),
@@ -341,6 +354,7 @@ pub fn run_queries(
                     conflicts: 0,
                     wall: now - start,
                     detail: Some("abandoned: deadline and grace period expired".to_string()),
+                    obs,
                 };
                 on_record(&rec);
                 slots[idx] = Some(rec);
@@ -357,21 +371,24 @@ pub fn run_queries(
 }
 
 /// Runs one query inline (the sequential path).
-fn run_one(query: Query, timeout: Option<Duration>) -> QueryRecord {
+fn run_one(query: Query, timeout: Option<Duration>, parent_obs: &obs::Registry) -> QueryRecord {
     let token = CancelToken::new();
-    execute(query, token, timeout, Instant::now())
+    execute(query, token, timeout, Instant::now(), parent_obs)
 }
 
-/// Executes a query body, converting panics into `Unknown` records.
+/// Executes a query body, converting panics into `Unknown` records, and
+/// merges the query's registry into the parent.
 fn execute(
     query: Query,
     token: CancelToken,
     timeout: Option<Duration>,
     start: Instant,
+    parent_obs: &obs::Registry,
 ) -> QueryRecord {
     let ctx = QueryCtx {
         cancel: token.clone(),
         timeout,
+        obs: parent_obs.child(),
     };
     let name = query.name.clone();
     let outcome = catch_unwind(AssertUnwindSafe(|| (query.run)(&ctx)));
@@ -379,6 +396,15 @@ fn execute(
     // The solver may observe its own deadline and return just before the
     // supervisor cancels the token — count that as a timeout too.
     let timed_out = token.is_cancelled() || timeout.is_some_and(|t| wall >= t);
+    ctx.obs.add("harness.queries", 1);
+    if timed_out {
+        ctx.obs.add("harness.timeouts", 1);
+    }
+    if outcome.is_err() {
+        ctx.obs.add("harness.panics", 1);
+    }
+    ctx.obs.record_duration("time.query_wall", wall);
+    parent_obs.merge_from(&ctx.obs);
     match outcome {
         Ok(out) => QueryRecord {
             name,
@@ -389,6 +415,7 @@ fn execute(
             conflicts: out.conflicts,
             wall,
             detail: out.detail,
+            obs: ctx.obs,
         },
         Err(payload) => {
             let msg = payload
@@ -405,6 +432,7 @@ fn execute(
                 conflicts: 0,
                 wall,
                 detail: Some(format!("panic: {msg}")),
+                obs: ctx.obs,
             }
         }
     }

@@ -49,6 +49,29 @@ pub struct SessionStats {
     /// Gates found already encoded by an earlier query — translation work
     /// a scratch run would have repeated.
     pub gate_cache_hits: u64,
+    /// Sparse matrix cells materialized by the session's translator.
+    pub matrix_cells: u64,
+    /// Tseitin defining clauses emitted by the session's encoder.
+    pub tseitin_clauses: u64,
+}
+
+impl SessionStats {
+    /// Records these cumulative counters and timings into an
+    /// observability registry under `session.*`/`time.*` names. No-op
+    /// for a disabled registry.
+    pub fn record_obs(&self, reg: &obs::Registry) {
+        if !reg.enabled() {
+            return;
+        }
+        reg.add("session.queries", self.queries);
+        reg.add("session.gates_encoded", self.gates_encoded);
+        reg.add("session.gate_cache_hits", self.gate_cache_hits);
+        reg.add("session.matrix_cells", self.matrix_cells);
+        reg.add("session.tseitin_clauses", self.tseitin_clauses);
+        reg.record_duration("time.session_translate", self.translate_time);
+        reg.record_duration("time.session_encode", self.encode_time);
+        reg.record_duration("time.session_solve", self.solve_time);
+    }
 }
 
 /// An incremental model-finding session over one (schema, bounds, base
@@ -163,6 +186,8 @@ impl Session {
         SessionStats {
             gates_encoded: self.encoder.gates_encoded(),
             gate_cache_hits: self.encoder.cache_hits(),
+            matrix_cells: self.translator.matrix_cells(),
+            tseitin_clauses: self.encoder.tseitin_clauses(),
             ..self.stats
         }
     }
@@ -182,12 +207,14 @@ impl Session {
         let deadline = self.options.deadline.map(|d| t0 + d);
         self.stats.queries += 1;
 
+        let cells_before = self.translator.matrix_cells();
         let query_root = self.translator.formula(formula)?;
         let translate_time = t0.elapsed();
         self.stats.translate_time += translate_time;
 
         let t1 = Instant::now();
         let hits_before = self.encoder.cache_hits();
+        let tseitin_before = self.encoder.tseitin_clauses();
         let root_lit = self
             .encoder
             .encode(self.translator.circuit(), query_root, &mut self.solver);
@@ -203,6 +230,8 @@ impl Session {
             symmetry_classes: self.num_symmetry_classes,
             translate_time,
             gate_cache_hits: self.encoder.cache_hits() - hits_before,
+            matrix_cells: self.translator.matrix_cells() - cells_before,
+            tseitin_clauses: self.encoder.tseitin_clauses() - tseitin_before,
             ..Report::default()
         };
 
@@ -409,6 +438,9 @@ fn stats_delta(before: SolverStats, after: SolverStats) -> SolverStats {
         decisions: after.decisions - before.decisions,
         propagations: after.propagations - before.propagations,
         restarts: after.restarts - before.restarts,
+        learnt_clauses: after.learnt_clauses - before.learnt_clauses,
+        learnt_literals: after.learnt_literals - before.learnt_literals,
+        reduce_sweeps: after.reduce_sweeps - before.reduce_sweeps,
         deleted_clauses: after.deleted_clauses - before.deleted_clauses,
     }
 }

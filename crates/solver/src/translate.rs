@@ -81,6 +81,10 @@ pub struct Translation {
     pub root: GateId,
     /// For each relation id: tuple → circuit input index.
     pub rel_inputs: Vec<BTreeMap<Tuple, u32>>,
+    /// Sparse matrix cells materialized while translating (relation
+    /// allocation plus every operator result); see
+    /// [`IncrementalTranslator::matrix_cells`].
+    pub matrix_cells: u64,
 }
 
 /// Translates `formula` under `bounds` into a boolean circuit.
@@ -101,6 +105,7 @@ pub fn translate(
         circuit: tr.inner.circuit,
         root,
         rel_inputs: tr.inner.rel_inputs,
+        matrix_cells: tr.inner.cells,
     })
 }
 
@@ -134,6 +139,7 @@ impl IncrementalTranslator {
             rel_inputs: Vec::new(),
             env: HashMap::new(),
             strategy,
+            cells: 0,
         };
         inner.allocate_relations();
         IncrementalTranslator { inner }
@@ -181,6 +187,15 @@ impl IncrementalTranslator {
     pub fn bounds(&self) -> &Bounds {
         &self.inner.bounds
     }
+
+    /// Cumulative count of sparse matrix cells materialized by this
+    /// translator: the relation matrices allocated at construction plus
+    /// every entry of every operator result (union, join, closure
+    /// squaring steps, …). A measure of translation-side work that is
+    /// deterministic for a fixed (schema, bounds, formula) sequence.
+    pub fn matrix_cells(&self) -> u64 {
+        self.inner.cells
+    }
 }
 
 #[derive(Debug)]
@@ -192,6 +207,9 @@ struct Translator {
     rel_inputs: Vec<BTreeMap<Tuple, u32>>,
     env: HashMap<VarId, Atom>,
     strategy: ClosureStrategy,
+    /// Matrix cells materialized so far; see
+    /// [`IncrementalTranslator::matrix_cells`].
+    cells: u64,
 }
 
 impl Translator {
@@ -211,9 +229,16 @@ impl Translator {
                 };
                 m.entries.insert(t.clone(), g);
             }
+            self.cells += m.entries.len() as u64;
             self.rel_matrices.push(m);
             self.rel_inputs.push(inputs);
         }
+    }
+
+    /// Notes a freshly materialized matrix for the cell counter.
+    fn built(&mut self, m: Matrix) -> Matrix {
+        self.cells += m.entries.len() as u64;
+        m
     }
 
     fn expr(&mut self, e: &Expr) -> Result<Matrix, TypeError> {
@@ -224,11 +249,20 @@ impl Translator {
                 let atom = *self.env.get(v).ok_or(TypeError::UnboundVar(*v))?;
                 let mut m = Matrix::empty(1);
                 m.entries.insert(Tuple::new(vec![atom]), self.circuit.tru());
-                m
+                self.built(m)
             }
-            Expr::Const(ts) => Matrix::constant(&mut self.circuit, ts),
-            Expr::Iden => Matrix::constant(&mut self.circuit, &TupleSet::iden(n)),
-            Expr::Univ => Matrix::constant(&mut self.circuit, &TupleSet::universe(n)),
+            Expr::Const(ts) => {
+                let m = Matrix::constant(&mut self.circuit, ts);
+                self.built(m)
+            }
+            Expr::Iden => {
+                let m = Matrix::constant(&mut self.circuit, &TupleSet::iden(n));
+                self.built(m)
+            }
+            Expr::Univ => {
+                let m = Matrix::constant(&mut self.circuit, &TupleSet::universe(n));
+                self.built(m)
+            }
             Expr::None(a) => Matrix::empty(*a),
             Expr::Union(a, b) => {
                 let (ma, mb) = (self.expr(a)?, self.expr(b)?);
@@ -256,7 +290,7 @@ impl Translator {
                 for (t, g) in ma.entries {
                     m.entries.insert(t.reversed(), g);
                 }
-                m
+                self.built(m)
             }
             Expr::Closure(a) => {
                 let ma = self.expr(a)?;
@@ -281,7 +315,7 @@ impl Translator {
             let merged = self.circuit.or(existing, g);
             m.insert(&self.circuit, t.clone(), merged);
         }
-        m
+        self.built(m)
     }
 
     fn intersect(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
@@ -291,7 +325,7 @@ impl Translator {
             let g = self.circuit.and(ga, gb);
             m.insert(&self.circuit, t.clone(), g);
         }
-        m
+        self.built(m)
     }
 
     fn difference(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
@@ -302,7 +336,7 @@ impl Translator {
             let g = self.circuit.and(ga, ngb);
             m.insert(&self.circuit, t.clone(), g);
         }
-        m
+        self.built(m)
     }
 
     fn join(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
@@ -332,7 +366,7 @@ impl Translator {
             let g = self.circuit.or_all(gates);
             m.insert(&self.circuit, t, g);
         }
-        m
+        self.built(m)
     }
 
     fn product(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
@@ -343,7 +377,7 @@ impl Translator {
                 m.insert(&self.circuit, ta.concat(tb), g);
             }
         }
-        m
+        self.built(m)
     }
 
     fn closure(&mut self, a: &Matrix) -> Matrix {
@@ -515,6 +549,22 @@ mod tests {
         let tr = translate(&schema, &bounds, &rel(r).some(), ClosureStrategy::default()).unwrap();
         assert!(tr.circuit.is_true(tr.root));
         assert_eq!(tr.rel_inputs[0].len(), 1); // only (1,0) is free
+    }
+
+    #[test]
+    fn matrix_cells_are_counted_and_deterministic() {
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let mut bounds = Bounds::new(&schema, 3);
+        bounds.bound_upper(r, TupleSet::universe(3).product(&TupleSet::universe(3)));
+        let f = rel(r)
+            .closure()
+            .intersect(&relational::ast::Expr::Iden)
+            .no();
+        let a = translate(&schema, &bounds, &f, ClosureStrategy::default()).unwrap();
+        let b = translate(&schema, &bounds, &f, ClosureStrategy::default()).unwrap();
+        assert!(a.matrix_cells > 9, "closure work must be counted");
+        assert_eq!(a.matrix_cells, b.matrix_cells);
     }
 
     #[test]

@@ -147,6 +147,7 @@ fn cooperative_query_times_out_promptly() {
             jobs: 2,
             timeout: Some(Duration::from_millis(200)),
             grace: Duration::from_secs(30),
+            ..HarnessOptions::default()
         },
         |_| {},
     );
@@ -182,6 +183,7 @@ fn uncooperative_query_is_abandoned_not_hung() {
             jobs: 1,
             timeout: Some(Duration::from_millis(100)),
             grace: Duration::from_millis(100),
+            ..HarnessOptions::default()
         },
         |_| {},
     );
@@ -233,6 +235,7 @@ fn json_records_are_well_formed() {
         conflicts: 5,
         wall: Duration::from_millis(1500),
         detail: Some("tab\there".to_string()),
+        obs: modelfinder::obs::Registry::disabled(),
     };
     let json = rec.to_json();
     assert_eq!(

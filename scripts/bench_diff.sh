@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Compares two obs stats snapshots (JSON Lines, as written by the
+# binaries' --stats-json / --bench-json flags) counter by counter and
+# flags regressions: any counter whose value grew beyond
+# BENCH_DIFF_MAX_RATIO (default 1.20, i.e. +20%) over the baseline.
+# Timings are ignored on purpose — wall clock is machine- and
+# load-dependent, while counters (propagations, conflicts, gates,
+# matrix cells, …) are deterministic workload measures for fixed-seed
+# single-job runs, so any counter growth is a real encoding or search
+# change, not noise.
+#
+# usage: bench_diff.sh <baseline.json> <current.json>
+# exit:  0 no regressions, 1 regressions found, 2 usage error
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: bench_diff.sh <baseline.json> <current.json>" >&2
+    exit 2
+fi
+baseline="$1"
+current="$2"
+max_ratio="${BENCH_DIFF_MAX_RATIO:-1.20}"
+
+# Extracts "name value" pairs from the counter records of a snapshot.
+extract_counters() {
+    sed -n 's/^{"kind":"counter","name":"\(.*\)","value":\([0-9][0-9]*\)}$/\1 \2/p' "$1"
+}
+
+awk -v max_ratio="$max_ratio" '
+    NR == FNR { base[$1] = $2; seen_base++; next }
+    { cur[$1] = $2 }
+    END {
+        regressions = 0
+        compared = 0
+        for (name in cur) {
+            if (!(name in base)) {
+                printf "new        %-56s %s\n", name, cur[name]
+                continue
+            }
+            b = base[name] + 0
+            c = cur[name] + 0
+            compared++
+            if (c > b && (b == 0 || c / b > max_ratio)) {
+                printf "REGRESSION %-56s %s -> %s\n", name, b, c
+                regressions++
+            } else if (c != b) {
+                printf "changed    %-56s %s -> %s\n", name, b, c
+            }
+        }
+        for (name in base) {
+            if (!(name in cur)) {
+                printf "dropped    %-56s %s\n", name, base[name]
+            }
+        }
+        if (regressions > 0) {
+            printf "bench_diff: %d regression(s) across %d compared counters (threshold %.2fx)\n", \
+                regressions, compared, max_ratio
+            exit 1
+        }
+        printf "bench_diff: no regressions across %d compared counters (threshold %.2fx)\n", \
+            compared, max_ratio
+    }
+' <(extract_counters "$baseline") <(extract_counters "$current")

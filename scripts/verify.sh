@@ -18,15 +18,50 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+smoke_json="$(mktemp)"
+stats_a="$(mktemp)"
+stats_b="$(mktemp)"
+stats_inflated="$(mktemp)"
+trap 'rm -f "$smoke_json" "$stats_a" "$stats_b" "$stats_inflated"' EXIT
+
 # Fast incremental-equivalence smoke: at bound 3 fig17_table runs every
 # axiom query both from scratch and through a shared session, and exits
-# non-zero if any verdict drifts between the two paths.
+# non-zero if any verdict drifts between the two paths. The artifact is
+# an obs JSON Lines snapshot with per-path wall times and counters.
 echo "== incremental-equivalence smoke (fig17_table 3) =="
-smoke_json="$(mktemp)"
-trap 'rm -f "$smoke_json"' EXIT
 cargo run --release --offline -q -p ptxmm-bench --bin fig17_table -- 3 \
     --bench-json "$smoke_json" > /dev/null
-grep -q '"bound": *3' "$smoke_json"
+grep -q '"kind":"timing","name":"time.bound3.scratch"' "$smoke_json"
+grep -q '"kind":"timing","name":"time.bound3.sessions"' "$smoke_json"
+
+# Observability smoke: a fixed-seed single-job ptxherd sweep must emit a
+# well-formed stats snapshot with nonzero work counters, two identical
+# runs must diff clean, and bench_diff.sh must flag a synthetic 2x
+# counter inflation — guarding both the stats plumbing and the diff tool.
+echo "== obs stats smoke (ptxherd --suite --sat --stats-json) =="
+cargo run --release --offline -q -p ptxmm-litmus --bin ptxherd -- \
+    --suite --sat --stats-json "$stats_a" > /dev/null
+if grep -qvE '^\{"kind":"(note|counter|timing|histogram)","name":"' "$stats_a"; then
+    echo "verify.sh: malformed stats record in $stats_a" >&2
+    exit 1
+fi
+for c in solver.propagations solver.conflicts circuit.gates \
+         circuit.gate_cache_hits harness.queries; do
+    v="$(sed -n 's/^{"kind":"counter","name":"'"$c"'","value":\([0-9]*\)}$/\1/p' "$stats_a")"
+    if [ -z "$v" ] || [ "$v" -eq 0 ]; then
+        echo "verify.sh: stats counter $c missing or zero" >&2
+        exit 1
+    fi
+done
+cargo run --release --offline -q -p ptxmm-litmus --bin ptxherd -- \
+    --suite --sat --stats-json "$stats_b" > /dev/null
+scripts/bench_diff.sh "$stats_a" "$stats_b" | grep -q "no regressions"
+awk -F'"value":' '/^\{"kind":"counter"/ { printf "%s\"value\":%d}\n", $1, 2 * $2 + 1; next } { print }' \
+    "$stats_a" > "$stats_inflated"
+if scripts/bench_diff.sh "$stats_a" "$stats_inflated" > /dev/null; then
+    echo "verify.sh: bench_diff.sh failed to flag a 2x counter inflation" >&2
+    exit 1
+fi
 
 # Fixed-seed differential-fuzzing smoke: every generator round is
 # deterministic under --seed, so this also guards against generator
