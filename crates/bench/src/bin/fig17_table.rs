@@ -4,6 +4,7 @@
 //! ```text
 //! fig17_table [bounds…] [--jobs N] [--timeout-secs S] [--json]
 //!             [--sessions] [--bench-json PATH] [--stats] [--stats-json PATH]
+//!             [--trace-out PATH]
 //! ```
 //!
 //! Each (scope mode × bound × axiom) verification is one query. With
@@ -30,6 +31,10 @@
 //! `--stats` prints an observability table after the sweep — totals plus
 //! per-query counters under `query.<name>.`; `--stats-json PATH` writes
 //! the same snapshot as JSON Lines.
+//!
+//! `--trace-out PATH` writes the sweep's event timeline as Chrome
+//! trace-event JSON (translate/encode/solve spans per query, worker-
+//! tagged), loadable in Perfetto; summarize offline with `traceview`.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -50,6 +55,7 @@ fn main() -> ExitCode {
     let mut bench_json: Option<String> = None;
     let mut stats = false;
     let mut stats_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -72,6 +78,10 @@ fn main() -> ExitCode {
             "--stats-json" => match it.next() {
                 Some(path) => stats_json = Some(path.clone()),
                 None => return usage("--stats-json needs a file path"),
+            },
+            "--trace-out" => match it.next() {
+                Some(path) => trace_out = Some(path.clone()),
+                None => return usage("--trace-out needs a file path"),
             },
             other => match other.parse() {
                 Ok(b) => bounds.push(b),
@@ -96,7 +106,12 @@ fn main() -> ExitCode {
     } else {
         obs::Registry::disabled()
     };
-    let records = run_sweep(&bounds, jobs, timeout, sessions, &reg, |rec| {
+    let tracer = if trace_out.is_some() {
+        obs::trace::Tracer::for_export()
+    } else {
+        obs::trace::Tracer::flight_recorder()
+    };
+    let records = run_sweep(&bounds, jobs, timeout, sessions, &reg, &tracer, |rec| {
         reg.merge_prefixed(&rec.obs, &format!("query.{}.", rec.name));
         if json {
             println!("{}", rec.to_json());
@@ -129,6 +144,12 @@ fn main() -> ExitCode {
             print!("{}", snap.render_table());
         }
     }
+    if let Some(path) = &trace_out {
+        if let Err(e) = std::fs::write(path, tracer.snapshot().to_chrome_json()) {
+            eprintln!("fig17_table: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -140,6 +161,7 @@ fn run_sweep(
     timeout: Option<Duration>,
     sessions: bool,
     reg: &obs::Registry,
+    tracer: &obs::trace::Tracer,
     on_record: impl FnMut(&QueryRecord),
 ) -> Vec<QueryRecord> {
     // One incremental session per (mode, bound) key and worker; workers
@@ -159,6 +181,7 @@ fn run_sweep(
                         });
                         session.set_cancel(Some(ctx.cancel.clone()));
                         session.set_deadline(ctx.timeout);
+                        session.set_tracer(ctx.trace.clone());
                         let row = session.verify(axiom).expect("internal encoding error");
                         session.set_cancel(None);
                         session.set_deadline(None);
@@ -168,7 +191,9 @@ fn run_sweep(
                         out
                     } else {
                         let model = mapping::build(bound, mode, RecipeVariant::Correct);
-                        let mut opts = Options::check().with_cancel(ctx.cancel.clone());
+                        let mut opts = Options::check()
+                            .with_cancel(ctx.cancel.clone())
+                            .with_tracer(ctx.trace.clone());
                         opts.deadline = ctx.timeout;
                         let row = mapping::verify_axiom(&model, axiom, mode, opts)
                             .expect("internal encoding error");
@@ -183,6 +208,7 @@ fn run_sweep(
         jobs,
         timeout,
         obs: reg.clone(),
+        trace: tracer.clone(),
         ..HarnessOptions::default()
     };
     run_queries(queries, &options, on_record)
@@ -231,13 +257,16 @@ fn run_bench(bounds: &[usize], jobs: usize, timeout: Option<Duration>, path: &st
     reg.note("queries_per_bound", &(2 * AXIOMS.len()).to_string());
     for &bound in bounds {
         let single = [bound];
+        let tracer = obs::trace::Tracer::flight_recorder();
         let scratch_obs = obs::Registry::new();
         let t0 = Instant::now();
-        let scratch_records = run_sweep(&single, jobs, timeout, false, &scratch_obs, |_| {});
+        let scratch_records =
+            run_sweep(&single, jobs, timeout, false, &scratch_obs, &tracer, |_| {});
         let scratch_wall = t0.elapsed();
         let session_obs = obs::Registry::new();
         let t1 = Instant::now();
-        let session_records = run_sweep(&single, jobs, timeout, true, &session_obs, |_| {});
+        let session_records =
+            run_sweep(&single, jobs, timeout, true, &session_obs, &tracer, |_| {});
         let session_wall = t1.elapsed();
         for (s, i) in scratch_records.iter().zip(&session_records) {
             if s.verdict != i.verdict {
@@ -272,7 +301,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("fig17_table: {err}");
     eprintln!(
         "usage: fig17_table [bounds…] [--jobs N] [--timeout-secs S] [--json] \
-         [--sessions] [--bench-json PATH] [--stats] [--stats-json PATH]"
+         [--sessions] [--bench-json PATH] [--stats] [--stats-json PATH] \
+         [--trace-out PATH]"
     );
     ExitCode::FAILURE
 }

@@ -22,7 +22,9 @@
 //! `--stats` prints an observability table after the run — totals plus
 //! per-generator counters under `gen.{cnf,relform,litmus}.`;
 //! `--stats-json PATH` writes the snapshot as JSON Lines in the shared
-//! `obs` schema.
+//! `obs` schema. `--trace-out PATH` writes the run's event timeline as
+//! Chrome trace-event JSON (per-round `query:*` spans, worker-tagged),
+//! loadable in Perfetto.
 
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
@@ -42,6 +44,7 @@ struct Cli {
     json: bool,
     stats: bool,
     stats_json: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -53,6 +56,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         json: false,
         stats: false,
         stats_json: None,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -62,6 +66,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--stats-json" => {
                 let v = it.next().ok_or("--stats-json needs a path")?;
                 cli.stats_json = Some(v.clone());
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                cli.trace_out = Some(v.clone());
             }
             "--rounds" => {
                 let v = it.next().ok_or("--rounds needs a value")?;
@@ -139,7 +147,7 @@ fn main() -> ExitCode {
             eprintln!("fuzzherd: {e}");
             eprintln!(
                 "usage: fuzzherd [--rounds N] [--seed S] [--jobs N] [--timeout-secs S] \
-                 [--json] [--stats] [--stats-json PATH]"
+                 [--json] [--stats] [--stats-json PATH] [--trace-out PATH]"
             );
             return ExitCode::FAILURE;
         }
@@ -173,10 +181,16 @@ fn main() -> ExitCode {
     } else {
         modelfinder::obs::Registry::disabled()
     };
+    let tracer = if cli.trace_out.is_some() {
+        modelfinder::obs::trace::Tracer::for_export()
+    } else {
+        modelfinder::obs::trace::Tracer::flight_recorder()
+    };
     let options = HarnessOptions {
         jobs: cli.jobs,
         timeout: cli.timeout_secs.map(Duration::from_secs),
         obs: reg.clone(),
+        trace: tracer.clone(),
         ..HarnessOptions::default()
     };
     let json = cli.json;
@@ -223,6 +237,12 @@ fn main() -> ExitCode {
         }
         if cli.stats {
             print!("{}", snap.render_table());
+        }
+    }
+    if let Some(path) = &cli.trace_out {
+        if let Err(e) = std::fs::write(path, tracer.snapshot().to_chrome_json()) {
+            eprintln!("fuzzherd: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
         }
     }
     if failures.is_empty() {

@@ -51,6 +51,7 @@ struct Cli {
     sat: bool,
     stats: bool,
     stats_json: Option<String>,
+    trace_out: Option<String>,
     files: Vec<String>,
 }
 
@@ -63,6 +64,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         sat: false,
         stats: false,
         stats_json: None,
+        trace_out: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -75,6 +77,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--stats-json" => {
                 let v = it.next().ok_or("--stats-json needs a path")?;
                 cli.stats_json = Some(v.clone());
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                cli.trace_out = Some(v.clone());
             }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
@@ -145,7 +151,8 @@ fn main() -> ExitCode {
     if args.is_empty() {
         eprintln!(
             "usage: ptxherd [--jobs N] [--timeout-secs S] [--json] [--sat] \
-             [--stats] [--stats-json PATH] <file.litmus>… | --suite"
+             [--stats] [--stats-json PATH] [--trace-out PATH] \
+             <file.litmus>… | --suite"
         );
         return ExitCode::FAILURE;
     }
@@ -176,8 +183,12 @@ fn main() -> ExitCode {
     // The herd-style detailed report stays the default single-threaded
     // behavior; any harness flag switches to the one-line-per-test sweep.
     let stats_wanted = cli.stats || cli.stats_json.is_some();
-    let use_harness =
-        cli.jobs > 1 || cli.timeout_secs.is_some() || cli.json || cli.sat || stats_wanted;
+    let use_harness = cli.jobs > 1
+        || cli.timeout_secs.is_some()
+        || cli.json
+        || cli.sat
+        || stats_wanted
+        || cli.trace_out.is_some();
     if !use_harness {
         for test in &tests {
             let ok = match test {
@@ -231,10 +242,19 @@ fn main() -> ExitCode {
         } else {
             modelfinder::obs::Registry::disabled()
         };
+        // With --trace-out the per-thread rings are sized so the full
+        // timeline survives; otherwise the default flight recorder keeps
+        // only a bounded tail for timeout autopsies.
+        let tracer = if cli.trace_out.is_some() {
+            modelfinder::obs::trace::Tracer::for_export()
+        } else {
+            modelfinder::obs::trace::Tracer::flight_recorder()
+        };
         let options = HarnessOptions {
             jobs: cli.jobs,
             timeout: cli.timeout_secs.map(std::time::Duration::from_secs),
             obs: reg.clone(),
+            trace: tracer.clone(),
             ..HarnessOptions::default()
         };
         let json = cli.json;
@@ -273,6 +293,12 @@ fn main() -> ExitCode {
                 print!("{}", snap.render_table());
             }
         }
+        if let Some(path) = &cli.trace_out {
+            if let Err(e) = std::fs::write(path, tracer.snapshot().to_chrome_json()) {
+                eprintln!("ptxherd: cannot write {path}: {e}");
+                failures += 1;
+            }
+        }
     }
 
     if failures > 0 {
@@ -295,6 +321,7 @@ fn sat_output(
     });
     session.set_cancel(Some(ctx.cancel.clone()));
     session.set_deadline(ctx.timeout);
+    session.set_tracer(ctx.trace.clone());
     let result = session.run(test);
     session.set_cancel(None);
     session.set_deadline(None);

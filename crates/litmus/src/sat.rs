@@ -591,6 +591,12 @@ impl SatSession {
         self.session.set_cancel(token);
     }
 
+    /// Replaces the session's event tracer: subsequent runs emit
+    /// translate/encode/solve spans and solver milestone events into it.
+    pub fn set_tracer(&mut self, tracer: modelfinder::obs::trace::Tracer) {
+        self.session.set_tracer(tracer);
+    }
+
     /// Cumulative session work counters.
     pub fn stats(&self) -> SessionStats {
         self.session.stats()

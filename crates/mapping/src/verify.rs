@@ -198,6 +198,12 @@ impl AxiomSession {
         self.session.set_cancel(token);
     }
 
+    /// Replaces the session's event tracer: subsequent checks emit
+    /// translate/encode/solve spans and solver milestone events into it.
+    pub fn set_tracer(&mut self, tracer: modelfinder::obs::trace::Tracer) {
+        self.session.set_tracer(tracer);
+    }
+
     /// Cumulative session work counters (translation/encode/solve time,
     /// gate-cache hits).
     pub fn stats(&self) -> SessionStats {

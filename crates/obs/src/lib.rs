@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

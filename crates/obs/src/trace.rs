@@ -1,0 +1,780 @@
+//! A dependency-free, lock-free event tracer with per-thread ring
+//! buffers — the workspace's flight recorder.
+//!
+//! [`crate::Registry`] answers *how much* (aggregate counters and
+//! timings); this module answers *when* and *in what order*: a
+//! [`Tracer`] records typed events — span begin/end, instants, counter
+//! samples — with monotonic timestamps into fixed-capacity per-thread
+//! rings, so tracing can stay always-on at bounded memory. When the ring
+//! wraps, the oldest events are overwritten and the newest survive,
+//! which is exactly the "what was the solver doing when the deadline
+//! fired" question a postmortem needs.
+//!
+//! Design:
+//!
+//! * The hot path is lock-free and owner-thread-only: each thread writes
+//!   to its own ring, publishing every slot through a seqlock (an odd
+//!   sequence number while the slot is mid-write, an even one encoding
+//!   the event index once complete). Readers on other threads — snapshot
+//!   export, the harness's abandonment autopsy — validate the sequence
+//!   word before and after reading and simply skip slots that are being
+//!   overwritten; no reader ever blocks a writer.
+//! * Event names are interned once (a [`NameId`]) so instrumented hot
+//!   loops emit events without touching the intern lock; the string is
+//!   resolved only at snapshot time.
+//! * Like [`crate::Registry`], a [`Tracer`] is an `Option<Arc>` handle:
+//!   the [`Tracer::disabled`] default records nothing and never reads
+//!   the clock.
+//!
+//! Consumers: [`TraceSnapshot::to_chrome_json`] renders the Chrome
+//! trace-event JSON that Perfetto / `chrome://tracing` load (see the
+//! `traceview` binary for an offline summarizer), and [`Autopsy`]
+//! packages the last few events plus a counter snapshot onto a
+//! timed-out query's record.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+use crate::json;
+
+/// Default ring capacity (events per thread) for the always-on flight
+/// recorder: small enough to be free, large enough that a timed-out
+/// query's final phase is still in the buffer.
+pub const FLIGHT_RECORDER_EVENTS: usize = 4096;
+
+/// Ring capacity used when a full timeline export was requested
+/// (`--trace-out`): large enough that a bench-sized sweep does not wrap.
+pub const EXPORT_EVENTS: usize = 1 << 16;
+
+/// The kind of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A span opened (paired with [`TraceEventKind::SpanEnd`] by name).
+    SpanBegin,
+    /// A span closed.
+    SpanEnd,
+    /// A point event (restart, reduce sweep, downgrade, …); `value`
+    /// carries a kind-specific payload.
+    Instant,
+    /// A counter sample: `value` is the counter's running total at the
+    /// timestamp.
+    Counter,
+}
+
+impl TraceEventKind {
+    fn from_code(code: u64) -> Option<TraceEventKind> {
+        match code {
+            0 => Some(TraceEventKind::SpanBegin),
+            1 => Some(TraceEventKind::SpanEnd),
+            2 => Some(TraceEventKind::Instant),
+            3 => Some(TraceEventKind::Counter),
+            _ => None,
+        }
+    }
+
+    /// The Chrome trace-event phase letter for this kind.
+    pub fn phase(self) -> char {
+        match self {
+            TraceEventKind::SpanBegin => 'B',
+            TraceEventKind::SpanEnd => 'E',
+            TraceEventKind::Instant => 'i',
+            TraceEventKind::Counter => 'C',
+        }
+    }
+}
+
+/// An interned event name; obtained from [`Tracer::intern`]. Emitting
+/// through a `NameId` keeps the hot path free of the intern lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NameId(u32);
+
+/// The sentinel id handed out by a disabled tracer.
+const NAME_NONE: u32 = u32::MAX;
+
+/// One decoded event read back out of a ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Ring (thread) id the event was recorded on.
+    pub tid: u32,
+    /// The event's index within its thread's stream (monotone per tid).
+    pub seq: u64,
+    /// Time since the tracer was created.
+    pub ts: Duration,
+    /// Event kind.
+    pub kind: TraceEventKind,
+    /// Resolved event name.
+    pub name: String,
+    /// Kind-specific payload (0 for spans).
+    pub value: u64,
+}
+
+/// One ring slot: a seqlock of four atomics. `seq` is `2*i + 1` while
+/// the event with index `i` is being written and `2*i + 2` once it is
+/// complete, so a reader can tell exactly which event a slot holds and
+/// whether it is torn.
+struct Slot {
+    seq: AtomicU64,
+    ts: AtomicU64,
+    meta: AtomicU64,
+    value: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            ts: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            value: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A per-thread ring. Only the owning thread writes; any thread reads.
+struct Ring {
+    tid: u32,
+    label: Mutex<String>,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+struct Shared {
+    /// Globally unique tracer id, keying the thread-local ring cache
+    /// (an `Arc` pointer address could be reused after a drop).
+    uid: u64,
+    capacity: usize,
+    epoch: Instant,
+    names: Mutex<Vec<String>>,
+    rings: Mutex<Vec<Arc<Ring>>>,
+}
+
+impl Shared {
+    fn register_thread(&self) -> Arc<Ring> {
+        let mut rings = self.rings.lock().unwrap();
+        let tid = rings.len() as u32;
+        let ring = Arc::new(Ring {
+            tid,
+            label: Mutex::new(format!("thread-{tid}")),
+            head: AtomicU64::new(0),
+            slots: (0..self.capacity).map(|_| Slot::new()).collect(),
+        });
+        rings.push(Arc::clone(&ring));
+        ring
+    }
+}
+
+struct ThreadRing {
+    uid: u64,
+    shared: Weak<Shared>,
+    ring: Arc<Ring>,
+}
+
+thread_local! {
+    /// This thread's ring per live tracer, keyed by tracer uid. Entries
+    /// for dropped tracers are pruned on the next miss.
+    static THREAD_RINGS: RefCell<Vec<ThreadRing>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// A lock-free event tracer handle (an `Option<Arc>`): clones share the
+/// rings, and the [`Tracer::disabled`] default carries nothing at all.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Shared>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Tracer(disabled)"),
+            Some(s) => write!(f, "Tracer(capacity={})", s.capacity),
+        }
+    }
+}
+
+impl Tracer {
+    /// A tracer whose per-thread rings hold `capacity` events (rounded
+    /// up to a power of two, minimum 16). Older events are overwritten
+    /// once a ring is full.
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        let capacity = capacity.max(16).next_power_of_two();
+        Tracer {
+            inner: Some(Arc::new(Shared {
+                uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+                capacity,
+                epoch: Instant::now(),
+                names: Mutex::new(Vec::new()),
+                rings: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The always-on configuration: a small ring per thread
+    /// ([`FLIGHT_RECORDER_EVENTS`]) keeping the most recent events for
+    /// postmortems at bounded memory.
+    pub fn flight_recorder() -> Tracer {
+        Tracer::with_capacity(FLIGHT_RECORDER_EVENTS)
+    }
+
+    /// The export configuration ([`EXPORT_EVENTS`] per thread), for
+    /// `--trace-out` timelines that should not wrap.
+    pub fn for_export() -> Tracer {
+        Tracer::with_capacity(EXPORT_EVENTS)
+    }
+
+    /// The inert tracer: every operation is a no-op and the clock is
+    /// never read. This is the `Default`.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// True when this tracer records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Interns `name`, returning an id that emits without locking.
+    /// Disabled tracers return a sentinel id that records nothing.
+    pub fn intern(&self, name: &str) -> NameId {
+        let Some(shared) = &self.inner else {
+            return NameId(NAME_NONE);
+        };
+        let mut names = shared.names.lock().unwrap();
+        if let Some(idx) = names.iter().position(|n| n == name) {
+            return NameId(idx as u32);
+        }
+        names.push(name.to_string());
+        NameId((names.len() - 1) as u32)
+    }
+
+    /// Runs `f` with this thread's ring, creating and registering the
+    /// ring on first use. Returns `None` when disabled.
+    fn with_ring<R>(&self, f: impl FnOnce(&Shared, &Ring) -> R) -> Option<R> {
+        let shared = self.inner.as_ref()?;
+        THREAD_RINGS.with(|cell| {
+            let mut list = cell.borrow_mut();
+            if let Some(entry) = list.iter().find(|e| e.uid == shared.uid) {
+                return Some(f(shared, &entry.ring));
+            }
+            list.retain(|e| e.shared.strong_count() > 0);
+            let ring = shared.register_thread();
+            let out = f(shared, &ring);
+            list.push(ThreadRing {
+                uid: shared.uid,
+                shared: Arc::downgrade(shared),
+                ring,
+            });
+            Some(out)
+        })
+    }
+
+    /// The lock-free write path: publish one event through the owner
+    /// thread's ring. Ordering is `SeqCst` throughout — events are rare
+    /// compared to the work they bracket, so simplicity wins.
+    fn emit(&self, kind: TraceEventKind, name: NameId, value: u64) {
+        if name.0 == NAME_NONE {
+            return;
+        }
+        self.with_ring(|shared, ring| {
+            let i = ring.head.load(Ordering::SeqCst);
+            let slot = &ring.slots[(i as usize) & (shared.capacity - 1)];
+            slot.seq.store(2 * i + 1, Ordering::SeqCst);
+            slot.ts
+                .store(shared.epoch.elapsed().as_nanos() as u64, Ordering::SeqCst);
+            slot.meta
+                .store(((kind as u64) << 32) | u64::from(name.0), Ordering::SeqCst);
+            slot.value.store(value, Ordering::SeqCst);
+            slot.seq.store(2 * i + 2, Ordering::SeqCst);
+            ring.head.store(i + 1, Ordering::SeqCst);
+        });
+    }
+
+    /// Opens an RAII span named `name`: a begin event now, an end event
+    /// when the returned guard drops. Spans nest per thread; drop them
+    /// in reverse open order on the thread that opened them.
+    pub fn span(&self, name: &str) -> TraceSpan {
+        self.span_id(self.intern(name))
+    }
+
+    /// [`Tracer::span`] through a pre-interned id (the hot-path form).
+    pub fn span_id(&self, name: NameId) -> TraceSpan {
+        self.emit(TraceEventKind::SpanBegin, name, 0);
+        TraceSpan {
+            tracer: self.clone(),
+            name,
+        }
+    }
+
+    /// Records a point event carrying `value`.
+    pub fn instant(&self, name: &str, value: u64) {
+        self.instant_id(self.intern(name), value);
+    }
+
+    /// [`Tracer::instant`] through a pre-interned id.
+    pub fn instant_id(&self, name: NameId, value: u64) {
+        self.emit(TraceEventKind::Instant, name, value);
+    }
+
+    /// Records a counter sample: the running total `value` at this
+    /// moment (rendered as a counter track by Perfetto).
+    pub fn counter(&self, name: &str, value: u64) {
+        self.counter_id(self.intern(name), value);
+    }
+
+    /// [`Tracer::counter`] through a pre-interned id.
+    pub fn counter_id(&self, name: NameId, value: u64) {
+        self.emit(TraceEventKind::Counter, name, value);
+    }
+
+    /// Names the current thread's ring (`worker-0`, …) in exports.
+    pub fn set_thread_label(&self, label: &str) {
+        self.with_ring(|_, ring| {
+            *ring.label.lock().unwrap() = label.to_string();
+        });
+    }
+
+    /// The newest `k` events recorded by the *current* thread, oldest
+    /// first. Owner-thread reads are never torn.
+    pub fn tail_current_thread(&self, k: usize) -> Vec<TraceEvent> {
+        self.with_ring(|shared, ring| {
+            let mut events = read_ring(shared, ring);
+            if events.len() > k {
+                events.drain(..events.len() - k);
+            }
+            events
+        })
+        .unwrap_or_default()
+    }
+
+    /// The newest `k` events across *all* threads, merged by timestamp,
+    /// oldest first. Slots mid-overwrite on other threads are skipped.
+    pub fn tail(&self, k: usize) -> Vec<TraceEvent> {
+        let Some(shared) = &self.inner else {
+            return Vec::new();
+        };
+        let rings: Vec<Arc<Ring>> = shared.rings.lock().unwrap().clone();
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for ring in &rings {
+            events.extend(read_ring(shared, ring));
+        }
+        events.sort_by_key(|e| (e.ts, e.tid, e.seq));
+        if events.len() > k {
+            events.drain(..events.len() - k);
+        }
+        events
+    }
+
+    /// A point-in-time copy of every surviving event, per-thread labels,
+    /// and the count of events lost to ring wraparound. Disabled tracers
+    /// snapshot empty.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let mut snap = TraceSnapshot::default();
+        let Some(shared) = &self.inner else {
+            return snap;
+        };
+        let rings: Vec<Arc<Ring>> = shared.rings.lock().unwrap().clone();
+        for ring in &rings {
+            snap.threads
+                .push((ring.tid, ring.label.lock().unwrap().clone()));
+            let head = ring.head.load(Ordering::SeqCst);
+            snap.dropped += head.saturating_sub(shared.capacity as u64);
+            snap.events.extend(read_ring(shared, ring));
+        }
+        snap.threads.sort_by_key(|(tid, _)| *tid);
+        snap.events.sort_by_key(|e| (e.tid, e.seq));
+        snap
+    }
+}
+
+/// Decodes the surviving events of one ring, oldest first.
+fn read_ring(shared: &Shared, ring: &Ring) -> Vec<TraceEvent> {
+    let head = ring.head.load(Ordering::SeqCst);
+    let lo = head.saturating_sub(shared.capacity as u64);
+    let names = shared.names.lock().unwrap();
+    let mut out = Vec::with_capacity((head - lo) as usize);
+    for i in lo..head {
+        let slot = &ring.slots[(i as usize) & (shared.capacity - 1)];
+        let seq1 = slot.seq.load(Ordering::SeqCst);
+        if seq1 != 2 * i + 2 {
+            continue; // torn: mid-write or already overwritten
+        }
+        let ts = slot.ts.load(Ordering::SeqCst);
+        let meta = slot.meta.load(Ordering::SeqCst);
+        let value = slot.value.load(Ordering::SeqCst);
+        if slot.seq.load(Ordering::SeqCst) != seq1 {
+            continue; // overwritten while reading the fields
+        }
+        let Some(kind) = TraceEventKind::from_code(meta >> 32) else {
+            continue;
+        };
+        let Some(name) = names.get((meta & 0xffff_ffff) as usize) else {
+            continue;
+        };
+        out.push(TraceEvent {
+            tid: ring.tid,
+            seq: i,
+            ts: Duration::from_nanos(ts),
+            kind,
+            name: name.clone(),
+            value,
+        });
+    }
+    out
+}
+
+/// An open trace span; see [`Tracer::span`]. Emits the matching end
+/// event when dropped.
+#[must_use = "a span brackets nothing unless it lives across the traced work"]
+pub struct TraceSpan {
+    tracer: Tracer,
+    name: NameId,
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        self.tracer.emit(TraceEventKind::SpanEnd, self.name, 0);
+    }
+}
+
+/// A point-in-time copy of a [`Tracer`]'s rings, ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    /// Surviving events, ordered by (tid, seq) — i.e. per-thread streams
+    /// concatenated in thread order, each in recording order.
+    pub events: Vec<TraceEvent>,
+    /// `(tid, label)` for every ring that recorded.
+    pub threads: Vec<(u32, String)>,
+    /// Events lost to ring wraparound across all threads.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Renders the snapshot in Chrome trace-event JSON — an array of
+    /// event objects, loadable in Perfetto or `chrome://tracing`. One
+    /// object per line so line-oriented tools can grep it; `ts` is in
+    /// microseconds as the format requires. Thread labels are emitted as
+    /// `thread_name` metadata events.
+    pub fn to_chrome_json(&self) -> String {
+        let mut lines: Vec<String> = Vec::with_capacity(self.events.len() + self.threads.len());
+        for (tid, label) in &self.threads {
+            let mut s = String::new();
+            s.push_str("{\"ph\":\"M\",\"pid\":1,\"tid\":");
+            let _ = write!(s, "{tid}");
+            s.push_str(",\"name\":\"thread_name\",\"args\":{\"name\":");
+            json::escape_into(&mut s, label);
+            s.push_str("}}");
+            lines.push(s);
+        }
+        for e in &self.events {
+            let mut s = String::new();
+            let _ = write!(
+                s,
+                "{{\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"name\":",
+                e.kind.phase(),
+                e.tid,
+                e.ts.as_nanos() as f64 / 1000.0
+            );
+            json::escape_into(&mut s, &e.name);
+            match e.kind {
+                TraceEventKind::SpanBegin | TraceEventKind::SpanEnd => {}
+                TraceEventKind::Instant => {
+                    let _ = write!(s, ",\"s\":\"t\",\"args\":{{\"value\":{}}}", e.value);
+                }
+                TraceEventKind::Counter => {
+                    let _ = write!(s, ",\"args\":{{\"value\":{}}}", e.value);
+                }
+            }
+            s.push('}');
+            lines.push(s);
+        }
+        let mut out = String::from("[\n");
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+/// A timed-out or cancelled query's postmortem: the last few
+/// flight-recorder events plus a snapshot of the query's counters,
+/// attached to its harness record and surfaced in `--json` output.
+#[derive(Debug, Clone, Default)]
+pub struct Autopsy {
+    /// The newest flight-recorder events at capture time, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// The query's counter values at capture time.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl Autopsy {
+    /// Packages `events` with the counters of `obs`'s snapshot.
+    pub fn capture(events: Vec<TraceEvent>, obs: &crate::Registry) -> Autopsy {
+        Autopsy {
+            events,
+            counters: obs.snapshot().counters,
+        }
+    }
+
+    /// True when there is nothing to report (tracing and stats both
+    /// disabled at capture time).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.counters.is_empty()
+    }
+
+    /// This autopsy as one JSON object:
+    /// `{"events":[{"ts_us":…,"ph":"B","tid":…,"name":…,"value":…},…],"counters":{…}}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"ts_us\":{:.3},\"ph\":\"{}\",\"tid\":{},\"name\":",
+                e.ts.as_nanos() as f64 / 1000.0,
+                e.kind.phase(),
+                e.tid
+            );
+            json::escape_into(&mut s, &e.name);
+            let _ = write!(s, ",\"value\":{}}}", e.value);
+        }
+        s.push_str("],\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::escape_into(&mut s, name);
+            let _ = write!(s, ":{value}");
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.instant("x", 1);
+        t.counter("c", 2);
+        {
+            let _s = t.span("outer");
+        }
+        t.set_thread_label("nope");
+        assert!(t.tail_current_thread(10).is_empty());
+        assert!(t.tail(10).is_empty());
+        let snap = t.snapshot();
+        assert!(snap.events.is_empty());
+        assert!(snap.threads.is_empty());
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn events_record_in_order_with_monotone_timestamps() {
+        let t = Tracer::with_capacity(64);
+        {
+            let _outer = t.span("translate");
+            t.instant("restart", 7);
+            let _inner = t.span("solve");
+            t.counter("conflicts", 2048);
+        }
+        let snap = t.snapshot();
+        let shape: Vec<(TraceEventKind, &str, u64)> = snap
+            .events
+            .iter()
+            .map(|e| (e.kind, e.name.as_str(), e.value))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                (TraceEventKind::SpanBegin, "translate", 0),
+                (TraceEventKind::Instant, "restart", 7),
+                (TraceEventKind::SpanBegin, "solve", 0),
+                (TraceEventKind::Counter, "conflicts", 2048),
+                (TraceEventKind::SpanEnd, "solve", 0),
+                (TraceEventKind::SpanEnd, "translate", 0),
+            ]
+        );
+        for w in snap.events.windows(2) {
+            assert!(w[0].ts <= w[1].ts, "timestamps must be monotone per thread");
+        }
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_events() {
+        let t = Tracer::with_capacity(16);
+        for i in 0..100u64 {
+            t.instant("tick", i);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 16);
+        assert_eq!(snap.dropped, 84);
+        let values: Vec<u64> = snap.events.iter().map(|e| e.value).collect();
+        assert_eq!(values, (84..100).collect::<Vec<u64>>());
+        // The tail trims from the oldest side.
+        let tail = t.tail_current_thread(4);
+        let values: Vec<u64> = tail.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![96, 97, 98, 99]);
+    }
+
+    #[test]
+    fn identical_runs_trace_identically_modulo_timestamps() {
+        let run = |t: &Tracer| {
+            let _outer = t.span("query");
+            for i in 0..5u64 {
+                t.instant("step", i);
+            }
+            t.counter("total", 5);
+        };
+        let (a, b) = (Tracer::with_capacity(64), Tracer::with_capacity(64));
+        run(&a);
+        run(&b);
+        let strip = |t: &Tracer| {
+            t.snapshot()
+                .events
+                .into_iter()
+                .map(|e| (e.tid, e.seq, e.kind, e.name, e.value))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&a), strip(&b));
+    }
+
+    #[test]
+    fn threads_get_their_own_rings_and_labels() {
+        let t = Tracer::with_capacity(64);
+        t.set_thread_label("main");
+        t.instant("here", 0);
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            t2.set_thread_label("worker-0");
+            t2.instant("there", 1);
+        })
+        .join()
+        .unwrap();
+        let snap = t.snapshot();
+        assert_eq!(snap.threads.len(), 2);
+        let labels: Vec<&str> = snap.threads.iter().map(|(_, l)| l.as_str()).collect();
+        assert!(labels.contains(&"main") && labels.contains(&"worker-0"));
+        let tids: std::collections::BTreeSet<u32> = snap.events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 2, "each thread records on its own ring");
+        // The cross-thread tail sees both events.
+        let tail = t.tail(10);
+        assert_eq!(tail.len(), 2);
+    }
+
+    #[test]
+    fn two_tracers_on_one_thread_do_not_mix() {
+        let a = Tracer::with_capacity(16);
+        let b = Tracer::with_capacity(16);
+        a.instant("a", 1);
+        b.instant("b", 2);
+        assert_eq!(a.snapshot().events.len(), 1);
+        assert_eq!(a.snapshot().events[0].name, "a");
+        assert_eq!(b.snapshot().events[0].name, "b");
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let t = Tracer::with_capacity(16);
+        t.set_thread_label("main");
+        {
+            let _s = t.span("solve");
+            t.instant("restart", 3);
+            t.counter("conflicts", 10);
+        }
+        let json = t.snapshot().to_chrome_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("\n]\n"));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"ph\":\"B\",\"pid\":1,\"tid\":"));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":10}"));
+        // Every line except the brackets is one JSON object.
+        for line in json.lines() {
+            if line == "[" || line == "]" {
+                continue;
+            }
+            let line = line.strip_suffix(',').unwrap_or(line);
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn autopsy_packages_events_and_counters() {
+        let t = Tracer::with_capacity(16);
+        let reg = crate::Registry::new();
+        reg.add("harness.queries", 1);
+        {
+            let _s = t.span("query:MP");
+        }
+        let autopsy = Autopsy::capture(t.tail_current_thread(8), &reg);
+        assert!(!autopsy.is_empty());
+        let json = autopsy.to_json();
+        assert!(json.starts_with("{\"events\":["));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"name\":\"query:MP\""));
+        assert!(json.contains("\"counters\":{\"harness.queries\":1}"));
+        let empty = Autopsy::capture(Vec::new(), &crate::Registry::disabled());
+        assert!(empty.is_empty());
+        assert_eq!(empty.to_json(), "{\"events\":[],\"counters\":{}}");
+    }
+
+    #[test]
+    fn interned_ids_emit_without_relocking() {
+        let t = Tracer::with_capacity(16);
+        let id = t.intern("sat.restart");
+        assert_eq!(t.intern("sat.restart"), id, "interning is idempotent");
+        t.instant_id(id, 42);
+        let snap = t.snapshot();
+        assert_eq!(snap.events[0].name, "sat.restart");
+        assert_eq!(snap.events[0].value, 42);
+        // Disabled tracers hand out a sentinel that records nothing.
+        let off = Tracer::disabled();
+        off.instant_id(off.intern("x"), 1);
+        assert!(off.snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_and_reader_do_not_tear() {
+        let t = Tracer::with_capacity(32);
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    t.instant("spin", w * 10_000 + i);
+                }
+            }));
+        }
+        // Read concurrently; torn slots are skipped, never corrupted.
+        for _ in 0..50 {
+            for e in t.tail(64) {
+                assert_eq!(e.name, "spin");
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = t.snapshot();
+        // Post-join the snapshot is quiescent: all rings full and valid.
+        assert_eq!(snap.events.len(), 4 * 32);
+        assert!(snap.dropped > 0);
+    }
+}

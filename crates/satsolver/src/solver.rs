@@ -102,7 +102,23 @@ pub struct Solver {
     model: Vec<LBool>,
     final_conflict: Vec<Lit>,
     proof: Option<Proof>,
+    trace: Option<TraceHooks>,
 }
+
+/// Pre-interned trace event ids, resolved once in
+/// [`Solver::set_tracer`] so the search loop emits without locking.
+#[derive(Debug, Clone)]
+struct TraceHooks {
+    tracer: obs::trace::Tracer,
+    restart: obs::trace::NameId,
+    reduce: obs::trace::NameId,
+    conflicts: obs::trace::NameId,
+}
+
+/// Conflict-milestone sampling period: the conflict counter is traced
+/// once every this many conflicts, so tracing cost is amortized to
+/// nothing on the search hot path.
+const TRACE_CONFLICT_PERIOD: u64 = 2048;
 
 impl Solver {
     /// Creates a solver with no variables or clauses.
@@ -175,6 +191,24 @@ impl Solver {
     /// loop iteration. `None` removes the token.
     pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
         self.cancel = token;
+    }
+
+    /// Installs an event tracer. The search loop then emits `sat.restart`
+    /// and `sat.reduce_db` instants plus a `sat.conflicts` counter sample
+    /// every [`TRACE_CONFLICT_PERIOD`] conflicts — rare milestone events
+    /// only, so the hot path stays hot. A disabled tracer uninstalls the
+    /// hooks.
+    pub fn set_tracer(&mut self, tracer: &obs::trace::Tracer) {
+        self.trace = if tracer.enabled() {
+            Some(TraceHooks {
+                restart: tracer.intern("sat.restart"),
+                reduce: tracer.intern("sat.reduce_db"),
+                conflicts: tracer.intern("sat.conflicts"),
+                tracer: tracer.clone(),
+            })
+        } else {
+            None
+        };
     }
 
     /// Turns on DRAT proof logging. From this point on, every clause
@@ -349,6 +383,13 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_this_restart += 1;
+                if self.stats.conflicts.is_multiple_of(TRACE_CONFLICT_PERIOD) {
+                    if let Some(hooks) = &self.trace {
+                        hooks
+                            .tracer
+                            .counter_id(hooks.conflicts, self.stats.conflicts);
+                    }
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     self.log_derive(&[]);
@@ -379,6 +420,9 @@ impl Solver {
                 if conflicts_this_restart >= restart_limit {
                     // Restart.
                     self.stats.restarts += 1;
+                    if let Some(hooks) = &self.trace {
+                        hooks.tracer.instant_id(hooks.restart, self.stats.restarts);
+                    }
                     self.cancel_until(0);
                     luby_index += 1;
                     restart_limit = 100 * luby(luby_index);
@@ -828,6 +872,9 @@ impl Solver {
             self.db.delete(cref);
             self.stats.deleted_clauses += 1;
             removed += 1;
+        }
+        if let Some(hooks) = &self.trace {
+            hooks.tracer.instant_id(hooks.reduce, removed as u64);
         }
         self.db.maybe_compact();
     }

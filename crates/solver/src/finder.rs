@@ -6,7 +6,7 @@ use relational::{Bounds, Formula, Instance, Schema, TypeError};
 use satsolver::{CancelToken, Interrupt, SolveResult, Solver, Var};
 
 use crate::circuit::CircuitEncoder;
-use crate::symmetry::{break_symmetries, symmetry_classes};
+use crate::symmetry::{break_symmetries, formula_pins_atoms, symmetry_classes};
 use crate::translate::{translate, ClosureStrategy};
 
 /// A bounded relational satisfiability problem.
@@ -48,6 +48,10 @@ pub struct Options {
     /// independently checkable certificate (see [`satsolver::drat`]).
     /// Off by default; roughly doubles clause bookkeeping cost.
     pub proof_logging: bool,
+    /// Event tracer bracketing the translate/encode/solve phases and
+    /// receiving the SAT solver's milestone events. The
+    /// [`obs::trace::Tracer::disabled`] default records nothing.
+    pub tracer: obs::trace::Tracer,
 }
 
 impl Options {
@@ -74,6 +78,12 @@ impl Options {
     /// This configuration with DRAT proof logging turned on.
     pub fn with_proof_logging(mut self) -> Options {
         self.proof_logging = true;
+        self
+    }
+
+    /// This configuration with an event tracer.
+    pub fn with_tracer(mut self, tracer: obs::trace::Tracer) -> Options {
+        self.tracer = tracer;
         self
     }
 }
@@ -123,6 +133,11 @@ pub struct Report {
     pub tseitin_clauses: u64,
     /// Number of symmetry classes broken.
     pub symmetry_classes: usize,
+    /// True when [`Options::symmetry_breaking`] was requested but the
+    /// formula pins atoms by identity (see
+    /// [`crate::symmetry::formula_pins_atoms`]), so the predicates were
+    /// skipped to preserve soundness.
+    pub symmetry_downgraded: bool,
     /// Time spent translating to CNF.
     pub translate_time: Duration,
     /// Time spent in the SAT solver.
@@ -161,6 +176,9 @@ impl Report {
         reg.add("sat.clauses", self.sat_clauses as u64);
         reg.add("sat.tseitin_clauses", self.tseitin_clauses);
         reg.add("sym.classes", self.symmetry_classes as u64);
+        if self.symmetry_downgraded {
+            reg.add("sym.downgraded", 1);
+        }
         let s = &self.solver_stats;
         reg.add("solver.propagations", s.propagations);
         reg.add("solver.conflicts", s.conflicts);
@@ -220,6 +238,8 @@ impl ModelFinder {
     pub fn solve(&self, problem: &Problem) -> Result<(Verdict, Report), TypeError> {
         let t0 = Instant::now();
         let deadline = self.options.deadline.map(|d| t0 + d);
+        let trace = &self.options.tracer;
+        let translate_span = trace.span("translate");
         let mut translation = translate(
             &problem.schema,
             &problem.bounds,
@@ -229,17 +249,26 @@ impl ModelFinder {
         let mut root = translation.root;
         let mut report = Report::default();
         if self.options.symmetry_breaking {
-            let classes = symmetry_classes(&problem.schema, &problem.bounds);
-            report.symmetry_classes = classes.len();
-            let sym = break_symmetries(
-                &problem.schema,
-                &problem.bounds,
-                &mut translation.circuit,
-                &translation.rel_inputs,
-                &classes,
-            );
-            root = translation.circuit.and(root, sym);
+            if formula_pins_atoms(&problem.formula) {
+                // Bounds-only symmetry breaking is unsound for formulas
+                // that pin atoms by identity: downgrade to a plain search
+                // rather than risk a wrong Unsat.
+                report.symmetry_downgraded = true;
+                warn_symmetry_downgrade();
+            } else {
+                let classes = symmetry_classes(&problem.schema, &problem.bounds);
+                report.symmetry_classes = classes.len();
+                let sym = break_symmetries(
+                    &problem.schema,
+                    &problem.bounds,
+                    &mut translation.circuit,
+                    &translation.rel_inputs,
+                    &classes,
+                );
+                root = translation.circuit.and(root, sym);
+            }
         }
+        drop(translate_span);
         let mut solver = Solver::new();
         if self.options.proof_logging {
             solver.enable_proof_logging();
@@ -248,9 +277,12 @@ impl ModelFinder {
         solver.set_propagation_budget(self.options.propagation_budget);
         solver.set_deadline(deadline);
         solver.set_cancel_token(self.options.cancel.clone());
+        solver.set_tracer(trace);
+        let encode_span = trace.span("encode");
         let mut encoder = CircuitEncoder::new();
         let root_lit = encoder.encode(&translation.circuit, root, &mut solver);
         solver.add_clause(&[root_lit]);
+        drop(encode_span);
         let input_vars = encoder.input_vars();
         report.gates = translation.circuit.num_gates();
         report.inputs = translation.circuit.num_inputs();
@@ -280,7 +312,9 @@ impl ModelFinder {
         }
 
         let t1 = Instant::now();
+        let solve_span = trace.span("solve");
         let result = solver.solve();
+        drop(solve_span);
         report.solve_time = t1.elapsed();
         report.solver_stats = solver.stats();
 
@@ -397,6 +431,22 @@ impl ModelFinder {
         };
         Ok((result, report))
     }
+}
+
+/// Warns (once per process) that a symmetry-breaking request was
+/// downgraded because the formula pins atoms. The downgrade itself is
+/// also visible programmatically via [`Report::symmetry_downgraded`]
+/// and the `sym.downgraded` stats counter.
+pub(crate) fn warn_symmetry_downgrade() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: symmetry breaking downgraded: the formula pins atoms by \
+             identity (non-empty constant expression), which lex-leader \
+             predicates over bounds symmetries would make unsound; solving \
+             without symmetry breaking"
+        );
+    });
 }
 
 /// Reads a satisfying assignment back into a relational [`Instance`].

@@ -40,11 +40,17 @@ pub struct QueryCtx {
     pub cancel: CancelToken,
     /// The per-query wall-clock budget, if one is configured.
     pub timeout: Option<Duration>,
-    /// This query's private observability registry. Enabled exactly
-    /// when [`HarnessOptions::obs`] is enabled; whatever the job records
-    /// here is merged into that parent registry when the query finishes
-    /// (the per-query contents survive on [`QueryRecord::obs`]).
+    /// This query's private observability registry. Enabled when
+    /// [`HarnessOptions::obs`] is enabled (or tracing is on, so a
+    /// timeout autopsy has counters to snapshot); whatever the job
+    /// records here is merged into that parent registry when the query
+    /// finishes (the per-query contents survive on
+    /// [`QueryRecord::obs`]).
     pub obs: obs::Registry,
+    /// The run's event tracer — thread the clone into
+    /// [`crate::Options::with_tracer`] / [`crate::Session::set_tracer`]
+    /// so the query's phases land on this worker's flight-recorder ring.
+    pub trace: obs::trace::Tracer,
 }
 
 /// What a query reports back when it completes on its own.
@@ -111,6 +117,10 @@ pub struct QueryRecord {
     /// [`HarnessOptions::obs`] was enabled). Holds only this query's
     /// counters; the harness has already merged them into the parent.
     pub obs: obs::Registry,
+    /// The query's postmortem — the last flight-recorder events and a
+    /// counter snapshot, captured at completion. `Some` exactly when the
+    /// query timed out or was cancelled.
+    pub autopsy: Option<obs::trace::Autopsy>,
 }
 
 impl QueryRecord {
@@ -132,6 +142,10 @@ impl QueryRecord {
         if let Some(d) = &self.detail {
             s.push_str(",\"detail\":");
             json_string(&mut s, d);
+        }
+        if let Some(a) = &self.autopsy {
+            s.push_str(",\"autopsy\":");
+            s.push_str(&a.to_json());
         }
         s.push('}');
         s
@@ -223,6 +237,13 @@ pub struct HarnessOptions {
     /// finishes. Merge order follows completion order, so run totals
     /// are deterministic for single-job runs.
     pub obs: obs::Registry,
+    /// The run's event tracer. Defaults to the always-on flight
+    /// recorder ([`obs::trace::Tracer::flight_recorder`]): bounded
+    /// per-worker rings whose tail becomes the timeout autopsy. Swap in
+    /// [`obs::trace::Tracer::for_export`] for a full `--trace-out`
+    /// timeline, or [`obs::trace::Tracer::disabled`] to turn tracing
+    /// off entirely.
+    pub trace: obs::trace::Tracer,
 }
 
 impl Default for HarnessOptions {
@@ -232,6 +253,7 @@ impl Default for HarnessOptions {
             timeout: None,
             grace: Duration::from_secs(2),
             obs: obs::Registry::disabled(),
+            trace: obs::trace::Tracer::flight_recorder(),
         }
     }
 }
@@ -252,7 +274,7 @@ pub fn run_queries(
         return queries
             .into_iter()
             .map(|q| {
-                let rec = run_one(q, options.timeout, &options.obs);
+                let rec = run_one(q, options.timeout, &options.obs, &options.trace);
                 on_record(&rec);
                 rec
             })
@@ -268,32 +290,40 @@ pub fn run_queries(
         Arc::new(Mutex::new(HashMap::new()));
     let (tx, rx) = mpsc::channel::<(usize, QueryRecord)>();
 
+    let worker_counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let spawn_worker = {
         let queue = Arc::clone(&queue);
         let inflight = Arc::clone(&inflight);
         let timeout = options.timeout;
         let parent_obs = options.obs.clone();
+        let trace = options.trace.clone();
+        let worker_counter = Arc::clone(&worker_counter);
         move |tx: mpsc::Sender<(usize, QueryRecord)>| {
             let queue = Arc::clone(&queue);
             let inflight = Arc::clone(&inflight);
             let parent_obs = parent_obs.clone();
-            std::thread::spawn(move || loop {
-                let Some((idx, query)) = queue.lock().unwrap().pop_front() else {
-                    return;
-                };
-                let token = CancelToken::new();
-                let start = Instant::now();
-                inflight.lock().unwrap().insert(idx, (start, token.clone()));
-                let rec = execute(query, token.clone(), timeout, start, &parent_obs);
-                let still_ours = inflight.lock().unwrap().remove(&idx).is_some();
-                if !still_ours {
-                    // The dispatcher abandoned this query (and spawned a
-                    // replacement worker): drop the late result and exit
-                    // rather than oversubscribe the pool.
-                    return;
-                }
-                if tx.send((idx, rec)).is_err() {
-                    return;
+            let trace = trace.clone();
+            let worker = worker_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            std::thread::spawn(move || {
+                trace.set_thread_label(&format!("worker-{worker}"));
+                loop {
+                    let Some((idx, query)) = queue.lock().unwrap().pop_front() else {
+                        return;
+                    };
+                    let token = CancelToken::new();
+                    let start = Instant::now();
+                    inflight.lock().unwrap().insert(idx, (start, token.clone()));
+                    let rec = execute(query, token.clone(), timeout, start, &parent_obs, &trace);
+                    let still_ours = inflight.lock().unwrap().remove(&idx).is_some();
+                    if !still_ours {
+                        // The dispatcher abandoned this query (and spawned a
+                        // replacement worker): drop the late result and exit
+                        // rather than oversubscribe the pool.
+                        return;
+                    }
+                    if tx.send((idx, rec)).is_err() {
+                        return;
+                    }
                 }
             });
         }
@@ -345,6 +375,11 @@ pub fn run_queries(
                 obs.add("harness.queries", 1);
                 obs.add("harness.timeouts", 1);
                 options.obs.merge_from(&obs);
+                // The stuck worker can't snapshot its own ring, so read
+                // the merged tail from here — the seqlock read path skips
+                // any slot the worker is mid-write on.
+                let autopsy =
+                    obs::trace::Autopsy::capture(options.trace.tail(AUTOPSY_EVENTS), &obs);
                 let rec = QueryRecord {
                     name: names[idx].clone(),
                     verdict: "Unknown".to_string(),
@@ -355,6 +390,7 @@ pub fn run_queries(
                     wall: now - start,
                     detail: Some("abandoned: deadline and grace period expired".to_string()),
                     obs,
+                    autopsy: Some(autopsy),
                 };
                 on_record(&rec);
                 slots[idx] = Some(rec);
@@ -370,10 +406,19 @@ pub fn run_queries(
         .collect()
 }
 
+/// Flight-recorder events attached to a timeout autopsy: the last K
+/// events of the thread that ran the query.
+const AUTOPSY_EVENTS: usize = 64;
+
 /// Runs one query inline (the sequential path).
-fn run_one(query: Query, timeout: Option<Duration>, parent_obs: &obs::Registry) -> QueryRecord {
+fn run_one(
+    query: Query,
+    timeout: Option<Duration>,
+    parent_obs: &obs::Registry,
+    trace: &obs::trace::Tracer,
+) -> QueryRecord {
     let token = CancelToken::new();
-    execute(query, token, timeout, Instant::now(), parent_obs)
+    execute(query, token, timeout, Instant::now(), parent_obs, trace)
 }
 
 /// Executes a query body, converting panics into `Unknown` records, and
@@ -384,14 +429,25 @@ fn execute(
     timeout: Option<Duration>,
     start: Instant,
     parent_obs: &obs::Registry,
+    trace: &obs::trace::Tracer,
 ) -> QueryRecord {
     let ctx = QueryCtx {
         cancel: token.clone(),
         timeout,
-        obs: parent_obs.child(),
+        // Tracing implies an enabled per-query registry so a timeout
+        // autopsy has counters to snapshot; merging it into a disabled
+        // parent is a no-op, so flagless output is unaffected.
+        obs: if parent_obs.enabled() || trace.enabled() {
+            obs::Registry::new()
+        } else {
+            obs::Registry::disabled()
+        },
+        trace: trace.clone(),
     };
     let name = query.name.clone();
+    let query_span = trace.span(&format!("query:{name}"));
     let outcome = catch_unwind(AssertUnwindSafe(|| (query.run)(&ctx)));
+    drop(query_span);
     let wall = start.elapsed();
     // The solver may observe its own deadline and return just before the
     // supervisor cancels the token — count that as a timeout too.
@@ -405,6 +461,8 @@ fn execute(
     }
     ctx.obs.record_duration("time.query_wall", wall);
     parent_obs.merge_from(&ctx.obs);
+    let autopsy = timed_out
+        .then(|| obs::trace::Autopsy::capture(trace.tail_current_thread(AUTOPSY_EVENTS), &ctx.obs));
     match outcome {
         Ok(out) => QueryRecord {
             name,
@@ -416,6 +474,7 @@ fn execute(
             wall,
             detail: out.detail,
             obs: ctx.obs,
+            autopsy,
         },
         Err(payload) => {
             let msg = payload
@@ -433,6 +492,7 @@ fn execute(
                 wall,
                 detail: Some(format!("panic: {msg}")),
                 obs: ctx.obs,
+                autopsy,
             }
         }
     }

@@ -30,7 +30,7 @@ use satsolver::{CancelToken, Interrupt, Lit, Proof, SolveResult, Solver, SolverS
 
 use crate::circuit::{CircuitEncoder, GateId};
 use crate::finder::{decode, CheckResult, Options, Report, Verdict};
-use crate::symmetry::{break_symmetries, symmetry_classes};
+use crate::symmetry::{break_symmetries, formula_pins_atoms, symmetry_classes};
 use crate::translate::IncrementalTranslator;
 
 /// Cumulative work counters for a session.
@@ -104,6 +104,10 @@ pub struct Session {
     base_root: GateId,
     options: Options,
     num_symmetry_classes: usize,
+    /// True when symmetry breaking was requested but the base formula
+    /// pins atoms, so the predicates were skipped (see
+    /// [`formula_pins_atoms`]). Reported on every query's [`Report`].
+    symmetry_downgraded: bool,
     stats: SessionStats,
     /// The assumption core of the most recent query, when it was `Unsat`.
     last_core: Option<Vec<Lit>>,
@@ -130,11 +134,22 @@ impl Session {
         base: &Formula,
         options: Options,
     ) -> Result<Session, TypeError> {
+        let mut options = options;
         let mut stats = SessionStats::default();
         let t0 = Instant::now();
+        let translate_span = options.tracer.span("translate");
         let mut translator = IncrementalTranslator::new(schema, bounds, options.closure);
         let mut base_root = translator.formula(base)?;
         let mut num_symmetry_classes = 0;
+        let mut symmetry_downgraded = false;
+        if options.symmetry_breaking && formula_pins_atoms(base) {
+            // The base pins atoms, so lex-leader predicates over bounds
+            // symmetries would be unsound; run the whole session without
+            // them (which also re-permits enumeration).
+            options.symmetry_breaking = false;
+            symmetry_downgraded = true;
+            crate::finder::warn_symmetry_downgrade();
+        }
         if options.symmetry_breaking {
             let classes = symmetry_classes(schema, bounds);
             num_symmetry_classes = classes.len();
@@ -142,6 +157,7 @@ impl Session {
             let sym = break_symmetries(schema, bounds, circuit, rel_inputs, &classes);
             base_root = circuit.and(base_root, sym);
         }
+        drop(translate_span);
         stats.translate_time += t0.elapsed();
 
         let t1 = Instant::now();
@@ -149,9 +165,12 @@ impl Session {
         if options.proof_logging {
             solver.enable_proof_logging();
         }
+        solver.set_tracer(&options.tracer);
+        let encode_span = options.tracer.span("encode");
         let mut encoder = CircuitEncoder::new();
         let base_lit = encoder.encode(translator.circuit(), base_root, &mut solver);
         solver.add_clause(&[base_lit]);
+        drop(encode_span);
         stats.encode_time += t1.elapsed();
 
         Ok(Session {
@@ -161,6 +180,7 @@ impl Session {
             base_root,
             options,
             num_symmetry_classes,
+            symmetry_downgraded,
             stats,
             last_core: None,
         })
@@ -179,6 +199,14 @@ impl Session {
     /// Replaces the per-query cancellation token.
     pub fn set_cancel(&mut self, token: Option<CancelToken>) {
         self.options.cancel = token;
+    }
+
+    /// Replaces the session's event tracer: subsequent queries emit
+    /// translate/encode/solve spans and the solver's milestone events
+    /// into it.
+    pub fn set_tracer(&mut self, tracer: obs::trace::Tracer) {
+        self.solver.set_tracer(&tracer);
+        self.options.tracer = tracer;
     }
 
     /// Cumulative work counters.
@@ -203,23 +231,33 @@ impl Session {
     ///
     /// Returns a [`TypeError`] if `formula` violates arity discipline.
     pub fn solve(&mut self, formula: &Formula) -> Result<(Verdict, Report), TypeError> {
+        assert!(
+            !(self.options.symmetry_breaking && formula_pins_atoms(formula)),
+            "query pins atoms by identity, but this session's permanently \
+             asserted symmetry-breaking predicates would make the verdict \
+             unsound; create the session with Options::default()"
+        );
         let t0 = Instant::now();
         let deadline = self.options.deadline.map(|d| t0 + d);
         self.stats.queries += 1;
 
         let cells_before = self.translator.matrix_cells();
+        let translate_span = self.options.tracer.span("translate");
         let query_root = self.translator.formula(formula)?;
+        drop(translate_span);
         let translate_time = t0.elapsed();
         self.stats.translate_time += translate_time;
 
         let t1 = Instant::now();
         let hits_before = self.encoder.cache_hits();
         let tseitin_before = self.encoder.tseitin_clauses();
+        let encode_span = self.options.tracer.span("encode");
         let root_lit = self
             .encoder
             .encode(self.translator.circuit(), query_root, &mut self.solver);
         let act = self.solver.new_var();
         self.solver.add_clause(&[act.negative(), root_lit]);
+        drop(encode_span);
         self.stats.encode_time += t1.elapsed();
 
         let mut report = Report {
@@ -228,6 +266,7 @@ impl Session {
             sat_vars: self.solver.num_vars(),
             sat_clauses: self.solver.num_clauses(),
             symmetry_classes: self.num_symmetry_classes,
+            symmetry_downgraded: self.symmetry_downgraded,
             translate_time,
             gate_cache_hits: self.encoder.cache_hits() - hits_before,
             matrix_cells: self.translator.matrix_cells() - cells_before,
@@ -262,7 +301,9 @@ impl Session {
 
         let t2 = Instant::now();
         let stats_before = self.solver.stats();
+        let solve_span = self.options.tracer.span("solve");
         let result = self.solver.solve_with_assumptions(&[act.positive()]);
+        drop(solve_span);
         report.solve_time = t2.elapsed();
         self.stats.solve_time += report.solve_time;
         report.solver_stats = stats_delta(stats_before, self.solver.stats());

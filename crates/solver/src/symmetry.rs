@@ -9,9 +9,51 @@
 
 use std::collections::BTreeMap;
 
-use relational::{Atom, Bounds, Schema, Tuple, TupleSet};
+use relational::{Atom, Bounds, Expr, Formula, Schema, Tuple, TupleSet};
 
 use crate::circuit::{Circuit, GateId};
+
+/// True when `formula` mentions specific atoms by identity (a non-empty
+/// [`Expr::Const`]), which makes it unsafe to combine with bounds-only
+/// symmetry breaking.
+///
+/// [`symmetry_classes`] inspects the *bounds* alone; a constant inside
+/// the formula can pin an atom the bounds consider interchangeable, and
+/// the lex-leader predicates then exclude models that satisfy the pinned
+/// formula but are not lex-minimal — turning Sat into Unsat. (The litmus
+/// conformance sweep in PR 4 caught exactly this.) Empty constants are
+/// permutation-invariant and therefore fine; any non-empty constant is
+/// conservatively treated as pinning.
+pub fn formula_pins_atoms(formula: &Formula) -> bool {
+    match formula {
+        Formula::True | Formula::False => false,
+        Formula::Subset(a, b) | Formula::Equal(a, b) => expr_pins_atoms(a) || expr_pins_atoms(b),
+        Formula::Some(e) | Formula::No(e) | Formula::One(e) | Formula::Lone(e) => {
+            expr_pins_atoms(e)
+        }
+        Formula::Not(f) => formula_pins_atoms(f),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().any(formula_pins_atoms),
+        Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            formula_pins_atoms(a) || formula_pins_atoms(b)
+        }
+        Formula::ForAll(_, e, f) | Formula::Exists(_, e, f) => {
+            expr_pins_atoms(e) || formula_pins_atoms(f)
+        }
+    }
+}
+
+fn expr_pins_atoms(expr: &Expr) -> bool {
+    match expr {
+        Expr::Rel(_) | Expr::Var(_) | Expr::Iden | Expr::Univ | Expr::None(_) => false,
+        Expr::Const(ts) => !ts.is_empty(),
+        Expr::Union(a, b)
+        | Expr::Intersect(a, b)
+        | Expr::Difference(a, b)
+        | Expr::Join(a, b)
+        | Expr::Product(a, b) => expr_pins_atoms(a) || expr_pins_atoms(b),
+        Expr::Transpose(a) | Expr::Closure(a) | Expr::ReflexiveClosure(a) => expr_pins_atoms(a),
+    }
+}
 
 /// Computes the interchangeable-atom classes of `bounds`.
 ///

@@ -236,6 +236,7 @@ fn json_records_are_well_formed() {
         wall: Duration::from_millis(1500),
         detail: Some("tab\there".to_string()),
         obs: modelfinder::obs::Registry::disabled(),
+        autopsy: None,
     };
     let json = rec.to_json();
     assert_eq!(

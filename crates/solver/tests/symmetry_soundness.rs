@@ -3,10 +3,10 @@
 //! lex-leader-constrained model count is strictly smaller than the full
 //! count but nonzero whenever the full count is nonzero.
 
-use modelfinder::{ModelFinder, Options, Problem};
+use modelfinder::{ModelFinder, Options, Problem, Session};
 use relational::patterns;
 use relational::schema::rel;
-use relational::{Bounds, Formula, Schema};
+use relational::{Bounds, Expr, Formula, Schema, TupleSet};
 
 /// Counts all models via `enumerate` (which always disables symmetry
 /// breaking, keeping the count exact).
@@ -91,4 +91,82 @@ fn lex_leader_prunes_but_keeps_witnesses() {
         report.sat_clauses > plain_report.sat_clauses,
         "lex-leader constraints must add clauses"
     );
+}
+
+/// A problem whose formula pins atom 0 by identity: `r = {atom 0}` over a
+/// fully free unary relation. Atoms 0..2 are interchangeable by *bounds*,
+/// so naive lex-leader breaking would force the lex-minimal orbit
+/// representative (`r = {atom 2}` under our ordering) and wrongly report
+/// Unsat. The guard must detect the pin and downgrade instead.
+fn pinning_problem() -> Problem {
+    let mut schema = Schema::new();
+    let r = schema.relation("r", 1);
+    let bounds = Bounds::new(&schema, 3);
+    let formula = rel(r).equal(&Expr::constant(TupleSet::from_atoms([0])));
+    Problem {
+        schema,
+        bounds,
+        formula,
+    }
+}
+
+#[test]
+fn pinning_formula_downgrades_symmetry_and_stays_sat() {
+    let problem = pinning_problem();
+    let (verdict, report) = ModelFinder::new(Options::check()).solve(&problem).unwrap();
+    assert!(
+        verdict.instance().is_some(),
+        "r = {{atom 0}} is satisfiable; lex-leader predicates must not be applied"
+    );
+    assert!(
+        report.symmetry_downgraded,
+        "guard must record the downgrade"
+    );
+    assert_eq!(report.symmetry_classes, 0, "no predicates were emitted");
+    // A permutation-invariant problem on the same options keeps symmetry
+    // breaking active and does not report a downgrade.
+    let mut schema = Schema::new();
+    let r = schema.relation("r", 2);
+    let clean = Problem {
+        bounds: Bounds::new(&schema, 3),
+        formula: patterns::acyclic(&rel(r)).and(&rel(r).some()),
+        schema,
+    };
+    let (_, clean_report) = ModelFinder::new(Options::check()).solve(&clean).unwrap();
+    assert!(!clean_report.symmetry_downgraded);
+    assert!(clean_report.symmetry_classes > 0);
+}
+
+#[test]
+fn session_with_pinning_base_downgrades_and_still_enumerates() {
+    let problem = pinning_problem();
+    let mut session = Session::new(
+        &problem.schema,
+        &problem.bounds,
+        &problem.formula,
+        Options::check(),
+    )
+    .unwrap();
+    let (verdict, report) = session.solve(&Formula::True).unwrap();
+    assert!(verdict.instance().is_some());
+    assert!(report.symmetry_downgraded);
+    // The downgrade clears the asserted predicates, so enumeration (which
+    // a symmetry-active session must refuse) is permitted again and exact.
+    let n = session.enumerate(&Formula::True, 10, |_| {}).unwrap();
+    assert_eq!(n, 1, "exactly one model: r = {{atom 0}}");
+}
+
+#[test]
+#[should_panic(expected = "unsound")]
+fn pinning_query_on_symmetry_session_panics() {
+    // The base is permutation-invariant, so Session::new legitimately
+    // asserts lex-leader predicates. A later query that pins atoms cannot
+    // be answered soundly against them — and they cannot be retracted —
+    // so Session::solve must refuse loudly rather than misjudge.
+    let mut schema = Schema::new();
+    let r = schema.relation("r", 1);
+    let bounds = Bounds::new(&schema, 3);
+    let mut session = Session::new(&schema, &bounds, &Formula::True, Options::check()).unwrap();
+    let pinned = rel(r).equal(&Expr::constant(TupleSet::from_atoms([0])));
+    let _ = session.solve(&pinned);
 }

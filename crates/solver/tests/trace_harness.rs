@@ -1,0 +1,144 @@
+//! End-to-end checks for the event tracer under the query harness: span
+//! nesting stays balanced across the worker pool, timeouts attach a
+//! non-empty autopsy, and the Chrome export carries worker thread labels.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use modelfinder::obs::trace::{Autopsy, TraceEventKind, Tracer};
+use modelfinder::{HarnessOptions, ModelFinder, Options, Problem, Query, QueryOutput};
+use relational::patterns;
+use relational::schema::rel;
+use relational::{Bounds, Schema};
+
+/// A small satisfiable problem (acyclic non-empty binary relation).
+fn small_problem(universe: usize) -> Problem {
+    let mut schema = Schema::new();
+    let r = schema.relation("r", 2);
+    let bounds = Bounds::new(&schema, universe);
+    Problem {
+        schema,
+        bounds,
+        formula: patterns::acyclic(&rel(r)).and(&rel(r).some()),
+    }
+}
+
+fn solve_query(name: &str, universe: usize) -> Query {
+    let name = name.to_string();
+    Query::new(name, move |ctx| {
+        let options = Options::default()
+            .with_cancel(ctx.cancel.clone())
+            .with_tracer(ctx.trace.clone());
+        let (verdict, report) = ModelFinder::new(options)
+            .solve(&small_problem(universe))
+            .expect("well-typed problem");
+        report.record_obs(&ctx.obs);
+        QueryOutput {
+            verdict: if verdict.instance().is_some() {
+                "Sat".to_string()
+            } else {
+                "Unsat".to_string()
+            },
+            sat_vars: report.sat_vars as u64,
+            sat_clauses: report.sat_clauses as u64,
+            ..QueryOutput::default()
+        }
+    })
+}
+
+#[test]
+fn span_nesting_stays_balanced_under_worker_pool() {
+    let tracer = Tracer::for_export();
+    let options = HarnessOptions {
+        jobs: 3,
+        timeout: Some(Duration::from_secs(60)),
+        trace: tracer.clone(),
+        ..HarnessOptions::default()
+    };
+    let queries: Vec<Query> = (0..9)
+        .map(|i| solve_query(&format!("q{i}"), 3 + (i % 3)))
+        .collect();
+    let records = modelfinder::harness::run_queries(queries, &options, |_| {});
+    assert_eq!(records.len(), 9);
+    assert!(records.iter().all(|r| r.verdict == "Sat"));
+
+    let snapshot = tracer.snapshot();
+    assert_eq!(snapshot.dropped, 0, "export capacity must not drop events");
+    // Replay each thread's events through a stack: every SpanEnd must
+    // match the innermost open SpanBegin, and every stack must drain.
+    let mut stacks: HashMap<u32, Vec<String>> = HashMap::new();
+    let mut query_spans = 0;
+    for e in &snapshot.events {
+        match e.kind {
+            TraceEventKind::SpanBegin => {
+                if e.name.starts_with("query:") {
+                    query_spans += 1;
+                }
+                stacks.entry(e.tid).or_default().push(e.name.clone());
+            }
+            TraceEventKind::SpanEnd => {
+                let top = stacks.entry(e.tid).or_default().pop();
+                assert_eq!(top.as_deref(), Some(e.name.as_str()), "mismatched end");
+            }
+            _ => {}
+        }
+    }
+    assert!(stacks.values().all(Vec::is_empty), "spans left open");
+    assert_eq!(query_spans, 9, "one query span per query");
+    // Workers label their threads; the export surfaces the labels.
+    let labels: Vec<&str> = snapshot.threads.iter().map(|(_, l)| l.as_str()).collect();
+    assert!(labels.contains(&"worker-0"), "labels: {labels:?}");
+    // Phase spans from the finder appear inside the harness spans.
+    for phase in ["translate", "encode", "solve"] {
+        assert!(
+            snapshot
+                .events
+                .iter()
+                .any(|e| e.kind == TraceEventKind::SpanBegin && e.name == phase),
+            "missing {phase} span"
+        );
+    }
+}
+
+#[test]
+fn timed_out_query_carries_a_non_empty_autopsy() {
+    let options = HarnessOptions {
+        jobs: 2,
+        // Zero budget: every query is marked timed out as soon as it
+        // finishes (cooperative path), which must attach an autopsy.
+        timeout: Some(Duration::ZERO),
+        grace: Duration::from_secs(120),
+        ..HarnessOptions::default()
+    };
+    let queries = vec![solve_query("slowpoke", 4)];
+    let records = modelfinder::harness::run_queries(queries, &options, |_| {});
+    assert_eq!(records.len(), 1);
+    let rec = &records[0];
+    assert!(rec.timed_out);
+    let autopsy: &Autopsy = rec.autopsy.as_ref().expect("timeout must attach autopsy");
+    assert!(!autopsy.is_empty(), "autopsy must carry events or counters");
+    assert!(
+        autopsy
+            .events
+            .iter()
+            .any(|e| e.name.starts_with("query:slowpoke")),
+        "flight recorder should hold the query span"
+    );
+    let json = rec.to_json();
+    assert!(json.contains("\"autopsy\":{\"events\":["), "json: {json}");
+    assert!(json.contains("\"counters\":{"), "json: {json}");
+}
+
+#[test]
+fn queries_within_budget_have_no_autopsy() {
+    let options = HarnessOptions {
+        jobs: 2,
+        timeout: Some(Duration::from_secs(60)),
+        ..HarnessOptions::default()
+    };
+    let queries = vec![solve_query("quick", 3)];
+    let records = modelfinder::harness::run_queries(queries, &options, |_| {});
+    assert!(!records[0].timed_out);
+    assert!(records[0].autopsy.is_none());
+    assert!(!records[0].to_json().contains("autopsy"));
+}

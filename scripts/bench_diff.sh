@@ -3,14 +3,20 @@
 # binaries' --stats-json / --bench-json flags) counter by counter and
 # flags regressions: any counter whose value grew beyond
 # BENCH_DIFF_MAX_RATIO (default 1.20, i.e. +20%) over the baseline.
-# Timings are ignored on purpose — wall clock is machine- and
-# load-dependent, while counters (propagations, conflicts, gates,
-# matrix cells, …) are deterministic workload measures for fixed-seed
-# single-job runs, so any counter growth is a real encoding or search
-# change, not noise.
+# A counter present in the baseline but missing from the candidate is
+# also a failure: silently losing instrumentation is how regressions
+# hide, so coverage loss must be explicit (delete the baseline entry to
+# acknowledge an intentional removal).
+#
+# Timing and histogram records are diffed too, but report-only — wall
+# clock is machine- and load-dependent, and histogram shapes shift with
+# allocator/scheduling noise — while counters (propagations, conflicts,
+# gates, matrix cells, …) are deterministic workload measures for
+# fixed-seed single-job runs, so only counter growth gates the exit
+# code.
 #
 # usage: bench_diff.sh <baseline.json> <current.json>
-# exit:  0 no regressions, 1 regressions found, 2 usage error
+# exit:  0 no regressions, 1 regressions/missing counters, 2 usage error
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
@@ -26,11 +32,87 @@ extract_counters() {
     sed -n 's/^{"kind":"counter","name":"\(.*\)","value":\([0-9][0-9]*\)}$/\1 \2/p' "$1"
 }
 
+# Extracts "name count total_secs" from the timing records.
+extract_timings() {
+    sed -n 's/^{"kind":"timing","name":"\(.*\)","count":\([0-9][0-9]*\),"total_secs":\([0-9.][0-9.]*\)}$/\1 \2 \3/p' "$1"
+}
+
+# Extracts "name count sum" from the histogram records (buckets are too
+# noisy to line up; count/sum capture the distribution's mass).
+extract_histograms() {
+    sed -n 's/^{"kind":"histogram","name":"\(.*\)","count":\([0-9][0-9]*\),"sum":\([0-9][0-9]*\),"buckets":.*}$/\1 \2 \3/p' "$1"
+}
+
+# --- report-only sections -------------------------------------------------
+
+report_timings() {
+    awk '
+        NR == FNR { base_n[$1] = $2; base_s[$1] = $3; next }
+        { cur_n[$1] = $2; cur_s[$1] = $3 }
+        END {
+            shown = 0
+            for (name in cur_n) {
+                if (!(name in base_n)) {
+                    printf "  new      %-52s %sx %ss\n", name, cur_n[name], cur_s[name]
+                    shown++
+                } else if (cur_n[name] != base_n[name] || cur_s[name] != base_s[name]) {
+                    printf "  changed  %-52s %sx %ss -> %sx %ss\n", \
+                        name, base_n[name], base_s[name], cur_n[name], cur_s[name]
+                    shown++
+                }
+            }
+            for (name in base_n) {
+                if (!(name in cur_n)) {
+                    printf "  dropped  %-52s %sx %ss\n", name, base_n[name], base_s[name]
+                    shown++
+                }
+            }
+            if (shown == 0) print "  (no timing differences)"
+        }
+    ' <(extract_timings "$baseline") <(extract_timings "$current")
+}
+
+report_histograms() {
+    awk '
+        NR == FNR { base_n[$1] = $2; base_s[$1] = $3; next }
+        { cur_n[$1] = $2; cur_s[$1] = $3 }
+        END {
+            shown = 0
+            for (name in cur_n) {
+                if (!(name in base_n)) {
+                    printf "  new      %-52s count=%s sum=%s\n", name, cur_n[name], cur_s[name]
+                    shown++
+                } else if (cur_n[name] != base_n[name] || cur_s[name] != base_s[name]) {
+                    printf "  changed  %-52s count=%s sum=%s -> count=%s sum=%s\n", \
+                        name, base_n[name], base_s[name], cur_n[name], cur_s[name]
+                    shown++
+                }
+            }
+            for (name in base_n) {
+                if (!(name in cur_n)) {
+                    printf "  dropped  %-52s count=%s sum=%s\n", name, base_n[name], base_s[name]
+                    shown++
+                }
+            }
+            if (shown == 0) print "  (no histogram differences)"
+        }
+    ' <(extract_histograms "$baseline") <(extract_histograms "$current")
+}
+
+echo "timings (report-only, never gate the exit code):"
+report_timings
+echo "histograms (report-only, never gate the exit code):"
+report_histograms
+echo "counters (gating, threshold ${max_ratio}x):"
+
+# --- gating section: counters ---------------------------------------------
+
 awk -v max_ratio="$max_ratio" '
     NR == FNR { base[$1] = $2; seen_base++; next }
     { cur[$1] = $2 }
     END {
         regressions = 0
+        missing = 0
         compared = 0
         for (name in cur) {
             if (!(name in base)) {
@@ -49,12 +131,13 @@ awk -v max_ratio="$max_ratio" '
         }
         for (name in base) {
             if (!(name in cur)) {
-                printf "dropped    %-56s %s\n", name, base[name]
+                printf "MISSING    %-56s %s -> (absent from candidate)\n", name, base[name]
+                missing++
             }
         }
-        if (regressions > 0) {
-            printf "bench_diff: %d regression(s) across %d compared counters (threshold %.2fx)\n", \
-                regressions, compared, max_ratio
+        if (regressions > 0 || missing > 0) {
+            printf "bench_diff: %d regression(s), %d missing counter(s) across %d compared counters (threshold %.2fx)\n", \
+                regressions, missing, compared, max_ratio
             exit 1
         }
         printf "bench_diff: no regressions across %d compared counters (threshold %.2fx)\n", \

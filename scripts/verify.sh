@@ -22,7 +22,9 @@ smoke_json="$(mktemp)"
 stats_a="$(mktemp)"
 stats_b="$(mktemp)"
 stats_inflated="$(mktemp)"
-trap 'rm -f "$smoke_json" "$stats_a" "$stats_b" "$stats_inflated"' EXIT
+trace_json="$(mktemp)"
+autopsy_json="$(mktemp)"
+trap 'rm -f "$smoke_json" "$stats_a" "$stats_b" "$stats_inflated" "$trace_json" "$autopsy_json"' EXIT
 
 # Fast incremental-equivalence smoke: at bound 3 fig17_table runs every
 # axiom query both from scratch and through a shared session, and exits
@@ -60,6 +62,48 @@ awk -F'"value":' '/^\{"kind":"counter"/ { printf "%s\"value\":%d}\n", $1, 2 * $2
     "$stats_a" > "$stats_inflated"
 if scripts/bench_diff.sh "$stats_a" "$stats_inflated" > /dev/null; then
     echo "verify.sh: bench_diff.sh failed to flag a 2x counter inflation" >&2
+    exit 1
+fi
+
+# Trace smoke: a bound-3 fig17_table run with --trace-out must produce
+# a Chrome trace-event JSON file that traceview accepts (traceview's
+# parser rejects malformed JSON with a nonzero exit) with the three
+# solver phase spans; a ptxherd sweep must tag query spans. traceview
+# doubles as the well-formedness checker for both files.
+echo "== trace smoke (--trace-out + traceview) =="
+cargo run --release --offline -q -p ptxmm-bench --bin fig17_table -- 3 \
+    --trace-out "$trace_json" > /dev/null
+for span in translate encode solve; do
+    if ! grep -q "\"name\":\"$span\"" "$trace_json"; then
+        echo "verify.sh: trace is missing the $span span" >&2
+        exit 1
+    fi
+done
+cargo run --release --offline -q -p ptxmm-obs --bin traceview -- "$trace_json" \
+    | grep -q "top spans by self-time"
+cargo run --release --offline -q -p ptxmm-litmus --bin ptxherd -- \
+    --suite --sat --trace-out "$trace_json" > /dev/null
+grep -q '"name":"query:' "$trace_json"
+cargo run --release --offline -q -p ptxmm-obs --bin traceview -- "$trace_json" \
+    | grep -q "per-query phase attribution"
+
+# Timeout-autopsy smoke: with a zero-second budget every query times out
+# and its JSON record must carry a non-empty flight-recorder autopsy
+# (events + live counters). ptxherd exits non-zero on timeouts, which is
+# expected here.
+echo "== timeout-autopsy smoke (ptxherd --timeout-secs 0 --json) =="
+cargo run --release --offline -q -p ptxmm-litmus --bin ptxherd -- \
+    --suite --sat --timeout-secs 0 --json > "$autopsy_json" || true
+grep -q '"timed_out":true' "$autopsy_json"
+grep -q '"autopsy":{"events":\[{' "$autopsy_json"
+grep -q '"counters":{"' "$autopsy_json"
+
+# JSON-escaper dedup: obs::json is the workspace's single escaper; any
+# hand-rolled copy (the telltale is emitting a backslash escape with
+# push_str) outside it tends to drift on control characters. Keep it so.
+echo "== single JSON escaper check =="
+if grep -rn 'push_str("\\\\' crates --include='*.rs' | grep -v 'crates/obs/src/json.rs'; then
+    echo "verify.sh: hand-rolled JSON escaping outside obs::json (use obs::json::escape_into)" >&2
     exit 1
 fi
 
