@@ -18,7 +18,7 @@
 
 use std::fmt;
 
-use satsolver::{drat, Lit, SolveResult, Solver, Var};
+use satsolver::{drat, ArenaMode, Lit, SolveResult, Solver, Var};
 use testkit::Rng;
 
 use crate::{Disagreement, RoundStats};
@@ -145,10 +145,22 @@ fn dpll(clauses: &[Vec<i32>], assign: &mut [Option<bool>]) -> bool {
 }
 
 /// Runs one instance through CDCL (with proof logging) and every check
-/// listed in the module docs. `Err` explains the first failure.
+/// listed in the module docs — twice: once with the default solver
+/// configuration, and once in a stress configuration (huge-page clause
+/// arena, reduction sweep after every conflict) that forces the LBD
+/// deletion policy and arena compaction onto even these tiny instances.
+/// Both runs face the same oracle and both must produce certifiable
+/// DRAT proofs. `Err` explains the first failure.
 pub fn check(case: &CnfCase) -> Result<RoundStats, String> {
+    let stats = check_with(case, Solver::new())?;
+    let mut stress = Solver::with_arena_mode(ArenaMode::HugePages);
+    stress.set_reduce_interval(1);
+    check_with(case, stress).map_err(|e| format!("stress config: {e}"))?;
+    Ok(stats)
+}
+
+fn check_with(case: &CnfCase, mut solver: Solver) -> Result<RoundStats, String> {
     let expected = oracle_sat(case);
-    let mut solver = Solver::new();
     solver.enable_proof_logging();
     let vars: Vec<Var> = (0..case.num_vars).map(|_| solver.new_var()).collect();
     let lit = |l: i32| -> Lit {

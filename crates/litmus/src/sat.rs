@@ -602,6 +602,13 @@ impl SatSession {
         self.session.stats()
     }
 
+    /// Cumulative counters of the pooled solver itself (all queries so
+    /// far) — e.g. `reduce_sweeps` to check that learnt-DB reduction
+    /// keeps firing on late queries.
+    pub fn solver_stats(&self) -> modelfinder::SolverStats {
+        self.session.solver_stats()
+    }
+
     /// The session's DRAT proof, when opened with proof logging. The
     /// proof is append-only across [`SatSession::run`] calls; check it
     /// incrementally with [`modelfinder::drat::Checker::absorb`].

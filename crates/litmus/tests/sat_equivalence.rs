@@ -98,3 +98,65 @@ fn sessions_match_scratch_and_enumeration_on_the_bundled_suite() {
         .values()
         .any(|(s, _)| s.stats().queries > 1 && s.stats().gate_cache_hits > 0));
 }
+
+#[test]
+fn forced_reduction_cadence_preserves_every_verdict() {
+    // Rerun gate for the learnt-DB retention fix: pin the reduction
+    // cadence to its most aggressive setting (a sweep after every
+    // conflict) so the LBD deletion policy fires constantly, including
+    // across pooled queries, and require the exact verdicts the default
+    // policy produces. Every Unsat answer must still carry a DRAT
+    // certificate — deletions are logged, so a bad deletion (removing a
+    // clause still referenced by the proof) fails certification here.
+    let forced = Options::default()
+        .with_proof_logging()
+        .with_reduce_interval(1);
+    let mut sessions: BTreeMap<Signature, (SatSession, drat::Checker)> = BTreeMap::new();
+    let mut checked = 0usize;
+    for test in library::extended_suite() {
+        if sat::supported(&test).is_err() {
+            continue;
+        }
+        let sig = sat::signature(&test.program);
+        let (session, checker) = match sessions.entry(sig) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => e.insert((
+                SatSession::with_options(sig, forced.clone()).expect("internal encoding error"),
+                drat::Checker::new(),
+            )),
+        };
+        let answer = session.run(&test).expect("supported test");
+        checker
+            .absorb(session.proof().expect("proof logging enabled"))
+            .unwrap_or_else(|e| panic!("proof rejected on {}: {e}", test.name));
+        if answer.observable == Some(false) {
+            let core = session.last_core().expect("unsat answers record a core");
+            checker
+                .expect_core(core)
+                .unwrap_or_else(|e| panic!("core not certified on {}: {e}", test.name));
+        }
+
+        let ground_truth = run_ptx(&test);
+        assert_eq!(
+            answer.observable,
+            Some(ground_truth.observable),
+            "forced-cadence SAT path and enumeration disagree on {}",
+            test.name
+        );
+        assert_eq!(
+            answer.passed,
+            Some(ground_truth.passed),
+            "forced-cadence verdict drift on {}",
+            test.name
+        );
+        checked += 1;
+    }
+    assert!(checked >= 20, "only {checked} tests took the SAT path");
+
+    // The point of the gate: the aggressive cadence actually swept.
+    let swept: u64 = sessions
+        .values()
+        .map(|(s, _)| s.solver_stats().reduce_sweeps)
+        .sum();
+    assert!(swept > 0, "pinned cadence of 1 never triggered a sweep");
+}

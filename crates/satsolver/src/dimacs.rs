@@ -19,6 +19,16 @@ pub enum ParseDimacsError {
     VarOutOfRange(i64),
     /// The final clause was not terminated with `0`.
     UnterminatedClause,
+    /// The header declared a clause count that does not match the number
+    /// of clauses actually present. Silently accepting this would let a
+    /// truncated file (e.g. an interrupted download) parse as a weaker —
+    /// possibly satisfiable — formula.
+    ClauseCountMismatch {
+        /// The clause count from the `p cnf` header.
+        declared: usize,
+        /// The number of `0`-terminated clauses found in the body.
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for ParseDimacsError {
@@ -30,6 +40,10 @@ impl std::fmt::Display for ParseDimacsError {
                 write!(f, "literal {l} exceeds declared variable count")
             }
             ParseDimacsError::UnterminatedClause => write!(f, "final clause not terminated by 0"),
+            ParseDimacsError::ClauseCountMismatch { declared, found } => write!(
+                f,
+                "header declares {declared} clauses but the body has {found}"
+            ),
         }
     }
 }
@@ -50,10 +64,12 @@ impl Cnf {
     ///
     /// # Errors
     ///
-    /// Returns a [`ParseDimacsError`] for malformed headers, tokens, or an
-    /// unterminated final clause.
+    /// Returns a [`ParseDimacsError`] for malformed headers or tokens, an
+    /// unterminated final clause, or a header clause count that does not
+    /// match the body (both silent-truncation hazards).
     pub fn parse(input: &str) -> Result<Cnf, ParseDimacsError> {
         let mut num_vars: Option<usize> = None;
+        let mut num_clauses: Option<usize> = None;
         let mut clauses = Vec::new();
         let mut current: Vec<Lit> = Vec::new();
         for line in input.lines() {
@@ -63,13 +79,22 @@ impl Cnf {
             }
             if line.starts_with('p') {
                 let mut parts = line.split_whitespace();
-                let (p, cnf, v) = (parts.next(), parts.next(), parts.next());
+                let (p, cnf, v, c) = (parts.next(), parts.next(), parts.next(), parts.next());
                 match (p, cnf, v) {
                     (Some("p"), Some("cnf"), Some(v)) => {
                         num_vars = Some(
                             v.parse::<usize>()
                                 .map_err(|_| ParseDimacsError::BadHeader(line.to_string()))?,
                         );
+                        // The clause count is optional in practice (some
+                        // generators omit it), but when present it must
+                        // parse and is checked against the body.
+                        if let Some(c) = c {
+                            num_clauses = Some(
+                                c.parse::<usize>()
+                                    .map_err(|_| ParseDimacsError::BadHeader(line.to_string()))?,
+                            );
+                        }
                     }
                     _ => return Err(ParseDimacsError::BadHeader(line.to_string())),
                 }
@@ -93,6 +118,14 @@ impl Cnf {
         }
         if !current.is_empty() {
             return Err(ParseDimacsError::UnterminatedClause);
+        }
+        if let Some(declared) = num_clauses {
+            if declared != clauses.len() {
+                return Err(ParseDimacsError::ClauseCountMismatch {
+                    declared,
+                    found: clauses.len(),
+                });
+            }
         }
         let declared = num_vars.unwrap_or(0);
         let max_used = clauses
@@ -180,6 +213,66 @@ mod tests {
         assert!(matches!(
             Cnf::parse("p cnf 1 1\n1"),
             Err(ParseDimacsError::UnterminatedClause)
+        ));
+    }
+
+    #[test]
+    fn missing_terminator_at_eof_is_an_error() {
+        // A file that simply ends mid-clause must not silently drop the
+        // trailing literals (truncated-download hazard).
+        assert_eq!(
+            Cnf::parse("p cnf 3 2\n1 2 0\n-1 3"),
+            Err(ParseDimacsError::UnterminatedClause)
+        );
+        // Even when whitespace/newlines follow the unterminated clause.
+        assert_eq!(
+            Cnf::parse("p cnf 3 2\n1 2 0\n-1 3\n\n"),
+            Err(ParseDimacsError::UnterminatedClause)
+        );
+    }
+
+    #[test]
+    fn clause_count_mismatch_is_an_error() {
+        // Fewer clauses than declared: a truncated file parsed this far
+        // would otherwise pass as a weaker formula.
+        assert_eq!(
+            Cnf::parse("p cnf 2 3\n1 2 0\n-1 2 0\n"),
+            Err(ParseDimacsError::ClauseCountMismatch {
+                declared: 3,
+                found: 2
+            })
+        );
+        // More clauses than declared is just as malformed.
+        assert_eq!(
+            Cnf::parse("p cnf 2 1\n1 2 0\n-1 2 0\n"),
+            Err(ParseDimacsError::ClauseCountMismatch {
+                declared: 1,
+                found: 2
+            })
+        );
+        let err = ParseDimacsError::ClauseCountMismatch {
+            declared: 3,
+            found: 2,
+        };
+        assert_eq!(
+            err.to_string(),
+            "header declares 3 clauses but the body has 2"
+        );
+    }
+
+    #[test]
+    fn header_without_clause_count_is_accepted() {
+        // Some generators emit only `p cnf <vars>`; the body then defines
+        // the clause count.
+        let cnf = Cnf::parse("p cnf 2\n1 2 0\n-1 2 0\n").unwrap();
+        assert_eq!(cnf.clauses.len(), 2);
+    }
+
+    #[test]
+    fn unparsable_clause_count_is_a_bad_header() {
+        assert!(matches!(
+            Cnf::parse("p cnf 2 x\n1 2 0\n"),
+            Err(ParseDimacsError::BadHeader(_))
         ));
     }
 

@@ -5,13 +5,17 @@
 //! model questions into CNF and discharges them here, exactly as Alloy
 //! discharges Kodkod translations to an off-the-shelf SAT solver.
 //!
-//! The implementation follows the MiniSat architecture:
+//! The implementation follows the MiniSat architecture with
+//! Glucose-style refinements:
 //!
-//! * two-watched-literal unit propagation with blocker literals,
+//! * two-watched-literal unit propagation with blocker literals and
+//!   dedicated binary-clause watch lists,
 //! * first-UIP conflict analysis with basic clause minimization,
 //! * VSIDS variable activities with phase saving,
-//! * Luby-sequence restarts,
-//! * activity-driven learnt clause deletion with arena compaction.
+//! * Luby-sequence restarts that persist across incremental queries,
+//! * LBD ("glue") based learnt clause retention on a conflict cadence,
+//! * bump-arena clause storage with compaction and an optional
+//!   huge-page allocation mode ([`ArenaMode`]).
 //!
 //! # Examples
 //!
@@ -32,7 +36,7 @@
 
 #![warn(missing_docs)]
 
-mod clause;
+mod arena;
 mod dimacs;
 pub mod drat;
 mod heap;
@@ -41,6 +45,7 @@ mod proof;
 mod solver;
 mod types;
 
+pub use arena::ArenaMode;
 pub use dimacs::{Cnf, ParseDimacsError};
 pub use drat::{DratError, DratOutcome};
 pub use interrupt::{CancelToken, Interrupt};

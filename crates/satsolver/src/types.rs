@@ -46,7 +46,11 @@ impl fmt::Display for Var {
 ///
 /// Encoded as `var << 1 | negated` so that a literal and its negation are
 /// adjacent codes, which makes watch lists cheap to index.
+///
+/// `repr(transparent)` is load-bearing: the clause arena stores literals
+/// as raw `u32` words and reinterprets word slices as `&[Lit]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Lit(u32);
 
 impl Lit {

@@ -52,6 +52,12 @@ pub struct Options {
     /// receiving the SAT solver's milestone events. The
     /// [`obs::trace::Tracer::disabled`] default records nothing.
     pub tracer: obs::trace::Tracer,
+    /// Overrides the SAT solver's learnt-database reduction cadence
+    /// (conflicts between sweeps; see
+    /// [`satsolver::Solver::set_reduce_interval`]). `None` keeps the
+    /// solver default, which is tuned for real workloads; tests and
+    /// stress harnesses lower it to force sweeps on small instances.
+    pub reduce_interval: Option<u64>,
 }
 
 impl Options {
@@ -84,6 +90,13 @@ impl Options {
     /// This configuration with an event tracer.
     pub fn with_tracer(mut self, tracer: obs::trace::Tracer) -> Options {
         self.tracer = tracer;
+        self
+    }
+
+    /// This configuration with an explicit learnt-database reduction
+    /// cadence (conflicts between sweeps).
+    pub fn with_reduce_interval(mut self, interval: u64) -> Options {
+        self.reduce_interval = Some(interval);
         self
     }
 }
@@ -181,11 +194,14 @@ impl Report {
         }
         let s = &self.solver_stats;
         reg.add("solver.propagations", s.propagations);
+        reg.add("solver.binary_propagations", s.binary_propagations);
         reg.add("solver.conflicts", s.conflicts);
         reg.add("solver.decisions", s.decisions);
         reg.add("solver.restarts", s.restarts);
         reg.add("solver.learnt_clauses", s.learnt_clauses);
         reg.add("solver.learnt_literals", s.learnt_literals);
+        reg.add("solver.lbd_sum", s.lbd_sum);
+        reg.add("solver.lbd_glue_learnts", s.lbd_glue_learnts);
         reg.add("solver.reduce_sweeps", s.reduce_sweeps);
         reg.add("solver.deleted_clauses", s.deleted_clauses);
         if let Some(proof) = &self.proof {
@@ -278,6 +294,9 @@ impl ModelFinder {
         solver.set_deadline(deadline);
         solver.set_cancel_token(self.options.cancel.clone());
         solver.set_tracer(trace);
+        if let Some(interval) = self.options.reduce_interval {
+            solver.set_reduce_interval(interval);
+        }
         let encode_span = trace.span("encode");
         let mut encoder = CircuitEncoder::new();
         let root_lit = encoder.encode(&translation.circuit, root, &mut solver);
@@ -362,6 +381,9 @@ impl ModelFinder {
         solver.set_propagation_budget(self.options.propagation_budget);
         solver.set_deadline(self.options.deadline.map(|d| Instant::now() + d));
         solver.set_cancel_token(self.options.cancel.clone());
+        if let Some(interval) = self.options.reduce_interval {
+            solver.set_reduce_interval(interval);
+        }
         let input_vars = translation.circuit.to_solver(translation.root, &mut solver);
         let all_inputs: Vec<Var> = input_vars.values().copied().collect();
         let mut count = 0;

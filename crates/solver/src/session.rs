@@ -166,6 +166,9 @@ impl Session {
             solver.enable_proof_logging();
         }
         solver.set_tracer(&options.tracer);
+        if let Some(interval) = options.reduce_interval {
+            solver.set_reduce_interval(interval);
+        }
         let encode_span = options.tracer.span("encode");
         let mut encoder = CircuitEncoder::new();
         let base_lit = encoder.encode(translator.circuit(), base_root, &mut solver);
@@ -469,6 +472,13 @@ impl Session {
     pub fn num_learnts(&self) -> usize {
         self.solver.num_learnts()
     }
+
+    /// Cumulative counters of the session's long-lived solver (across
+    /// every query so far) — lets callers assert that cross-query
+    /// policies such as learnt-DB reduction actually fire.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
 }
 
 /// Per-query solver counters: the difference between two cumulative
@@ -478,9 +488,12 @@ fn stats_delta(before: SolverStats, after: SolverStats) -> SolverStats {
         conflicts: after.conflicts - before.conflicts,
         decisions: after.decisions - before.decisions,
         propagations: after.propagations - before.propagations,
+        binary_propagations: after.binary_propagations - before.binary_propagations,
         restarts: after.restarts - before.restarts,
         learnt_clauses: after.learnt_clauses - before.learnt_clauses,
         learnt_literals: after.learnt_literals - before.learnt_literals,
+        lbd_sum: after.lbd_sum - before.lbd_sum,
+        lbd_glue_learnts: after.lbd_glue_learnts - before.lbd_glue_learnts,
         reduce_sweeps: after.reduce_sweeps - before.reduce_sweeps,
         deleted_clauses: after.deleted_clauses - before.deleted_clauses,
     }
@@ -627,5 +640,65 @@ mod tests {
         session.set_deadline(None);
         let (v, _) = session.solve(&rel(r).some()).unwrap();
         assert!(v.instance().is_some());
+    }
+
+    #[test]
+    fn reduce_db_keeps_firing_across_session_queries() {
+        // Regression test for the learnt-clause retention bug: the old
+        // `max_learnt` threshold grew geometrically on every sweep and
+        // was never reset between queries, so a long-lived session
+        // progressively stopped deleting learnt clauses. The
+        // conflict-cadence policy must keep sweeping on late queries.
+        let mut schema = Schema::new();
+        let r = schema.relation("r", 2);
+        let bounds = Bounds::new(&schema, 6);
+        let base = patterns::acyclic(&rel(r));
+        let mut session = Session::new(
+            &schema,
+            &bounds,
+            &base,
+            Options::default().with_reduce_interval(1),
+        )
+        .unwrap();
+        // Warm up the session with many easy queries: the point is query
+        // *count*, not difficulty — the old policy's threshold only ever
+        // ratcheted up across queries, so late queries stopped sweeping.
+        let queries = [
+            rel(r).some(),
+            rel(r).no(),
+            rel(r).one(),
+            rel(r).join(&rel(r)).some(),
+            patterns::irreflexive(&rel(r)),
+        ];
+        for _ in 0..4 {
+            for q in &queries {
+                let _ = session.solve(q).unwrap();
+            }
+        }
+        // Late, conflict-heavy work on the same solver must still run
+        // reduction sweeps. Enumeration blocks each model it finds, so
+        // walking hundreds of models forces conflicts regardless of how
+        // lucky the saved phases are; the fresh UNSAT query adds an
+        // exhaustive search on top.
+        let before = session.solver.stats();
+        let _ = session.enumerate(&rel(r).some(), 300, |_| {}).unwrap();
+        let fresh = patterns::strict_total_order_on(&rel(r), &relational::Expr::Univ)
+            .and(&rel(r).join(&rel(r)).intersect(&rel(r)).no());
+        let (v, _) = session.solve(&fresh).unwrap();
+        assert!(
+            v.is_unsat(),
+            "a total order on 6 atoms always has r;r ∩ r ≠ ∅"
+        );
+        let late = stats_delta(before, session.solver.stats());
+        assert!(
+            late.conflicts > 0,
+            "late phase produced no conflicts; test needs harder queries"
+        );
+        assert!(
+            late.reduce_sweeps > 0,
+            "reduce_db stopped firing on late session queries \
+             ({} conflicts in the late phase)",
+            late.conflicts
+        );
     }
 }

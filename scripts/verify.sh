@@ -24,7 +24,10 @@ stats_b="$(mktemp)"
 stats_inflated="$(mktemp)"
 trace_json="$(mktemp)"
 autopsy_json="$(mktemp)"
-trap 'rm -f "$smoke_json" "$stats_a" "$stats_b" "$stats_inflated" "$trace_json" "$autopsy_json"' EXIT
+reduce_json="$(mktemp)"
+bench_base="$(mktemp)"
+bench_rerun="$(mktemp)"
+trap 'rm -f "$smoke_json" "$stats_a" "$stats_b" "$stats_inflated" "$trace_json" "$autopsy_json" "$reduce_json" "$bench_base" "$bench_rerun"' EXIT
 
 # Fast incremental-equivalence smoke: at bound 3 fig17_table runs every
 # axiom query both from scratch and through a shared session, and exits
@@ -35,6 +38,42 @@ cargo run --release --offline -q -p ptxmm-bench --bin fig17_table -- 3 \
     --bench-json "$smoke_json" > /dev/null
 grep -q '"kind":"timing","name":"time.bound3.scratch"' "$smoke_json"
 grep -q '"kind":"timing","name":"time.bound3.sessions"' "$smoke_json"
+
+# Learnt-DB reduction smoke: a conflict-heavy instance (pigeonhole) with
+# a pinned low sweep cadence must actually delete clauses — nonzero
+# solver.reduce_sweeps AND solver.deleted_clauses. Guards the LBD
+# deletion policy end to end (the pre-PR-6 retention bug showed up as
+# these counters silently reading 0).
+echo "== learnt-DB reduction smoke (ptxsat --pigeonhole) =="
+cargo run --release --offline -q -p ptxmm-satsolver --bin ptxsat -- \
+    --pigeonhole 7 --reduce-interval 50 --stats-json "$reduce_json" > /dev/null || {
+    status=$?
+    # 20 is the conventional UNSAT exit code; anything else is a failure.
+    if [ "$status" -ne 20 ]; then
+        echo "verify.sh: ptxsat --pigeonhole 7 exited $status (expected UNSAT/20)" >&2
+        exit 1
+    fi
+}
+for c in solver.reduce_sweeps solver.deleted_clauses solver.binary_propagations; do
+    v="$(sed -n 's/^{"kind":"counter","name":"'"$c"'","value":\([0-9]*\)}$/\1/p' "$reduce_json")"
+    if [ -z "$v" ] || [ "$v" -eq 0 ]; then
+        echo "verify.sh: reduction smoke counter $c missing or zero" >&2
+        exit 1
+    fi
+done
+
+# Benchmark-baseline gate: rerun the cheap bounds and diff their
+# counters against the committed BENCH_fig17.json. Counters are
+# deterministic for --jobs 1 runs, so any drift means the code no longer
+# matches the committed baseline (regenerate it deliberately, not by
+# accident). The baseline is filtered to the bounds rerun here because
+# bench_diff treats baseline counters missing from the candidate as
+# failures.
+echo "== bench_diff gate against BENCH_fig17.json (bounds 2 3) =="
+cargo run --release --offline -q -p ptxmm-bench --bin fig17_table -- 2 3 \
+    --bench-json "$bench_rerun" > /dev/null
+grep -E '"name":"(bound[23]|time\.bound[23])\.' BENCH_fig17.json > "$bench_base"
+scripts/bench_diff.sh "$bench_base" "$bench_rerun" | tail -1
 
 # Observability smoke: a fixed-seed single-job ptxherd sweep must emit a
 # well-formed stats snapshot with nonzero work counters, two identical
