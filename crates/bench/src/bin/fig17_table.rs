@@ -242,6 +242,7 @@ fn query_output(row: &mapping::AxiomCheckRow, sessions: bool) -> QueryOutput {
         sat_vars: row.report.sat_vars as u64,
         sat_clauses: row.report.sat_clauses as u64,
         conflicts: row.report.solver_stats.conflicts,
+        path: None,
         detail,
     }
 }

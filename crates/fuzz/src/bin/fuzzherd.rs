@@ -6,13 +6,14 @@
 //! ```
 //!
 //! Each round derives a deterministic seed per generator
-//! ([`fuzzkit::round_seed`]) and runs one case from each of the three
+//! ([`fuzzkit::round_seed`]) and runs one case from each of the four
 //! generators — random CNF against a DPLL oracle, random relational
 //! formulas against ground enumeration, random litmus programs against
-//! execution enumeration — as jobs on the workspace's worker-pool
-//! harness ([`modelfinder::harness`]). Litmus rounds share incremental
-//! SAT sessions (with their proof checkers) through a
-//! [`modelfinder::SessionPool`], exactly like `ptxherd --sat`.
+//! execution enumeration, and random barrier/data-dependency programs
+//! against the symbolic value encoding — as jobs on the workspace's
+//! worker-pool harness ([`modelfinder::harness`]). Litmus and barrier
+//! rounds share incremental SAT sessions (with their proof checkers)
+//! through a [`modelfinder::SessionPool`], exactly like `ptxherd --sat`.
 //!
 //! Every `Unsat` any engine produces is certified against the
 //! independent DRAT checker. On disagreement the round's seed and a
@@ -20,7 +21,7 @@
 //! timeouts degrade to `Unknown` records, never hangs.
 //!
 //! `--stats` prints an observability table after the run — totals plus
-//! per-generator counters under `gen.{cnf,relform,litmus}.`;
+//! per-generator counters under `gen.{cnf,relform,litmus,barrier}.`;
 //! `--stats-json PATH` writes the snapshot as JSON Lines in the shared
 //! `obs` schema. `--trace-out PATH` writes the run's event timeline as
 //! Chrome trace-event JSON (per-round `query:*` spans, worker-tagged),
@@ -31,7 +32,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use fuzzkit::litmusgen::CertSession;
-use fuzzkit::{cnf, litmusgen, relform, round_seed, Disagreement, RoundStats};
+use fuzzkit::{barriergen, cnf, litmusgen, relform, round_seed, Disagreement, RoundStats};
 use litmus::sat::Signature;
 use modelfinder::harness::{run_queries, HarnessOptions, Query, QueryOutput};
 use modelfinder::SessionPool;
@@ -123,6 +124,7 @@ fn output(
                 sat_vars: stats.sat_vars,
                 sat_clauses: stats.sat_clauses,
                 conflicts: stats.conflicts,
+                path: None,
                 detail: None,
             }
         }
@@ -173,6 +175,12 @@ fn main() -> ExitCode {
         queries.push(Query::new(format!("litmus/{round}"), move |ctx| {
             output(litmusgen::run_round(seed, &p), &f, &ctx.obs)
         }));
+        let f = Arc::clone(&failures);
+        let p = Arc::clone(&pool);
+        let seed = round_seed(cli.seed, "barriergen", round);
+        queries.push(Query::new(format!("barrier/{round}"), move |ctx| {
+            output(barriergen::run_round(seed, &p), &f, &ctx.obs)
+        }));
     }
 
     let stats_wanted = cli.stats || cli.stats_json.is_some();
@@ -218,7 +226,7 @@ fn main() -> ExitCode {
     let (created, reused) = pool.stats();
     if !json {
         println!(
-            "fuzzherd: {} rounds x 3 generators, {} disagreements, {} timeouts \
+            "fuzzherd: {} rounds x 4 generators, {} disagreements, {} timeouts \
              (litmus sessions: {} created, {} reused)",
             cli.rounds,
             failures.len(),

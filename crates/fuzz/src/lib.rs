@@ -15,16 +15,21 @@
 //! * [`litmusgen`] — random PTX litmus programs: exhaustive execution
 //!   enumeration against the SAT path, both scratch
 //!   [`modelfinder::ModelFinder`] problems and pooled incremental
-//!   [`litmus::sat::SatSession`]s with incremental proof certification.
+//!   [`litmus::sat::SatSession`]s with incremental proof certification;
+//! * [`barriergen`] — random barrier and data-dependency programs
+//!   (`bar.sync`/`bar.arrive`, `atom.add`/`exch`/`cas`, `red.add`,
+//!   register-operand stores, memory-equality conditions), the same
+//!   three-way differential check aimed at the symbolic value layer.
 //!
 //! Failures are deterministic: each round derives from an explicit seed
 //! ([`round_seed`]), and a failing case is greedily minimized by
 //! [`shrink::shrink`] before being reported as a [`Disagreement`]. The
-//! `fuzzherd` binary drives all three generators under the existing
+//! `fuzzherd` binary drives all four generators under the existing
 //! worker-pool harness ([`modelfinder::harness`]).
 
 #![warn(missing_docs)]
 
+pub mod barriergen;
 pub mod cnf;
 pub mod litmusgen;
 pub mod relform;
@@ -34,7 +39,8 @@ pub mod shrink;
 /// generator round, after shrinking.
 #[derive(Debug, Clone)]
 pub struct Disagreement {
-    /// Which generator found it (`"cnf"`, `"relform"`, `"litmus"`).
+    /// Which generator found it (`"cnf"`, `"relform"`, `"litmusgen"`,
+    /// `"barriergen"`).
     pub generator: &'static str,
     /// The round seed that reproduces the failure deterministically.
     pub seed: u64,

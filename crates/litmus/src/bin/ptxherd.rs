@@ -21,12 +21,24 @@
 //! With `--sat` the PTX tests are answered through incremental
 //! [`litmus::sat::SatSession`]s pooled per universe signature: the PTX
 //! axioms are translated and CNF-encoded once per signature, and learnt
-//! clauses persist across the tests sharing it. Verdicts are identical
-//! to the enumeration path (enforced by the `sat_equivalence` regression
-//! suite); records gain a detail field with the translation-cache hits
-//! and per-phase timings. Tests the relational encoding cannot express
-//! (barriers, data-dependent values) fall back to enumeration, noted in
-//! the detail. C11 tests always use the RC11 enumeration engine.
+//! clauses persist across the tests sharing it. The encoding is fully
+//! symbolic — barriers and data-dependent values included — so every
+//! PTX test takes the SAT path; there is no enumeration fallback.
+//! Verdicts are identical to the enumeration engine (enforced by the
+//! `sat_equivalence` regression suite); records gain a detail field
+//! with the translation-cache hits and per-phase timings. C11 tests
+//! always use the RC11 enumeration engine.
+//!
+//! JSON records carry a `"path"` field naming the encoding mode:
+//! `"symbolic"` for SAT-path answers, `"enumeration"` for the
+//! enumeration engines (PTX without `--sat`, and all C11 tests).
+//!
+//! `--bench-json PATH` benchmarks the SAT path over the PTX suite —
+//! every test answered from scratch and again through pooled sessions,
+//! repeated [`BENCH_REPEATS`] times — and writes per-test wall times
+//! (`time.litmus.<name>.{scratch,sessions}`) plus counters in the
+//! shared `obs` JSON Lines schema; `scripts/verify.sh` gates these rows
+//! against `BENCH_fig17.json` via `bench_diff.sh`.
 //!
 //! `--stats` prints an observability table after the sweep — totals plus
 //! per-test counters under `test.<name>.` (propagations, conflicts,
@@ -52,6 +64,7 @@ struct Cli {
     stats: bool,
     stats_json: Option<String>,
     trace_out: Option<String>,
+    bench_json: Option<String>,
     files: Vec<String>,
 }
 
@@ -65,6 +78,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         stats: false,
         stats_json: None,
         trace_out: None,
+        bench_json: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -81,6 +95,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out needs a path")?;
                 cli.trace_out = Some(v.clone());
+            }
+            "--bench-json" => {
+                let v = it.next().ok_or("--bench-json needs a path")?;
+                cli.bench_json = Some(v.clone());
             }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
@@ -102,7 +120,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             path => cli.files.push(path.to_string()),
         }
     }
-    if !cli.suite && cli.files.is_empty() {
+    if !cli.suite && cli.files.is_empty() && cli.bench_json.is_none() {
         return Err("no input: pass litmus files or --suite".to_string());
     }
     Ok(cli)
@@ -152,7 +170,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: ptxherd [--jobs N] [--timeout-secs S] [--json] [--sat] \
              [--stats] [--stats-json PATH] [--trace-out PATH] \
-             <file.litmus>… | --suite"
+             [--bench-json PATH] <file.litmus>… | --suite"
         );
         return ExitCode::FAILURE;
     }
@@ -163,6 +181,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(path) = &cli.bench_json {
+        return match run_litmus_bench(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("ptxherd: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let mut tests: Vec<AnyTest> = Vec::new();
     let mut failures = 0usize;
@@ -210,20 +238,7 @@ fn main() -> ExitCode {
                 let pool = Arc::clone(&pool);
                 let sat_mode = cli.sat;
                 Query::new(name, move |ctx| match &test {
-                    AnyTest::Ptx(t) if sat_mode => match sat::supported(t) {
-                        Ok(()) => sat_output(&pool, t, ctx),
-                        Err(why) => {
-                            let r = run_ptx(t);
-                            ctx.obs.add("litmus.candidates", r.candidates);
-                            let mut out =
-                                litmus_output(t.expectation, r.observable, r.passed, r.candidates);
-                            if let Some(d) = &mut out.detail {
-                                use std::fmt::Write as _;
-                                let _ = write!(d, " fallback=enumeration ({why})");
-                            }
-                            out
-                        }
-                    },
+                    AnyTest::Ptx(t) if sat_mode => sat_output(&pool, t, ctx),
                     AnyTest::Ptx(t) => {
                         let r = run_ptx(t);
                         ctx.obs.add("litmus.candidates", r.candidates);
@@ -328,6 +343,9 @@ fn sat_output(
     let out = match &result {
         Ok(r) => {
             r.report.record_obs(&ctx.obs);
+            ctx.obs
+                .add("sat.symbolic_rf_vars", r.encoding.symbolic_rf_vars);
+            ctx.obs.add("sat.value_bits", r.encoding.value_bits);
             let verdict = match r.passed {
                 Some(true) => "Ok",
                 Some(false) => "FAILED",
@@ -349,14 +367,16 @@ fn sat_output(
                 sat_vars: r.report.sat_vars as u64,
                 sat_clauses: r.report.sat_clauses as u64,
                 conflicts: r.report.solver_stats.conflicts,
+                path: Some("symbolic".to_string()),
                 detail: Some(detail),
             }
         }
-        // `supported` was checked before checkout, so this is an internal
-        // encoding error; surface it as Unknown rather than aborting the
-        // sweep.
+        // The encoding is total over parseable PTX tests, so this is an
+        // internal encoding error; surface it as Unknown rather than
+        // aborting the sweep.
         Err(e) => QueryOutput {
             verdict: "Unknown".to_string(),
+            path: Some("symbolic".to_string()),
             detail: Some(format!("sat path error: {e}")),
             ..QueryOutput::default()
         },
@@ -365,6 +385,83 @@ fn sat_output(
     // root on interruption), so the session is safe to reuse either way.
     pool.checkin(sig, session);
     out
+}
+
+/// Repeat count for `--bench-json`: each suite test is solved this many
+/// times on each path, so the session path amortizes its one-time
+/// translation while the scratch path pays it every round — the same
+/// shape a pooled `--sat` sweep sees.
+const BENCH_REPEATS: u32 = 3;
+
+/// Benchmarks the symbolic SAT path over the PTX suite: answers every
+/// test from scratch and again through pooled incremental sessions,
+/// [`BENCH_REPEATS`] times each, cross-checks the verdicts, and writes
+/// per-test wall times (`time.litmus.<name>.{scratch,sessions}`) plus
+/// each path's merged counters (`litmus.{scratch,sessions}.`) to `path`
+/// as an `obs` JSON Lines snapshot comparable with `bench_diff.sh`.
+fn run_litmus_bench(path: &str) -> Result<(), String> {
+    use modelfinder::{ModelFinder, Options};
+    use std::time::Instant;
+
+    let reg = modelfinder::obs::Registry::new();
+    reg.note(
+        "benchmark",
+        "litmus SAT path: scratch vs incremental sessions",
+    );
+    reg.note("repeats", &BENCH_REPEATS.to_string());
+    let scratch_obs = modelfinder::obs::Registry::new();
+    let session_obs = modelfinder::obs::Registry::new();
+    let pool: SessionPool<Signature, SatSession> = SessionPool::new();
+    for test in library::extended_suite() {
+        let mut scratch_observable = None;
+        let t0 = Instant::now();
+        for _ in 0..BENCH_REPEATS {
+            // The problem is rebuilt per round: a scratch answer pays
+            // for encoding and translation every time.
+            let problem = sat::scratch_problem(&test);
+            let (verdict, report) = ModelFinder::new(Options::default())
+                .solve(&problem)
+                .map_err(|e| format!("{}: scratch encoding error: {e:?}", test.name))?;
+            report.record_obs(&scratch_obs);
+            scratch_observable = Some(verdict.instance().is_some());
+        }
+        let scratch_wall = t0.elapsed();
+
+        let sig = sat::signature(&test.program);
+        let mut session_observable = None;
+        let t1 = Instant::now();
+        for _ in 0..BENCH_REPEATS {
+            let mut session = pool.checkout(&sig, || {
+                SatSession::new(sig).expect("internal encoding error")
+            });
+            let r = session
+                .run(&test)
+                .map_err(|e| format!("{}: session error: {e}", test.name))?;
+            r.report.record_obs(&session_obs);
+            session_observable = r.observable;
+            pool.checkin(sig, session);
+        }
+        let session_wall = t1.elapsed();
+
+        if scratch_observable != session_observable {
+            return Err(format!(
+                "{}: verdict drift: scratch={scratch_observable:?} \
+                 sessions={session_observable:?}",
+                test.name
+            ));
+        }
+        let (s, i) = (scratch_wall.as_secs_f64(), session_wall.as_secs_f64());
+        eprintln!(
+            "{:<24} scratch {s:.3}s, sessions {i:.3}s ({:.2}x)",
+            test.name,
+            s / i
+        );
+        reg.record_duration(&format!("time.litmus.{}.scratch", test.name), scratch_wall);
+        reg.record_duration(&format!("time.litmus.{}.sessions", test.name), session_wall);
+    }
+    reg.merge_prefixed(&scratch_obs, "litmus.scratch.");
+    reg.merge_prefixed(&session_obs, "litmus.sessions.");
+    std::fs::write(path, reg.snapshot().to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// Maps a litmus result onto a harness record payload.
@@ -376,6 +473,7 @@ fn litmus_output(
 ) -> QueryOutput {
     QueryOutput {
         verdict: if passed { "Ok" } else { "FAILED" }.to_string(),
+        path: Some("enumeration".to_string()),
         detail: Some(format!(
             "observable={observable} expected={expectation:?} candidates={candidates}"
         )),

@@ -3,23 +3,40 @@
 //!
 //! A test's question — "is the tagged outcome observable in some
 //! consistent execution?" — is a satisfiability query: pin the program's
-//! event structure (kinds, scopes, `po`, `rmw`, `dep`, the thread layout)
-//! as relational constants, leave the execution witnesses (`rf`, `co`,
-//! `sc`) free under the PTX axioms, and conjoin the outcome condition as
-//! constraints on `rf`/`co`. `Sat` means observable.
+//! event structure (kinds, scopes, `po`, `rmw`, `dep`, `syncbarrier`,
+//! the thread layout) as relational constants, leave the execution
+//! witnesses (`rf`, `co`, `sc`) free under the PTX axioms, and conjoin
+//! the outcome condition. `Sat` means observable.
+//!
+//! The encoding is fully symbolic — there is no enumeration fallback:
+//!
+//! * **rf** is a free relation: well-formedness makes it functional per
+//!   read, the structure requires a source per read (init writes
+//!   guarantee one exists), and each candidate `(write, read)` pair
+//!   carries an implication equating the two events' value vectors.
+//! * **values** are small bit-vectors over fresh free booleans
+//!   ([`relational::bitvec`]): a read's vector equals its rf source's,
+//!   register-operand stores alias their setter's vector, and
+//!   `atom.add`/`exch`/`cas` write halves are defined by a Tseitin
+//!   adder / a mux over the read half. Widths come from a per-test
+//!   feasible-value analysis, so the vectors stay as small as the
+//!   program's arithmetic allows.
+//! * **co** stays a free strict partial order (the PTX model never
+//!   totalizes coherence, §8.8.6); final-memory conditions pick a
+//!   co-maximal write per mentioned location through fresh choice
+//!   booleans, matching the enumeration engine's pick-one-final-value
+//!   semantics under arbitrary negation.
+//! * **barriers** enter as pinned `barrier` events and static
+//!   `syncbarrier` edges, which the vocabulary's `sw` consumes (§8.7).
 //!
 //! The payoff is incremental: every test with the same *signature*
 //! (event/thread/location counts) shares one [`modelfinder::Session`],
 //! so the PTX axioms — including the expensive `cause` closure — are
 //! translated and CNF-encoded once per signature, and learned clauses
 //! carry across tests. [`SatSession`] wraps a session keyed by
-//! [`Signature`]; `ptxherd --sat` pools them per worker.
-//!
-//! Not every test can take this path (see [`Unsupported`]): execution
-//! barriers are outside the relational vocabulary, and conditions over
-//! data-dependent values (register-operand stores, `atom.add`/`cas`)
-//! would need value reasoning the boolean encoding does not do. Callers
-//! fall back to [`crate::run_ptx`] for those.
+//! [`Signature`]; `ptxherd --sat` pools them per worker. The
+//! enumeration engine ([`crate::run_ptx`]) survives only as the
+//! differential oracle (`sat_equivalence`, `fuzzherd`).
 //!
 //! # Examples
 //!
@@ -34,14 +51,16 @@
 //! assert_eq!(result.passed, Some(true));
 //! ```
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
-use memmodel::{Location, Scope, ThreadId, Value};
+use memmodel::{Location, Scope, ThreadId};
 use modelfinder::{CancelToken, Options, Problem, Report, Session, SessionStats, Verdict};
 use ptx::alloy::PtxVocab;
 use ptx::event::{expand, Event, EventKind, Expansion};
 use ptx::exec::init_co_edges;
 use ptx::inst::{Operand, Program, RmwOp};
+use relational::bitvec::{self, BoolGen};
 use relational::{patterns, Atom, Bounds, Expr, Formula, RelId, Schema, TupleSet, VarGen};
 
 use crate::cond::Cond;
@@ -73,90 +92,15 @@ pub fn signature(program: &Program) -> Signature {
     }
 }
 
-/// Why a test cannot be answered on the SAT path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Unsupported {
-    /// The program uses execution barriers (`bar`), which the relational
-    /// vocabulary does not model.
-    Barrier,
-    /// Some write's value depends on the execution (register-operand
-    /// store, or an `add`/`cas` RMW), so outcome values cannot be
-    /// resolved statically.
-    DataDependentValue,
-    /// The condition constrains final memory in a shape the encoding
-    /// cannot express faithfully (a negated `MemEq`, or one location
-    /// constrained by several `MemEq` atoms).
-    Condition,
-}
-
-impl std::fmt::Display for Unsupported {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let why = match self {
-            Unsupported::Barrier => "uses execution barriers",
-            Unsupported::DataDependentValue => "has data-dependent write values",
-            Unsupported::Condition => "condition not expressible",
-        };
-        write!(f, "{why}")
-    }
-}
-
-/// Checks whether `test` can be answered on the SAT path.
-///
-/// # Errors
-///
-/// Returns the first blocking [`Unsupported`] reason.
-pub fn supported(test: &PtxLitmus) -> Result<(), Unsupported> {
-    let x = expand(&test.program);
-    if x.events.iter().any(|e| e.kind == EventKind::Barrier) {
-        return Err(Unsupported::Barrier);
-    }
-    if x.events
-        .iter()
-        .any(|e| e.kind == EventKind::Write && static_write_value(&x, e).is_none())
-    {
-        return Err(Unsupported::DataDependentValue);
-    }
-    let mut mem_locs = Vec::new();
-    if !cond_expressible(&test.cond, false, &mut mem_locs) {
-        return Err(Unsupported::Condition);
-    }
-    Ok(())
-}
-
-/// The value a write stores, when it is independent of the execution:
-/// immediates, `exch` with an immediate, init writes, and reads of a
-/// never-written register (which the engine defines as zero).
-fn static_write_value(x: &Expansion, e: &Event) -> Option<Value> {
-    match e.rmw_op {
-        None | Some(RmwOp::Exch) => match e.src {
-            Some(Operand::Imm(v)) => Some(v),
-            Some(Operand::Reg(_)) => match x.operand_setter[e.id] {
-                None => Some(Value(0)),
-                Some(_) => None,
-            },
-            None => Some(Value(0)),
-        },
-        Some(_) => None,
-    }
-}
-
-/// Conservatively decides whether [`cond_formula`] is faithful to
-/// [`Cond::satisfiable`]'s pick-one-final-value-per-location semantics:
-/// no `MemEq` under negation, and each location in at most one `MemEq`.
-fn cond_expressible(cond: &Cond, negated: bool, mem_locs: &mut Vec<Location>) -> bool {
-    match cond {
-        Cond::True => true,
-        Cond::RegEq(..) => true,
-        Cond::MemEq(l, _) => {
-            if negated || mem_locs.contains(l) {
-                return false;
-            }
-            mem_locs.push(*l);
-            true
-        }
-        Cond::And(cs) | Cond::Or(cs) => cs.iter().all(|c| cond_expressible(c, negated, mem_locs)),
-        Cond::Not(c) => cond_expressible(c, true, mem_locs),
-    }
+/// Size counters of one query's symbolic layer, for observability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EncodingStats {
+    /// Same-location `(write, read)` candidate rf pairs carrying a
+    /// value-equality implication.
+    pub symbolic_rf_vars: u64,
+    /// Free booleans allocated for the value layer: value vectors,
+    /// adder/`cas` internals, and final-value choice variables.
+    pub value_bits: u64,
 }
 
 /// A test's expansion together with its atom layout in the relational
@@ -213,6 +157,16 @@ impl TestEncoding {
         )
     }
 
+    /// Write events to `loc`, init write first.
+    fn writes_to(&self, loc: Location) -> &[usize] {
+        self.x
+            .writes_by_loc
+            .iter()
+            .find(|(l, _)| *l == loc)
+            .map(|(_, ws)| ws.as_slice())
+            .unwrap_or(&[])
+    }
+
     /// Pins the program-determined relations to constants and requires a
     /// total reads-from and init-first coherence, leaving `rf`/`co`/`sc`
     /// free for the axioms to constrain.
@@ -236,6 +190,11 @@ impl TestEncoding {
             &mut fs,
             &vocab.fence,
             self.events_where(|e| e.kind == EventKind::Fence),
+        );
+        pin(
+            &mut fs,
+            &vocab.barrier,
+            self.events_where(|e| e.kind == EventKind::Barrier),
         );
         pin(&mut fs, &vocab.strong, self.events_where(|e| e.strong));
         pin(&mut fs, &vocab.acq, self.events_where(|e| e.acquire));
@@ -296,6 +255,7 @@ impl TestEncoding {
             TupleSet::from_pairs(m.pairs().map(|(a, b)| (a as Atom, b as Atom)))
         };
         pin(&mut fs, &vocab.rmw, rel_pairs(&self.x.rmw));
+        pin(&mut fs, &vocab.syncbarrier, rel_pairs(&self.x.syncbarrier));
         pin(&mut fs, dep, rel_pairs(&self.x.dep));
 
         // Thread layout constants; the init thread is alone in its CTA.
@@ -340,55 +300,290 @@ impl TestEncoding {
         Formula::and_all(fs)
     }
 
-    /// The outcome condition over the free `rf`/`co` witnesses. Must only
-    /// be called when [`cond_expressible`] holds.
-    fn cond_formula(&self, cond: &Cond, vocab: &PtxVocab) -> Formula {
+    /// The bound an execution-independent value analysis puts on the
+    /// event's data operand (u128 so `add` chains cannot wrap early).
+    fn operand_bound(&self, maxv: &[u128], e: &Event) -> u128 {
+        match e.src {
+            Some(Operand::Imm(v)) => u128::from(v.0),
+            // A never-set register reads as zero, like the engine.
+            Some(Operand::Reg(_)) => match self.x.operand_setter[e.id] {
+                Some(s) => maxv[s],
+                None => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// The bit width needed to represent every feasible value in this
+    /// test plus every constant the condition compares against.
+    ///
+    /// Feasible values flow along `rf` (read ← any same-location write)
+    /// and `dep` (write ← operand/read-half): both are acyclic in any
+    /// consistent execution (No-Thin-Air), so value chains have length at
+    /// most the event count and that many rounds of the monotone bound
+    /// transfer cover them all. The width caps at 64, where the adder's
+    /// modular arithmetic coincides with the engine's `u64` wrapping.
+    fn value_width(&self, cond: &Cond) -> usize {
+        let n = self.x.events.len();
+        let mut maxv = vec![0u128; n];
+        for _ in 0..n {
+            for e in &self.x.events {
+                maxv[e.id] = match e.kind {
+                    EventKind::Read => {
+                        let loc = e.loc.expect("reads have locations");
+                        self.writes_to(loc)
+                            .iter()
+                            .map(|&w| maxv[w])
+                            .max()
+                            .unwrap_or(0)
+                    }
+                    EventKind::Write => match e.rmw_op {
+                        None | Some(RmwOp::Exch) => self.operand_bound(&maxv, e),
+                        Some(RmwOp::Add) => {
+                            let rh = e.rmw_partner.expect("RMW writes have read halves");
+                            maxv[rh].saturating_add(self.operand_bound(&maxv, e))
+                        }
+                        Some(RmwOp::Cas { .. }) => {
+                            let rh = e.rmw_partner.expect("RMW writes have read halves");
+                            maxv[rh].max(self.operand_bound(&maxv, e))
+                        }
+                    },
+                    _ => 0,
+                };
+            }
+        }
+        let mut bound: u128 = 1;
+        for v in maxv {
+            bound = bound.max(v);
+        }
+        let mut consts = Vec::new();
+        cond_constants(cond, &mut consts);
+        for c in consts {
+            bound = bound.max(u128::from(c));
+        }
+        ((128 - bound.leading_zeros()) as usize).min(64)
+    }
+
+    /// Builds the symbolic value layer: a bit-vector per memory event and
+    /// the constraints defining write semantics. Reads get fresh bits
+    /// (pinned by the rf layer, [`TestEncoding::rf_value_links`]); plain
+    /// and `exch` writes alias their operand vector; `add`/`cas` write
+    /// halves are defined over the read half's vector.
+    fn value_layer(
+        &self,
+        width: usize,
+        gen: &mut BoolGen,
+        constraints: &mut Vec<Formula>,
+    ) -> ValueVectors {
+        let mut vals: Vec<Option<Vec<Formula>>> = vec![None; self.x.events.len()];
+        for &r in &self.x.reads {
+            vals[r] = Some(gen.fresh_bits(width));
+        }
+        for e in &self.x.events {
+            if e.kind != EventKind::Write {
+                continue;
+            }
+            let operand = match e.src {
+                Some(Operand::Imm(v)) => bitvec::constant(v.0, width),
+                Some(Operand::Reg(_)) => match self.x.operand_setter[e.id] {
+                    Some(s) => vals[s].clone().expect("setters are reads"),
+                    None => bitvec::constant(0, width),
+                },
+                None => bitvec::constant(0, width),
+            };
+            vals[e.id] = Some(match e.rmw_op {
+                None | Some(RmwOp::Exch) => operand,
+                Some(RmwOp::Add) => {
+                    let rh = e.rmw_partner.expect("RMW writes have read halves");
+                    let old = vals[rh].clone().expect("read halves precede write halves");
+                    bitvec::add(gen, &old, &operand, constraints)
+                }
+                Some(RmwOp::Cas { cmp }) => {
+                    let rh = e.rmw_partner.expect("RMW writes have read halves");
+                    let old = vals[rh].clone().expect("read halves precede write halves");
+                    let hit = bitvec::equals_const(&old, cmp.0);
+                    let new = gen.fresh_bits(width);
+                    constraints.push(bitvec::equals(&new, &bitvec::mux(&hit, &operand, &old)));
+                    new
+                }
+            });
+        }
+        ValueVectors { vals }
+    }
+
+    /// The rf layer: for every same-location `(write, read)` candidate
+    /// pair, membership in `rf` forces the two value vectors equal.
+    /// Returns the number of candidate pairs.
+    fn rf_value_links(
+        &self,
+        vocab: &PtxVocab,
+        vv: &ValueVectors,
+        constraints: &mut Vec<Formula>,
+    ) -> u64 {
+        let mut candidates = 0u64;
+        for &r in &self.x.reads {
+            let loc = self.x.events[r].loc.expect("reads have locations");
+            for &w in self.writes_to(loc) {
+                let pair = Expr::constant(TupleSet::from_pairs([(w as Atom, r as Atom)]));
+                constraints.push(
+                    pair.in_(&vocab.rf)
+                        .implies(&bitvec::equals(vv.bits(r), vv.bits(w))),
+                );
+                candidates += 1;
+            }
+        }
+        candidates
+    }
+
+    /// The final-memory layer: for every location the condition mentions,
+    /// fresh choice booleans pick exactly one co-maximal write, matching
+    /// the enumeration engine's pick-one-final-value-per-location
+    /// semantics (§8.8.6 — any co-maximal value may settle).
+    fn final_picks(
+        &self,
+        cond: &Cond,
+        vocab: &PtxVocab,
+        gen: &mut BoolGen,
+        constraints: &mut Vec<Formula>,
+    ) -> BTreeMap<Location, Vec<(usize, Formula)>> {
+        let mut locs = Vec::new();
+        cond_mem_locs(cond, &mut locs);
+        let mut picks = BTreeMap::new();
+        for l in locs {
+            let writes = self.writes_to(l);
+            if writes.is_empty() || picks.contains_key(&l) {
+                continue; // never-written locations compare unequal below
+            }
+            let choices: Vec<(usize, Formula)> = writes.iter().map(|&w| (w, gen.fresh())).collect();
+            constraints.push(Formula::or_all(choices.iter().map(|(_, p)| p.clone())));
+            for i in 0..choices.len() {
+                for j in (i + 1)..choices.len() {
+                    constraints.push(choices[i].1.and(&choices[j].1).not());
+                }
+            }
+            for (w, p) in &choices {
+                let maximal = Expr::constant(TupleSet::from_atoms([*w as Atom]))
+                    .join(&vocab.co)
+                    .no();
+                constraints.push(p.implies(&maximal));
+            }
+            picks.insert(l, choices);
+        }
+        picks
+    }
+
+    /// The outcome condition over the symbolic value and final-pick
+    /// layers. Arbitrary boolean structure (including negation) is
+    /// faithful: every atom is a self-contained formula over pinned
+    /// vectors and picks.
+    fn cond_formula(
+        &self,
+        cond: &Cond,
+        vv: &ValueVectors,
+        picks: &BTreeMap<Location, Vec<(usize, Formula)>>,
+    ) -> Formula {
         match cond {
             Cond::True => Formula::True,
             Cond::RegEq(t, r, v) => {
-                // The register's final value is the value read by its last
-                // setter, i.e. the static value of the write it reads from.
+                // The register's final value is the value read by its
+                // last setter; a never-set register satisfies nothing.
                 let setter = self
                     .x
                     .final_setters
                     .iter()
                     .find(|((ft, fr), _)| ft == t && fr == r)
                     .map(|(_, e)| *e);
-                let Some(read) = setter else {
-                    return Formula::False; // register never written
-                };
-                let loc = self.x.events[read].loc.expect("reads have locations");
-                Formula::or_all(self.writes_with_value(loc, *v).map(|w| {
-                    Expr::constant(TupleSet::from_pairs([(w as Atom, read as Atom)])).in_(&vocab.rf)
-                }))
+                match setter {
+                    Some(read) => bitvec::equals_const(vv.bits(read), v.0),
+                    None => Formula::False,
+                }
             }
-            Cond::MemEq(l, v) => {
-                // Some co-maximal write to `l` holds `v` (the location may
-                // settle to any co-maximal value, §8.8.6).
-                Formula::or_all(self.writes_with_value(*l, *v).map(|w| {
-                    Expr::constant(TupleSet::from_atoms([w as Atom]))
-                        .join(&vocab.co)
-                        .no()
-                }))
-            }
-            Cond::And(cs) => Formula::and_all(cs.iter().map(|c| self.cond_formula(c, vocab))),
-            Cond::Or(cs) => Formula::or_all(cs.iter().map(|c| self.cond_formula(c, vocab))),
-            Cond::Not(c) => self.cond_formula(c, vocab).not(),
+            Cond::MemEq(l, v) => match picks.get(l) {
+                Some(choices) => Formula::or_all(
+                    choices
+                        .iter()
+                        .map(|(w, p)| p.and(&bitvec::equals_const(vv.bits(*w), v.0))),
+                ),
+                // The engine reports `None` for never-written locations,
+                // so equality with any value is false (and a negated
+                // atom true).
+                None => Formula::False,
+            },
+            Cond::And(cs) => Formula::and_all(cs.iter().map(|c| self.cond_formula(c, vv, picks))),
+            Cond::Or(cs) => Formula::or_all(cs.iter().map(|c| self.cond_formula(c, vv, picks))),
+            Cond::Not(c) => self.cond_formula(c, vv, picks).not(),
         }
     }
+}
 
-    /// Writes to `loc` whose static value is `v`.
-    fn writes_with_value(&self, loc: Location, v: Value) -> impl Iterator<Item = usize> + '_ {
-        self.x
-            .events
-            .iter()
-            .filter(move |e| {
-                e.kind == EventKind::Write
-                    && e.loc == Some(loc)
-                    && static_write_value(&self.x, e) == Some(v)
-            })
-            .map(|e| e.id)
+/// Per-event value bit-vectors (memory events only).
+struct ValueVectors {
+    vals: Vec<Option<Vec<Formula>>>,
+}
+
+impl ValueVectors {
+    fn bits(&self, event: usize) -> &[Formula] {
+        self.vals[event]
+            .as_deref()
+            .expect("memory events carry value vectors")
     }
+}
+
+/// Collects the constants the condition compares against.
+fn cond_constants(cond: &Cond, out: &mut Vec<u64>) {
+    match cond {
+        Cond::True => {}
+        Cond::RegEq(_, _, v) | Cond::MemEq(_, v) => out.push(v.0),
+        Cond::And(cs) | Cond::Or(cs) => cs.iter().for_each(|c| cond_constants(c, out)),
+        Cond::Not(c) => cond_constants(c, out),
+    }
+}
+
+/// Collects the locations the condition constrains through `MemEq`.
+fn cond_mem_locs(cond: &Cond, out: &mut Vec<Location>) {
+    match cond {
+        Cond::True | Cond::RegEq(..) => {}
+        Cond::MemEq(l, _) => out.push(*l),
+        Cond::And(cs) | Cond::Or(cs) => cs.iter().for_each(|c| cond_mem_locs(c, out)),
+        Cond::Not(c) => cond_mem_locs(c, out),
+    }
+}
+
+/// Builds one test's full query formula (structure, value layer, rf
+/// links, final picks, condition), emitting per-phase trace spans.
+fn encode_query(
+    enc: &TestEncoding,
+    cond: &Cond,
+    vocab: &PtxVocab,
+    dep: &Expr,
+    tracer: &modelfinder::obs::trace::Tracer,
+) -> (Formula, EncodingStats) {
+    let structure = {
+        let _s = tracer.span("encode.structure");
+        enc.structure(vocab, dep)
+    };
+    let mut gen = BoolGen::new();
+    let mut constraints = Vec::new();
+    let vv = {
+        let _s = tracer.span("encode.value");
+        let width = enc.value_width(cond);
+        enc.value_layer(width, &mut gen, &mut constraints)
+    };
+    let rf_vars = {
+        let _s = tracer.span("encode.rf");
+        enc.rf_value_links(vocab, &vv, &mut constraints)
+    };
+    let cond_f = {
+        let _s = tracer.span("encode.co");
+        let picks = enc.final_picks(cond, vocab, &mut gen, &mut constraints);
+        enc.cond_formula(cond, &vv, &picks)
+    };
+    let stats = EncodingStats {
+        symbolic_rf_vars: rf_vars,
+        value_bits: u64::from(gen.count()),
+    };
+    let query = structure.and(&Formula::and_all(constraints)).and(&cond_f);
+    (query, stats)
 }
 
 /// Declares the PTX vocabulary (plus the syntactic dependency relation
@@ -424,6 +619,7 @@ fn universe(sig: &Signature) -> (Schema, Bounds, PtxVocab, Expr, Formula) {
         &vocab.read,
         &vocab.write,
         &vocab.fence,
+        &vocab.barrier,
         &vocab.strong,
         &vocab.acq,
         &vocab.rel,
@@ -434,7 +630,15 @@ fn universe(sig: &Signature) -> (Schema, Bounds, PtxVocab, Expr, Formula) {
     ] {
         bounds.bound_upper(rid(unary), event_atoms.clone());
     }
-    for binary in [&vocab.po, &vocab.rf, &vocab.co, &vocab.sc, &vocab.rmw, &dep] {
+    for binary in [
+        &vocab.po,
+        &vocab.rf,
+        &vocab.co,
+        &vocab.sc,
+        &vocab.rmw,
+        &vocab.syncbarrier,
+        &dep,
+    ] {
         bounds.bound_upper(rid(binary), ev_ev.clone());
     }
     bounds.bound_upper(rid(&vocab.loc), cross(0..e, e + t..n as Atom));
@@ -470,13 +674,14 @@ pub struct SatLitmusResult {
     pub passed: Option<bool>,
     /// Translation and solving statistics for this query.
     pub report: Report,
+    /// Size of the symbolic rf/value layer for this query.
+    pub encoding: EncodingStats,
 }
 
-/// An error from [`SatSession::run`].
+/// An error from [`SatSession::run`]: an internal relational encoding
+/// bug. Every bundled test is expressible — there is no fallback path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SatError {
-    /// The test cannot take the SAT path; fall back to enumeration.
-    Unsupported(Unsupported),
     /// An internal relational encoding bug.
     Type(relational::TypeError),
 }
@@ -484,7 +689,6 @@ pub enum SatError {
 impl std::fmt::Display for SatError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SatError::Unsupported(u) => write!(f, "unsupported: {u}"),
             SatError::Type(e) => write!(f, "encoding error: {e:?}"),
         }
     }
@@ -494,7 +698,8 @@ impl std::error::Error for SatError {}
 
 /// A long-lived SAT session answering every litmus test of one
 /// [`Signature`]: the PTX axioms are translated and encoded once, each
-/// test only contributes its pinned structure and outcome condition.
+/// test only contributes its pinned structure, value layer, and outcome
+/// condition.
 ///
 /// Symmetry breaking stays off ([`Options::default`]): the queries pin
 /// individual atoms through constants, which is not invariant under the
@@ -505,6 +710,7 @@ pub struct SatSession {
     vocab: PtxVocab,
     dep: Expr,
     session: Session,
+    tracer: modelfinder::obs::trace::Tracer,
 }
 
 impl SatSession {
@@ -537,6 +743,7 @@ impl SatSession {
             vocab,
             dep,
             session,
+            tracer: modelfinder::obs::trace::Tracer::disabled(),
         })
     }
 
@@ -549,24 +756,20 @@ impl SatSession {
     ///
     /// # Errors
     ///
-    /// [`SatError::Unsupported`] when the test cannot take the SAT path
-    /// (use [`crate::run_ptx`] instead), [`SatError::Type`] on internal
-    /// encoding bugs.
+    /// [`SatError::Type`] on internal encoding bugs.
     ///
     /// # Panics
     ///
     /// Panics if the test's signature differs from [`SatSession::new`]'s.
     pub fn run(&mut self, test: &PtxLitmus) -> Result<SatLitmusResult, SatError> {
-        supported(test).map_err(SatError::Unsupported)?;
         let enc = TestEncoding::new(&test.program);
         assert_eq!(
             enc.sig, self.sig,
             "test `{}` does not match the session signature",
             test.name
         );
-        let query = enc
-            .structure(&self.vocab, &self.dep)
-            .and(&enc.cond_formula(&test.cond, &self.vocab));
+        let (query, encoding) =
+            encode_query(&enc, &test.cond, &self.vocab, &self.dep, &self.tracer);
         let (verdict, report) = self.session.solve(&query).map_err(SatError::Type)?;
         let observable = match verdict {
             Verdict::Sat(_) => Some(true),
@@ -578,6 +781,7 @@ impl SatSession {
             observable,
             passed: observable.map(|o| o == (test.expectation == Expectation::Allowed)),
             report,
+            encoding,
         })
     }
 
@@ -592,8 +796,11 @@ impl SatSession {
     }
 
     /// Replaces the session's event tracer: subsequent runs emit
-    /// translate/encode/solve spans and solver milestone events into it.
+    /// per-phase encoding spans (`encode.structure`/`encode.value`/
+    /// `encode.rf`/`encode.co`) plus the session's translate/encode/solve
+    /// spans and solver milestone events into it.
     pub fn set_tracer(&mut self, tracer: modelfinder::obs::trace::Tracer) {
+        self.tracer = tracer.clone();
         self.session.set_tracer(tracer);
     }
 
@@ -631,22 +838,16 @@ impl SatSession {
 /// The same query as [`SatSession::run`], as a self-contained [`Problem`]
 /// for a scratch [`modelfinder::ModelFinder`] — the oracle the regression
 /// suite compares sessions against.
-///
-/// # Errors
-///
-/// Returns the blocking [`Unsupported`] reason, as [`supported`] does.
-pub fn scratch_problem(test: &PtxLitmus) -> Result<Problem, Unsupported> {
-    supported(test)?;
+pub fn scratch_problem(test: &PtxLitmus) -> Problem {
     let enc = TestEncoding::new(&test.program);
     let (schema, bounds, vocab, dep, base) = universe(&enc.sig);
-    let formula = base
-        .and(&enc.structure(&vocab, &dep))
-        .and(&enc.cond_formula(&test.cond, &vocab));
-    Ok(Problem {
+    let tracer = modelfinder::obs::trace::Tracer::disabled();
+    let (query, _) = encode_query(&enc, &test.cond, &vocab, &dep, &tracer);
+    Problem {
         schema,
         bounds,
-        formula,
-    })
+        formula: base.and(&query),
+    }
 }
 
 #[cfg(test)]
@@ -675,18 +876,26 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_tests_are_detected() {
-        assert_eq!(supported(&library::mp_barrier()), Err(Unsupported::Barrier));
-        assert_eq!(
-            supported(&library::lb_thin_air()),
-            Err(Unsupported::DataDependentValue)
-        );
-        assert_eq!(
-            supported(&library::cas_semantics()),
-            Err(Unsupported::DataDependentValue)
-        );
-        assert!(supported(&library::mp()).is_ok());
-        assert!(supported(&library::coww()).is_ok());
+    fn formerly_unsupported_tests_run_symbolically() {
+        // Barrier synchronization, thin-air data dependencies, and cas
+        // semantics used to force the enumeration fallback; all three now
+        // answer (correctly) on the SAT path.
+        for test in [
+            library::mp_barrier(),
+            library::lb_thin_air(),
+            library::cas_semantics(),
+            library::cas_chain(),
+            library::red_no_lost_updates(),
+        ] {
+            let mut session = SatSession::new(signature(&test.program)).unwrap();
+            let r = session.run(&test).unwrap();
+            assert_eq!(r.passed, Some(true), "test {}", test.name);
+            assert!(
+                r.encoding.value_bits > 0,
+                "test {} has a value layer",
+                test.name
+            );
+        }
     }
 
     #[test]
@@ -701,10 +910,18 @@ mod tests {
     }
 
     #[test]
-    fn negated_memeq_is_rejected() {
+    fn negated_memeq_matches_the_engine() {
+        // CoWW negated: "the final value is NOT the first write's" is
+        // observable (the second write settles). The enumeration engine
+        // agrees; negation is faithful under the pick encoding.
         let mut test = library::coww();
         test.cond = test.cond.not();
-        assert_eq!(supported(&test), Err(Unsupported::Condition));
+        test.expectation = Expectation::Allowed;
+        let oracle = crate::run_ptx(&test);
+        let mut session = SatSession::new(signature(&test.program)).unwrap();
+        let r = session.run(&test).unwrap();
+        assert_eq!(r.observable, Some(oracle.observable));
+        assert_eq!(r.observable, Some(true));
     }
 
     #[test]

@@ -45,48 +45,37 @@ fn word(observable: bool) -> &'static str {
 fn ptx_line(file: &str, source: &str, sessions: &mut BTreeMap<Signature, SatSession>) -> String {
     let test = parse_ptx_litmus(source).unwrap_or_else(|e| panic!("{file}: {e}"));
     let enumeration = run_ptx(&test);
-    let (sat_word, session_word) = match sat::supported(&test) {
-        Err(why) => {
-            let w = format!("unsupported({why})");
-            (w.clone(), w)
-        }
-        Ok(()) => {
-            // Scratch path: a self-contained problem on a fresh finder.
-            // Symmetry breaking must stay off — the query pins individual
-            // atoms through constants (see the `litmus::sat` type-level
-            // note), so `Options::check()` would be unsound here.
-            let problem = sat::scratch_problem(&test).expect("supported test has a problem");
-            let (verdict, _) = ModelFinder::new(Options::default())
-                .solve(&problem)
-                .unwrap_or_else(|e| panic!("{file}: scratch SAT error: {e:?}"));
-            let scratch_observable = match verdict {
-                Verdict::Sat(_) => true,
-                Verdict::Unsat => false,
-                Verdict::Unknown => panic!("{file}: scratch SAT gave Unknown without a budget"),
-            };
-            // Pooled path: one incremental session per signature, shared
-            // across every file in the sweep (and asserted to be reused
-            // below), exactly like `ptxherd --sat`.
-            let sig = sat::signature(&test.program);
-            let session = sessions
-                .entry(sig)
-                .or_insert_with(|| SatSession::new(sig).expect("internal encoding error"));
-            let r = session.run(&test).unwrap_or_else(|e| panic!("{file}: {e}"));
-            let session_observable = r.observable.expect("no budget set");
-            assert_eq!(
-                scratch_observable, enumeration.observable,
-                "{file}: scratch SAT disagrees with enumeration"
-            );
-            assert_eq!(
-                session_observable, enumeration.observable,
-                "{file}: pooled session disagrees with enumeration"
-            );
-            (
-                word(scratch_observable).to_string(),
-                word(session_observable).to_string(),
-            )
-        }
+    // Scratch path: a self-contained problem on a fresh finder.
+    // Symmetry breaking must stay off — the query pins individual
+    // atoms through constants (see the `litmus::sat` type-level
+    // note), so `Options::check()` would be unsound here.
+    let problem = sat::scratch_problem(&test);
+    let (verdict, _) = ModelFinder::new(Options::default())
+        .solve(&problem)
+        .unwrap_or_else(|e| panic!("{file}: scratch SAT error: {e:?}"));
+    let scratch_observable = match verdict {
+        Verdict::Sat(_) => true,
+        Verdict::Unsat => false,
+        Verdict::Unknown => panic!("{file}: scratch SAT gave Unknown without a budget"),
     };
+    // Pooled path: one incremental session per signature, shared
+    // across every file in the sweep (and asserted to be reused
+    // below), exactly like `ptxherd --sat`.
+    let sig = sat::signature(&test.program);
+    let session = sessions
+        .entry(sig)
+        .or_insert_with(|| SatSession::new(sig).expect("internal encoding error"));
+    let r = session.run(&test).unwrap_or_else(|e| panic!("{file}: {e}"));
+    let session_observable = r.observable.expect("no budget set");
+    assert_eq!(
+        scratch_observable, enumeration.observable,
+        "{file}: scratch SAT disagrees with enumeration"
+    );
+    assert_eq!(
+        session_observable, enumeration.observable,
+        "{file}: pooled session disagrees with enumeration"
+    );
+    let (sat_word, session_word) = (word(scratch_observable), word(session_observable));
     format!(
         "{file} {name} expected={exp:?} enum={e} sat={sat_word} session={session_word} {status}\n",
         name = test.name,

@@ -17,12 +17,9 @@ fn sessions_match_scratch_and_enumeration_on_the_bundled_suite() {
     let mut sessions: BTreeMap<Signature, (SatSession, drat::Checker)> = BTreeMap::new();
     let mut checked = 0usize;
     let mut certified = 0usize;
-    let mut skipped = Vec::new();
-    for test in library::extended_suite() {
-        if let Err(why) = sat::supported(&test) {
-            skipped.push(format!("{} ({why})", test.name));
-            continue;
-        }
+    let suite = library::extended_suite();
+    let total = suite.len();
+    for test in suite {
         let sig = sat::signature(&test.program);
         let (session, checker) = match sessions.entry(sig) {
             std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
@@ -45,7 +42,7 @@ fn sessions_match_scratch_and_enumeration_on_the_bundled_suite() {
             certified += 1;
         }
 
-        let problem = sat::scratch_problem(&test).expect("supported test");
+        let problem = sat::scratch_problem(&test);
         let (scratch, scratch_report) = ModelFinder::new(Options::default().with_proof_logging())
             .solve(&problem)
             .expect("internal encoding error");
@@ -80,12 +77,11 @@ fn sessions_match_scratch_and_enumeration_on_the_bundled_suite() {
         checked += 1;
     }
 
-    // The suite must be meaningfully covered, and the expected handful of
-    // barrier / data-dependent tests are the only fallbacks.
-    assert!(checked >= 20, "only {checked} tests took the SAT path");
-    assert!(
-        skipped.len() <= 5,
-        "unexpected SAT-path fallbacks: {skipped:?}"
+    // Zero fallbacks: every bundled test — barriers and data-dependent
+    // values included — answers on the SAT path.
+    assert_eq!(
+        checked, total,
+        "only {checked}/{total} tests took the SAT path"
     );
 
     // Forbidden outcomes exist in the suite, so certification actually
@@ -113,10 +109,9 @@ fn forced_reduction_cadence_preserves_every_verdict() {
         .with_reduce_interval(1);
     let mut sessions: BTreeMap<Signature, (SatSession, drat::Checker)> = BTreeMap::new();
     let mut checked = 0usize;
-    for test in library::extended_suite() {
-        if sat::supported(&test).is_err() {
-            continue;
-        }
+    let suite = library::extended_suite();
+    let total = suite.len();
+    for test in suite {
         let sig = sat::signature(&test.program);
         let (session, checker) = match sessions.entry(sig) {
             std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
@@ -151,7 +146,10 @@ fn forced_reduction_cadence_preserves_every_verdict() {
         );
         checked += 1;
     }
-    assert!(checked >= 20, "only {checked} tests took the SAT path");
+    assert_eq!(
+        checked, total,
+        "only {checked}/{total} tests took the SAT path"
+    );
 
     // The point of the gate: the aggressive cadence actually swept.
     let swept: u64 = sessions

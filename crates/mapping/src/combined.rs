@@ -203,6 +203,9 @@ fn bound_pvocab(
     for e in [&v.po, &v.rf, &v.co, &v.sc, &v.rmw] {
         bounds.bound_upper(rel_id(e), block.product(block));
     }
+    // The mapping recipe never emits execution barriers.
+    bounds.bound_exact(rel_id(&v.barrier), TupleSet::empty(1));
+    bounds.bound_exact(rel_id(&v.syncbarrier), TupleSet::empty(2));
     bounds.bound_exact(rel_id(&v.same_cta), same_cta.clone());
     bounds.bound_exact(rel_id(&v.same_gpu), same_gpu.clone());
     bounds.bound_exact(rel_id(&v.threads), threads.clone());

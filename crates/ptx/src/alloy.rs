@@ -31,6 +31,8 @@ pub struct PtxVocab {
     pub write: Expr,
     /// Fence events.
     pub fence: Expr,
+    /// Execution-barrier events (`bar.sync` / `bar.arrive`).
+    pub barrier: Expr,
     /// Strong operations (any fence; relaxed/acquire/release memory ops).
     pub strong: Expr,
     /// Acquire semantics (acquire reads, acquire-side fences).
@@ -59,6 +61,11 @@ pub struct PtxVocab {
     pub sc: Expr,
     /// RMW pairing (read half → write half).
     pub rmw: Expr,
+    /// Barrier synchronization edges (§8.7): arriving barrier event →
+    /// waiting barrier event on another thread of the same CTA with the
+    /// same logical barrier id. A static relation: which arrivals pair
+    /// with which waits is determined by the program, not the execution.
+    pub syncbarrier: Expr,
     /// Thread × Thread: same CTA (reflexive symmetric constant).
     pub same_cta: Expr,
     /// Thread × Thread: same GPU (reflexive symmetric constant).
@@ -79,6 +86,7 @@ impl PtxVocab {
             read: r("read", 1),
             write: r("write", 1),
             fence: r("fence", 1),
+            barrier: r("barrier", 1),
             strong: r("strong", 1),
             acq: r("acq", 1),
             rel: r("rel", 1),
@@ -93,6 +101,7 @@ impl PtxVocab {
             co: r("co", 2),
             sc: r("sc", 2),
             rmw: r("rmw", 2),
+            syncbarrier: r("syncbarrier", 2),
             same_cta: r("same_cta", 2),
             same_gpu: r("same_gpu", 2),
             threads: r("threads", 1),
@@ -180,14 +189,17 @@ impl PtxVocab {
             .union(&r.join(&self.po).join(&f_acq))
     }
 
-    /// Synchronizes-with (§8.7, without barriers — the bounded model has
-    /// no `bar`): `(ms ∩ (pattern_rel ; obs ; pattern_acq)) ∪ sc`.
+    /// Synchronizes-with (§8.7):
+    /// `(ms ∩ (pattern_rel ; obs ; pattern_acq)) ∪ syncbarrier ∪ sc`.
     pub fn sw(&self) -> Expr {
         let chain = self
             .pattern_rel()
             .join(&self.obs())
             .join(&self.pattern_acq());
-        self.morally_strong().intersect(&chain).union(&self.sc)
+        self.morally_strong()
+            .intersect(&chain)
+            .union(&self.syncbarrier)
+            .union(&self.sc)
     }
 
     /// Base causality (§8.8.5): `(po? ; sw ; po?)⁺`.
@@ -217,7 +229,10 @@ impl PtxVocab {
         let mut fs = Vec::new();
 
         // Kinds partition the live events.
-        fs.push(partition(ev, &[&self.read, &self.write, &self.fence]));
+        fs.push(partition(
+            ev,
+            &[&self.read, &self.write, &self.fence, &self.barrier],
+        ));
         // Scopes partition the live events.
         fs.push(partition(
             ev,
@@ -317,11 +332,24 @@ impl PtxVocab {
         fs.push(self.rmw.join(&Expr::Univ).in_(&self.strong));
         fs.push(Expr::Univ.join(&self.rmw).in_(&self.strong));
 
+        // syncbarrier: barrier→barrier edges between distinct events.
+        fs.push(
+            self.syncbarrier
+                .in_(&self.barrier.product(&self.barrier).difference(&Expr::Iden)),
+        );
+
         // Everything lives within ev.
-        for unary in [&self.read, &self.write, &self.fence] {
+        for unary in [&self.read, &self.write, &self.fence, &self.barrier] {
             fs.push(unary.in_(ev));
         }
-        for binary in [&self.po, &self.rf, &self.co, &self.sc, &self.rmw] {
+        for binary in [
+            &self.po,
+            &self.rf,
+            &self.co,
+            &self.sc,
+            &self.rmw,
+            &self.syncbarrier,
+        ] {
             fs.push(binary.in_(&ev.product(ev)));
         }
 

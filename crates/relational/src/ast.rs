@@ -22,6 +22,24 @@ impl RelId {
     }
 }
 
+/// A free boolean variable embedded in a formula.
+///
+/// Unlike relation tuples, a free boolean carries no relational content:
+/// the model finder allocates one circuit input per distinct id and lets
+/// the SAT solver choose its value, subject to whatever side constraints
+/// the formula imposes. This is how symbolic per-event choices (value
+/// bits, final-value picks) are lifted into a relational query without
+/// declaring throwaway relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BoolId(pub u32);
+
+impl BoolId {
+    /// The raw id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// A quantified atom variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub(crate) u32);
@@ -197,6 +215,10 @@ pub enum Formula {
     True,
     /// Constant falsity.
     False,
+    /// A free boolean variable (see [`BoolId`]): the model finder treats
+    /// it as an unconstrained circuit input; the ground evaluator
+    /// requires an explicit assignment.
+    Free(BoolId),
     /// `a ⊆ b`.
     Subset(Arc<Expr>, Arc<Expr>),
     /// `a = b`.
@@ -280,6 +302,11 @@ impl Formula {
     pub fn exists(v: VarId, domain: Expr, body: Formula) -> Formula {
         Formula::Exists(v, Arc::new(domain), Arc::new(body))
     }
+
+    /// A free boolean variable.
+    pub fn free(b: BoolId) -> Formula {
+        Formula::Free(b)
+    }
 }
 
 impl fmt::Display for Formula {
@@ -287,6 +314,7 @@ impl fmt::Display for Formula {
         match self {
             Formula::True => write!(f, "true"),
             Formula::False => write!(f, "false"),
+            Formula::Free(b) => write!(f, "b{}", b.0),
             Formula::Subset(a, b) => write!(f, "({a} in {b})"),
             Formula::Equal(a, b) => write!(f, "({a} = {b})"),
             Formula::Some(a) => write!(f, "some {a}"),

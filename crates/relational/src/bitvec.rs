@@ -1,0 +1,213 @@
+//! Fixed-width bit-vector gadgets over [`Formula`].
+//!
+//! A bit-vector is a little-endian `Vec<Formula>` (index 0 = least
+//! significant bit). Bits are arbitrary formulas — typically
+//! [`Formula::Free`] variables allocated through [`BoolGen`] — so value
+//! flow (register moves, RMW arithmetic) can be expressed inside a
+//! relational query and decided by the SAT solver.
+//!
+//! The adder is Tseitin-style at the formula level: carry and sum bits
+//! are *fresh* free booleans pinned by `Iff` side constraints, never
+//! nested carry formulas. The circuit translator has no formula-level
+//! memoization, so a naive ripple carry would re-walk the shared carry
+//! subtree once per bit and blow up exponentially in the width; fresh
+//! definitions keep the translation linear.
+
+use crate::ast::{BoolId, Formula};
+
+/// Allocates distinct [`BoolId`]s for one query's free booleans.
+///
+/// Ids only need to be unique within a single formula, so each query can
+/// start a fresh generator at zero.
+#[derive(Debug, Default)]
+pub struct BoolGen {
+    next: u32,
+}
+
+impl BoolGen {
+    /// A generator starting at id 0.
+    pub fn new() -> BoolGen {
+        BoolGen::default()
+    }
+
+    /// A fresh free boolean.
+    pub fn fresh(&mut self) -> Formula {
+        let b = BoolId(self.next);
+        self.next += 1;
+        Formula::Free(b)
+    }
+
+    /// A vector of `width` fresh free bits (LSB first).
+    pub fn fresh_bits(&mut self, width: usize) -> Vec<Formula> {
+        (0..width).map(|_| self.fresh()).collect()
+    }
+
+    /// How many ids have been handed out.
+    pub fn count(&self) -> u32 {
+        self.next
+    }
+}
+
+/// The constant `value` as `width` bits (LSB first). Bits of `value`
+/// beyond `width` are discarded, matching wrap-around arithmetic.
+pub fn constant(value: u64, width: usize) -> Vec<Formula> {
+    (0..width)
+        .map(|i| {
+            if i < 64 && (value >> i) & 1 == 1 {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        })
+        .collect()
+}
+
+/// `a = b`, bitwise.
+///
+/// # Panics
+///
+/// Panics if the widths differ (gadget misuse, not data-dependent).
+pub fn equals(a: &[Formula], b: &[Formula]) -> Formula {
+    assert_eq!(a.len(), b.len(), "bit-vector width mismatch");
+    Formula::and_all(a.iter().zip(b).map(|(x, y)| x.iff(y)))
+}
+
+/// `a = value`, with `value` truncated to `a`'s width.
+pub fn equals_const(a: &[Formula], value: u64) -> Formula {
+    Formula::and_all(a.iter().enumerate().map(|(i, bit)| {
+        if i < 64 && (value >> i) & 1 == 1 {
+            bit.clone()
+        } else {
+            bit.not()
+        }
+    }))
+}
+
+/// `if sel then a else b`, bitwise.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn mux(sel: &Formula, a: &[Formula], b: &[Formula]) -> Vec<Formula> {
+    assert_eq!(a.len(), b.len(), "bit-vector width mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| sel.and(x).or(&sel.not().and(y)))
+        .collect()
+}
+
+/// `a + b` modulo `2^width` as fresh sum bits; the defining ripple-carry
+/// constraints are pushed onto `defs` and must be conjoined into the
+/// query for the sum bits to mean anything.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn add(
+    gen: &mut BoolGen,
+    a: &[Formula],
+    b: &[Formula],
+    defs: &mut Vec<Formula>,
+) -> Vec<Formula> {
+    assert_eq!(a.len(), b.len(), "bit-vector width mismatch");
+    let mut carry = Formula::False;
+    let mut sum = Vec::with_capacity(a.len());
+    for (x, y) in a.iter().zip(b) {
+        let xor_xy = x.iff(y).not();
+        let s = gen.fresh();
+        defs.push(s.iff(&xor_xy.iff(&carry).not()));
+        sum.push(s);
+        // carry-out = majority(x, y, carry) = (x ∧ y) ∨ (carry ∧ (x ∨ y)).
+        let next = gen.fresh();
+        defs.push(next.iff(&x.and(y).or(&carry.and(&x.or(y)))));
+        carry = next;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use crate::schema::{Instance, Schema};
+
+    /// Evaluates `formula` with the free bits of `assignments` bound.
+    fn holds(formula: &Formula, assignments: &[(u32, bool)]) -> bool {
+        let schema = Schema::new();
+        let instance = Instance::empty(&schema, 1);
+        let mut ev = Evaluator::new(&schema, &instance);
+        for &(id, v) in assignments {
+            ev.assign_bool(BoolId(id), v);
+        }
+        ev.eval_formula(formula).expect("well-typed gadget")
+    }
+
+    /// Assignment binding `bits` (assumed fresh in id order) to `value`.
+    fn bind(width: usize, offset: u32, value: u64) -> Vec<(u32, bool)> {
+        (0..width)
+            .map(|i| (offset + i as u32, (value >> i) & 1 == 1))
+            .collect()
+    }
+
+    #[test]
+    fn constants_and_equality() {
+        assert!(holds(&equals(&constant(5, 4), &constant(5, 4)), &[]));
+        assert!(!holds(&equals(&constant(5, 4), &constant(6, 4)), &[]));
+        assert!(holds(&equals_const(&constant(9, 5), 9), &[]));
+        // Truncation: 17 mod 16 = 1.
+        assert!(holds(&equals(&constant(17, 4), &constant(1, 4)), &[]));
+    }
+
+    #[test]
+    fn mux_selects() {
+        let (a, b) = (constant(3, 3), constant(6, 3));
+        assert!(holds(&equals_const(&mux(&Formula::True, &a, &b), 3), &[]));
+        assert!(holds(&equals_const(&mux(&Formula::False, &a, &b), 6), &[]));
+    }
+
+    #[test]
+    fn adder_is_exact_over_small_widths() {
+        const W: usize = 4;
+        for x in 0..(1u64 << W) {
+            for y in 0..(1u64 << W) {
+                let mut gen = BoolGen::new();
+                let a = gen.fresh_bits(W);
+                let b = gen.fresh_bits(W);
+                let mut defs = Vec::new();
+                let sum = add(&mut gen, &a, &b, &mut defs);
+                // Bind inputs and the fresh sum/carry bits the defs pin.
+                let mut env = bind(W, 0, x);
+                env.extend(bind(W, W as u32, y));
+                let mut carry = 0u64;
+                for (i, _) in sum.iter().enumerate() {
+                    let (xi, yi) = ((x >> i) & 1, (y >> i) & 1);
+                    let s = xi ^ yi ^ carry;
+                    let next = (xi & yi) | (carry & (xi | yi));
+                    env.push((2 * W as u32 + 2 * i as u32, s == 1));
+                    env.push((2 * W as u32 + 2 * i as u32 + 1, next == 1));
+                    carry = next;
+                }
+                let all_defs = Formula::and_all(defs.clone());
+                assert!(holds(&all_defs, &env), "defs rejected {x}+{y}");
+                let want = (x + y) & ((1 << W) - 1);
+                assert!(
+                    holds(&equals_const(&sum, want), &env),
+                    "{x}+{y} != {want} at width {W}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unassigned_free_bit_is_an_error() {
+        let schema = Schema::new();
+        let instance = Instance::empty(&schema, 1);
+        let mut ev = Evaluator::new(&schema, &instance);
+        let mut gen = BoolGen::new();
+        let f = gen.fresh();
+        assert!(matches!(
+            ev.eval_formula(&f),
+            Err(crate::TypeError::UnassignedBool(_))
+        ));
+    }
+}

@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use crate::ast::{Expr, Formula, VarId};
+use crate::ast::{BoolId, Expr, Formula, VarId};
 use crate::schema::{Instance, Schema};
 use crate::tuple::{Atom, Tuple, TupleSet};
 
@@ -35,6 +35,11 @@ pub enum TypeError {
     NonUnaryDomain(usize),
     /// An unbound quantified variable.
     UnboundVar(VarId),
+    /// A free boolean with no assignment in the evaluator (ground
+    /// evaluation needs every [`Formula::Free`] given a value through
+    /// [`Evaluator::assign_bool`]; only the model finder may leave them
+    /// open).
+    UnassignedBool(BoolId),
 }
 
 impl std::fmt::Display for TypeError {
@@ -51,6 +56,7 @@ impl std::fmt::Display for TypeError {
                 write!(f, "quantifier domain must be unary, got arity {a}")
             }
             TypeError::UnboundVar(v) => write!(f, "unbound quantified variable v{}", v.index()),
+            TypeError::UnassignedBool(b) => write!(f, "unassigned free boolean b{}", b.0),
         }
     }
 }
@@ -122,7 +128,7 @@ pub fn arity_of(expr: &Expr, schema: &Schema) -> Result<usize, TypeError> {
 /// Returns the first [`TypeError`] found.
 pub fn check_formula(formula: &Formula, schema: &Schema) -> Result<(), TypeError> {
     match formula {
-        Formula::True | Formula::False => Ok(()),
+        Formula::True | Formula::False | Formula::Free(_) => Ok(()),
         Formula::Subset(a, b) | Formula::Equal(a, b) => {
             let (la, lb) = (arity_of(a, schema)?, arity_of(b, schema)?);
             if la != lb {
@@ -160,6 +166,7 @@ pub struct Evaluator<'a> {
     schema: &'a Schema,
     instance: &'a Instance,
     env: HashMap<VarId, Atom>,
+    bools: HashMap<BoolId, bool>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -169,7 +176,13 @@ impl<'a> Evaluator<'a> {
             schema,
             instance,
             env: HashMap::new(),
+            bools: HashMap::new(),
         }
+    }
+
+    /// Assigns a value to a free boolean for subsequent evaluations.
+    pub fn assign_bool(&mut self, b: BoolId, value: bool) {
+        self.bools.insert(b, value);
     }
 
     /// Evaluates an expression to a tuple set.
@@ -233,6 +246,11 @@ impl<'a> Evaluator<'a> {
         match formula {
             Formula::True => Ok(true),
             Formula::False => Ok(false),
+            Formula::Free(b) => self
+                .bools
+                .get(b)
+                .copied()
+                .ok_or(TypeError::UnassignedBool(*b)),
             Formula::Subset(a, b) => {
                 self.check_same_arity("subset", a, b)?;
                 Ok(self.eval(a)?.is_subset(&self.eval(b)?))

@@ -13,7 +13,9 @@
 //! * [`eval_formula`]: a ground evaluator, the semantic reference for the
 //!   SAT-based model finder in the `ptxmm-solver` crate;
 //! * [`patterns`]: the derived predicates used by axiomatic memory models
-//!   (`acyclic`, `irreflexive`, the `[s]` bracket, order predicates).
+//!   (`acyclic`, `irreflexive`, the `[s]` bracket, order predicates);
+//! * [`bitvec`]: fixed-width bit-vector gadgets over free booleans
+//!   ([`Formula::Free`]), for symbolic value flow inside a query.
 //!
 //! # Examples
 //!
@@ -39,12 +41,14 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bitvec;
 pub mod eval;
 pub mod patterns;
 pub mod schema;
 pub mod tuple;
 
-pub use ast::{Expr, Formula, RelId, VarId};
+pub use ast::{BoolId, Expr, Formula, RelId, VarId};
+pub use bitvec::BoolGen;
 pub use eval::{arity_of, check_formula, eval_expr, eval_formula, Evaluator, TypeError};
 pub use patterns::VarGen;
 pub use schema::{full_set, rel, Bounds, Instance, RelDecl, Schema};

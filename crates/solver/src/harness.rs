@@ -64,6 +64,11 @@ pub struct QueryOutput {
     pub sat_clauses: u64,
     /// SAT conflicts spent (else 0).
     pub conflicts: u64,
+    /// How the query was answered, when the caller distinguishes
+    /// encoding modes (`"symbolic"` for the relational SAT encoding,
+    /// `"enumeration"` for exhaustive execution enumeration). `None`
+    /// for queries without a meaningful mode.
+    pub path: Option<String>,
     /// Free-form extra information carried into the record.
     pub detail: Option<String>,
 }
@@ -111,6 +116,8 @@ pub struct QueryRecord {
     pub conflicts: u64,
     /// Wall-clock time the query ran (or ran until abandonment).
     pub wall: Duration,
+    /// Encoding mode (`"symbolic"` / `"enumeration"`), when reported.
+    pub path: Option<String>,
     /// Free-form extra information.
     pub detail: Option<String>,
     /// The query's observability registry (disabled/empty unless
@@ -139,6 +146,10 @@ impl QueryRecord {
             self.conflicts,
             self.wall.as_secs_f64()
         ));
+        if let Some(p) = &self.path {
+            s.push_str(",\"path\":");
+            json_string(&mut s, p);
+        }
         if let Some(d) = &self.detail {
             s.push_str(",\"detail\":");
             json_string(&mut s, d);
@@ -388,6 +399,7 @@ pub fn run_queries(
                     sat_clauses: 0,
                     conflicts: 0,
                     wall: now - start,
+                    path: None,
                     detail: Some("abandoned: deadline and grace period expired".to_string()),
                     obs,
                     autopsy: Some(autopsy),
@@ -472,6 +484,7 @@ fn execute(
             sat_clauses: out.sat_clauses,
             conflicts: out.conflicts,
             wall,
+            path: out.path,
             detail: out.detail,
             obs: ctx.obs,
             autopsy,
@@ -490,6 +503,7 @@ fn execute(
                 sat_clauses: 0,
                 conflicts: 0,
                 wall,
+                path: None,
                 detail: Some(format!("panic: {msg}")),
                 obs: ctx.obs,
                 autopsy,

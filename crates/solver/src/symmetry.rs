@@ -26,7 +26,9 @@ use crate::circuit::{Circuit, GateId};
 /// conservatively treated as pinning.
 pub fn formula_pins_atoms(formula: &Formula) -> bool {
     match formula {
-        Formula::True | Formula::False => false,
+        // Free booleans are atom-independent: any permutation of atoms
+        // leaves their truth value untouched.
+        Formula::True | Formula::False | Formula::Free(_) => false,
         Formula::Subset(a, b) | Formula::Equal(a, b) => expr_pins_atoms(a) || expr_pins_atoms(b),
         Formula::Some(e) | Formula::No(e) | Formula::One(e) | Formula::Lone(e) => {
             expr_pins_atoms(e)

@@ -139,6 +139,7 @@ impl IncrementalTranslator {
             rel_inputs: Vec::new(),
             env: HashMap::new(),
             strategy,
+            bool_inputs: HashMap::new(),
             cells: 0,
         };
         inner.allocate_relations();
@@ -207,6 +208,11 @@ struct Translator {
     rel_inputs: Vec<BTreeMap<Tuple, u32>>,
     env: HashMap<VarId, Atom>,
     strategy: ClosureStrategy,
+    /// Circuit input allocated for each free boolean, keyed by
+    /// [`relational::BoolId`] index. Persistent across formulas so a
+    /// `Free(b)` in two formulas of one session refers to the same input;
+    /// queries that want independent booleans must use distinct ids.
+    bool_inputs: HashMap<u32, GateId>,
     /// Matrix cells materialized so far; see
     /// [`IncrementalTranslator::matrix_cells`].
     cells: u64,
@@ -408,6 +414,13 @@ impl Translator {
         Ok(match f {
             Formula::True => self.circuit.tru(),
             Formula::False => self.circuit.fls(),
+            Formula::Free(b) => {
+                let circuit = &mut self.circuit;
+                *self
+                    .bool_inputs
+                    .entry(b.0)
+                    .or_insert_with(|| circuit.input())
+            }
             Formula::Subset(a, b) => {
                 let (ma, mb) = (self.expr(a)?, self.expr(b)?);
                 self.subset(&ma, &mb)

@@ -38,6 +38,7 @@ fn finder_query(name: &str, contradict: bool) -> Query {
             sat_vars: report.sat_vars as u64,
             sat_clauses: report.sat_clauses as u64,
             conflicts: report.solver_stats.conflicts,
+            path: None,
             detail: None,
         }
     })
@@ -234,6 +235,7 @@ fn json_records_are_well_formed() {
         sat_clauses: 34,
         conflicts: 5,
         wall: Duration::from_millis(1500),
+        path: Some("symbolic".to_string()),
         detail: Some("tab\there".to_string()),
         obs: modelfinder::obs::Registry::disabled(),
         autopsy: None,
@@ -243,12 +245,14 @@ fn json_records_are_well_formed() {
         json,
         "{\"test\":\"weird \\\"name\\\"\\n\",\"verdict\":\"Unsat\",\
          \"timed_out\":false,\"vars\":12,\"clauses\":34,\"conflicts\":5,\
-         \"wall_secs\":1.500000,\"detail\":\"tab\\there\"}"
+         \"wall_secs\":1.500000,\"path\":\"symbolic\",\"detail\":\"tab\\there\"}"
     );
-    // And without detail the key is omitted.
+    // And without path/detail the keys are omitted.
     let bare = modelfinder::QueryRecord {
+        path: None,
         detail: None,
         ..rec
     };
     assert!(!bare.to_json().contains("detail"));
+    assert!(!bare.to_json().contains("path"));
 }

@@ -27,7 +27,10 @@ autopsy_json="$(mktemp)"
 reduce_json="$(mktemp)"
 bench_base="$(mktemp)"
 bench_rerun="$(mktemp)"
-trap 'rm -f "$smoke_json" "$stats_a" "$stats_b" "$stats_inflated" "$trace_json" "$autopsy_json" "$reduce_json" "$bench_base" "$bench_rerun"' EXIT
+path_json="$(mktemp)"
+litmus_base="$(mktemp)"
+litmus_rerun="$(mktemp)"
+trap 'rm -f "$smoke_json" "$stats_a" "$stats_b" "$stats_inflated" "$trace_json" "$autopsy_json" "$reduce_json" "$bench_base" "$bench_rerun" "$path_json" "$litmus_base" "$litmus_rerun"' EXIT
 
 # Fast incremental-equivalence smoke: at bound 3 fig17_table runs every
 # axiom query both from scratch and through a shared session, and exits
@@ -87,7 +90,8 @@ if grep -qvE '^\{"kind":"(note|counter|timing|histogram)","name":"' "$stats_a"; 
     exit 1
 fi
 for c in solver.propagations solver.conflicts circuit.gates \
-         circuit.gate_cache_hits harness.queries; do
+         circuit.gate_cache_hits harness.queries \
+         sat.symbolic_rf_vars sat.value_bits; do
     v="$(sed -n 's/^{"kind":"counter","name":"'"$c"'","value":\([0-9]*\)}$/\1/p' "$stats_a")"
     if [ -z "$v" ] || [ "$v" -eq 0 ]; then
         echo "verify.sh: stats counter $c missing or zero" >&2
@@ -103,6 +107,28 @@ if scripts/bench_diff.sh "$stats_a" "$stats_inflated" > /dev/null; then
     echo "verify.sh: bench_diff.sh failed to flag a 2x counter inflation" >&2
     exit 1
 fi
+
+# Symbolic-path smoke: with the enumeration fallback retired, every PTX
+# record in a --sat sweep must report the symbolic path — zero fallback
+# markers — while C11 tests keep reporting the enumeration engine.
+echo "== symbolic-path smoke (ptxherd --suite --sat --json, zero fallbacks) =="
+cargo run --release --offline -q -p ptxmm-litmus --bin ptxherd -- \
+    --suite --sat --json > "$path_json"
+if grep -q 'fallback=enumeration' "$path_json"; then
+    echo "verify.sh: enumeration fallback reappeared on the SAT path" >&2
+    exit 1
+fi
+grep -q '"path":"symbolic"' "$path_json"
+grep -q '"path":"enumeration"' "$path_json"
+
+# Litmus-benchmark gate: rerun the SAT-path scratch-vs-sessions bench
+# over the PTX suite and diff its counters against the committed
+# baseline rows (same determinism argument as the fig17 gate above).
+echo "== bench_diff gate against BENCH_fig17.json (litmus SAT path) =="
+cargo run --release --offline -q -p ptxmm-litmus --bin ptxherd -- \
+    --bench-json "$litmus_rerun" 2> /dev/null
+grep -E '"name":"(litmus|time\.litmus)\.' BENCH_fig17.json > "$litmus_base"
+scripts/bench_diff.sh "$litmus_base" "$litmus_rerun" | tail -1
 
 # Trace smoke: a bound-3 fig17_table run with --trace-out must produce
 # a Chrome trace-event JSON file that traceview accepts (traceview's
