@@ -57,6 +57,7 @@ use modelfinder::SessionPool;
 
 struct Cli {
     suite: bool,
+    server: Option<String>,
     jobs: usize,
     timeout_secs: Option<u64>,
     json: bool,
@@ -71,6 +72,7 @@ struct Cli {
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         suite: false,
+        server: None,
         jobs: 1,
         timeout_secs: None,
         json: false,
@@ -100,6 +102,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let v = it.next().ok_or("--bench-json needs a path")?;
                 cli.bench_json = Some(v.clone());
             }
+            "--server" => {
+                let v = it.next().ok_or("--server needs an address")?;
+                cli.server = Some(v.clone());
+            }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 cli.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
@@ -122,6 +128,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     }
     if !cli.suite && cli.files.is_empty() && cli.bench_json.is_none() {
         return Err("no input: pass litmus files or --suite".to_string());
+    }
+    if cli.server.is_some() && (cli.bench_json.is_some() || cli.trace_out.is_some()) {
+        return Err("--server does not combine with --bench-json/--trace-out".to_string());
     }
     Ok(cli)
 }
@@ -169,7 +178,7 @@ fn main() -> ExitCode {
     if args.is_empty() {
         eprintln!(
             "usage: ptxherd [--jobs N] [--timeout-secs S] [--json] [--sat] \
-             [--stats] [--stats-json PATH] [--trace-out PATH] \
+             [--server ADDR] [--stats] [--stats-json PATH] [--trace-out PATH] \
              [--bench-json PATH] <file.litmus>… | --suite"
         );
         return ExitCode::FAILURE;
@@ -190,6 +199,10 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+
+    if let Some(addr) = cli.server.clone() {
+        return run_server_mode(&addr, &cli);
     }
 
     let mut tests: Vec<AnyTest> = Vec::new();
@@ -311,6 +324,139 @@ fn main() -> ExitCode {
         if let Some(path) = &cli.trace_out {
             if let Err(e) = std::fs::write(path, tracer.snapshot().to_chrome_json()) {
                 eprintln!("ptxherd: cannot write {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\n{failures} test(s) failed");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Runs the workload against a remote `ptxd` instead of solving
+/// locally. Suite tests are serialized through `litmus::canon`; files
+/// are shipped as raw text (the server parses). All requests are
+/// pipelined over one connection before the first reply is read, and
+/// replies — which may arrive out of order when the server batches —
+/// are matched back by `id` and printed in input order.
+fn run_server_mode(addr: &str, cli: &Cli) -> ExitCode {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    let mut failures = 0usize;
+    if cli.suite {
+        for t in library::extended_suite() {
+            sources.push((t.name.clone(), litmus::canon::format_ptx_litmus(&t)));
+        }
+        for t in library::c11_suite() {
+            sources.push((t.name.clone(), litmus::canon::format_c11_litmus(&t)));
+        }
+    }
+    for path in &cli.files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => sources.push((path.clone(), text)),
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    let mut client = match litmus::ServerClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ptxherd: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let deadline_ms = cli.timeout_secs.map(|s| s.saturating_mul(1000));
+    for (i, (name, source)) in sources.iter().enumerate() {
+        if let Err(e) = client.send_run(i as u64, source, deadline_ms) {
+            eprintln!("ptxherd: send {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut replies: Vec<Option<litmus::Reply>> = sources.iter().map(|_| None).collect();
+    for _ in 0..sources.len() {
+        match client.recv() {
+            Ok(reply) => match reply.id.and_then(|id| replies.get_mut(id as usize)) {
+                Some(slot) => *slot = Some(reply),
+                None => {
+                    eprintln!("ptxherd: reply with unknown id {:?}", reply.id);
+                    failures += 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("ptxherd: lost server connection: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    for (i, (name, _)) in sources.iter().enumerate() {
+        match &replies[i] {
+            None => {
+                eprintln!("{name}: no reply");
+                failures += 1;
+            }
+            Some(r) if !r.ok => {
+                eprintln!(
+                    "{name}: {}: {}",
+                    r.kind.as_deref().unwrap_or("error"),
+                    r.error.as_deref().unwrap_or("?")
+                );
+                failures += 1;
+            }
+            Some(r) => {
+                failures += usize::from(r.verdict.as_deref() == Some("FAILED"));
+                if cli.json {
+                    println!("{}", r.to_record_json());
+                } else {
+                    println!(
+                        "{:<24} {:<8} {:>9.3}s{}{}{}",
+                        r.name.as_deref().unwrap_or(name),
+                        r.verdict.as_deref().unwrap_or("?"),
+                        r.wall_secs,
+                        if r.timed_out { "  TIMEOUT" } else { "" },
+                        if r.cached { "  CACHED" } else { "" },
+                        r.detail
+                            .as_deref()
+                            .map(|d| format!("  {d}"))
+                            .unwrap_or_default()
+                    );
+                }
+            }
+        }
+    }
+
+    if cli.stats || cli.stats_json.is_some() {
+        match client.stats() {
+            Ok(counters) => {
+                if let Some(path) = &cli.stats_json {
+                    // The server reports live counters as a flat map;
+                    // re-emit them in the obs JSON Lines schema so the
+                    // file matches local --stats-json output.
+                    let mut out = String::new();
+                    for (name, value) in &counters {
+                        out.push_str("{\"kind\":\"counter\",\"name\":");
+                        modelfinder::obs::json::escape_into(&mut out, name);
+                        out.push_str(&format!(",\"value\":{value}}}\n"));
+                    }
+                    if let Err(e) = std::fs::write(path, out) {
+                        eprintln!("ptxherd: cannot write {path}: {e}");
+                        failures += 1;
+                    }
+                }
+                if cli.stats {
+                    for (name, value) in &counters {
+                        println!("{name:<44} {value:>12}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("ptxherd: stats query failed: {e}");
                 failures += 1;
             }
         }

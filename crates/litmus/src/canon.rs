@@ -1,0 +1,424 @@
+//! Serialization and canonicalization of litmus tests.
+//!
+//! Two related jobs live here:
+//!
+//! * **Round-trip serializers** ([`format_ptx_litmus`] /
+//!   [`format_c11_litmus`]): render a test back into the text form the
+//!   parsers accept, so in-memory tests (the [`crate::library`] suites)
+//!   can travel over a wire protocol as plain litmus sources. PTX
+//!   instructions reuse [`ptx::Instruction`]'s `Display` (pinned to the
+//!   parser grammar by its round-trip test); scoped C++ instructions
+//!   get their serializer here ([`format_c11_instruction`]) since
+//!   `rc11` has none.
+//! * **Canonical key texts** ([`canonical_ptx_text`] /
+//!   [`canonical_c11_text`]): a normal form for content-addressing a
+//!   test, used by the `ptxd` verdict cache. Two sources that differ
+//!   only in whitespace, comments, column alignment, test name, or
+//!   register *names* canonicalize identically; anything that changes
+//!   the question — instructions, layout, the universe bound, or the
+//!   outcome condition — changes the text. Registers are renamed
+//!   per-thread in order of first appearance, so `r7` and `r0` playing
+//!   the same role hash the same. The test's *expectation*
+//!   (`forbidden:` vs `allowed:`) is deliberately excluded: it labels
+//!   the same observability query, it does not change the answer.
+
+use memmodel::Register;
+use ptx::{Instruction, Operand, Program};
+use rc11::{CInstruction, MemOrder, Operand as COperand, RmwOp as CRmwOp};
+
+use crate::cond::Cond;
+use crate::sat;
+use crate::test::{C11Litmus, Expectation, PtxLitmus};
+
+/// Renders a layout as the parser's `custom` spec (`0:g,c 1:g,c …`),
+/// which expresses every preset.
+fn layout_spec(layout: &memmodel::SystemLayout) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("custom");
+    for t in 0..layout.num_threads() {
+        let p = layout.placement(memmodel::ThreadId(t as u32));
+        let _ = write!(out, " {t}:{},{}", p.gpu, p.cta);
+    }
+    out
+}
+
+fn cond_line(expectation: Expectation, cond: &Cond) -> String {
+    let kw = match expectation {
+        Expectation::Forbidden => "forbidden",
+        Expectation::Allowed => "allowed",
+    };
+    format!("{kw}: {cond}")
+}
+
+/// Renders a PTX litmus test into the text form
+/// [`crate::parse_ptx_litmus`] accepts (header, layout, columnar
+/// program body, condition line).
+pub fn format_ptx_litmus(test: &PtxLitmus) -> String {
+    format!(
+        "PTX {}\nlayout {}\n{}{}\n",
+        test.name,
+        layout_spec(&test.program.layout),
+        test.program,
+        cond_line(test.expectation, &test.cond),
+    )
+}
+
+/// One scoped C++ instruction in the text form
+/// [`crate::parse_c11_instruction`] accepts.
+pub fn format_c11_instruction(inst: &CInstruction) -> String {
+    fn mo(mo: MemOrder) -> &'static str {
+        match mo {
+            MemOrder::NA => "na",
+            MemOrder::Rlx => "rlx",
+            MemOrder::Acq => "acq",
+            MemOrder::Rel => "rel",
+            MemOrder::AcqRel => "acq_rel",
+            MemOrder::Sc => "sc",
+        }
+    }
+    fn operand(op: &COperand) -> String {
+        match op {
+            COperand::Imm(v) => v.to_string(),
+            COperand::Reg(r) => r.to_string(),
+        }
+    }
+    match inst {
+        CInstruction::Load {
+            mo: MemOrder::NA,
+            dst,
+            loc,
+            ..
+        } => format!("load.na {dst}, [{loc}]"),
+        CInstruction::Load {
+            mo: m,
+            scope,
+            dst,
+            loc,
+        } => format!("load.{}.{scope} {dst}, [{loc}]", mo(*m)),
+        CInstruction::Store {
+            mo: MemOrder::NA,
+            loc,
+            src,
+            ..
+        } => format!("store.na [{loc}], {}", operand(src)),
+        CInstruction::Store {
+            mo: m,
+            scope,
+            loc,
+            src,
+        } => format!("store.{}.{scope} [{loc}], {}", mo(*m), operand(src)),
+        CInstruction::Fence { mo: m, scope } => format!("fence.{}.{scope}", mo(*m)),
+        CInstruction::Rmw {
+            mo: m,
+            scope,
+            dst,
+            loc,
+            op,
+            src,
+        } => {
+            let head = match op {
+                CRmwOp::Exchange => "exch".to_string(),
+                CRmwOp::FetchAdd => "fadd".to_string(),
+                CRmwOp::CompareExchange { cmp } => format!("cas({cmp})"),
+            };
+            format!("{head}.{}.{scope} {dst}, [{loc}], {}", mo(*m), operand(src))
+        }
+    }
+}
+
+/// Renders a scoped C++ litmus test into the text form
+/// [`crate::parse_c11_litmus`] accepts.
+pub fn format_c11_litmus(test: &C11Litmus) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "C11 {}\nlayout {}\n",
+        test.name,
+        layout_spec(&test.program.layout)
+    );
+    let threads = &test.program.threads;
+    for t in 0..threads.len() {
+        if t > 0 {
+            out.push_str(" | ");
+        }
+        let _ = write!(out, "P{t}");
+    }
+    out.push_str(" ;\n");
+    let rows = threads.iter().map(Vec::len).max().unwrap_or(0);
+    for r in 0..rows {
+        for (t, instrs) in threads.iter().enumerate() {
+            if t > 0 {
+                out.push_str(" | ");
+            }
+            if let Some(i) = instrs.get(r) {
+                out.push_str(&format_c11_instruction(i));
+            }
+        }
+        out.push_str(" ;\n");
+    }
+    let _ = writeln!(out, "{}", cond_line(test.expectation, &test.cond));
+    out
+}
+
+/// A per-thread register renaming: registers are numbered in order of
+/// first appearance within their thread, so the canonical text is
+/// invariant under any consistent renaming of the source's registers.
+struct RegCanon {
+    maps: Vec<std::collections::BTreeMap<Register, Register>>,
+    next: Vec<u32>,
+}
+
+impl RegCanon {
+    fn new(threads: usize) -> RegCanon {
+        RegCanon {
+            maps: vec![std::collections::BTreeMap::new(); threads],
+            next: vec![0; threads],
+        }
+    }
+
+    fn map(&mut self, thread: usize, r: Register) -> Register {
+        if thread >= self.maps.len() {
+            // A condition can name a thread outside the program; there
+            // is nothing to rename against, so keep the register as-is.
+            return r;
+        }
+        let next = &mut self.next[thread];
+        *self.maps[thread].entry(r).or_insert_with(|| {
+            let c = Register(*next);
+            *next += 1;
+            c
+        })
+    }
+
+    fn rename_cond(&mut self, cond: &Cond) -> Cond {
+        match cond {
+            Cond::True => Cond::True,
+            Cond::RegEq(t, r, v) => Cond::RegEq(*t, self.map(t.0 as usize, *r), *v),
+            Cond::MemEq(l, v) => Cond::MemEq(*l, *v),
+            Cond::And(cs) => Cond::And(cs.iter().map(|c| self.rename_cond(c)).collect()),
+            Cond::Or(cs) => Cond::Or(cs.iter().map(|c| self.rename_cond(c)).collect()),
+            Cond::Not(c) => Cond::Not(Box::new(self.rename_cond(c))),
+        }
+    }
+}
+
+/// Renames a PTX program's registers into first-appearance order.
+/// Within an instruction the destination is visited before the data
+/// operand, matching reading order.
+fn canon_ptx_program(program: &Program, canon: &mut RegCanon) -> Vec<Vec<Instruction>> {
+    program
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(t, instrs)| {
+            instrs
+                .iter()
+                .map(|i| {
+                    let mut i = *i;
+                    match &mut i {
+                        Instruction::Ld { dst, .. } => *dst = canon.map(t, *dst),
+                        Instruction::St { src, .. } => {
+                            if let Operand::Reg(r) = src {
+                                *r = canon.map(t, *r);
+                            }
+                        }
+                        Instruction::Atom { dst, src, .. } => {
+                            *dst = canon.map(t, *dst);
+                            if let Operand::Reg(r) = src {
+                                *r = canon.map(t, *r);
+                            }
+                        }
+                        Instruction::Red { src, .. } => {
+                            if let Operand::Reg(r) = src {
+                                *r = canon.map(t, *r);
+                            }
+                        }
+                        Instruction::Fence { .. } | Instruction::Bar { .. } => {}
+                    }
+                    i
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The canonical key text of a PTX test: model-shaped (`sig` carries
+/// the universe bound), register-renamed, name- and expectation-free,
+/// one instruction per line (no column alignment to vary).
+pub fn canonical_ptx_text(test: &PtxLitmus) -> String {
+    use std::fmt::Write as _;
+    let sig = sat::signature(&test.program);
+    let mut canon = RegCanon::new(test.program.num_threads());
+    let threads = canon_ptx_program(&test.program, &mut canon);
+    let cond = canon.rename_cond(&test.cond);
+    let mut out = format!(
+        "sig events={} threads={} locs={}\nlayout {}\n",
+        sig.events,
+        sig.threads,
+        sig.locs,
+        layout_spec(&test.program.layout)
+    );
+    for (t, instrs) in threads.iter().enumerate() {
+        for i in instrs {
+            let _ = writeln!(out, "t{t}: {i}");
+        }
+    }
+    let _ = writeln!(out, "cond {cond}");
+    out
+}
+
+/// The canonical key text of a scoped C++ test (see
+/// [`canonical_ptx_text`]; the bound line carries the instruction
+/// count, since RC11 enumeration has no separate universe signature).
+pub fn canonical_c11_text(test: &C11Litmus) -> String {
+    use std::fmt::Write as _;
+    let mut canon = RegCanon::new(test.program.threads.len());
+    let threads: Vec<Vec<CInstruction>> = test
+        .program
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(t, instrs)| {
+            instrs
+                .iter()
+                .map(|i| {
+                    let mut i = *i;
+                    match &mut i {
+                        CInstruction::Load { dst, .. } => *dst = canon.map(t, *dst),
+                        CInstruction::Store { src, .. } => {
+                            if let COperand::Reg(r) = src {
+                                *r = canon.map(t, *r);
+                            }
+                        }
+                        CInstruction::Rmw { dst, src, .. } => {
+                            *dst = canon.map(t, *dst);
+                            if let COperand::Reg(r) = src {
+                                *r = canon.map(t, *r);
+                            }
+                        }
+                        CInstruction::Fence { .. } => {}
+                    }
+                    i
+                })
+                .collect()
+        })
+        .collect();
+    let cond = canon.rename_cond(&test.cond);
+    let events: usize = threads.iter().map(Vec::len).sum();
+    let mut out = format!(
+        "sig events={} threads={}\nlayout {}\n",
+        events,
+        threads.len(),
+        layout_spec(&test.program.layout)
+    );
+    for (t, instrs) in threads.iter().enumerate() {
+        for i in instrs {
+            let _ = writeln!(out, "t{t}: {}", format_c11_instruction(i));
+        }
+    }
+    let _ = writeln!(out, "cond {cond}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{library, parse_c11_litmus, parse_ptx_litmus};
+
+    #[test]
+    fn ptx_serializer_round_trips_the_whole_library() {
+        for test in library::extended_suite() {
+            let text = format_ptx_litmus(&test);
+            let back = parse_ptx_litmus(&text)
+                .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{text}", test.name));
+            assert_eq!(back.name, test.name, "{text}");
+            assert_eq!(back.program, test.program, "{}", test.name);
+            assert_eq!(back.cond, test.cond, "{}", test.name);
+            assert_eq!(back.expectation, test.expectation, "{}", test.name);
+        }
+    }
+
+    #[test]
+    fn c11_serializer_round_trips_the_whole_library() {
+        for test in library::c11_suite() {
+            let text = format_c11_litmus(&test);
+            let back = parse_c11_litmus(&text)
+                .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{text}", test.name));
+            assert_eq!(back.name, test.name, "{text}");
+            assert_eq!(back.program.threads, test.program.threads, "{}", test.name);
+            assert_eq!(back.program.layout, test.program.layout, "{}", test.name);
+            assert_eq!(back.cond, test.cond, "{}", test.name);
+            assert_eq!(back.expectation, test.expectation, "{}", test.name);
+        }
+    }
+
+    #[test]
+    fn canonical_text_ignores_names_whitespace_and_register_names() {
+        let a = parse_ptx_litmus(
+            "PTX MP\nlayout cta_per_thread\nP0|P1;\nst.weak [x], 1|ld.acquire.gpu r0, [y];\n\
+             st.release.gpu [y], 1|ld.weak r1, [x];\nforbidden: 1:r0=1 /\\ 1:r1=0\n",
+        )
+        .unwrap();
+        // Same test: different name, comments, odd spacing, renamed
+        // registers (r0/r1 -> r7/r3).
+        let b = parse_ptx_litmus(
+            "// a comment\nPTX MP-renamed\nlayout cta_per_thread\n\
+             P0                  | P1 ;\n\
+             st.weak [x], 1      | ld.acquire.gpu r7, [y] ; // first read\n\
+             st.release.gpu [y], 1 | ld.weak r3, [x] ;\n\
+             forbidden: 1:r7=1 /\\ 1:r3=0\n",
+        )
+        .unwrap();
+        assert_eq!(canonical_ptx_text(&a), canonical_ptx_text(&b));
+    }
+
+    #[test]
+    fn canonical_text_distinguishes_bound_layout_and_condition() {
+        let base = library::mp();
+        let canonical = canonical_ptx_text(&base);
+
+        // Different outcome condition.
+        let mut cond = base.clone();
+        cond.cond = crate::Cond::reg(1, 0, 0);
+        assert_ne!(canonical, canonical_ptx_text(&cond));
+
+        // Expectation alone does NOT change the key: same query.
+        let mut exp = base.clone();
+        exp.expectation = Expectation::Allowed;
+        assert_eq!(canonical, canonical_ptx_text(&exp));
+
+        // Different bound: an extra instruction changes the signature.
+        let mut bigger = base.clone();
+        bigger.program.threads[0].push(ptx::inst::build::st_weak(memmodel::Location(2), 1));
+        assert_ne!(canonical, canonical_ptx_text(&bigger));
+
+        // Different layout.
+        let mut layout = base.clone();
+        layout.program.layout = memmodel::SystemLayout::single_cta(2);
+        assert_ne!(canonical, canonical_ptx_text(&layout));
+    }
+
+    #[test]
+    fn canonical_c11_distinguishes_models_with_identical_shapes() {
+        // A PTX MP and a C11 MP with the same cond must not collide;
+        // their canonical texts differ structurally (instruction
+        // grammar), and `ptxd` additionally tags the model in the key.
+        let ptx = canonical_ptx_text(&library::mp());
+        let c11 = canonical_c11_text(&library::c11_suite().remove(0));
+        assert_ne!(ptx, c11);
+    }
+
+    #[test]
+    fn inconsistent_register_renaming_changes_the_key() {
+        // Swapping the roles of two registers (not a pure renaming)
+        // must be visible: r0's setter read changes.
+        let a = parse_ptx_litmus(
+            "PTX t\nP0 ;\nld.weak r0, [x] ;\nld.weak r1, [y] ;\nforbidden: 0:r0=1\n",
+        )
+        .unwrap();
+        let b = parse_ptx_litmus(
+            "PTX t\nP0 ;\nld.weak r0, [x] ;\nld.weak r1, [y] ;\nforbidden: 0:r1=1\n",
+        )
+        .unwrap();
+        assert_ne!(canonical_ptx_text(&a), canonical_ptx_text(&b));
+    }
+}

@@ -30,6 +30,8 @@
 
 #![warn(missing_docs)]
 
+pub mod canon;
+pub mod client;
 pub mod cond;
 pub mod generate;
 pub mod library;
@@ -39,6 +41,8 @@ pub mod sat;
 pub mod scref;
 pub mod test;
 
+pub use canon::{canonical_c11_text, canonical_ptx_text, format_c11_litmus, format_ptx_litmus};
+pub use client::{Reply, ServerClient};
 pub use cond::Cond;
 pub use parse::{parse_cond, parse_instruction, parse_ptx_litmus, ParseLitmusError};
 pub use parse_c11::{parse_c11_instruction, parse_c11_litmus};

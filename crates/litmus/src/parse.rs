@@ -524,6 +524,11 @@ impl CondParser {
 }
 
 fn parse_cond_atom(atom: &str) -> Result<Cond, String> {
+    if atom == "true" {
+        // `Cond::True` displays as `true`; accept it back so every
+        // condition the serializer in `crate::canon` emits re-parses.
+        return Ok(Cond::True);
+    }
     let Some((lhs, rhs)) = atom.split_once('=') else {
         return Err(format!("expected `lhs=value` in `{atom}`"));
     };

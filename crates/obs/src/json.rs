@@ -105,6 +105,220 @@ fn hex4(chars: &mut std::str::Chars<'_>) -> Option<u32> {
     Some(code)
 }
 
+/// A parsed JSON value.
+///
+/// Objects preserve key order as a `Vec` of pairs (duplicate keys keep
+/// the first occurrence on [`Value::get`]); numbers are `f64`, which
+/// covers every value the workspace's emitters produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks a key up in an object (first occurrence); `None` on
+    /// non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64`, if this is a non-negative number
+    /// with no fractional part.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            // `u64::MAX as f64` rounds up to 2^64, so the comparison must
+            // be strict to keep the cast in range.
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(vs) => Some(vs),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum container nesting [`parse`] accepts, so adversarial input
+/// (`[[[[…`) cannot overflow the stack of a recursive parse.
+const MAX_DEPTH: usize = 64;
+
+/// Parses one complete JSON value from `text` (leading and trailing
+/// whitespace allowed, nothing else). Returns `None` on malformed
+/// input, trailing garbage, or nesting deeper than [`MAX_DEPTH`] — the
+/// callers are servers reading untrusted lines, so there are no panics.
+pub fn parse(text: &str) -> Option<Value> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Option<()> {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// Scans a string literal (cursor on the opening quote) and
+    /// delegates to [`unescape`], the workspace's one string decoder.
+    fn string(&mut self) -> Option<String> {
+        let start = self.pos;
+        self.eat(b'"')?;
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    let literal = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+                    return unescape(literal);
+                }
+                b'\\' => self.pos += 2,
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Option<Value> {
+        if depth > MAX_DEPTH {
+            return None;
+        }
+        match self.bytes.get(self.pos)? {
+            b'n' => self.literal("null").map(|()| Value::Null),
+            b't' => self.literal("true").map(|()| Value::Bool(true)),
+            b'f' => self.literal("false").map(|()| Value::Bool(false)),
+            b'"' => self.string().map(Value::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut vs = Vec::new();
+                self.skip_ws();
+                if self.eat(b']').is_some() {
+                    return Some(Value::Arr(vs));
+                }
+                loop {
+                    self.skip_ws();
+                    vs.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    if self.eat(b']').is_some() {
+                        return Some(Value::Arr(vs));
+                    }
+                    self.eat(b',')?;
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.eat(b'}').is_some() {
+                    return Some(Value::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    self.skip_ws();
+                    pairs.push((key, self.value(depth + 1)?));
+                    self.skip_ws();
+                    if self.eat(b'}').is_some() {
+                        return Some(Value::Obj(pairs));
+                    }
+                    self.eat(b',')?;
+                }
+            }
+            _ => {
+                let start = self.pos;
+                while matches!(
+                    self.bytes.get(self.pos),
+                    Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
+                    self.pos += 1;
+                }
+                let tok = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+                tok.parse::<f64>()
+                    .ok()
+                    .filter(|n| n.is_finite())
+                    .map(Value::Num)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +358,75 @@ mod tests {
         // BMP \u escape and a surrogate pair (U+1D40C).
         assert_eq!(unescape("\"\\u03c0\"").as_deref(), Some("π"));
         assert_eq!(unescape("\"\\ud835\\udd0c\"").as_deref(), Some("\u{1d50c}"));
+    }
+
+    #[test]
+    fn parse_accepts_the_workspace_shapes() {
+        let v = parse(r#"{"id":7,"op":"run","ok":true,"wall":0.25,"xs":[1,2,3],"n":null}"#)
+            .expect("valid object");
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("run"));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("wall").and_then(Value::as_f64), Some(0.25));
+        assert_eq!(
+            v.get("xs").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("n"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(parse("  [ ]  "), Some(Value::Arr(vec![])));
+        assert_eq!(parse("{}"), Some(Value::Obj(vec![])));
+        assert_eq!(parse("-12.5e2"), Some(Value::Num(-1250.0)));
+        assert_eq!(
+            parse(r#""a\nb""#).as_ref().and_then(Value::as_str),
+            Some("a\nb")
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_escaped_strings() {
+        for s in ["plain", "quote\" backslash\\", "line\nfeed", "π 𝛕"] {
+            let v = parse(&escape(s)).expect("escaped string parses");
+            assert_eq!(v.as_str(), Some(s));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "   ",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "nulll",
+            "1 2",
+            "{} {}",
+            "'single'",
+            "NaN",
+            "Infinity",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "[1,]",
+        ] {
+            assert_eq!(parse(bad), None, "should reject {bad:?}");
+        }
+        // Nesting deeper than MAX_DEPTH is rejected, not a stack overflow.
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert_eq!(parse(&deep), None);
+        let shallow = "[".repeat(10) + &"]".repeat(10);
+        assert!(parse(&shallow).is_some());
+    }
+
+    #[test]
+    fn as_u64_guards_fractions_and_sign() {
+        assert_eq!(parse("18446744073709551615").unwrap().as_u64(), None); // rounds past u64::MAX
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("4096").unwrap().as_u64(), Some(4096));
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! The content-addressed verdict cache.
+//!
+//! A key is two independently-seeded FNV-1a 64 digests of the same
+//! canonical text (see [`litmus::canon`]) prefixed with the model and
+//! engine tags — 128 bits total, so accidental collisions across a
+//! service lifetime are negligible without storing the (unbounded)
+//! canonical texts themselves.
+//!
+//! Each entry carries the *observability* answer plus the certificate
+//! fingerprint ([`satsolver::hash`] of the query's DRAT delta) and a
+//! whole-entry fingerprint. The entry fingerprint is revalidated on
+//! every hit: a corrupted entry is evicted and recomputed rather than
+//! served, so cache rot can cost time but never a wrong verdict.
+//! Undecided results (deadline, cancellation) are never inserted.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use satsolver::hash::{fnv64, Fnv64};
+
+/// A 128-bit content address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// FNV-1a over the tagged canonical text, default offset basis.
+    pub lo: u64,
+    /// Second digest of the same text, distinct seed.
+    pub hi: u64,
+}
+
+/// Seed for the second digest stream: the offset basis of the first,
+/// perturbed so the two digests are not correlated.
+const HI_SEED: u64 = satsolver::hash::FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+/// Derives the cache key for a query: model tag (`ptx` / `c11`),
+/// engine tag (`sat` / `enum`), and the canonical test text.
+pub fn key_for(model: &str, mode: &str, canonical: &str) -> CacheKey {
+    let mut lo = Fnv64::new();
+    let mut hi = Fnv64::with_seed(HI_SEED);
+    for part in [model, "\n", mode, "\n", canonical] {
+        lo.write(part.as_bytes());
+        hi.write(part.as_bytes());
+    }
+    CacheKey {
+        lo: lo.finish(),
+        hi: hi.finish(),
+    }
+}
+
+/// One cached verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Whether the tagged outcome was observable.
+    pub observable: bool,
+    /// Decision path (`symbolic` / `enumeration`).
+    pub path: &'static str,
+    /// FNV-1a of the query's DRAT delta (0 when certification was off
+    /// or the answer was Sat).
+    pub drat_hash: u64,
+    /// Solver conflicts the original query spent.
+    pub conflicts: u64,
+    /// CNF variables of the original query.
+    pub sat_vars: u64,
+    /// CNF clauses of the original query.
+    pub sat_clauses: u64,
+    /// Whole-entry fingerprint, bound to the key.
+    fingerprint: u64,
+}
+
+impl Entry {
+    /// Builds an entry, sealing it with its fingerprint.
+    pub fn new(
+        key: CacheKey,
+        observable: bool,
+        path: &'static str,
+        drat_hash: u64,
+        conflicts: u64,
+        sat_vars: u64,
+        sat_clauses: u64,
+    ) -> Entry {
+        let mut e = Entry {
+            observable,
+            path,
+            drat_hash,
+            conflicts,
+            sat_vars,
+            sat_clauses,
+            fingerprint: 0,
+        };
+        e.fingerprint = e.expected_fingerprint(key);
+        e
+    }
+
+    fn expected_fingerprint(&self, key: CacheKey) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(key.lo);
+        h.write_u64(key.hi);
+        h.write_u64(self.observable as u64);
+        h.write(self.path.as_bytes());
+        h.write_u64(self.drat_hash);
+        h.write_u64(self.conflicts);
+        h.write_u64(self.sat_vars);
+        h.write_u64(self.sat_clauses);
+        h.finish()
+    }
+}
+
+/// A lookup outcome. `Invalid` means the key was present but the entry
+/// failed fingerprint validation and was evicted.
+#[derive(Debug)]
+pub enum Lookup {
+    /// Valid entry.
+    Hit(Entry),
+    /// Nothing stored.
+    Miss,
+    /// Entry present but corrupt; evicted.
+    Invalid,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    order: VecDeque<CacheKey>,
+}
+
+/// A bounded, fingerprint-validated verdict cache. Eviction is
+/// insertion-order (FIFO): verdicts do not age, so recency matters
+/// less than a hard memory bound.
+pub struct VerdictCache {
+    inner: Mutex<Inner>,
+    cap: usize,
+}
+
+impl VerdictCache {
+    /// Creates a cache holding at most `cap` entries.
+    pub fn new(cap: usize) -> VerdictCache {
+        VerdictCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Looks up a key, validating the entry fingerprint.
+    pub fn lookup(&self, key: &CacheKey) -> Lookup {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.map.get(key) {
+            None => Lookup::Miss,
+            Some(e) if e.fingerprint == e.expected_fingerprint(*key) => Lookup::Hit(e.clone()),
+            Some(_) => {
+                inner.map.remove(key);
+                Lookup::Invalid
+            }
+        }
+    }
+
+    /// Inserts (or replaces) an entry, evicting the oldest insertion
+    /// when full.
+    pub fn insert(&self, key: CacheKey, entry: Entry) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(key, entry).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.cap {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Test hook: flips a bit in the stored observability *without*
+    /// resealing the fingerprint, simulating cache rot. Returns whether
+    /// the key was present.
+    pub fn corrupt_for_test(&self, key: &CacheKey) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.map.get_mut(key) {
+            Some(e) => {
+                e.drat_hash ^= 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Convenience: digest of arbitrary bytes, for tests.
+pub fn digest(bytes: &[u8]) -> u64 {
+    fnv64(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: CacheKey) -> Entry {
+        Entry::new(key, true, "symbolic", 77, 5, 100, 300)
+    }
+
+    #[test]
+    fn keys_separate_model_mode_and_text() {
+        let base = key_for("ptx", "sat", "sig events=6\nt0: x\n");
+        assert_eq!(base, key_for("ptx", "sat", "sig events=6\nt0: x\n"));
+        assert_ne!(base, key_for("c11", "sat", "sig events=6\nt0: x\n"));
+        assert_ne!(base, key_for("ptx", "enum", "sig events=6\nt0: x\n"));
+        assert_ne!(base, key_for("ptx", "sat", "sig events=7\nt0: x\n"));
+        // The tag join must not be ambiguous: ("ab","c") != ("a","bc").
+        assert_ne!(key_for("ab", "c", "t"), key_for("a", "bc", "t"));
+    }
+
+    #[test]
+    fn hits_validate_fingerprints_and_evict_corruption() {
+        let cache = VerdictCache::new(8);
+        let key = key_for("ptx", "sat", "text");
+        cache.insert(key, entry(key));
+        assert!(matches!(cache.lookup(&key), Lookup::Hit(e) if e.observable));
+        assert!(cache.corrupt_for_test(&key));
+        assert!(matches!(cache.lookup(&key), Lookup::Invalid));
+        // The corrupt entry is gone; the next lookup is a clean miss.
+        assert!(matches!(cache.lookup(&key), Lookup::Miss));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_the_map_fifo() {
+        let cache = VerdictCache::new(2);
+        let keys: Vec<CacheKey> = (0..3)
+            .map(|i| key_for("ptx", "sat", &format!("t{i}")))
+            .collect();
+        for &k in &keys {
+            cache.insert(k, entry(k));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(
+            matches!(cache.lookup(&keys[0]), Lookup::Miss),
+            "oldest evicted"
+        );
+        assert!(matches!(cache.lookup(&keys[2]), Lookup::Hit(_)));
+        // Reinserting an existing key must not double-count in order.
+        cache.insert(keys[2], entry(keys[2]));
+        assert_eq!(cache.len(), 2);
+    }
+}

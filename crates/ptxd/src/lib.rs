@@ -1,0 +1,40 @@
+//! `ptxd`: a long-lived model-checking service for litmus queries.
+//!
+//! The paper's workflow answers each litmus test by translating the PTX
+//! axioms into SAT and solving; the expensive part — translating the
+//! axiom base for a universe signature — is shared by every test of
+//! that signature. `ptxd` turns that sharing into a service: a daemon
+//! that keeps one warm incremental [`litmus::SatSession`] per
+//! signature in a [`modelfinder::SessionPool`], speaks a line-JSON
+//! protocol over TCP ([`proto`]), batches compatible queries onto warm
+//! sessions ([`sched`]), and memoizes verdicts in a content-addressed
+//! cache keyed by the canonicalized test text ([`cache`], via
+//! [`litmus::canon`]).
+//!
+//! Operational properties:
+//!
+//! * **Admission control**: a bounded global queue with load-shed
+//!   replies and a per-connection fairness cap.
+//! * **Deadlines and cancellation**: per-request deadlines propagate
+//!   into the solver through [`modelfinder::CancelToken`]; a client
+//!   disconnect aborts its in-flight work and frees the session.
+//! * **Graceful shutdown**: the `shutdown` op, the test
+//!   [`server::Handle`], or `SIGTERM` (via [`signal`], raw-syscall
+//!   signalfd — the workspace is dependency-free) drain in-flight
+//!   queries before exit.
+//! * **Observability**: `ptxd.*` counters, queue-depth histograms, and
+//!   flight-recorder trace spans through the `obs` crate, so
+//!   `--stats-json` / `--trace-out` work exactly as in `ptxherd`.
+//!
+//! The client half of the protocol lives in [`litmus::client`], shared
+//! by `ptxherd --server` and this crate's integration tests.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod proto;
+pub mod sched;
+pub mod server;
+pub mod signal;
+
+pub use server::{Config, Handle, Server, Trigger};

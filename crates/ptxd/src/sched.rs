@@ -1,0 +1,281 @@
+//! Admission control and batch scheduling.
+//!
+//! The scheduler is a per-connection round-robin of bounded FIFO
+//! queues. Admission applies three gates in order: a draining server
+//! rejects everything; a connection that already has `fair_cap` jobs
+//! queued is rejected (fairness — one greedy client cannot occupy the
+//! whole queue); and a full global queue sheds load. Rejections are
+//! *replies*, not silent drops, so a client always learns the fate of
+//! a request.
+//!
+//! Workers pull via [`Scheduler::next`] (round-robin across
+//! connections, FIFO within one) or [`Scheduler::take_matching`], the
+//! batching hook: a worker holding a warm session scans queue fronts
+//! for another job with the same universe signature before checking
+//! the session back in.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// The global queue is at its bound.
+    Queue,
+    /// The submitting connection is at its fairness cap.
+    Fairness,
+    /// The server is draining.
+    Draining,
+}
+
+struct Inner<J> {
+    queues: BTreeMap<u64, VecDeque<J>>,
+    rr: VecDeque<u64>,
+    queued: usize,
+    inflight: usize,
+    draining: bool,
+    closed: bool,
+}
+
+impl<J> Inner<J> {
+    fn pop_from(&mut self, conn: u64) -> Option<J> {
+        let queue = self.queues.get_mut(&conn)?;
+        let job = queue.pop_front()?;
+        if queue.is_empty() {
+            self.queues.remove(&conn);
+        }
+        self.queued -= 1;
+        self.inflight += 1;
+        Some(job)
+    }
+}
+
+/// The shared scheduler. `J` is the job payload; the scheduler itself
+/// only routes.
+pub struct Scheduler<J> {
+    inner: Mutex<Inner<J>>,
+    work: Condvar,
+    drained: Condvar,
+    queue_bound: usize,
+    fair_cap: usize,
+}
+
+impl<J> Scheduler<J> {
+    /// Creates a scheduler with a global queue bound and a
+    /// per-connection fairness cap.
+    pub fn new(queue_bound: usize, fair_cap: usize) -> Scheduler<J> {
+        Scheduler {
+            inner: Mutex::new(Inner {
+                queues: BTreeMap::new(),
+                rr: VecDeque::new(),
+                queued: 0,
+                inflight: 0,
+                draining: false,
+                closed: false,
+            }),
+            work: Condvar::new(),
+            drained: Condvar::new(),
+            queue_bound: queue_bound.max(1),
+            fair_cap: fair_cap.max(1),
+        }
+    }
+
+    /// Admits one job from `conn`, or rejects it. On success the job
+    /// will be delivered to exactly one worker (or dropped by
+    /// [`Scheduler::purge_conn`]). Returns the queue depth after
+    /// admission for depth instrumentation.
+    pub fn submit(&self, conn: u64, job: J) -> Result<usize, Shed> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.draining || inner.closed {
+            return Err(Shed::Draining);
+        }
+        if inner.queues.get(&conn).map_or(0, VecDeque::len) >= self.fair_cap {
+            return Err(Shed::Fairness);
+        }
+        if inner.queued >= self.queue_bound {
+            return Err(Shed::Queue);
+        }
+        if !inner.queues.contains_key(&conn) {
+            inner.rr.push_back(conn);
+        }
+        inner.queues.entry(conn).or_default().push_back(job);
+        inner.queued += 1;
+        let depth = inner.queued;
+        drop(inner);
+        self.work.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next job, round-robin across connections.
+    /// Returns `None` when the scheduler is closed and empty — the
+    /// worker's signal to exit.
+    pub fn next(&self) -> Option<J> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            while let Some(conn) = inner.rr.pop_front() {
+                if let Some(job) = inner.pop_from(conn) {
+                    if inner.queues.contains_key(&conn) {
+                        inner.rr.push_back(conn);
+                    }
+                    return Some(job);
+                }
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.work.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking: takes the first queue-front job (round-robin
+    /// order) accepted by `pred`. The batching hook — the caller
+    /// already holds a warm session and will process the job inline,
+    /// so the job counts as in-flight until [`Scheduler::done`].
+    pub fn take_matching(&self, pred: impl Fn(&J) -> bool) -> Option<J> {
+        let mut inner = self.inner.lock().unwrap();
+        let pos = inner.rr.iter().position(|conn| {
+            inner
+                .queues
+                .get(conn)
+                .and_then(VecDeque::front)
+                .is_some_and(&pred)
+        })?;
+        let conn = inner.rr.remove(pos).unwrap();
+        let job = inner.pop_from(conn);
+        if inner.queues.contains_key(&conn) {
+            inner.rr.push_back(conn);
+        }
+        job
+    }
+
+    /// Marks one delivered job finished.
+    pub fn done(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.inflight -= 1;
+        if inner.queued == 0 && inner.inflight == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Drops every queued job from `conn` (the connection died),
+    /// returning the abandoned jobs so the caller can release their
+    /// resources.
+    pub fn purge_conn(&self, conn: u64) -> Vec<J> {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(queue) = inner.queues.remove(&conn) else {
+            return Vec::new();
+        };
+        inner.queued -= queue.len();
+        inner.rr.retain(|&c| c != conn);
+        if inner.queued == 0 && inner.inflight == 0 {
+            self.drained.notify_all();
+        }
+        queue.into()
+    }
+
+    /// Enters draining: every subsequent [`Scheduler::submit`] is
+    /// rejected with [`Shed::Draining`]; queued and in-flight work
+    /// proceeds.
+    pub fn begin_drain(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.draining = true;
+        drop(inner);
+        self.work.notify_all();
+    }
+
+    /// Blocks until no work is queued or in flight.
+    pub fn wait_drained(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.queued > 0 || inner.inflight > 0 {
+            let (next, _) = self
+                .drained
+                .wait_timeout(inner, Duration::from_millis(50))
+                .unwrap();
+            inner = next;
+        }
+    }
+
+    /// Closes the scheduler: blocked workers wake and drain the queue,
+    /// then [`Scheduler::next`] returns `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.work.notify_all();
+    }
+
+    /// Jobs currently queued (not in flight).
+    pub fn queued(&self) -> usize {
+        self.inner.lock().unwrap().queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_gates_apply_in_order() {
+        let sched: Scheduler<u32> = Scheduler::new(3, 2);
+        assert_eq!(sched.submit(1, 10), Ok(1));
+        assert_eq!(sched.submit(1, 11), Ok(2));
+        // Connection 1 is at its fairness cap before the queue fills.
+        assert_eq!(sched.submit(1, 12), Err(Shed::Fairness));
+        assert_eq!(sched.submit(2, 20), Ok(3));
+        // Global bound.
+        assert_eq!(sched.submit(3, 30), Err(Shed::Queue));
+        sched.begin_drain();
+        assert_eq!(sched.submit(4, 40), Err(Shed::Draining));
+    }
+
+    #[test]
+    fn next_round_robins_across_connections() {
+        let sched: Scheduler<u32> = Scheduler::new(16, 16);
+        for job in [10, 11, 12] {
+            sched.submit(1, job).unwrap();
+        }
+        sched.submit(2, 20).unwrap();
+        let order: Vec<u32> = (0..4).map(|_| sched.next().unwrap()).collect();
+        assert_eq!(order, vec![10, 20, 11, 12], "2's job jumps 1's backlog");
+        for _ in 0..4 {
+            sched.done();
+        }
+        sched.close();
+        assert_eq!(sched.next(), None);
+    }
+
+    #[test]
+    fn take_matching_scans_queue_fronts_only() {
+        let sched: Scheduler<u32> = Scheduler::new(16, 16);
+        sched.submit(1, 10).unwrap();
+        sched.submit(1, 99).unwrap();
+        sched.submit(2, 20).unwrap();
+        // 99 is behind 10, so it is not a candidate.
+        assert_eq!(sched.take_matching(|&j| j == 99), None);
+        assert_eq!(sched.take_matching(|&j| j >= 20), Some(20));
+        assert_eq!(sched.take_matching(|&j| j < 50), Some(10));
+        assert_eq!(sched.take_matching(|&j| j == 99), Some(99));
+        for _ in 0..3 {
+            sched.done();
+        }
+    }
+
+    #[test]
+    fn purge_and_drain_settle() {
+        let sched: Scheduler<u32> = Scheduler::new(16, 16);
+        sched.submit(1, 10).unwrap();
+        sched.submit(1, 11).unwrap();
+        sched.submit(2, 20).unwrap();
+        let taken = sched.next().unwrap();
+        assert_eq!(taken, 10);
+        assert_eq!(sched.purge_conn(1), vec![11]);
+        assert_eq!(sched.queued(), 1);
+        assert_eq!(sched.next(), Some(20));
+        sched.done();
+        sched.done();
+        sched.begin_drain();
+        sched.wait_drained();
+        assert_eq!(sched.queued(), 0);
+    }
+}

@@ -1,0 +1,838 @@
+//! The `ptxd` server: connection handling, workers, and the query path.
+//!
+//! One accept loop hands each TCP connection to a reader thread; reader
+//! threads decode requests and submit jobs through the
+//! [`crate::sched::Scheduler`]; a fixed pool of worker threads answers
+//! them. Replies go back through a per-connection locked writer, so
+//! workers can answer out of order while each reply line stays intact.
+//!
+//! The query path per `run` job: deadline check → content-addressed
+//! cache lookup ([`crate::cache`]) → compute (warm [`SatSession`] from
+//! the [`SessionPool`], or the enumeration oracle) → cache insert →
+//! reply. After answering a SAT job, the worker scans queue fronts for
+//! another job with the same universe signature and answers it on the
+//! still-warm session before checking it back in (batching).
+//!
+//! Cancellation: every submitted job carries a [`CancelToken`]; when a
+//! client disconnects, its reader fires the tokens of everything it
+//! submitted (aborting in-flight solves at the next solver checkpoint)
+//! and purges its queued jobs.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use litmus::sat::{self, SatSession};
+use litmus::{canon, Expectation, PtxLitmus, SatLitmusResult, Signature};
+use modelfinder::{CancelToken, Options, SessionPool};
+use obs::trace::{Autopsy, Tracer};
+use obs::Registry;
+
+use crate::cache::{self, CacheKey, Entry, Lookup, VerdictCache};
+use crate::proto::{self, Mode, ParsedTest, Request, RunReply};
+use crate::sched::{Scheduler, Shed};
+
+/// Flight-recorder events attached to a timeout autopsy.
+const AUTOPSY_EVENTS: usize = 64;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads answering queries.
+    pub jobs: usize,
+    /// Global queued-job bound; beyond it, requests are shed.
+    pub queue_bound: usize,
+    /// Per-connection queued-job cap (fairness).
+    pub fair_cap: usize,
+    /// Verdict-cache capacity, entries.
+    pub cache_cap: usize,
+    /// Open SAT sessions with proof logging, and fingerprint each
+    /// query's DRAT delta into its cache entry. Off by default: the
+    /// proof log is append-only, which is unbounded memory in a
+    /// long-lived daemon.
+    pub certify: bool,
+    /// Accept the debug `sleep` op (tests use it to occupy workers
+    /// deterministically).
+    pub debug_ops: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 2,
+            queue_bound: 256,
+            fair_cap: 64,
+            cache_cap: 4096,
+            certify: false,
+            debug_ops: false,
+        }
+    }
+}
+
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+
+/// One job's payload.
+enum Payload {
+    Run {
+        test: ParsedTest,
+        mode: Mode,
+        /// Universe signature, for PTX SAT jobs — the batching key.
+        sig: Option<Signature>,
+    },
+    Sleep {
+        ms: u64,
+    },
+}
+
+/// One admitted unit of work.
+struct Job {
+    id: Option<u64>,
+    payload: Payload,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    received: Instant,
+    writer: Arc<LineWriter>,
+}
+
+/// A per-connection reply writer: one lock per line keeps concurrent
+/// workers' replies from interleaving.
+struct LineWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl LineWriter {
+    fn send(&self, line: &str) {
+        // One write per line (with NODELAY on the stream) so no reply
+        // waits out a Nagle/delayed-ACK round.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        let mut stream = self.stream.lock().unwrap();
+        // A dead peer is detected by its reader thread; a failed reply
+        // write is not an error worth more than dropping the line.
+        let _ = stream.write_all(framed.as_bytes());
+    }
+}
+
+struct Shared {
+    cfg: Config,
+    sched: Scheduler<Job>,
+    pool: SessionPool<Signature, SatSession>,
+    cache: VerdictCache,
+    obs: Registry,
+    trace: Tracer,
+    state: AtomicU8,
+    conn_ids: AtomicU64,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    fn trigger_shutdown(&self) {
+        if self.state.swap(DRAINING, Ordering::SeqCst) == DRAINING {
+            return;
+        }
+        self.sched.begin_drain();
+        // Wake the accept loop so it observes the state change.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Counters for the `stats` op: the registry's counters plus live
+    /// gauges (pool, cache, queue) sampled now.
+    fn live_counters(&self) -> BTreeMap<String, u64> {
+        let mut counters = self.obs.snapshot().counters;
+        let (created, reused) = self.pool.stats();
+        counters.insert("ptxd.pool.created".to_string(), created);
+        counters.insert("ptxd.pool.reused".to_string(), reused);
+        counters.insert("ptxd.pool.idle".to_string(), self.pool.idle_count() as u64);
+        counters.insert("ptxd.cache.entries".to_string(), self.cache.len() as u64);
+        counters.insert("ptxd.queue.depth".to_string(), self.sched.queued() as u64);
+        counters
+    }
+}
+
+/// A handle to a spawned server: its address, a shutdown trigger, and
+/// introspection hooks for tests and the bench driver.
+pub struct Handle {
+    shared: Arc<Shared>,
+    thread: Option<thread::JoinHandle<obs::Snapshot>>,
+}
+
+impl Handle {
+    /// The bound address, `host:port`.
+    pub fn addr(&self) -> String {
+        self.shared.local_addr.to_string()
+    }
+
+    /// Begins graceful shutdown: stop admitting, drain in-flight work.
+    /// Idempotent; returns immediately.
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// A detached shutdown trigger (for signal-watcher threads).
+    pub fn trigger(&self) -> Trigger {
+        Trigger {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Waits for the server to finish draining and returns its final
+    /// observability snapshot. Call once; the handle stays usable for
+    /// post-mortem introspection (trace export, pool stats).
+    pub fn join(&mut self) -> obs::Snapshot {
+        self.thread
+            .take()
+            .expect("join called once")
+            .join()
+            .expect("server thread panicked")
+    }
+
+    /// A live observability snapshot (counters keep moving after this).
+    pub fn snapshot(&self) -> obs::Snapshot {
+        self.shared.obs.snapshot()
+    }
+
+    /// The flight recorder's current contents as Chrome trace JSON
+    /// (for `--trace-out`).
+    pub fn trace_chrome_json(&self) -> String {
+        self.shared.trace.snapshot().to_chrome_json()
+    }
+
+    /// Session-pool `(created, reused)` counters.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.shared.pool.stats()
+    }
+
+    /// Warm sessions currently checked in — the session-leak gauge.
+    pub fn idle_sessions(&self) -> usize {
+        self.shared.pool.idle_count()
+    }
+
+    /// Test hook: corrupts the cached entry for `source` (as the given
+    /// mode) without resealing its fingerprint, simulating cache rot.
+    /// Returns whether an entry was present to corrupt.
+    pub fn corrupt_cache_entry(&self, source: &str, mode: &str) -> bool {
+        let Ok(test) = proto::parse_source(source) else {
+            return false;
+        };
+        let (model, canonical) = canonical_of(&test);
+        self.shared
+            .cache
+            .corrupt_for_test(&cache::key_for(model, mode, &canonical))
+    }
+}
+
+/// A cloneable shutdown trigger detached from the [`Handle`].
+pub struct Trigger {
+    shared: Arc<Shared>,
+}
+
+impl Trigger {
+    /// Begins graceful shutdown (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+}
+
+/// The server: bind with [`Server::spawn`], which returns a [`Handle`].
+pub struct Server;
+
+impl Server {
+    /// Binds the configured address and starts the accept loop, workers,
+    /// and admission machinery on background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(cfg: Config) -> io::Result<Handle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            sched: Scheduler::new(cfg.queue_bound, cfg.fair_cap),
+            pool: SessionPool::new(),
+            cache: VerdictCache::new(cfg.cache_cap),
+            obs: Registry::new(),
+            trace: Tracer::flight_recorder(),
+            state: AtomicU8::new(RUNNING),
+            conn_ids: AtomicU64::new(0),
+            local_addr,
+            cfg,
+        });
+        let main = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("ptxd-accept".to_string())
+                .spawn(move || run_server(&shared, listener))?
+        };
+        Ok(Handle {
+            shared,
+            thread: Some(main),
+        })
+    }
+}
+
+fn run_server(shared: &Arc<Shared>, listener: TcpListener) -> obs::Snapshot {
+    let workers: Vec<thread::JoinHandle<()>> = (0..shared.cfg.jobs.max(1))
+        .map(|k| {
+            let shared = Arc::clone(shared);
+            thread::Builder::new()
+                .name(format!("ptxd-worker-{k}"))
+                .spawn(move || {
+                    shared.trace.set_thread_label(&format!("ptxd-worker-{k}"));
+                    while let Some(job) = shared.sched.next() {
+                        handle_job(&shared, job);
+                    }
+                })
+                .expect("spawn worker")
+        })
+        .collect();
+
+    for stream in listener.incoming() {
+        if shared.state.load(Ordering::SeqCst) == DRAINING {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        shared.obs.add("ptxd.conns", 1);
+        let shared = Arc::clone(shared);
+        let _ = thread::Builder::new()
+            .name("ptxd-conn".to_string())
+            .spawn(move || serve_conn(&shared, stream));
+    }
+    drop(listener);
+
+    // Drain: admission already rejects (state flipped before the wake
+    // connection), queued and in-flight work runs to completion.
+    shared.sched.begin_drain();
+    shared.sched.wait_drained();
+    shared.sched.close();
+    for w in workers {
+        let _ = w.join();
+    }
+    // Final cache/pool stats, flushed as counters so `--stats-json`
+    // carries them.
+    let (created, reused) = shared.pool.stats();
+    shared.obs.add("ptxd.pool.created", created);
+    shared.obs.add("ptxd.pool.reused", reused);
+    shared
+        .obs
+        .add("ptxd.cache.entries", shared.cache.len() as u64);
+    shared.obs.snapshot()
+}
+
+fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let conn = shared.conn_ids.fetch_add(1, Ordering::Relaxed);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(LineWriter {
+        stream: Mutex::new(write_half),
+    });
+    let mut reader = BufReader::new(stream);
+    let mut tokens: Vec<CancelToken> = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match proto::parse_request(trimmed) {
+            Err((id, e)) => {
+                shared.obs.add("ptxd.errors", 1);
+                writer.send(&proto::error_reply(id, e.kind, &e.message));
+            }
+            Ok(Request::Ping { id }) => writer.send(&proto::pong_reply(id)),
+            Ok(Request::Stats { id }) => {
+                writer.send(&proto::stats_reply(id, &shared.live_counters()));
+            }
+            Ok(Request::Shutdown { id }) => {
+                writer.send(&proto::shutdown_reply(id));
+                shared.trigger_shutdown();
+            }
+            Ok(Request::Sleep { id, ms }) => {
+                if shared.cfg.debug_ops {
+                    submit(
+                        shared,
+                        &writer,
+                        &mut tokens,
+                        conn,
+                        id,
+                        Payload::Sleep { ms },
+                        None,
+                    );
+                } else {
+                    shared.obs.add("ptxd.errors", 1);
+                    writer.send(&proto::error_reply(
+                        id,
+                        "proto",
+                        "sleep requires the server's debug_ops",
+                    ));
+                }
+            }
+            Ok(Request::Run {
+                id,
+                source,
+                deadline_ms,
+                mode,
+            }) => {
+                shared.obs.add("ptxd.requests", 1);
+                match proto::parse_source(&source) {
+                    Err(msg) => {
+                        shared.obs.add("ptxd.errors", 1);
+                        writer.send(&proto::error_reply(id, "parse", &msg));
+                    }
+                    Ok(test) => {
+                        let sig = match (&test, mode) {
+                            (ParsedTest::Ptx(t), Mode::Sat) => Some(sat::signature(&t.program)),
+                            _ => None,
+                        };
+                        submit(
+                            shared,
+                            &writer,
+                            &mut tokens,
+                            conn,
+                            id,
+                            Payload::Run { test, mode, sig },
+                            deadline_ms,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Disconnect: abort everything this connection submitted. Queued
+    // jobs are dropped here; the in-flight one aborts at the solver's
+    // next cancellation checkpoint, and its session returns to the pool.
+    for t in &tokens {
+        t.cancel();
+    }
+    let purged = shared.sched.purge_conn(conn);
+    if !purged.is_empty() {
+        shared.obs.add("ptxd.dropped", purged.len() as u64);
+    }
+    shared.obs.add("ptxd.conn_closed", 1);
+}
+
+fn submit(
+    shared: &Arc<Shared>,
+    writer: &Arc<LineWriter>,
+    tokens: &mut Vec<CancelToken>,
+    conn: u64,
+    id: Option<u64>,
+    payload: Payload,
+    deadline_ms: Option<u64>,
+) {
+    let cancel = CancelToken::new();
+    tokens.push(cancel.clone());
+    let now = Instant::now();
+    let job = Job {
+        id,
+        payload,
+        cancel,
+        deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
+        received: now,
+        writer: Arc::clone(writer),
+    };
+    match shared.sched.submit(conn, job) {
+        Ok(depth) => shared.obs.observe("ptxd.queue_depth", depth as u64),
+        Err(shed) => {
+            let (kind, counter, msg) = match shed {
+                Shed::Queue => ("shed", "ptxd.shed.queue", "queue full"),
+                Shed::Fairness => ("shed", "ptxd.shed.fairness", "per-connection cap reached"),
+                Shed::Draining => ("draining", "ptxd.shed.draining", "server is draining"),
+            };
+            if kind == "shed" {
+                shared.obs.add("ptxd.shed", 1);
+            }
+            shared.obs.add(counter, 1);
+            writer.send(&proto::error_reply(id, kind, msg));
+        }
+    }
+}
+
+fn handle_job(shared: &Arc<Shared>, job: Job) {
+    shared
+        .obs
+        .record_duration("ptxd.queue_wait", job.received.elapsed());
+    match job.payload {
+        Payload::Sleep { .. } => {
+            run_sleep(shared, &job);
+            shared.sched.done();
+        }
+        Payload::Run { .. } => {
+            // Batching chain: answer the job, then keep pulling
+            // same-signature jobs onto the warm session.
+            let mut slot: Option<(Signature, SatSession)> = None;
+            let mut current = job;
+            loop {
+                execute_run(shared, &mut slot, &current);
+                shared.sched.done();
+                let Some((sig, _)) = &slot else { break };
+                let sig = *sig;
+                let next = shared.sched.take_matching(
+                    |j| matches!(&j.payload, Payload::Run { sig: Some(s), .. } if *s == sig),
+                );
+                match next {
+                    Some(n) => {
+                        shared.obs.add("ptxd.batched", 1);
+                        shared
+                            .obs
+                            .record_duration("ptxd.queue_wait", n.received.elapsed());
+                        current = n;
+                    }
+                    None => break,
+                }
+            }
+            if let Some((sig, session)) = slot {
+                shared.pool.checkin(sig, session);
+            }
+        }
+    }
+}
+
+/// The debug `sleep` op: hold the worker, polling for cancellation and
+/// deadline, so tests can stage overload and disconnect scenarios.
+fn run_sleep(shared: &Arc<Shared>, job: &Job) {
+    let Payload::Sleep { ms } = &job.payload else {
+        unreachable!()
+    };
+    let start = Instant::now();
+    // Tests poll this to know a worker is now occupied by the sleep.
+    shared.obs.add("ptxd.sleep.started", 1);
+    let budget = Duration::from_millis(*ms);
+    let mut cancelled = false;
+    while start.elapsed() < budget {
+        if job.cancel.is_cancelled() || job.deadline.is_some_and(|d| Instant::now() >= d) {
+            cancelled = true;
+            break;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    if cancelled {
+        shared.obs.add("ptxd.cancelled", 1);
+    }
+    shared.obs.add("ptxd.completed", 1);
+    job.writer.send(&proto::run_reply(
+        job.id,
+        &RunReply {
+            name: "sleep".to_string(),
+            verdict: if cancelled { "Unknown" } else { "Ok" },
+            observable: None,
+            cached: false,
+            timed_out: false,
+            wall_secs: start.elapsed().as_secs_f64(),
+            path: "debug",
+            detail: format!("slept={}ms cancelled={cancelled}", *ms),
+            autopsy: None,
+        },
+    ));
+}
+
+fn canonical_of(test: &ParsedTest) -> (&'static str, String) {
+    match test {
+        ParsedTest::Ptx(t) => ("ptx", canon::canonical_ptx_text(t)),
+        ParsedTest::C11(t) => ("c11", canon::canonical_c11_text(t)),
+    }
+}
+
+fn verdict_for(observable: bool, expectation: Expectation) -> &'static str {
+    if observable == (expectation == Expectation::Allowed) {
+        "Ok"
+    } else {
+        "FAILED"
+    }
+}
+
+fn execute_run(shared: &Arc<Shared>, slot: &mut Option<(Signature, SatSession)>, job: &Job) {
+    let Payload::Run { test, mode, sig } = &job.payload else {
+        unreachable!()
+    };
+    let start = Instant::now();
+    let _span = shared.trace.span("ptxd.request");
+    let expectation = match test {
+        ParsedTest::Ptx(t) => t.expectation,
+        ParsedTest::C11(t) => t.expectation,
+    };
+    // Count completion before the write: a client that has its reply in
+    // hand must never observe a `stats` snapshot that predates it.
+    let reply = |r: &RunReply| {
+        shared.obs.add("ptxd.completed", 1);
+        job.writer.send(&proto::run_reply(job.id, r));
+    };
+
+    if job.cancel.is_cancelled() {
+        shared.obs.add("ptxd.cancelled", 1);
+        reply(&RunReply {
+            name: test.name().to_string(),
+            verdict: "Unknown",
+            wall_secs: start.elapsed().as_secs_f64(),
+            path: "none",
+            detail: "cancelled before start".to_string(),
+            ..RunReply::default()
+        });
+        return;
+    }
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        timeout_reply(shared, job, test.name(), start);
+        return;
+    }
+
+    let (model, canonical) = canonical_of(test);
+    let key = cache::key_for(model, mode.as_str(), &canonical);
+    match shared.cache.lookup(&key) {
+        Lookup::Hit(entry) => {
+            shared.obs.add("ptxd.cache_hits", 1);
+            reply(&RunReply {
+                name: test.name().to_string(),
+                verdict: verdict_for(entry.observable, expectation),
+                observable: Some(entry.observable),
+                cached: true,
+                timed_out: false,
+                wall_secs: start.elapsed().as_secs_f64(),
+                path: entry.path,
+                detail: format!(
+                    "observable={} expected={:?} cache=hit drat_hash={:016x}",
+                    entry.observable, expectation, entry.drat_hash
+                ),
+                autopsy: None,
+            });
+            return;
+        }
+        Lookup::Invalid => {
+            shared.obs.add("ptxd.cache_invalid", 1);
+        }
+        Lookup::Miss => {}
+    }
+
+    match (test, mode) {
+        (ParsedTest::Ptx(t), Mode::Sat) => {
+            run_ptx_sat(
+                shared,
+                slot,
+                job,
+                t,
+                sig.expect("sat job has sig"),
+                key,
+                start,
+            );
+        }
+        (ParsedTest::Ptx(t), Mode::Enum) => {
+            let r = litmus::run_ptx(t);
+            finish_enum(
+                shared,
+                job,
+                key,
+                start,
+                r.observable,
+                expectation,
+                &reply,
+                t.name.as_str(),
+                format!(
+                    "consistent={} candidates={}",
+                    r.consistent_executions, r.candidates
+                ),
+            );
+        }
+        (ParsedTest::C11(t), _) => {
+            let r = litmus::run_rc11(t);
+            finish_enum(
+                shared,
+                job,
+                key,
+                start,
+                r.observable,
+                expectation,
+                &reply,
+                t.name.as_str(),
+                format!(
+                    "consistent={} candidates={}",
+                    r.consistent_executions, r.candidates
+                ),
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_enum(
+    shared: &Arc<Shared>,
+    _job: &Job,
+    key: CacheKey,
+    start: Instant,
+    observable: bool,
+    expectation: Expectation,
+    reply: &impl Fn(&RunReply),
+    name: &str,
+    stats: String,
+) {
+    shared
+        .cache
+        .insert(key, Entry::new(key, observable, "enumeration", 0, 0, 0, 0));
+    reply(&RunReply {
+        name: name.to_string(),
+        verdict: verdict_for(observable, expectation),
+        observable: Some(observable),
+        cached: false,
+        timed_out: false,
+        wall_secs: start.elapsed().as_secs_f64(),
+        path: "enumeration",
+        detail: format!("observable={observable} expected={expectation:?} {stats}"),
+        autopsy: None,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_ptx_sat(
+    shared: &Arc<Shared>,
+    slot: &mut Option<(Signature, SatSession)>,
+    job: &Job,
+    test: &PtxLitmus,
+    sig: Signature,
+    key: CacheKey,
+    start: Instant,
+) {
+    // Reuse the batching slot when it matches; otherwise return it and
+    // check out (or build) a session for this signature.
+    if slot.as_ref().is_some_and(|(s, _)| *s != sig) {
+        let (old_sig, old) = slot.take().expect("checked above");
+        shared.pool.checkin(old_sig, old);
+    }
+    if slot.is_none() {
+        let certify = shared.cfg.certify;
+        let session = shared.pool.checkout(&sig, || {
+            let options = if certify {
+                Options::default().with_proof_logging()
+            } else {
+                Options::default()
+            };
+            SatSession::with_options(sig, options).expect("internal encoding error")
+        });
+        *slot = Some((sig, session));
+    }
+    let (_, session) = slot.as_mut().expect("slot populated");
+
+    session.set_cancel(Some(job.cancel.clone()));
+    session.set_deadline(
+        job.deadline
+            .map(|d| d.saturating_duration_since(Instant::now())),
+    );
+    session.set_tracer(shared.trace.clone());
+    let proof_before = session.proof().map_or(0, modelfinder::Proof::len);
+    let result = session.run(test);
+    session.set_cancel(None);
+    session.set_deadline(None);
+
+    match result {
+        Ok(SatLitmusResult {
+            observable: Some(observable),
+            report,
+            encoding,
+            ..
+        }) => {
+            report.record_obs(&shared.obs);
+            shared
+                .obs
+                .add("sat.symbolic_rf_vars", encoding.symbolic_rf_vars);
+            shared.obs.add("sat.value_bits", encoding.value_bits);
+            let drat_hash = session
+                .proof()
+                .map_or(0, |p| p.drat_hash_from(proof_before));
+            let entry = Entry::new(
+                key,
+                observable,
+                "symbolic",
+                drat_hash,
+                report.solver_stats.conflicts,
+                report.sat_vars as u64,
+                report.sat_clauses as u64,
+            );
+            shared.cache.insert(key, entry);
+            shared.obs.add("ptxd.completed", 1);
+            job.writer.send(&proto::run_reply(
+                job.id,
+                &RunReply {
+                    name: test.name.clone(),
+                    verdict: verdict_for(observable, test.expectation),
+                    observable: Some(observable),
+                    cached: false,
+                    timed_out: false,
+                    wall_secs: start.elapsed().as_secs_f64(),
+                    path: "symbolic",
+                    detail: format!(
+                        "observable={observable} expected={:?} cache_hits={} \
+                         t_translate={:.6}s t_solve={:.6}s drat_hash={drat_hash:016x}",
+                        test.expectation,
+                        report.gate_cache_hits,
+                        report.translate_time.as_secs_f64(),
+                        report.solve_time.as_secs_f64(),
+                    ),
+                    autopsy: None,
+                },
+            ));
+        }
+        Ok(_) => {
+            // Undecided: deadline or disconnect. Never cached.
+            if job.cancel.is_cancelled() && job.deadline.is_none_or(|d| Instant::now() < d) {
+                shared.obs.add("ptxd.cancelled", 1);
+                shared.obs.add("ptxd.completed", 1);
+                job.writer.send(&proto::run_reply(
+                    job.id,
+                    &RunReply {
+                        name: test.name.clone(),
+                        verdict: "Unknown",
+                        wall_secs: start.elapsed().as_secs_f64(),
+                        path: "symbolic",
+                        detail: "cancelled".to_string(),
+                        ..RunReply::default()
+                    },
+                ));
+            } else {
+                timeout_reply(shared, job, &test.name, start);
+            }
+        }
+        Err(e) => {
+            shared.obs.add("ptxd.internal_errors", 1);
+            shared.obs.add("ptxd.completed", 1);
+            job.writer
+                .send(&proto::error_reply(job.id, "internal", &e.to_string()));
+        }
+    }
+}
+
+/// A deadline miss: `Unknown` + `timed_out` + a flight-recorder autopsy,
+/// mirroring the harness's timeout records.
+fn timeout_reply(shared: &Arc<Shared>, job: &Job, name: &str, start: Instant) {
+    shared.obs.add("ptxd.timeouts", 1);
+    shared.obs.add("ptxd.completed", 1);
+    let autopsy = Autopsy::capture(
+        shared.trace.tail_current_thread(AUTOPSY_EVENTS),
+        &shared.obs,
+    );
+    job.writer.send(&proto::run_reply(
+        job.id,
+        &RunReply {
+            name: name.to_string(),
+            verdict: "Unknown",
+            observable: None,
+            cached: false,
+            timed_out: true,
+            wall_secs: start.elapsed().as_secs_f64(),
+            path: "symbolic",
+            detail: "deadline exceeded".to_string(),
+            autopsy: Some(autopsy.to_json()),
+        },
+    ));
+}

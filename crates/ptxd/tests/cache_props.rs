@@ -1,0 +1,169 @@
+//! Property tests for the content-addressed cache key, plus the
+//! negative test that a hit's stored DRAT fingerprint is validated.
+//!
+//! The key is `hash(model, mode, canonical text)` where the canonical
+//! text comes from `litmus::canon`: register names are rewritten to
+//! first-appearance order and layout/condition are serialized into the
+//! text. So the properties are: textual noise (whitespace, comments,
+//! register renaming) must *hit*; any semantic change (layout bound,
+//! model, outcome condition, mode) must *miss*.
+
+mod common;
+
+use litmus::parse_ptx_litmus;
+use ptxd::cache::key_for;
+use ptxd::Config;
+
+/// The base test all variants are derived from (the bundled MP shape).
+const BASE: &str = "PTX CacheProp\n\
+    layout cta_per_thread\n\
+    P0                    | P1                     ;\n\
+    st.weak [x], 1        | ld.acquire.gpu r0, [y] ;\n\
+    st.release.gpu [y], 1 | ld.weak r1, [x]        ;\n\
+    forbidden: 1:r0=1 /\\ 1:r1=0\n";
+
+/// Applies a seeded textual-noise transform that must not change the
+/// cache key: random indentation and inter-token padding, line comments,
+/// blank lines, and a consistent register renaming.
+fn noisy_variant(rng: &mut testkit::Rng, source: &str) -> String {
+    // A register renaming is semantics-preserving when it is injective;
+    // r0..r3 → a random permutation of r4..r9 keeps it so.
+    let mut targets: Vec<u64> = (4..10).collect();
+    rng.shuffle(&mut targets);
+    let mut out = String::new();
+    for line in source.lines() {
+        if rng.chance(0.3) {
+            out.push_str("// noise comment\n");
+        }
+        if rng.chance(0.2) {
+            out.push('\n');
+        }
+        let mut renamed = line.to_string();
+        for (from, to) in targets.iter().enumerate().take(4) {
+            renamed = renamed.replace(&format!("r{from}"), &format!("R{to}"));
+        }
+        // `R` is not a register prefix the parser knows; lower it back
+        // after the two-phase swap (avoids r1 → r4 → r… collisions).
+        renamed = renamed.replace('R', "r");
+        let pad = " ".repeat(rng.index(4));
+        // Padding between the columns is free; inside `[x]` it is not,
+        // so only stretch the existing separators.
+        renamed = renamed.replace(" | ", &format!(" {pad}| "));
+        out.push_str(&pad);
+        out.push_str(&renamed);
+        out.push('\n');
+    }
+    out
+}
+
+fn ptx_key(source: &str) -> (u64, u64) {
+    let test = parse_ptx_litmus(source).expect("variant parses");
+    let key = key_for("ptx", "sat", &litmus::canonical_ptx_text(&test));
+    (key.lo, key.hi)
+}
+
+#[test]
+fn textual_noise_preserves_the_cache_key() {
+    let base_key = ptx_key(BASE);
+    testkit::forall("cache_key_noise_invariance", 64, |rng| {
+        let variant = noisy_variant(rng, BASE);
+        assert_eq!(
+            ptx_key(&variant),
+            base_key,
+            "noise changed the key:\n{variant}"
+        );
+    });
+}
+
+#[test]
+fn semantic_changes_miss_the_cache_key() {
+    let base_key = ptx_key(BASE);
+    // Layout bound: the same instructions in a single CTA.
+    let single_cta = BASE.replace("layout cta_per_thread", "layout single_cta");
+    assert_ne!(ptx_key(&single_cta), base_key, "layout must be in the key");
+    // Outcome condition: asking about a different final state.
+    let other_cond = BASE.replace("1:r1=0", "1:r1=1");
+    assert_ne!(
+        ptx_key(&other_cond),
+        base_key,
+        "condition must be in the key"
+    );
+    // Expectation flips do NOT change the key: the cache stores the
+    // observability bit and the verdict is derived per request.
+    let allowed = BASE.replace("forbidden:", "allowed:");
+    assert_eq!(
+        ptx_key(&allowed),
+        base_key,
+        "expectation is presentation, not query identity"
+    );
+    // Mode and model are mixed into the hash stream directly.
+    let test = parse_ptx_litmus(BASE).unwrap();
+    let canonical = litmus::canonical_ptx_text(&test);
+    assert_ne!(
+        key_for("ptx", "enum", &canonical),
+        key_for("ptx", "sat", &canonical)
+    );
+    assert_ne!(
+        key_for("c11", "sat", &canonical),
+        key_for("ptx", "sat", &canonical)
+    );
+}
+
+/// End-to-end over the wire: a noisy variant of an answered test is a
+/// cache hit; a changed condition is a miss.
+#[test]
+fn server_hits_on_variants_and_misses_on_changes() {
+    let handle = common::spawn(Config::default());
+    let mut client = common::connect(&handle);
+    let first = client.run(0, BASE, None).expect("base run");
+    assert!(first.ok && !first.cached);
+
+    let mut rng = testkit::Rng::seed(7);
+    let variant = noisy_variant(&mut rng, BASE);
+    let second = client.run(1, &variant, None).expect("variant run");
+    assert!(second.ok, "variant rejected: {:?}", second.error);
+    assert!(second.cached, "noisy variant must be a cache hit");
+    assert_eq!(second.observable, first.observable);
+
+    let changed = BASE.replace("1:r1=0", "1:r1=1");
+    let third = client.run(2, &changed, None).expect("changed run");
+    assert!(third.ok && !third.cached, "changed condition must miss");
+    handle.shutdown();
+}
+
+/// The stored DRAT fingerprint is validated on hit: a corrupted entry
+/// is evicted and recomputed instead of being served.
+#[test]
+fn corrupted_entries_are_rejected_on_hit() {
+    let handle = common::spawn(Config {
+        certify: true,
+        ..Config::default()
+    });
+    let mut client = common::connect(&handle);
+    let miss = client.run(0, BASE, None).expect("first run");
+    assert!(miss.ok && !miss.cached);
+    let hit = client.run(1, BASE, None).expect("second run");
+    assert!(hit.cached, "sanity: entry is servable before corruption");
+    assert!(
+        hit.detail.as_deref().unwrap_or("").contains("drat_hash="),
+        "certified replies carry the proof fingerprint"
+    );
+
+    assert!(
+        handle.corrupt_cache_entry(BASE, "sat"),
+        "corruption hook must find the entry"
+    );
+    let recomputed = client.run(2, BASE, None).expect("post-corruption run");
+    assert!(recomputed.ok);
+    assert!(
+        !recomputed.cached,
+        "a fingerprint-invalid entry must not be served"
+    );
+    assert_eq!(recomputed.observable, miss.observable);
+    assert_eq!(handle.snapshot().counter("ptxd.cache_invalid"), 1);
+
+    // The recompute re-inserted a sealed entry; service resumes.
+    let again = client.run(3, BASE, None).expect("final run");
+    assert!(again.cached, "cache must heal after the recompute");
+    handle.shutdown();
+}

@@ -1,0 +1,98 @@
+//! Shared plumbing for the `ptxd` integration tests: spawning in-process
+//! servers, connecting clients, loading the bundled litmus corpus and
+//! its pinned expectations, and polling live server counters.
+
+#![allow(dead_code)] // each test binary uses a subset
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use litmus::ServerClient;
+use ptxd::{Config, Handle, Server};
+
+/// Repo-root `litmus/` directory (tests run with the crate as cwd).
+pub fn litmus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../litmus")
+}
+
+/// Spawns an in-process server and panics on bind failure.
+pub fn spawn(cfg: Config) -> Handle {
+    Server::spawn(cfg).expect("spawn ptxd")
+}
+
+/// Connects a client to a spawned server.
+pub fn connect(handle: &Handle) -> ServerClient {
+    ServerClient::connect(&handle.addr()).expect("connect to ptxd")
+}
+
+/// The bundled `litmus/*.litmus` sources as `(file_name, text)` in
+/// `EXPECTED.txt` order.
+pub fn bundled_sources() -> Vec<(String, String)> {
+    expected()
+        .iter()
+        .map(|e| {
+            let path = litmus_dir().join(&e.file);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|err| panic!("read {}: {err}", path.display()));
+            (e.file.clone(), text)
+        })
+        .collect()
+}
+
+/// One `litmus/EXPECTED.txt` row.
+pub struct Expected {
+    /// Bundled file name (`mp.litmus`).
+    pub file: String,
+    /// Test name inside the file (`MP`).
+    pub name: String,
+    /// Whether the tagged outcome is observable per the pinned
+    /// enumeration-oracle column.
+    pub observable: bool,
+}
+
+/// Parses `litmus/EXPECTED.txt`
+/// (`file name expected=X enum=... sat=... session=... Ok`).
+pub fn expected() -> Vec<Expected> {
+    let path = litmus_dir().join("EXPECTED.txt");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("read {}: {err}", path.display()));
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            assert!(fields.len() >= 4, "short EXPECTED.txt row: {line}");
+            let enum_col = fields
+                .iter()
+                .find_map(|f| f.strip_prefix("enum="))
+                .unwrap_or_else(|| panic!("no enum= column: {line}"));
+            Expected {
+                file: fields[0].to_string(),
+                name: fields[1].to_string(),
+                observable: match enum_col {
+                    "observable" => true,
+                    "never" => false,
+                    other => panic!("unknown enum column `{other}`: {line}"),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Polls the server's `stats` op until `counter >= want` or the timeout
+/// lapses; returns the last observed value.
+pub fn poll_counter(client: &mut ServerClient, counter: &str, want: u64, timeout: Duration) -> u64 {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let last = *stats(client).get(counter).unwrap_or(&0);
+        if last >= want || Instant::now() >= deadline {
+            return last;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// One `stats` round trip.
+pub fn stats(client: &mut ServerClient) -> BTreeMap<String, u64> {
+    client.stats().expect("stats round trip")
+}

@@ -39,6 +39,7 @@
 mod arena;
 mod dimacs;
 pub mod drat;
+pub mod hash;
 mod heap;
 mod interrupt;
 mod proof;

@@ -138,8 +138,15 @@ impl Proof {
     /// omitted — they belong to the formula, not the proof (see
     /// [`Proof::input_dimacs`]).
     pub fn to_drat(&self) -> String {
+        self.to_drat_from(0)
+    }
+
+    /// The [`Proof::to_drat`] serialization of the suffix starting at
+    /// step index `from` — the delta one incremental query appended,
+    /// when the caller recorded [`Proof::len`] before it ran.
+    pub fn to_drat_from(&self, from: usize) -> String {
         let mut out = String::new();
-        for step in &self.steps {
+        for step in self.steps.iter().skip(from) {
             match step {
                 ProofStep::Input(_) => continue,
                 ProofStep::Derive(c) => {
@@ -151,6 +158,13 @@ impl Proof {
             }
         }
         out
+    }
+
+    /// A stable [`crate::hash::fnv64`] fingerprint of the DRAT text of
+    /// the suffix starting at step index `from` — what a verdict cache
+    /// stores to content-address one query's certificate.
+    pub fn drat_hash_from(&self, from: usize) -> u64 {
+        crate::hash::fnv64(self.to_drat_from(from).as_bytes())
     }
 
     /// The `Input` clauses as a DIMACS CNF file, the companion to
@@ -229,6 +243,26 @@ mod tests {
         assert_eq!(proof.last_derived(), Some(&[][..]));
         assert_eq!(proof.steps()[0].lits(), &[lit(1), lit(2)]);
         assert_eq!(proof.drat_bytes(), proof.to_drat().len() as u64);
+    }
+
+    #[test]
+    fn drat_suffix_and_hash_address_one_query() {
+        let proof = Proof::from_steps(vec![
+            ProofStep::Input(vec![lit(1), lit(2)]),
+            ProofStep::Derive(vec![lit(-1)]),
+            ProofStep::Derive(vec![lit(2)]),
+            ProofStep::Delete(vec![lit(1), lit(2)]),
+        ]);
+        assert_eq!(proof.to_drat_from(0), proof.to_drat());
+        assert_eq!(proof.to_drat_from(2), "2 0\nd 1 2 0\n");
+        assert_eq!(proof.to_drat_from(proof.len()), "");
+        assert_eq!(
+            proof.drat_hash_from(2),
+            crate::hash::fnv64(b"2 0\nd 1 2 0\n")
+        );
+        // The empty suffix hashes to the FNV offset basis, a stable
+        // "no certificate" sentinel distinct from any non-empty delta.
+        assert_eq!(proof.drat_hash_from(proof.len()), crate::hash::FNV_OFFSET);
     }
 
     #[test]

@@ -230,6 +230,14 @@ impl<K: std::hash::Hash + Eq, S> SessionPool<K, S> {
     pub fn stats(&self) -> (u64, u64) {
         (*self.created.lock().unwrap(), *self.reused.lock().unwrap())
     }
+
+    /// Idle values currently parked in the pool, across all keys — a
+    /// liveness gauge for long-running services: a cancelled or crashed
+    /// query that failed to check its session back in shows up as a
+    /// permanently lower idle count.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().unwrap().values().map(Vec::len).sum()
+    }
 }
 
 /// Worker-pool configuration.

@@ -30,6 +30,6 @@ pub mod translate;
 pub use finder::{CheckResult, ModelFinder, Options, Problem, Report, Verdict};
 pub use harness::{HarnessOptions, Query, QueryCtx, QueryOutput, QueryRecord, SessionPool};
 pub use obs;
-pub use satsolver::{drat, CancelToken, Interrupt, Lit, Proof, SolverStats};
+pub use satsolver::{drat, hash, CancelToken, Interrupt, Lit, Proof, SolverStats};
 pub use session::{Session, SessionStats};
 pub use translate::{ClosureStrategy, IncrementalTranslator};

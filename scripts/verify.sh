@@ -30,7 +30,21 @@ bench_rerun="$(mktemp)"
 path_json="$(mktemp)"
 litmus_base="$(mktemp)"
 litmus_rerun="$(mktemp)"
-trap 'rm -f "$smoke_json" "$stats_a" "$stats_b" "$stats_inflated" "$trace_json" "$autopsy_json" "$reduce_json" "$bench_base" "$bench_rerun" "$path_json" "$litmus_base" "$litmus_rerun"' EXIT
+ptxd_addr="$(mktemp)"
+ptxd_stats="$(mktemp)"
+ptxd_run_a="$(mktemp)"
+ptxd_run_b="$(mktemp)"
+ptxd_base="$(mktemp)"
+ptxd_rerun="$(mktemp)"
+ptxd_pid=""
+cleanup() {
+    [ -n "$ptxd_pid" ] && kill "$ptxd_pid" 2> /dev/null
+    rm -f "$smoke_json" "$stats_a" "$stats_b" "$stats_inflated" "$trace_json" \
+        "$autopsy_json" "$reduce_json" "$bench_base" "$bench_rerun" "$path_json" \
+        "$litmus_base" "$litmus_rerun" "$ptxd_addr" "$ptxd_stats" "$ptxd_run_a" \
+        "$ptxd_run_b" "$ptxd_base" "$ptxd_rerun"
+}
+trap cleanup EXIT
 
 # Fast incremental-equivalence smoke: at bound 3 fig17_table runs every
 # axiom query both from scratch and through a shared session, and exits
@@ -129,6 +143,74 @@ cargo run --release --offline -q -p ptxmm-litmus --bin ptxherd -- \
     --bench-json "$litmus_rerun" 2> /dev/null
 grep -E '"name":"(litmus|time\.litmus)\.' BENCH_fig17.json > "$litmus_base"
 scripts/bench_diff.sh "$litmus_base" "$litmus_rerun" | tail -1
+
+# ptxd service smoke: start the daemon on an ephemeral port, drive it
+# twice with `ptxherd --server` over five bundled litmus files, and
+# check (a) the verdict columns of the two sweeps are byte-identical,
+# (b) the second sweep is answered entirely from the verdict cache, and
+# (c) SIGTERM drains and exits 0 with the final stats flushed.
+echo "== ptxd service smoke (ptxherd --server, warm cache, SIGTERM drain) =="
+: > "$ptxd_addr"
+./target/release/ptxd --listen 127.0.0.1:0 --port-file "$ptxd_addr" \
+    --stats-json "$ptxd_stats" 2> /dev/null &
+ptxd_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$ptxd_addr" ] && break
+    sleep 0.1
+done
+if ! [ -s "$ptxd_addr" ]; then
+    echo "verify.sh: ptxd did not write its port file" >&2
+    exit 1
+fi
+ptxd_files="litmus/mp.litmus litmus/sb+fences.litmus litmus/lb.litmus \
+    litmus/cas.litmus litmus/mp-c11.litmus"
+# shellcheck disable=SC2086 # word-splitting the file list is intended
+cargo run --release --offline -q -p ptxmm-litmus --bin ptxherd -- \
+    --server "$(cat "$ptxd_addr")" --json $ptxd_files > "$ptxd_run_a"
+# shellcheck disable=SC2086
+cargo run --release --offline -q -p ptxmm-litmus --bin ptxherd -- \
+    --server "$(cat "$ptxd_addr")" --json $ptxd_files > "$ptxd_run_b"
+# Strip the per-run fields (timing, cache provenance, solver detail);
+# what must be byte-identical is the verdict column: test, verdict,
+# timed_out, path.
+strip_run_fields() {
+    sed 's/,"wall_secs":[^,}]*//; s/,"cached":[a-z]*//; s/,"detail":"[^"]*"//' "$1"
+}
+if ! diff <(strip_run_fields "$ptxd_run_a") <(strip_run_fields "$ptxd_run_b"); then
+    echo "verify.sh: ptxd verdicts drifted between cold and warm sweeps" >&2
+    exit 1
+fi
+if grep -q '"verdict":"FAILED"\|"verdict":"Unknown"' "$ptxd_run_a"; then
+    echo "verify.sh: ptxd sweep produced a failing verdict" >&2
+    exit 1
+fi
+warm_hits="$(grep -c '"cached":true' "$ptxd_run_b")"
+if [ "$warm_hits" -ne 5 ]; then
+    echo "verify.sh: warm ptxd sweep had $warm_hits/5 cache hits" >&2
+    exit 1
+fi
+kill -TERM "$ptxd_pid"
+if ! wait "$ptxd_pid"; then
+    echo "verify.sh: ptxd exited non-zero on SIGTERM" >&2
+    exit 1
+fi
+ptxd_pid=""
+for c in ptxd.requests ptxd.cache_hits; do
+    v="$(sed -n 's/^{"kind":"counter","name":"'"$c"'","value":\([0-9]*\)}$/\1/p' "$ptxd_stats")"
+    if [ -z "$v" ] || [ "$v" -eq 0 ]; then
+        echo "verify.sh: ptxd drain stats counter $c missing or zero" >&2
+        exit 1
+    fi
+done
+
+# ptxd-benchmark gate: rerun the service bench (scratch vs cold vs warm
+# verdict cache; the binary itself enforces verdict parity across the
+# three paths and the 10x warm floor) and diff its deterministic ptxd.*
+# counters against the committed baseline rows.
+echo "== bench_diff gate against BENCH_fig17.json (ptxd service) =="
+./target/release/ptxd --bench-json "$ptxd_rerun" 2> /dev/null
+grep -E '"name":"(ptxd|time\.ptxd)\.' BENCH_fig17.json > "$ptxd_base"
+scripts/bench_diff.sh "$ptxd_base" "$ptxd_rerun" | tail -1
 
 # Trace smoke: a bound-3 fig17_table run with --trace-out must produce
 # a Chrome trace-event JSON file that traceview accepts (traceview's
