@@ -6,14 +6,19 @@
 //! ```
 //!
 //! Each round derives a deterministic seed per generator
-//! ([`fuzzkit::round_seed`]) and runs one case from each of the four
+//! ([`fuzzkit::round_seed`]) and runs one case from each of the five
 //! generators — random CNF against a DPLL oracle, random relational
 //! formulas against ground enumeration, random litmus programs against
-//! execution enumeration, and random barrier/data-dependency programs
-//! against the symbolic value encoding — as jobs on the workspace's
-//! worker-pool harness ([`modelfinder::harness`]). Litmus and barrier
-//! rounds share incremental SAT sessions (with their proof checkers)
-//! through a [`modelfinder::SessionPool`], exactly like `ptxherd --sat`.
+//! execution enumeration, random barrier/data-dependency programs
+//! against the symbolic value encoding, and random litmus programs
+//! answered under both PTX consistency models (axiomatic vs the
+//! cumulative draft) — as jobs on the workspace's worker-pool harness
+//! ([`modelfinder::harness`]). Litmus and barrier rounds share
+//! incremental SAT sessions (with their proof checkers) through a
+//! [`modelfinder::SessionPool`], exactly like `ptxherd --sat`; model
+//! rounds share a second pool keyed by `(model, signature)`.
+//! Cross-model verdict divergence in a model round is not a failure —
+//! it is counted under `gen.model.fuzz.model_diffs`.
 //!
 //! Every `Unsat` any engine produces is certified against the
 //! independent DRAT checker. On disagreement the round's seed and a
@@ -32,7 +37,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use fuzzkit::litmusgen::CertSession;
-use fuzzkit::{barriergen, cnf, litmusgen, relform, round_seed, Disagreement, RoundStats};
+use fuzzkit::{
+    barriergen, cnf, litmusgen, modelgen, relform, round_seed, Disagreement, RoundStats,
+};
 use litmus::sat::Signature;
 use modelfinder::harness::{run_queries, HarnessOptions, Query, QueryOutput};
 use modelfinder::SessionPool;
@@ -156,6 +163,7 @@ fn main() -> ExitCode {
     };
 
     let pool: Arc<SessionPool<Signature, CertSession>> = Arc::new(SessionPool::new());
+    let model_pool: Arc<SessionPool<modelgen::PoolKey, CertSession>> = Arc::new(SessionPool::new());
     let failures: Arc<Mutex<Vec<Disagreement>>> = Arc::new(Mutex::new(Vec::new()));
     let mut queries = Vec::new();
     for round in 0..cli.rounds {
@@ -180,6 +188,18 @@ fn main() -> ExitCode {
         let seed = round_seed(cli.seed, "barriergen", round);
         queries.push(Query::new(format!("barrier/{round}"), move |ctx| {
             output(barriergen::run_round(seed, &p), &f, &ctx.obs)
+        }));
+        let f = Arc::clone(&failures);
+        let p = Arc::clone(&model_pool);
+        let seed = round_seed(cli.seed, "modelgen", round);
+        queries.push(Query::new(format!("model/{round}"), move |ctx| {
+            let result = modelgen::run_round(seed, &p).map(|(stats, diverged)| {
+                if diverged {
+                    ctx.obs.add("fuzz.model_diffs", 1);
+                }
+                stats
+            });
+            output(result, &f, &ctx.obs)
         }));
     }
 
@@ -224,15 +244,18 @@ fn main() -> ExitCode {
     let timeouts = records.iter().filter(|r| r.timed_out).count();
     let failures = failures.lock().unwrap();
     let (created, reused) = pool.stats();
+    let (m_created, m_reused) = model_pool.stats();
     if !json {
         println!(
-            "fuzzherd: {} rounds x 4 generators, {} disagreements, {} timeouts \
-             (litmus sessions: {} created, {} reused)",
+            "fuzzherd: {} rounds x 5 generators, {} disagreements, {} timeouts \
+             (litmus sessions: {} created, {} reused; model sessions: {} created, {} reused)",
             cli.rounds,
             failures.len(),
             timeouts,
             created,
-            reused
+            reused,
+            m_created,
+            m_reused
         );
     }
     if stats_wanted {

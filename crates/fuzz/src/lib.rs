@@ -19,12 +19,17 @@
 //! * [`barriergen`] — random barrier and data-dependency programs
 //!   (`bar.sync`/`bar.arrive`, `atom.add`/`exch`/`cas`, `red.add`,
 //!   register-operand stores, memory-equality conditions), the same
-//!   three-way differential check aimed at the symbolic value layer.
+//!   three-way differential check aimed at the symbolic value layer;
+//! * [`modelgen`] — random litmus tests answered under *both* PTX
+//!   consistency models (the paper's axiomatic model and the cumulative
+//!   draft), three engines per model: per-model engine disagreement is
+//!   a failure, cross-model verdict divergence is counted as the known
+//!   distinguishing fragment.
 //!
 //! Failures are deterministic: each round derives from an explicit seed
 //! ([`round_seed`]), and a failing case is greedily minimized by
 //! [`shrink::shrink`] before being reported as a [`Disagreement`]. The
-//! `fuzzherd` binary drives all four generators under the existing
+//! `fuzzherd` binary drives all five generators under the existing
 //! worker-pool harness ([`modelfinder::harness`]).
 
 #![warn(missing_docs)]
@@ -32,6 +37,7 @@
 pub mod barriergen;
 pub mod cnf;
 pub mod litmusgen;
+pub mod modelgen;
 pub mod relform;
 pub mod shrink;
 
@@ -40,7 +46,7 @@ pub mod shrink;
 #[derive(Debug, Clone)]
 pub struct Disagreement {
     /// Which generator found it (`"cnf"`, `"relform"`, `"litmusgen"`,
-    /// `"barriergen"`).
+    /// `"barriergen"`, `"modelgen"`).
     pub generator: &'static str,
     /// The round seed that reproduces the failure deterministically.
     pub seed: u64,

@@ -33,6 +33,7 @@
 pub mod canon;
 pub mod client;
 pub mod cond;
+pub mod distill;
 pub mod generate;
 pub mod library;
 pub mod parse;
@@ -44,11 +45,16 @@ pub mod test;
 pub use canon::{canonical_c11_text, canonical_ptx_text, format_c11_litmus, format_ptx_litmus};
 pub use client::{Reply, ServerClient};
 pub use cond::Cond;
+pub use distill::{
+    distill, search_point, search_points, verify_round_trip, DistilledTest, RoundTrip, SearchPoint,
+    Synthesized,
+};
 pub use parse::{parse_cond, parse_instruction, parse_ptx_litmus, ParseLitmusError};
 pub use parse_c11::{parse_c11_instruction, parse_c11_litmus};
+pub use ptx::cumulative::Model;
 pub use sat::{SatLitmusResult, SatSession, Signature};
 pub use scref::{sc_outcomes, ScOutcome};
 pub use test::{
-    format_registers, ptx_to_tso, run_ptx, run_rc11, run_suite, run_under_tso, C11Litmus,
-    Expectation, LitmusResult, PtxLitmus, SuiteRow,
+    format_registers, ptx_to_tso, run_ptx, run_ptx_model, run_rc11, run_suite, run_under_tso,
+    C11Litmus, Expectation, LitmusResult, PtxLitmus, SuiteRow,
 };

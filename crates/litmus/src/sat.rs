@@ -586,11 +586,34 @@ fn encode_query(
     (query, stats)
 }
 
+/// The consistency constraints of one PTX model over a declared
+/// vocabulary: the paper's six axioms, or the cumulative draft's nested
+/// per-scope RMO. Both take the engine's syntactic dependency relation
+/// for their No-Thin-Air side.
+pub(crate) fn model_axioms(vocab: &PtxVocab, dep: &Expr, model: ptx::Model) -> Formula {
+    match model {
+        ptx::Model::Axiomatic => {
+            // The engine's No-Thin-Air is over the syntactic dependency
+            // relation, not the program-free `rmw` approximation the
+            // vocabulary defaults to.
+            let axioms = Formula::and_all(
+                vocab
+                    .axioms_named()
+                    .into_iter()
+                    .filter(|(name, _)| *name != "No-Thin-Air")
+                    .map(|(_, f)| f),
+            );
+            axioms.and(&patterns::acyclic(&vocab.rf.union(dep)))
+        }
+        ptx::Model::Cumulative => ptx::cumulative::axioms(vocab, dep),
+    }
+}
+
 /// Declares the PTX vocabulary (plus the syntactic dependency relation
-/// the engine's No-Thin-Air uses) over a signature's universe, with
-/// permissive bounds, and builds the session base: well-formedness and
-/// the six axioms.
-fn universe(sig: &Signature) -> (Schema, Bounds, PtxVocab, Expr, Formula) {
+/// the engine's No-Thin-Air uses) over a signature's universe with
+/// permissive bounds. The returned bounds leave every event-level
+/// relation free; callers pin structure through formulas.
+pub(crate) fn declare_universe(sig: &Signature) -> (Schema, Bounds, PtxVocab, Expr) {
     let mut schema = Schema::new();
     let vocab = PtxVocab::declare(&mut schema, "p_");
     let dep = Expr::Rel(schema.relation("p_dep", 2));
@@ -646,19 +669,16 @@ fn universe(sig: &Signature) -> (Schema, Bounds, PtxVocab, Expr, Formula) {
     bounds.bound_upper(rid(&vocab.same_cta), th_th.clone());
     bounds.bound_upper(rid(&vocab.same_gpu), th_th);
 
+    (schema, bounds, vocab, dep)
+}
+
+/// Builds a session base for one model: well-formedness plus the
+/// model's consistency constraints.
+fn universe(sig: &Signature, model: ptx::Model) -> (Schema, Bounds, PtxVocab, Expr, Formula) {
+    let (schema, bounds, vocab, dep) = declare_universe(sig);
     let mut fresh = VarGen::new();
     let wf = vocab.well_formed(&mut fresh);
-    // The engine's No-Thin-Air is over the syntactic dependency relation,
-    // not the program-free `rmw` approximation the vocabulary defaults to.
-    let axioms = Formula::and_all(
-        vocab
-            .axioms_named()
-            .into_iter()
-            .filter(|(name, _)| *name != "No-Thin-Air")
-            .map(|(_, f)| f),
-    );
-    let no_thin_air = patterns::acyclic(&vocab.rf.union(&dep));
-    let base = Formula::and_all([wf, axioms, no_thin_air]);
+    let base = wf.and(&model_axioms(&vocab, &dep, model));
     (schema, bounds, vocab, dep, base)
 }
 
@@ -707,6 +727,7 @@ impl std::error::Error for SatError {}
 #[derive(Debug)]
 pub struct SatSession {
     sig: Signature,
+    model: ptx::Model,
     vocab: PtxVocab,
     dep: Expr,
     session: Session,
@@ -714,7 +735,8 @@ pub struct SatSession {
 }
 
 impl SatSession {
-    /// Opens a session for one universe signature.
+    /// Opens a session for one universe signature under the paper's
+    /// axiomatic model.
     ///
     /// # Errors
     ///
@@ -723,9 +745,21 @@ impl SatSession {
         SatSession::with_options(sig, Options::default())
     }
 
-    /// Opens a session with explicit [`Options`] — in particular
-    /// [`Options::with_proof_logging`], which makes every `Unsat` answer
-    /// certifiable through [`SatSession::proof`] and
+    /// Opens a session for one universe signature under a chosen model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational type errors (an internal encoding bug).
+    pub fn for_model(
+        sig: Signature,
+        model: ptx::Model,
+    ) -> Result<SatSession, relational::TypeError> {
+        SatSession::with_options_model(sig, model, Options::default())
+    }
+
+    /// Opens an axiomatic-model session with explicit [`Options`] — in
+    /// particular [`Options::with_proof_logging`], which makes every
+    /// `Unsat` answer certifiable through [`SatSession::proof`] and
     /// [`SatSession::last_core`]. Callers must leave symmetry breaking
     /// off (see the type-level note).
     ///
@@ -736,10 +770,24 @@ impl SatSession {
         sig: Signature,
         options: Options,
     ) -> Result<SatSession, relational::TypeError> {
-        let (schema, bounds, vocab, dep, base) = universe(&sig);
+        SatSession::with_options_model(sig, ptx::Model::Axiomatic, options)
+    }
+
+    /// Opens a session with an explicit model and [`Options`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational type errors (an internal encoding bug).
+    pub fn with_options_model(
+        sig: Signature,
+        model: ptx::Model,
+        options: Options,
+    ) -> Result<SatSession, relational::TypeError> {
+        let (schema, bounds, vocab, dep, base) = universe(&sig, model);
         let session = Session::new(&schema, &bounds, &base, options)?;
         Ok(SatSession {
             sig,
+            model,
             vocab,
             dep,
             session,
@@ -750,6 +798,11 @@ impl SatSession {
     /// The signature this session answers.
     pub fn signature(&self) -> Signature {
         self.sig
+    }
+
+    /// The consistency model this session answers under.
+    pub fn model(&self) -> ptx::Model {
+        self.model
     }
 
     /// Answers one litmus test.
@@ -839,8 +892,13 @@ impl SatSession {
 /// for a scratch [`modelfinder::ModelFinder`] — the oracle the regression
 /// suite compares sessions against.
 pub fn scratch_problem(test: &PtxLitmus) -> Problem {
+    scratch_problem_model(test, ptx::Model::Axiomatic)
+}
+
+/// [`scratch_problem`] under a chosen consistency model.
+pub fn scratch_problem_model(test: &PtxLitmus, model: ptx::Model) -> Problem {
     let enc = TestEncoding::new(&test.program);
-    let (schema, bounds, vocab, dep, base) = universe(&enc.sig);
+    let (schema, bounds, vocab, dep, base) = universe(&enc.sig, model);
     let tracer = modelfinder::obs::trace::Tracer::disabled();
     let (query, _) = encode_query(&enc, &test.cond, &vocab, &dep, &tracer);
     Problem {

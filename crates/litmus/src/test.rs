@@ -62,7 +62,15 @@ pub struct LitmusResult {
 
 /// Runs a PTX litmus test with the enumeration engine.
 pub fn run_ptx(test: &PtxLitmus) -> LitmusResult {
-    let e = ptx::enumerate_executions(&test.program);
+    run_ptx_model(test, ptx::Model::Axiomatic)
+}
+
+/// Runs a PTX litmus test with the enumeration engine under a chosen
+/// consistency model (the paper's axiomatic model or the cumulative
+/// draft). The `expectation` recorded in the test refers to the
+/// axiomatic model; `passed` is reported against it either way.
+pub fn run_ptx_model(test: &PtxLitmus, model: ptx::Model) -> LitmusResult {
+    let e = ptx::enumerate_executions_model(&test.program, model);
     let observable = e
         .executions
         .iter()

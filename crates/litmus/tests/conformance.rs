@@ -1,14 +1,20 @@
-//! Conformance sweep over the bundled `litmus/*.litmus` files: every
-//! test is answered by each applicable engine — execution enumeration,
-//! a scratch SAT run on [`litmus::sat::scratch_problem`], and a pooled
-//! incremental [`litmus::sat::SatSession`] shared per universe
-//! signature — and the combined verdicts are pinned against the
-//! checked-in golden file `litmus/EXPECTED.txt`.
+//! Conformance sweep over the bundled `litmus/*.litmus` files and the
+//! synthesized `litmus/synth/` corpus: every PTX test is answered under
+//! *both* consistency models — the paper's axiomatic model and the
+//! cumulative draft — by each applicable engine (execution enumeration,
+//! a scratch SAT run on [`litmus::sat::scratch_problem_model`], and a
+//! pooled incremental [`litmus::sat::SatSession`] shared per
+//! (model, signature) pair) — and the combined verdicts are pinned
+//! against the checked-in golden file `litmus/EXPECTED.txt`, one verdict
+//! column per model.
 //!
-//! The engines must agree with each other unconditionally; the golden
-//! file additionally pins the absolute verdicts so a change in either
-//! the parser, the models, or the bundled tests shows up as a readable
-//! diff. Regenerate after an intentional change with:
+//! The engines must agree with each other unconditionally *within* each
+//! model; across models the verdicts may differ (that divergence is the
+//! whole point of the `litmus/synth/` corpus, and the sweep asserts at
+//! least one synthesized test exhibits it). The golden file additionally
+//! pins the absolute verdicts so a change in either the parser, the
+//! models, or the bundled tests shows up as a readable diff. Regenerate
+//! after an intentional change with:
 //!
 //! ```text
 //! UPDATE_EXPECTED=1 cargo test -p ptxmm-litmus --test conformance
@@ -19,8 +25,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use litmus::sat::{self, SatSession, Signature};
-use litmus::{parse_c11_litmus, parse_ptx_litmus, run_ptx, run_rc11};
+use litmus::{parse_c11_litmus, parse_ptx_litmus, run_ptx_model, run_rc11, Model};
 use modelfinder::{ModelFinder, Options, Verdict};
+use ptx::cumulative::ALL_MODELS;
 
 fn litmus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../litmus")
@@ -40,16 +47,20 @@ fn word(observable: bool) -> &'static str {
     }
 }
 
-/// Renders one golden line for a PTX test, running all three engines and
-/// asserting they agree before the line is ever compared.
-fn ptx_line(file: &str, source: &str, sessions: &mut BTreeMap<Signature, SatSession>) -> String {
-    let test = parse_ptx_litmus(source).unwrap_or_else(|e| panic!("{file}: {e}"));
-    let enumeration = run_ptx(&test);
+/// Answers one PTX test under one model with all three engines,
+/// asserting they agree before the verdict is ever compared.
+fn ptx_verdict(
+    file: &str,
+    test: &litmus::PtxLitmus,
+    model: Model,
+    sessions: &mut BTreeMap<(Model, Signature), SatSession>,
+) -> bool {
+    let enumeration = run_ptx_model(test, model);
     // Scratch path: a self-contained problem on a fresh finder.
     // Symmetry breaking must stay off — the query pins individual
     // atoms through constants (see the `litmus::sat` type-level
     // note), so `Options::check()` would be unsound here.
-    let problem = sat::scratch_problem(&test);
+    let problem = sat::scratch_problem_model(test, model);
     let (verdict, _) = ModelFinder::new(Options::default())
         .solve(&problem)
         .unwrap_or_else(|e| panic!("{file}: scratch SAT error: {e:?}"));
@@ -58,40 +69,64 @@ fn ptx_line(file: &str, source: &str, sessions: &mut BTreeMap<Signature, SatSess
         Verdict::Unsat => false,
         Verdict::Unknown => panic!("{file}: scratch SAT gave Unknown without a budget"),
     };
-    // Pooled path: one incremental session per signature, shared
-    // across every file in the sweep (and asserted to be reused
+    // Pooled path: one incremental session per (model, signature),
+    // shared across every file in the sweep (and asserted to be reused
     // below), exactly like `ptxherd --sat`.
     let sig = sat::signature(&test.program);
     let session = sessions
-        .entry(sig)
-        .or_insert_with(|| SatSession::new(sig).expect("internal encoding error"));
-    let r = session.run(&test).unwrap_or_else(|e| panic!("{file}: {e}"));
+        .entry((model, sig))
+        .or_insert_with(|| SatSession::for_model(sig, model).expect("internal encoding error"));
+    let r = session.run(test).unwrap_or_else(|e| panic!("{file}: {e}"));
     let session_observable = r.observable.expect("no budget set");
     assert_eq!(
-        scratch_observable, enumeration.observable,
-        "{file}: scratch SAT disagrees with enumeration"
+        scratch_observable,
+        enumeration.observable,
+        "{file}: scratch SAT disagrees with enumeration under {}",
+        model.as_str()
     );
     assert_eq!(
-        session_observable, enumeration.observable,
-        "{file}: pooled session disagrees with enumeration"
+        session_observable,
+        enumeration.observable,
+        "{file}: pooled session disagrees with enumeration under {}",
+        model.as_str()
     );
-    let (sat_word, session_word) = (word(scratch_observable), word(session_observable));
-    format!(
-        "{file} {name} expected={exp:?} enum={e} sat={sat_word} session={session_word} {status}\n",
+    enumeration.observable
+}
+
+/// Renders one golden line for a PTX test: one verdict column per model,
+/// pass/fail status judged against the axiomatic model (which is what
+/// the recorded expectation refers to). Returns the line and the
+/// per-model observability pair.
+fn ptx_line(
+    file: &str,
+    source: &str,
+    sessions: &mut BTreeMap<(Model, Signature), SatSession>,
+) -> (String, bool, bool) {
+    let test = parse_ptx_litmus(source).unwrap_or_else(|e| panic!("{file}: {e}"));
+    let mut observable = [false; 2];
+    for (i, model) in ALL_MODELS.into_iter().enumerate() {
+        observable[i] = ptx_verdict(file, &test, model, sessions);
+    }
+    let [ax, cum] = observable;
+    let passed = ax == (test.expectation == litmus::Expectation::Allowed);
+    let line = format!(
+        "{file} {name} expected={exp:?} ptx={a} ptx-cumulative={c} {status}\n",
         name = test.name,
         exp = test.expectation,
-        e = word(enumeration.observable),
-        status = if enumeration.passed { "Ok" } else { "FAILED" },
-    )
+        a = word(ax),
+        c = word(cum),
+        status = if passed { "Ok" } else { "FAILED" },
+    );
+    (line, ax, cum)
 }
 
 /// Renders one golden line for a scoped-C++ test (enumeration only: the
-/// SAT path encodes the PTX axioms, not RC11).
+/// SAT path and the cumulative draft encode the PTX axioms, not RC11).
 fn c11_line(file: &str, source: &str) -> String {
     let test = parse_c11_litmus(source).unwrap_or_else(|e| panic!("{file}: {e}"));
     let r = run_rc11(&test);
     format!(
-        "{file} {name} expected={exp:?} enum={e} sat=n/a session=n/a {status}\n",
+        "{file} {name} expected={exp:?} c11={e} {status}\n",
         name = test.name,
         exp = test.expectation,
         e = word(r.observable),
@@ -99,11 +134,9 @@ fn c11_line(file: &str, source: &str) -> String {
     )
 }
 
-#[test]
-fn bundled_files_match_golden_verdicts() {
-    let dir = litmus_dir();
-    let mut files: Vec<String> = std::fs::read_dir(&dir)
-        .expect("litmus/ directory exists")
+fn litmus_files(dir: &PathBuf) -> Vec<String> {
+    let mut files: Vec<String> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
         .map(|e| {
             e.expect("readable entry")
                 .file_name()
@@ -113,30 +146,61 @@ fn bundled_files_match_golden_verdicts() {
         .filter(|n| n.ends_with(".litmus"))
         .collect();
     files.sort();
+    files
+}
+
+#[test]
+fn bundled_files_match_golden_verdicts() {
+    let dir = litmus_dir();
+    let files = litmus_files(&dir);
     assert!(
         files.len() >= 9,
         "expected the bundled suite, found {} files",
         files.len()
     );
+    let synth_dir = dir.join("synth");
+    let synth_files = litmus_files(&synth_dir);
+    assert!(
+        !synth_files.is_empty(),
+        "expected a synthesized corpus in litmus/synth/ (generate with ptxdistill)"
+    );
 
-    let mut sessions: BTreeMap<Signature, SatSession> = BTreeMap::new();
+    let mut sessions: BTreeMap<(Model, Signature), SatSession> = BTreeMap::new();
     let mut actual = String::new();
-    for file in &files {
-        let source = std::fs::read_to_string(dir.join(file)).expect("readable file");
-        let header = source
-            .lines()
-            .map(|l| l.split("//").next().unwrap_or("").trim())
-            .find(|l| !l.is_empty())
-            .unwrap_or("");
-        if header.starts_with("PTX ") {
-            actual.push_str(&ptx_line(file, &source, &mut sessions));
-        } else if header.starts_with("C11 ") {
-            actual.push_str(&c11_line(file, &source));
-        } else {
-            panic!("{file}: unknown dialect header {header:?}");
+    let mut synth_diverges = false;
+    for (subdir, files) in [(None, &files), (Some("synth"), &synth_files)] {
+        for file in files {
+            let (path, label) = match subdir {
+                None => (dir.join(file), file.clone()),
+                Some(s) => (synth_dir.join(file), format!("{s}/{file}")),
+            };
+            let source = std::fs::read_to_string(&path).expect("readable file");
+            let header = source
+                .lines()
+                .map(|l| l.split("//").next().unwrap_or("").trim())
+                .find(|l| !l.is_empty())
+                .unwrap_or("");
+            if header.starts_with("PTX ") {
+                let (line, ax, cum) = ptx_line(&label, &source, &mut sessions);
+                actual.push_str(&line);
+                if subdir.is_some() && ax != cum {
+                    synth_diverges = true;
+                }
+            } else if header.starts_with("C11 ") {
+                assert!(subdir.is_none(), "{label}: C11 tests cannot be synthesized");
+                actual.push_str(&c11_line(&label, &source));
+            } else {
+                panic!("{label}: unknown dialect header {header:?}");
+            }
         }
     }
-    // The pool earned its keep: some signature was shared across files.
+    // The synthesized corpus earns its keep: at least one test gets
+    // different verdicts under the two models.
+    assert!(
+        synth_diverges,
+        "no synthesized test distinguishes the axiomatic and cumulative models"
+    );
+    // The pool earned its keep: some session was shared across files.
     let reused = sessions.values().any(|s| s.stats().queries > 1);
     assert!(reused, "no session was reused across the bundled files");
 

@@ -1,0 +1,107 @@
+//! Property tests for the model-distinguishing search and litmus
+//! synthesis ([`litmus::distill`]).
+//!
+//! For seeded random search points in the liftable fragment, every
+//! synthesized witness must:
+//!
+//! 1. survive an emit → parse → canonicalize round trip unchanged
+//!    (`litmus::canon` is the cache/dedup identity, so any drift here
+//!    would silently split or merge corpus entries);
+//! 2. have a test-level SAT verdict matching the witness's
+//!    model-consistency pair: the outcome is observable under the model
+//!    the witness satisfies, and — in the single-writer fragment with
+//!    the cumulative draft on the violated side, where the coherence
+//!    order is forced and the cumulative axioms are `sc`-independent —
+//!    unobservable under the model it violates.
+
+use litmus::distill::{search_point, SearchPoint};
+use litmus::sat::{self, SatSession};
+use litmus::{canonical_ptx_text, format_ptx_litmus, parse_ptx_litmus, run_ptx_model, Model};
+
+/// A seeded random point of the bound-≤4 search lattice (small enough
+/// that every property case stays fast, large enough to hit witnesses:
+/// the CoRR-relaxed family lives at bound 4).
+fn random_point(rng: &mut testkit::Rng) -> SearchPoint {
+    let (consistent, inconsistent) = if rng.flip() {
+        (Model::Axiomatic, Model::Cumulative)
+    } else {
+        (Model::Cumulative, Model::Axiomatic)
+    };
+    SearchPoint {
+        consistent,
+        inconsistent,
+        events: 4,
+        threads: 2,
+        locs: 1 + rng.index(2),
+        layout_kind: rng.index(3) as u8,
+        single_writer: true,
+    }
+}
+
+#[test]
+fn synthesized_tests_round_trip_through_the_text_format() {
+    testkit::forall("distill_emit_parse_identity", 6, |rng| {
+        let point = random_point(rng);
+        let witnesses = 1 + rng.index(3);
+        for s in search_point(&point, witnesses).expect("encoding error") {
+            let text = format_ptx_litmus(&s.test);
+            let reparsed = parse_ptx_litmus(&text)
+                .unwrap_or_else(|e| panic!("{point}: emitted test does not parse: {e}\n{text}"));
+            assert_eq!(
+                canonical_ptx_text(&reparsed),
+                canonical_ptx_text(&s.test),
+                "{point}: parse(emit(test)) changed the canonical form:\n{text}"
+            );
+        }
+    });
+}
+
+#[test]
+fn synthesized_verdicts_match_the_witness_consistency_pair() {
+    testkit::forall("distill_verdicts_match_witness", 6, |rng| {
+        let point = random_point(rng);
+        let witnesses = 1 + rng.index(2);
+        for s in search_point(&point, witnesses).expect("encoding error") {
+            // The witness itself is an execution of the test matching
+            // the outcome and consistent under `point.consistent`, so
+            // the outcome must be observable there — on both engines.
+            let consistent_enum = run_ptx_model(&s.test, point.consistent);
+            assert!(
+                consistent_enum.observable,
+                "{point}: witness outcome unobservable under {} (enumeration)\n{}",
+                point.consistent,
+                format_ptx_litmus(&s.test)
+            );
+            let sig = sat::signature(&s.test.program);
+            let mut session = SatSession::for_model(sig, point.consistent).expect("encoding error");
+            let r = session.run(&s.test).expect("SAT run");
+            assert_eq!(
+                r.observable,
+                Some(true),
+                "{point}: witness outcome unobservable under {} (SAT)",
+                point.consistent
+            );
+            // With a single writer per location the lifted condition
+            // pins the whole execution up to `sc`, and the cumulative
+            // axioms never read `sc` — so when the cumulative draft is
+            // the violated model, *no* execution matching the outcome
+            // is consistent there.
+            if point.inconsistent == Model::Cumulative {
+                let inconsistent_enum = run_ptx_model(&s.test, point.inconsistent);
+                assert!(
+                    !inconsistent_enum.observable,
+                    "{point}: outcome observable under the violated model (enumeration)\n{}",
+                    format_ptx_litmus(&s.test)
+                );
+                let mut session =
+                    SatSession::for_model(sig, point.inconsistent).expect("encoding error");
+                let r = session.run(&s.test).expect("SAT run");
+                assert_eq!(
+                    r.observable,
+                    Some(false),
+                    "{point}: outcome observable under the violated model (SAT)"
+                );
+            }
+        }
+    });
+}

@@ -1,0 +1,604 @@
+//! The cumulative-across-scopes PTX draft model (`ptx_cummulative.als`).
+//!
+//! The paper's methodology compares memory-model variants by searching
+//! for executions one model allows and another forbids. This module
+//! formalizes the *other* side of that comparison: the membar-based
+//! draft model whose Alloy source is preserved in `SNIPPETS.md` — a
+//! scoped RMO built from nested per-scope acyclicity constraints with
+//! cumulative fences, predating the axiomatic model's acquire/release
+//! patterns and causality order.
+//!
+//! Both formulations here share the vocabulary of [`crate::event`] /
+//! [`crate::exec`] (and, on the relational side, [`crate::alloy`]), so
+//! the two models can be checked against the *same* candidate
+//! executions and encoded into the *same* bounded universe:
+//!
+//! * [`check_all_cumulative`] is the bit-matrix checker, the analogue
+//!   of [`crate::axioms::check_all`];
+//! * [`axioms_named`] builds the constraints over a [`PtxVocab`], the
+//!   analogue of [`PtxVocab::axioms_named`], for the model finder.
+//!
+//! # Mapping decisions
+//!
+//! The Alloy draft speaks `membar.{cta,gl,sys}` and scope-less memory
+//! operations; our event structure carries scoped, flagged events. The
+//! transliteration fixes:
+//!
+//! * A fence event acts as the membar of its *scope* qualifier
+//!   (`.cta` → `membar.cta`, `.gpu` → `membar.gl`, `.sys` →
+//!   `membar.sys`), regardless of its acquire/release/sc semantics —
+//!   the draft model has no such distinctions.
+//! * Memory-operation scopes and acquire/release flags are ignored
+//!   entirely; only fences order anything beyond coherence,
+//!   dependencies, and communication.
+//! * `scta`/`sgl` relate events whose threads share a CTA/GPU. Init
+//!   writes live on the internal init pseudo-thread (alone in its own
+//!   CTA and GPU, exactly as the SAT universe pins it), so init writes
+//!   are same-threaded with each other and external to every program
+//!   thread.
+//! * Both models quantify over the repo's candidate space — in
+//!   particular the *partial* coherence order of §8.8.6, where the
+//!   draft's `exec_H` assumed a per-location total. This is a
+//!   deliberate formalization choice: verdicts of both models are
+//!   always reported over identical witness sets.
+//! * `atom` is the `rmw` pairing (read half → write half); `dp` is the
+//!   expansion's syntactic dependency relation (`ad+dd+cd` collapses to
+//!   data/RMW dependencies in our straight-line instruction set).
+
+use memmodel::{RelMat, Scope, SystemLayout};
+use relational::{patterns, Expr, Formula};
+
+use crate::alloy::{bracket, PtxVocab};
+use crate::axioms::check_all;
+use crate::event::{EventKind, Expansion};
+use crate::exec::{diag, Candidate};
+
+/// Which bundled PTX consistency model to consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Model {
+    /// The paper's axiomatic model (Figure 7; [`crate::axioms`]).
+    Axiomatic,
+    /// The cumulative-across-scopes draft model (this module).
+    Cumulative,
+}
+
+/// Both models, axiomatic first.
+pub const ALL_MODELS: [Model; 2] = [Model::Axiomatic, Model::Cumulative];
+
+impl Model {
+    /// The stable wire/CLI token: `"ptx"` / `"ptx-cumulative"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Model::Axiomatic => "ptx",
+            Model::Cumulative => "ptx-cumulative",
+        }
+    }
+
+    /// Parses the wire/CLI token accepted by `ptxdistill`/`ptxd`.
+    pub fn parse(s: &str) -> Option<Model> {
+        match s {
+            "ptx" => Some(Model::Axiomatic),
+            "ptx-cumulative" => Some(Model::Cumulative),
+            _ => None,
+        }
+    }
+
+    /// Whether `candidate` is a consistent execution under this model.
+    pub fn consistent(
+        self,
+        expansion: &Expansion,
+        layout: &SystemLayout,
+        candidate: &Candidate,
+    ) -> bool {
+        match self {
+            Model::Axiomatic => check_all(expansion, layout, candidate).is_consistent(),
+            Model::Cumulative => check_all_cumulative(expansion, layout, candidate).is_consistent(),
+        }
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One constraint of the cumulative model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CumulativeAxiom {
+    /// `empty(rmw ∩ (fre ; coe))` — RMW atomicity over external
+    /// communication.
+    Atomicity,
+    /// `acyclic(polocLLH ∪ rf ∪ fr ∪ co)` where `polocLLH` drops the
+    /// read→read part of per-location program order (load-load hazards
+    /// are permitted).
+    ScPerLocLlh,
+    /// `acyclic(dp ∪ rf)`.
+    NoThinAir,
+    /// `acyclic(rmo(iden, cta_fence) ∩ scta)`.
+    CtaRmo,
+    /// `acyclic(rmo(CTArmo*, gl_fence) ∩ sgl)` — the CTA-level order
+    /// is carried *through* GPU-level fences (cumulativity).
+    GlRmo,
+    /// `acyclic(rmo(GLrmo*, sys_fence))`.
+    SysRmo,
+}
+
+impl std::fmt::Display for CumulativeAxiom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CumulativeAxiom::Atomicity => "Atomicity",
+            CumulativeAxiom::ScPerLocLlh => "ScPerLocLLH",
+            CumulativeAxiom::NoThinAir => "No-Thin-Air",
+            CumulativeAxiom::CtaRmo => "CTA-RMO",
+            CumulativeAxiom::GlRmo => "GL-RMO",
+            CumulativeAxiom::SysRmo => "SYS-RMO",
+        })
+    }
+}
+
+/// All six cumulative constraints, in source order.
+pub const ALL_CUMULATIVE_AXIOMS: [CumulativeAxiom; 6] = [
+    CumulativeAxiom::Atomicity,
+    CumulativeAxiom::ScPerLocLlh,
+    CumulativeAxiom::NoThinAir,
+    CumulativeAxiom::CtaRmo,
+    CumulativeAxiom::GlRmo,
+    CumulativeAxiom::SysRmo,
+];
+
+/// The outcome of checking a candidate against the cumulative model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CumulativeCheck {
+    /// Constraints the candidate violates (empty = consistent).
+    pub violations: Vec<CumulativeAxiom>,
+}
+
+impl CumulativeCheck {
+    /// Whether the candidate is a legal execution of the cumulative
+    /// model.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks a candidate execution against the cumulative model.
+pub fn check_all_cumulative(
+    expansion: &Expansion,
+    layout: &SystemLayout,
+    candidate: &Candidate,
+) -> CumulativeCheck {
+    let n = expansion.len();
+    let events = &expansion.events;
+
+    let rf = candidate.rf_matrix(expansion);
+    let co = &candidate.co;
+    let fr = rf.transpose().compose(co);
+    let com = rf.union(&fr).union(co);
+
+    // External ("e") restriction: pairs on distinct threads. Init
+    // writes all carry `thread: None` — the init pseudo-thread — so
+    // they are internal to each other and external to everything else.
+    let external = |m: &RelMat| m.filter(|i, j| events[i].thread != events[j].thread);
+    let rfe = external(&rf);
+    let fre = external(&fr);
+    let coe = external(co);
+
+    // polocLLH: per-location program order minus read→read pairs.
+    let poloc_llh = expansion.po.filter(|i, j| {
+        events[i].is_memory()
+            && events[j].is_memory()
+            && events[i].overlaps(&events[j])
+            && !(events[i].kind == EventKind::Read && events[j].kind == EventKind::Read)
+    });
+
+    // Fence orders by level, cumulative downward: a `.sys` fence is
+    // also a `.gl` and `.cta` fence.
+    let lift = |scope: Scope| {
+        let f = diag(n, |i| {
+            events[i].kind == EventKind::Fence && events[i].scope == scope
+        });
+        expansion.po.compose(&f).compose(&expansion.po)
+    };
+    let sys_fence = lift(Scope::Sys);
+    let gl_fence = lift(Scope::Gpu).union(&sys_fence);
+    let cta_fence = lift(Scope::Cta).union(&gl_fence);
+
+    // scta / sgl: event pairs whose threads share a CTA / GPU.
+    let mut scta = RelMat::new(n);
+    let mut sgl = RelMat::new(n);
+    for a in events {
+        for b in events {
+            let (same_cta, same_gpu) = match (a.thread, b.thread) {
+                (Some(ta), Some(tb)) => (layout.same_cta(ta, tb), layout.same_gpu(ta, tb)),
+                (None, None) => (true, true),
+                _ => (false, false),
+            };
+            if same_cta {
+                scta.set(a.id, b.id);
+            }
+            if same_gpu {
+                sgl.set(a.id, b.id);
+            }
+        }
+    }
+
+    // rmo(r, f) = dp ∪ rfe ∪ co ∪ fr ∪ (r ; f ; r), with `r` already
+    // reflexively-transitively closed by the caller.
+    let base = expansion.dep.union(&rfe).union(co).union(&fr);
+    let rmo = |r_star: &RelMat, f: &RelMat| base.union(&r_star.compose(f).compose(r_star));
+
+    let iden = RelMat::identity(n);
+    let cta_rmo = rmo(&iden, &cta_fence).intersect(&scta);
+    let gl_rmo = rmo(&cta_rmo.reflexive_transitive_closure(), &gl_fence).intersect(&sgl);
+    let sys_rmo = rmo(&gl_rmo.reflexive_transitive_closure(), &sys_fence);
+
+    let holds = |axiom: CumulativeAxiom| match axiom {
+        CumulativeAxiom::Atomicity => fre.compose(&coe).intersect(&expansion.rmw).is_empty(),
+        CumulativeAxiom::ScPerLocLlh => poloc_llh.union(&com).is_acyclic(),
+        CumulativeAxiom::NoThinAir => expansion.dep.union(&rf).is_acyclic(),
+        CumulativeAxiom::CtaRmo => cta_rmo.is_acyclic(),
+        CumulativeAxiom::GlRmo => gl_rmo.is_acyclic(),
+        CumulativeAxiom::SysRmo => sys_rmo.is_acyclic(),
+    };
+    let violations = ALL_CUMULATIVE_AXIOMS
+        .iter()
+        .copied()
+        .filter(|&a| !holds(a))
+        .collect();
+    CumulativeCheck { violations }
+}
+
+/// The cumulative model's constraints over a relational vocabulary,
+/// with their names — the analogue of [`PtxVocab::axioms_named`] for
+/// the bounded model finder. `dep` is the syntactic dependency
+/// relation the caller pins (or leaves empty for program-free search).
+pub fn axioms_named(v: &PtxVocab, dep: &Expr) -> Vec<(&'static str, Formula)> {
+    let same_thread = v.thread.join(&v.thread.transpose());
+    let ext = |r: &Expr| r.difference(&same_thread);
+    let fr = v.fr();
+    let rfe = ext(&v.rf);
+    let fre = ext(&fr);
+    let coe = ext(&v.co);
+    let com = v.rf.union(&fr).union(&v.co);
+
+    let poloc_llh = v.po_loc().difference(&v.read.product(&v.read));
+
+    let lift = |scope: &Expr| v.po.join(&bracket(&v.fence.intersect(scope))).join(&v.po);
+    let sys_fence = lift(&v.scope_sys);
+    let gl_fence = lift(&v.scope_gpu).union(&sys_fence);
+    let cta_fence = lift(&v.scope_cta).union(&gl_fence);
+
+    let scta = v.thread.join(&v.same_cta).join(&v.thread.transpose());
+    let sgl = v.thread.join(&v.same_gpu).join(&v.thread.transpose());
+
+    let base = dep.union(&rfe).union(&v.co).union(&fr);
+    let rmo = |r_star: &Expr, f: &Expr| base.union(&r_star.join(f).join(r_star));
+
+    let cta_rmo = base.union(&cta_fence).intersect(&scta); // rc[iden] ; f ; rc[iden] = f
+    let gl_rmo = rmo(&cta_rmo.reflexive_closure(), &gl_fence).intersect(&sgl);
+    let sys_rmo = rmo(&gl_rmo.reflexive_closure(), &sys_fence);
+
+    vec![
+        ("Atomicity", fre.join(&coe).intersect(&v.rmw).no()),
+        ("ScPerLocLLH", patterns::acyclic(&poloc_llh.union(&com))),
+        ("No-Thin-Air", patterns::acyclic(&dep.union(&v.rf))),
+        ("CTA-RMO", patterns::acyclic(&cta_rmo)),
+        ("GL-RMO", patterns::acyclic(&gl_rmo)),
+        ("SYS-RMO", patterns::acyclic(&sys_rmo)),
+    ]
+}
+
+/// The cumulative model's constraints as one conjunction.
+pub fn axioms(v: &PtxVocab, dep: &Expr) -> Formula {
+    Formula::and_all(axioms_named(v, dep).into_iter().map(|(_, f)| f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::expand;
+    use crate::exec::init_co_edges;
+    use crate::inst::build::*;
+    use crate::inst::Program;
+    use memmodel::{Location, Register, Scope, SystemLayout};
+    use relational::{eval_formula, Atom, Instance, Schema, TupleSet};
+
+    fn candidate(x: &Expansion, rf_source: Vec<usize>, extra_co: &[(usize, usize)]) -> Candidate {
+        let mut co = RelMat::from_pairs(x.len(), init_co_edges(x));
+        for &(a, b) in extra_co {
+            co.set(a, b);
+        }
+        Candidate {
+            rf_source,
+            co,
+            sc: RelMat::new(x.len()),
+        }
+    }
+
+    /// CoRR with relaxed.sys accesses: the stale second read is a
+    /// coherence violation under the axiomatic model (po_loc includes
+    /// read→read) but consistent under the cumulative model
+    /// (`polocLLH` drops load-load hazards and nothing else closes the
+    /// cycle).
+    #[test]
+    fn corr_relaxed_distinguishes_the_models() {
+        let p = Program::new(
+            vec![
+                vec![st_relaxed(Scope::Sys, Location(0), 1)],
+                vec![
+                    ld_relaxed(Scope::Sys, Register(0), Location(0)),
+                    ld_relaxed(Scope::Sys, Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::single_cta(2),
+        );
+        let layout = p.layout.clone();
+        let x = expand(&p);
+        // events: 0=init_x, 1=Wx, 2=Ra, 3=Rb. Ra sees the write, Rb init.
+        let c = candidate(&x, vec![1, 0], &[]);
+        assert!(!Model::Axiomatic.consistent(&x, &layout, &c));
+        assert!(Model::Cumulative.consistent(&x, &layout, &c));
+    }
+
+    /// MP with release/acquire at gpu scope and no fences: forbidden by
+    /// the axiomatic model (Causality), allowed by the cumulative draft
+    /// (which predates acquire/release semantics entirely).
+    #[test]
+    fn mp_release_acquire_only_binds_the_axiomatic_model() {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_weak(Location(0), 1),
+                    st_release(Scope::Gpu, Location(1), 1),
+                ],
+                vec![
+                    ld_acquire(Scope::Gpu, Register(0), Location(1)),
+                    ld_weak(Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::cta_per_thread(2),
+        );
+        let layout = p.layout.clone();
+        let x = expand(&p);
+        // events: 0=init_x, 1=init_y, 2=Wx, 3=Wrel_y, 4=Racq_y, 5=Rx.
+        let stale = candidate(&x, vec![3, 0], &[]);
+        assert!(!Model::Axiomatic.consistent(&x, &layout, &stale));
+        assert!(Model::Cumulative.consistent(&x, &layout, &stale));
+        // Both models accept the synchronized outcome.
+        let fresh = candidate(&x, vec![3, 2], &[]);
+        assert!(Model::Axiomatic.consistent(&x, &layout, &fresh));
+        assert!(Model::Cumulative.consistent(&x, &layout, &fresh));
+    }
+
+    /// SB with weak accesses around `fence.acq_rel.cta` in one CTA: the
+    /// both-stale outcome is consistent under the axiomatic model (weak
+    /// communication is never morally strong, acq_rel fences without sc
+    /// order induce no sw) but cyclic in the cumulative CTA-RMO
+    /// (`po;[membar];po` orders regardless of flags).
+    #[test]
+    fn sb_weak_fences_cumulative_forbids() {
+        let p = Program::new(
+            vec![
+                vec![
+                    st_weak(Location(0), 1),
+                    fence_acq_rel(Scope::Cta),
+                    ld_weak(Register(0), Location(1)),
+                ],
+                vec![
+                    st_weak(Location(1), 1),
+                    fence_acq_rel(Scope::Cta),
+                    ld_weak(Register(1), Location(0)),
+                ],
+            ],
+            SystemLayout::single_cta(2),
+        );
+        let layout = p.layout.clone();
+        let x = expand(&p);
+        // events: 0=init_x, 1=init_y, 2=Wx, 3=F, 4=Ry, 5=Wy, 6=F, 7=Rx.
+        let both_stale = candidate(&x, vec![1, 0], &[]);
+        assert!(Model::Axiomatic.consistent(&x, &layout, &both_stale));
+        let check = check_all_cumulative(&x, &layout, &both_stale);
+        assert!(check.violations.contains(&CumulativeAxiom::CtaRmo));
+    }
+
+    /// The same shape across CTAs of one GPU: a `.cta` fence no longer
+    /// orders it, a `.gpu` fence does (the per-scope nesting).
+    #[test]
+    fn fence_scope_must_cover_the_communicating_threads() {
+        let build = |scope: Scope| {
+            Program::new(
+                vec![
+                    vec![
+                        st_weak(Location(0), 1),
+                        fence_acq_rel(scope),
+                        ld_weak(Register(0), Location(1)),
+                    ],
+                    vec![
+                        st_weak(Location(1), 1),
+                        fence_acq_rel(scope),
+                        ld_weak(Register(1), Location(0)),
+                    ],
+                ],
+                SystemLayout::cta_per_thread(2),
+            )
+        };
+        for (scope, consistent) in [(Scope::Cta, true), (Scope::Gpu, false)] {
+            let p = build(scope);
+            let layout = p.layout.clone();
+            let x = expand(&p);
+            let both_stale = candidate(&x, vec![1, 0], &[]);
+            assert_eq!(
+                Model::Cumulative.consistent(&x, &layout, &both_stale),
+                consistent,
+                "fence scope {scope}"
+            );
+        }
+    }
+
+    /// Evaluates the relational formulation on instances derived from
+    /// concrete candidates (same atom layout as the SAT universe) and
+    /// checks per-constraint agreement with the bit-matrix checker.
+    #[test]
+    fn relational_encoding_agrees_with_the_matrix_checker() {
+        let scenarios: Vec<(Program, Vec<usize>)> = vec![
+            (
+                Program::new(
+                    vec![
+                        vec![st_relaxed(Scope::Sys, Location(0), 1)],
+                        vec![
+                            ld_relaxed(Scope::Sys, Register(0), Location(0)),
+                            ld_relaxed(Scope::Sys, Register(1), Location(0)),
+                        ],
+                    ],
+                    SystemLayout::single_cta(2),
+                ),
+                vec![1, 0],
+            ),
+            (
+                Program::new(
+                    vec![
+                        vec![
+                            st_weak(Location(0), 1),
+                            fence_acq_rel(Scope::Cta),
+                            ld_weak(Register(0), Location(1)),
+                        ],
+                        vec![
+                            st_weak(Location(1), 1),
+                            fence_acq_rel(Scope::Cta),
+                            ld_weak(Register(1), Location(0)),
+                        ],
+                    ],
+                    SystemLayout::single_cta(2),
+                ),
+                vec![1, 0],
+            ),
+            (
+                Program::new(
+                    vec![
+                        vec![
+                            st_weak(Location(0), 1),
+                            st_release(Scope::Gpu, Location(1), 1),
+                        ],
+                        vec![
+                            ld_acquire(Scope::Gpu, Register(0), Location(1)),
+                            ld_weak(Register(1), Location(0)),
+                        ],
+                    ],
+                    SystemLayout::cta_per_thread(2),
+                ),
+                vec![3, 2],
+            ),
+        ];
+        for (p, rf_source) in scenarios {
+            let layout = p.layout.clone();
+            let x = expand(&p);
+            let c = candidate(&x, rf_source, &[]);
+            let matrix = check_all_cumulative(&x, &layout, &c);
+
+            let mut schema = Schema::new();
+            let v = PtxVocab::declare(&mut schema, "p_");
+            let dep = Expr::Rel(schema.relation("p_dep", 2));
+            let locs = p.locations();
+            let threads = p.num_threads();
+            let n = x.len() + threads + 1 + locs.len();
+            let inst = instance_of(&schema, &v, &dep, &x, &layout, &c, &locs, threads, n);
+
+            for (name, f) in axioms_named(&v, &dep) {
+                let holds = eval_formula(&schema, &inst, &f).unwrap();
+                let matrix_holds = !matrix.violations.iter().any(|a| a.to_string() == name);
+                assert_eq!(holds, matrix_holds, "{name} on {}", p.layout.num_threads());
+            }
+        }
+    }
+
+    /// Builds a concrete relational instance for a candidate, using the
+    /// SAT universe's atom layout: events, program threads, the init
+    /// thread, then locations.
+    #[allow(clippy::too_many_arguments)]
+    fn instance_of(
+        schema: &Schema,
+        v: &PtxVocab,
+        dep: &Expr,
+        x: &Expansion,
+        layout: &SystemLayout,
+        c: &Candidate,
+        locs: &[Location],
+        threads: usize,
+        n: usize,
+    ) -> Instance {
+        use crate::event::Event;
+        let e = x.len();
+        let thread_atom = |t: memmodel::ThreadId| (e + t.0 as usize) as Atom;
+        let init_thread = (e + threads) as Atom;
+        let loc_atom =
+            |l: Location| (e + threads + 1 + locs.iter().position(|&m| m == l).unwrap()) as Atom;
+        let mut inst = Instance::empty(schema, n);
+        let mut set = |expr: &Expr, ts: TupleSet| {
+            if let Expr::Rel(r) = expr {
+                inst.set(*r, ts);
+            }
+        };
+        let events_where = |pred: &dyn Fn(&Event) -> bool| {
+            TupleSet::from_atoms(x.events.iter().filter(|e| pred(e)).map(|e| e.id as Atom))
+        };
+        set(&v.ev, TupleSet::from_atoms(0..e as Atom));
+        set(&v.read, events_where(&|e| e.kind == EventKind::Read));
+        set(&v.write, events_where(&|e| e.kind == EventKind::Write));
+        set(&v.fence, events_where(&|e| e.kind == EventKind::Fence));
+        set(&v.barrier, events_where(&|e| e.kind == EventKind::Barrier));
+        set(&v.strong, events_where(&|e| e.strong));
+        set(&v.acq, events_where(&|e| e.acquire));
+        set(&v.rel, events_where(&|e| e.release));
+        set(&v.sc_fence, events_where(&|e| e.sc_fence));
+        set(&v.scope_cta, events_where(&|e| e.scope == Scope::Cta));
+        set(&v.scope_gpu, events_where(&|e| e.scope == Scope::Gpu));
+        set(&v.scope_sys, events_where(&|e| e.scope == Scope::Sys));
+        set(
+            &v.loc,
+            TupleSet::from_pairs(
+                x.events
+                    .iter()
+                    .filter_map(|ev| ev.loc.map(|l| (ev.id as Atom, loc_atom(l)))),
+            ),
+        );
+        set(
+            &v.thread,
+            TupleSet::from_pairs(x.events.iter().map(|ev| {
+                (
+                    ev.id as Atom,
+                    ev.thread.map(thread_atom).unwrap_or(init_thread),
+                )
+            })),
+        );
+        let rel_pairs =
+            |m: &RelMat| TupleSet::from_pairs(m.pairs().map(|(a, b)| (a as Atom, b as Atom)));
+        set(&v.po, rel_pairs(&x.po));
+        set(&v.rf, rel_pairs(&c.rf_matrix(x)));
+        set(&v.co, rel_pairs(&c.co));
+        set(&v.sc, rel_pairs(&c.sc));
+        set(&v.rmw, rel_pairs(&x.rmw));
+        set(&v.syncbarrier, rel_pairs(&x.syncbarrier));
+        set(dep, rel_pairs(&x.dep));
+        let mut cta_pairs = vec![(init_thread, init_thread)];
+        let mut gpu_pairs = vec![(init_thread, init_thread)];
+        for a in 0..threads {
+            for b in 0..threads {
+                let (ta, tb) = (memmodel::ThreadId(a as u32), memmodel::ThreadId(b as u32));
+                if layout.same_cta(ta, tb) {
+                    cta_pairs.push((thread_atom(ta), thread_atom(tb)));
+                }
+                if layout.same_gpu(ta, tb) {
+                    gpu_pairs.push((thread_atom(ta), thread_atom(tb)));
+                }
+            }
+        }
+        set(&v.same_cta, TupleSet::from_pairs(cta_pairs));
+        set(&v.same_gpu, TupleSet::from_pairs(gpu_pairs));
+        set(
+            &v.threads,
+            TupleSet::from_atoms((e as Atom)..(e + threads + 1) as Atom),
+        );
+        inst
+    }
+}

@@ -166,6 +166,47 @@ where
     (expansion, stats)
 }
 
+/// Enumerates all consistent executions of `program` under `model`.
+///
+/// Both models quantify over the same candidate space (reads-from
+/// choices, partial coherence witnesses that totalize morally strong
+/// write pairs, Fence-SC witnesses) — a deliberate formalization choice
+/// so that verdicts are always compared over identical witness sets
+/// (see [`crate::cumulative`]).
+pub fn enumerate_executions_model(
+    program: &Program,
+    model: crate::cumulative::Model,
+) -> Enumeration {
+    if model == crate::cumulative::Model::Axiomatic {
+        return enumerate_executions(program);
+    }
+    let x = expand(program);
+    let layout = program.layout.clone();
+    let mut buffered: Vec<(Candidate, ValueMap)> = Vec::new();
+    let (mut consistent, mut inconsistent) = (0u64, 0u64);
+    let (expansion, mut stats) = visit_candidates(program, |candidate, _check, values| {
+        let ok = crate::cumulative::check_all_cumulative(&x, &layout, candidate).is_consistent();
+        match (ok, values) {
+            (true, Some(values)) => {
+                consistent += 1;
+                buffered.push((candidate.clone(), values.clone()));
+            }
+            _ => inconsistent += 1,
+        }
+    });
+    stats.consistent = consistent;
+    stats.inconsistent = inconsistent;
+    let executions = buffered
+        .into_iter()
+        .map(|(c, v)| finish(&expansion, c, &v))
+        .collect();
+    Enumeration {
+        expansion,
+        executions,
+        stats,
+    }
+}
+
 /// Enumerates all consistent executions of `program` under the PTX memory
 /// model.
 pub fn enumerate_executions(program: &Program) -> Enumeration {

@@ -16,7 +16,10 @@
 //! * [`enumerate`]: exhaustive enumeration of consistent executions, the
 //!   engine behind the litmus-test runner;
 //! * [`alloy`]: the same model as bounded relational constraints for the
-//!   Kodkod-style model finder, used to verify the scoped C++ mapping.
+//!   Kodkod-style model finder, used to verify the scoped C++ mapping;
+//! * [`cumulative`]: the cumulative-across-scopes draft model
+//!   (`ptx_cummulative.als`), checkable against the same candidate
+//!   executions — the second model of the distinguishing search.
 //!
 //! # Examples
 //!
@@ -48,14 +51,20 @@
 
 pub mod alloy;
 pub mod axioms;
+pub mod cumulative;
 pub mod enumerate;
 pub mod event;
 pub mod exec;
 pub mod inst;
 
 pub use axioms::{check_all, check_axiom, Axiom, AxiomCheck, ALL_AXIOMS};
+pub use cumulative::{
+    check_all_cumulative, CumulativeAxiom, CumulativeCheck, Model, ALL_CUMULATIVE_AXIOMS,
+    ALL_MODELS,
+};
 pub use enumerate::{
-    enumerate_executions, visit_candidates, ConsistentExecution, Enumeration, EnumerationStats,
+    enumerate_executions, enumerate_executions_model, visit_candidates, ConsistentExecution,
+    Enumeration, EnumerationStats,
 };
 pub use event::{expand, Event, EventKind, Expansion};
 pub use exec::{evaluate_values, morally_strong, Candidate, Relations, ValueMap};

@@ -13,7 +13,7 @@
 //! Both are *replies*, not connection errors: a client that sends one
 //! bad line keeps its connection and its queued work.
 
-use litmus::{C11Litmus, PtxLitmus};
+use litmus::{C11Litmus, Model, PtxLitmus};
 use obs::json;
 
 /// Which engine a `run` request wants (PTX tests only; scoped C++
@@ -49,6 +49,9 @@ pub enum Request {
         deadline_ms: Option<u64>,
         /// Engine selection.
         mode: Mode,
+        /// Consistency-model selection (PTX tests only; C++ tests
+        /// ignore it). Defaults to the paper's axiomatic model.
+        model: Model,
     },
     /// Debug: occupy a worker for `ms` milliseconds (requires the
     /// server's `debug_ops`; used by tests to make scheduling
@@ -126,11 +129,24 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, ProtoError)> {
                     ));
                 }
             };
+            let model = match v.get("model").and_then(json::Value::as_str) {
+                None => Model::Axiomatic,
+                Some(token) => match Model::parse(token) {
+                    Some(m) => m,
+                    None => {
+                        return Err((
+                            id,
+                            ProtoError::proto(format!("run: unknown model `{token}`")),
+                        ));
+                    }
+                },
+            };
             Ok(Request::Run {
                 id,
                 source: source.to_string(),
                 deadline_ms,
                 mode,
+                model,
             })
         }
         "sleep" => {
@@ -295,14 +311,31 @@ mod tests {
                 source,
                 deadline_ms,
                 mode,
+                model,
             }) => {
                 assert_eq!(id, Some(3));
                 assert_eq!(source, "PTX t");
                 assert_eq!(deadline_ms, Some(50));
                 assert_eq!(mode, Mode::Sat);
+                assert_eq!(model, Model::Axiomatic, "model defaults to the paper's");
             }
             other => panic!("{other:?}"),
         }
+        match parse_request(
+            "{\"op\":\"run\",\"source\":\"PTX t\",\"model\":\"ptx-cumulative\",\"mode\":\"enum\"}",
+        ) {
+            Ok(Request::Run { mode, model, .. }) => {
+                assert_eq!(mode, Mode::Enum);
+                assert_eq!(model, Model::Cumulative);
+            }
+            other => panic!("{other:?}"),
+        }
+        let (id, err) =
+            parse_request("{\"id\":4,\"op\":\"run\",\"source\":\"PTX t\",\"model\":\"sc\"}")
+                .unwrap_err();
+        assert_eq!(id, Some(4));
+        assert_eq!(err.kind, "proto");
+        assert!(err.message.contains("unknown model"));
         assert!(matches!(
             parse_request("{\"op\":\"ping\"}"),
             Ok(Request::Ping { id: None })

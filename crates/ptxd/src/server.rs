@@ -27,7 +27,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use litmus::sat::{self, SatSession};
-use litmus::{canon, Expectation, PtxLitmus, SatLitmusResult, Signature};
+use litmus::{canon, Expectation, Model, PtxLitmus, SatLitmusResult, Signature};
 use modelfinder::{CancelToken, Options, SessionPool};
 use obs::trace::{Autopsy, Tracer};
 use obs::Registry;
@@ -84,8 +84,13 @@ enum Payload {
     Run {
         test: ParsedTest,
         mode: Mode,
-        /// Universe signature, for PTX SAT jobs — the batching key.
-        sig: Option<Signature>,
+        /// Consistency model (PTX tests; C++ tests ignore it).
+        model: Model,
+        /// (Model, universe signature), for PTX SAT jobs — the batching
+        /// key. Sessions are warm per model *and* signature: the two
+        /// models translate to different axiom clauses, so they must
+        /// never share learnt state.
+        sig: Option<(Model, Signature)>,
     },
     Sleep {
         ms: u64,
@@ -125,7 +130,7 @@ impl LineWriter {
 struct Shared {
     cfg: Config,
     sched: Scheduler<Job>,
-    pool: SessionPool<Signature, SatSession>,
+    pool: SessionPool<(Model, Signature), SatSession>,
     cache: VerdictCache,
     obs: Registry,
     trace: Tracer,
@@ -223,10 +228,10 @@ impl Handle {
         let Ok(test) = proto::parse_source(source) else {
             return false;
         };
-        let (model, canonical) = canonical_of(&test);
+        let (tag, canonical) = canonical_of(&test, Model::Axiomatic);
         self.shared
             .cache
-            .corrupt_for_test(&cache::key_for(model, mode, &canonical))
+            .corrupt_for_test(&cache::key_for(tag, mode, &canonical))
     }
 }
 
@@ -387,6 +392,7 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 source,
                 deadline_ms,
                 mode,
+                model,
             }) => {
                 shared.obs.add("ptxd.requests", 1);
                 match proto::parse_source(&source) {
@@ -396,7 +402,9 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
                     }
                     Ok(test) => {
                         let sig = match (&test, mode) {
-                            (ParsedTest::Ptx(t), Mode::Sat) => Some(sat::signature(&t.program)),
+                            (ParsedTest::Ptx(t), Mode::Sat) => {
+                                Some((model, sat::signature(&t.program)))
+                            }
                             _ => None,
                         };
                         submit(
@@ -405,7 +413,12 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
                             &mut tokens,
                             conn,
                             id,
-                            Payload::Run { test, mode, sig },
+                            Payload::Run {
+                                test,
+                                mode,
+                                model,
+                                sig,
+                            },
                             deadline_ms,
                         );
                     }
@@ -473,9 +486,9 @@ fn handle_job(shared: &Arc<Shared>, job: Job) {
             shared.sched.done();
         }
         Payload::Run { .. } => {
-            // Batching chain: answer the job, then keep pulling
-            // same-signature jobs onto the warm session.
-            let mut slot: Option<(Signature, SatSession)> = None;
+            // Batching chain: answer the job, then keep pulling jobs
+            // with the same (model, signature) onto the warm session.
+            let mut slot: Option<((Model, Signature), SatSession)> = None;
             let mut current = job;
             loop {
                 execute_run(shared, &mut slot, &current);
@@ -541,9 +554,14 @@ fn run_sleep(shared: &Arc<Shared>, job: &Job) {
     ));
 }
 
-fn canonical_of(test: &ParsedTest) -> (&'static str, String) {
+/// The cache-key tag and canonical text for a test. The tag carries the
+/// consistency-model *variant* for PTX tests (`"ptx"` /
+/// `"ptx-cumulative"`), so the same source queried under both models
+/// occupies two distinct cache slots — the verdicts legitimately differ
+/// on distinguishing tests.
+fn canonical_of(test: &ParsedTest, model: Model) -> (&'static str, String) {
     match test {
-        ParsedTest::Ptx(t) => ("ptx", canon::canonical_ptx_text(t)),
+        ParsedTest::Ptx(t) => (model.as_str(), canon::canonical_ptx_text(t)),
         ParsedTest::C11(t) => ("c11", canon::canonical_c11_text(t)),
     }
 }
@@ -556,8 +574,18 @@ fn verdict_for(observable: bool, expectation: Expectation) -> &'static str {
     }
 }
 
-fn execute_run(shared: &Arc<Shared>, slot: &mut Option<(Signature, SatSession)>, job: &Job) {
-    let Payload::Run { test, mode, sig } = &job.payload else {
+fn execute_run(
+    shared: &Arc<Shared>,
+    slot: &mut Option<((Model, Signature), SatSession)>,
+    job: &Job,
+) {
+    let Payload::Run {
+        test,
+        mode,
+        model,
+        sig,
+    } = &job.payload
+    else {
         unreachable!()
     };
     let start = Instant::now();
@@ -590,8 +618,8 @@ fn execute_run(shared: &Arc<Shared>, slot: &mut Option<(Signature, SatSession)>,
         return;
     }
 
-    let (model, canonical) = canonical_of(test);
-    let key = cache::key_for(model, mode.as_str(), &canonical);
+    let (tag, canonical) = canonical_of(test, *model);
+    let key = cache::key_for(tag, mode.as_str(), &canonical);
     match shared.cache.lookup(&key) {
         Lookup::Hit(entry) => {
             shared.obs.add("ptxd.cache_hits", 1);
@@ -630,7 +658,7 @@ fn execute_run(shared: &Arc<Shared>, slot: &mut Option<(Signature, SatSession)>,
             );
         }
         (ParsedTest::Ptx(t), Mode::Enum) => {
-            let r = litmus::run_ptx(t);
+            let r = litmus::run_ptx_model(t, *model);
             finish_enum(
                 shared,
                 job,
@@ -697,15 +725,15 @@ fn finish_enum(
 #[allow(clippy::too_many_arguments)]
 fn run_ptx_sat(
     shared: &Arc<Shared>,
-    slot: &mut Option<(Signature, SatSession)>,
+    slot: &mut Option<((Model, Signature), SatSession)>,
     job: &Job,
     test: &PtxLitmus,
-    sig: Signature,
+    sig: (Model, Signature),
     key: CacheKey,
     start: Instant,
 ) {
     // Reuse the batching slot when it matches; otherwise return it and
-    // check out (or build) a session for this signature.
+    // check out (or build) a session for this (model, signature).
     if slot.as_ref().is_some_and(|(s, _)| *s != sig) {
         let (old_sig, old) = slot.take().expect("checked above");
         shared.pool.checkin(old_sig, old);
@@ -718,7 +746,7 @@ fn run_ptx_sat(
             } else {
                 Options::default()
             };
-            SatSession::with_options(sig, options).expect("internal encoding error")
+            SatSession::with_options_model(sig.1, sig.0, options).expect("internal encoding error")
         });
         *slot = Some((sig, session));
     }

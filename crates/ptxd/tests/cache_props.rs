@@ -107,6 +107,74 @@ fn semantic_changes_miss_the_cache_key() {
         key_for("c11", "sat", &canonical),
         key_for("ptx", "sat", &canonical)
     );
+    assert_ne!(
+        key_for("ptx-cumulative", "sat", &canonical),
+        key_for("ptx", "sat", &canonical),
+        "the consistency-model variant must be in the key"
+    );
+}
+
+/// The bundled CoRR shape, a model-distinguishing test: the axiomatic
+/// model's SC-per-Location forbids the stale second read, while the
+/// cumulative draft's `polocLLH` drops Read→Read program order and
+/// allows it.
+const DISTINGUISHING: &str = "PTX CacheModelProp\n\
+    layout cta_per_thread\n\
+    P0                    | P1                     ;\n\
+    st.relaxed.gpu [x], 1 | ld.relaxed.gpu r0, [x] ;\n\
+                          | ld.weak r1, [x]        ;\n\
+    forbidden: 1:r0=1 /\\ 1:r1=0\n";
+
+/// End-to-end over the wire: the same source queried under the two
+/// consistency models occupies distinct cache slots (no cross-model
+/// cache hit) and gets distinct verdicts on a distinguishing test.
+#[test]
+fn model_variants_get_distinct_keys_and_verdicts() {
+    let escaped = DISTINGUISHING
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+    let handle = common::spawn(Config::default());
+    let mut client = common::connect(&handle);
+
+    let axiomatic = client.run(0, DISTINGUISHING, None).expect("axiomatic run");
+    assert!(axiomatic.ok && !axiomatic.cached);
+    assert_eq!(
+        axiomatic.observable,
+        Some(false),
+        "axiomatic coherence forbids the stale read"
+    );
+
+    client
+        .send_line(&format!(
+            "{{\"id\":1,\"op\":\"run\",\"source\":\"{escaped}\",\"model\":\"ptx-cumulative\"}}"
+        ))
+        .expect("send cumulative run");
+    let cumulative = client.recv().expect("cumulative reply");
+    assert!(cumulative.ok, "cumulative rejected: {:?}", cumulative.error);
+    assert!(
+        !cumulative.cached,
+        "identical text under the other model must not hit the axiomatic entry"
+    );
+    assert_eq!(
+        cumulative.observable,
+        Some(true),
+        "the cumulative draft allows the stale read"
+    );
+
+    // Both entries stay warm side by side: re-asking either model hits.
+    let again = client
+        .run(2, DISTINGUISHING, None)
+        .expect("axiomatic rerun");
+    assert!(again.cached && again.observable == Some(false));
+    client
+        .send_line(&format!(
+            "{{\"id\":3,\"op\":\"run\",\"source\":\"{escaped}\",\"model\":\"ptx-cumulative\"}}"
+        ))
+        .expect("send cumulative rerun");
+    let again = client.recv().expect("cumulative rerun reply");
+    assert!(again.cached && again.observable == Some(true));
+    handle.shutdown();
 }
 
 /// End-to-end over the wire: a noisy variant of an answered test is a

@@ -42,17 +42,20 @@ pub fn bundled_sources() -> Vec<(String, String)> {
 
 /// One `litmus/EXPECTED.txt` row.
 pub struct Expected {
-    /// Bundled file name (`mp.litmus`).
+    /// Litmus file name relative to `litmus/` (`mp.litmus`,
+    /// `synth/….litmus`).
     pub file: String,
     /// Test name inside the file (`MP`).
     pub name: String,
-    /// Whether the tagged outcome is observable per the pinned
-    /// enumeration-oracle column.
+    /// Whether the tagged outcome is observable per the pinned verdict
+    /// column of the server's *default* model (the paper's axiomatic
+    /// model for PTX rows; RC11 for C++ rows).
     pub observable: bool,
 }
 
 /// Parses `litmus/EXPECTED.txt`
-/// (`file name expected=X enum=... sat=... session=... Ok`).
+/// (`file name expected=X ptx=... ptx-cumulative=... Ok`, or `c11=...`
+/// for scoped-C++ rows).
 pub fn expected() -> Vec<Expected> {
     let path = litmus_dir().join("EXPECTED.txt");
     let text = std::fs::read_to_string(&path)
@@ -62,17 +65,17 @@ pub fn expected() -> Vec<Expected> {
         .map(|line| {
             let fields: Vec<&str> = line.split_whitespace().collect();
             assert!(fields.len() >= 4, "short EXPECTED.txt row: {line}");
-            let enum_col = fields
+            let verdict_col = fields
                 .iter()
-                .find_map(|f| f.strip_prefix("enum="))
-                .unwrap_or_else(|| panic!("no enum= column: {line}"));
+                .find_map(|f| f.strip_prefix("ptx=").or_else(|| f.strip_prefix("c11=")))
+                .unwrap_or_else(|| panic!("no ptx=/c11= column: {line}"));
             Expected {
                 file: fields[0].to_string(),
                 name: fields[1].to_string(),
-                observable: match enum_col {
+                observable: match verdict_col {
                     "observable" => true,
                     "never" => false,
-                    other => panic!("unknown enum column `{other}`: {line}"),
+                    other => panic!("unknown verdict column `{other}`: {line}"),
                 },
             }
         })

@@ -30,6 +30,8 @@ bench_rerun="$(mktemp)"
 path_json="$(mktemp)"
 litmus_base="$(mktemp)"
 litmus_rerun="$(mktemp)"
+distill_a="$(mktemp)"
+distill_b="$(mktemp)"
 ptxd_addr="$(mktemp)"
 ptxd_stats="$(mktemp)"
 ptxd_run_a="$(mktemp)"
@@ -41,7 +43,8 @@ cleanup() {
     [ -n "$ptxd_pid" ] && kill "$ptxd_pid" 2> /dev/null
     rm -f "$smoke_json" "$stats_a" "$stats_b" "$stats_inflated" "$trace_json" \
         "$autopsy_json" "$reduce_json" "$bench_base" "$bench_rerun" "$path_json" \
-        "$litmus_base" "$litmus_rerun" "$ptxd_addr" "$ptxd_stats" "$ptxd_run_a" \
+        "$litmus_base" "$litmus_rerun" "$distill_a" "$distill_b" \
+        "$ptxd_addr" "$ptxd_stats" "$ptxd_run_a" \
         "$ptxd_run_b" "$ptxd_base" "$ptxd_rerun"
 }
 trap cleanup EXIT
@@ -143,6 +146,41 @@ cargo run --release --offline -q -p ptxmm-litmus --bin ptxherd -- \
     --bench-json "$litmus_rerun" 2> /dev/null
 grep -E '"name":"(litmus|time\.litmus)\.' BENCH_fig17.json > "$litmus_base"
 scripts/bench_diff.sh "$litmus_base" "$litmus_rerun" | tail -1
+
+# Model-distinguishing smoke: a small ptxdistill sweep must find at
+# least one distinguishing test (every printed line is a synthesized
+# test whose verdicts were re-verified under both models on both
+# engines — the lifter discards anything that fails the round trip),
+# and its stdout must be byte-identical across two runs: the search is
+# seeded and the worker pool must not reorder or drop results.
+echo "== model-distinguishing smoke (ptxdistill --max-bound 4, deterministic) =="
+cargo run --release --offline -q -p ptxmm-litmus --bin ptxdistill -- \
+    --max-bound 4 --witnesses 1 --jobs 2 > "$distill_a" 2> /dev/null
+cargo run --release --offline -q -p ptxmm-litmus --bin ptxdistill -- \
+    --max-bound 4 --witnesses 1 --jobs 2 > "$distill_b" 2> /dev/null
+if ! diff "$distill_a" "$distill_b"; then
+    echo "verify.sh: ptxdistill stdout drifted between two identical runs" >&2
+    exit 1
+fi
+if ! grep -qE 'ptx=(Forbid ptx-cumulative=Allow|Allow ptx-cumulative=Forbid)' "$distill_a"; then
+    echo "verify.sh: ptxdistill found no distinguishing test at bound 4" >&2
+    exit 1
+fi
+grep -qE 'searched [0-9]+ points to bound 4, lifted [0-9]+ tests, [1-9][0-9]* distinguishing' \
+    "$distill_a"
+
+# Synthesized-corpus gate: every checked-in test in litmus/synth/ must
+# have a conformance row in litmus/EXPECTED.txt pinning *both* models'
+# verdicts (the two-column format the conformance sweep regenerates).
+echo "== synthesized-corpus EXPECTED.txt gate =="
+for f in litmus/synth/*.litmus; do
+    name="$(basename "$f")"
+    if ! grep -qE "^synth/$name [^ ]+ expected=[A-Za-z]+ ptx=(observable|never) ptx-cumulative=(observable|never) Ok$" \
+        litmus/EXPECTED.txt; then
+        echo "verify.sh: litmus/EXPECTED.txt is missing a two-model row for synth/$name" >&2
+        exit 1
+    fi
+done
 
 # ptxd service smoke: start the daemon on an ephemeral port, drive it
 # twice with `ptxherd --server` over five bundled litmus files, and
