@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 
-use modelfinder::obs::json;
+use modelfinder::obs::{json, Snapshot};
 
 /// One reply line from the server, decoded.
 #[derive(Debug, Clone, Default)]
@@ -46,6 +46,16 @@ pub struct Reply {
     pub error: Option<String>,
     /// Counters, for `stats` replies.
     pub counters: BTreeMap<String, u64>,
+    /// Full nested snapshot (counters, gauges, histograms, timings),
+    /// for `stats` v2 replies and `watch` baselines.
+    pub snapshot: Option<Snapshot>,
+    /// Snapshot delta since the previous tick, for `watch` replies.
+    pub delta: Option<Snapshot>,
+    /// Tick number, for `watch` replies (0 is the baseline).
+    pub tick: Option<u64>,
+    /// Raw access-log records (one parsed JSON object each), for `log`
+    /// replies.
+    pub records: Option<Vec<json::Value>>,
 }
 
 impl Reply {
@@ -95,6 +105,13 @@ impl Reply {
                 .and_then(json::Value::as_str)
                 .map(String::from),
             counters: BTreeMap::new(),
+            snapshot: v.get("snapshot").and_then(Snapshot::from_json_value),
+            delta: v.get("delta").and_then(Snapshot::from_json_value),
+            tick: v.get("tick").and_then(json::Value::as_u64),
+            records: v
+                .get("records")
+                .and_then(json::Value::as_arr)
+                .map(<[json::Value]>::to_vec),
         };
         if let Some(json::Value::Obj(pairs)) = v.get("counters") {
             for (k, val) in pairs {
@@ -223,10 +240,48 @@ impl ServerClient {
         self.recv()
     }
 
-    /// Fetches the server's counter snapshot.
+    /// Fetches the server's counter snapshot (`stats` v1: a flat
+    /// counter map, kept for old clients).
     pub fn stats(&mut self) -> io::Result<BTreeMap<String, u64>> {
         self.send_line("{\"id\":0,\"op\":\"stats\"}")?;
         Ok(self.recv()?.counters)
+    }
+
+    /// Fetches the server's full telemetry snapshot (`stats` v2:
+    /// counters, sampled gauges, histograms, timings).
+    pub fn stats_v2(&mut self) -> io::Result<Snapshot> {
+        self.send_line("{\"id\":0,\"op\":\"stats\",\"v\":2}")?;
+        let reply = self.recv()?;
+        reply.snapshot.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stats v2 reply carried no snapshot",
+            )
+        })
+    }
+
+    /// Starts a `watch` stream without waiting for any tick: the server
+    /// replies with a tick-0 baseline snapshot, then a snapshot delta
+    /// every `interval_ms` (`count` deltas when given, else until the
+    /// connection drops or the server drains). Read ticks with
+    /// [`ServerClient::recv`].
+    pub fn send_watch(&mut self, id: u64, interval_ms: u64, count: Option<u64>) -> io::Result<()> {
+        let mut line = format!("{{\"id\":{id},\"op\":\"watch\",\"interval_ms\":{interval_ms}");
+        if let Some(n) = count {
+            line.push_str(&format!(",\"count\":{n}"));
+        }
+        line.push('}');
+        self.send_line(&line)
+    }
+
+    /// Fetches the last `n` access-log records from the server's
+    /// in-memory ring (newest last), each as a parsed JSON object.
+    pub fn log_tail(&mut self, n: u64) -> io::Result<Vec<json::Value>> {
+        self.send_line(&format!("{{\"id\":0,\"op\":\"log\",\"n\":{n}}}"))?;
+        let reply = self.recv()?;
+        reply.records.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "log reply carried no records")
+        })
     }
 
     /// Asks the server to drain and shut down; returns its acknowledgement.
@@ -264,9 +319,46 @@ mod tests {
         let stats =
             Reply::from_json("{\"id\":0,\"ok\":true,\"counters\":{\"ptxd.requests\":7}}").unwrap();
         assert_eq!(stats.counters.get("ptxd.requests"), Some(&7));
+        assert!(stats.snapshot.is_none());
 
         assert!(Reply::from_json("not json").is_none());
         assert!(Reply::from_json("{\"id\":1}").is_none(), "ok is mandatory");
+    }
+
+    #[test]
+    fn reply_round_trips_nested_snapshots() {
+        // stats v2: the nested object survives decoding instead of
+        // being flattened away.
+        let line = "{\"id\":0,\"ok\":true,\"v\":2,\"snapshot\":{\
+                    \"counters\":{\"ptxd.requests\":7},\
+                    \"gauges\":{\"ptxd.gauge.queue_depth\":2},\
+                    \"histograms\":{\"ptxd.solve_ns\":[1,900,[[10,1]]]},\
+                    \"notes\":{},\
+                    \"timings\":{\"ptxd.queue_wait\":[1,1500]}}}";
+        let reply = Reply::from_json(line).unwrap();
+        let snap = reply.snapshot.expect("snapshot decoded");
+        assert_eq!(snap.counter("ptxd.requests"), 7);
+        assert_eq!(snap.gauge("ptxd.gauge.queue_depth"), 2);
+        assert_eq!(snap.histograms["ptxd.solve_ns"].p99(), 1023);
+        assert_eq!(snap.timings["ptxd.queue_wait"].count, 1);
+
+        // watch tick: delta plus tick number.
+        let tick = Reply::from_json(
+            "{\"id\":9,\"ok\":true,\"tick\":3,\"delta\":{\"counters\":{\"ptxd.completed\":2}}}",
+        )
+        .unwrap();
+        assert_eq!(tick.tick, Some(3));
+        assert_eq!(tick.delta.unwrap().counter("ptxd.completed"), 2);
+
+        // log: raw records pass through as parsed values.
+        let log =
+            Reply::from_json("{\"id\":0,\"ok\":true,\"records\":[{\"verdict\":\"Ok\"}]}").unwrap();
+        let records = log.records.unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0].get("verdict").and_then(json::Value::as_str),
+            Some("Ok")
+        );
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!
 //! * [`Counter`] — a monotone atomic `u64`, cheap enough to bump on the
 //!   hottest solver paths;
+//! * [`Gauge`] — an atomic last-value `u64` for sampled levels (queue
+//!   depth, warm sessions) that rise and fall rather than accumulate;
 //! * [`Histogram`] — a monotone power-of-two bucket histogram for size
 //!   distributions (learnt-clause lengths, cone sizes);
 //! * [`Span`] — an RAII wall-clock timer that records its duration on
@@ -74,6 +76,31 @@ impl Counter {
     }
 }
 
+/// An atomic last-value gauge handle.
+///
+/// Obtained from [`Registry::gauge`]; cloning shares the underlying
+/// cell. Unlike a [`Counter`], a gauge is *sampled*: [`Gauge::set`]
+/// overwrites the previous value, so snapshots report the most recent
+/// level rather than an accumulated total. Handles from a disabled
+/// registry are inert.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge to `v` (no-op when disabled).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The last value set (0 when disabled or never set).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
 #[derive(Debug)]
 struct HistCell {
     buckets: [AtomicU64; HIST_BUCKETS],
@@ -130,6 +157,7 @@ struct TimingCell {
 #[derive(Debug, Default)]
 struct Inner {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistCell>>>,
     timings: Mutex<BTreeMap<String, TimingCell>>,
     notes: Mutex<BTreeMap<String, String>>,
@@ -202,6 +230,29 @@ impl Registry {
     pub fn add(&self, name: &str, n: u64) {
         if self.enabled() {
             self.counter(name).add(n);
+        }
+    }
+
+    /// The gauge registered under `name`, created at zero on first use.
+    /// Disabled registries return an inert handle without locking.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            None => Gauge(None),
+            Some(inner) => {
+                let mut map = inner.gauges.lock().unwrap();
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+                Gauge(Some(Arc::clone(cell)))
+            }
+        }
+    }
+
+    /// Sets the gauge `name` to `v` (shorthand for one-shot samples;
+    /// periodic samplers should hold a [`Gauge`] handle instead).
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        if self.enabled() {
+            self.gauge(name).set(v);
         }
     }
 
@@ -281,9 +332,9 @@ impl Registry {
     }
 
     /// Folds another registry's contents into this one: counters and
-    /// timings add, histograms add bucket-wise, notes overwrite. Both
-    /// registries stay usable; merging into a disabled registry is a
-    /// no-op.
+    /// timings add, histograms add bucket-wise, gauges and notes
+    /// overwrite (last value wins). Both registries stay usable;
+    /// merging into a disabled registry is a no-op.
     pub fn merge_from(&self, other: &Registry) {
         self.merge_prefixed(other, "");
     }
@@ -298,6 +349,9 @@ impl Registry {
         let snap = other.snapshot();
         for (name, v) in &snap.counters {
             self.counter(&format!("{prefix}{name}")).add(*v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(&format!("{prefix}{name}")).set(*v);
         }
         for (name, t) in &snap.timings {
             if let Some(inner) = &self.inner {
@@ -328,6 +382,10 @@ impl Registry {
         if let Some(inner) = &self.inner {
             for (name, cell) in inner.counters.lock().unwrap().iter() {
                 snap.counters
+                    .insert(name.clone(), cell.load(Ordering::Relaxed));
+            }
+            for (name, cell) in inner.gauges.lock().unwrap().iter() {
+                snap.gauges
                     .insert(name.clone(), cell.load(Ordering::Relaxed));
             }
             for (name, cell) in inner.timings.lock().unwrap().iter() {
@@ -428,6 +486,74 @@ pub struct HistSnap {
     pub buckets: Vec<(u32, u64)>,
 }
 
+impl HistSnap {
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the inclusive upper edge
+    /// of the bucket holding the rank-`ceil(q * count)` observation:
+    /// 0 for the zero bucket, `2^i - 1` for exponent `i`. Resolution is
+    /// therefore one power-of-two bucket — any consumer deriving the
+    /// quantile from the same bucket vector gets the same answer, which
+    /// is how `ptxtop` and the server's own dumps stay in agreement.
+    /// Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(exp, n) in &self.buckets {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_upper_edge(exp);
+            }
+        }
+        u64::MAX
+    }
+
+    /// The median bucket edge; see [`HistSnap::quantile`].
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th-percentile bucket edge; see [`HistSnap::quantile`].
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th-percentile bucket edge; see [`HistSnap::quantile`].
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The mean of all observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// `d` as saturating whole nanoseconds. Durations beyond ~584 years
+/// clamp to `u64::MAX`; JSON consumers additionally round above 2^53,
+/// far past any wall time this workspace records.
+fn total_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Inclusive upper edge of the bucket with exponent `exp`: 0 for the
+/// zero bucket, `2^exp - 1` for exponent `exp >= 1` (saturating at
+/// `u64::MAX` for the top bucket).
+pub fn bucket_upper_edge(exp: u32) -> u64 {
+    if exp == 0 {
+        0
+    } else if exp >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << exp) - 1
+    }
+}
+
 /// A point-in-time copy of a [`Registry`], ready for rendering,
 /// diffing, or assertions. All maps iterate in name order, so exports
 /// are deterministic.
@@ -435,6 +561,8 @@ pub struct HistSnap {
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name (last value sampled).
+    pub gauges: BTreeMap<String, u64>,
     /// Timings by name.
     pub timings: BTreeMap<String, TimingSnap>,
     /// Histograms by name.
@@ -447,6 +575,11 @@ impl Snapshot {
     /// The counter `name`, or 0 when absent.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge `name`, or 0 when absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
     }
 
     /// Total seconds recorded under the timing `name`, or 0 when
@@ -462,6 +595,12 @@ impl Snapshot {
         Snapshot {
             counters: self
                 .counters
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
                 .iter()
                 .filter(|(k, _)| keep(k))
                 .map(|(k, v)| (k.clone(), *v))
@@ -487,6 +626,250 @@ impl Snapshot {
         }
     }
 
+    /// The change from `prev` (an earlier snapshot of the same
+    /// registry) to `self`: counters, timings, and histogram buckets
+    /// subtract (saturating, dropping entries with no change); gauges
+    /// and notes carry `self`'s value only where it differs from
+    /// `prev` (last-value kinds have no meaningful difference).
+    ///
+    /// Deltas are exactly additive over the monotone kinds: for
+    /// snapshots `s0, s1, ..., sn` of one registry,
+    /// `s0 + Σ sᵢ.delta(sᵢ₋₁)` (via [`Snapshot::add_assign`]) equals
+    /// `sn` on counters, timings, and histograms. The `watch` op of
+    /// `ptxd` streams exactly these objects.
+    pub fn delta(&self, prev: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for (name, &v) in &self.counters {
+            let d = v.saturating_sub(prev.counter(name));
+            if d > 0 {
+                out.counters.insert(name.clone(), d);
+            }
+        }
+        for (name, &v) in &self.gauges {
+            if prev.gauges.get(name) != Some(&v) {
+                out.gauges.insert(name.clone(), v);
+            }
+        }
+        for (name, t) in &self.timings {
+            let p = prev.timings.get(name).copied().unwrap_or_default();
+            let d = TimingSnap {
+                count: t.count.saturating_sub(p.count),
+                total: t.total.saturating_sub(p.total),
+            };
+            if d.count > 0 || !d.total.is_zero() {
+                out.timings.insert(name.clone(), d);
+            }
+        }
+        for (name, h) in &self.histograms {
+            let empty = HistSnap::default();
+            let p = prev.histograms.get(name).unwrap_or(&empty);
+            let mut buckets = Vec::new();
+            for &(exp, n) in &h.buckets {
+                let pn = p
+                    .buckets
+                    .iter()
+                    .find(|(pe, _)| *pe == exp)
+                    .map_or(0, |&(_, pn)| pn);
+                let d = n.saturating_sub(pn);
+                if d > 0 {
+                    buckets.push((exp, d));
+                }
+            }
+            let d = HistSnap {
+                count: h.count.saturating_sub(p.count),
+                sum: h.sum.saturating_sub(p.sum),
+                buckets,
+            };
+            if d.count > 0 {
+                out.histograms.insert(name.clone(), d);
+            }
+        }
+        for (name, value) in &self.notes {
+            if prev.notes.get(name) != Some(value) {
+                out.notes.insert(name.clone(), value.clone());
+            }
+        }
+        out
+    }
+
+    /// Folds `other` into `self` with the same semantics as
+    /// [`Registry::merge_from`]: counters and timings add, histograms
+    /// add bucket-wise, gauges and notes overwrite. The inverse of
+    /// [`Snapshot::delta`] for the monotone kinds.
+    pub fn add_assign(&mut self, other: &Snapshot) {
+        for (name, &v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, &v) in &other.gauges {
+            self.gauges.insert(name.clone(), v);
+        }
+        for (name, t) in &other.timings {
+            let cell = self.timings.entry(name.clone()).or_default();
+            cell.count += t.count;
+            cell.total += t.total;
+        }
+        for (name, h) in &other.histograms {
+            let cell = self.histograms.entry(name.clone()).or_default();
+            cell.count += h.count;
+            cell.sum += h.sum;
+            for &(exp, n) in &h.buckets {
+                match cell.buckets.iter_mut().find(|(e, _)| *e == exp) {
+                    Some((_, existing)) => *existing += n,
+                    None => cell.buckets.push((exp, n)),
+                }
+            }
+            cell.buckets.sort_unstable_by_key(|&(e, _)| e);
+        }
+        for (name, value) in &other.notes {
+            self.notes.insert(name.clone(), value.clone());
+        }
+    }
+
+    /// The snapshot as one deterministic JSON object — the wire shape
+    /// of `ptxd`'s `stats` v2 reply and `watch` deltas. Schema-stable:
+    /// all five keys always present, alphabetical, maps in name order,
+    /// durations as exact integer nanoseconds (so deltas stay
+    /// additive):
+    ///
+    /// ```text
+    /// {"counters":{"a":1},
+    ///  "gauges":{"g":3},
+    ///  "histograms":{"h":[count,sum,[[exp,n],...]]},
+    ///  "notes":{"k":"v"},
+    ///  "timings":{"t":[count,total_ns]}}
+    /// ```
+    pub fn to_json_object(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_into(&mut out, name);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_into(&mut out, name);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_into(&mut out, name);
+            let _ = write!(out, ":[{},{},[", h.count, h.sum);
+            for (j, (exp, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{exp},{n}]");
+            }
+            out.push_str("]]");
+        }
+        out.push_str("},\"notes\":{");
+        for (i, (name, value)) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_into(&mut out, name);
+            out.push(':');
+            json::escape_into(&mut out, value);
+        }
+        out.push_str("},\"timings\":{");
+        for (i, (name, t)) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_into(&mut out, name);
+            let _ = write!(out, ":[{},{}]", t.count, total_ns(t.total));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses the [`Snapshot::to_json_object`] shape back into a
+    /// snapshot. Missing keys parse as empty maps; malformed entries
+    /// reject the whole object.
+    pub fn from_json(text: &str) -> Option<Snapshot> {
+        Snapshot::from_json_value(&json::parse(text)?)
+    }
+
+    /// Like [`Snapshot::from_json`], for an already-parsed value —
+    /// how `litmus::client` decodes the `snapshot`/`delta` fields of
+    /// `stats` v2 and `watch` replies.
+    pub fn from_json_value(v: &json::Value) -> Option<Snapshot> {
+        let mut snap = Snapshot::default();
+        if let Some(json::Value::Obj(entries)) = v.get("counters") {
+            for (name, v) in entries {
+                snap.counters.insert(name.clone(), v.as_u64()?);
+            }
+        }
+        if let Some(json::Value::Obj(entries)) = v.get("gauges") {
+            for (name, v) in entries {
+                snap.gauges.insert(name.clone(), v.as_u64()?);
+            }
+        }
+        if let Some(json::Value::Obj(entries)) = v.get("histograms") {
+            for (name, v) in entries {
+                let json::Value::Arr(parts) = v else {
+                    return None;
+                };
+                let [count, sum, json::Value::Arr(bucket_vals)] = parts.as_slice() else {
+                    return None;
+                };
+                let mut buckets = Vec::new();
+                for b in bucket_vals {
+                    let json::Value::Arr(pair) = b else {
+                        return None;
+                    };
+                    let [exp, n] = pair.as_slice() else {
+                        return None;
+                    };
+                    buckets.push((u32::try_from(exp.as_u64()?).ok()?, n.as_u64()?));
+                }
+                snap.histograms.insert(
+                    name.clone(),
+                    HistSnap {
+                        count: count.as_u64()?,
+                        sum: sum.as_u64()?,
+                        buckets,
+                    },
+                );
+            }
+        }
+        if let Some(json::Value::Obj(entries)) = v.get("notes") {
+            for (name, v) in entries {
+                let json::Value::Str(s) = v else {
+                    return None;
+                };
+                snap.notes.insert(name.clone(), s.clone());
+            }
+        }
+        if let Some(json::Value::Obj(entries)) = v.get("timings") {
+            for (name, v) in entries {
+                let json::Value::Arr(parts) = v else {
+                    return None;
+                };
+                let [count, ns] = parts.as_slice() else {
+                    return None;
+                };
+                snap.timings.insert(
+                    name.clone(),
+                    TimingSnap {
+                        count: count.as_u64()?,
+                        total: Duration::from_nanos(ns.as_u64()?),
+                    },
+                );
+            }
+        }
+        Some(snap)
+    }
+
     /// The stats export schema: one JSON object per line, in a fixed
     /// key order with no extraneous whitespace so line-oriented tools
     /// (`scripts/bench_diff.sh`) can parse it with `sed`.
@@ -494,9 +877,13 @@ impl Snapshot {
     /// ```text
     /// {"kind":"note","name":"benchmark","value":"fig17"}
     /// {"kind":"counter","name":"solver.conflicts","value":42}
+    /// {"kind":"gauge","name":"ptxd.gauge.queue_depth","value":3}
     /// {"kind":"timing","name":"time.solve","count":3,"total_secs":0.001234}
     /// {"kind":"histogram","name":"learnt.len","count":5,"sum":17,"buckets":[[2,3],[3,2]]}
     /// ```
+    ///
+    /// `gauge` lines are last-value samples (not monotone) and, like
+    /// timings, are excluded from exact comparisons.
     ///
     /// `counter` values (and histogram contents) are deterministic for
     /// fixed-seed single-job runs; `timing` entries are wall-clock and
@@ -512,6 +899,12 @@ impl Snapshot {
         }
         for (name, value) in &self.counters {
             out.push_str("{\"kind\":\"counter\",\"name\":");
+            json::escape_into(&mut out, name);
+            let _ = write!(out, ",\"value\":{value}}}");
+            out.push('\n');
+        }
+        for (name, value) in &self.gauges {
+            out.push_str("{\"kind\":\"gauge\",\"name\":");
             json::escape_into(&mut out, name);
             let _ = write!(out, ",\"value\":{value}}}");
             out.push('\n');
@@ -568,6 +961,19 @@ impl Snapshot {
                 .unwrap_or(0);
             out.push_str("counters\n");
             for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<w$}  {value:>vw$}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let w = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            let vw = self
+                .gauges
+                .values()
+                .map(|v| v.to_string().len())
+                .max()
+                .unwrap_or(0);
+            out.push_str("gauges\n");
+            for (name, value) in &self.gauges {
                 let _ = writeln!(out, "  {name:<w$}  {value:>vw$}");
             }
         }
@@ -741,5 +1147,147 @@ mod tests {
     fn child_mirrors_enablement() {
         assert!(Registry::new().child().enabled());
         assert!(!Registry::disabled().child().enabled());
+    }
+
+    #[test]
+    fn gauges_keep_the_last_value() {
+        let reg = Registry::new();
+        let g = reg.gauge("queue_depth");
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        reg.set_gauge("queue_depth", 11);
+        assert_eq!(reg.snapshot().gauge("queue_depth"), 11);
+        assert_eq!(reg.snapshot().gauge("absent"), 0);
+
+        // Disabled registries hand out inert gauges.
+        let off = Registry::disabled().gauge("x");
+        off.set(9);
+        assert_eq!(off.get(), 0);
+
+        // Merging overwrites rather than adds.
+        let other = Registry::new();
+        other.set_gauge("queue_depth", 2);
+        reg.merge_from(&other);
+        assert_eq!(reg.snapshot().gauge("queue_depth"), 2);
+    }
+
+    #[test]
+    fn gauges_render_in_jsonl_and_table() {
+        let reg = Registry::new();
+        reg.set_gauge("g", 5);
+        reg.add("c", 1);
+        assert_eq!(
+            reg.to_jsonl(),
+            "{\"kind\":\"counter\",\"name\":\"c\",\"value\":1}\n\
+             {\"kind\":\"gauge\",\"name\":\"g\",\"value\":5}\n"
+        );
+        let table = reg.render_table();
+        assert!(table.contains("gauges\n  g  5\n"), "table: {table}");
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_edges() {
+        let empty = HistSnap::default();
+        assert_eq!(empty.p50(), 0);
+
+        let reg = Registry::new();
+        // 10 observations: 5 zeros, 4 in [4,8), 1 in [1024,2048).
+        for _ in 0..5 {
+            reg.observe("lat", 0);
+        }
+        for _ in 0..4 {
+            reg.observe("lat", 5);
+        }
+        reg.observe("lat", 1500);
+        let snap = reg.snapshot();
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.p50(), 0); // rank 5 of 10 lands in the zero bucket
+        assert_eq!(h.p90(), 7); // rank 9 lands in [4,8) -> edge 2^3 - 1
+        assert_eq!(h.p99(), 2047); // rank 10 lands in [1024,2048)
+        assert_eq!(h.quantile(1.0), 2047);
+        assert!((h.mean() - 152.0).abs() < 1e-9);
+
+        assert_eq!(bucket_upper_edge(0), 0);
+        assert_eq!(bucket_upper_edge(1), 1);
+        assert_eq!(bucket_upper_edge(11), 2047);
+        assert_eq!(bucket_upper_edge(64), u64::MAX);
+    }
+
+    #[test]
+    fn json_object_round_trips() {
+        let reg = Registry::new();
+        reg.add("a.count", 2);
+        reg.set_gauge("depth", 4);
+        reg.observe("h", 3);
+        reg.observe("h", 900);
+        reg.record_duration("t", Duration::from_nanos(1_234_567));
+        reg.note("bench \"q\"", "v\n2");
+        let snap = reg.snapshot();
+        let text = snap.to_json_object();
+        assert_eq!(
+            text,
+            "{\"counters\":{\"a.count\":2},\
+             \"gauges\":{\"depth\":4},\
+             \"histograms\":{\"h\":[2,903,[[2,1],[10,1]]]},\
+             \"notes\":{\"bench \\\"q\\\"\":\"v\\n2\"},\
+             \"timings\":{\"t\":[1,1234567]}}"
+        );
+        assert_eq!(Snapshot::from_json(&text).as_ref(), Some(&snap));
+
+        // An empty snapshot still carries every key.
+        let empty = Snapshot::default().to_json_object();
+        assert_eq!(
+            empty,
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"notes\":{},\"timings\":{}}"
+        );
+        assert_eq!(Snapshot::from_json(&empty), Some(Snapshot::default()));
+        assert_eq!(Snapshot::from_json("{\"counters\":{\"a\":-1}}"), None);
+        assert_eq!(Snapshot::from_json("nonsense"), None);
+    }
+
+    #[test]
+    fn deltas_are_additive_over_monotone_kinds() {
+        let reg = Registry::new();
+        reg.add("c", 1);
+        reg.observe("h", 2);
+        reg.record_duration("t", Duration::from_micros(10));
+        reg.set_gauge("g", 5);
+        let s0 = reg.snapshot();
+
+        reg.add("c", 4);
+        reg.add("c2", 1);
+        reg.observe("h", 2);
+        reg.observe("h", 70);
+        reg.record_duration("t", Duration::from_micros(7));
+        reg.set_gauge("g", 2);
+        let s1 = reg.snapshot();
+
+        reg.add("c", 1);
+        let s2 = reg.snapshot();
+
+        let d1 = s1.delta(&s0);
+        assert_eq!(d1.counter("c"), 4);
+        assert_eq!(d1.counter("c2"), 1);
+        assert_eq!(d1.histograms["h"].count, 2);
+        assert_eq!(d1.histograms["h"].sum, 72);
+        assert_eq!(d1.gauge("g"), 2); // changed -> carried
+        let d2 = s2.delta(&s1);
+        assert!(d2.gauges.is_empty()); // unchanged -> dropped
+        assert!(d2.histograms.is_empty());
+        assert_eq!(d2.counter("c"), 1);
+
+        // s0 + d1 + d2 == s2 on counters, timings, histograms.
+        let mut total = s0.clone();
+        total.add_assign(&d1);
+        total.add_assign(&d2);
+        assert_eq!(total.counters, s2.counters);
+        assert_eq!(total.timings, s2.timings);
+        assert_eq!(total.histograms, s2.histograms);
+        assert_eq!(total.gauges, s2.gauges);
+
+        // A self-delta is empty.
+        let idle = s2.delta(&s2);
+        assert_eq!(idle, Snapshot::default());
     }
 }

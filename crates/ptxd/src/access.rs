@@ -1,0 +1,278 @@
+//! The per-request access log: one JSONL record per `run` request.
+//!
+//! Counters say *how much*; the access log says *which request*. Every
+//! `run` request — answered, shed, or rejected at parse — produces
+//! exactly one record carrying its identity (request id, connection,
+//! peer address, test name), its routing (model tag, engine mode,
+//! universe signature), and its fate (cache outcome, queue-wait and
+//! solve nanoseconds, verdict, disposition). Records flow to two
+//! sinks: an append-only JSONL file (`--access-log PATH`, written and
+//! flushed per record so a crash loses nothing), and a bounded
+//! in-memory ring served to clients by the `log` op — which is what
+//! lets `ptxtop` attribute recent latency to universe signatures on a
+//! live server.
+//!
+//! Record schema (fixed key order, one object per line):
+//!
+//! ```text
+//! {"ts_ms":12,"id":7,"conn":0,"addr":"127.0.0.1:51044","name":"MP",
+//!  "model":"ptx","mode":"sat","sig":"e6t2l2","cache":"miss",
+//!  "queue_wait_ns":18500,"solve_ns":2150000,"verdict":"Ok",
+//!  "disposition":"ok"}
+//! ```
+//!
+//! `ts_ms` is milliseconds since the server started (monotonic, not
+//! wall clock). `id` and `sig` are `null` when absent. `cache` is
+//! `hit` / `miss` / `invalid` / `none` (the query never reached the
+//! cache). `disposition` is `ok` / `shed` / `draining` / `timeout` /
+//! `cancelled` / `parse-error` / `internal-error`; `verdict` is `-`
+//! whenever no verdict was produced.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::sync::Mutex;
+
+use obs::json;
+
+/// One access-log record, borrowed from the request that produced it.
+#[derive(Debug, Clone, Copy)]
+pub struct Record<'a> {
+    /// Milliseconds since the server started.
+    pub ts_ms: u64,
+    /// Client-chosen request id, if the request carried one.
+    pub id: Option<u64>,
+    /// Server-assigned connection number.
+    pub conn: u64,
+    /// Peer address (`host:port`).
+    pub addr: &'a str,
+    /// Test name (`?` when the source never parsed).
+    pub name: &'a str,
+    /// Cache-key model tag (`ptx` / `ptx-cumulative` / `c11`).
+    pub model: &'a str,
+    /// Engine mode (`sat` / `enum`).
+    pub mode: &'a str,
+    /// Universe signature (`e<events>t<threads>l<locs>`), PTX SAT jobs
+    /// only.
+    pub sig: Option<&'a str>,
+    /// Cache outcome: `hit` / `miss` / `invalid` / `none`.
+    pub cache: &'a str,
+    /// Enqueue→dispatch nanoseconds (0 when never enqueued).
+    pub queue_wait_ns: u64,
+    /// Dispatch→reply nanoseconds (0 when never dispatched).
+    pub solve_ns: u64,
+    /// `Ok` / `FAILED` / `Unknown`, or `-` when none was produced.
+    pub verdict: &'a str,
+    /// How the request left the server: `ok` / `shed` / `draining` /
+    /// `timeout` / `cancelled` / `parse-error` / `internal-error`.
+    pub disposition: &'a str,
+}
+
+impl Record<'_> {
+    /// The record as one JSON object (no trailing newline), fixed key
+    /// order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        let _ = write!(out, "{{\"ts_ms\":{}", self.ts_ms);
+        match self.id {
+            Some(id) => {
+                let _ = write!(out, ",\"id\":{id}");
+            }
+            None => out.push_str(",\"id\":null"),
+        }
+        let _ = write!(out, ",\"conn\":{},\"addr\":", self.conn);
+        json::escape_into(&mut out, self.addr);
+        out.push_str(",\"name\":");
+        json::escape_into(&mut out, self.name);
+        let _ = write!(
+            out,
+            ",\"model\":\"{}\",\"mode\":\"{}\"",
+            self.model, self.mode
+        );
+        match self.sig {
+            Some(sig) => {
+                out.push_str(",\"sig\":");
+                json::escape_into(&mut out, sig);
+            }
+            None => out.push_str(",\"sig\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"cache\":\"{}\",\"queue_wait_ns\":{},\"solve_ns\":{},\
+             \"verdict\":\"{}\",\"disposition\":\"{}\"}}",
+            self.cache, self.queue_wait_ns, self.solve_ns, self.verdict, self.disposition
+        );
+        out
+    }
+}
+
+struct Sinks {
+    file: Option<File>,
+    ring: VecDeque<String>,
+    written: u64,
+}
+
+/// The access log: an optional append-only JSONL file plus a bounded
+/// in-memory ring of the newest records. Thread-safe; workers record
+/// concurrently.
+pub struct AccessLog {
+    sinks: Mutex<Sinks>,
+    ring_cap: usize,
+}
+
+impl AccessLog {
+    /// Opens the log. `path` is created (or appended to) eagerly so a
+    /// bad path fails server startup, not the first request;
+    /// `ring_cap` bounds the in-memory ring (0 disables it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-open failure.
+    pub fn open(path: Option<&str>, ring_cap: usize) -> io::Result<AccessLog> {
+        let file = match path {
+            None => None,
+            Some(p) => Some(OpenOptions::new().create(true).append(true).open(p)?),
+        };
+        Ok(AccessLog {
+            sinks: Mutex::new(Sinks {
+                file,
+                ring: VecDeque::new(),
+                written: 0,
+            }),
+            ring_cap,
+        })
+    }
+
+    /// Appends one record to the file (one write per line, so lines
+    /// from concurrent workers never interleave) and the ring.
+    pub fn record(&self, r: &Record<'_>) {
+        let mut line = r.to_json();
+        let mut sinks = self.sinks.lock().unwrap();
+        sinks.written += 1;
+        if let Some(file) = &mut sinks.file {
+            line.push('\n');
+            // A full disk is not worth crashing the service; the ring
+            // and counters still carry the record.
+            let _ = file.write_all(line.as_bytes());
+            line.pop();
+        }
+        if self.ring_cap > 0 {
+            if sinks.ring.len() == self.ring_cap {
+                sinks.ring.pop_front();
+            }
+            sinks.ring.push_back(line);
+        }
+    }
+
+    /// The newest `n` ring records, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<String> {
+        let sinks = self.sinks.lock().unwrap();
+        let skip = sinks.ring.len().saturating_sub(n);
+        sinks.ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Total records ever recorded (not capped by the ring).
+    pub fn written(&self) -> u64 {
+        self.sinks.lock().unwrap().written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record<'a>(id: u64, name: &'a str) -> Record<'a> {
+        Record {
+            ts_ms: 5,
+            id: Some(id),
+            conn: 0,
+            addr: "127.0.0.1:9",
+            name,
+            model: "ptx",
+            mode: "sat",
+            sig: Some("e6t2l2"),
+            cache: "miss",
+            queue_wait_ns: 100,
+            solve_ns: 2000,
+            verdict: "Ok",
+            disposition: "ok",
+        }
+    }
+
+    #[test]
+    fn records_serialize_stably_and_parse() {
+        let r = record(7, "MP \"q\"");
+        let line = r.to_json();
+        assert_eq!(
+            line,
+            "{\"ts_ms\":5,\"id\":7,\"conn\":0,\"addr\":\"127.0.0.1:9\",\
+             \"name\":\"MP \\\"q\\\"\",\"model\":\"ptx\",\"mode\":\"sat\",\
+             \"sig\":\"e6t2l2\",\"cache\":\"miss\",\"queue_wait_ns\":100,\
+             \"solve_ns\":2000,\"verdict\":\"Ok\",\"disposition\":\"ok\"}"
+        );
+        let v = json::parse(&line).expect("record parses");
+        assert_eq!(v.get("id").and_then(json::Value::as_u64), Some(7));
+        assert_eq!(
+            v.get("name").and_then(json::Value::as_str),
+            Some("MP \"q\"")
+        );
+
+        // Absent id and sig serialize as null.
+        let anon = Record {
+            id: None,
+            sig: None,
+            ..record(0, "?")
+        };
+        let v = json::parse(&anon.to_json()).expect("anon record parses");
+        assert_eq!(v.get("id"), Some(&json::Value::Null));
+        assert_eq!(v.get("sig"), Some(&json::Value::Null));
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_records() {
+        let log = AccessLog::open(None, 3).unwrap();
+        for i in 0..5 {
+            log.record(&record(i, "t"));
+        }
+        assert_eq!(log.written(), 5);
+        let tail = log.tail(10);
+        assert_eq!(tail.len(), 3, "ring is bounded");
+        let first = json::parse(&tail[0]).unwrap();
+        assert_eq!(first.get("id").and_then(json::Value::as_u64), Some(2));
+        let tail1 = log.tail(1);
+        assert_eq!(tail1.len(), 1);
+        let last = json::parse(&tail1[0]).unwrap();
+        assert_eq!(last.get("id").and_then(json::Value::as_u64), Some(4));
+    }
+
+    #[test]
+    fn file_sink_appends_one_line_per_record() {
+        let path =
+            std::env::temp_dir().join(format!("ptxd-access-test-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = AccessLog::open(Some(path_str), 2).unwrap();
+            log.record(&record(1, "a"));
+            log.record(&record(2, "b"));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(json::parse(line).is_some(), "line parses: {line}");
+        }
+        // Reopen appends rather than truncates.
+        {
+            let log = AccessLog::open(Some(path_str), 2).unwrap();
+            log.record(&record(3, "c"));
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3);
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            AccessLog::open(Some("/nonexistent-dir-zzz/x.jsonl"), 2).is_err(),
+            "bad path fails at open"
+        );
+    }
+}

@@ -82,6 +82,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse()
                     .map_err(|_| format!("bad --cache-cap value `{v}`"))?;
             }
+            "--access-log" => {
+                cli.cfg.access_log = Some(it.next().ok_or("--access-log needs a path")?.clone());
+            }
+            "--log-ring" => {
+                let v = it.next().ok_or("--log-ring needs a value")?;
+                cli.cfg.log_ring = v
+                    .parse()
+                    .map_err(|_| format!("bad --log-ring value `{v}`"))?;
+            }
             "--certify" => cli.cfg.certify = true,
             "--debug-ops" => cli.cfg.debug_ops = true,
             "--stats-json" => {
@@ -106,7 +115,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!(
                 "ptxd: {e}\nusage: ptxd [--listen ADDR] [--port-file PATH] [--jobs N] \
-                 [--queue-bound N] [--fair-cap N] [--cache-cap N] [--certify] \
+                 [--queue-bound N] [--fair-cap N] [--cache-cap N] \
+                 [--access-log PATH] [--log-ring N] [--certify] \
                  [--debug-ops] [--stats-json PATH] [--trace-out PATH] | --bench-json PATH"
             );
             return ExitCode::FAILURE;
@@ -305,11 +315,17 @@ fn run_bench(path: &str) -> Result<(), String> {
     reg.record_duration("time.ptxd.suite.cold", cold_wall);
     reg.record_duration("time.ptxd.suite.warm", warm_wall);
     // Only the deterministic service counters join the gated bench
-    // rows; solver-side counters are covered by the ptxherd bench, and
+    // rows; solver-side counters are covered by the ptxherd bench,
     // `batched`/`pool.reused` depend on whether the worker's batch scan
-    // wins the race against the client's next send.
+    // wins the race against the client's next send, and the sampled
+    // gauges and latency histograms vary run to run.
     let service = snapshot.filtered(|name| {
-        name.starts_with("ptxd.") && name != "ptxd.batched" && name != "ptxd.pool.reused"
+        name.starts_with("ptxd.")
+            && !name.starts_with("ptxd.gauge.")
+            && name != "ptxd.batched"
+            && name != "ptxd.pool.reused"
+            && name != "ptxd.queue_wait_ns"
+            && name != "ptxd.solve_ns"
     });
     let mut out = reg.snapshot().to_jsonl();
     out.push_str(&service.to_jsonl());

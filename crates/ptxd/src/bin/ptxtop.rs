@@ -1,0 +1,411 @@
+//! `ptxtop` — a live dashboard for a running `ptxd`.
+//!
+//! ```text
+//! ptxtop 127.0.0.1:7447 --once            # one frame, then exit
+//! ptxtop 127.0.0.1:7447 --interval 1000   # refreshing dashboard
+//! ptxtop --check-log /tmp/access.jsonl    # validate an access log
+//! ```
+//!
+//! The dashboard is computed entirely from the server's public
+//! telemetry ops: `stats` v2 (or a `watch` stream of snapshot deltas)
+//! supplies the counters, sampled gauges, and latency histograms;
+//! the `log` op supplies the recent access-log records that drive the
+//! recent-cache-ratio and top-signature panels. Percentiles are the
+//! same bucket upper edges the server would report — both sides call
+//! `obs::HistSnap::quantile`, so they agree by construction (±one
+//! power-of-two bucket of resolution).
+//!
+//! In watch mode the client accumulates `total = baseline + Σdeltas`
+//! with `Snapshot::add_assign`; the per-interval rate row comes from
+//! the newest delta alone. `--check-log PATH` is an offline mode:
+//! parse every line of an access-log file with the same `obs::json`
+//! parser the service uses, verify the record schema, and print the
+//! record count — scripts use it to assert the log round-trips.
+
+use std::process::ExitCode;
+
+use litmus::ServerClient;
+use modelfinder::obs::{json, Snapshot};
+
+struct Args {
+    addr: Option<String>,
+    once: bool,
+    interval_ms: u64,
+    count: Option<u64>,
+    recent: usize,
+    check_log: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        addr: None,
+        once: false,
+        interval_ms: 1000,
+        count: None,
+        recent: 64,
+        check_log: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => out.once = true,
+            "--interval" => {
+                let v = it.next().ok_or("--interval needs milliseconds")?;
+                out.interval_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --interval value `{v}`"))?;
+            }
+            "--count" => {
+                let v = it.next().ok_or("--count needs a value")?;
+                out.count = Some(v.parse().map_err(|_| format!("bad --count value `{v}`"))?);
+            }
+            "--recent" => {
+                let v = it.next().ok_or("--recent needs a value")?;
+                out.recent = v.parse().map_err(|_| format!("bad --recent value `{v}`"))?;
+            }
+            "--check-log" => {
+                out.check_log = Some(it.next().ok_or("--check-log needs a path")?.clone());
+            }
+            other if !other.starts_with('-') && out.addr.is_none() => {
+                out.addr = Some(other.to_string());
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if out.check_log.is_none() && out.addr.is_none() {
+        return Err("need a server address (host:port) or --check-log PATH".to_string());
+    }
+    Ok(out)
+}
+
+/// Nanoseconds, humanized (`850ns`, `4.2us`, `1.3ms`, `2.50s`).
+fn fmt_ns(ns: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let n = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", n / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", n / 1e6)
+    } else {
+        format!("{:.2}s", n / 1e9)
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The fields `ptxtop` reads from one access-log record.
+struct LogRec<'a> {
+    sig: Option<&'a str>,
+    cache: &'a str,
+    solve_ns: u64,
+}
+
+fn decode_rec(v: &json::Value) -> Option<LogRec<'_>> {
+    Some(LogRec {
+        sig: v.get("sig").and_then(json::Value::as_str),
+        cache: v.get("cache").and_then(json::Value::as_str)?,
+        solve_ns: v.get("solve_ns").and_then(json::Value::as_u64)?,
+    })
+}
+
+/// Renders one dashboard frame. `last` carries the newest watch delta
+/// and the tick interval for the per-interval rate row.
+fn render(
+    snap: &Snapshot,
+    records: &[json::Value],
+    recent: usize,
+    last: Option<(&Snapshot, u64)>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+
+    let uptime_ms = snap.gauge("ptxd.gauge.uptime_ms").max(1);
+    let completed = snap.counter("ptxd.completed");
+    let requests = snap.counter("ptxd.requests");
+    let shed = snap.counter("ptxd.shed");
+    #[allow(clippy::cast_precision_loss)]
+    let rps = completed as f64 * 1000.0 / uptime_ms as f64;
+    let _ = writeln!(
+        out,
+        "ptxd up {:.1}s  requests {requests}  rps {rps:.2}  shed {:.1}%  \
+         queue {}  inflight {}  sessions {}  cache {}",
+        uptime_ms as f64 / 1000.0,
+        100.0 * ratio(shed, requests),
+        snap.gauge("ptxd.gauge.queue_depth"),
+        snap.gauge("ptxd.gauge.inflight"),
+        snap.gauge("ptxd.gauge.warm_sessions"),
+        snap.gauge("ptxd.gauge.cache_entries"),
+    );
+    if let Some((delta, interval_ms)) = last {
+        #[allow(clippy::cast_precision_loss)]
+        let tick_rps = delta.counter("ptxd.completed") as f64 * 1000.0 / interval_ms.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "this tick: rps {tick_rps:.2}  completed {}  shed {}",
+            delta.counter("ptxd.completed"),
+            delta.counter("ptxd.shed"),
+        );
+    }
+
+    let hits = snap.counter("ptxd.cache_hits");
+    let lookups = hits + snap.counter("ptxd.cache_misses") + snap.counter("ptxd.cache_invalid");
+    let recs: Vec<LogRec<'_>> = records.iter().filter_map(decode_rec).collect();
+    let tail = &recs[recs.len().saturating_sub(recent)..];
+    let recent_lookups = tail.iter().filter(|r| r.cache != "none").count() as u64;
+    let recent_hits = tail.iter().filter(|r| r.cache == "hit").count() as u64;
+    let _ = writeln!(
+        out,
+        "cache hit ratio: lifetime {:.1}% ({hits}/{lookups})  \
+         recent {:.1}% ({recent_hits}/{recent_lookups})",
+        100.0 * ratio(hits, lookups),
+        100.0 * ratio(recent_hits, recent_lookups),
+    );
+
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>9} {:>9} {:>9}",
+        "latency", "count", "p50", "p90", "p99"
+    );
+    for (label, name) in [
+        ("queue_wait", "ptxd.queue_wait_ns"),
+        ("solve", "ptxd.solve_ns"),
+    ] {
+        if let Some(h) = snap.histograms.get(name) {
+            let _ = writeln!(
+                out,
+                "{label:<14} {:>8} {:>9} {:>9} {:>9}",
+                h.count,
+                fmt_ns(h.p50()),
+                fmt_ns(h.p90()),
+                fmt_ns(h.p99()),
+            );
+        }
+    }
+
+    // Verdict counters, grouped per model tag:
+    // `ptxd.verdict.<tag>.<verdict>`.
+    let mut by_tag: std::collections::BTreeMap<&str, Vec<(&str, u64)>> = Default::default();
+    for (name, &n) in &snap.counters {
+        if let Some(rest) = name.strip_prefix("ptxd.verdict.") {
+            if let Some((tag, verdict)) = rest.split_once('.') {
+                by_tag.entry(tag).or_default().push((verdict, n));
+            }
+        }
+    }
+    for (tag, verdicts) in &by_tag {
+        let _ = write!(out, "verdicts {tag:<14}");
+        for (verdict, n) in verdicts {
+            let _ = write!(out, " {verdict}={n}");
+        }
+        out.push('\n');
+    }
+
+    // Top universe signatures by summed solve time over the record tail.
+    let mut by_sig: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+    for r in tail {
+        if let Some(sig) = r.sig {
+            let slot = by_sig.entry(sig).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += r.solve_ns;
+        }
+    }
+    let mut sigs: Vec<(&str, (u64, u64))> = by_sig.into_iter().collect();
+    sigs.sort_by_key(|&(_, (_, ns))| std::cmp::Reverse(ns));
+    if !sigs.is_empty() {
+        let _ = writeln!(
+            out,
+            "top signatures by solve time (last {} records):",
+            tail.len()
+        );
+        for (sig, (runs, ns)) in sigs.iter().take(5) {
+            let _ = writeln!(out, "  {sig:<12} {runs:>4} runs {:>10}", fmt_ns(*ns));
+        }
+    }
+    out
+}
+
+/// Offline access-log validation: every line must parse with the
+/// service's own JSON parser and carry the record schema.
+fn check_log(path: &str) -> Result<u64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut count = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let v = json::parse(line).ok_or_else(|| format!("{path}:{}: unparseable", i + 1))?;
+        for key in [
+            "ts_ms",
+            "id",
+            "conn",
+            "addr",
+            "name",
+            "model",
+            "mode",
+            "sig",
+            "cache",
+            "queue_wait_ns",
+            "solve_ns",
+            "verdict",
+            "disposition",
+        ] {
+            if v.get(key).is_none() {
+                return Err(format!("{path}:{}: record is missing `{key}`", i + 1));
+            }
+        }
+        if decode_rec(&v).is_none() {
+            return Err(format!("{path}:{}: malformed field types", i + 1));
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    if let Some(path) = &args.check_log {
+        let n = check_log(path)?;
+        println!("ptxtop: {path}: {n} records, all parse");
+        return Ok(());
+    }
+    let addr = args.addr.as_deref().expect("checked in parse_args");
+    let mut client =
+        ServerClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    let fetch_records = |c: &mut ServerClient, n: usize| -> Result<Vec<json::Value>, String> {
+        c.log_tail(n as u64)
+            .map_err(|e| format!("log op failed: {e}"))
+    };
+
+    if args.once {
+        let snap = client
+            .stats_v2()
+            .map_err(|e| format!("stats v2 failed: {e}"))?;
+        let records = fetch_records(&mut client, args.recent)?;
+        print!("{}", render(&snap, &records, args.recent, None));
+        return Ok(());
+    }
+
+    // Watch mode: the stats stream rides the watch connection; the log
+    // tail is fetched per frame over a second connection so its replies
+    // never interleave with ticks.
+    let mut logs =
+        ServerClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    client
+        .send_watch(1, args.interval_ms, args.count)
+        .map_err(|e| format!("watch op failed: {e}"))?;
+    let mut total: Option<Snapshot> = None;
+    loop {
+        let reply = client.recv().map_err(|e| format!("watch stream: {e}"))?;
+        if !reply.ok {
+            return Err(format!(
+                "server rejected watch: {}",
+                reply.error.as_deref().unwrap_or("?")
+            ));
+        }
+        let tick = reply.tick.ok_or("watch reply without a tick")?;
+        let delta = if tick == 0 {
+            total = Some(reply.snapshot.ok_or("tick 0 without a snapshot")?);
+            None
+        } else {
+            let d = reply.delta.ok_or("watch tick without a delta")?;
+            total
+                .as_mut()
+                .ok_or("watch delta before the baseline")?
+                .add_assign(&d);
+            Some(d)
+        };
+        let records = fetch_records(&mut logs, args.recent)?;
+        let frame = render(
+            total.as_ref().expect("set at tick 0"),
+            &records,
+            args.recent,
+            delta.as_ref().map(|d| (d, args.interval_ms)),
+        );
+        // Clear + home, then the frame in one write.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        if args.count.is_some_and(|n| tick >= n) {
+            return Ok(());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!(
+                "ptxtop: {e}\nusage: ptxtop ADDR [--once] [--interval MS] [--count N] \
+                 [--recent N] | ptxtop --check-log PATH"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ptxtop: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_and_reject() {
+        let ok = parse_args(&[
+            "127.0.0.1:7447".to_string(),
+            "--once".to_string(),
+            "--recent".to_string(),
+            "5".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(ok.addr.as_deref(), Some("127.0.0.1:7447"));
+        assert!(ok.once);
+        assert_eq!(ok.recent, 5);
+        assert!(parse_args(&[]).is_err(), "needs an address or --check-log");
+        assert!(parse_args(&["--bogus".to_string()]).is_err());
+        let offline = parse_args(&["--check-log".to_string(), "x.jsonl".to_string()]).unwrap();
+        assert!(offline.addr.is_none());
+    }
+
+    #[test]
+    fn frames_render_the_key_rows() {
+        let reg = modelfinder::obs::Registry::new();
+        reg.add("ptxd.requests", 10);
+        reg.add("ptxd.completed", 8);
+        reg.add("ptxd.cache_hits", 4);
+        reg.add("ptxd.cache_misses", 4);
+        reg.add("ptxd.verdict.ptx.Ok", 8);
+        reg.set_gauge("ptxd.gauge.uptime_ms", 2000);
+        reg.set_gauge("ptxd.gauge.queue_depth", 1);
+        for _ in 0..8 {
+            reg.observe("ptxd.solve_ns", 1_500_000);
+        }
+        let rec =
+            json::parse("{\"sig\":\"e6t2l2\",\"cache\":\"hit\",\"solve_ns\":1500000}").unwrap();
+        let frame = render(&reg.snapshot(), &[rec], 5, None);
+        assert!(frame.contains("rps 4.00"), "{frame}");
+        assert!(frame.contains("recent 100.0% (1/1)"), "{frame}");
+        assert!(frame.contains("solve"), "{frame}");
+        assert!(frame.contains("p50"), "{frame}");
+        assert!(frame.contains("verdicts ptx"), "{frame}");
+        assert!(frame.contains("Ok=8"), "{frame}");
+        assert!(frame.contains("e6t2l2"), "{frame}");
+        assert_eq!(fmt_ns(850), "850ns");
+        assert_eq!(fmt_ns(4_200), "4.2us");
+        assert_eq!(fmt_ns(1_500_000), "1.5ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50s");
+    }
+}

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod cache;
 pub mod proto;
 pub mod sched;

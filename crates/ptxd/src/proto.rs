@@ -67,10 +67,33 @@ pub enum Request {
         /// Client-chosen reply-matching id.
         id: Option<u64>,
     },
-    /// Counter snapshot.
+    /// Telemetry snapshot. `v: 1` (the default, for old clients) is a
+    /// flat counter map; `v: 2` is the full [`obs::Snapshot`] object
+    /// with gauges, histograms, and timings.
     Stats {
         /// Client-chosen reply-matching id.
         id: Option<u64>,
+        /// Requested reply shape (1 or 2).
+        v: u64,
+    },
+    /// Stream telemetry: one tick-0 baseline snapshot, then a snapshot
+    /// delta every interval on the same connection.
+    Watch {
+        /// Client-chosen reply-matching id, echoed on every tick.
+        id: Option<u64>,
+        /// Milliseconds between deltas (server clamps to a sane range).
+        interval_ms: u64,
+        /// Number of deltas after the baseline; absent means until the
+        /// connection drops or the server drains.
+        count: Option<u64>,
+    },
+    /// Fetch the newest entries of the in-memory access-log ring.
+    Log {
+        /// Client-chosen reply-matching id.
+        id: Option<u64>,
+        /// Maximum records to return (newest last); absent means the
+        /// whole ring.
+        n: Option<u64>,
     },
     /// Begin graceful shutdown: drain in-flight work, then exit.
     Shutdown {
@@ -156,7 +179,64 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, ProtoError)> {
             Ok(Request::Sleep { id, ms })
         }
         "ping" => Ok(Request::Ping { id }),
-        "stats" => Ok(Request::Stats { id }),
+        "stats" => match v.get("v") {
+            None => Ok(Request::Stats { id, v: 1 }),
+            Some(val) => match val.as_u64() {
+                Some(v @ (1 | 2)) => Ok(Request::Stats { id, v }),
+                _ => Err((
+                    id,
+                    ProtoError::proto("stats: field `v` must be 1 or 2".to_string()),
+                )),
+            },
+        },
+        "watch" => {
+            let interval_ms = match v.get("interval_ms") {
+                None => 1000,
+                Some(val) => match val.as_u64() {
+                    Some(ms) => ms,
+                    None => {
+                        return Err((
+                            id,
+                            ProtoError::proto(
+                                "watch: `interval_ms` must be a non-negative integer",
+                            ),
+                        ));
+                    }
+                },
+            };
+            let count = match v.get("count") {
+                None => None,
+                Some(val) => match val.as_u64() {
+                    Some(n) => Some(n),
+                    None => {
+                        return Err((
+                            id,
+                            ProtoError::proto("watch: `count` must be a non-negative integer"),
+                        ));
+                    }
+                },
+            };
+            Ok(Request::Watch {
+                id,
+                interval_ms,
+                count,
+            })
+        }
+        "log" => {
+            let n = match v.get("n") {
+                None => None,
+                Some(val) => match val.as_u64() {
+                    Some(n) => Some(n),
+                    None => {
+                        return Err((
+                            id,
+                            ProtoError::proto("log: `n` must be a non-negative integer"),
+                        ));
+                    }
+                },
+            };
+            Ok(Request::Log { id, n })
+        }
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err((id, ProtoError::proto(format!("unknown op `{other}`")))),
     }
@@ -291,6 +371,47 @@ pub fn stats_reply(id: Option<u64>, counters: &std::collections::BTreeMap<String
     out
 }
 
+/// A `stats` v2 reply embedding the full snapshot object
+/// ([`obs::Snapshot::to_json_object`] shape under `snapshot`).
+pub fn stats_v2_reply(id: Option<u64>, snapshot: &obs::Snapshot) -> String {
+    let mut out = String::new();
+    push_id(&mut out, id);
+    out.push_str(",\"ok\":true,\"v\":2,\"snapshot\":");
+    out.push_str(&snapshot.to_json_object());
+    out.push('}');
+    out
+}
+
+/// One `watch` reply line. Tick 0 carries the full baseline under
+/// `snapshot`; every later tick carries the change since the previous
+/// tick under `delta`, so `baseline + Σ deltas` reconstructs the
+/// snapshot at any tick (see [`obs::Snapshot::delta`]).
+pub fn watch_tick_reply(id: Option<u64>, tick: u64, snapshot: &obs::Snapshot) -> String {
+    let mut out = String::new();
+    push_id(&mut out, id);
+    let key = if tick == 0 { "snapshot" } else { "delta" };
+    out.push_str(&format!(",\"ok\":true,\"tick\":{tick},\"{key}\":"));
+    out.push_str(&snapshot.to_json_object());
+    out.push('}');
+    out
+}
+
+/// A `log` reply embedding access-log records verbatim (each record is
+/// already one JSON object, newest last).
+pub fn log_reply(id: Option<u64>, records: &[String]) -> String {
+    let mut out = String::new();
+    push_id(&mut out, id);
+    out.push_str(",\"ok\":true,\"records\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(r);
+    }
+    out.push_str("]}");
+    out
+}
+
 /// A `shutdown` acknowledgement.
 pub fn shutdown_reply(id: Option<u64>) -> String {
     let mut out = String::new();
@@ -379,6 +500,89 @@ mod tests {
         counters.insert("ptxd.requests".to_string(), 12u64);
         let decoded = litmus::Reply::from_json(&stats_reply(Some(1), &counters)).unwrap();
         assert_eq!(decoded.counters.get("ptxd.requests"), Some(&12));
+    }
+
+    #[test]
+    fn telemetry_ops_decode_and_reject_bad_fields() {
+        assert!(matches!(
+            parse_request("{\"id\":1,\"op\":\"stats\"}"),
+            Ok(Request::Stats { id: Some(1), v: 1 }),
+        ));
+        assert!(matches!(
+            parse_request("{\"op\":\"stats\",\"v\":2}"),
+            Ok(Request::Stats { id: None, v: 2 }),
+        ));
+        let (_, err) = parse_request("{\"op\":\"stats\",\"v\":3}").unwrap_err();
+        assert_eq!(err.kind, "proto");
+
+        match parse_request("{\"id\":2,\"op\":\"watch\",\"interval_ms\":250,\"count\":4}") {
+            Ok(Request::Watch {
+                id,
+                interval_ms,
+                count,
+            }) => {
+                assert_eq!(id, Some(2));
+                assert_eq!(interval_ms, 250);
+                assert_eq!(count, Some(4));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_request("{\"op\":\"watch\"}"),
+            Ok(Request::Watch {
+                interval_ms: 1000,
+                count: None,
+                ..
+            }),
+        ));
+        assert!(parse_request("{\"op\":\"watch\",\"interval_ms\":\"x\"}").is_err());
+
+        assert!(matches!(
+            parse_request("{\"op\":\"log\",\"n\":5}"),
+            Ok(Request::Log { n: Some(5), .. }),
+        ));
+        assert!(matches!(
+            parse_request("{\"op\":\"log\"}"),
+            Ok(Request::Log { n: None, .. }),
+        ));
+        assert!(parse_request("{\"op\":\"log\",\"n\":-1}").is_err());
+    }
+
+    #[test]
+    fn v2_replies_decode_with_the_client() {
+        let reg = obs::Registry::new();
+        reg.add("ptxd.requests", 3);
+        reg.set_gauge("ptxd.gauge.queue_depth", 2);
+        reg.observe("ptxd.solve_ns", 700);
+        let s0 = reg.snapshot();
+        let decoded = litmus::Reply::from_json(&stats_v2_reply(Some(5), &s0)).unwrap();
+        assert_eq!(decoded.id, Some(5));
+        let snap = decoded.snapshot.expect("nested snapshot survives");
+        assert_eq!(snap, s0);
+        assert_eq!(snap.gauge("ptxd.gauge.queue_depth"), 2);
+
+        // Watch: tick 0 is a baseline, later ticks are deltas.
+        let base = litmus::Reply::from_json(&watch_tick_reply(None, 0, &s0)).unwrap();
+        assert_eq!(base.tick, Some(0));
+        assert_eq!(base.snapshot, Some(s0.clone()));
+        assert!(base.delta.is_none());
+        reg.add("ptxd.requests", 2);
+        let delta = reg.snapshot().delta(&s0);
+        let tick = litmus::Reply::from_json(&watch_tick_reply(Some(9), 1, &delta)).unwrap();
+        assert_eq!(tick.tick, Some(1));
+        assert_eq!(tick.delta.unwrap().counter("ptxd.requests"), 2);
+
+        // Log: records embed verbatim.
+        let records = vec!["{\"verdict\":\"Ok\",\"solve_ns\":12}".to_string()];
+        let decoded = litmus::Reply::from_json(&log_reply(Some(1), &records)).unwrap();
+        let got = decoded.records.unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(
+            got[0].get("solve_ns").and_then(json::Value::as_u64),
+            Some(12)
+        );
+        let empty = litmus::Reply::from_json(&log_reply(None, &[])).unwrap();
+        assert_eq!(empty.records.unwrap().len(), 0);
     }
 
     #[test]

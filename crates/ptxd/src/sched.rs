@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why a submission was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +30,9 @@ pub enum Shed {
 }
 
 struct Inner<J> {
-    queues: BTreeMap<u64, VecDeque<J>>,
+    /// Per-connection FIFO of `(enqueued-at, job)` — the timestamp is
+    /// what makes queue-wait observable at dispatch.
+    queues: BTreeMap<u64, VecDeque<(Instant, J)>>,
     rr: VecDeque<u64>,
     queued: usize,
     inflight: usize,
@@ -39,14 +41,15 @@ struct Inner<J> {
 }
 
 impl<J> Inner<J> {
-    fn pop_from(&mut self, conn: u64) -> Option<J> {
+    fn pop_from(&mut self, conn: u64, queue_wait: &obs::Histogram) -> Option<J> {
         let queue = self.queues.get_mut(&conn)?;
-        let job = queue.pop_front()?;
+        let (enqueued, job) = queue.pop_front()?;
         if queue.is_empty() {
             self.queues.remove(&conn);
         }
         self.queued -= 1;
         self.inflight += 1;
+        queue_wait.observe(u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX));
         Some(job)
     }
 }
@@ -59,6 +62,9 @@ pub struct Scheduler<J> {
     drained: Condvar,
     queue_bound: usize,
     fair_cap: usize,
+    /// Enqueue→dispatch nanoseconds, one observation per delivered job
+    /// (inert unless installed via [`Scheduler::with_queue_hist`]).
+    queue_wait: obs::Histogram,
 }
 
 impl<J> Scheduler<J> {
@@ -78,7 +84,17 @@ impl<J> Scheduler<J> {
             drained: Condvar::new(),
             queue_bound: queue_bound.max(1),
             fair_cap: fair_cap.max(1),
+            queue_wait: obs::Histogram::default(),
         }
+    }
+
+    /// Installs the histogram that receives one enqueue→dispatch
+    /// observation (nanoseconds) per delivered job. Queue wait was
+    /// previously invisible, folded into total request latency.
+    #[must_use]
+    pub fn with_queue_hist(mut self, hist: obs::Histogram) -> Scheduler<J> {
+        self.queue_wait = hist;
+        self
     }
 
     /// Admits one job from `conn`, or rejects it. On success the job
@@ -99,7 +115,11 @@ impl<J> Scheduler<J> {
         if !inner.queues.contains_key(&conn) {
             inner.rr.push_back(conn);
         }
-        inner.queues.entry(conn).or_default().push_back(job);
+        inner
+            .queues
+            .entry(conn)
+            .or_default()
+            .push_back((Instant::now(), job));
         inner.queued += 1;
         let depth = inner.queued;
         drop(inner);
@@ -114,7 +134,7 @@ impl<J> Scheduler<J> {
         let mut inner = self.inner.lock().unwrap();
         loop {
             while let Some(conn) = inner.rr.pop_front() {
-                if let Some(job) = inner.pop_from(conn) {
+                if let Some(job) = inner.pop_from(conn, &self.queue_wait) {
                     if inner.queues.contains_key(&conn) {
                         inner.rr.push_back(conn);
                     }
@@ -139,10 +159,10 @@ impl<J> Scheduler<J> {
                 .queues
                 .get(conn)
                 .and_then(VecDeque::front)
-                .is_some_and(&pred)
+                .is_some_and(|(_, job)| pred(job))
         })?;
         let conn = inner.rr.remove(pos).unwrap();
-        let job = inner.pop_from(conn);
+        let job = inner.pop_from(conn, &self.queue_wait);
         if inner.queues.contains_key(&conn) {
             inner.rr.push_back(conn);
         }
@@ -171,7 +191,7 @@ impl<J> Scheduler<J> {
         if inner.queued == 0 && inner.inflight == 0 {
             self.drained.notify_all();
         }
-        queue.into()
+        queue.into_iter().map(|(_, job)| job).collect()
     }
 
     /// Enters draining: every subsequent [`Scheduler::submit`] is
@@ -208,6 +228,12 @@ impl<J> Scheduler<J> {
     /// Jobs currently queued (not in flight).
     pub fn queued(&self) -> usize {
         self.inner.lock().unwrap().queued
+    }
+
+    /// Jobs delivered to workers and not yet [`Scheduler::done`] — the
+    /// in-flight gauge.
+    pub fn inflight(&self) -> usize {
+        self.inner.lock().unwrap().inflight
     }
 }
 
@@ -259,6 +285,24 @@ mod tests {
         for _ in 0..3 {
             sched.done();
         }
+    }
+
+    #[test]
+    fn dispatch_observes_queue_wait() {
+        let reg = obs::Registry::new();
+        let sched: Scheduler<u32> =
+            Scheduler::new(16, 16).with_queue_hist(reg.histogram("ptxd.queue_wait_ns"));
+        sched.submit(1, 10).unwrap();
+        sched.submit(2, 20).unwrap();
+        assert_eq!(sched.inflight(), 0);
+        assert_eq!(sched.next(), Some(10));
+        assert_eq!(sched.take_matching(|&j| j == 20), Some(20));
+        assert_eq!(sched.inflight(), 2);
+        let h = &reg.snapshot().histograms["ptxd.queue_wait_ns"];
+        assert_eq!(h.count, 2, "one observation per delivered job");
+        sched.done();
+        sched.done();
+        assert_eq!(sched.inflight(), 0);
     }
 
     #[test]

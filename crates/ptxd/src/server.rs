@@ -32,12 +32,19 @@ use modelfinder::{CancelToken, Options, SessionPool};
 use obs::trace::{Autopsy, Tracer};
 use obs::Registry;
 
+use crate::access::{self, AccessLog};
 use crate::cache::{self, CacheKey, Entry, Lookup, VerdictCache};
 use crate::proto::{self, Mode, ParsedTest, Request, RunReply};
 use crate::sched::{Scheduler, Shed};
 
 /// Flight-recorder events attached to a timeout autopsy.
 const AUTOPSY_EVENTS: usize = 64;
+
+/// `watch` interval clamp: ticks faster than this would make the
+/// telemetry sampler itself a load source.
+const MIN_WATCH_INTERVAL_MS: u64 = 20;
+/// `watch` interval clamp, upper bound.
+const MAX_WATCH_INTERVAL_MS: u64 = 60_000;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -60,6 +67,13 @@ pub struct Config {
     /// Accept the debug `sleep` op (tests use it to occupy workers
     /// deterministically).
     pub debug_ops: bool,
+    /// Append one JSONL access-log record per `run` request to this
+    /// path (see [`crate::access`]). `None` keeps the in-memory ring
+    /// only.
+    pub access_log: Option<String>,
+    /// In-memory access-log ring capacity, records (0 disables the
+    /// ring and the `log` op returns nothing).
+    pub log_ring: usize,
 }
 
 impl Default for Config {
@@ -72,6 +86,8 @@ impl Default for Config {
             cache_cap: 4096,
             certify: false,
             debug_ops: false,
+            access_log: None,
+            log_ring: 256,
         }
     }
 }
@@ -105,6 +121,8 @@ struct Job {
     deadline: Option<Instant>,
     received: Instant,
     writer: Arc<LineWriter>,
+    conn: u64,
+    peer: Arc<str>,
 }
 
 /// A per-connection reply writer: one lock per line keeps concurrent
@@ -114,16 +132,17 @@ struct LineWriter {
 }
 
 impl LineWriter {
-    fn send(&self, line: &str) {
+    /// Sends one reply line; `false` means the peer is gone. A dead
+    /// peer is detected by its reader thread, so most callers drop the
+    /// result — `watch` streamers use it to stop ticking.
+    fn send(&self, line: &str) -> bool {
         // One write per line (with NODELAY on the stream) so no reply
         // waits out a Nagle/delayed-ACK round.
         let mut framed = String::with_capacity(line.len() + 1);
         framed.push_str(line);
         framed.push('\n');
         let mut stream = self.stream.lock().unwrap();
-        // A dead peer is detected by its reader thread; a failed reply
-        // write is not an error worth more than dropping the line.
-        let _ = stream.write_all(framed.as_bytes());
+        stream.write_all(framed.as_bytes()).is_ok()
     }
 }
 
@@ -133,10 +152,12 @@ struct Shared {
     pool: SessionPool<(Model, Signature), SatSession>,
     cache: VerdictCache,
     obs: Registry,
+    access: AccessLog,
     trace: Tracer,
     state: AtomicU8,
     conn_ids: AtomicU64,
     local_addr: SocketAddr,
+    started: Instant,
 }
 
 impl Shared {
@@ -161,6 +182,43 @@ impl Shared {
         counters.insert("ptxd.queue.depth".to_string(), self.sched.queued() as u64);
         counters
     }
+
+    /// Samples the live gauges into the registry — called at every
+    /// `stats` v2 reply, every `watch` tick, and at drain, so gauge
+    /// values in a snapshot are at most one sampling event old.
+    fn sample_gauges(&self) {
+        self.obs
+            .set_gauge("ptxd.gauge.queue_depth", self.sched.queued() as u64);
+        self.obs
+            .set_gauge("ptxd.gauge.inflight", self.sched.inflight() as u64);
+        self.obs
+            .set_gauge("ptxd.gauge.warm_sessions", self.pool.idle_count() as u64);
+        self.obs
+            .set_gauge("ptxd.gauge.cache_entries", self.cache.len() as u64);
+        self.obs
+            .set_gauge("ptxd.gauge.uptime_ms", whole_ms(self.started.elapsed()));
+    }
+
+    /// The `stats` v2 payload: gauges sampled now, then a snapshot.
+    fn snapshot_sampled(&self) -> obs::Snapshot {
+        self.sample_gauges();
+        self.obs.snapshot()
+    }
+}
+
+/// `d` as saturating whole nanoseconds.
+fn whole_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// `d` as saturating whole milliseconds.
+fn whole_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+/// The access-log rendering of a universe signature.
+fn sig_string(sig: Signature) -> String {
+    format!("e{}t{}l{}", sig.events, sig.threads, sig.locs)
 }
 
 /// A handle to a spawned server: its address, a shutdown trigger, and
@@ -203,6 +261,22 @@ impl Handle {
     /// A live observability snapshot (counters keep moving after this).
     pub fn snapshot(&self) -> obs::Snapshot {
         self.shared.obs.snapshot()
+    }
+
+    /// A live snapshot with gauges sampled now — exactly the `stats`
+    /// v2 payload.
+    pub fn sampled_snapshot(&self) -> obs::Snapshot {
+        self.shared.snapshot_sampled()
+    }
+
+    /// The newest `n` access-log ring records, oldest first.
+    pub fn access_tail(&self, n: usize) -> Vec<String> {
+        self.shared.access.tail(n)
+    }
+
+    /// Total access-log records recorded since startup.
+    pub fn access_written(&self) -> u64 {
+        self.shared.access.written()
     }
 
     /// The flight recorder's current contents as Chrome trace JSON
@@ -260,15 +334,19 @@ impl Server {
     pub fn spawn(cfg: Config) -> io::Result<Handle> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        let obs = Registry::new();
         let shared = Arc::new(Shared {
-            sched: Scheduler::new(cfg.queue_bound, cfg.fair_cap),
+            sched: Scheduler::new(cfg.queue_bound, cfg.fair_cap)
+                .with_queue_hist(obs.histogram("ptxd.queue_wait_ns")),
             pool: SessionPool::new(),
             cache: VerdictCache::new(cfg.cache_cap),
-            obs: Registry::new(),
+            access: AccessLog::open(cfg.access_log.as_deref(), cfg.log_ring)?,
+            obs,
             trace: Tracer::flight_recorder(),
             state: AtomicU8::new(RUNNING),
             conn_ids: AtomicU64::new(0),
             local_addr,
+            started: Instant::now(),
             cfg,
         });
         let main = {
@@ -330,11 +408,16 @@ fn run_server(shared: &Arc<Shared>, listener: TcpListener) -> obs::Snapshot {
     shared
         .obs
         .add("ptxd.cache.entries", shared.cache.len() as u64);
+    shared.sample_gauges();
     shared.obs.snapshot()
 }
 
 fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let conn = shared.conn_ids.fetch_add(1, Ordering::Relaxed);
+    let peer: Arc<str> = stream
+        .peer_addr()
+        .map_or_else(|_| "?".to_string(), |a| a.to_string())
+        .into();
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -359,9 +442,31 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 shared.obs.add("ptxd.errors", 1);
                 writer.send(&proto::error_reply(id, e.kind, &e.message));
             }
-            Ok(Request::Ping { id }) => writer.send(&proto::pong_reply(id)),
-            Ok(Request::Stats { id }) => {
-                writer.send(&proto::stats_reply(id, &shared.live_counters()));
+            Ok(Request::Ping { id }) => {
+                writer.send(&proto::pong_reply(id));
+            }
+            Ok(Request::Stats { id, v }) => {
+                if v >= 2 {
+                    writer.send(&proto::stats_v2_reply(id, &shared.snapshot_sampled()));
+                } else {
+                    writer.send(&proto::stats_reply(id, &shared.live_counters()));
+                }
+            }
+            Ok(Request::Watch {
+                id,
+                interval_ms,
+                count,
+            }) => {
+                shared.obs.add("ptxd.watches", 1);
+                let shared = Arc::clone(shared);
+                let writer = Arc::clone(&writer);
+                let _ = thread::Builder::new()
+                    .name("ptxd-watch".to_string())
+                    .spawn(move || run_watch(&shared, &writer, id, interval_ms, count));
+            }
+            Ok(Request::Log { id, n }) => {
+                let n = n.map_or(usize::MAX, |n| usize::try_from(n).unwrap_or(usize::MAX));
+                writer.send(&proto::log_reply(id, &shared.access.tail(n)));
             }
             Ok(Request::Shutdown { id }) => {
                 writer.send(&proto::shutdown_reply(id));
@@ -374,6 +479,7 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
                         &writer,
                         &mut tokens,
                         conn,
+                        &peer,
                         id,
                         Payload::Sleep { ms },
                         None,
@@ -398,6 +504,21 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 match proto::parse_source(&source) {
                     Err(msg) => {
                         shared.obs.add("ptxd.errors", 1);
+                        shared.access.record(&access::Record {
+                            ts_ms: whole_ms(shared.started.elapsed()),
+                            id,
+                            conn,
+                            addr: &peer,
+                            name: "?",
+                            model: model.as_str(),
+                            mode: mode.as_str(),
+                            sig: None,
+                            cache: "none",
+                            queue_wait_ns: 0,
+                            solve_ns: 0,
+                            verdict: "-",
+                            disposition: "parse-error",
+                        });
                         writer.send(&proto::error_reply(id, "parse", &msg));
                     }
                     Ok(test) => {
@@ -412,6 +533,7 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
                             &writer,
                             &mut tokens,
                             conn,
+                            &peer,
                             id,
                             Payload::Run {
                                 test,
@@ -439,15 +561,30 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
     shared.obs.add("ptxd.conn_closed", 1);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn submit(
     shared: &Arc<Shared>,
     writer: &Arc<LineWriter>,
     tokens: &mut Vec<CancelToken>,
     conn: u64,
+    peer: &Arc<str>,
     id: Option<u64>,
     payload: Payload,
     deadline_ms: Option<u64>,
 ) {
+    // The scheduler consumes (and on rejection drops) the job, so the
+    // shed access record's routing fields are captured up front. Sleep
+    // is a debug op and is never logged.
+    let run_meta = match &payload {
+        Payload::Run {
+            test, mode, model, ..
+        } => Some((
+            test.name().to_string(),
+            model_tag(test, *model),
+            mode.as_str(),
+        )),
+        Payload::Sleep { .. } => None,
+    };
     let cancel = CancelToken::new();
     tokens.push(cancel.clone());
     let now = Instant::now();
@@ -458,6 +595,8 @@ fn submit(
         deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
         received: now,
         writer: Arc::clone(writer),
+        conn,
+        peer: Arc::clone(peer),
     };
     match shared.sched.submit(conn, job) {
         Ok(depth) => shared.obs.observe("ptxd.queue_depth", depth as u64),
@@ -471,7 +610,69 @@ fn submit(
                 shared.obs.add("ptxd.shed", 1);
             }
             shared.obs.add(counter, 1);
+            if let Some((name, model, mode)) = &run_meta {
+                shared.access.record(&access::Record {
+                    ts_ms: whole_ms(shared.started.elapsed()),
+                    id,
+                    conn,
+                    addr: peer,
+                    name,
+                    model,
+                    mode,
+                    sig: None,
+                    cache: "none",
+                    queue_wait_ns: 0,
+                    solve_ns: 0,
+                    verdict: "-",
+                    disposition: kind,
+                });
+            }
             writer.send(&proto::error_reply(id, kind, msg));
+        }
+    }
+}
+
+/// The cache-key model tag without canonicalizing (for records emitted
+/// before — or instead of — a cache lookup).
+fn model_tag(test: &ParsedTest, model: Model) -> &'static str {
+    match test {
+        ParsedTest::Ptx(_) => model.as_str(),
+        ParsedTest::C11(_) => "c11",
+    }
+}
+
+/// Streams `watch` ticks to one client: a tick-0 baseline snapshot,
+/// then a delta every interval until `count` is reached, the peer goes
+/// away, or the server drains (one final delta is sent after the drain
+/// flag is observed, then the stream ends).
+fn run_watch(
+    shared: &Arc<Shared>,
+    writer: &Arc<LineWriter>,
+    id: Option<u64>,
+    interval_ms: u64,
+    count: Option<u64>,
+) {
+    let interval =
+        Duration::from_millis(interval_ms.clamp(MIN_WATCH_INTERVAL_MS, MAX_WATCH_INTERVAL_MS));
+    let mut prev = shared.snapshot_sampled();
+    if !writer.send(&proto::watch_tick_reply(id, 0, &prev)) {
+        return;
+    }
+    let mut tick = 0u64;
+    loop {
+        if count.is_some_and(|n| tick >= n) {
+            return;
+        }
+        thread::sleep(interval);
+        tick += 1;
+        let snap = shared.snapshot_sampled();
+        let delta = snap.delta(&prev);
+        if !writer.send(&proto::watch_tick_reply(id, tick, &delta)) {
+            return;
+        }
+        prev = snap;
+        if shared.state.load(Ordering::SeqCst) == DRAINING {
+            return;
         }
     }
 }
@@ -574,6 +775,51 @@ fn verdict_for(observable: bool, expectation: Expectation) -> &'static str {
     }
 }
 
+/// Per-request context shared by every reply path of one `run` job:
+/// identity and routing for the access log, plus the verdict counter
+/// and solve-latency histogram updates every disposition makes.
+struct RunCtx<'a> {
+    shared: &'a Arc<Shared>,
+    job: &'a Job,
+    name: String,
+    model_tag: &'static str,
+    mode: &'static str,
+    sig_str: Option<String>,
+    /// Cache outcome, updated after the lookup (`none` before it).
+    cache: &'static str,
+    start: Instant,
+}
+
+impl RunCtx<'_> {
+    /// Seals the request's telemetry: one `ptxd.solve_ns` observation,
+    /// one per-model verdict counter bump (when a verdict was
+    /// produced), and exactly one access-log record.
+    fn finish(&self, verdict: &str, disposition: &str) {
+        let solve_ns = whole_ns(self.start.elapsed());
+        self.shared.obs.observe("ptxd.solve_ns", solve_ns);
+        if verdict != "-" {
+            self.shared
+                .obs
+                .add(&format!("ptxd.verdict.{}.{verdict}", self.model_tag), 1);
+        }
+        self.shared.access.record(&access::Record {
+            ts_ms: whole_ms(self.shared.started.elapsed()),
+            id: self.job.id,
+            conn: self.job.conn,
+            addr: &self.job.peer,
+            name: &self.name,
+            model: self.model_tag,
+            mode: self.mode,
+            sig: self.sig_str.as_deref(),
+            cache: self.cache,
+            queue_wait_ns: whole_ns(self.start.saturating_duration_since(self.job.received)),
+            solve_ns,
+            verdict,
+            disposition,
+        });
+    }
+}
+
 fn execute_run(
     shared: &Arc<Shared>,
     slot: &mut Option<((Model, Signature), SatSession)>,
@@ -594,6 +840,16 @@ fn execute_run(
         ParsedTest::Ptx(t) => t.expectation,
         ParsedTest::C11(t) => t.expectation,
     };
+    let mut ctx = RunCtx {
+        shared,
+        job,
+        name: test.name().to_string(),
+        model_tag: model_tag(test, *model),
+        mode: mode.as_str(),
+        sig_str: sig.map(|(_, s)| sig_string(s)),
+        cache: "none",
+        start,
+    };
     // Count completion before the write: a client that has its reply in
     // hand must never observe a `stats` snapshot that predates it.
     let reply = |r: &RunReply| {
@@ -603,6 +859,7 @@ fn execute_run(
 
     if job.cancel.is_cancelled() {
         shared.obs.add("ptxd.cancelled", 1);
+        ctx.finish("Unknown", "cancelled");
         reply(&RunReply {
             name: test.name().to_string(),
             verdict: "Unknown",
@@ -614,7 +871,7 @@ fn execute_run(
         return;
     }
     if job.deadline.is_some_and(|d| Instant::now() >= d) {
-        timeout_reply(shared, job, test.name(), start);
+        timeout_reply(&ctx);
         return;
     }
 
@@ -623,9 +880,12 @@ fn execute_run(
     match shared.cache.lookup(&key) {
         Lookup::Hit(entry) => {
             shared.obs.add("ptxd.cache_hits", 1);
+            ctx.cache = "hit";
+            let verdict = verdict_for(entry.observable, expectation);
+            ctx.finish(verdict, "ok");
             reply(&RunReply {
                 name: test.name().to_string(),
-                verdict: verdict_for(entry.observable, expectation),
+                verdict,
                 observable: Some(entry.observable),
                 cached: true,
                 timed_out: false,
@@ -641,33 +901,26 @@ fn execute_run(
         }
         Lookup::Invalid => {
             shared.obs.add("ptxd.cache_invalid", 1);
+            ctx.cache = "invalid";
         }
-        Lookup::Miss => {}
+        Lookup::Miss => {
+            shared.obs.add("ptxd.cache_misses", 1);
+            ctx.cache = "miss";
+        }
     }
 
     match (test, mode) {
         (ParsedTest::Ptx(t), Mode::Sat) => {
-            run_ptx_sat(
-                shared,
-                slot,
-                job,
-                t,
-                sig.expect("sat job has sig"),
-                key,
-                start,
-            );
+            run_ptx_sat(slot, &ctx, t, sig.expect("sat job has sig"), key);
         }
         (ParsedTest::Ptx(t), Mode::Enum) => {
             let r = litmus::run_ptx_model(t, *model);
             finish_enum(
-                shared,
-                job,
+                &ctx,
                 key,
-                start,
                 r.observable,
                 expectation,
                 &reply,
-                t.name.as_str(),
                 format!(
                     "consistent={} candidates={}",
                     r.consistent_executions, r.candidates
@@ -677,14 +930,11 @@ fn execute_run(
         (ParsedTest::C11(t), _) => {
             let r = litmus::run_rc11(t);
             finish_enum(
-                shared,
-                job,
+                &ctx,
                 key,
-                start,
                 r.observable,
                 expectation,
                 &reply,
-                t.name.as_str(),
                 format!(
                     "consistent={} candidates={}",
                     r.consistent_executions, r.candidates
@@ -694,44 +944,40 @@ fn execute_run(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn finish_enum(
-    shared: &Arc<Shared>,
-    _job: &Job,
+    ctx: &RunCtx<'_>,
     key: CacheKey,
-    start: Instant,
     observable: bool,
     expectation: Expectation,
     reply: &impl Fn(&RunReply),
-    name: &str,
     stats: String,
 ) {
-    shared
+    ctx.shared
         .cache
         .insert(key, Entry::new(key, observable, "enumeration", 0, 0, 0, 0));
+    let verdict = verdict_for(observable, expectation);
+    ctx.finish(verdict, "ok");
     reply(&RunReply {
-        name: name.to_string(),
-        verdict: verdict_for(observable, expectation),
+        name: ctx.name.clone(),
+        verdict,
         observable: Some(observable),
         cached: false,
         timed_out: false,
-        wall_secs: start.elapsed().as_secs_f64(),
+        wall_secs: ctx.start.elapsed().as_secs_f64(),
         path: "enumeration",
         detail: format!("observable={observable} expected={expectation:?} {stats}"),
         autopsy: None,
     });
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_ptx_sat(
-    shared: &Arc<Shared>,
     slot: &mut Option<((Model, Signature), SatSession)>,
-    job: &Job,
+    ctx: &RunCtx<'_>,
     test: &PtxLitmus,
     sig: (Model, Signature),
     key: CacheKey,
-    start: Instant,
 ) {
+    let (shared, job, start) = (ctx.shared, ctx.job, ctx.start);
     // Reuse the batching slot when it matches; otherwise return it and
     // check out (or build) a session for this (model, signature).
     if slot.as_ref().is_some_and(|(s, _)| *s != sig) {
@@ -788,12 +1034,14 @@ fn run_ptx_sat(
                 report.sat_clauses as u64,
             );
             shared.cache.insert(key, entry);
+            let verdict = verdict_for(observable, test.expectation);
+            ctx.finish(verdict, "ok");
             shared.obs.add("ptxd.completed", 1);
             job.writer.send(&proto::run_reply(
                 job.id,
                 &RunReply {
                     name: test.name.clone(),
-                    verdict: verdict_for(observable, test.expectation),
+                    verdict,
                     observable: Some(observable),
                     cached: false,
                     timed_out: false,
@@ -815,6 +1063,7 @@ fn run_ptx_sat(
             // Undecided: deadline or disconnect. Never cached.
             if job.cancel.is_cancelled() && job.deadline.is_none_or(|d| Instant::now() < d) {
                 shared.obs.add("ptxd.cancelled", 1);
+                ctx.finish("Unknown", "cancelled");
                 shared.obs.add("ptxd.completed", 1);
                 job.writer.send(&proto::run_reply(
                     job.id,
@@ -828,11 +1077,12 @@ fn run_ptx_sat(
                     },
                 ));
             } else {
-                timeout_reply(shared, job, &test.name, start);
+                timeout_reply(ctx);
             }
         }
         Err(e) => {
             shared.obs.add("ptxd.internal_errors", 1);
+            ctx.finish("-", "internal-error");
             shared.obs.add("ptxd.completed", 1);
             job.writer
                 .send(&proto::error_reply(job.id, "internal", &e.to_string()));
@@ -842,8 +1092,10 @@ fn run_ptx_sat(
 
 /// A deadline miss: `Unknown` + `timed_out` + a flight-recorder autopsy,
 /// mirroring the harness's timeout records.
-fn timeout_reply(shared: &Arc<Shared>, job: &Job, name: &str, start: Instant) {
+fn timeout_reply(ctx: &RunCtx<'_>) {
+    let (shared, job, name, start) = (ctx.shared, ctx.job, &ctx.name, ctx.start);
     shared.obs.add("ptxd.timeouts", 1);
+    ctx.finish("Unknown", "timeout");
     shared.obs.add("ptxd.completed", 1);
     let autopsy = Autopsy::capture(
         shared.trace.tail_current_thread(AUTOPSY_EVENTS),

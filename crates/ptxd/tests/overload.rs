@@ -46,6 +46,25 @@ fn queue_bound_sheds_exactly_the_excess() {
         client.send_run(10 + i, &source, None).expect("send run");
     }
 
+    // Shed replies are synchronous with admission, so while the worker
+    // still sleeps the telemetry is frozen at its most loaded point:
+    // the queue-depth gauge reads the full bound and the shed counters
+    // read exactly the excess.
+    assert_eq!(
+        common::poll_counter(
+            &mut control,
+            "ptxd.shed",
+            EXCESS as u64,
+            Duration::from_secs(5)
+        ),
+        EXCESS as u64
+    );
+    let loaded = control.stats_v2().expect("stats v2 under load");
+    assert_eq!(loaded.gauge("ptxd.gauge.queue_depth"), BOUND as u64);
+    assert_eq!(loaded.gauge("ptxd.gauge.inflight"), 1, "the sleeper");
+    assert_eq!(loaded.counter("ptxd.shed"), EXCESS as u64);
+    assert_eq!(loaded.counter("ptxd.shed.queue"), EXCESS as u64);
+
     let mut shed = Vec::new();
     let mut answered = Vec::new();
     for _ in 0..(BOUND + EXCESS + 1) {
@@ -70,6 +89,22 @@ fn queue_bound_sheds_exactly_the_excess() {
     assert_eq!(stats["ptxd.shed"], EXCESS as u64);
     assert_eq!(stats["ptxd.shed.queue"], EXCESS as u64);
     assert_eq!(stats["ptxd.completed"], (BOUND + 1) as u64);
+    // The v2 snapshot agrees with the client's own observations exactly:
+    // as many shed counts as shed replies, every shed run also logged.
+    let settled = control.stats_v2().expect("stats v2 settled");
+    assert_eq!(settled.counter("ptxd.shed"), shed.len() as u64);
+    assert_eq!(settled.gauge("ptxd.gauge.queue_depth"), 0, "drained");
+    let shed_records = control
+        .log_tail(100)
+        .expect("log tail")
+        .iter()
+        .filter(|r| {
+            r.get("disposition")
+                .and_then(modelfinder::obs::json::Value::as_str)
+                == Some("shed")
+        })
+        .count();
+    assert_eq!(shed_records, shed.len(), "one access record per shed");
     handle.shutdown();
 }
 
@@ -118,6 +153,12 @@ fn fairness_cap_prevents_starvation() {
         3,
         "greedy overflow must be rejected by the fairness gate, not queued"
     );
+    // v2 mirrors the fairness gate: the overflow shows up under
+    // `ptxd.shed.fairness`, and the queue holds only the admitted pair.
+    let gated = control.stats_v2().expect("stats v2 under fairness gate");
+    assert_eq!(gated.counter("ptxd.shed.fairness"), 3);
+    assert_eq!(gated.counter("ptxd.shed"), 3);
+    assert_eq!(gated.gauge("ptxd.gauge.queue_depth"), 2, "cap admits two");
     quiet.send_run(100, &source, None).expect("quiet send");
 
     let quiet_thread = std::thread::spawn(move || {

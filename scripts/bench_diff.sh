@@ -8,12 +8,14 @@
 # hide, so coverage loss must be explicit (delete the baseline entry to
 # acknowledge an intentional removal).
 #
-# Timing and histogram records are diffed too, but report-only — wall
-# clock is machine- and load-dependent, and histogram shapes shift with
-# allocator/scheduling noise — while counters (propagations, conflicts,
-# gates, matrix cells, …) are deterministic workload measures for
-# fixed-seed single-job runs, so only counter growth gates the exit
-# code.
+# Timing, histogram, and gauge records are diffed too, but report-only —
+# wall clock is machine- and load-dependent, histogram shapes shift with
+# allocator/scheduling noise, and gauges are last-value samples — while
+# counters (propagations, conflicts, gates, matrix cells, …) are
+# deterministic workload measures for fixed-seed single-job runs, so
+# only counter growth gates the exit code. Counters present only in the
+# candidate are report-only as well: new telemetry must not fail the
+# gate (it gets pinned when the baseline is regenerated).
 #
 # usage: bench_diff.sh <baseline.json> <current.json>
 # exit:  0 no regressions, 1 regressions/missing counters, 2 usage error
@@ -41,6 +43,12 @@ extract_timings() {
 # noisy to line up; count/sum capture the distribution's mass).
 extract_histograms() {
     sed -n 's/^{"kind":"histogram","name":"\(.*\)","count":\([0-9][0-9]*\),"sum":\([0-9][0-9]*\),"buckets":.*}$/\1 \2 \3/p' "$1"
+}
+
+# Extracts "name value" pairs from the gauge records (last-value
+# samples, e.g. the ptxd queue-depth and uptime gauges).
+extract_gauges() {
+    sed -n 's/^{"kind":"gauge","name":"\(.*\)","value":\([0-9][0-9]*\)}$/\1 \2/p' "$1"
 }
 
 # --- report-only sections -------------------------------------------------
@@ -99,10 +107,38 @@ report_histograms() {
     ' <(extract_histograms "$baseline") <(extract_histograms "$current")
 }
 
+report_gauges() {
+    awk '
+        NR == FNR { base[$1] = $2; next }
+        { cur[$1] = $2 }
+        END {
+            shown = 0
+            for (name in cur) {
+                if (!(name in base)) {
+                    printf "  new      %-52s %s\n", name, cur[name]
+                    shown++
+                } else if (cur[name] != base[name]) {
+                    printf "  changed  %-52s %s -> %s\n", name, base[name], cur[name]
+                    shown++
+                }
+            }
+            for (name in base) {
+                if (!(name in cur)) {
+                    printf "  dropped  %-52s %s\n", name, base[name]
+                    shown++
+                }
+            }
+            if (shown == 0) print "  (no gauge differences)"
+        }
+    ' <(extract_gauges "$baseline") <(extract_gauges "$current")
+}
+
 echo "timings (report-only, never gate the exit code):"
 report_timings
 echo "histograms (report-only, never gate the exit code):"
 report_histograms
+echo "gauges (report-only, never gate the exit code):"
+report_gauges
 echo "counters (gating, threshold ${max_ratio}x):"
 
 # --- gating section: counters ---------------------------------------------
@@ -114,9 +150,13 @@ awk -v max_ratio="$max_ratio" '
         regressions = 0
         missing = 0
         compared = 0
+        fresh = 0
         for (name in cur) {
             if (!(name in base)) {
+                # Candidate-only counters are report-only: new telemetry
+                # must not fail the gate.
                 printf "new        %-56s %s\n", name, cur[name]
+                fresh++
                 continue
             }
             b = base[name] + 0
@@ -140,7 +180,7 @@ awk -v max_ratio="$max_ratio" '
                 regressions, missing, compared, max_ratio
             exit 1
         }
-        printf "bench_diff: no regressions across %d compared counters (threshold %.2fx)\n", \
-            compared, max_ratio
+        printf "bench_diff: no regressions across %d compared counters (%d new report-only, threshold %.2fx)\n", \
+            compared, fresh, max_ratio
     }
 ' <(extract_counters "$baseline") <(extract_counters "$current")

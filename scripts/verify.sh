@@ -38,6 +38,8 @@ ptxd_run_a="$(mktemp)"
 ptxd_run_b="$(mktemp)"
 ptxd_base="$(mktemp)"
 ptxd_rerun="$(mktemp)"
+ptxd_access="$(mktemp)"
+ptxtop_out="$(mktemp)"
 ptxd_pid=""
 cleanup() {
     [ -n "$ptxd_pid" ] && kill "$ptxd_pid" 2> /dev/null
@@ -45,7 +47,7 @@ cleanup() {
         "$autopsy_json" "$reduce_json" "$bench_base" "$bench_rerun" "$path_json" \
         "$litmus_base" "$litmus_rerun" "$distill_a" "$distill_b" \
         "$ptxd_addr" "$ptxd_stats" "$ptxd_run_a" \
-        "$ptxd_run_b" "$ptxd_base" "$ptxd_rerun"
+        "$ptxd_run_b" "$ptxd_base" "$ptxd_rerun" "$ptxd_access" "$ptxtop_out"
 }
 trap cleanup EXIT
 
@@ -102,7 +104,7 @@ scripts/bench_diff.sh "$bench_base" "$bench_rerun" | tail -1
 echo "== obs stats smoke (ptxherd --suite --sat --stats-json) =="
 cargo run --release --offline -q -p ptxmm-litmus --bin ptxherd -- \
     --suite --sat --stats-json "$stats_a" > /dev/null
-if grep -qvE '^\{"kind":"(note|counter|timing|histogram)","name":"' "$stats_a"; then
+if grep -qvE '^\{"kind":"(note|counter|gauge|timing|histogram)","name":"' "$stats_a"; then
     echo "verify.sh: malformed stats record in $stats_a" >&2
     exit 1
 fi
@@ -182,15 +184,19 @@ for f in litmus/synth/*.litmus; do
     fi
 done
 
-# ptxd service smoke: start the daemon on an ephemeral port, drive it
-# twice with `ptxherd --server` over five bundled litmus files, and
-# check (a) the verdict columns of the two sweeps are byte-identical,
-# (b) the second sweep is answered entirely from the verdict cache, and
-# (c) SIGTERM drains and exits 0 with the final stats flushed.
-echo "== ptxd service smoke (ptxherd --server, warm cache, SIGTERM drain) =="
+# ptxd service smoke: start the daemon on an ephemeral port with an
+# access log, drive it twice with `ptxherd --server` over five bundled
+# litmus files, and check (a) the verdict columns of the two sweeps are
+# byte-identical, (b) the second sweep is answered entirely from the
+# verdict cache — with ptxtop reading the 100% recent hit ratio and the
+# latency percentiles off the live server — (c) SIGTERM drains and
+# exits 0 with the final stats flushed, and (d) the access log parses
+# with one record per request sent.
+echo "== ptxd service smoke (ptxherd --server, warm cache, ptxtop, SIGTERM drain) =="
 : > "$ptxd_addr"
+: > "$ptxd_access"
 ./target/release/ptxd --listen 127.0.0.1:0 --port-file "$ptxd_addr" \
-    --stats-json "$ptxd_stats" 2> /dev/null &
+    --stats-json "$ptxd_stats" --access-log "$ptxd_access" 2> /dev/null &
 ptxd_pid=$!
 for _ in $(seq 1 100); do
     [ -s "$ptxd_addr" ] && break
@@ -227,6 +233,25 @@ if [ "$warm_hits" -ne 5 ]; then
     echo "verify.sh: warm ptxd sweep had $warm_hits/5 cache hits" >&2
     exit 1
 fi
+# One ptxtop frame off the live server: the request rate must be
+# nonzero, both latency percentile rows must be present, and with
+# --recent 5 the recent cache ratio covers exactly the warm sweep — all
+# five of its requests were hits.
+./target/release/ptxtop "$(cat "$ptxd_addr")" --once --recent 5 > "$ptxtop_out"
+rps="$(sed -n 's/.* rps \([0-9.]*\) .*/\1/p' "$ptxtop_out")"
+if [ -z "$rps" ] || ! awk -v r="$rps" 'BEGIN { exit !(r > 0) }'; then
+    echo "verify.sh: ptxtop reported no request rate (rps='$rps')" >&2
+    cat "$ptxtop_out" >&2
+    exit 1
+fi
+grep -q 'p50' "$ptxtop_out"
+grep -q '^queue_wait ' "$ptxtop_out"
+grep -q '^solve ' "$ptxtop_out"
+if ! grep -q 'recent 100.0% (5/5)' "$ptxtop_out"; then
+    echo "verify.sh: ptxtop recent cache ratio is not 100% over the warm sweep" >&2
+    cat "$ptxtop_out" >&2
+    exit 1
+fi
 kill -TERM "$ptxd_pid"
 if ! wait "$ptxd_pid"; then
     echo "verify.sh: ptxd exited non-zero on SIGTERM" >&2
@@ -240,6 +265,14 @@ for c in ptxd.requests ptxd.cache_hits; do
         exit 1
     fi
 done
+# The access log validates with the service's own JSON parser and holds
+# exactly one record per run request sent (two sweeps of five).
+if ! ./target/release/ptxtop --check-log "$ptxd_access" \
+    | grep -q ': 10 records, all parse'; then
+    echo "verify.sh: access log did not validate at 10 records" >&2
+    ./target/release/ptxtop --check-log "$ptxd_access" >&2 || true
+    exit 1
+fi
 
 # ptxd-benchmark gate: rerun the service bench (scratch vs cold vs warm
 # verdict cache; the binary itself enforces verdict parity across the
